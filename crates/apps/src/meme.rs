@@ -1,0 +1,535 @@
+//! The meme-generator case study (paper §5.1.1 and §5.2, experiments E7/E8).
+//!
+//! The application is a traditional client/server web app: an HTML5 client
+//! and a stateless Go server that reads base images and fonts from the file
+//! system and renders memes.  With Browsix, the *same* server runs unmodified
+//! inside the browser, and the client routes each request either to the
+//! remote server or to the in-Browsix server depending on network and device
+//! characteristics — meme generation keeps working offline.
+//!
+//! The paper measures: listing backgrounds takes ~1.7 ms against a native
+//! local server, ~9 ms in-Browsix under Chrome and ~6 ms under Firefox, and
+//! an in-Browsix request beats a remote EC2 server once round-trip latency is
+//! included; generating a meme takes ~200 ms server-side versus ~2 s
+//! in-browser, dominated by GopherJS's missing 64-bit integer support.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use browsix_browser::{NetworkProfile, PlatformConfig, RemoteEndpoint, RemoteService};
+use browsix_core::{BootConfig, Errno, Kernel};
+use browsix_fs::FileSystem;
+use browsix_http::parse::parse_request_consumed;
+use browsix_http::{HttpRequest, HttpResponse, Json, Method};
+use browsix_runtime::{guest, ExecutionProfile, GopherJsLauncher, GuestFactory, RuntimeEnv};
+
+/// The port the meme server listens on, in Browsix and remotely.
+pub const MEME_PORT: u16 = 8080;
+/// Compute units charged to render one meme (calibrated so the native Go
+/// server lands near 200 ms and the GopherJS in-browser server near 2 s).
+pub const MEME_RENDER_UNITS: u64 = 16_000;
+/// Compute units charged to list the background images.
+pub const LIST_UNITS: u64 = 20;
+/// The execution profile of the native Go server binary (the remote/EC2 and
+/// localhost baselines).
+pub fn native_go_profile() -> ExecutionProfile {
+    ExecutionProfile {
+        name: "native go",
+        compute_ns_per_unit: 12_500,
+        convention: browsix_runtime::SyscallConvention::Direct,
+        inject_compute: true,
+    }
+}
+
+/// Stages the server's data files: base images and a font.
+pub fn stage_meme_assets(fs: &dyn FileSystem) {
+    let _ = fs.mkdir("/usr");
+    let _ = fs.mkdir("/usr/share");
+    let _ = fs.mkdir("/usr/share/memes");
+    for (name, seed) in [("grumpy-cat.png", 17u8), ("success-kid.png", 41), ("doge.png", 73)] {
+        let mut data = vec![0u8; 96 * 1024];
+        for (i, byte) in data.iter_mut().enumerate() {
+            *byte = seed.wrapping_mul(31).wrapping_add((i % 251) as u8);
+        }
+        fs.write_file(&format!("/usr/share/memes/{name}"), &data)
+            .expect("stage meme template");
+    }
+    fs.write_file("/usr/share/memes/impact.ttf", &vec![b'F'; 32 * 1024])
+        .expect("stage font");
+}
+
+/// Deterministically composites `top` and `bottom` text onto a template
+/// image, standing in for the Go `gg` graphics library.  `charge` receives
+/// the compute-unit cost so callers can bill it to the right profile.
+pub fn render_meme(template: &[u8], top: &str, bottom: &str, charge: &mut dyn FnMut(u64)) -> Vec<u8> {
+    charge(MEME_RENDER_UNITS);
+    let mut out = Vec::with_capacity(template.len() + 64);
+    out.extend_from_slice(b"MEME1");
+    out.extend_from_slice(&(template.len() as u32).to_le_bytes());
+    // "Draw" the caption text by mixing it into the pixel data.
+    let mut pixels = template.to_vec();
+    for (i, byte) in top.bytes().chain(bottom.bytes()).enumerate() {
+        let index = (i * 977) % pixels.len().max(1);
+        pixels[index] ^= byte;
+    }
+    out.extend_from_slice(top.as_bytes());
+    out.push(b'|');
+    out.extend_from_slice(bottom.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(&pixels);
+    out
+}
+
+/// The server's request handler — the "same source code" shared by the
+/// native/remote deployment and the in-Browsix deployment.
+///
+/// `read_file` abstracts where templates come from; `charge` bills compute to
+/// the caller's execution profile.
+pub fn handle_api_request(
+    request: &HttpRequest,
+    backgrounds: &[String],
+    read_file: &mut dyn FnMut(&str) -> Result<Vec<u8>, Errno>,
+    charge: &mut dyn FnMut(u64),
+) -> HttpResponse {
+    match (request.method, request.path_only()) {
+        (Method::Get, "/api/backgrounds") => {
+            charge(LIST_UNITS);
+            let list = Json::Array(backgrounds.iter().map(|name| Json::from(name.as_str())).collect());
+            HttpResponse::ok().with_body(list.encode().into_bytes(), "application/json")
+        }
+        (Method::Post, "/api/meme") => {
+            let Ok(body) = Json::decode(&String::from_utf8_lossy(&request.body)) else {
+                return HttpResponse::new(400).with_body(b"invalid json".to_vec(), "text/plain");
+            };
+            let template = body.get("template").and_then(Json::as_str).unwrap_or("grumpy-cat.png");
+            let top = body.get("top").and_then(Json::as_str).unwrap_or("");
+            let bottom = body.get("bottom").and_then(Json::as_str).unwrap_or("");
+            match read_file(&format!("/usr/share/memes/{template}")) {
+                Ok(data) => {
+                    let rendered = render_meme(&data, top, bottom, charge);
+                    HttpResponse::ok().with_body(rendered, "image/png")
+                }
+                Err(_) => HttpResponse::not_found(),
+            }
+        }
+        _ => HttpResponse::not_found(),
+    }
+}
+
+fn list_backgrounds_from<F: FnMut(&str) -> Result<Vec<String>, Errno>>(mut readdir: F) -> Vec<String> {
+    readdir("/usr/share/memes")
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|name| name.ends_with(".png"))
+        .collect()
+}
+
+/// The Go meme server as a Browsix guest program: binds, listens, then
+/// accepts and serves HTTP connections until terminated.
+///
+/// Pass `--max-requests N` in argv to stop after `N` requests (used by tests
+/// so the process exits deterministically).
+pub fn meme_server_program() -> GuestFactory {
+    guest("meme-server", |env: &mut dyn RuntimeEnv| {
+        let args = env.args();
+        let max_requests: Option<usize> = args
+            .iter()
+            .position(|a| a == "--max-requests")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok());
+
+        let backgrounds = list_backgrounds_from(|dir| {
+            env.readdir(dir).map(|entries| entries.into_iter().map(|e| e.name).collect())
+        });
+
+        let listener = match env.socket() {
+            Ok(fd) => fd,
+            Err(e) => {
+                env.eprint(&format!("meme-server: socket: {e}\n"));
+                return 1;
+            }
+        };
+        if let Err(e) = env.bind(listener, MEME_PORT) {
+            env.eprint(&format!("meme-server: bind: {e}\n"));
+            return 1;
+        }
+        if let Err(e) = env.listen(listener, 16) {
+            env.eprint(&format!("meme-server: listen: {e}\n"));
+            return 1;
+        }
+        env.print(&format!("meme-server listening on port {MEME_PORT}\n"));
+
+        let mut served = 0usize;
+        loop {
+            if let Some(limit) = max_requests {
+                if served >= limit {
+                    return 0;
+                }
+            }
+            let conn = match env.accept(listener) {
+                Ok(fd) => fd,
+                Err(_) => return 0,
+            };
+            // Read one HTTP request (connection: close semantics).
+            let mut buffer = Vec::new();
+            let request = loop {
+                match env.read(conn, 64 * 1024) {
+                    Ok(chunk) if chunk.is_empty() => break None,
+                    Ok(chunk) => {
+                        buffer.extend_from_slice(&chunk);
+                        match parse_request_consumed(&buffer) {
+                            Ok(Some((request, _))) => break Some(request),
+                            Ok(None) => continue,
+                            Err(_) => break None,
+                        }
+                    }
+                    Err(_) => break None,
+                }
+            };
+            if let Some(request) = request {
+                // Reads go through the shared file system; compute is charged
+                // to the GopherJS profile of this process.
+                let response = {
+                    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+                    let mut read_file = |path: &str| -> Result<Vec<u8>, Errno> {
+                        if let Some((_, data)) = files.iter().find(|(p, _)| p == path) {
+                            return Ok(data.clone());
+                        }
+                        let data = env.read_file(path)?;
+                        files.push((path.to_owned(), data.clone()));
+                        Ok(data)
+                    };
+                    let mut cost = 0u64;
+                    let mut charge = |units: u64| cost += units;
+                    let response = handle_api_request(&request, &backgrounds, &mut read_file, &mut charge);
+                    env.charge_compute(cost);
+                    response
+                };
+                let _ = env.write(conn, &response.serialize());
+            }
+            let _ = env.close(conn);
+            served += 1;
+        }
+    })
+}
+
+/// The remote deployment: the same handler behind a simulated network link,
+/// executing with the native Go profile.
+pub struct RemoteMemeService {
+    backgrounds: Vec<String>,
+    templates: Vec<(String, Vec<u8>)>,
+    profile: ExecutionProfile,
+}
+
+impl RemoteMemeService {
+    /// Builds the remote service with the same assets the Browsix deployment
+    /// stages on its shared file system.
+    pub fn new() -> RemoteMemeService {
+        let mut templates = Vec::new();
+        let mut backgrounds = Vec::new();
+        for (name, seed) in [("grumpy-cat.png", 17u8), ("success-kid.png", 41), ("doge.png", 73)] {
+            let mut data = vec![0u8; 96 * 1024];
+            for (i, byte) in data.iter_mut().enumerate() {
+                *byte = seed.wrapping_mul(31).wrapping_add((i % 251) as u8);
+            }
+            templates.push((format!("/usr/share/memes/{name}"), data));
+            backgrounds.push(name.to_owned());
+        }
+        RemoteMemeService { backgrounds, templates, profile: native_go_profile() }
+    }
+
+    /// Disables compute injection (functional tests).
+    pub fn without_compute(mut self) -> RemoteMemeService {
+        self.profile = self.profile.without_compute();
+        self
+    }
+}
+
+impl Default for RemoteMemeService {
+    fn default() -> Self {
+        RemoteMemeService::new()
+    }
+}
+
+impl RemoteService for RemoteMemeService {
+    fn handle(&self, path: &str, body: Option<&[u8]>) -> Result<Vec<u8>, u16> {
+        let method = if body.is_some() { Method::Post } else { Method::Get };
+        let mut request = HttpRequest::new(method, path);
+        if let Some(body) = body {
+            request.body = body.to_vec();
+        }
+        let mut read_file = |path: &str| -> Result<Vec<u8>, Errno> {
+            self.templates
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, data)| data.clone())
+                .ok_or(Errno::ENOENT)
+        };
+        let mut charge = |units: u64| self.profile.charge(units);
+        let response = handle_api_request(&request, &self.backgrounds, &mut read_file, &mut charge);
+        if response.is_success() {
+            Ok(response.body)
+        } else {
+            Err(response.status)
+        }
+    }
+}
+
+/// Where a request ended up being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Served by the in-Browsix server.
+    InBrowsix,
+    /// Served by the remote server over the network.
+    Remote,
+}
+
+/// A booted meme-generator deployment: kernel + in-Browsix server + remote
+/// endpoint.
+pub struct MemeEnvironment {
+    /// The booted kernel.
+    pub kernel: Kernel,
+    /// The simulated remote deployment of the same server.
+    pub remote: RemoteEndpoint,
+    /// Pid of the in-Browsix server process.
+    pub server_pid: browsix_core::Pid,
+}
+
+impl MemeEnvironment {
+    /// Boots the kernel, stages assets, starts the in-Browsix server (waiting
+    /// for its socket notification) and stands up the remote endpoint.
+    ///
+    /// `platform` selects the simulated browser; `server_profile` the
+    /// execution profile of the in-Browsix server; `network` the link to the
+    /// remote server.
+    pub fn boot(
+        platform: PlatformConfig,
+        server_profile: ExecutionProfile,
+        network: NetworkProfile,
+        remote_compute: bool,
+    ) -> MemeEnvironment {
+        let config = BootConfig::in_memory().with_platform(platform);
+        config.registry.register(
+            "/usr/bin/meme-server",
+            Arc::new(GopherJsLauncher::new("meme-server", meme_server_program()).with_profile(server_profile)),
+        );
+        browsix_utils::register_browsix(
+            &config.registry,
+            ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async),
+        );
+        let kernel = Kernel::boot(config);
+        stage_meme_assets(kernel.fs().as_ref());
+
+        let handle = kernel
+            .spawn("/usr/bin/meme-server", &["meme-server"], &[])
+            .expect("start meme server");
+        assert!(
+            kernel.wait_for_port(MEME_PORT, Duration::from_secs(10)),
+            "meme server did not start listening"
+        );
+
+        let service = if remote_compute { RemoteMemeService::new() } else { RemoteMemeService::new().without_compute() };
+        let remote = RemoteEndpoint::new(Arc::new(service), network);
+        MemeEnvironment { kernel, remote, server_pid: handle.pid }
+    }
+
+    /// A delay-free environment for functional tests.
+    pub fn boot_for_tests() -> MemeEnvironment {
+        MemeEnvironment::boot(
+            PlatformConfig::fast(),
+            ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async),
+            NetworkProfile::instant(),
+            false,
+        )
+    }
+}
+
+/// The web-application client with its routing policy.
+pub struct MemeClient {
+    environment: MemeEnvironment,
+    /// Whether the device is a desktop-class machine (a proxy for "powerful",
+    /// per the paper's policy).
+    pub desktop_device: bool,
+}
+
+impl MemeClient {
+    /// Wraps a booted environment.  The paper's policy: serve locally when the
+    /// network is inaccessible or the device is powerful; otherwise go remote.
+    pub fn new(environment: MemeEnvironment, desktop_device: bool) -> MemeClient {
+        MemeClient { environment, desktop_device }
+    }
+
+    /// The underlying environment.
+    pub fn environment(&self) -> &MemeEnvironment {
+        &self.environment
+    }
+
+    /// The routing decision the client would make right now.
+    pub fn route(&self) -> RouteDecision {
+        if !self.environment.remote.is_online() || self.desktop_device {
+            RouteDecision::InBrowsix
+        } else {
+            RouteDecision::Remote
+        }
+    }
+
+    fn browsix_request(&self, request: HttpRequest) -> Result<HttpResponse, Errno> {
+        self.environment
+            .kernel
+            .http_request(MEME_PORT, request, Duration::from_secs(30))
+    }
+
+    fn remote_request(&self, request: &HttpRequest) -> Result<HttpResponse, Errno> {
+        let body = if request.method == Method::Post { Some(request.body.as_slice()) } else { None };
+        match self.environment.remote.request(&request.path, body) {
+            Ok(body) => Ok(HttpResponse::ok().with_body(body, "application/octet-stream")),
+            Err(browsix_browser::PlatformError::NetworkUnavailable) => Err(Errno::ENETUNREACH),
+            Err(browsix_browser::PlatformError::HttpStatus(code)) => {
+                Ok(HttpResponse::new(code))
+            }
+            Err(_) => Err(Errno::EIO),
+        }
+    }
+
+    /// Sends `request` according to the routing policy, falling back to the
+    /// in-Browsix server if the remote is unreachable.
+    pub fn request(&self, request: HttpRequest) -> Result<(RouteDecision, HttpResponse), Errno> {
+        match self.route() {
+            RouteDecision::InBrowsix => Ok((RouteDecision::InBrowsix, self.browsix_request(request)?)),
+            RouteDecision::Remote => match self.remote_request(&request) {
+                Ok(response) => Ok((RouteDecision::Remote, response)),
+                Err(_) => Ok((RouteDecision::InBrowsix, self.browsix_request(request)?)),
+            },
+        }
+    }
+
+    /// `GET /api/backgrounds`: the list of available base images.
+    pub fn list_backgrounds(&self) -> Result<(RouteDecision, Vec<String>), Errno> {
+        let (route, response) = self.request(HttpRequest::new(Method::Get, "/api/backgrounds"))?;
+        if !response.is_success() {
+            return Err(Errno::EIO);
+        }
+        let json = Json::decode(&String::from_utf8_lossy(&response.body)).map_err(|_| Errno::EIO)?;
+        let list = json
+            .as_array()
+            .map(|items| items.iter().filter_map(|j| j.as_str().map(|s| s.to_owned())).collect())
+            .unwrap_or_default();
+        Ok((route, list))
+    }
+
+    /// `POST /api/meme`: renders a meme from a template and caption text.
+    pub fn generate(&self, template: &str, top: &str, bottom: &str) -> Result<(RouteDecision, Vec<u8>), Errno> {
+        let body = Json::object()
+            .with("template", template)
+            .with("top", top)
+            .with("bottom", bottom)
+            .encode()
+            .into_bytes();
+        let request = HttpRequest::new(Method::Post, "/api/meme").with_body(body, "application/json");
+        let (route, response) = self.request(request)?;
+        if !response.is_success() {
+            return Err(Errno::EIO);
+        }
+        Ok((route, response.body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_depends_on_text() {
+        let template = vec![9u8; 4096];
+        let mut cost = 0u64;
+        let a = render_meme(&template, "TOP", "BOTTOM", &mut |u| cost += u);
+        let b = render_meme(&template, "TOP", "BOTTOM", &mut |_| {});
+        let c = render_meme(&template, "OTHER", "TEXT", &mut |_| {});
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with(b"MEME1"));
+        assert_eq!(cost, MEME_RENDER_UNITS);
+    }
+
+    #[test]
+    fn handler_serves_backgrounds_and_memes() {
+        let backgrounds = vec!["grumpy-cat.png".to_string(), "doge.png".to_string()];
+        let mut read_file = |_: &str| Ok(vec![1u8; 128]);
+        let mut charge = |_: u64| {};
+        let response = handle_api_request(
+            &HttpRequest::new(Method::Get, "/api/backgrounds"),
+            &backgrounds,
+            &mut read_file,
+            &mut charge,
+        );
+        assert!(response.is_success());
+        assert_eq!(
+            String::from_utf8_lossy(&response.body),
+            "[\"grumpy-cat.png\",\"doge.png\"]"
+        );
+
+        let body = Json::object().with("template", "doge.png").with("top", "WOW").encode();
+        let request =
+            HttpRequest::new(Method::Post, "/api/meme").with_body(body.into_bytes(), "application/json");
+        let response = handle_api_request(&request, &backgrounds, &mut read_file, &mut charge);
+        assert!(response.is_success());
+        assert!(response.body.starts_with(b"MEME1"));
+
+        // Unknown endpoints and bad JSON.
+        let response = handle_api_request(
+            &HttpRequest::new(Method::Get, "/nope"),
+            &backgrounds,
+            &mut read_file,
+            &mut charge,
+        );
+        assert_eq!(response.status, 404);
+        let bad = HttpRequest::new(Method::Post, "/api/meme").with_body(b"{".to_vec(), "application/json");
+        let response = handle_api_request(&bad, &backgrounds, &mut read_file, &mut charge);
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn remote_service_mirrors_the_handler() {
+        let service = RemoteMemeService::new().without_compute();
+        let list = service.handle("/api/backgrounds", None).unwrap();
+        assert!(String::from_utf8_lossy(&list).contains("grumpy-cat.png"));
+        let body = Json::object().with("template", "grumpy-cat.png").encode();
+        let meme = service.handle("/api/meme", Some(body.as_bytes())).unwrap();
+        assert!(meme.starts_with(b"MEME1"));
+        assert_eq!(service.handle("/missing", None), Err(404));
+    }
+
+    #[test]
+    fn in_browsix_server_answers_requests_end_to_end() {
+        let client = MemeClient::new(MemeEnvironment::boot_for_tests(), true);
+        assert_eq!(client.route(), RouteDecision::InBrowsix);
+
+        let (route, backgrounds) = client.list_backgrounds().unwrap();
+        assert_eq!(route, RouteDecision::InBrowsix);
+        assert_eq!(backgrounds.len(), 3);
+        assert!(backgrounds.contains(&"doge.png".to_string()));
+
+        let (_, meme) = client.generate("doge.png", "SUCH KERNEL", "VERY UNIX").unwrap();
+        assert!(meme.starts_with(b"MEME1"));
+        assert!(meme.len() > 90_000);
+        client.environment().kernel.kill(client.environment().server_pid, browsix_core::Signal::SIGKILL).ok();
+    }
+
+    #[test]
+    fn routing_policy_prefers_remote_on_mobile_and_falls_back_offline() {
+        let client = MemeClient::new(MemeEnvironment::boot_for_tests(), false);
+        // Mobile device, network up: go remote.
+        assert_eq!(client.route(), RouteDecision::Remote);
+        let (route, backgrounds) = client.list_backgrounds().unwrap();
+        assert_eq!(route, RouteDecision::Remote);
+        assert_eq!(backgrounds.len(), 3);
+
+        // Network goes away: requests transparently switch to the in-Browsix
+        // server — disconnected operation.
+        client.environment().remote.set_online(false);
+        assert_eq!(client.route(), RouteDecision::InBrowsix);
+        let (route, meme) = client.generate("grumpy-cat.png", "NO NETWORK", "NO PROBLEM").unwrap();
+        assert_eq!(route, RouteDecision::InBrowsix);
+        assert!(meme.starts_with(b"MEME1"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench for the file-system layer (part of experiment E10):
+//! lazy vs eager overlay initialisation and HTTP-backed lazy loading.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use browsix_apps::latex::texlive_distribution;
+use browsix_browser::{NetworkProfile, RemoteEndpoint};
+use browsix_fs::{FileSystem, HttpFs, MemFs, OverlayFs, OverlayMode};
+
+fn texlive_http_fs(network: NetworkProfile) -> Arc<dyn FileSystem> {
+    let (files, manifest) = texlive_distribution(60);
+    let endpoint = RemoteEndpoint::with_static_files(files, network);
+    Arc::new(HttpFs::new(endpoint, manifest))
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filesystem");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("overlay_mount_lazy", |b| {
+        b.iter(|| {
+            let overlay = OverlayFs::new(texlive_http_fs(NetworkProfile::instant()), OverlayMode::Lazy);
+            overlay.read_file("/article.cls").unwrap()
+        })
+    });
+    group.bench_function("overlay_mount_eager", |b| {
+        b.iter(|| {
+            let overlay = OverlayFs::new(texlive_http_fs(NetworkProfile::instant()), OverlayMode::Eager);
+            overlay.read_file("/article.cls").unwrap()
+        })
+    });
+
+    let memfs = MemFs::new();
+    memfs.write_file("/data.bin", &vec![3u8; 256 * 1024]).unwrap();
+    group.bench_function("memfs_read_256k", |b| b.iter(|| memfs.read_file("/data.bin").unwrap()));
+    group.bench_function("memfs_path_lookup_miss", |b| {
+        b.iter(|| assert!(memfs.stat("/no/such/path").is_err()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for experiment E6: the LaTeX build under each
+//! configuration.  Compute costs are scaled by 0.1 to keep the bench under a
+//! minute while preserving the native < sync < async ordering and ratios.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use browsix_apps::latex::{native_build, LatexEditor, LatexEnvironment, LatexMode};
+use browsix_browser::NetworkProfile;
+
+const SCALE: f64 = 0.1;
+
+fn browsix_build(mode: LatexMode) -> Duration {
+    let editor = LatexEditor::new(LatexEnvironment::boot(mode, SCALE, NetworkProfile::cdn()));
+    let outcome = editor.build_pdf();
+    assert!(outcome.success, "{}", outcome.stderr);
+    outcome.elapsed
+}
+
+fn bench_latex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latex_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("native", |b| {
+        b.iter_custom(|iters| {
+            let runs = iters.min(3).max(1);
+            let mut total = Duration::ZERO;
+            for _ in 0..runs {
+                total += native_build(SCALE);
+            }
+            total * (iters as u32) / (runs as u32)
+        })
+    });
+    for (name, mode) in [("browsix_sync", LatexMode::Sync), ("browsix_async_emterpreter", LatexMode::Async)] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let runs = iters.min(2).max(1);
+                let mut total = Duration::ZERO;
+                for _ in 0..runs {
+                    total += browsix_build(mode);
+                }
+                total * (iters as u32) / (runs as u32)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latex);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for experiments E7/E8: the meme generator's request
+//! latencies across deployments.  The GopherJS compute cost is scaled by 0.1
+//! to keep iterations short while preserving the server-side vs in-browser
+//! ratio.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use browsix_apps::meme::{MemeClient, MemeEnvironment, RemoteMemeService};
+use browsix_browser::{NetworkProfile, PlatformConfig, RemoteEndpoint};
+use browsix_runtime::ExecutionProfile;
+
+const SCALE: f64 = 0.1;
+
+fn client(platform: PlatformConfig) -> MemeClient {
+    MemeClient::new(
+        MemeEnvironment::boot(
+            platform,
+            ExecutionProfile::gopherjs().scaled(SCALE),
+            NetworkProfile::ec2(),
+            true,
+        ),
+        true,
+    )
+}
+
+fn bench_meme(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meme_generator");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    let native = RemoteEndpoint::new(Arc::new(RemoteMemeService::new()), NetworkProfile::localhost());
+    let remote = RemoteEndpoint::new(Arc::new(RemoteMemeService::new()), NetworkProfile::ec2());
+    group.bench_function("list_native_local", |b| {
+        b.iter(|| native.fetch("/api/backgrounds").unwrap())
+    });
+    group.bench_function("list_remote_ec2", |b| {
+        b.iter(|| remote.fetch("/api/backgrounds").unwrap())
+    });
+
+    let chrome = client(PlatformConfig::chrome());
+    group.bench_function("list_browsix_chrome", |b| b.iter(|| chrome.list_backgrounds().unwrap()));
+    let firefox = client(PlatformConfig::firefox());
+    group.bench_function("list_browsix_firefox", |b| b.iter(|| firefox.list_backgrounds().unwrap()));
+
+    let body = browsix_http::Json::object().with("template", "doge.png").with("top", "WOW").encode();
+    group.bench_function("generate_server_side", |b| {
+        b.iter(|| remote.request("/api/meme", Some(body.as_bytes())).unwrap())
+    });
+    group.bench_function("generate_browsix_chrome", |b| {
+        b.iter(|| chrome.generate("doge.png", "WOW", "MUCH MEME").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_meme);
+criterion_main!(benches);

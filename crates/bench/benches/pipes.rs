@@ -1,0 +1,89 @@
+//! Criterion bench for pipe throughput between two Browsix processes
+//! (part of experiment E10).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use browsix_core::{BootConfig, Kernel};
+use browsix_runtime::{guest, ExecutionProfile, NodeLauncher, RuntimeEnv, SpawnStdio, SyscallConvention};
+
+const TRANSFER_BYTES: usize = 256 * 1024;
+
+fn boot_pipe_kernel() -> Kernel {
+    let config = BootConfig::in_memory();
+    let profile = ExecutionProfile::instant(SyscallConvention::Async);
+    config.registry.register(
+        "/usr/bin/producer",
+        Arc::new(
+            NodeLauncher::new(
+                "producer",
+                guest("producer", |env: &mut dyn RuntimeEnv| {
+                    let chunk = vec![42u8; 16 * 1024];
+                    let mut sent = 0;
+                    while sent < TRANSFER_BYTES {
+                        sent += env.write(1, &chunk).unwrap_or(0);
+                    }
+                    0
+                }),
+            )
+            .with_profile(profile.clone()),
+        ),
+    );
+    config.registry.register(
+        "/usr/bin/consumer",
+        Arc::new(
+            NodeLauncher::new(
+                "consumer",
+                guest("consumer", |env: &mut dyn RuntimeEnv| {
+                    let (read_fd, write_fd) = env.pipe().unwrap();
+                    let child = env
+                        .spawn(
+                            "/usr/bin/producer",
+                            &["producer".to_string()],
+                            SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+                        )
+                        .unwrap();
+                    env.close(write_fd).unwrap();
+                    let mut received = 0;
+                    loop {
+                        let chunk = env.read(read_fd, 64 * 1024).unwrap_or_default();
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        received += chunk.len();
+                    }
+                    let _ = env.wait(child as i32);
+                    if received >= TRANSFER_BYTES {
+                        0
+                    } else {
+                        1
+                    }
+                }),
+            )
+            .with_profile(profile),
+        ),
+    );
+    Kernel::boot(config)
+}
+
+fn bench_pipes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipes");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .throughput(Throughput::Bytes(TRANSFER_BYTES as u64));
+    group.bench_function("producer_to_consumer", |b| {
+        b.iter(|| {
+            let kernel = boot_pipe_kernel();
+            let handle = kernel.spawn("/usr/bin/consumer", &["consumer"], &[]).unwrap();
+            assert!(handle.wait().success());
+            kernel.shutdown();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipes);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench for experiment E9: per-call cost of a direct in-process
+//! call vs Browsix asynchronous and synchronous system calls, plus the
+//! structured-clone cost as payload size grows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use browsix_core::{BootConfig, Kernel};
+use browsix_fs::{FileSystem, MemFs, MountedFs, OpenFlags};
+use browsix_runtime::{
+    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv,
+    SyscallConvention,
+};
+
+/// Boots a kernel with a guest that performs `calls` getpid system calls and
+/// returns; measures one whole process run.
+fn run_syscall_loop(sync: bool, calls: u64, payload: usize) -> Kernel {
+    let config = BootConfig::in_memory();
+    let profile = ExecutionProfile::instant(if sync { SyscallConvention::Sync } else { SyscallConvention::Async });
+    let program = guest("loop", move |env: &mut dyn RuntimeEnv| {
+        let fd = env.open("/scratch", OpenFlags::write_create_truncate()).unwrap();
+        let buffer = vec![7u8; payload];
+        for _ in 0..calls {
+            if payload == 0 {
+                let _ = env.getpid();
+            } else {
+                let _ = env.pwrite(fd, &buffer, 0);
+            }
+        }
+        let _ = env.close(fd);
+        0
+    });
+    let launcher: Arc<dyn browsix_core::ProgramLauncher> = if sync {
+        Arc::new(EmscriptenLauncher::new("loop", program, EmscriptenMode::AsmJs).with_profile(profile))
+    } else {
+        Arc::new(NodeLauncher::new("loop", program).with_profile(profile))
+    };
+    config.registry.register("/usr/bin/loop", launcher);
+    Kernel::boot(config)
+}
+
+fn bench_conventions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syscall_latency");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Baseline: direct in-process call (the native system-call analogue).
+    let fs = MountedFs::new(Arc::new(MemFs::new()));
+    group.bench_function("direct_call", |b| b.iter(|| fs.stat("/").unwrap()));
+
+    for (name, sync) in [("async_convention", false), ("sync_convention", true)] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters.min(20) {
+                    let calls = 500;
+                    let kernel = run_syscall_loop(sync, calls, 0);
+                    let start = std::time::Instant::now();
+                    let handle = kernel.spawn("/usr/bin/loop", &["loop"], &[]).unwrap();
+                    assert!(handle.wait().success());
+                    total += start.elapsed() / calls as u32;
+                    kernel.shutdown();
+                }
+                total * (iters.max(1) as u32) / (iters.min(20).max(1) as u32)
+            })
+        });
+    }
+
+    // Structured-clone cost: asynchronous writes of growing payloads.
+    for payload in [1usize << 10, 16 << 10, 64 << 10] {
+        group.bench_with_input(BenchmarkId::new("async_write_payload", payload), &payload, |b, &payload| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters.min(10) {
+                    let calls = 200;
+                    let kernel = run_syscall_loop(false, calls, payload);
+                    let start = std::time::Instant::now();
+                    let handle = kernel.spawn("/usr/bin/loop", &["loop"], &[]).unwrap();
+                    assert!(handle.wait().success());
+                    total += start.elapsed() / calls as u32;
+                    kernel.shutdown();
+                }
+                total * (iters.max(1) as u32) / (iters.min(10).max(1) as u32)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conventions);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E5 (Figure 9): sha1sum and ls under the
+//! three execution environments.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use browsix_bench::utilities::{run_utility_benchmark, UtilityEnvironment};
+
+fn bench_utilities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_utilities");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for command in ["sha1sum /usr/bin/node", "ls -l /usr/bin"] {
+        for environment in [
+            UtilityEnvironment::Native,
+            UtilityEnvironment::NodeJs,
+            UtilityEnvironment::Browsix,
+        ] {
+            let id = BenchmarkId::new(environment.label(), command);
+            group.bench_with_input(id, &(environment, command), |b, &(environment, command)| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    let runs = iters.min(5).max(1);
+                    for _ in 0..runs {
+                        let m = run_utility_benchmark(environment, command, true);
+                        assert_eq!(m.exit_code, 0);
+                        total += m.elapsed;
+                    }
+                    total * (iters as u32) / (runs as u32)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utilities);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates Figure 9: execution time of `sha1sum` and `ls -l` under
+//! Native, Node.js-on-Linux and Browsix.
+//!
+//! Paper values: sha1sum 0.002 s / 0.067 s / 0.189 s and ls 0.001 s /
+//! 0.044 s / 0.108 s.  The shape to check: JavaScript accounts for most of
+//! the overhead, and running under Browsix adds roughly another 3x over
+//! Node.js.
+
+use browsix_bench::utilities::figure9_matrix;
+use browsix_bench::{fmt_seconds, print_table};
+
+fn main() {
+    let measurements = figure9_matrix(true);
+    let commands = ["sha1sum /usr/bin/node", "ls -l /usr/bin"];
+    let mut rows = Vec::new();
+    for command in commands {
+        let mut row = vec![command.to_string()];
+        for environment in ["Native", "Node.js", "BROWSIX"] {
+            let cell = measurements
+                .iter()
+                .find(|m| m.command == command && m.environment.label() == environment)
+                .map(|m| {
+                    assert_eq!(m.exit_code, 0, "{command} failed under {environment}");
+                    fmt_seconds(m.elapsed)
+                })
+                .unwrap_or_else(|| "-".to_owned());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9 — utility execution time (measured in this reproduction)",
+        &["Command", "Native", "Node.js", "BROWSIX"],
+        &rows,
+    );
+    println!("\nPaper reports: sha1sum 0.002s / 0.067s / 0.189s;  ls 0.001s / 0.044s / 0.108s.");
+
+    // Report the derived ratios the paper calls out.
+    for command in commands {
+        let get = |label: &str| {
+            measurements
+                .iter()
+                .find(|m| m.command == command && m.environment.label() == label)
+                .map(|m| m.elapsed.as_secs_f64())
+                .unwrap_or(f64::NAN)
+        };
+        let native = get("Native");
+        let node = get("Node.js");
+        let browsix = get("BROWSIX");
+        println!(
+            "{command}: Node.js = {:.1}x native, BROWSIX = {:.1}x Node.js (paper: ~3x)",
+            node / native,
+            browsix / node
+        );
+    }
+}

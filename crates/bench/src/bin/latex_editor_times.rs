@@ -1,0 +1,47 @@
+//! Regenerates the LaTeX editor measurement (§5.2): end-to-end build time of
+//! a single-page paper with a bibliography, natively and under Browsix with
+//! each system-call convention.
+//!
+//! Paper values: native ≈ 0.1 s, Browsix with synchronous calls ≈ 3 s,
+//! Browsix with asynchronous calls + Emterpreter ≈ 12 s.
+//!
+//! Pass a compute scale as the first argument (default 1.0) to shrink the
+//! experiment while preserving ratios, e.g.
+//! `cargo run -p browsix-bench --bin latex_editor_times -- 0.25`.
+
+use browsix_apps::latex::{native_build, LatexEditor, LatexEnvironment, LatexMode};
+use browsix_bench::{fmt_seconds, print_table};
+use browsix_browser::NetworkProfile;
+
+fn browsix_build(mode: LatexMode, scale: f64) -> (std::time::Duration, u64) {
+    let editor = LatexEditor::new(LatexEnvironment::boot(mode, scale, NetworkProfile::cdn()));
+    let outcome = editor.build_pdf();
+    assert!(outcome.success, "build failed: {}\n{}", outcome.stdout, outcome.stderr);
+    let fetched = editor.environment().texlive.stats().bytes_fetched;
+    (outcome.elapsed, fetched)
+}
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    println!("compute scale: {scale} (1.0 reproduces the paper's absolute calibration)");
+
+    let native = native_build(scale);
+    let (sync_time, sync_bytes) = browsix_build(LatexMode::Sync, scale);
+    let (async_time, async_bytes) = browsix_build(LatexMode::Async, scale);
+
+    print_table(
+        "LaTeX editor — pdflatex + bibtex build of a single-page paper",
+        &["Configuration", "Build time", "TeX Live bytes fetched"],
+        &[
+            vec!["Native Linux".into(), fmt_seconds(native), "local disk".into()],
+            vec!["BROWSIX, synchronous syscalls (Chrome)".into(), fmt_seconds(sync_time), sync_bytes.to_string()],
+            vec!["BROWSIX, async syscalls + Emterpreter".into(), fmt_seconds(async_time), async_bytes.to_string()],
+        ],
+    );
+    println!("\nPaper reports: ~0.1 s native, ~3 s synchronous, ~12 s asynchronous/Emterpreter.");
+    println!(
+        "Shape check: sync/native = {:.1}x, async/sync = {:.1}x (paper: ~30x and ~4x).",
+        sync_time.as_secs_f64() / native.as_secs_f64().max(1e-9),
+        async_time.as_secs_f64() / sync_time.as_secs_f64().max(1e-9),
+    );
+}

@@ -1,0 +1,121 @@
+//! Regenerates the meme-generator measurements (§5.2): request latency for
+//! listing backgrounds and generating memes, against a native local server, a
+//! remote (EC2-like) server, and the same server running inside Browsix under
+//! Chrome and Firefox profiles.
+//!
+//! Paper values: list-backgrounds 1.7 ms native, 9 ms Chrome, 6 ms Firefox;
+//! the in-Browsix request beats the remote server roughly 3x once round-trip
+//! latency is included; meme generation is ~200 ms server-side vs ~2 s
+//! in-browser.  Times are the mean of 100 runs after a 20-run warm-up, as in
+//! the paper (reduced via --quick).
+
+use std::time::{Duration, Instant};
+
+use browsix_apps::meme::{native_go_profile, MemeClient, MemeEnvironment, RouteDecision};
+use browsix_bench::{fmt_millis, print_table};
+use browsix_browser::{NetworkProfile, PlatformConfig, RemoteEndpoint};
+use browsix_runtime::ExecutionProfile;
+
+fn mean(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    total / samples.len().max(1) as u32
+}
+
+fn measure<F: FnMut()>(warmup: usize, runs: usize, mut f: F) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    mean(samples)
+}
+
+fn browsix_client(platform: PlatformConfig) -> MemeClient {
+    MemeClient::new(
+        MemeEnvironment::boot(platform, ExecutionProfile::gopherjs(), NetworkProfile::ec2(), true),
+        true, // desktop: route in-Browsix
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, runs) = if quick { (2, 10) } else { (20, 100) };
+    let gen_runs = if quick { 3 } else { 10 };
+
+    // Native local server: the handler behind a loopback link.
+    let native = RemoteEndpoint::new(
+        std::sync::Arc::new(browsix_apps::meme::RemoteMemeService::new()),
+        NetworkProfile::localhost(),
+    );
+    // Remote server: same handler behind an EC2-like link.
+    let remote = RemoteEndpoint::new(
+        std::sync::Arc::new(browsix_apps::meme::RemoteMemeService::new()),
+        NetworkProfile::ec2(),
+    );
+
+    let native_list = measure(warmup, runs, || {
+        native.fetch("/api/backgrounds").expect("native list");
+    });
+    let remote_list = measure(warmup, runs, || {
+        remote.fetch("/api/backgrounds").expect("remote list");
+    });
+
+    let chrome = browsix_client(PlatformConfig::chrome());
+    let chrome_list = measure(warmup, runs, || {
+        chrome.list_backgrounds().expect("chrome list");
+    });
+    let firefox = browsix_client(PlatformConfig::firefox());
+    let firefox_list = measure(warmup, runs, || {
+        firefox.list_backgrounds().expect("firefox list");
+    });
+
+    print_table(
+        "Meme generator — GET /api/backgrounds (mean latency)",
+        &["Deployment", "Latency", "Paper"],
+        &[
+            vec!["Native local server".into(), fmt_millis(native_list), "1.7 ms".into()],
+            vec!["In-BROWSIX (Chrome)".into(), fmt_millis(chrome_list), "9 ms".into()],
+            vec!["In-BROWSIX (Firefox)".into(), fmt_millis(firefox_list), "6 ms".into()],
+            vec!["Remote server (EC2-like RTT)".into(), fmt_millis(remote_list), "~3x slower than in-BROWSIX".into()],
+        ],
+    );
+    println!(
+        "\nCrossover check: remote/in-BROWSIX(Chrome) = {:.1}x (paper: ~3x in BROWSIX's favour).",
+        remote_list.as_secs_f64() / chrome_list.as_secs_f64().max(1e-9)
+    );
+
+    // Meme generation: native Go profile server-side vs GopherJS in-browser.
+    let body = browsix_http::Json::object()
+        .with("template", "grumpy-cat.png")
+        .with("top", "I HERD U LIEK")
+        .with("bottom", "SYSCALLS")
+        .encode();
+    let server_side = measure(1, gen_runs, || {
+        // The native profile charges its compute directly inside the handler.
+        let _ = native_go_profile();
+        remote.request("/api/meme", Some(body.as_bytes())).expect("remote meme");
+    });
+    let (route, _) = chrome.generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS").expect("warm");
+    assert_eq!(route, RouteDecision::InBrowsix);
+    let in_browser = measure(1, gen_runs, || {
+        chrome.generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS").expect("browser meme");
+    });
+
+    print_table(
+        "Meme generator — POST /api/meme (mean latency)",
+        &["Deployment", "Latency", "Paper"],
+        &[
+            vec!["Server-side (native Go)".into(), fmt_millis(server_side), "~200 ms".into()],
+            vec!["In-BROWSIX (GopherJS, Chrome)".into(), fmt_millis(in_browser), "~2 s".into()],
+        ],
+    );
+    println!(
+        "\nGopherJS penalty: in-browser/server-side = {:.1}x (paper: ~10x, dominated by missing 64-bit integers).",
+        in_browser.as_secs_f64() / server_side.as_secs_f64().max(1e-9)
+    );
+}

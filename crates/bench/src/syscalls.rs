@@ -1,0 +1,94 @@
+//! Experiment E2 (Figure 3): the system-call inventory by class.
+
+use std::collections::BTreeMap;
+
+use browsix_core::{ByteSource, Syscall};
+
+/// One representative instance of every system call the kernel implements,
+/// used both to regenerate Figure 3 and to verify full dispatchability.
+pub fn representative_syscalls() -> Vec<Syscall> {
+    use browsix_core::Signal;
+    use browsix_fs::OpenFlags;
+    vec![
+        Syscall::Fork { image: vec![], resume_point: 0 },
+        Syscall::Spawn { path: "/usr/bin/ls".into(), args: vec![], env: vec![], cwd: None, stdio: [None; 3] },
+        Syscall::Pipe2,
+        Syscall::Wait4 { pid: -1, options: 0 },
+        Syscall::Exit { code: 0 },
+        Syscall::Kill { pid: 1, signal: Signal::SIGTERM },
+        Syscall::SignalAction { signal: Signal::SIGCHLD, install: true },
+        Syscall::Chdir { path: "/".into() },
+        Syscall::GetCwd,
+        Syscall::GetPid,
+        Syscall::GetPPid,
+        Syscall::Socket,
+        Syscall::Bind { fd: 3, port: 80 },
+        Syscall::GetSockName { fd: 3 },
+        Syscall::Listen { fd: 3, backlog: 8 },
+        Syscall::Accept { fd: 3 },
+        Syscall::Connect { fd: 3, port: 80 },
+        Syscall::Readdir { path: "/".into() },
+        Syscall::Rmdir { path: "/tmp/x".into() },
+        Syscall::Mkdir { path: "/tmp/x".into(), mode: 0o755 },
+        Syscall::Open { path: "/etc/passwd".into(), flags: OpenFlags::read_only(), mode: 0 },
+        Syscall::Close { fd: 3 },
+        Syscall::Unlink { path: "/tmp/x".into() },
+        Syscall::Seek { fd: 3, offset: 0, whence: 0 },
+        Syscall::Pread { fd: 3, len: 16, offset: 0 },
+        Syscall::Pwrite { fd: 3, data: ByteSource::Inline(vec![]), offset: 0 },
+        Syscall::Read { fd: 3, len: 16 },
+        Syscall::Write { fd: 3, data: ByteSource::Inline(vec![]) },
+        Syscall::Dup { fd: 3 },
+        Syscall::Dup2 { from: 3, to: 4 },
+        Syscall::Truncate { path: "/tmp/x".into(), size: 0 },
+        Syscall::Rename { from: "/a".into(), to: "/b".into() },
+        Syscall::Access { path: "/bin/sh".into(), mode: 0 },
+        Syscall::Fstat { fd: 3 },
+        Syscall::Stat { path: "/".into(), lstat: true },
+        Syscall::Stat { path: "/".into(), lstat: false },
+        Syscall::Readlink { path: "/proc/self".into() },
+        Syscall::Utimes { path: "/tmp/x".into(), atime_ms: 0, mtime_ms: 0 },
+    ]
+}
+
+/// Groups the implemented system calls by Figure 3 class.
+pub fn syscall_inventory() -> BTreeMap<String, Vec<String>> {
+    let mut inventory: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for call in representative_syscalls() {
+        let entry = inventory.entry(call.class().to_owned()).or_default();
+        let name = call.name().to_owned();
+        if !entry.contains(&name) {
+            entry.push(name);
+        }
+    }
+    inventory
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_calls_are_all_present() {
+        let inventory = syscall_inventory();
+        let classes: Vec<&String> = inventory.keys().collect();
+        assert_eq!(classes.len(), 6);
+        let all: Vec<String> = inventory.values().flatten().cloned().collect();
+        for expected in [
+            "fork", "spawn", "pipe2", "wait4", "exit", "chdir", "getcwd", "getpid", "socket", "bind",
+            "getsockname", "listen", "accept", "connect", "getdents", "rmdir", "mkdir", "open",
+            "close", "unlink", "llseek", "pread", "pwrite", "access", "fstat", "lstat", "stat",
+            "readlink", "utimes",
+        ] {
+            assert!(all.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_representative_call_encodes_for_the_async_convention() {
+        for call in representative_syscalls() {
+            let msg = call.to_message();
+            assert_eq!(Syscall::from_message(&msg).unwrap().name(), call.name());
+        }
+    }
+}

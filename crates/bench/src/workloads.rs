@@ -1,0 +1,64 @@
+//! Shared workloads for the Figure 9 utility measurements.
+
+use std::sync::Arc;
+
+use browsix_fs::{FileSystem, MemFs, MountedFs};
+
+/// Size of the file `sha1sum` hashes — the paper hashes `/usr/bin/node`,
+/// which is tens of megabytes; we use 8 MiB so the native run stays in the
+/// low-millisecond range while preserving the ratios.
+pub const SHA1_FILE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Number of entries in the directory `ls -l` lists (the paper lists
+/// `/usr/bin`, a few hundred entries).
+pub const LS_DIR_ENTRIES: usize = 200;
+
+/// Deterministic pseudo-random filler (an xorshift generator) so the staged
+/// workload is identical across runs without pulling in an RNG dependency at
+/// the library level.
+fn fill_deterministic(seed: u64, buffer: &mut [u8]) {
+    let mut state = seed | 1;
+    for chunk in buffer.chunks_mut(8) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let bytes = state.to_le_bytes();
+        let len = chunk.len();
+        chunk.copy_from_slice(&bytes[..len]);
+    }
+}
+
+/// Stages the Figure 9 files into `fs`: `/usr/bin/node` (a large binary) and
+/// a populated `/usr/bin` directory.
+pub fn stage_figure9_files(fs: &dyn FileSystem) {
+    let _ = fs.mkdir("/usr");
+    let _ = fs.mkdir("/usr/bin");
+    let mut node_binary = vec![0u8; SHA1_FILE_BYTES];
+    fill_deterministic(0xB40051C5, &mut node_binary);
+    fs.write_file("/usr/bin/node", &node_binary).expect("stage /usr/bin/node");
+    for i in 0..LS_DIR_ENTRIES {
+        let mut data = vec![0u8; 512 + (i % 37) * 16];
+        fill_deterministic(0x1000 + i as u64, &mut data);
+        fs.write_file(&format!("/usr/bin/tool-{i:03}"), &data).expect("stage tool");
+    }
+}
+
+/// A fresh in-memory file system with the Figure 9 files staged.
+pub fn figure9_fs() -> Arc<MountedFs> {
+    let fs = Arc::new(MountedFs::new(Arc::new(MemFs::new())));
+    stage_figure9_files(fs.as_ref());
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_files_match_advertised_sizes() {
+        let fs = figure9_fs();
+        assert_eq!(fs.stat("/usr/bin/node").unwrap().size as usize, SHA1_FILE_BYTES);
+        // node + the tool entries.
+        assert_eq!(fs.read_dir("/usr/bin").unwrap().len(), LS_DIR_ENTRIES + 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Blob URLs.
+//!
+//! The `Worker` constructor in a real browser takes a URL to a JavaScript
+//! file.  Files inside the Browsix file system do not correspond to files on a
+//! web server (they may have been produced by other Browsix processes), so the
+//! kernel wraps the executable's bytes in a `Blob`, asks the browser for a
+//! dynamically generated `blob:` URL, and starts the worker from that URL.
+//! [`BlobRegistry`] reproduces that mechanism.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::PlatformError;
+
+/// A registry of dynamically created blob URLs, shared between the kernel and
+/// the workers it spawns.
+#[derive(Debug, Default, Clone)]
+pub struct BlobRegistry {
+    inner: Arc<BlobRegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct BlobRegistryInner {
+    next_id: AtomicU64,
+    blobs: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl BlobRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        BlobRegistry::default()
+    }
+
+    /// Registers `data` and returns a fresh `blob:` URL for it, mirroring
+    /// `URL.createObjectURL(new Blob([...]))`.
+    pub fn create_url(&self, data: Vec<u8>) -> String {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let url = format!("blob:browsix/{id:016x}");
+        self.inner.blobs.lock().insert(url.clone(), Arc::new(data));
+        url
+    }
+
+    /// Resolves a previously created blob URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownBlobUrl`] if the URL was never created
+    /// or has been revoked.
+    pub fn resolve(&self, url: &str) -> Result<Arc<Vec<u8>>, PlatformError> {
+        self.inner
+            .blobs
+            .lock()
+            .get(url)
+            .cloned()
+            .ok_or_else(|| PlatformError::UnknownBlobUrl(url.to_owned()))
+    }
+
+    /// Revokes a blob URL, mirroring `URL.revokeObjectURL`.  Revoking an
+    /// unknown URL is a no-op, as in the browser.
+    pub fn revoke(&self, url: &str) {
+        self.inner.blobs.lock().remove(url);
+    }
+
+    /// Number of currently registered blobs.
+    pub fn len(&self) -> usize {
+        self.inner.blobs.lock().len()
+    }
+
+    /// Whether the registry holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_resolve_round_trip() {
+        let registry = BlobRegistry::new();
+        let url = registry.create_url(b"#!/usr/bin/env node".to_vec());
+        assert!(url.starts_with("blob:browsix/"));
+        let data = registry.resolve(&url).unwrap();
+        assert_eq!(&data[..], b"#!/usr/bin/env node");
+    }
+
+    #[test]
+    fn urls_are_unique() {
+        let registry = BlobRegistry::new();
+        let a = registry.create_url(vec![1]);
+        let b = registry.create_url(vec![1]);
+        assert_ne!(a, b);
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn revoke_makes_url_unresolvable() {
+        let registry = BlobRegistry::new();
+        let url = registry.create_url(vec![42]);
+        registry.revoke(&url);
+        assert!(matches!(
+            registry.resolve(&url),
+            Err(PlatformError::UnknownBlobUrl(_))
+        ));
+        assert!(registry.is_empty());
+        // Revoking again is a no-op.
+        registry.revoke(&url);
+    }
+
+    #[test]
+    fn registry_is_shared_between_clones() {
+        let registry = BlobRegistry::new();
+        let clone = registry.clone();
+        let url = registry.create_url(vec![7]);
+        assert_eq!(clone.resolve(&url).unwrap()[..], [7]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Simulated remote network endpoints.
+//!
+//! Two parts of the paper's evaluation depend on a remote HTTP server:
+//!
+//! 1. the LaTeX editor's file system lazily fetches TeX Live packages over
+//!    HTTP on first access, and
+//! 2. the meme generator compares requests served by a remote EC2 instance
+//!    against requests served by the same server running inside Browsix.
+//!
+//! [`RemoteEndpoint`] stands in for those servers: it owns a
+//! [`RemoteService`] (static files or an arbitrary handler) and charges a
+//! [`NetworkProfile`] — round-trip time plus a bandwidth term — for every
+//! request.  The endpoint can also be taken offline to exercise the meme
+//! generator's client-side routing policy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::PlatformError;
+use crate::time::precise_delay;
+
+/// Round-trip time and bandwidth of the simulated link to a remote server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// One full round trip (SYN to first response byte).
+    pub round_trip: Duration,
+    /// Link bandwidth in bytes per second, applied to the response body.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Whether injected delays are applied (disabled for functional tests).
+    pub inject_delays: bool,
+}
+
+impl NetworkProfile {
+    /// A same-machine loopback link: sub-millisecond round trips.
+    pub fn localhost() -> Self {
+        NetworkProfile {
+            round_trip: Duration::from_micros(300),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            inject_delays: true,
+        }
+    }
+
+    /// A wide-area link to an EC2 instance, as in the paper's meme-generator
+    /// comparison (tens of milliseconds of round-trip latency).
+    pub fn ec2() -> Self {
+        NetworkProfile {
+            round_trip: Duration::from_millis(24),
+            bandwidth_bytes_per_sec: 12_500_000, // ~100 Mbit/s
+            inject_delays: true,
+        }
+    }
+
+    /// A CDN-like link used for the TeX Live distribution mirror.
+    pub fn cdn() -> Self {
+        NetworkProfile {
+            round_trip: Duration::from_millis(8),
+            bandwidth_bytes_per_sec: 25_000_000, // ~200 Mbit/s
+            inject_delays: true,
+        }
+    }
+
+    /// No injected delays at all, for functional tests.
+    pub fn instant() -> Self {
+        NetworkProfile {
+            round_trip: Duration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            inject_delays: false,
+        }
+    }
+
+    /// The simulated transfer duration for a payload of `bytes` bytes.
+    pub fn transfer_cost(&self, bytes: usize) -> Duration {
+        if !self.inject_delays {
+            return Duration::ZERO;
+        }
+        let transfer = if self.bandwidth_bytes_per_sec == 0 || self.bandwidth_bytes_per_sec == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+        };
+        self.round_trip + transfer
+    }
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        NetworkProfile::localhost()
+    }
+}
+
+/// Something that can answer requests at the far end of the simulated link.
+///
+/// The interface is deliberately byte-level rather than HTTP-aware so this
+/// crate stays at the bottom of the dependency graph; the HTTP framing lives
+/// in `browsix-http` and the applications that use it.
+pub trait RemoteService: Send + Sync {
+    /// Handles a request for `path`; `body` is present for POST-style calls.
+    ///
+    /// Returns the response body, or an HTTP-like status code on failure.
+    fn handle(&self, path: &str, body: Option<&[u8]>) -> Result<Vec<u8>, u16>;
+}
+
+/// A [`RemoteService`] that serves a static set of files, e.g. a TeX Live
+/// distribution uploaded to an HTTP server.
+#[derive(Debug, Default)]
+pub struct StaticFiles {
+    files: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl StaticFiles {
+    /// Creates an empty file set.
+    pub fn new() -> Self {
+        StaticFiles::default()
+    }
+
+    /// Adds (or replaces) a file at `path`.
+    pub fn insert(&self, path: &str, data: Vec<u8>) {
+        self.files.lock().insert(normalize_remote_path(path), Arc::new(data));
+    }
+
+    /// Number of files being served.
+    pub fn len(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Whether no files are being served.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All paths currently being served, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.files.lock().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+}
+
+fn normalize_remote_path(path: &str) -> String {
+    let trimmed = path.trim_start_matches('/');
+    format!("/{trimmed}")
+}
+
+impl RemoteService for StaticFiles {
+    fn handle(&self, path: &str, _body: Option<&[u8]>) -> Result<Vec<u8>, u16> {
+        self.files
+            .lock()
+            .get(&normalize_remote_path(path))
+            .map(|data| data.as_ref().clone())
+            .ok_or(404)
+    }
+}
+
+/// Statistics collected by a [`RemoteEndpoint`], used by the evaluation to
+/// report how much data the lazy file system actually transferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Number of successful requests.
+    pub requests: u64,
+    /// Number of failed requests (offline or status errors).
+    pub failures: u64,
+    /// Total bytes of response bodies transferred.
+    pub bytes_transferred: u64,
+}
+
+/// A remote server reachable over a simulated network link.
+#[derive(Clone)]
+pub struct RemoteEndpoint {
+    service: Arc<dyn RemoteService>,
+    profile: NetworkProfile,
+    online: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    failures: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for RemoteEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteEndpoint")
+            .field("profile", &self.profile)
+            .field("online", &self.is_online())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RemoteEndpoint {
+    /// Creates an endpoint backed by `service` over the given link profile.
+    pub fn new(service: Arc<dyn RemoteService>, profile: NetworkProfile) -> Self {
+        RemoteEndpoint {
+            service,
+            profile,
+            online: Arc::new(AtomicBool::new(true)),
+            requests: Arc::new(AtomicU64::new(0)),
+            failures: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates an endpoint serving `files` over the given link profile.
+    pub fn with_static_files(files: StaticFiles, profile: NetworkProfile) -> Self {
+        RemoteEndpoint::new(Arc::new(files), profile)
+    }
+
+    /// The configured link profile.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    /// Whether the endpoint is reachable.
+    pub fn is_online(&self) -> bool {
+        self.online.load(Ordering::SeqCst)
+    }
+
+    /// Takes the endpoint on or off line (the meme generator's "disconnected
+    /// operation" scenario).
+    pub fn set_online(&self, online: bool) {
+        self.online.store(online, Ordering::SeqCst);
+    }
+
+    /// Performs a GET-style fetch of `path`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::NetworkUnavailable`] if the endpoint is offline.
+    /// * [`PlatformError::HttpStatus`] if the service rejects the request.
+    pub fn fetch(&self, path: &str) -> Result<Vec<u8>, PlatformError> {
+        self.request(path, None)
+    }
+
+    /// Performs a request with an optional body (POST-style).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::NetworkUnavailable`] if the endpoint is offline.
+    /// * [`PlatformError::HttpStatus`] if the service rejects the request.
+    pub fn request(&self, path: &str, body: Option<&[u8]>) -> Result<Vec<u8>, PlatformError> {
+        if !self.is_online() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(PlatformError::NetworkUnavailable);
+        }
+        match self.service.handle(path, body) {
+            Ok(data) => {
+                precise_delay(self.profile.transfer_cost(data.len() + body.map_or(0, |b| b.len())));
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(data)
+            }
+            Err(status) => {
+                precise_delay(self.profile.transfer_cost(0));
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(PlatformError::HttpStatus(status))
+            }
+        }
+    }
+
+    /// Transfer statistics accumulated so far.
+    pub fn stats(&self) -> RemoteStats {
+        RemoteStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            bytes_transferred: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint_with(path: &str, data: &[u8]) -> RemoteEndpoint {
+        let files = StaticFiles::new();
+        files.insert(path, data.to_vec());
+        RemoteEndpoint::with_static_files(files, NetworkProfile::instant())
+    }
+
+    #[test]
+    fn fetch_returns_file_contents() {
+        let ep = endpoint_with("/texlive/article.cls", b"\\ProvidesClass{article}");
+        let data = ep.fetch("/texlive/article.cls").unwrap();
+        assert_eq!(data, b"\\ProvidesClass{article}");
+        assert_eq!(ep.stats().requests, 1);
+        assert_eq!(ep.stats().bytes_transferred, data.len() as u64);
+    }
+
+    #[test]
+    fn missing_file_is_a_404() {
+        let ep = endpoint_with("/a", b"x");
+        assert!(matches!(ep.fetch("/b"), Err(PlatformError::HttpStatus(404))));
+        assert_eq!(ep.stats().failures, 1);
+    }
+
+    #[test]
+    fn offline_endpoint_is_unreachable() {
+        let ep = endpoint_with("/a", b"x");
+        ep.set_online(false);
+        assert!(matches!(ep.fetch("/a"), Err(PlatformError::NetworkUnavailable)));
+        ep.set_online(true);
+        assert!(ep.fetch("/a").is_ok());
+    }
+
+    #[test]
+    fn paths_are_normalized() {
+        let files = StaticFiles::new();
+        files.insert("no/leading/slash.txt", b"1".to_vec());
+        assert_eq!(files.len(), 1);
+        assert!(!files.is_empty());
+        let ep = RemoteEndpoint::with_static_files(files, NetworkProfile::instant());
+        assert!(ep.fetch("/no/leading/slash.txt").is_ok());
+        assert!(ep.fetch("no/leading/slash.txt").is_ok());
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_size_and_latency() {
+        let profile = NetworkProfile::ec2();
+        let small = profile.transfer_cost(100);
+        let large = profile.transfer_cost(10_000_000);
+        assert!(large > small);
+        assert!(small >= profile.round_trip);
+        assert_eq!(NetworkProfile::instant().transfer_cost(10_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn custom_service_handles_posts() {
+        struct Upper;
+        impl RemoteService for Upper {
+            fn handle(&self, path: &str, body: Option<&[u8]>) -> Result<Vec<u8>, u16> {
+                if path != "/upper" {
+                    return Err(404);
+                }
+                let body = body.ok_or(400u16)?;
+                Ok(body.to_ascii_uppercase())
+            }
+        }
+        let ep = RemoteEndpoint::new(Arc::new(Upper), NetworkProfile::instant());
+        assert_eq!(ep.request("/upper", Some(b"meme")).unwrap(), b"MEME");
+        assert!(matches!(ep.request("/upper", None), Err(PlatformError::HttpStatus(400))));
+    }
+
+    #[test]
+    fn static_files_listing_is_sorted() {
+        let files = StaticFiles::new();
+        files.insert("/b", vec![2]);
+        files.insert("/a", vec![1]);
+        assert_eq!(files.paths(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+}

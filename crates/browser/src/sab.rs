@@ -1,0 +1,284 @@
+//! `SharedArrayBuffer` and `Atomics`.
+//!
+//! Synchronous Browsix system calls share a view of the process's heap with
+//! the kernel: the process writes its arguments into the shared buffer, posts
+//! a tiny integer-only message, and blocks in `Atomics.wait` on an agreed wake
+//! address until the kernel stores the system call's return value and calls
+//! `Atomics.notify`.  This module provides that machinery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::PlatformError;
+
+/// Result of an [`SharedArrayBuffer::wait`] call, mirroring the strings
+/// returned by `Atomics.wait` ("ok", "not-equal", "timed-out").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicsWaitResult {
+    /// The waiter was woken by a notify.
+    Ok,
+    /// The value at the address did not match the expected value.
+    NotEqual,
+    /// The wait timed out before a notify arrived.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct SabState {
+    data: Vec<u8>,
+    /// Monotonic per-address notification counters; a waiter records the
+    /// counter before sleeping and wakes once it changes.
+    notify_seq: std::collections::HashMap<usize, u64>,
+}
+
+#[derive(Debug)]
+struct SabInner {
+    state: Mutex<SabState>,
+    cond: Condvar,
+}
+
+/// A block of memory shared between a worker and the kernel.
+///
+/// Cloning a `SharedArrayBuffer` produces another handle to the *same*
+/// memory, exactly like transferring a `SharedArrayBuffer` over
+/// `postMessage` in the browser.
+#[derive(Debug, Clone)]
+pub struct SharedArrayBuffer {
+    inner: Arc<SabInner>,
+}
+
+impl SharedArrayBuffer {
+    /// Allocates a zero-filled shared buffer of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        SharedArrayBuffer {
+            inner: Arc::new(SabInner {
+                state: Mutex::new(SabState {
+                    data: vec![0; len],
+                    notify_seq: std::collections::HashMap::new(),
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().data.len()
+    }
+
+    /// Whether the buffer has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether two handles refer to the same underlying memory.
+    pub fn same_buffer(&self, other: &SharedArrayBuffer) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn check_bounds(&self, offset: usize, len: usize, capacity: usize) -> Result<(), PlatformError> {
+        if offset.checked_add(len).map(|end| end <= capacity).unwrap_or(false) {
+            Ok(())
+        } else {
+            Err(PlatformError::OutOfBounds { offset, len, capacity })
+        }
+    }
+
+    /// Copies `src` into the buffer at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the write would exceed the
+    /// buffer's capacity.
+    pub fn write_bytes(&self, offset: usize, src: &[u8]) -> Result<(), PlatformError> {
+        let mut state = self.inner.state.lock();
+        let capacity = state.data.len();
+        self.check_bounds(offset, src.len(), capacity)?;
+        state.data[offset..offset + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the read would exceed the
+    /// buffer's capacity.
+    pub fn read_bytes(&self, offset: usize, len: usize) -> Result<Vec<u8>, PlatformError> {
+        let state = self.inner.state.lock();
+        self.check_bounds(offset, len, state.data.len())?;
+        Ok(state.data[offset..offset + len].to_vec())
+    }
+
+    /// Stores a little-endian `i32` at byte offset `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the store is out of range.
+    pub fn store_i32(&self, offset: usize, value: i32) -> Result<(), PlatformError> {
+        self.write_bytes(offset, &value.to_le_bytes())
+    }
+
+    /// Loads a little-endian `i32` from byte offset `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the load is out of range.
+    pub fn load_i32(&self, offset: usize) -> Result<i32, PlatformError> {
+        let bytes = self.read_bytes(offset, 4)?;
+        Ok(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// `Atomics.wait`: blocks until the value at byte offset `offset` is
+    /// changed *and* notified, the value differs from `expected` on entry, or
+    /// the optional timeout expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if `offset` is out of range.
+    pub fn wait(
+        &self,
+        offset: usize,
+        expected: i32,
+        timeout: Option<Duration>,
+    ) -> Result<AtomicsWaitResult, PlatformError> {
+        let mut state = self.inner.state.lock();
+        self.check_bounds(offset, 4, state.data.len())?;
+        let current = i32::from_le_bytes([
+            state.data[offset],
+            state.data[offset + 1],
+            state.data[offset + 2],
+            state.data[offset + 3],
+        ]);
+        if current != expected {
+            return Ok(AtomicsWaitResult::NotEqual);
+        }
+        let observed_seq = state.notify_seq.get(&offset).copied().unwrap_or(0);
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            match deadline {
+                Some(deadline) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Ok(AtomicsWaitResult::TimedOut);
+                    }
+                    let result = self.inner.cond.wait_for(&mut state, deadline - now);
+                    let seq = state.notify_seq.get(&offset).copied().unwrap_or(0);
+                    if seq != observed_seq {
+                        return Ok(AtomicsWaitResult::Ok);
+                    }
+                    if result.timed_out() {
+                        return Ok(AtomicsWaitResult::TimedOut);
+                    }
+                }
+                None => {
+                    self.inner.cond.wait(&mut state);
+                    let seq = state.notify_seq.get(&offset).copied().unwrap_or(0);
+                    if seq != observed_seq {
+                        return Ok(AtomicsWaitResult::Ok);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Atomics.notify`: wakes waiters blocked on byte offset `offset`.
+    ///
+    /// Returns the nominal wake count (the simulation wakes all waiters on the
+    /// address and lets them re-check their condition, which is a valid
+    /// implementation of the specification).
+    pub fn notify(&self, offset: usize, _count: u32) -> usize {
+        let mut state = self.inner.state.lock();
+        *state.notify_seq.entry(offset).or_insert(0) += 1;
+        self.inner.cond.notify_all();
+        1
+    }
+
+    /// Atomically stores `value` at `offset` and notifies waiters on that
+    /// address — the kernel-side "complete a synchronous system call" step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the store is out of range.
+    pub fn store_and_notify(&self, offset: usize, value: i32) -> Result<(), PlatformError> {
+        {
+            let mut state = self.inner.state.lock();
+            let capacity = state.data.len();
+            self.check_bounds(offset, 4, capacity)?;
+            let bytes = value.to_le_bytes();
+            state.data[offset..offset + 4].copy_from_slice(&bytes);
+            *state.notify_seq.entry(offset).or_insert(0) += 1;
+        }
+        self.inner.cond.notify_all();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn read_write_round_trip() {
+        let sab = SharedArrayBuffer::new(64);
+        sab.write_bytes(8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(sab.read_bytes(8, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(sab.len(), 64);
+        assert!(!sab.is_empty());
+    }
+
+    #[test]
+    fn i32_round_trip() {
+        let sab = SharedArrayBuffer::new(16);
+        sab.store_i32(4, -1234).unwrap();
+        assert_eq!(sab.load_i32(4).unwrap(), -1234);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let sab = SharedArrayBuffer::new(8);
+        assert!(sab.write_bytes(6, &[0; 4]).is_err());
+        assert!(sab.read_bytes(9, 1).is_err());
+        assert!(sab.load_i32(5).is_err());
+        assert!(sab.wait(6, 0, None).is_err());
+    }
+
+    #[test]
+    fn wait_returns_not_equal_when_value_differs() {
+        let sab = SharedArrayBuffer::new(16);
+        sab.store_i32(0, 7).unwrap();
+        assert_eq!(sab.wait(0, 0, None).unwrap(), AtomicsWaitResult::NotEqual);
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let sab = SharedArrayBuffer::new(16);
+        let result = sab.wait(0, 0, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(result, AtomicsWaitResult::TimedOut);
+    }
+
+    #[test]
+    fn notify_wakes_waiter_across_threads() {
+        let sab = SharedArrayBuffer::new(16);
+        let waiter = sab.clone();
+        let handle = thread::spawn(move || waiter.wait(0, 0, Some(Duration::from_secs(5))).unwrap());
+        // Give the waiter a moment to block, then complete the "syscall".
+        thread::sleep(Duration::from_millis(20));
+        sab.store_and_notify(0, 1).unwrap();
+        assert_eq!(handle.join().unwrap(), AtomicsWaitResult::Ok);
+        assert_eq!(sab.load_i32(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn clones_share_memory() {
+        let sab = SharedArrayBuffer::new(8);
+        let other = sab.clone();
+        sab.store_i32(0, 99).unwrap();
+        assert_eq!(other.load_i32(0).unwrap(), 99);
+        assert!(sab.same_buffer(&other));
+        assert!(!sab.same_buffer(&SharedArrayBuffer::new(8)));
+    }
+}

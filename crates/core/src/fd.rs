@@ -1,0 +1,287 @@
+//! File descriptors and per-task descriptor tables.
+//!
+//! Each Browsix task owns a map of open file descriptors.  Child processes
+//! inherit their parent's descriptor table, and the kernel manages each
+//! underlying object (file, directory, pipe or socket) with reference
+//! counting — here expressed as shared [`OpenFile`] descriptions behind
+//! `Arc`s, exactly like Unix "open file descriptions" shared by `dup` and
+//! inheritance.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use browsix_fs::{Errno, OpenFlags};
+
+use crate::pipe::PipeId;
+use crate::socket::ConnectionId;
+
+/// A file-descriptor number.
+pub type Fd = i32;
+
+/// Which side of a socket connection a descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketSide {
+    /// The side that called `connect`.
+    Client,
+    /// The side returned by `accept`.
+    Server,
+}
+
+/// What an open descriptor refers to.
+#[derive(Debug, Clone)]
+pub enum FileKind {
+    /// A regular file in the shared file system.
+    File {
+        /// Absolute path of the file.
+        path: String,
+        /// Flags it was opened with.
+        flags: OpenFlags,
+    },
+    /// An open directory (usable with `fstat`/`getdents`).
+    Directory {
+        /// Absolute path of the directory.
+        path: String,
+    },
+    /// The read end of a pipe.
+    PipeReader {
+        /// Kernel pipe id.
+        pipe: PipeId,
+    },
+    /// The write end of a pipe.
+    PipeWriter {
+        /// Kernel pipe id.
+        pipe: PipeId,
+    },
+    /// An unbound/unconnected TCP socket.
+    Socket {
+        /// Port it has been bound to, if any.
+        bound_port: Option<u16>,
+    },
+    /// A listening TCP socket.
+    SocketListener {
+        /// The port being listened on.
+        port: u16,
+    },
+    /// One endpoint of an established connection.
+    SocketStream {
+        /// Kernel connection id.
+        connection: ConnectionId,
+        /// Which side of the connection this is.
+        side: SocketSide,
+    },
+    /// A sink owned by the embedding web application (the stdout/stderr
+    /// callbacks passed to `kernel.system(...)`).
+    HostSink {
+        /// Host stream id.
+        stream: u64,
+    },
+    /// `/dev/null`-style descriptor: reads return EOF, writes are discarded.
+    Null,
+}
+
+/// A shared "open file description": the object a descriptor number points
+/// at.  `dup`, `dup2` and child inheritance all share the same description,
+/// which is how they share a file offset.
+#[derive(Debug)]
+pub struct OpenFile {
+    kind: Mutex<FileKind>,
+    offset: Mutex<u64>,
+}
+
+impl OpenFile {
+    /// Creates a description with offset zero.
+    pub fn new(kind: FileKind) -> Arc<OpenFile> {
+        Arc::new(OpenFile { kind: Mutex::new(kind), offset: Mutex::new(0) })
+    }
+
+    /// What this description refers to.
+    pub fn kind(&self) -> FileKind {
+        self.kind.lock().clone()
+    }
+
+    /// Replaces what this description refers to (sockets transition from
+    /// unbound to bound to listening to connected in place, so `dup`ed copies
+    /// observe the change).
+    pub fn set_kind(&self, kind: FileKind) {
+        *self.kind.lock() = kind;
+    }
+
+    /// Current file offset (meaningful for regular files only).
+    pub fn offset(&self) -> u64 {
+        *self.offset.lock()
+    }
+
+    /// Sets the file offset.
+    pub fn set_offset(&self, offset: u64) {
+        *self.offset.lock() = offset;
+    }
+
+    /// Advances the file offset by `delta` and returns the new value.
+    pub fn advance_offset(&self, delta: u64) -> u64 {
+        let mut offset = self.offset.lock();
+        *offset += delta;
+        *offset
+    }
+}
+
+/// A per-task table of descriptor numbers.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    entries: BTreeMap<Fd, Arc<OpenFile>>,
+}
+
+impl FdTable {
+    /// Creates an empty table.
+    pub fn new() -> FdTable {
+        FdTable::default()
+    }
+
+    /// Installs `file` at the lowest free descriptor number at or above
+    /// `min`, returning the number (the POSIX allocation rule).
+    pub fn insert(&mut self, file: Arc<OpenFile>, min: Fd) -> Fd {
+        let mut fd = min.max(0);
+        while self.entries.contains_key(&fd) {
+            fd += 1;
+        }
+        self.entries.insert(fd, file);
+        fd
+    }
+
+    /// Installs `file` at exactly `fd`, replacing any existing entry
+    /// (`dup2` semantics).
+    pub fn insert_at(&mut self, fd: Fd, file: Arc<OpenFile>) {
+        self.entries.insert(fd, file);
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] if the descriptor is not open.
+    pub fn get(&self, fd: Fd) -> Result<Arc<OpenFile>, Errno> {
+        self.entries.get(&fd).cloned().ok_or(Errno::EBADF)
+    }
+
+    /// Removes a descriptor, returning its description.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] if the descriptor is not open.
+    pub fn remove(&mut self, fd: Fd) -> Result<Arc<OpenFile>, Errno> {
+        self.entries.remove(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Whether `fd` is open.
+    pub fn contains(&self, fd: Fd) -> bool {
+        self.entries.contains_key(&fd)
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(fd, description)` pairs in ascending fd order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &Arc<OpenFile>)> {
+        self.entries.iter().map(|(fd, file)| (*fd, file))
+    }
+
+    /// Clones the table, sharing every description — what `fork`/`spawn`
+    /// inheritance does.
+    pub fn inherit(&self) -> FdTable {
+        FdTable { entries: self.entries.clone() }
+    }
+
+    /// Removes every descriptor (process exit).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null_file() -> Arc<OpenFile> {
+        OpenFile::new(FileKind::Null)
+    }
+
+    #[test]
+    fn insert_allocates_lowest_free_descriptor() {
+        let mut table = FdTable::new();
+        assert_eq!(table.insert(null_file(), 0), 0);
+        assert_eq!(table.insert(null_file(), 0), 1);
+        assert_eq!(table.insert(null_file(), 0), 2);
+        table.remove(1).unwrap();
+        assert_eq!(table.insert(null_file(), 0), 1);
+        assert_eq!(table.insert(null_file(), 10), 10);
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn get_and_remove_unknown_fd_is_ebadf() {
+        let mut table = FdTable::new();
+        assert_eq!(table.get(5).err(), Some(Errno::EBADF));
+        assert_eq!(table.remove(5).err(), Some(Errno::EBADF));
+    }
+
+    #[test]
+    fn dup_shares_the_offset() {
+        let mut table = FdTable::new();
+        let file = OpenFile::new(FileKind::File {
+            path: "/data".into(),
+            flags: OpenFlags::read_only(),
+        });
+        let fd = table.insert(file.clone(), 0);
+        let dup_fd = table.insert(table.get(fd).unwrap(), 0);
+        table.get(fd).unwrap().set_offset(100);
+        assert_eq!(table.get(dup_fd).unwrap().offset(), 100);
+        table.get(dup_fd).unwrap().advance_offset(5);
+        assert_eq!(table.get(fd).unwrap().offset(), 105);
+    }
+
+    #[test]
+    fn insert_at_replaces_existing_entry() {
+        let mut table = FdTable::new();
+        let first = null_file();
+        let second = OpenFile::new(FileKind::PipeReader { pipe: 3 });
+        table.insert_at(1, first);
+        table.insert_at(1, second);
+        assert!(matches!(table.get(1).unwrap().kind(), FileKind::PipeReader { pipe: 3 }));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn inherit_shares_descriptions() {
+        let mut parent = FdTable::new();
+        let file = OpenFile::new(FileKind::File {
+            path: "/shared".into(),
+            flags: OpenFlags::read_write(),
+        });
+        parent.insert_at(0, file.clone());
+        let child = parent.inherit();
+        child.get(0).unwrap().set_offset(42);
+        assert_eq!(parent.get(0).unwrap().offset(), 42);
+        assert!(Arc::ptr_eq(&parent.get(0).unwrap(), &child.get(0).unwrap()));
+    }
+
+    #[test]
+    fn iter_is_in_fd_order_and_clear_empties() {
+        let mut table = FdTable::new();
+        table.insert_at(2, null_file());
+        table.insert_at(0, null_file());
+        table.insert_at(1, null_file());
+        let fds: Vec<Fd> = table.iter().map(|(fd, _)| fd).collect();
+        assert_eq!(fds, vec![0, 1, 2]);
+        assert!(!table.is_empty());
+        table.clear();
+        assert!(table.is_empty());
+    }
+}

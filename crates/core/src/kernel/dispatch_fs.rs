@@ -1,0 +1,437 @@
+//! File and directory system-call handlers.
+//!
+//! These map almost one-to-one onto the shared file system: Browsix
+//! "implements system calls that operate on paths, like `open` and `stat`, as
+//! method calls to the kernel's BrowserFS instance", and descriptor-based
+//! calls look the descriptor up in the task's file map first.
+
+use browsix_fs::{Errno, FileSystem, FileType, Metadata, OpenFlags};
+
+use crate::fd::{Fd, FileKind, OpenFile};
+use crate::kernel::{KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::signals::Signal;
+use crate::syscall::{ByteSource, SysResult};
+use crate::task::Pid;
+
+impl KernelState {
+    pub(crate) fn sys_open(&mut self, pid: Pid, path: String, flags: OpenFlags, mode: u32) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        let meta = match self.fs().stat(&path) {
+            Ok(meta) => {
+                if flags.create && flags.exclusive {
+                    return Outcome::Complete(SysResult::Err(Errno::EEXIST));
+                }
+                Some(meta)
+            }
+            Err(Errno::ENOENT) if flags.create => {
+                if let Err(e) = self.fs().create(&path, mode & 0o7777) {
+                    return Outcome::Complete(SysResult::Err(e));
+                }
+                None
+            }
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let is_dir = meta.map(|m| m.is_dir()).unwrap_or(false);
+        if is_dir {
+            if flags.write {
+                return Outcome::Complete(SysResult::Err(Errno::EISDIR));
+            }
+            let file = OpenFile::new(FileKind::Directory { path });
+            let fd = match self.task_mut(pid) {
+                Ok(task) => task.files.insert(file, 0),
+                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            };
+            return Outcome::Complete(SysResult::Int(fd as i64));
+        }
+        if flags.truncate && flags.write {
+            if let Err(e) = self.fs().truncate(&path, 0) {
+                return Outcome::Complete(SysResult::Err(e));
+            }
+        }
+        let file = OpenFile::new(FileKind::File { path: path.clone(), flags });
+        if flags.append {
+            if let Ok(meta) = self.fs().stat(&path) {
+                file.set_offset(meta.size);
+            }
+        }
+        let fd = match self.task_mut(pid) {
+            Ok(task) => task.files.insert(file, 0),
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        Outcome::Complete(SysResult::Int(fd as i64))
+    }
+
+    pub(crate) fn sys_close(&mut self, pid: Pid, fd: Fd) -> Outcome {
+        let removed = match self.task_mut(pid) {
+            Ok(task) => task.files.remove(fd),
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match removed {
+            Ok(file) => {
+                if let FileKind::SocketListener { port } = file.kind() {
+                    self.sockets_mut().close_listener(port);
+                }
+                self.recompute_endpoints();
+                Outcome::Complete(SysResult::Ok)
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    /// Attempts a read; `Ok(None)` means "would block".
+    pub(crate) fn try_read_fd(&mut self, pid: Pid, fd: Fd, len: usize) -> Result<Option<Vec<u8>>, Errno> {
+        let file = self.task(pid)?.files.get(fd)?;
+        match file.kind() {
+            FileKind::File { path, flags } => {
+                if !flags.read {
+                    return Err(Errno::EBADF);
+                }
+                let offset = file.offset();
+                let data = self.fs().read_at(&path, offset, len)?;
+                file.advance_offset(data.len() as u64);
+                Ok(Some(data))
+            }
+            FileKind::Directory { .. } => Err(Errno::EISDIR),
+            FileKind::Null => Ok(Some(Vec::new())),
+            FileKind::HostSink { .. } | FileKind::PipeWriter { .. } => Err(Errno::EBADF),
+            FileKind::Socket { .. } | FileKind::SocketListener { .. } => Err(Errno::ENOTCONN),
+            FileKind::PipeReader { pipe } => self.try_read_pipe(pipe, len),
+            FileKind::SocketStream { connection, side } => {
+                let conn = self.sockets().connection(connection).ok_or(Errno::ENOTCONN)?;
+                let pipe = match side {
+                    crate::fd::SocketSide::Client => conn.server_to_client,
+                    crate::fd::SocketSide::Server => conn.client_to_server,
+                };
+                self.try_read_pipe(pipe, len)
+            }
+        }
+    }
+
+    fn try_read_pipe(&mut self, pipe_id: crate::pipe::PipeId, len: usize) -> Result<Option<Vec<u8>>, Errno> {
+        let Some(pipe) = self.pipes_mut().get_mut(pipe_id) else {
+            // All endpoints (including the buffer) are gone: read EOF.
+            return Ok(Some(Vec::new()));
+        };
+        if !pipe.is_empty() {
+            return Ok(Some(pipe.pop(len)));
+        }
+        if pipe.write_end_closed() {
+            return Ok(Some(Vec::new()));
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn sys_read(&mut self, pid: Pid, reply: ReplyTo, fd: Fd, len: usize) -> Outcome {
+        match self.try_read_fd(pid, fd, len) {
+            Ok(Some(data)) => Outcome::Complete(SysResult::Data(data)),
+            Ok(None) => {
+                self.push_pending(PendingSyscall { pid, reply, kind: PendingKind::Read { fd, len } });
+                Outcome::Blocked
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_pread(&mut self, pid: Pid, fd: Fd, len: usize, offset: u64) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::File { path, flags } => {
+                if !flags.read {
+                    return Outcome::Complete(SysResult::Err(Errno::EBADF));
+                }
+                match self.fs().read_at(&path, offset, len) {
+                    Ok(data) => Outcome::Complete(SysResult::Data(data)),
+                    Err(e) => Outcome::Complete(SysResult::Err(e)),
+                }
+            }
+            FileKind::Directory { .. } => Outcome::Complete(SysResult::Err(Errno::EISDIR)),
+            _ => Outcome::Complete(SysResult::Err(Errno::ESPIPE)),
+        }
+    }
+
+    /// Materialises a [`ByteSource`]: inline bytes are used as-is, shared-heap
+    /// references are copied directly out of the process's registered heap.
+    pub(crate) fn resolve_bytes(&self, pid: Pid, data: &ByteSource) -> Result<Vec<u8>, Errno> {
+        match data {
+            ByteSource::Inline(bytes) => Ok(bytes.clone()),
+            ByteSource::SharedHeap { offset, len } => {
+                let task = self.task(pid)?;
+                let heap = task.sync_heap.as_ref().ok_or(Errno::EFAULT)?;
+                heap.sab
+                    .read_bytes(*offset as usize, *len as usize)
+                    .map_err(|_| Errno::EFAULT)
+            }
+        }
+    }
+
+    /// Attempts to write `data` to `fd`.  Returns the number of bytes accepted
+    /// so far and whether the write is complete; pipe writes may need to wait
+    /// for space.
+    pub(crate) fn try_write_fd(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<(usize, bool), Errno> {
+        let file = self.task(pid)?.files.get(fd)?;
+        match file.kind() {
+            FileKind::File { path, flags } => {
+                if !flags.write {
+                    return Err(Errno::EBADF);
+                }
+                let offset = if flags.append {
+                    self.fs().stat(&path).map(|m| m.size).unwrap_or(0)
+                } else {
+                    file.offset()
+                };
+                let written = self.fs().write_at(&path, offset, data)?;
+                file.set_offset(offset + written as u64);
+                Ok((written, true))
+            }
+            FileKind::Directory { .. } => Err(Errno::EISDIR),
+            FileKind::Null => Ok((data.len(), true)),
+            FileKind::HostSink { stream } => {
+                if let Some(sink) = self.host_sink(stream) {
+                    sink(data);
+                }
+                Ok((data.len(), true))
+            }
+            FileKind::PipeReader { .. } => Err(Errno::EBADF),
+            FileKind::Socket { .. } | FileKind::SocketListener { .. } => Err(Errno::ENOTCONN),
+            FileKind::PipeWriter { pipe } => self.try_write_pipe(pid, pipe, data),
+            FileKind::SocketStream { connection, side } => {
+                let conn = self.sockets().connection(connection).ok_or(Errno::ENOTCONN)?;
+                let pipe = match side {
+                    crate::fd::SocketSide::Client => conn.client_to_server,
+                    crate::fd::SocketSide::Server => conn.server_to_client,
+                };
+                self.try_write_pipe(pid, pipe, data)
+            }
+        }
+    }
+
+    fn try_write_pipe(
+        &mut self,
+        pid: Pid,
+        pipe_id: crate::pipe::PipeId,
+        data: &[u8],
+    ) -> Result<(usize, bool), Errno> {
+        let read_closed = match self.pipes().get(pipe_id) {
+            Some(pipe) => pipe.read_end_closed(),
+            None => return Err(Errno::EPIPE),
+        };
+        if read_closed {
+            // Writing to a pipe nobody will read delivers SIGPIPE, as on Unix.
+            let _ = self.deliver_signal(pid, Signal::SIGPIPE);
+            return Err(Errno::EPIPE);
+        }
+        let pipe = self.pipes_mut().get_mut(pipe_id).ok_or(Errno::EPIPE)?;
+        let written = pipe.push(data);
+        Ok((written, written == data.len()))
+    }
+
+    pub(crate) fn sys_write(&mut self, pid: Pid, reply: ReplyTo, fd: Fd, data: ByteSource) -> Outcome {
+        let bytes = match self.resolve_bytes(pid, &data) {
+            Ok(bytes) => bytes,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let total = bytes.len();
+        match self.try_write_fd(pid, fd, &bytes) {
+            Ok((_, true)) => Outcome::Complete(SysResult::Int(total as i64)),
+            Ok((written, false)) => {
+                self.push_pending(PendingSyscall {
+                    pid,
+                    reply,
+                    kind: PendingKind::Write { fd, data: bytes, written },
+                });
+                Outcome::Blocked
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_pwrite(&mut self, pid: Pid, fd: Fd, data: ByteSource, offset: u64) -> Outcome {
+        let bytes = match self.resolve_bytes(pid, &data) {
+            Ok(bytes) => bytes,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::File { path, flags } => {
+                if !flags.write {
+                    return Outcome::Complete(SysResult::Err(Errno::EBADF));
+                }
+                match self.fs().write_at(&path, offset, &bytes) {
+                    Ok(written) => Outcome::Complete(SysResult::Int(written as i64)),
+                    Err(e) => Outcome::Complete(SysResult::Err(e)),
+                }
+            }
+            _ => Outcome::Complete(SysResult::Err(Errno::ESPIPE)),
+        }
+    }
+
+    pub(crate) fn sys_seek(&mut self, pid: Pid, fd: Fd, offset: i64, whence: u32) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let (path, _flags) = match file.kind() {
+            FileKind::File { path, flags } => (path, flags),
+            FileKind::Directory { path } => (path, OpenFlags::read_only()),
+            _ => return Outcome::Complete(SysResult::Err(Errno::ESPIPE)),
+        };
+        let base: i64 = match whence {
+            0 => 0,
+            1 => file.offset() as i64,
+            2 => match self.fs().stat(&path) {
+                Ok(meta) => meta.size as i64,
+                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            },
+            _ => return Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Outcome::Complete(SysResult::Err(Errno::EINVAL));
+        }
+        file.set_offset(target as u64);
+        Outcome::Complete(SysResult::Int(target))
+    }
+
+    pub(crate) fn sys_dup(&mut self, pid: Pid, fd: Fd) -> Outcome {
+        let task = match self.task_mut(pid) {
+            Ok(task) => task,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match task.files.get(fd) {
+            Ok(file) => {
+                let new_fd = task.files.insert(file, 0);
+                self.recompute_endpoints();
+                Outcome::Complete(SysResult::Int(new_fd as i64))
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_dup2(&mut self, pid: Pid, from: Fd, to: Fd) -> Outcome {
+        if to < 0 {
+            return Outcome::Complete(SysResult::Err(Errno::EBADF));
+        }
+        let task = match self.task_mut(pid) {
+            Ok(task) => task,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match task.files.get(from) {
+            Ok(file) => {
+                if from != to {
+                    task.files.insert_at(to, file);
+                }
+                self.recompute_endpoints();
+                Outcome::Complete(SysResult::Int(to as i64))
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_unlink(&mut self, pid: Pid, path: String) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().unlink(&path) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_truncate(&mut self, pid: Pid, path: String, size: u64) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().truncate(&path, size) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_rename(&mut self, pid: Pid, from: String, to: String) -> Outcome {
+        let from = self.resolve_path(pid, &from);
+        let to = self.resolve_path(pid, &to);
+        Outcome::Complete(match self.fs().rename(&from, &to) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_readdir(&mut self, pid: Pid, path: String) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().read_dir(&path) {
+            Ok(entries) => SysResult::Entries(entries),
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_mkdir(&mut self, pid: Pid, path: String, _mode: u32) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().mkdir(&path) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_rmdir(&mut self, pid: Pid, path: String) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().rmdir(&path) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_stat(&mut self, pid: Pid, path: String) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().stat(&path) {
+            Ok(meta) => SysResult::Stat(meta),
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_fstat(&mut self, pid: Pid, fd: Fd) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let meta = match file.kind() {
+            FileKind::File { path, .. } | FileKind::Directory { path } => match self.fs().stat(&path) {
+                Ok(meta) => meta,
+                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            },
+            // Pipes, sockets and sinks report a character-device-like stat.
+            _ => Metadata {
+                file_type: FileType::Regular,
+                size: 0,
+                mode: 0o600,
+                mtime_ms: 0,
+                atime_ms: 0,
+            },
+        };
+        Outcome::Complete(SysResult::Stat(meta))
+    }
+
+    pub(crate) fn sys_access(&mut self, pid: Pid, path: String, _mode: u32) -> Outcome {
+        // Browsix has no users: access reduces to an existence check, with the
+        // browser sandbox standing in for permissions (§3.1 of the paper).
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().stat(&path) {
+            Ok(_) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_utimes(&mut self, pid: Pid, path: String, atime_ms: u64, mtime_ms: u64) -> Outcome {
+        let path = self.resolve_path(pid, &path);
+        Outcome::Complete(match self.fs().set_times(&path, atime_ms, mtime_ms) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+}

@@ -1,0 +1,248 @@
+//! Process-management system-call handlers: spawn, fork, pipe2, wait4, exit,
+//! kill, signal registration and the process-metadata calls.
+
+use std::sync::Arc;
+
+use browsix_fs::{Errno, FileSystem};
+
+use crate::exec::ForkImage;
+use crate::fd::{FileKind, OpenFile};
+use crate::kernel::{KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::signals::Signal;
+use crate::syscall::{encode_wait_status, SysResult};
+use crate::task::Pid;
+
+/// `wait4` option bit: return immediately when no child has exited.
+pub const WNOHANG: u32 = 1;
+
+impl KernelState {
+    pub(crate) fn sys_spawn(
+        &mut self,
+        pid: Pid,
+        path: String,
+        args: Vec<String>,
+        env: Vec<(String, String)>,
+        cwd: Option<String>,
+        stdio: [Option<i32>; 3],
+    ) -> Outcome {
+        let parent = match self.task(pid) {
+            Ok(task) => task,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let parent_cwd = parent.cwd.clone();
+        let parent_env = parent.env.clone();
+        let child_cwd = cwd
+            .map(|c| browsix_fs::path::resolve(&parent_cwd, &c))
+            .unwrap_or(parent_cwd.clone());
+        let exe_path = browsix_fs::path::resolve(&parent_cwd, &path);
+
+        // Assemble the child's stdin/stdout/stderr: an explicit parent fd, or
+        // inherit the parent's descriptor of the same number, or /dev/null.
+        let mut child_stdio: Vec<Arc<OpenFile>> = Vec::with_capacity(3);
+        for (i, slot) in stdio.iter().enumerate() {
+            let source_fd = slot.unwrap_or(i as i32);
+            let file = self
+                .task(pid)
+                .ok()
+                .and_then(|t| t.files.get(source_fd).ok())
+                .unwrap_or_else(|| OpenFile::new(FileKind::Null));
+            child_stdio.push(file);
+        }
+        let stdio_arr: [Arc<OpenFile>; 3] = [
+            child_stdio[0].clone(),
+            child_stdio[1].clone(),
+            child_stdio[2].clone(),
+        ];
+
+        // The child environment: parent's environment unless the caller
+        // supplied one explicitly.
+        let child_env = if env.is_empty() { parent_env } else { env };
+
+        match self.spawn_process(pid, &exe_path, args, child_env, &child_cwd, stdio_arr, None, None) {
+            Ok(child) => Outcome::Complete(SysResult::Int(child as i64)),
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_fork(&mut self, pid: Pid, image: Vec<u8>, resume_point: u64) -> Outcome {
+        let parent = match self.task(pid) {
+            Ok(task) => task,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let Some(launcher) = parent.launcher.clone() else {
+            return Outcome::Complete(SysResult::Err(Errno::ENOSYS));
+        };
+        let exe_path = parent.exe_path.clone();
+        let args = parent.args.clone();
+        let env = parent.env.clone();
+        let cwd = parent.cwd.clone();
+        // The child inherits the parent's descriptor table (shared
+        // descriptions, exactly like fork on Unix).
+        let files = parent.files.inherit();
+        let stdio: [Arc<OpenFile>; 3] = [
+            files.get(0).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
+            files.get(1).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
+            files.get(2).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
+        ];
+        let fork_image = ForkImage { image, resume_point };
+        match self.spawn_process(
+            pid,
+            &exe_path,
+            args,
+            env,
+            &cwd,
+            stdio,
+            Some(fork_image),
+            Some(launcher),
+        ) {
+            Ok(child) => {
+                // Copy the rest of the parent's descriptors (beyond stdio)
+                // into the child, preserving numbers.
+                let extra: Vec<(i32, Arc<OpenFile>)> = files
+                    .iter()
+                    .filter(|(fd, _)| *fd > 2)
+                    .map(|(fd, file)| (fd, Arc::clone(file)))
+                    .collect();
+                if let Ok(child_task) = self.task_mut(child) {
+                    for (fd, file) in extra {
+                        child_task.files.insert_at(fd, file);
+                    }
+                }
+                self.recompute_endpoints();
+                Outcome::Complete(SysResult::Int(child as i64))
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_pipe2(&mut self, pid: Pid) -> Outcome {
+        let pipe_id = self.pipes_mut().create();
+        let reader = OpenFile::new(FileKind::PipeReader { pipe: pipe_id });
+        let writer = OpenFile::new(FileKind::PipeWriter { pipe: pipe_id });
+        let (read_fd, write_fd) = match self.task_mut(pid) {
+            Ok(task) => {
+                let read_fd = task.files.insert(reader, 0);
+                let write_fd = task.files.insert(writer, 0);
+                (read_fd, write_fd)
+            }
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        self.recompute_endpoints();
+        Outcome::Complete(SysResult::Pair(read_fd as i64, write_fd as i64))
+    }
+
+    /// Looks for a reapable zombie child of `pid` matching `target`
+    /// (-1 = any child).  Returns `Err(ECHILD)` if `pid` has no children at
+    /// all matching the request.
+    pub(crate) fn try_reap_child(&mut self, pid: Pid, target: i32) -> Result<Option<(Pid, i32)>, Errno> {
+        let children: Vec<Pid> = match self.task(pid) {
+            Ok(task) => task.children.clone(),
+            Err(e) => return Err(e),
+        };
+        let candidates: Vec<Pid> = children
+            .into_iter()
+            .filter(|&child| target < 0 || child == target as Pid)
+            .filter(|child| self.tasks_contains(*child))
+            .collect();
+        if candidates.is_empty() {
+            return Err(Errno::ECHILD);
+        }
+        for child in candidates {
+            let status = self.task(child).ok().and_then(|t| t.wait_status());
+            if let Some(status) = status {
+                self.remove_task(child);
+                if let Ok(parent) = self.task_mut(pid) {
+                    parent.children.retain(|&c| c != child);
+                }
+                return Ok(Some((child, status)));
+            }
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn sys_wait4(&mut self, pid: Pid, reply: ReplyTo, target: i32, options: u32) -> Outcome {
+        match self.try_reap_child(pid, target) {
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+            Ok(Some((child, status))) => Outcome::Complete(SysResult::Wait { pid: child, status }),
+            Ok(None) => {
+                if options & WNOHANG != 0 {
+                    Outcome::Complete(SysResult::Wait { pid: 0, status: 0 })
+                } else {
+                    self.push_pending(PendingSyscall {
+                        pid,
+                        reply,
+                        kind: PendingKind::Wait4 { target, options },
+                    });
+                    Outcome::Blocked
+                }
+            }
+        }
+    }
+
+    pub(crate) fn sys_exit(&mut self, pid: Pid, code: i32) -> Outcome {
+        self.finish_task(pid, encode_wait_status(Some(code), None));
+        Outcome::NoReply
+    }
+
+    pub(crate) fn sys_kill(&mut self, _caller: Pid, target: Pid, signal: Signal) -> Outcome {
+        Outcome::Complete(match self.deliver_signal(target, signal) {
+            Ok(()) => SysResult::Ok,
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_sigaction(&mut self, pid: Pid, signal: Signal, install: bool) -> Outcome {
+        if !signal.catchable() {
+            return Outcome::Complete(SysResult::Err(Errno::EINVAL));
+        }
+        match self.task_mut(pid) {
+            Ok(task) => {
+                if install {
+                    task.signal_handlers.insert(signal);
+                } else {
+                    task.signal_handlers.remove(&signal);
+                }
+                Outcome::Complete(SysResult::Ok)
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_getppid(&mut self, pid: Pid) -> Outcome {
+        Outcome::Complete(match self.task(pid) {
+            Ok(task) => SysResult::Int(task.ppid as i64),
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_getcwd(&mut self, pid: Pid) -> Outcome {
+        Outcome::Complete(match self.task(pid) {
+            Ok(task) => SysResult::Path(task.cwd.clone()),
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    pub(crate) fn sys_chdir(&mut self, pid: Pid, path: String) -> Outcome {
+        let resolved = self.resolve_path(pid, &path);
+        match self.fs().stat(&resolved) {
+            Ok(meta) if meta.is_dir() => {
+                if let Ok(task) = self.task_mut(pid) {
+                    task.cwd = resolved;
+                }
+                Outcome::Complete(SysResult::Ok)
+            }
+            Ok(_) => Outcome::Complete(SysResult::Err(Errno::ENOTDIR)),
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    // Small helpers kept here so the parent module stays readable.
+
+    pub(crate) fn tasks_contains(&self, pid: Pid) -> bool {
+        self.task(pid).is_ok()
+    }
+
+    pub(crate) fn remove_task(&mut self, pid: Pid) {
+        self.remove_task_impl(pid);
+    }
+}

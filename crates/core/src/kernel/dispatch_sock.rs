@@ -1,0 +1,182 @@
+//! Socket system-call handlers and the kernel-side HTTP client used by the
+//! `XMLHttpRequest`-like host API.
+
+use crossbeam::channel::Sender;
+
+use browsix_fs::Errno;
+use browsix_http::{HttpRequest, HttpResponse};
+
+use crate::fd::{Fd, FileKind, OpenFile, SocketSide};
+use crate::kernel::{HttpClientState, KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::syscall::SysResult;
+use crate::task::Pid;
+
+impl KernelState {
+    pub(crate) fn sys_socket(&mut self, pid: Pid) -> Outcome {
+        let file = OpenFile::new(FileKind::Socket { bound_port: None });
+        match self.task_mut(pid) {
+            Ok(task) => {
+                let fd = task.files.insert(file, 0);
+                Outcome::Complete(SysResult::Int(fd as i64))
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_bind(&mut self, pid: Pid, fd: Fd, port: u16) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::Socket { bound_port: None } => {
+                let port = if port == 0 { self.sockets_mut().allocate_port() } else { port };
+                if self.sockets().port_in_use(port) {
+                    return Outcome::Complete(SysResult::Err(Errno::EADDRINUSE));
+                }
+                file.set_kind(FileKind::Socket { bound_port: Some(port) });
+                Outcome::Complete(SysResult::Int(port as i64))
+            }
+            FileKind::Socket { bound_port: Some(_) } => Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+            _ => Outcome::Complete(SysResult::Err(Errno::ENOTSOCK)),
+        }
+    }
+
+    pub(crate) fn sys_getsockname(&mut self, pid: Pid, fd: Fd) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::Socket { bound_port: Some(port) } | FileKind::SocketListener { port } => {
+                Outcome::Complete(SysResult::Int(port as i64))
+            }
+            FileKind::SocketStream { connection, .. } => {
+                let port = self.sockets().connection(connection).map(|c| c.port).unwrap_or(0);
+                Outcome::Complete(SysResult::Int(port as i64))
+            }
+            FileKind::Socket { bound_port: None } => Outcome::Complete(SysResult::Int(0)),
+            _ => Outcome::Complete(SysResult::Err(Errno::ENOTSOCK)),
+        }
+    }
+
+    pub(crate) fn sys_listen(&mut self, pid: Pid, fd: Fd, backlog: u32) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::Socket { bound_port: Some(port) } => {
+                if let Err(e) = self.sockets_mut().listen(port, pid, backlog as usize) {
+                    return Outcome::Complete(SysResult::Err(e));
+                }
+                file.set_kind(FileKind::SocketListener { port });
+                // Socket notification: tell the embedding application a server
+                // is ready, so it never needs to poll (§4.1 of the paper).
+                self.notify_port_listen(port);
+                Outcome::Complete(SysResult::Ok)
+            }
+            FileKind::Socket { bound_port: None } => Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+            FileKind::SocketListener { .. } => Outcome::Complete(SysResult::Ok),
+            _ => Outcome::Complete(SysResult::Err(Errno::ENOTSOCK)),
+        }
+    }
+
+    /// Attempts to accept a pending connection on the listener behind `fd`.
+    /// Returns the new descriptor, or `None` if nothing is pending.
+    pub(crate) fn try_accept(&mut self, pid: Pid, fd: Fd) -> Result<Option<Fd>, Errno> {
+        let file = self.task(pid)?.files.get(fd)?;
+        let port = match file.kind() {
+            FileKind::SocketListener { port } => port,
+            FileKind::Socket { .. } => return Err(Errno::EINVAL),
+            _ => return Err(Errno::ENOTSOCK),
+        };
+        let Some(connection) = self.sockets_mut().accept(port) else {
+            return Ok(None);
+        };
+        let stream = OpenFile::new(FileKind::SocketStream { connection, side: SocketSide::Server });
+        let new_fd = self.task_mut(pid)?.files.insert(stream, 0);
+        self.recompute_endpoints();
+        Ok(Some(new_fd))
+    }
+
+    pub(crate) fn sys_accept(&mut self, pid: Pid, reply: ReplyTo, fd: Fd) -> Outcome {
+        match self.try_accept(pid, fd) {
+            Ok(Some(new_fd)) => Outcome::Complete(SysResult::Int(new_fd as i64)),
+            Ok(None) => {
+                self.push_pending(PendingSyscall { pid, reply, kind: PendingKind::Accept { fd } });
+                Outcome::Blocked
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_connect(&mut self, pid: Pid, fd: Fd, port: u16) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        match file.kind() {
+            FileKind::Socket { .. } => {}
+            FileKind::SocketStream { .. } => return Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+            _ => return Outcome::Complete(SysResult::Err(Errno::ENOTSOCK)),
+        }
+        if !self.sockets().port_in_use(port) {
+            return Outcome::Complete(SysResult::Err(Errno::ECONNREFUSED));
+        }
+        let client_to_server = self.pipes_mut().create();
+        let server_to_client = self.pipes_mut().create();
+        match self.sockets_mut().connect(port, client_to_server, server_to_client) {
+            Ok(connection) => {
+                file.set_kind(FileKind::SocketStream { connection, side: SocketSide::Client });
+                self.recompute_endpoints();
+                // A pending accept on the server side may now complete.
+                self.poll_pending();
+                Outcome::Complete(SysResult::Ok)
+            }
+            Err(e) => {
+                self.pipes_mut().remove(client_to_server);
+                self.pipes_mut().remove(server_to_client);
+                Outcome::Complete(SysResult::Err(e))
+            }
+        }
+    }
+
+    // ---- the XMLHttpRequest-like host API ------------------------------------
+
+    /// Starts an HTTP exchange with an in-Browsix server on behalf of the
+    /// embedding web application.
+    pub(crate) fn host_http_request(
+        &mut self,
+        port: u16,
+        request: HttpRequest,
+        reply: Sender<Result<HttpResponse, Errno>>,
+    ) {
+        if !self.sockets().port_in_use(port) {
+            let _ = reply.send(Err(Errno::ECONNREFUSED));
+            return;
+        }
+        let client_to_server = self.pipes_mut().create();
+        let server_to_client = self.pipes_mut().create();
+        match self.sockets_mut().connect(port, client_to_server, server_to_client) {
+            Ok(connection) => {
+                let client = HttpClientState {
+                    connection,
+                    to_send: request.serialize(),
+                    sent: 0,
+                    received: Vec::new(),
+                    reply,
+                };
+                self.http_clients.push(client);
+                self.recompute_endpoints();
+                self.poll_pending();
+                self.poll_http_clients();
+            }
+            Err(e) => {
+                self.pipes_mut().remove(client_to_server);
+                self.pipes_mut().remove(server_to_client);
+                let _ = reply.send(Err(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The kernel proper: state, event loop, process lifecycle and system-call
+//! dispatch.
+//!
+//! The kernel runs on its own thread (the analogue of the main browser
+//! thread) and owns every piece of shared state: the task table, the mounted
+//! file system, pipes, sockets and the pending-system-call list.  Everything
+//! else in the crate funnels into [`KernelState::run`].
+
+mod dispatch_fs;
+mod dispatch_proc;
+mod dispatch_sock;
+mod pending;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use browsix_browser::{BlobRegistry, Message, PlatformConfig, Worker, WorkerScope};
+use browsix_fs::{Errno, MountedFs};
+
+use crate::events::{HostRequest, KernelEvent, OutputSink};
+use crate::exec::{resolve_executable, ExecutableRegistry, ForkImage, LaunchContext, ProgramLauncher};
+use crate::fd::{Fd, FileKind, OpenFile};
+use crate::pipe::PipeTable;
+use crate::signals::{Signal, SignalDisposition};
+use crate::socket::SocketTable;
+use crate::stats::KernelStats;
+use crate::syscall::{encode_wait_status, SysResult, Syscall, Transport};
+use crate::task::{Pid, SyncHeap, Task, TaskState};
+
+pub(crate) use pending::{HttpClientState, PendingKind, PendingSyscall};
+
+/// How to deliver a system call's result back to the calling process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyTo {
+    /// Asynchronous convention: post a response message carrying `seq`.
+    Async {
+        /// The sequence number the caller is waiting for.
+        seq: u64,
+    },
+    /// Synchronous convention: write into the caller's shared heap and notify
+    /// its wake address.
+    Sync,
+}
+
+/// The outcome of dispatching a system call.
+pub(crate) enum Outcome {
+    /// The call finished; send this result.
+    Complete(SysResult),
+    /// The call blocked; a [`PendingSyscall`] has been queued.
+    Blocked,
+    /// The call finished but no reply should be sent (`exit`).
+    NoReply,
+}
+
+/// Configuration captured at boot time and owned by the kernel thread.
+pub(crate) struct KernelConfig {
+    pub platform: PlatformConfig,
+    pub fs: Arc<MountedFs>,
+    pub registry: ExecutableRegistry,
+    pub default_env: Vec<(String, String)>,
+}
+
+/// All kernel state.  Owned exclusively by the kernel thread.
+pub(crate) struct KernelState {
+    config: PlatformConfig,
+    fs: Arc<MountedFs>,
+    registry: ExecutableRegistry,
+    blobs: BlobRegistry,
+    default_env: Vec<(String, String)>,
+
+    events_tx: Sender<KernelEvent>,
+    tasks: HashMap<Pid, Task>,
+    next_pid: Pid,
+    pipes: PipeTable,
+    sockets: SocketTable,
+    pending: Vec<PendingSyscall>,
+    http_clients: Vec<HttpClientState>,
+
+    host_sinks: HashMap<u64, OutputSink>,
+    next_sink: u64,
+    exit_watchers: HashMap<Pid, Vec<Sender<i32>>>,
+    exit_records: HashMap<Pid, i32>,
+    port_subscribers: Vec<Sender<u16>>,
+
+    stats: KernelStats,
+}
+
+impl KernelState {
+    pub(crate) fn new(config: KernelConfig, events_tx: Sender<KernelEvent>) -> KernelState {
+        KernelState {
+            config: config.platform,
+            fs: config.fs,
+            registry: config.registry,
+            blobs: BlobRegistry::new(),
+            default_env: config.default_env,
+            events_tx,
+            tasks: HashMap::new(),
+            next_pid: 1,
+            pipes: PipeTable::new(),
+            sockets: SocketTable::new(),
+            pending: Vec::new(),
+            http_clients: Vec::new(),
+            host_sinks: HashMap::new(),
+            next_sink: 1,
+            exit_watchers: HashMap::new(),
+            exit_records: HashMap::new(),
+            port_subscribers: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The kernel's main loop: process events until shutdown.
+    pub(crate) fn run(mut self, events: Receiver<KernelEvent>) {
+        loop {
+            match events.recv_timeout(Duration::from_millis(20)) {
+                Ok(KernelEvent::Shutdown) => break,
+                Ok(event) => self.handle_event(event),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            self.poll_http_clients();
+            self.poll_pending();
+        }
+        // Terminate every remaining worker so their threads exit.
+        for task in self.tasks.values_mut() {
+            if let Some(worker) = task.worker.take() {
+                worker.terminate();
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: KernelEvent) {
+        match event {
+            KernelEvent::Syscall { pid, transport } => self.handle_syscall(pid, transport),
+            KernelEvent::RegisterSyncHeap { pid, sab, resp_offset, wake_offset } => {
+                if let Some(task) = self.tasks.get_mut(&pid) {
+                    task.sync_heap = Some(SyncHeap { sab, resp_offset, wake_offset });
+                }
+            }
+            KernelEvent::Host(request) => self.handle_host_request(request),
+            KernelEvent::Shutdown => {}
+        }
+    }
+
+    // ---- system-call entry ---------------------------------------------------
+
+    fn handle_syscall(&mut self, pid: Pid, transport: Transport) {
+        let (call, reply, copied) = match transport {
+            Transport::Async { seq, msg } => match Syscall::from_message(&msg) {
+                Some(call) => (call, ReplyTo::Async { seq }, msg.byte_size()),
+                None => return,
+            },
+            Transport::Sync { call } => (call, ReplyTo::Sync, 0),
+        };
+        if !self.tasks.contains_key(&pid) {
+            return;
+        }
+        self.stats.record_syscall(call.name(), reply == ReplyTo::Sync, copied);
+        let outcome = self.dispatch(pid, reply, call);
+        match outcome {
+            Outcome::Complete(result) => self.complete(pid, reply, result),
+            Outcome::Blocked | Outcome::NoReply => {}
+        }
+    }
+
+    fn dispatch(&mut self, pid: Pid, reply: ReplyTo, call: Syscall) -> Outcome {
+        match call {
+            // process management
+            Syscall::Spawn { path, args, env, cwd, stdio } => {
+                self.sys_spawn(pid, path, args, env, cwd, stdio)
+            }
+            Syscall::Fork { image, resume_point } => self.sys_fork(pid, image, resume_point),
+            Syscall::Pipe2 => self.sys_pipe2(pid),
+            Syscall::Wait4 { pid: target, options } => self.sys_wait4(pid, reply, target, options),
+            Syscall::Exit { code } => self.sys_exit(pid, code),
+            Syscall::Kill { pid: target, signal } => self.sys_kill(pid, target, signal),
+            Syscall::SignalAction { signal, install } => self.sys_sigaction(pid, signal, install),
+            Syscall::GetPid => Outcome::Complete(SysResult::Int(pid as i64)),
+            Syscall::GetPPid => self.sys_getppid(pid),
+            Syscall::GetCwd => self.sys_getcwd(pid),
+            Syscall::Chdir { path } => self.sys_chdir(pid, path),
+            // file IO
+            Syscall::Open { path, flags, mode } => self.sys_open(pid, path, flags, mode),
+            Syscall::Close { fd } => self.sys_close(pid, fd),
+            Syscall::Read { fd, len } => self.sys_read(pid, reply, fd, len as usize),
+            Syscall::Pread { fd, len, offset } => self.sys_pread(pid, fd, len as usize, offset),
+            Syscall::Write { fd, data } => self.sys_write(pid, reply, fd, data),
+            Syscall::Pwrite { fd, data, offset } => self.sys_pwrite(pid, fd, data, offset),
+            Syscall::Seek { fd, offset, whence } => self.sys_seek(pid, fd, offset, whence),
+            Syscall::Dup { fd } => self.sys_dup(pid, fd),
+            Syscall::Dup2 { from, to } => self.sys_dup2(pid, from, to),
+            Syscall::Unlink { path } => self.sys_unlink(pid, path),
+            Syscall::Truncate { path, size } => self.sys_truncate(pid, path, size),
+            Syscall::Rename { from, to } => self.sys_rename(pid, from, to),
+            // directory IO
+            Syscall::Readdir { path } => self.sys_readdir(pid, path),
+            Syscall::Mkdir { path, mode } => self.sys_mkdir(pid, path, mode),
+            Syscall::Rmdir { path } => self.sys_rmdir(pid, path),
+            // metadata
+            Syscall::Stat { path, .. } => self.sys_stat(pid, path),
+            Syscall::Fstat { fd } => self.sys_fstat(pid, fd),
+            Syscall::Access { path, mode } => self.sys_access(pid, path, mode),
+            Syscall::Readlink { .. } => Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+            Syscall::Utimes { path, atime_ms, mtime_ms } => self.sys_utimes(pid, path, atime_ms, mtime_ms),
+            // sockets
+            Syscall::Socket => self.sys_socket(pid),
+            Syscall::Bind { fd, port } => self.sys_bind(pid, fd, port),
+            Syscall::GetSockName { fd } => self.sys_getsockname(pid, fd),
+            Syscall::Listen { fd, backlog } => self.sys_listen(pid, fd, backlog),
+            Syscall::Accept { fd } => self.sys_accept(pid, reply, fd),
+            Syscall::Connect { fd, port } => self.sys_connect(pid, fd, port),
+        }
+    }
+
+    // ---- reply paths ---------------------------------------------------------
+
+    /// Delivers a result to a process over whichever convention it used.
+    pub(crate) fn complete(&mut self, pid: Pid, reply: ReplyTo, result: SysResult) {
+        match reply {
+            ReplyTo::Async { seq } => {
+                let msg = Message::map()
+                    .with("type", "syscall-response")
+                    .with("seq", seq as i64)
+                    .with("result", result.to_message());
+                self.post_to_worker(pid, msg);
+            }
+            ReplyTo::Sync => {
+                let Some(task) = self.tasks.get(&pid) else { return };
+                let Some(heap) = task.sync_heap.clone() else { return };
+                let encoded = result.encode_bytes();
+                // [u32 length][payload] at resp_offset, then wake the process.
+                let _ = heap
+                    .sab
+                    .write_bytes(heap.resp_offset, &(encoded.len() as u32).to_le_bytes());
+                let _ = heap.sab.write_bytes(heap.resp_offset + 4, &encoded);
+                let _ = heap.sab.store_and_notify(heap.wake_offset, 1);
+            }
+        }
+    }
+
+    /// Posts a message to a process's worker, recording the copy cost.
+    pub(crate) fn post_to_worker(&mut self, pid: Pid, msg: Message) {
+        let bytes = msg.byte_size();
+        if let Some(task) = self.tasks.get(&pid) {
+            if let Some(worker) = &task.worker {
+                if worker.post_message(msg).is_ok() {
+                    self.stats.record_message_to_worker(bytes);
+                }
+            }
+        }
+    }
+
+    // ---- host API ------------------------------------------------------------
+
+    fn handle_host_request(&mut self, request: HostRequest) {
+        match request {
+            HostRequest::Spawn { path, args, env, cwd, stdout, stderr, reply } => {
+                let result = self.host_spawn(&path, args, env, &cwd, stdout, stderr);
+                let _ = reply.send(result);
+            }
+            HostRequest::Kill { pid, signal, reply } => {
+                let result = self.deliver_signal(pid, signal);
+                let _ = reply.send(result);
+            }
+            HostRequest::WatchExit { pid, reply } => {
+                if let Some(&status) = self.exit_records.get(&pid) {
+                    let _ = reply.send(status);
+                } else if self.tasks.get(&pid).map(|t| t.wait_status()).unwrap_or(None).is_some() {
+                    let status = self.tasks[&pid].wait_status().unwrap_or(0);
+                    let _ = reply.send(status);
+                } else if self.tasks.contains_key(&pid) {
+                    self.exit_watchers.entry(pid).or_default().push(reply);
+                } else {
+                    // Unknown pid: report a generic failure status so callers
+                    // do not hang.
+                    let _ = reply.send(encode_wait_status(Some(127), None));
+                }
+            }
+            HostRequest::HttpRequest { port, request, reply } => {
+                self.host_http_request(port, request, reply);
+            }
+            HostRequest::SubscribePortListen { listener } => {
+                self.port_subscribers.push(listener);
+            }
+            HostRequest::ListeningPorts { reply } => {
+                let _ = reply.send(self.sockets.listening_ports());
+            }
+            HostRequest::ReadStats { reply } => {
+                let _ = reply.send(self.stats.clone());
+            }
+            HostRequest::ListTasks { reply } => {
+                let mut tasks: Vec<(Pid, Pid, String, String)> = self
+                    .tasks
+                    .values()
+                    .map(|t| {
+                        let state = match t.state {
+                            TaskState::Running => "running".to_owned(),
+                            TaskState::Zombie { .. } => "zombie".to_owned(),
+                        };
+                        (t.pid, t.ppid, t.name.clone(), state)
+                    })
+                    .collect();
+                tasks.sort_by_key(|(pid, ..)| *pid);
+                let _ = reply.send(tasks);
+            }
+        }
+    }
+
+    fn host_spawn(
+        &mut self,
+        path: &str,
+        args: Vec<String>,
+        env: Vec<(String, String)>,
+        cwd: &str,
+        stdout: OutputSink,
+        stderr: OutputSink,
+    ) -> Result<Pid, Errno> {
+        let stdout_fd = self.new_host_sink(stdout);
+        let stderr_fd = self.new_host_sink(stderr);
+        let stdin = OpenFile::new(FileKind::Null);
+        let mut merged_env = self.default_env.clone();
+        for (k, v) in env {
+            merged_env.retain(|(existing, _)| existing != &k);
+            merged_env.push((k, v));
+        }
+        self.spawn_process(
+            0,
+            path,
+            args,
+            merged_env,
+            cwd,
+            [stdin, stdout_fd, stderr_fd],
+            None,
+            None,
+        )
+    }
+
+    /// Creates a host-sink open file: writes are forwarded to the callback.
+    pub(crate) fn new_host_sink(&mut self, sink: OutputSink) -> Arc<OpenFile> {
+        let id = self.next_sink;
+        self.next_sink += 1;
+        self.host_sinks.insert(id, sink);
+        OpenFile::new(FileKind::HostSink { stream: id })
+    }
+
+    pub(crate) fn host_sink(&self, id: u64) -> Option<OutputSink> {
+        self.host_sinks.get(&id).cloned()
+    }
+
+    // ---- process lifecycle -----------------------------------------------------
+
+    /// Creates a task and its worker, returning the new pid.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spawn_process(
+        &mut self,
+        ppid: Pid,
+        path: &str,
+        mut args: Vec<String>,
+        env: Vec<(String, String)>,
+        cwd: &str,
+        stdio: [Arc<OpenFile>; 3],
+        fork_image: Option<ForkImage>,
+        forced_launcher: Option<Arc<dyn ProgramLauncher>>,
+    ) -> Result<Pid, Errno> {
+        let (launcher, blob_url) = match forced_launcher {
+            Some(launcher) => (launcher, None),
+            None => {
+                let resolved = resolve_executable(self.fs.as_ref(), &self.registry, path)?;
+                if !resolved.prepend_args.is_empty() {
+                    let mut new_args = resolved.prepend_args.clone();
+                    new_args.extend(args.into_iter().skip(1));
+                    args = new_args;
+                }
+                let blob_url = resolved.file_bytes.map(|bytes| self.blobs.create_url(bytes));
+                (resolved.launcher, blob_url)
+            }
+        };
+
+        let pid = self.next_pid;
+        self.next_pid += 1;
+
+        let name = browsix_fs::path::basename(path);
+        let mut task = Task::new(pid, ppid, &name, path, cwd);
+        task.args = args.clone();
+        task.env = env.clone();
+        task.launcher = Some(Arc::clone(&launcher));
+        for (i, file) in stdio.into_iter().enumerate() {
+            task.files.insert_at(i as Fd, file);
+        }
+
+        // The worker script: hand the scope and kernel channel to the
+        // launcher, which will wait for the init message before running main.
+        let kernel_tx = self.events_tx.clone();
+        let config = self.config.clone();
+        let launcher_for_worker = Arc::clone(&launcher);
+        let worker = Worker::spawn(
+            &self.config,
+            &format!("pid{pid}-{name}"),
+            Box::new(move |scope: WorkerScope| {
+                let ctx = LaunchContext { pid, config, kernel: kernel_tx, scope };
+                launcher_for_worker.launch(ctx);
+            }),
+        );
+        task.worker = Some(worker);
+        self.tasks.insert(pid, task);
+        if let Some(parent) = self.tasks.get_mut(&ppid) {
+            parent.children.push(pid);
+        }
+        self.stats.processes_spawned += 1;
+
+        // Init message: argument vector, environment, cwd, blob URL and (for
+        // fork) the guest memory snapshot.
+        let env_msgs: Vec<Message> = env
+            .iter()
+            .map(|(k, v)| Message::Array(vec![Message::from(k.as_str()), Message::from(v.as_str())]))
+            .collect();
+        let mut init = Message::map()
+            .with("type", "init")
+            .with("args", Message::from(args))
+            .with("env", Message::Array(env_msgs))
+            .with("cwd", cwd);
+        if let Some(url) = blob_url {
+            init = init.with("blob_url", url.as_str());
+        }
+        if let Some(image) = fork_image {
+            init = init
+                .with("fork_image", image.image)
+                .with("fork_resume", image.resume_point as i64);
+        }
+        self.post_to_worker(pid, init);
+        self.recompute_endpoints();
+        Ok(pid)
+    }
+
+    /// Marks a task as exited: zombie state, worker termination, descriptor
+    /// cleanup, SIGCHLD, exit notifications and wait-queue wakeups.
+    pub(crate) fn finish_task(&mut self, pid: Pid, status: i32) {
+        let Some(task) = self.tasks.get_mut(&pid) else { return };
+        if task.is_zombie() {
+            return;
+        }
+        task.state = TaskState::Zombie { status };
+        if let Some(worker) = task.worker.take() {
+            worker.terminate();
+        }
+        task.files.clear();
+        let ppid = task.ppid;
+        let children: Vec<Pid> = task.children.clone();
+        self.stats.processes_exited += 1;
+        self.exit_records.insert(pid, status);
+
+        // Close any listeners the process owned.
+        let owned_ports: Vec<u16> = self
+            .sockets
+            .listening_ports()
+            .into_iter()
+            .filter(|port| self.sockets.listener_owner(*port) == Some(pid))
+            .collect();
+        for port in owned_ports {
+            self.sockets.close_listener(port);
+        }
+
+        // Reparent children to the kernel (pid 0) and reap any that are
+        // already zombies — there is no init process to do it.
+        for child in children {
+            if let Some(child_task) = self.tasks.get_mut(&child) {
+                child_task.ppid = 0;
+                if child_task.is_zombie() {
+                    self.tasks.remove(&child);
+                }
+            }
+        }
+
+        // Wake host watchers.
+        if let Some(watchers) = self.exit_watchers.remove(&pid) {
+            for watcher in watchers {
+                let _ = watcher.send(status);
+            }
+        }
+
+        // Notify the parent.
+        if ppid != 0 && self.tasks.contains_key(&ppid) {
+            let _ = self.deliver_signal(ppid, Signal::SIGCHLD);
+        } else {
+            // Host-owned process: nobody will call wait4, reap immediately.
+            self.tasks.remove(&pid);
+        }
+
+        self.recompute_endpoints();
+        self.poll_pending();
+    }
+
+    /// Delivers `signal` to `target`, honouring handlers and default
+    /// dispositions.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if the target does not exist or has already exited.
+    pub(crate) fn deliver_signal(&mut self, target: Pid, signal: Signal) -> Result<(), Errno> {
+        let Some(task) = self.tasks.get(&target) else { return Err(Errno::ESRCH) };
+        if !task.is_running() {
+            return Err(Errno::ESRCH);
+        }
+        self.stats.signals_delivered += 1;
+        if !signal.catchable() {
+            self.finish_task(target, encode_wait_status(None, Some(signal)));
+            return Ok(());
+        }
+        if task.handles_signal(signal) {
+            let msg = Message::map()
+                .with("type", "signal")
+                .with("signal", signal.number() as i64)
+                .with("name", signal.name());
+            self.post_to_worker(target, msg);
+            return Ok(());
+        }
+        match signal.default_disposition() {
+            SignalDisposition::Terminate => {
+                self.finish_task(target, encode_wait_status(None, Some(signal)));
+            }
+            SignalDisposition::Ignore => {}
+        }
+        Ok(())
+    }
+
+    // ---- shared helpers --------------------------------------------------------
+
+    pub(crate) fn task(&self, pid: Pid) -> Result<&Task, Errno> {
+        self.tasks.get(&pid).ok_or(Errno::ESRCH)
+    }
+
+    pub(crate) fn task_mut(&mut self, pid: Pid) -> Result<&mut Task, Errno> {
+        self.tasks.get_mut(&pid).ok_or(Errno::ESRCH)
+    }
+
+    pub(crate) fn fs(&self) -> &MountedFs {
+        self.fs.as_ref()
+    }
+
+    pub(crate) fn pipes_mut(&mut self) -> &mut PipeTable {
+        &mut self.pipes
+    }
+
+    pub(crate) fn pipes(&self) -> &PipeTable {
+        &self.pipes
+    }
+
+    pub(crate) fn sockets_mut(&mut self) -> &mut SocketTable {
+        &mut self.sockets
+    }
+
+    pub(crate) fn sockets(&self) -> &SocketTable {
+        &self.sockets
+    }
+
+    pub(crate) fn notify_port_listen(&mut self, port: u16) {
+        self.port_subscribers.retain(|sub| sub.send(port).is_ok());
+    }
+
+    /// Resolves a path relative to a task's working directory.
+    pub(crate) fn resolve_path(&self, pid: Pid, path: &str) -> String {
+        let cwd = self.tasks.get(&pid).map(|t| t.cwd.as_str()).unwrap_or("/");
+        browsix_fs::path::resolve(cwd, path)
+    }
+
+    /// Recomputes every pipe's reader/writer endpoint counts by scanning all
+    /// live descriptor tables (plus the kernel's internal HTTP clients).  This
+    /// is the reference counting that decides EOF and EPIPE.
+    pub(crate) fn recompute_endpoints(&mut self) {
+        self.pipes.reset_endpoint_counts();
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut adjustments: Vec<(crate::pipe::PipeId, bool)> = Vec::new(); // (pipe, is_reader)
+        for task in self.tasks.values() {
+            if !task.is_running() {
+                continue;
+            }
+            for (_, file) in task.files.iter() {
+                let key = Arc::as_ptr(file) as usize;
+                if !seen.insert(key) {
+                    continue;
+                }
+                match file.kind() {
+                    FileKind::PipeReader { pipe } => adjustments.push((pipe, true)),
+                    FileKind::PipeWriter { pipe } => adjustments.push((pipe, false)),
+                    FileKind::SocketStream { connection, side } => {
+                        if let Some(conn) = self.sockets.connection(connection) {
+                            match side {
+                                crate::fd::SocketSide::Client => {
+                                    adjustments.push((conn.client_to_server, false));
+                                    adjustments.push((conn.server_to_client, true));
+                                }
+                                crate::fd::SocketSide::Server => {
+                                    adjustments.push((conn.client_to_server, true));
+                                    adjustments.push((conn.server_to_client, false));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // The kernel's own XHR-like clients hold the client side of their
+        // connection until the response has been parsed.
+        for client in &self.http_clients {
+            if let Some(conn) = self.sockets.connection(client.connection) {
+                adjustments.push((conn.client_to_server, false));
+                adjustments.push((conn.server_to_client, true));
+            }
+        }
+        // Connections sitting in a listener's backlog have no server-side
+        // descriptor yet; count the future endpoint so clients do not see a
+        // spurious EOF before the server calls accept.
+        for pending in self.sockets.pending_connections() {
+            if let Some(conn) = self.sockets.connection(pending) {
+                adjustments.push((conn.client_to_server, true));
+                adjustments.push((conn.server_to_client, false));
+            }
+        }
+        for (pipe_id, is_reader) in adjustments {
+            if let Some(pipe) = self.pipes.get_mut(pipe_id) {
+                if is_reader {
+                    pipe.readers += 1;
+                } else {
+                    pipe.writers += 1;
+                }
+            }
+        }
+        self.pipes.collect_garbage();
+    }
+
+    pub(crate) fn push_pending(&mut self, pending: PendingSyscall) {
+        self.pending.push(pending);
+    }
+
+    pub(crate) fn pending_list(&mut self) -> &mut Vec<PendingSyscall> {
+        &mut self.pending
+    }
+
+    pub(crate) fn http_clients_list(&mut self) -> &mut Vec<HttpClientState> {
+        &mut self.http_clients
+    }
+
+    /// Removes a task from the table entirely (used when a zombie is reaped).
+    pub(crate) fn remove_task_impl(&mut self, pid: Pid) {
+        self.tasks.remove(&pid);
+    }
+
+}

@@ -1,0 +1,208 @@
+//! Pending (blocked) system calls and the kernel's internal HTTP clients.
+//!
+//! The kernel never blocks its event loop.  A system call that cannot finish
+//! immediately — a read on an empty pipe, a write to a full pipe, `wait4`
+//! with no zombie children, `accept` with no pending connections — is parked
+//! as a [`PendingSyscall`] and retried whenever kernel state changes, which is
+//! the "read-side wait queue" design the paper describes for pipes.
+
+use crossbeam::channel::Sender;
+
+use browsix_fs::Errno;
+use browsix_http::{parse_response, HttpResponse};
+
+use crate::fd::Fd;
+use crate::kernel::{KernelState, ReplyTo};
+use crate::socket::ConnectionId;
+use crate::syscall::SysResult;
+use crate::task::Pid;
+
+/// Why a system call is parked.
+#[derive(Debug)]
+pub(crate) enum PendingKind {
+    /// A read waiting for data (or EOF).
+    Read {
+        /// Descriptor being read.
+        fd: Fd,
+        /// Requested length.
+        len: usize,
+    },
+    /// A write waiting for pipe space.
+    Write {
+        /// Descriptor being written.
+        fd: Fd,
+        /// The full payload.
+        data: Vec<u8>,
+        /// How much has been accepted so far.
+        written: usize,
+    },
+    /// `wait4` waiting for a child to exit.
+    Wait4 {
+        /// Target pid (-1 = any child).
+        target: i32,
+        /// Original options word.
+        options: u32,
+    },
+    /// `accept` waiting for an incoming connection.
+    Accept {
+        /// The listening descriptor.
+        fd: Fd,
+    },
+}
+
+/// A parked system call.
+#[derive(Debug)]
+pub(crate) struct PendingSyscall {
+    /// The calling process.
+    pub pid: Pid,
+    /// How to reply when the call completes.
+    pub reply: ReplyTo,
+    /// What the call is waiting for.
+    pub kind: PendingKind,
+}
+
+/// State of one host-initiated HTTP request to an in-Browsix server.
+pub(crate) struct HttpClientState {
+    /// The loopback connection carrying the exchange.
+    pub connection: ConnectionId,
+    /// The serialized request.
+    pub to_send: Vec<u8>,
+    /// How many request bytes have been pushed into the connection so far.
+    pub sent: usize,
+    /// Response bytes accumulated so far.
+    pub received: Vec<u8>,
+    /// Where the parsed response goes.
+    pub reply: Sender<Result<HttpResponse, Errno>>,
+}
+
+enum Progress {
+    /// The call completed with this result.
+    Done(SysResult),
+    /// Still waiting; possibly with updated state.
+    Waiting(PendingKind),
+}
+
+impl KernelState {
+    /// Retries every pending system call until no further progress is made.
+    pub(crate) fn poll_pending(&mut self) {
+        loop {
+            let mut progressed = false;
+            let mut remaining = Vec::new();
+            let pending = std::mem::take(self.pending_list());
+            for entry in pending {
+                if !self.tasks_contains(entry.pid) {
+                    progressed = true;
+                    continue;
+                }
+                match self.try_pending(entry.pid, &entry.kind) {
+                    Progress::Done(result) => {
+                        self.complete(entry.pid, entry.reply, result);
+                        progressed = true;
+                    }
+                    Progress::Waiting(kind) => remaining.push(PendingSyscall { kind, ..entry }),
+                }
+            }
+            // Anything newly blocked while completing callbacks is appended
+            // after the survivors so ordering stays roughly FIFO.
+            let newly_blocked = std::mem::take(self.pending_list());
+            let mut next = remaining;
+            next.extend(newly_blocked);
+            *self.pending_list() = next;
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn try_pending(&mut self, pid: Pid, kind: &PendingKind) -> Progress {
+        match kind {
+            PendingKind::Read { fd, len } => match self.try_read_fd(pid, *fd, *len) {
+                Ok(Some(data)) => Progress::Done(SysResult::Data(data)),
+                Ok(None) => Progress::Waiting(PendingKind::Read { fd: *fd, len: *len }),
+                Err(e) => Progress::Done(SysResult::Err(e)),
+            },
+            PendingKind::Write { fd, data, written } => {
+                match self.try_write_fd(pid, *fd, &data[*written..]) {
+                    Ok((accepted, _)) => {
+                        let new_written = written + accepted;
+                        if new_written >= data.len() {
+                            Progress::Done(SysResult::Int(data.len() as i64))
+                        } else {
+                            Progress::Waiting(PendingKind::Write {
+                                fd: *fd,
+                                data: data.clone(),
+                                written: new_written,
+                            })
+                        }
+                    }
+                    Err(e) => Progress::Done(SysResult::Err(e)),
+                }
+            }
+            PendingKind::Wait4 { target, options } => match self.try_reap_child(pid, *target) {
+                Ok(Some((child, status))) => Progress::Done(SysResult::Wait { pid: child, status }),
+                Ok(None) => Progress::Waiting(PendingKind::Wait4 { target: *target, options: *options }),
+                Err(e) => Progress::Done(SysResult::Err(e)),
+            },
+            PendingKind::Accept { fd } => match self.try_accept(pid, *fd) {
+                Ok(Some(new_fd)) => Progress::Done(SysResult::Int(new_fd as i64)),
+                Ok(None) => Progress::Waiting(PendingKind::Accept { fd: *fd }),
+                Err(e) => Progress::Done(SysResult::Err(e)),
+            },
+        }
+    }
+
+    /// Advances every host HTTP client: push remaining request bytes, pull
+    /// whatever the server has produced, and complete the request once a full
+    /// response has been parsed.
+    pub(crate) fn poll_http_clients(&mut self) {
+        let mut clients = std::mem::take(self.http_clients_list());
+        let mut still_active = Vec::new();
+        let mut endpoints_changed = false;
+        for mut client in clients.drain(..) {
+            let Some(conn) = self.sockets().connection(client.connection) else {
+                let _ = client.reply.send(Err(Errno::ECONNRESET));
+                endpoints_changed = true;
+                continue;
+            };
+            // Push request bytes.
+            if client.sent < client.to_send.len() {
+                if let Some(pipe) = self.pipes_mut().get_mut(conn.client_to_server) {
+                    client.sent += pipe.push(&client.to_send[client.sent..]);
+                }
+            }
+            // Pull response bytes.
+            let mut server_closed = false;
+            if let Some(pipe) = self.pipes_mut().get_mut(conn.server_to_client) {
+                let chunk = pipe.pop(usize::MAX);
+                client.received.extend_from_slice(&chunk);
+                server_closed = pipe.write_end_closed() && pipe.is_empty();
+            }
+            match parse_response(&client.received) {
+                Ok(Some(response)) => {
+                    let _ = client.reply.send(Ok(response));
+                    self.sockets_mut().remove_connection(client.connection);
+                    endpoints_changed = true;
+                }
+                Ok(None) => {
+                    if server_closed && client.sent == client.to_send.len() {
+                        // Connection closed before a full response arrived.
+                        let _ = client.reply.send(Err(Errno::ECONNRESET));
+                        self.sockets_mut().remove_connection(client.connection);
+                        endpoints_changed = true;
+                    } else {
+                        still_active.push(client);
+                    }
+                }
+                Err(_) => {
+                    let _ = client.reply.send(Err(Errno::EIO));
+                    self.sockets_mut().remove_connection(client.connection);
+                    endpoints_changed = true;
+                }
+            }
+        }
+        *self.http_clients_list() = still_active;
+        if endpoints_changed {
+            self.recompute_endpoints();
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # browsix-core — the Browsix kernel
+//!
+//! This crate is the paper's primary contribution: a kernel that lives in the
+//! main browser context and provides Unix services — processes, a shared file
+//! system, pipes, sockets and signals — to processes running in Web Workers,
+//! reached exclusively through a system-call interface.
+//!
+//! Architecture (mirroring §3 of the paper):
+//!
+//! * The kernel owns all shared state and runs an event loop on its own
+//!   thread (the analogue of the main browser thread).  Everything arrives as
+//!   an event: system calls from processes, host API calls from the embedding
+//!   web application.
+//! * Each process is a worker created through `browsix-browser`.  Processes
+//!   issue system calls over two conventions:
+//!   [asynchronous](syscall::Transport::Async) (structured-clone messages,
+//!   works everywhere) and [synchronous](syscall::Transport::Sync)
+//!   (integer arguments plus a `SharedArrayBuffer` heap and `Atomics.wait`,
+//!   Chrome-only at publication time but much faster).
+//! * The file system is a [`browsix_fs::MountedFs`] shared by every process.
+//! * Pipes, sockets and signals live in kernel tables and are reference
+//!   counted across `spawn`/`fork`/`dup`/process exit.
+//!
+//! The public entry point for embedding applications is [`Kernel`] (see
+//! [`hostapi`]), whose `boot`/`system` methods correspond to the JavaScript
+//! API in Figure 4 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use browsix_core::{BootConfig, Kernel};
+//! use browsix_fs::FileSystem;
+//!
+//! // Boot a kernel with an empty in-memory file system and no registered
+//! // executables; the runtime crates register real programs.
+//! let kernel = Kernel::boot(BootConfig::in_memory());
+//! kernel.fs().mkdir("/etc").unwrap();
+//! kernel.fs().write_file("/etc/motd", b"hello from browsix").unwrap();
+//! assert_eq!(kernel.fs().read_file("/etc/motd").unwrap(), b"hello from browsix");
+//! kernel.shutdown();
+//! ```
+
+pub mod events;
+pub mod exec;
+pub mod fd;
+pub mod hostapi;
+pub mod kernel;
+pub mod pipe;
+pub mod signals;
+pub mod socket;
+pub mod stats;
+pub mod syscall;
+pub mod task;
+
+pub use events::{HostRequest, KernelEvent, OutputSink};
+pub use exec::{ExecutableRegistry, ForkImage, LaunchContext, ProcessStart, ProgramLauncher};
+pub use fd::{Fd, FdTable, OpenFile};
+pub use hostapi::{BootConfig, ExitStatus, Kernel, ProcessHandle};
+pub use signals::{Signal, SignalDisposition};
+pub use stats::KernelStats;
+pub use syscall::{ByteSource, SysResult, Syscall, Transport};
+pub use task::{Pid, TaskState};
+
+/// Re-export of the error type shared with the file system layer.
+pub use browsix_fs::Errno;

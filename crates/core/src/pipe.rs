@@ -1,0 +1,236 @@
+//! Pipes.
+//!
+//! Browsix pipes are "implemented as in-memory buffers with read-side wait
+//! queues": a bounded byte buffer living inside the kernel.  Reads on an empty
+//! pipe and writes to a full pipe are not completed until data or space is
+//! available — the kernel keeps the system call pending and retries it when
+//! the pipe's state changes (see `kernel::pending`).  The same buffers also
+//! carry socket streams (one pipe per direction).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a kernel pipe buffer.
+pub type PipeId = u64;
+
+/// Default pipe capacity, matching the Linux default of 64 KiB.
+pub const DEFAULT_PIPE_CAPACITY: usize = 64 * 1024;
+
+/// A single in-kernel pipe buffer.
+#[derive(Debug)]
+pub struct Pipe {
+    buffer: VecDeque<u8>,
+    capacity: usize,
+    /// Number of live open-file descriptions referring to the read end.
+    pub readers: usize,
+    /// Number of live open-file descriptions referring to the write end.
+    pub writers: usize,
+}
+
+impl Pipe {
+    /// Creates an empty pipe with the given capacity.
+    pub fn new(capacity: usize) -> Pipe {
+        Pipe { buffer: VecDeque::new(), capacity, readers: 0, writers: 0 }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Remaining space before writers must block.
+    pub fn space(&self) -> usize {
+        self.capacity.saturating_sub(self.buffer.len())
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether all write ends are closed (EOF once drained).
+    pub fn write_end_closed(&self) -> bool {
+        self.writers == 0
+    }
+
+    /// Whether all read ends are closed (writes raise EPIPE).
+    pub fn read_end_closed(&self) -> bool {
+        self.readers == 0
+    }
+
+    /// Appends as much of `data` as fits, returning the number of bytes
+    /// accepted.
+    pub fn push(&mut self, data: &[u8]) -> usize {
+        let accept = data.len().min(self.space());
+        self.buffer.extend(&data[..accept]);
+        accept
+    }
+
+    /// Removes and returns up to `len` bytes.
+    pub fn pop(&mut self, len: usize) -> Vec<u8> {
+        let take = len.min(self.buffer.len());
+        self.buffer.drain(..take).collect()
+    }
+}
+
+/// The kernel's table of pipes.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    next_id: PipeId,
+    pipes: HashMap<PipeId, Pipe>,
+}
+
+impl PipeTable {
+    /// Creates an empty table.
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Allocates a new pipe with the default capacity and returns its id.
+    pub fn create(&mut self) -> PipeId {
+        self.create_with_capacity(DEFAULT_PIPE_CAPACITY)
+    }
+
+    /// Allocates a new pipe with an explicit capacity.
+    pub fn create_with_capacity(&mut self, capacity: usize) -> PipeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pipes.insert(id, Pipe::new(capacity));
+        id
+    }
+
+    /// Looks up a pipe.
+    pub fn get(&self, id: PipeId) -> Option<&Pipe> {
+        self.pipes.get(&id)
+    }
+
+    /// Looks up a pipe mutably.
+    pub fn get_mut(&mut self, id: PipeId) -> Option<&mut Pipe> {
+        self.pipes.get_mut(&id)
+    }
+
+    /// Removes a pipe whose endpoints are all gone.
+    pub fn remove(&mut self, id: PipeId) {
+        self.pipes.remove(&id);
+    }
+
+    /// Number of live pipes.
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// Whether there are no live pipes.
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+
+    /// Resets every pipe's endpoint counts to zero; the kernel recomputes them
+    /// by scanning all descriptor tables after any change (close, exit,
+    /// spawn), which keeps the reference counts trivially correct.
+    pub fn reset_endpoint_counts(&mut self) {
+        for pipe in self.pipes.values_mut() {
+            pipe.readers = 0;
+            pipe.writers = 0;
+        }
+    }
+
+    /// Drops pipes with no readers, no writers and no buffered data.
+    pub fn collect_garbage(&mut self) {
+        self.pipes
+            .retain(|_, pipe| pipe.readers > 0 || pipe.writers > 0 || !pipe.is_empty());
+    }
+
+    /// Ids of all live pipes (used by tests and statistics).
+    pub fn ids(&self) -> Vec<PipeId> {
+        self.pipes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_pop_preserve_fifo_order() {
+        let mut pipe = Pipe::new(16);
+        assert_eq!(pipe.push(b"hello "), 6);
+        assert_eq!(pipe.push(b"world"), 5);
+        assert_eq!(pipe.pop(6), b"hello ");
+        assert_eq!(pipe.pop(100), b"world");
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut pipe = Pipe::new(4);
+        assert_eq!(pipe.push(b"abcdef"), 4);
+        assert_eq!(pipe.space(), 0);
+        assert_eq!(pipe.push(b"x"), 0);
+        pipe.pop(2);
+        assert_eq!(pipe.space(), 2);
+        assert_eq!(pipe.push(b"yz!"), 2);
+        assert_eq!(pipe.pop(10), b"cdyz");
+    }
+
+    #[test]
+    fn endpoint_flags() {
+        let mut pipe = Pipe::new(8);
+        assert!(pipe.write_end_closed());
+        assert!(pipe.read_end_closed());
+        pipe.readers = 1;
+        pipe.writers = 2;
+        assert!(!pipe.write_end_closed());
+        assert!(!pipe.read_end_closed());
+        assert_eq!(pipe.capacity(), 8);
+    }
+
+    #[test]
+    fn table_creates_unique_ids() {
+        let mut table = PipeTable::new();
+        let a = table.create();
+        let b = table.create_with_capacity(128);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(b).unwrap().capacity(), 128);
+        assert!(table.get(999).is_none());
+        assert_eq!(table.ids().len(), 2);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_pipes_with_data_or_endpoints() {
+        let mut table = PipeTable::new();
+        let dead = table.create();
+        let buffered = table.create();
+        let referenced = table.create();
+        table.get_mut(buffered).unwrap().push(b"pending data");
+        table.get_mut(referenced).unwrap().readers = 1;
+        table.collect_garbage();
+        assert!(table.get(dead).is_none());
+        assert!(table.get(buffered).is_some());
+        assert!(table.get(referenced).is_some());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn reset_endpoint_counts_zeroes_everything() {
+        let mut table = PipeTable::new();
+        let id = table.create();
+        table.get_mut(id).unwrap().readers = 3;
+        table.get_mut(id).unwrap().writers = 2;
+        table.reset_endpoint_counts();
+        assert_eq!(table.get(id).unwrap().readers, 0);
+        assert_eq!(table.get(id).unwrap().writers, 0);
+    }
+
+    #[test]
+    fn remove_deletes_pipe() {
+        let mut table = PipeTable::new();
+        let id = table.create();
+        table.remove(id);
+        assert!(table.get(id).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! POSIX signals.
+//!
+//! Browsix "supports a substantial subset of the POSIX signals API, including
+//! kill and signal handlers, letting processes communicate with each other
+//! asynchronously".  The kernel dispatches signals to processes over the same
+//! message-passing interface as system-call responses; SIGKILL is handled in
+//! the kernel by terminating the target's worker.
+
+use std::fmt;
+
+/// The subset of POSIX signals Browsix understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Hang up (1).
+    SIGHUP,
+    /// Interactive interrupt (2).
+    SIGINT,
+    /// Quit (3).
+    SIGQUIT,
+    /// Kill, cannot be caught (9).
+    SIGKILL,
+    /// User-defined signal 1 (10).
+    SIGUSR1,
+    /// User-defined signal 2 (12).
+    SIGUSR2,
+    /// Broken pipe (13).
+    SIGPIPE,
+    /// Alarm clock (14).
+    SIGALRM,
+    /// Termination request (15).
+    SIGTERM,
+    /// Child stopped or terminated (17).
+    SIGCHLD,
+    /// Continue (18).
+    SIGCONT,
+    /// Stop, cannot be caught (19).
+    SIGSTOP,
+}
+
+/// What the kernel does with a signal when the process has not installed a
+/// handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalDisposition {
+    /// Terminate the process.
+    Terminate,
+    /// Ignore the signal.
+    Ignore,
+}
+
+impl Signal {
+    /// The Linux signal number.
+    pub fn number(self) -> i32 {
+        match self {
+            Signal::SIGHUP => 1,
+            Signal::SIGINT => 2,
+            Signal::SIGQUIT => 3,
+            Signal::SIGKILL => 9,
+            Signal::SIGUSR1 => 10,
+            Signal::SIGUSR2 => 12,
+            Signal::SIGPIPE => 13,
+            Signal::SIGALRM => 14,
+            Signal::SIGTERM => 15,
+            Signal::SIGCHLD => 17,
+            Signal::SIGCONT => 18,
+            Signal::SIGSTOP => 19,
+        }
+    }
+
+    /// Reconstructs a signal from its number.
+    pub fn from_number(number: i32) -> Option<Signal> {
+        ALL_SIGNALS.iter().copied().find(|s| s.number() == number)
+    }
+
+    /// Parses a symbolic name, with or without the `SIG` prefix
+    /// (`"KILL"`, `"SIGKILL"` and `"sigkill"` all work, as with `kill(1)`).
+    pub fn from_name(name: &str) -> Option<Signal> {
+        let upper = name.to_ascii_uppercase();
+        let full = if upper.starts_with("SIG") { upper } else { format!("SIG{upper}") };
+        ALL_SIGNALS.iter().copied().find(|s| s.name() == full)
+    }
+
+    /// The symbolic name, e.g. `"SIGTERM"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::SIGHUP => "SIGHUP",
+            Signal::SIGINT => "SIGINT",
+            Signal::SIGQUIT => "SIGQUIT",
+            Signal::SIGKILL => "SIGKILL",
+            Signal::SIGUSR1 => "SIGUSR1",
+            Signal::SIGUSR2 => "SIGUSR2",
+            Signal::SIGPIPE => "SIGPIPE",
+            Signal::SIGALRM => "SIGALRM",
+            Signal::SIGTERM => "SIGTERM",
+            Signal::SIGCHLD => "SIGCHLD",
+            Signal::SIGCONT => "SIGCONT",
+            Signal::SIGSTOP => "SIGSTOP",
+        }
+    }
+
+    /// The action taken when no handler is installed.
+    pub fn default_disposition(self) -> SignalDisposition {
+        match self {
+            Signal::SIGCHLD | Signal::SIGCONT => SignalDisposition::Ignore,
+            _ => SignalDisposition::Terminate,
+        }
+    }
+
+    /// Whether user code is allowed to install a handler (SIGKILL and SIGSTOP
+    /// cannot be caught).
+    pub fn catchable(self) -> bool {
+        !matches!(self, Signal::SIGKILL | Signal::SIGSTOP)
+    }
+
+    /// The wait-status value reported for a process terminated by this signal
+    /// (the low 7 bits of the status word, as in Linux).
+    pub fn termination_status(self) -> i32 {
+        self.number() & 0x7f
+    }
+}
+
+/// All signals known to the kernel.
+pub const ALL_SIGNALS: &[Signal] = &[
+    Signal::SIGHUP,
+    Signal::SIGINT,
+    Signal::SIGQUIT,
+    Signal::SIGKILL,
+    Signal::SIGUSR1,
+    Signal::SIGUSR2,
+    Signal::SIGPIPE,
+    Signal::SIGALRM,
+    Signal::SIGTERM,
+    Signal::SIGCHLD,
+    Signal::SIGCONT,
+    Signal::SIGSTOP,
+];
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for &sig in ALL_SIGNALS {
+            assert_eq!(Signal::from_number(sig.number()), Some(sig));
+        }
+        assert_eq!(Signal::from_number(0), None);
+        assert_eq!(Signal::from_number(64), None);
+    }
+
+    #[test]
+    fn names_parse_flexibly() {
+        assert_eq!(Signal::from_name("SIGKILL"), Some(Signal::SIGKILL));
+        assert_eq!(Signal::from_name("kill"), Some(Signal::SIGKILL));
+        assert_eq!(Signal::from_name("TERM"), Some(Signal::SIGTERM));
+        assert_eq!(Signal::from_name("sigchld"), Some(Signal::SIGCHLD));
+        assert_eq!(Signal::from_name("NOTASIG"), None);
+    }
+
+    #[test]
+    fn default_dispositions() {
+        assert_eq!(Signal::SIGTERM.default_disposition(), SignalDisposition::Terminate);
+        assert_eq!(Signal::SIGKILL.default_disposition(), SignalDisposition::Terminate);
+        assert_eq!(Signal::SIGPIPE.default_disposition(), SignalDisposition::Terminate);
+        assert_eq!(Signal::SIGCHLD.default_disposition(), SignalDisposition::Ignore);
+        assert_eq!(Signal::SIGCONT.default_disposition(), SignalDisposition::Ignore);
+    }
+
+    #[test]
+    fn kill_and_stop_cannot_be_caught() {
+        assert!(!Signal::SIGKILL.catchable());
+        assert!(!Signal::SIGSTOP.catchable());
+        assert!(Signal::SIGTERM.catchable());
+        assert!(Signal::SIGUSR1.catchable());
+    }
+
+    #[test]
+    fn linux_numbers_match() {
+        assert_eq!(Signal::SIGKILL.number(), 9);
+        assert_eq!(Signal::SIGTERM.number(), 15);
+        assert_eq!(Signal::SIGCHLD.number(), 17);
+        assert_eq!(Signal::SIGPIPE.number(), 13);
+    }
+
+    #[test]
+    fn display_and_termination_status() {
+        assert_eq!(Signal::SIGKILL.to_string(), "SIGKILL");
+        assert_eq!(Signal::SIGKILL.termination_status(), 9);
+    }
+}

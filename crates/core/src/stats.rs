@@ -1,0 +1,102 @@
+//! Kernel statistics.
+//!
+//! The evaluation needs to know what the kernel actually did: how many system
+//! calls were issued over each convention, how many bytes were copied between
+//! heaps, how many processes ran.  [`KernelStats`] is the snapshot handed to
+//! the host through the statistics host request.
+
+use std::collections::BTreeMap;
+
+/// A snapshot of kernel activity since boot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// System calls by name.
+    pub syscalls_by_name: BTreeMap<String, u64>,
+    /// Total system calls.
+    pub total_syscalls: u64,
+    /// Calls made over the asynchronous (message-passing) convention.
+    pub async_syscalls: u64,
+    /// Calls made over the synchronous (shared-memory) convention.
+    pub sync_syscalls: u64,
+    /// Bytes of system-call arguments and results copied between heaps by the
+    /// asynchronous convention's structured clones.
+    pub bytes_copied: u64,
+    /// Processes created (spawn + fork + host spawns).
+    pub processes_spawned: u64,
+    /// Processes that have exited.
+    pub processes_exited: u64,
+    /// Signals delivered to processes.
+    pub signals_delivered: u64,
+    /// Messages posted from the kernel to workers (responses, signals, init).
+    pub messages_to_workers: u64,
+}
+
+impl KernelStats {
+    /// Records a system call arriving at the kernel.
+    pub fn record_syscall(&mut self, name: &str, synchronous: bool, copied_bytes: usize) {
+        *self.syscalls_by_name.entry(name.to_owned()).or_insert(0) += 1;
+        self.total_syscalls += 1;
+        if synchronous {
+            self.sync_syscalls += 1;
+        } else {
+            self.async_syscalls += 1;
+            self.bytes_copied += copied_bytes as u64;
+        }
+    }
+
+    /// Records a message posted from the kernel to a worker, with the number
+    /// of payload bytes it copied.
+    pub fn record_message_to_worker(&mut self, copied_bytes: usize) {
+        self.messages_to_workers += 1;
+        self.bytes_copied += copied_bytes as u64;
+    }
+
+    /// The count for a particular system call.
+    pub fn count(&self, name: &str) -> u64 {
+        self.syscalls_by_name.get(name).copied().unwrap_or(0)
+    }
+
+    /// The distinct system calls observed, sorted by name (used to regenerate
+    /// Figure 3).
+    pub fn observed_syscalls(&self) -> Vec<String> {
+        self.syscalls_by_name.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_by_convention() {
+        let mut stats = KernelStats::default();
+        stats.record_syscall("open", false, 120);
+        stats.record_syscall("read", false, 40);
+        stats.record_syscall("read", true, 0);
+        assert_eq!(stats.total_syscalls, 3);
+        assert_eq!(stats.async_syscalls, 2);
+        assert_eq!(stats.sync_syscalls, 1);
+        assert_eq!(stats.bytes_copied, 160);
+        assert_eq!(stats.count("read"), 2);
+        assert_eq!(stats.count("open"), 1);
+        assert_eq!(stats.count("write"), 0);
+        assert_eq!(stats.observed_syscalls(), vec!["open".to_string(), "read".to_string()]);
+    }
+
+    #[test]
+    fn worker_messages_accumulate_bytes() {
+        let mut stats = KernelStats::default();
+        stats.record_message_to_worker(64);
+        stats.record_message_to_worker(16);
+        assert_eq!(stats.messages_to_workers, 2);
+        assert_eq!(stats.bytes_copied, 80);
+    }
+
+    #[test]
+    fn default_snapshot_is_zeroed() {
+        let stats = KernelStats::default();
+        assert_eq!(stats.total_syscalls, 0);
+        assert_eq!(stats.processes_spawned, 0);
+        assert!(stats.observed_syscalls().is_empty());
+    }
+}

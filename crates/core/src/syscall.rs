@@ -1,0 +1,1120 @@
+//! The system-call interface: call and result types, plus their encodings for
+//! the two transport conventions.
+//!
+//! Asynchronous system calls are carried as structured-clone messages — every
+//! argument buffer is deep-copied between the process's heap and the kernel's
+//! heap, in both directions.  Synchronous system calls carry only integers
+//! (and shared-heap offsets) in the message; bulk data moves through the
+//! process's `SharedArrayBuffer`, and the result is written directly into the
+//! shared heap before the kernel notifies the waiting process.
+
+use browsix_browser::Message;
+use browsix_fs::{DirEntry, Errno, FileType, Metadata, OpenFlags};
+
+use crate::signals::Signal;
+use crate::task::Pid;
+
+/// A source of bytes for data-carrying system calls (`write`, `pwrite`).
+///
+/// The asynchronous convention inlines the bytes into the message (and pays
+/// the structured-clone cost); the synchronous convention passes an offset
+/// into the process's shared heap and the kernel reads the bytes directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteSource {
+    /// Bytes carried inside the system-call message.
+    Inline(Vec<u8>),
+    /// Bytes already present in the process's shared heap.
+    SharedHeap {
+        /// Byte offset within the shared heap.
+        offset: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+}
+
+impl ByteSource {
+    /// The number of bytes this source refers to.
+    pub fn len(&self) -> usize {
+        match self {
+            ByteSource::Inline(data) => data.len(),
+            ByteSource::SharedHeap { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A system call, with arguments already in structured form.
+///
+/// Figure 3 of the paper lists the call classes: process management, process
+/// metadata, sockets, directory I/O, file I/O and file metadata.  Every one of
+/// those calls appears here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Syscall {
+    // ---- process management -------------------------------------------------
+    /// Create a process from an executable on the file system.
+    Spawn {
+        /// Path of the executable (or shebang script).
+        path: String,
+        /// Argument vector (argv, including argv[0]).
+        args: Vec<String>,
+        /// Environment variables.
+        env: Vec<(String, String)>,
+        /// Working directory for the child (defaults to the parent's).
+        cwd: Option<String>,
+        /// Parent file descriptors to install as the child's stdin/stdout/stderr;
+        /// `None` inherits the parent's descriptor of the same number.
+        stdio: [Option<i32>; 3],
+    },
+    /// Duplicate the calling process (C/C++ Emterpreter mode only): the
+    /// runtime ships a snapshot of its heap and resume point.
+    Fork {
+        /// Serialized guest memory image.
+        image: Vec<u8>,
+        /// Interpreter resume point within the image.
+        resume_point: u64,
+    },
+    /// Create a pipe; returns the read and write descriptors.
+    Pipe2,
+    /// Wait for a child to change state.
+    Wait4 {
+        /// Specific child pid, or -1 for any child.
+        pid: i32,
+        /// `WNOHANG` is bit 0.
+        options: u32,
+    },
+    /// Terminate the calling process.
+    Exit {
+        /// Exit code.
+        code: i32,
+    },
+    /// Send a signal to another process.
+    Kill {
+        /// Target process.
+        pid: Pid,
+        /// Signal to deliver.
+        signal: Signal,
+    },
+    /// Register interest in a catchable signal (installs a handler).
+    SignalAction {
+        /// Signal to handle.
+        signal: Signal,
+        /// `true` installs a handler, `false` restores the default.
+        install: bool,
+    },
+
+    // ---- process metadata ----------------------------------------------------
+    /// Current process id.
+    GetPid,
+    /// Parent process id.
+    GetPPid,
+    /// Current working directory.
+    GetCwd,
+    /// Change the working directory.
+    Chdir {
+        /// New working directory.
+        path: String,
+    },
+
+    // ---- file IO -------------------------------------------------------------
+    /// Open a file, returning a descriptor.
+    Open {
+        /// Path to open (resolved against the caller's cwd by the runtime).
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+        /// Creation mode.
+        mode: u32,
+    },
+    /// Close a descriptor.
+    Close {
+        /// Descriptor to close.
+        fd: i32,
+    },
+    /// Read from a descriptor at its current offset.
+    Read {
+        /// Descriptor.
+        fd: i32,
+        /// Maximum bytes to read.
+        len: u32,
+    },
+    /// Positional read (does not move the offset).
+    Pread {
+        /// Descriptor.
+        fd: i32,
+        /// Maximum bytes to read.
+        len: u32,
+        /// Absolute file offset.
+        offset: u64,
+    },
+    /// Write to a descriptor at its current offset.
+    Write {
+        /// Descriptor.
+        fd: i32,
+        /// Data to write.
+        data: ByteSource,
+    },
+    /// Positional write (does not move the offset).
+    Pwrite {
+        /// Descriptor.
+        fd: i32,
+        /// Data to write.
+        data: ByteSource,
+        /// Absolute file offset.
+        offset: u64,
+    },
+    /// Reposition a descriptor's offset (`llseek`).
+    Seek {
+        /// Descriptor.
+        fd: i32,
+        /// Signed offset.
+        offset: i64,
+        /// 0 = SET, 1 = CUR, 2 = END.
+        whence: u32,
+    },
+    /// Duplicate a descriptor to the lowest free number.
+    Dup {
+        /// Descriptor to duplicate.
+        fd: i32,
+    },
+    /// Duplicate a descriptor onto a specific number.
+    Dup2 {
+        /// Source descriptor.
+        from: i32,
+        /// Destination descriptor.
+        to: i32,
+    },
+    /// Remove a file.
+    Unlink {
+        /// Path to remove.
+        path: String,
+    },
+    /// Truncate a file to a length.
+    Truncate {
+        /// Path to truncate.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// Rename a file or directory.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+
+    // ---- directory IO ----------------------------------------------------------
+    /// Read the entries of a directory (`readdir`/`getdents`).
+    Readdir {
+        /// Directory path.
+        path: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Path to create.
+        path: String,
+        /// Mode bits.
+        mode: u32,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Path to remove.
+        path: String,
+    },
+
+    // ---- file metadata -------------------------------------------------------
+    /// Stat by path (follows symlinks; Browsix has none, so `lstat` is the
+    /// same operation).
+    Stat {
+        /// Path to stat.
+        path: String,
+        /// Whether this was an `lstat` call (kept for ABI completeness).
+        lstat: bool,
+    },
+    /// Stat an open descriptor.
+    Fstat {
+        /// Descriptor.
+        fd: i32,
+    },
+    /// Check accessibility of a path.
+    Access {
+        /// Path to check.
+        path: String,
+        /// Mode mask (F_OK/R_OK/W_OK/X_OK) — Browsix relies on the browser
+        /// sandbox, so only existence is checked.
+        mode: u32,
+    },
+    /// Read the target of a symbolic link (always `EINVAL` here: the shared
+    /// file system has no symlinks, matching BrowserFS).
+    Readlink {
+        /// Path to inspect.
+        path: String,
+    },
+    /// Update access/modification times.
+    Utimes {
+        /// Path to touch.
+        path: String,
+        /// Access time (ms since epoch).
+        atime_ms: u64,
+        /// Modification time (ms since epoch).
+        mtime_ms: u64,
+    },
+
+    // ---- sockets ---------------------------------------------------------------
+    /// Create a TCP (`SOCK_STREAM`) socket.
+    Socket,
+    /// Bind a socket to a local port.
+    Bind {
+        /// Socket descriptor.
+        fd: i32,
+        /// Port number (0 asks the kernel to pick one).
+        port: u16,
+    },
+    /// Return the local address of a socket.
+    GetSockName {
+        /// Socket descriptor.
+        fd: i32,
+    },
+    /// Mark a socket as accepting connections.
+    Listen {
+        /// Socket descriptor.
+        fd: i32,
+        /// Backlog size.
+        backlog: u32,
+    },
+    /// Accept a pending connection.
+    Accept {
+        /// Listening socket descriptor.
+        fd: i32,
+    },
+    /// Connect to a listening socket.
+    Connect {
+        /// Socket descriptor.
+        fd: i32,
+        /// Destination port on the in-browser loopback network.
+        port: u16,
+    },
+}
+
+impl Syscall {
+    /// The syscall's name, used for statistics and tracing (and by the
+    /// Figure 3 reproduction).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Spawn { .. } => "spawn",
+            Syscall::Fork { .. } => "fork",
+            Syscall::Pipe2 => "pipe2",
+            Syscall::Wait4 { .. } => "wait4",
+            Syscall::Exit { .. } => "exit",
+            Syscall::Kill { .. } => "kill",
+            Syscall::SignalAction { .. } => "sigaction",
+            Syscall::GetPid => "getpid",
+            Syscall::GetPPid => "getppid",
+            Syscall::GetCwd => "getcwd",
+            Syscall::Chdir { .. } => "chdir",
+            Syscall::Open { .. } => "open",
+            Syscall::Close { .. } => "close",
+            Syscall::Read { .. } => "read",
+            Syscall::Pread { .. } => "pread",
+            Syscall::Write { .. } => "write",
+            Syscall::Pwrite { .. } => "pwrite",
+            Syscall::Seek { .. } => "llseek",
+            Syscall::Dup { .. } => "dup",
+            Syscall::Dup2 { .. } => "dup2",
+            Syscall::Unlink { .. } => "unlink",
+            Syscall::Truncate { .. } => "truncate",
+            Syscall::Rename { .. } => "rename",
+            Syscall::Readdir { .. } => "getdents",
+            Syscall::Mkdir { .. } => "mkdir",
+            Syscall::Rmdir { .. } => "rmdir",
+            Syscall::Stat { lstat, .. } => {
+                if *lstat {
+                    "lstat"
+                } else {
+                    "stat"
+                }
+            }
+            Syscall::Fstat { .. } => "fstat",
+            Syscall::Access { .. } => "access",
+            Syscall::Readlink { .. } => "readlink",
+            Syscall::Utimes { .. } => "utimes",
+            Syscall::Socket => "socket",
+            Syscall::Bind { .. } => "bind",
+            Syscall::GetSockName { .. } => "getsockname",
+            Syscall::Listen { .. } => "listen",
+            Syscall::Accept { .. } => "accept",
+            Syscall::Connect { .. } => "connect",
+        }
+    }
+
+    /// The Figure 3 class this call belongs to.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Syscall::Spawn { .. }
+            | Syscall::Fork { .. }
+            | Syscall::Pipe2
+            | Syscall::Wait4 { .. }
+            | Syscall::Exit { .. }
+            | Syscall::Kill { .. }
+            | Syscall::SignalAction { .. } => "Process Management",
+            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } => {
+                "Process Metadata"
+            }
+            Syscall::Socket
+            | Syscall::Bind { .. }
+            | Syscall::GetSockName { .. }
+            | Syscall::Listen { .. }
+            | Syscall::Accept { .. }
+            | Syscall::Connect { .. } => "Sockets",
+            Syscall::Readdir { .. } | Syscall::Mkdir { .. } | Syscall::Rmdir { .. } => "Directory IO",
+            Syscall::Open { .. }
+            | Syscall::Close { .. }
+            | Syscall::Read { .. }
+            | Syscall::Pread { .. }
+            | Syscall::Write { .. }
+            | Syscall::Pwrite { .. }
+            | Syscall::Seek { .. }
+            | Syscall::Dup { .. }
+            | Syscall::Dup2 { .. }
+            | Syscall::Unlink { .. }
+            | Syscall::Truncate { .. }
+            | Syscall::Rename { .. } => "File IO",
+            Syscall::Stat { .. }
+            | Syscall::Fstat { .. }
+            | Syscall::Access { .. }
+            | Syscall::Readlink { .. }
+            | Syscall::Utimes { .. } => "File Metadata",
+        }
+    }
+
+    /// Encodes the call as a structured-clone message (asynchronous
+    /// convention).  All buffers are inlined and therefore copied.
+    pub fn to_message(&self) -> Message {
+        let mut msg = Message::map().with("syscall", self.name());
+        match self {
+            Syscall::Spawn { path, args, env, cwd, stdio } => {
+                let env_msgs: Vec<Message> = env
+                    .iter()
+                    .map(|(k, v)| Message::Array(vec![Message::from(k.as_str()), Message::from(v.as_str())]))
+                    .collect();
+                msg = msg
+                    .with("path", path.as_str())
+                    .with("args", Message::from(args.clone()))
+                    .with("env", Message::Array(env_msgs))
+                    .with("cwd", cwd.clone().map(Message::Str).unwrap_or(Message::Null))
+                    .with(
+                        "stdio",
+                        Message::Array(
+                            stdio
+                                .iter()
+                                .map(|s| s.map(|fd| Message::Int(fd as i64)).unwrap_or(Message::Null))
+                                .collect(),
+                        ),
+                    );
+            }
+            Syscall::Fork { image, resume_point } => {
+                msg = msg
+                    .with("image", image.clone())
+                    .with("resume", *resume_point as i64);
+            }
+            Syscall::Pipe2 | Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Socket => {}
+            Syscall::Wait4 { pid, options } => {
+                msg = msg.with("pid", *pid as i64).with("options", *options as i64);
+            }
+            Syscall::Exit { code } => msg = msg.with("code", *code as i64),
+            Syscall::Kill { pid, signal } => {
+                msg = msg.with("pid", *pid as i64).with("signal", signal.number() as i64);
+            }
+            Syscall::SignalAction { signal, install } => {
+                msg = msg.with("signal", signal.number() as i64).with("install", *install);
+            }
+            Syscall::Chdir { path } | Syscall::Unlink { path } | Syscall::Rmdir { path } | Syscall::Readdir { path } | Syscall::Readlink { path } => {
+                msg = msg.with("path", path.as_str());
+            }
+            Syscall::Open { path, flags, mode } => {
+                msg = msg
+                    .with("path", path.as_str())
+                    .with("flags", flags.to_bits() as i64)
+                    .with("mode", *mode as i64);
+            }
+            Syscall::Close { fd } | Syscall::Dup { fd } | Syscall::Fstat { fd } | Syscall::GetSockName { fd } | Syscall::Accept { fd } => {
+                msg = msg.with("fd", *fd as i64);
+            }
+            Syscall::Read { fd, len } => {
+                msg = msg.with("fd", *fd as i64).with("len", *len as i64);
+            }
+            Syscall::Pread { fd, len, offset } => {
+                msg = msg
+                    .with("fd", *fd as i64)
+                    .with("len", *len as i64)
+                    .with("offset", *offset as i64);
+            }
+            Syscall::Write { fd, data } => {
+                msg = msg.with("fd", *fd as i64).with("data", byte_source_to_message(data));
+            }
+            Syscall::Pwrite { fd, data, offset } => {
+                msg = msg
+                    .with("fd", *fd as i64)
+                    .with("data", byte_source_to_message(data))
+                    .with("offset", *offset as i64);
+            }
+            Syscall::Seek { fd, offset, whence } => {
+                msg = msg
+                    .with("fd", *fd as i64)
+                    .with("offset", *offset)
+                    .with("whence", *whence as i64);
+            }
+            Syscall::Dup2 { from, to } => {
+                msg = msg.with("from", *from as i64).with("to", *to as i64);
+            }
+            Syscall::Truncate { path, size } => {
+                msg = msg.with("path", path.as_str()).with("size", *size as i64);
+            }
+            Syscall::Rename { from, to } => {
+                msg = msg.with("from", from.as_str()).with("to", to.as_str());
+            }
+            Syscall::Mkdir { path, mode } => {
+                msg = msg.with("path", path.as_str()).with("mode", *mode as i64);
+            }
+            Syscall::Stat { path, lstat } => {
+                msg = msg.with("path", path.as_str()).with("lstat", *lstat);
+            }
+            Syscall::Access { path, mode } => {
+                msg = msg.with("path", path.as_str()).with("mode", *mode as i64);
+            }
+            Syscall::Utimes { path, atime_ms, mtime_ms } => {
+                msg = msg
+                    .with("path", path.as_str())
+                    .with("atime", *atime_ms as i64)
+                    .with("mtime", *mtime_ms as i64);
+            }
+            Syscall::Bind { fd, port } | Syscall::Connect { fd, port } => {
+                msg = msg.with("fd", *fd as i64).with("port", *port as i64);
+            }
+            Syscall::Listen { fd, backlog } => {
+                msg = msg.with("fd", *fd as i64).with("backlog", *backlog as i64);
+            }
+        }
+        msg
+    }
+
+    /// Decodes a call from a structured-clone message.
+    ///
+    /// Returns `None` if the message is not a well-formed system call.
+    pub fn from_message(msg: &Message) -> Option<Syscall> {
+        let name = msg.get_str("syscall")?;
+        let fd = || msg.get_int("fd").map(|v| v as i32);
+        let path = || msg.get_str("path").map(|s| s.to_owned());
+        Some(match name {
+            "spawn" => {
+                let args = msg
+                    .get("args")?
+                    .as_array()?
+                    .iter()
+                    .filter_map(|m| m.as_str().map(|s| s.to_owned()))
+                    .collect();
+                let env = msg
+                    .get("env")?
+                    .as_array()?
+                    .iter()
+                    .filter_map(|pair| {
+                        let items = pair.as_array()?;
+                        Some((items.first()?.as_str()?.to_owned(), items.get(1)?.as_str()?.to_owned()))
+                    })
+                    .collect();
+                let cwd = msg.get("cwd").and_then(|m| m.as_str()).map(|s| s.to_owned());
+                let stdio_msgs = msg.get("stdio")?.as_array()?;
+                let mut stdio = [None, None, None];
+                for (i, slot) in stdio.iter_mut().enumerate() {
+                    *slot = stdio_msgs.get(i).and_then(|m| m.as_int()).map(|v| v as i32);
+                }
+                Syscall::Spawn { path: path()?, args, env, cwd, stdio }
+            }
+            "fork" => Syscall::Fork {
+                image: msg.get_bytes("image")?.to_vec(),
+                resume_point: msg.get_int("resume")? as u64,
+            },
+            "pipe2" => Syscall::Pipe2,
+            "wait4" => Syscall::Wait4 {
+                pid: msg.get_int("pid")? as i32,
+                options: msg.get_int("options")? as u32,
+            },
+            "exit" => Syscall::Exit { code: msg.get_int("code")? as i32 },
+            "kill" => Syscall::Kill {
+                pid: msg.get_int("pid")? as Pid,
+                signal: Signal::from_number(msg.get_int("signal")? as i32)?,
+            },
+            "sigaction" => Syscall::SignalAction {
+                signal: Signal::from_number(msg.get_int("signal")? as i32)?,
+                install: msg.get_int("install")? != 0,
+            },
+            "getpid" => Syscall::GetPid,
+            "getppid" => Syscall::GetPPid,
+            "getcwd" => Syscall::GetCwd,
+            "chdir" => Syscall::Chdir { path: path()? },
+            "open" => Syscall::Open {
+                path: path()?,
+                flags: OpenFlags::from_bits(msg.get_int("flags")? as u32).ok()?,
+                mode: msg.get_int("mode")? as u32,
+            },
+            "close" => Syscall::Close { fd: fd()? },
+            "read" => Syscall::Read { fd: fd()?, len: msg.get_int("len")? as u32 },
+            "pread" => Syscall::Pread {
+                fd: fd()?,
+                len: msg.get_int("len")? as u32,
+                offset: msg.get_int("offset")? as u64,
+            },
+            "write" => Syscall::Write { fd: fd()?, data: byte_source_from_message(msg.get("data")?)? },
+            "pwrite" => Syscall::Pwrite {
+                fd: fd()?,
+                data: byte_source_from_message(msg.get("data")?)?,
+                offset: msg.get_int("offset")? as u64,
+            },
+            "llseek" => Syscall::Seek {
+                fd: fd()?,
+                offset: msg.get_int("offset")?,
+                whence: msg.get_int("whence")? as u32,
+            },
+            "dup" => Syscall::Dup { fd: fd()? },
+            "dup2" => Syscall::Dup2 {
+                from: msg.get_int("from")? as i32,
+                to: msg.get_int("to")? as i32,
+            },
+            "unlink" => Syscall::Unlink { path: path()? },
+            "truncate" => Syscall::Truncate { path: path()?, size: msg.get_int("size")? as u64 },
+            "rename" => Syscall::Rename {
+                from: msg.get_str("from")?.to_owned(),
+                to: msg.get_str("to")?.to_owned(),
+            },
+            "getdents" => Syscall::Readdir { path: path()? },
+            "mkdir" => Syscall::Mkdir { path: path()?, mode: msg.get_int("mode")? as u32 },
+            "rmdir" => Syscall::Rmdir { path: path()? },
+            "stat" | "lstat" => Syscall::Stat { path: path()?, lstat: name == "lstat" },
+            "fstat" => Syscall::Fstat { fd: fd()? },
+            "access" => Syscall::Access { path: path()?, mode: msg.get_int("mode")? as u32 },
+            "readlink" => Syscall::Readlink { path: path()? },
+            "utimes" => Syscall::Utimes {
+                path: path()?,
+                atime_ms: msg.get_int("atime")? as u64,
+                mtime_ms: msg.get_int("mtime")? as u64,
+            },
+            "socket" => Syscall::Socket,
+            "bind" => Syscall::Bind { fd: fd()?, port: msg.get_int("port")? as u16 },
+            "getsockname" => Syscall::GetSockName { fd: fd()? },
+            "listen" => Syscall::Listen { fd: fd()?, backlog: msg.get_int("backlog")? as u32 },
+            "accept" => Syscall::Accept { fd: fd()? },
+            "connect" => Syscall::Connect { fd: fd()?, port: msg.get_int("port")? as u16 },
+            _ => return None,
+        })
+    }
+}
+
+fn byte_source_to_message(source: &ByteSource) -> Message {
+    match source {
+        ByteSource::Inline(data) => Message::Bytes(data.clone()),
+        ByteSource::SharedHeap { offset, len } => Message::map()
+            .with("shared_offset", *offset as i64)
+            .with("shared_len", *len as i64),
+    }
+}
+
+fn byte_source_from_message(msg: &Message) -> Option<ByteSource> {
+    if let Some(bytes) = msg.as_bytes() {
+        return Some(ByteSource::Inline(bytes.to_vec()));
+    }
+    Some(ByteSource::SharedHeap {
+        offset: msg.get_int("shared_offset")? as u32,
+        len: msg.get_int("shared_len")? as u32,
+    })
+}
+
+/// The result of a system call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SysResult {
+    /// Success with no interesting value.
+    Ok,
+    /// A scalar result (descriptor, byte count, pid, offset...).
+    Int(i64),
+    /// A pair of scalars (`pipe2` returns the read and write descriptors).
+    Pair(i64, i64),
+    /// Bytes read.
+    Data(Vec<u8>),
+    /// A path (`getcwd`, `readlink`).
+    Path(String),
+    /// File metadata (`stat` family).
+    Stat(Metadata),
+    /// Directory entries (`getdents`).
+    Entries(Vec<DirEntry>),
+    /// A reaped child and its wait status (`wait4`).
+    Wait {
+        /// The reaped child's pid (0 when `WNOHANG` found nothing).
+        pid: Pid,
+        /// The encoded wait status.
+        status: i32,
+    },
+    /// Failure.
+    Err(Errno),
+}
+
+impl SysResult {
+    /// Whether this is an error result.
+    pub fn is_err(&self) -> bool {
+        matches!(self, SysResult::Err(_))
+    }
+
+    /// Converts into a `Result`, mapping every success variant to itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the contained [`Errno`] for [`SysResult::Err`].
+    pub fn into_result(self) -> Result<SysResult, Errno> {
+        match self {
+            SysResult::Err(errno) => Err(errno),
+            other => Ok(other),
+        }
+    }
+
+    /// The scalar payload of an `Int` (or the errno-style negative value of an
+    /// error), mirroring the raw Linux ABI return convention.
+    pub fn as_linux_return(&self) -> i64 {
+        match self {
+            SysResult::Ok => 0,
+            SysResult::Int(v) => *v,
+            SysResult::Pair(a, _) => *a,
+            SysResult::Data(data) => data.len() as i64,
+            SysResult::Path(path) => path.len() as i64,
+            SysResult::Stat(_) => 0,
+            SysResult::Entries(entries) => entries.len() as i64,
+            SysResult::Wait { pid, .. } => *pid as i64,
+            SysResult::Err(errno) => errno.as_syscall_return(),
+        }
+    }
+
+    /// Encodes the result as a structured-clone message (asynchronous
+    /// convention).
+    pub fn to_message(&self) -> Message {
+        match self {
+            SysResult::Ok => Message::map().with("kind", "ok"),
+            SysResult::Int(v) => Message::map().with("kind", "int").with("value", *v),
+            SysResult::Pair(a, b) => Message::map().with("kind", "pair").with("a", *a).with("b", *b),
+            SysResult::Data(data) => Message::map().with("kind", "data").with("data", data.clone()),
+            SysResult::Path(path) => Message::map().with("kind", "path").with("path", path.as_str()),
+            SysResult::Stat(meta) => Message::map()
+                .with("kind", "stat")
+                .with("size", meta.size as i64)
+                .with("mode", meta.mode as i64)
+                .with("mtime", meta.mtime_ms as i64)
+                .with("atime", meta.atime_ms as i64)
+                .with("is_dir", meta.is_dir()),
+            SysResult::Entries(entries) => Message::map().with("kind", "entries").with(
+                "entries",
+                Message::Array(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Message::map()
+                                .with("name", e.name.as_str())
+                                .with("is_dir", e.file_type == FileType::Directory)
+                        })
+                        .collect(),
+                ),
+            ),
+            SysResult::Wait { pid, status } => Message::map()
+                .with("kind", "wait")
+                .with("pid", *pid as i64)
+                .with("status", *status as i64),
+            SysResult::Err(errno) => Message::map().with("kind", "err").with("errno", errno.code() as i64),
+        }
+    }
+
+    /// Decodes a result from a structured-clone message.
+    ///
+    /// Returns `None` if the message is not a well-formed result.
+    pub fn from_message(msg: &Message) -> Option<SysResult> {
+        Some(match msg.get_str("kind")? {
+            "ok" => SysResult::Ok,
+            "int" => SysResult::Int(msg.get_int("value")?),
+            "pair" => SysResult::Pair(msg.get_int("a")?, msg.get_int("b")?),
+            "data" => SysResult::Data(msg.get_bytes("data")?.to_vec()),
+            "path" => SysResult::Path(msg.get_str("path")?.to_owned()),
+            "stat" => SysResult::Stat(Metadata {
+                file_type: if msg.get_int("is_dir")? != 0 {
+                    FileType::Directory
+                } else {
+                    FileType::Regular
+                },
+                size: msg.get_int("size")? as u64,
+                mode: msg.get_int("mode")? as u32,
+                mtime_ms: msg.get_int("mtime")? as u64,
+                atime_ms: msg.get_int("atime")? as u64,
+            }),
+            "entries" => SysResult::Entries(
+                msg.get("entries")?
+                    .as_array()?
+                    .iter()
+                    .filter_map(|e| {
+                        Some(DirEntry {
+                            name: e.get_str("name")?.to_owned(),
+                            file_type: if e.get_int("is_dir")? != 0 {
+                                FileType::Directory
+                            } else {
+                                FileType::Regular
+                            },
+                        })
+                    })
+                    .collect(),
+            ),
+            "wait" => SysResult::Wait {
+                pid: msg.get_int("pid")? as Pid,
+                status: msg.get_int("status")? as i32,
+            },
+            "err" => SysResult::Err(Errno::from_code(msg.get_int("errno")? as i32)?),
+            _ => return None,
+        })
+    }
+
+    /// Encodes the result into the compact byte format written into a
+    /// process's shared heap by the synchronous convention.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        // A Message-free, allocation-light framing: tag byte + payload.
+        let mut out = Vec::with_capacity(16);
+        match self {
+            SysResult::Ok => out.push(0),
+            SysResult::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            SysResult::Pair(a, b) => {
+                out.push(2);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            SysResult::Data(data) => {
+                out.push(3);
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            SysResult::Path(path) => {
+                out.push(4);
+                out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+                out.extend_from_slice(path.as_bytes());
+            }
+            SysResult::Stat(meta) => {
+                out.push(5);
+                out.extend_from_slice(&meta.size.to_le_bytes());
+                out.extend_from_slice(&meta.mode.to_le_bytes());
+                out.extend_from_slice(&meta.mtime_ms.to_le_bytes());
+                out.extend_from_slice(&meta.atime_ms.to_le_bytes());
+                out.push(meta.is_dir() as u8);
+            }
+            SysResult::Entries(entries) => {
+                out.push(6);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for entry in entries {
+                    out.push((entry.file_type == FileType::Directory) as u8);
+                    out.extend_from_slice(&(entry.name.len() as u32).to_le_bytes());
+                    out.extend_from_slice(entry.name.as_bytes());
+                }
+            }
+            SysResult::Wait { pid, status } => {
+                out.push(7);
+                out.extend_from_slice(&pid.to_le_bytes());
+                out.extend_from_slice(&status.to_le_bytes());
+            }
+            SysResult::Err(errno) => {
+                out.push(255);
+                out.extend_from_slice(&errno.code().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a result from the compact byte format.
+    ///
+    /// Returns `None` if the bytes are malformed.
+    pub fn decode_bytes(bytes: &[u8]) -> Option<SysResult> {
+        fn read_u32(bytes: &[u8], pos: usize) -> Option<u32> {
+            Some(u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?))
+        }
+        fn read_u64(bytes: &[u8], pos: usize) -> Option<u64> {
+            Some(u64::from_le_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?))
+        }
+        let tag = *bytes.first()?;
+        Some(match tag {
+            0 => SysResult::Ok,
+            1 => SysResult::Int(read_u64(bytes, 1)? as i64),
+            2 => SysResult::Pair(read_u64(bytes, 1)? as i64, read_u64(bytes, 9)? as i64),
+            3 => {
+                let len = read_u32(bytes, 1)? as usize;
+                SysResult::Data(bytes.get(5..5 + len)?.to_vec())
+            }
+            4 => {
+                let len = read_u32(bytes, 1)? as usize;
+                SysResult::Path(String::from_utf8(bytes.get(5..5 + len)?.to_vec()).ok()?)
+            }
+            5 => SysResult::Stat(Metadata {
+                size: read_u64(bytes, 1)?,
+                mode: read_u32(bytes, 9)?,
+                mtime_ms: read_u64(bytes, 13)?,
+                atime_ms: read_u64(bytes, 21)?,
+                file_type: if *bytes.get(29)? != 0 { FileType::Directory } else { FileType::Regular },
+            }),
+            6 => {
+                let count = read_u32(bytes, 1)? as usize;
+                let mut entries = Vec::with_capacity(count);
+                let mut pos = 5;
+                for _ in 0..count {
+                    let is_dir = *bytes.get(pos)? != 0;
+                    let len = read_u32(bytes, pos + 1)? as usize;
+                    let name = String::from_utf8(bytes.get(pos + 5..pos + 5 + len)?.to_vec()).ok()?;
+                    entries.push(DirEntry {
+                        name,
+                        file_type: if is_dir { FileType::Directory } else { FileType::Regular },
+                    });
+                    pos += 5 + len;
+                }
+                SysResult::Entries(entries)
+            }
+            7 => SysResult::Wait {
+                pid: read_u32(bytes, 1)?,
+                status: read_u32(bytes, 5)? as i32,
+            },
+            255 => SysResult::Err(Errno::from_code(read_u32(bytes, 1)? as i32)?),
+            _ => return None,
+        })
+    }
+}
+
+impl From<Result<SysResult, Errno>> for SysResult {
+    fn from(value: Result<SysResult, Errno>) -> Self {
+        match value {
+            Ok(result) => result,
+            Err(errno) => SysResult::Err(errno),
+        }
+    }
+}
+
+/// How a system call travelled from the process to the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transport {
+    /// Asynchronous convention: the structured-clone encoded call, plus the
+    /// sequence number the response must carry.
+    Async {
+        /// Per-process sequence number used to match responses.
+        seq: u64,
+        /// The encoded call.
+        msg: Message,
+    },
+    /// Synchronous convention: the decoded call (arguments are integers or
+    /// shared-heap references); the response is written into the process's
+    /// shared heap.
+    Sync {
+        /// The call.
+        call: Syscall,
+    },
+}
+
+/// Encodes an exit code / terminating signal into a Linux-style wait status.
+pub fn encode_wait_status(exit_code: Option<i32>, signal: Option<Signal>) -> i32 {
+    match (exit_code, signal) {
+        (_, Some(sig)) => sig.termination_status(),
+        (Some(code), None) => (code & 0xff) << 8,
+        (None, None) => 0,
+    }
+}
+
+/// Extracts the exit code from a wait status, if the child exited normally.
+pub fn wait_status_exit_code(status: i32) -> Option<i32> {
+    if status & 0x7f == 0 {
+        Some((status >> 8) & 0xff)
+    } else {
+        None
+    }
+}
+
+/// Extracts the terminating signal from a wait status, if any.
+pub fn wait_status_signal(status: i32) -> Option<Signal> {
+    let sig = status & 0x7f;
+    if sig != 0 {
+        Signal::from_number(sig)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_calls() -> Vec<Syscall> {
+        vec![
+            Syscall::Spawn {
+                path: "/usr/bin/pdflatex".into(),
+                args: vec!["pdflatex".into(), "main.tex".into()],
+                env: vec![("HOME".into(), "/home".into())],
+                cwd: Some("/home".into()),
+                stdio: [None, Some(4), Some(5)],
+            },
+            Syscall::Fork { image: vec![1, 2, 3], resume_point: 42 },
+            Syscall::Pipe2,
+            Syscall::Wait4 { pid: -1, options: 1 },
+            Syscall::Exit { code: 3 },
+            Syscall::Kill { pid: 7, signal: Signal::SIGTERM },
+            Syscall::SignalAction { signal: Signal::SIGCHLD, install: true },
+            Syscall::GetPid,
+            Syscall::GetPPid,
+            Syscall::GetCwd,
+            Syscall::Chdir { path: "/tmp".into() },
+            Syscall::Open { path: "/etc/passwd".into(), flags: OpenFlags::read_only(), mode: 0 },
+            Syscall::Close { fd: 3 },
+            Syscall::Read { fd: 3, len: 4096 },
+            Syscall::Pread { fd: 3, len: 16, offset: 100 },
+            Syscall::Write { fd: 1, data: ByteSource::Inline(b"hello".to_vec()) },
+            Syscall::Pwrite { fd: 1, data: ByteSource::SharedHeap { offset: 64, len: 10 }, offset: 0 },
+            Syscall::Seek { fd: 3, offset: -10, whence: 2 },
+            Syscall::Dup { fd: 1 },
+            Syscall::Dup2 { from: 4, to: 1 },
+            Syscall::Unlink { path: "/tmp/x".into() },
+            Syscall::Truncate { path: "/tmp/x".into(), size: 10 },
+            Syscall::Rename { from: "/a".into(), to: "/b".into() },
+            Syscall::Readdir { path: "/usr/bin".into() },
+            Syscall::Mkdir { path: "/tmp/d".into(), mode: 0o755 },
+            Syscall::Rmdir { path: "/tmp/d".into() },
+            Syscall::Stat { path: "/etc".into(), lstat: false },
+            Syscall::Stat { path: "/etc".into(), lstat: true },
+            Syscall::Fstat { fd: 0 },
+            Syscall::Access { path: "/bin/sh".into(), mode: 1 },
+            Syscall::Readlink { path: "/proc/self".into() },
+            Syscall::Utimes { path: "/tmp/x".into(), atime_ms: 1, mtime_ms: 2 },
+            Syscall::Socket,
+            Syscall::Bind { fd: 3, port: 8080 },
+            Syscall::GetSockName { fd: 3 },
+            Syscall::Listen { fd: 3, backlog: 16 },
+            Syscall::Accept { fd: 3 },
+            Syscall::Connect { fd: 4, port: 8080 },
+        ]
+    }
+
+    #[test]
+    fn every_syscall_round_trips_through_messages() {
+        for call in sample_calls() {
+            let msg = call.to_message();
+            let decoded = Syscall::from_message(&msg).unwrap_or_else(|| panic!("{}", call.name()));
+            assert_eq!(decoded, call, "{}", call.name());
+        }
+    }
+
+    #[test]
+    fn figure3_classes_are_covered() {
+        let classes: std::collections::HashSet<&str> = sample_calls().iter().map(|c| c.class()).collect();
+        for expected in [
+            "Process Management",
+            "Process Metadata",
+            "Sockets",
+            "Directory IO",
+            "File IO",
+            "File Metadata",
+        ] {
+            assert!(classes.contains(expected), "missing class {expected}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_per_variant_shape() {
+        let names: Vec<&str> = sample_calls().iter().map(|c| c.name()).collect();
+        // `stat` and `lstat` intentionally share a variant; all others unique.
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert!(unique.len() >= names.len() - 1);
+    }
+
+    fn sample_results() -> Vec<SysResult> {
+        vec![
+            SysResult::Ok,
+            SysResult::Int(42),
+            SysResult::Int(-1),
+            SysResult::Pair(3, 4),
+            SysResult::Data(vec![0, 1, 2, 250]),
+            SysResult::Path("/home/user".into()),
+            SysResult::Stat(Metadata {
+                file_type: FileType::Directory,
+                size: 0,
+                mode: 0o755,
+                mtime_ms: 1234,
+                atime_ms: 5678,
+            }),
+            SysResult::Entries(vec![DirEntry::file("a.txt"), DirEntry::dir("sub")]),
+            SysResult::Wait { pid: 9, status: 256 },
+            SysResult::Err(Errno::ENOENT),
+        ]
+    }
+
+    #[test]
+    fn results_round_trip_through_messages() {
+        for result in sample_results() {
+            let decoded = SysResult::from_message(&result.to_message()).unwrap();
+            assert_eq!(decoded, result);
+        }
+    }
+
+    #[test]
+    fn results_round_trip_through_shared_heap_bytes() {
+        for result in sample_results() {
+            let decoded = SysResult::decode_bytes(&result.encode_bytes()).unwrap();
+            assert_eq!(decoded, result);
+        }
+    }
+
+    #[test]
+    fn malformed_encodings_return_none() {
+        assert_eq!(Syscall::from_message(&Message::Null), None);
+        assert_eq!(Syscall::from_message(&Message::map().with("syscall", "bogus")), None);
+        assert_eq!(SysResult::from_message(&Message::map().with("kind", "bogus")), None);
+        assert_eq!(SysResult::decode_bytes(&[99]), None);
+        assert_eq!(SysResult::decode_bytes(&[]), None);
+        assert_eq!(SysResult::decode_bytes(&[3, 255, 255, 255, 255]), None);
+    }
+
+    #[test]
+    fn linux_return_convention() {
+        assert_eq!(SysResult::Ok.as_linux_return(), 0);
+        assert_eq!(SysResult::Int(7).as_linux_return(), 7);
+        assert_eq!(SysResult::Err(Errno::ENOENT).as_linux_return(), -2);
+        assert_eq!(SysResult::Data(vec![1, 2, 3]).as_linux_return(), 3);
+        assert!(SysResult::Err(Errno::EBADF).is_err());
+        assert!(SysResult::Int(0).into_result().is_ok());
+        assert_eq!(SysResult::Err(Errno::EBADF).into_result(), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn wait_status_encoding() {
+        let exited = encode_wait_status(Some(3), None);
+        assert_eq!(wait_status_exit_code(exited), Some(3));
+        assert_eq!(wait_status_signal(exited), None);
+
+        let killed = encode_wait_status(None, Some(Signal::SIGKILL));
+        assert_eq!(wait_status_exit_code(killed), None);
+        assert_eq!(wait_status_signal(killed), Some(Signal::SIGKILL));
+    }
+
+    #[test]
+    fn byte_source_length() {
+        assert_eq!(ByteSource::Inline(vec![1, 2, 3]).len(), 3);
+        assert!(ByteSource::Inline(vec![]).is_empty());
+        assert_eq!(ByteSource::SharedHeap { offset: 0, len: 10 }.len(), 10);
+        assert!(!ByteSource::SharedHeap { offset: 0, len: 10 }.is_empty());
+    }
+
+    #[test]
+    fn async_messages_for_writes_carry_payload_size() {
+        // The asynchronous convention pays a copy cost proportional to the
+        // payload; the synchronous convention's message stays tiny.
+        let big = Syscall::Write { fd: 1, data: ByteSource::Inline(vec![0u8; 4096]) };
+        let small = Syscall::Write { fd: 1, data: ByteSource::SharedHeap { offset: 0, len: 4096 } };
+        assert!(big.to_message().byte_size() > 4096);
+        assert!(small.to_message().byte_size() < 256);
+    }
+}

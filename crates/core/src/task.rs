@@ -1,0 +1,180 @@
+//! Task structures.
+//!
+//! "Each BROWSIX process has an associated task structure that lives in the
+//! kernel that contains its process ID, parent's process ID, Web Worker
+//! object, current working directory, and map of open file descriptors."
+//! [`Task`] is that structure, extended with the bookkeeping the kernel needs
+//! for signals, `wait4` (the zombie state), synchronous system calls (the
+//! registered shared heap) and `fork` (the launcher used to start it).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use browsix_browser::{SharedArrayBuffer, Worker};
+
+use crate::exec::ProgramLauncher;
+use crate::fd::FdTable;
+use crate::signals::Signal;
+
+/// A process identifier.
+pub type Pid = u32;
+
+/// The lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// The process is running (its worker is alive).
+    Running,
+    /// The process has exited but has not yet been reaped by `wait4`.
+    Zombie {
+        /// The encoded wait status (exit code or terminating signal).
+        status: i32,
+    },
+}
+
+/// The shared heap a process registered for synchronous system calls: the
+/// `SharedArrayBuffer` plus the offsets agreed with the kernel for the
+/// response area and the wake address.
+#[derive(Debug, Clone)]
+pub struct SyncHeap {
+    /// The shared memory.
+    pub sab: SharedArrayBuffer,
+    /// Where the kernel writes encoded system-call results.
+    pub resp_offset: usize,
+    /// The `Atomics.wait`/`Atomics.notify` address.
+    pub wake_offset: usize,
+}
+
+/// A kernel task.
+pub struct Task {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process id (0 for processes started by the embedding web
+    /// application through the host API).
+    pub ppid: Pid,
+    /// Executable name, for diagnostics (`ps`-style listings).
+    pub name: String,
+    /// Path of the executable the task was started from.
+    pub exe_path: String,
+    /// Current working directory.
+    pub cwd: String,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Open file descriptors.
+    pub files: FdTable,
+    /// The Web Worker running the process, if still alive.
+    pub worker: Option<Worker>,
+    /// Signals for which the process has installed a handler.
+    pub signal_handlers: HashSet<Signal>,
+    /// Registered shared heap for synchronous system calls.
+    pub sync_heap: Option<SyncHeap>,
+    /// Child process ids (live or zombie).
+    pub children: Vec<Pid>,
+    /// Argument vector the task was started with.
+    pub args: Vec<String>,
+    /// Environment the task was started with.
+    pub env: Vec<(String, String)>,
+    /// The launcher that started this task; reused by `fork`.
+    pub launcher: Option<Arc<dyn ProgramLauncher>>,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("pid", &self.pid)
+            .field("ppid", &self.ppid)
+            .field("name", &self.name)
+            .field("cwd", &self.cwd)
+            .field("state", &self.state)
+            .field("fds", &self.files.len())
+            .field("children", &self.children)
+            .finish()
+    }
+}
+
+impl Task {
+    /// Creates a fresh running task with an empty descriptor table.
+    pub fn new(pid: Pid, ppid: Pid, name: &str, exe_path: &str, cwd: &str) -> Task {
+        Task {
+            pid,
+            ppid,
+            name: name.to_owned(),
+            exe_path: exe_path.to_owned(),
+            cwd: cwd.to_owned(),
+            state: TaskState::Running,
+            files: FdTable::new(),
+            worker: None,
+            signal_handlers: HashSet::new(),
+            sync_heap: None,
+            children: Vec::new(),
+            args: Vec::new(),
+            env: Vec::new(),
+            launcher: None,
+        }
+    }
+
+    /// Whether the task is still running.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, TaskState::Running)
+    }
+
+    /// Whether the task is a zombie awaiting `wait4`.
+    pub fn is_zombie(&self) -> bool {
+        matches!(self.state, TaskState::Zombie { .. })
+    }
+
+    /// The zombie's wait status, if it has one.
+    pub fn wait_status(&self) -> Option<i32> {
+        match self.state {
+            TaskState::Zombie { status } => Some(status),
+            TaskState::Running => None,
+        }
+    }
+
+    /// Whether the task has installed a handler for `signal`.
+    pub fn handles_signal(&self, signal: Signal) -> bool {
+        self.signal_handlers.contains(&signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_task_is_running_with_no_fds() {
+        let task = Task::new(3, 1, "cat", "/usr/bin/cat", "/home");
+        assert!(task.is_running());
+        assert!(!task.is_zombie());
+        assert_eq!(task.wait_status(), None);
+        assert_eq!(task.files.len(), 0);
+        assert_eq!(task.cwd, "/home");
+        assert_eq!(task.pid, 3);
+        assert_eq!(task.ppid, 1);
+    }
+
+    #[test]
+    fn zombie_state_carries_status() {
+        let mut task = Task::new(5, 1, "ls", "/usr/bin/ls", "/");
+        task.state = TaskState::Zombie { status: 0x100 };
+        assert!(task.is_zombie());
+        assert_eq!(task.wait_status(), Some(0x100));
+    }
+
+    #[test]
+    fn signal_handler_registration() {
+        let mut task = Task::new(2, 1, "sh", "/bin/sh", "/");
+        assert!(!task.handles_signal(Signal::SIGCHLD));
+        task.signal_handlers.insert(Signal::SIGCHLD);
+        assert!(task.handles_signal(Signal::SIGCHLD));
+        task.signal_handlers.remove(&Signal::SIGCHLD);
+        assert!(!task.handles_signal(Signal::SIGCHLD));
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let task = Task::new(1, 0, "make", "/usr/bin/make", "/proj");
+        let text = format!("{task:?}");
+        assert!(text.contains("make"));
+        assert!(text.contains("pid: 1"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`FileSystem`] trait implemented by every backend.
+//!
+//! BrowserFS exposes a single node-style API over very different storage
+//! targets (in-memory, zip files, XMLHttpRequest, Dropbox, overlays); Browsix
+//! reuses that interface and routes the kernel's path-based system calls to
+//! it.  Our equivalent is a path-based, object-safe trait with interior
+//! mutability so a backend can sit behind an `Arc` and be shared by the
+//! kernel and every process.
+
+use crate::errno::Errno;
+use crate::types::{DirEntry, Metadata};
+
+/// Result alias used by all file-system operations.
+pub type FsResult<T> = Result<T, Errno>;
+
+/// A file-system backend.
+///
+/// All paths are absolute within the backend (they begin with `/`), already
+/// normalised by the caller ([`MountedFs`](crate::MountedFs) does this).
+/// Implementations use interior mutability: methods take `&self` so a backend
+/// can be shared behind an `Arc` by many processes, which is exactly the
+/// multi-process sharing Browsix adds on top of BrowserFS.
+pub trait FileSystem: Send + Sync {
+    /// A short name identifying the backend type (e.g. `"memfs"`,
+    /// `"httpfs"`), used in diagnostics and the feature table.
+    fn backend_name(&self) -> &'static str;
+
+    /// Whether the backend rejects all mutating operations.
+    fn read_only(&self) -> bool {
+        false
+    }
+
+    /// Returns metadata for the node at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if the node does not exist; [`Errno::ENOTDIR`] if a
+    /// non-final component is not a directory.
+    fn stat(&self, path: &str) -> FsResult<Metadata>;
+
+    /// Lists the entries of the directory at `path` (excluding `.`/`..`).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::ENOTDIR`] if not a directory.
+    fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Creates a directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EEXIST`] if a node already exists, [`Errno::ENOENT`] if the
+    /// parent is missing, [`Errno::EROFS`] on read-only backends.
+    fn mkdir(&self, path: &str) -> FsResult<()>;
+
+    /// Removes the *empty* directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOTEMPTY`] if it still has entries, [`Errno::ENOTDIR`] if it
+    /// is not a directory, [`Errno::ENOENT`] if missing.
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+
+    /// Creates an empty regular file at `path` (the `O_CREAT` half of `open`).
+    /// Succeeds silently if a regular file already exists.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EISDIR`] if `path` is a directory, [`Errno::ENOENT`] if the
+    /// parent is missing, [`Errno::EROFS`] on read-only backends.
+    fn create(&self, path: &str, mode: u32) -> FsResult<()>;
+
+    /// Removes the regular file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EISDIR`] if `path` is a directory, [`Errno::ENOENT`] if
+    /// missing, [`Errno::EROFS`] on read-only backends.
+    fn unlink(&self, path: &str) -> FsResult<()>;
+
+    /// Renames `from` to `to`, replacing `to` if it is a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if `from` is missing, [`Errno::EROFS`] on read-only
+    /// backends.
+    fn rename(&self, from: &str, to: &str) -> FsResult<()>;
+
+    /// Reads up to `len` bytes from the regular file at `path`, starting at
+    /// byte `offset`.  Reads past the end of the file return a short (possibly
+    /// empty) buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::EISDIR`] if a directory.
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>>;
+
+    /// Writes `data` into the regular file at `path` at byte `offset`,
+    /// extending the file (zero-filled) if the offset lies past the end.
+    /// Returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::EISDIR`] if a directory,
+    /// [`Errno::EROFS`] on read-only backends.
+    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Truncates (or zero-extends) the regular file at `path` to `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FileSystem::write_at`].
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()>;
+
+    /// Updates access/modification times (the `utimes` system call).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::EROFS`] on read-only backends.
+    fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()>;
+
+    /// Changes permission bits.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::EROFS`] on read-only backends.
+    fn chmod(&self, path: &str, mode: u32) -> FsResult<()>;
+
+    /// Whether a node exists at `path`.
+    fn exists(&self, path: &str) -> bool {
+        self.stat(path).is_ok()
+    }
+
+    /// Reads an entire regular file.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FileSystem::read_at`].
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let meta = self.stat(path)?;
+        if meta.is_dir() {
+            return Err(Errno::EISDIR);
+        }
+        self.read_at(path, 0, meta.size as usize)
+    }
+
+    /// Creates/replaces an entire regular file with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FileSystem::create`] and [`FileSystem::write_at`].
+    fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        self.create(path, 0o644)?;
+        self.truncate(path, 0)?;
+        if !data.is_empty() {
+            self.write_at(path, 0, data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Creates every missing ancestor directory of `path` (like `mkdir -p` on the
+/// parent), a helper several backends and the staging code share.
+///
+/// # Errors
+///
+/// Propagates any error other than [`Errno::EEXIST`] from the backend.
+pub fn make_parent_dirs(fs: &dyn FileSystem, path: &str) -> FsResult<()> {
+    let parent = crate::path::dirname(path);
+    let mut current = String::from("/");
+    for component in crate::path::components(&parent) {
+        if current != "/" {
+            current.push('/');
+        }
+        current.push_str(&component);
+        match fs.mkdir(&current) {
+            Ok(()) | Err(Errno::EEXIST) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+
+    #[test]
+    fn default_read_file_and_write_file_round_trip() {
+        let fs = MemFs::new();
+        fs.write_file("/hello.txt", b"hello world").unwrap();
+        assert_eq!(fs.read_file("/hello.txt").unwrap(), b"hello world");
+        // write_file truncates prior contents.
+        fs.write_file("/hello.txt", b"hi").unwrap();
+        assert_eq!(fs.read_file("/hello.txt").unwrap(), b"hi");
+    }
+
+    #[test]
+    fn exists_defaults_to_stat() {
+        let fs = MemFs::new();
+        assert!(!fs.exists("/nope"));
+        fs.write_file("/yes", b"1").unwrap();
+        assert!(fs.exists("/yes"));
+    }
+
+    #[test]
+    fn make_parent_dirs_creates_chain() {
+        let fs = MemFs::new();
+        make_parent_dirs(&fs, "/a/b/c/file.txt").unwrap();
+        assert!(fs.stat("/a/b/c").unwrap().is_dir());
+        // Idempotent.
+        make_parent_dirs(&fs, "/a/b/c/file.txt").unwrap();
+    }
+
+    #[test]
+    fn read_file_of_directory_is_eisdir() {
+        let fs = MemFs::new();
+        fs.mkdir("/dir").unwrap();
+        assert_eq!(fs.read_file("/dir"), Err(Errno::EISDIR));
+    }
+}

@@ -1,0 +1,282 @@
+//! Read-only bundles: a file system built ahead of time from static content.
+//!
+//! BrowserFS ships a zip-file backend that web applications use to stage
+//! read-only assets.  Browsix's LaTeX editor and meme generator both stage
+//! files this way (Makefiles, document sources, fonts, base images).  Our
+//! [`Bundle`] is the logical equivalent: a set of `(path, bytes)` pairs
+//! assembled by a builder and served read-only by [`BundleFs`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::backend::{FileSystem, FsResult};
+use crate::errno::Errno;
+use crate::path::{components, normalize};
+use crate::types::{now_millis, DirEntry, FileType, Metadata};
+
+/// A static set of files, assembled with [`Bundle::insert`] and then mounted
+/// through [`BundleFs`].
+#[derive(Debug, Clone, Default)]
+pub struct Bundle {
+    files: BTreeMap<String, Arc<Vec<u8>>>,
+}
+
+impl Bundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Bundle {
+        Bundle::default()
+    }
+
+    /// Adds (or replaces) a file.  The path is normalised.
+    pub fn insert(&mut self, path: &str, data: impl Into<Vec<u8>>) -> &mut Self {
+        self.files.insert(normalize(path), Arc::new(data.into()));
+        self
+    }
+
+    /// Adds a UTF-8 text file; convenience wrapper over [`Bundle::insert`].
+    pub fn insert_text(&mut self, path: &str, text: &str) -> &mut Self {
+        self.insert(path, text.as_bytes().to_vec())
+    }
+
+    /// Number of files in the bundle.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the bundle contains no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total payload size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|d| d.len() as u64).sum()
+    }
+
+    /// Iterates over `(path, data)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.files.iter().map(|(p, d)| (p.as_str(), d.as_slice()))
+    }
+
+    /// Looks up a file by (normalised) path.
+    pub fn get(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(&normalize(path)).map(|d| d.as_slice())
+    }
+
+    /// All file paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+/// A read-only [`FileSystem`] serving the contents of a [`Bundle`].
+///
+/// Directories are implied by file paths: if `/a/b/c.txt` exists, `/a` and
+/// `/a/b` are directories.
+#[derive(Debug)]
+pub struct BundleFs {
+    bundle: Bundle,
+    created_ms: u64,
+}
+
+impl BundleFs {
+    /// Wraps a bundle in a read-only file system.
+    pub fn new(bundle: Bundle) -> BundleFs {
+        BundleFs { bundle, created_ms: now_millis() }
+    }
+
+    /// Access to the underlying bundle.
+    pub fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    fn is_implied_dir(&self, path: &str) -> bool {
+        let normalized = normalize(path);
+        if normalized == "/" {
+            return true;
+        }
+        let prefix = format!("{normalized}/");
+        self.bundle.files.keys().any(|p| p.starts_with(&prefix))
+    }
+}
+
+impl FileSystem for BundleFs {
+    fn backend_name(&self) -> &'static str {
+        "bundlefs"
+    }
+
+    fn read_only(&self) -> bool {
+        true
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let normalized = normalize(path);
+        if let Some(data) = self.bundle.files.get(&normalized) {
+            return Ok(Metadata {
+                file_type: FileType::Regular,
+                size: data.len() as u64,
+                mode: 0o444,
+                mtime_ms: self.created_ms,
+                atime_ms: self.created_ms,
+            });
+        }
+        if self.is_implied_dir(&normalized) {
+            return Ok(Metadata {
+                file_type: FileType::Directory,
+                size: 0,
+                mode: 0o555,
+                mtime_ms: self.created_ms,
+                atime_ms: self.created_ms,
+            });
+        }
+        Err(Errno::ENOENT)
+    }
+
+    fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let normalized = normalize(path);
+        if self.bundle.files.contains_key(&normalized) {
+            return Err(Errno::ENOTDIR);
+        }
+        if !self.is_implied_dir(&normalized) {
+            return Err(Errno::ENOENT);
+        }
+        let depth = components(&normalized).len();
+        let mut entries: BTreeMap<String, FileType> = BTreeMap::new();
+        let prefix = if normalized == "/" { String::from("/") } else { format!("{normalized}/") };
+        for file_path in self.bundle.files.keys() {
+            if !file_path.starts_with(&prefix) {
+                continue;
+            }
+            let comps = components(file_path);
+            if comps.len() == depth + 1 {
+                entries.insert(comps[depth].clone(), FileType::Regular);
+            } else if comps.len() > depth + 1 {
+                entries.entry(comps[depth].clone()).or_insert(FileType::Directory);
+            }
+        }
+        Ok(entries
+            .into_iter()
+            .map(|(name, file_type)| DirEntry { name, file_type })
+            .collect())
+    }
+
+    fn mkdir(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rmdir(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn create(&self, _path: &str, _mode: u32) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn unlink(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rename(&self, _from: &str, _to: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let normalized = normalize(path);
+        match self.bundle.files.get(&normalized) {
+            Some(data) => {
+                let start = (offset as usize).min(data.len());
+                let end = start.saturating_add(len).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            None if self.is_implied_dir(&normalized) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn write_at(&self, _path: &str, _offset: u64, _data: &[u8]) -> FsResult<usize> {
+        Err(Errno::EROFS)
+    }
+
+    fn truncate(&self, _path: &str, _size: u64) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn set_times(&self, _path: &str, _atime_ms: u64, _mtime_ms: u64) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn chmod(&self, _path: &str, _mode: u32) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BundleFs {
+        let mut bundle = Bundle::new();
+        bundle
+            .insert_text("/texmf/article.cls", "\\ProvidesClass{article}")
+            .insert_text("/texmf/fonts/cmr10.tfm", "font data")
+            .insert_text("/Makefile", "all: main.pdf");
+        BundleFs::new(bundle)
+    }
+
+    #[test]
+    fn bundle_builder_accumulates_files() {
+        let mut bundle = Bundle::new();
+        assert!(bundle.is_empty());
+        bundle.insert("/a", vec![1, 2, 3]).insert_text("b/c", "hi");
+        assert_eq!(bundle.len(), 2);
+        assert_eq!(bundle.total_bytes(), 5);
+        assert_eq!(bundle.get("b/c"), Some(&b"hi"[..]));
+        assert_eq!(bundle.paths(), vec!["/a".to_string(), "/b/c".to_string()]);
+        assert_eq!(bundle.iter().count(), 2);
+    }
+
+    #[test]
+    fn stat_files_and_implied_directories() {
+        let fs = sample();
+        assert!(fs.stat("/texmf/article.cls").unwrap().is_file());
+        assert!(fs.stat("/texmf").unwrap().is_dir());
+        assert!(fs.stat("/texmf/fonts").unwrap().is_dir());
+        assert!(fs.stat("/").unwrap().is_dir());
+        assert_eq!(fs.stat("/missing"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn read_dir_lists_files_and_subdirectories() {
+        let fs = sample();
+        let root: Vec<String> = fs.read_dir("/").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(root, vec!["Makefile", "texmf"]);
+        let texmf = fs.read_dir("/texmf").unwrap();
+        assert_eq!(texmf.len(), 2);
+        assert!(texmf.iter().any(|e| e.name == "fonts" && e.file_type == FileType::Directory));
+        assert_eq!(fs.read_dir("/Makefile"), Err(Errno::ENOTDIR));
+        assert_eq!(fs.read_dir("/nope"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn reads_work_and_writes_are_rejected() {
+        let fs = sample();
+        assert_eq!(fs.read_file("/Makefile").unwrap(), b"all: main.pdf");
+        assert_eq!(fs.read_at("/Makefile", 5, 4).unwrap(), b"main");
+        assert!(fs.read_only());
+        assert_eq!(fs.write_at("/Makefile", 0, b"x"), Err(Errno::EROFS));
+        assert_eq!(fs.create("/new", 0o644), Err(Errno::EROFS));
+        assert_eq!(fs.mkdir("/dir"), Err(Errno::EROFS));
+        assert_eq!(fs.unlink("/Makefile"), Err(Errno::EROFS));
+        assert_eq!(fs.rename("/Makefile", "/m"), Err(Errno::EROFS));
+        assert_eq!(fs.truncate("/Makefile", 0), Err(Errno::EROFS));
+        assert_eq!(fs.chmod("/Makefile", 0o600), Err(Errno::EROFS));
+        assert_eq!(fs.set_times("/Makefile", 0, 0), Err(Errno::EROFS));
+        assert_eq!(fs.rmdir("/texmf"), Err(Errno::EROFS));
+    }
+
+    #[test]
+    fn read_of_directory_is_eisdir() {
+        let fs = sample();
+        assert_eq!(fs.read_at("/texmf", 0, 10), Err(Errno::EISDIR));
+    }
+}

@@ -1,0 +1,364 @@
+//! A read-only file system backed by a (simulated) remote HTTP server.
+//!
+//! The paper's LaTeX editor mounts a full TeX Live distribution this way: the
+//! developer uploads the distribution to an HTTP server, and Browsix's file
+//! system fetches individual files lazily the first time they are opened.
+//! While a complete distribution holds over 60,000 files, a typical document
+//! touches only a few megabytes of them, so lazy loading plus browser caching
+//! makes the first build cheap and subsequent builds instantaneous.
+//!
+//! [`HttpFs`] reproduces that behaviour: it is constructed from a *manifest*
+//! (the list of remote paths and their sizes — the analogue of the listing
+//! BrowserFS's XHR backend downloads at mount time) and a
+//! [`RemoteEndpoint`](browsix_browser::RemoteEndpoint).  File data is fetched
+//! on first access and cached; [`HttpFsStats`] reports how much was actually
+//! transferred, which the evaluation uses.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use browsix_browser::{PlatformError, RemoteEndpoint};
+
+use crate::backend::{FileSystem, FsResult};
+use crate::errno::Errno;
+use crate::path::{components, normalize};
+use crate::types::{now_millis, DirEntry, FileType, Metadata};
+
+/// Fetch statistics for an [`HttpFs`] mount.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpFsStats {
+    /// Number of remote fetches performed (cache misses).
+    pub fetches: u64,
+    /// Number of reads served from the local cache.
+    pub cache_hits: u64,
+    /// Total bytes fetched from the remote server.
+    pub bytes_fetched: u64,
+}
+
+#[derive(Debug, Default)]
+struct HttpFsState {
+    cache: HashMap<String, Arc<Vec<u8>>>,
+    stats: HttpFsStats,
+}
+
+/// A lazily-loading, read-only file system backed by a remote HTTP server.
+pub struct HttpFs {
+    endpoint: RemoteEndpoint,
+    /// Known remote files: normalised path -> advertised size in bytes.
+    manifest: BTreeMap<String, u64>,
+    state: Mutex<HttpFsState>,
+    mounted_ms: u64,
+}
+
+impl std::fmt::Debug for HttpFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpFs")
+            .field("files", &self.manifest.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl HttpFs {
+    /// Creates an HTTP-backed file system from a manifest of
+    /// `(path, size_in_bytes)` entries served by `endpoint`.
+    pub fn new(endpoint: RemoteEndpoint, manifest: impl IntoIterator<Item = (String, u64)>) -> HttpFs {
+        let manifest = manifest
+            .into_iter()
+            .map(|(path, size)| (normalize(&path), size))
+            .collect();
+        HttpFs {
+            endpoint,
+            manifest,
+            state: Mutex::new(HttpFsState::default()),
+            mounted_ms: now_millis(),
+        }
+    }
+
+    /// Number of files advertised by the manifest.
+    pub fn manifest_len(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// Fetch statistics so far.
+    pub fn stats(&self) -> HttpFsStats {
+        self.state.lock().stats
+    }
+
+    /// Whether `path` has already been fetched into the cache.
+    pub fn is_cached(&self, path: &str) -> bool {
+        self.state.lock().cache.contains_key(&normalize(path))
+    }
+
+    /// Eagerly fetches every file in the manifest, mirroring the original
+    /// (pre-Browsix) BrowserFS overlay behaviour of reading the entire
+    /// read-only underlay at initialisation.  Used by the lazy-vs-eager
+    /// ablation experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fetch error encountered.
+    pub fn prefetch_all(&self) -> FsResult<()> {
+        let paths: Vec<String> = self.manifest.keys().cloned().collect();
+        for path in paths {
+            self.fetch(&path)?;
+        }
+        Ok(())
+    }
+
+    fn is_implied_dir(&self, path: &str) -> bool {
+        let normalized = normalize(path);
+        if normalized == "/" {
+            return true;
+        }
+        let prefix = format!("{normalized}/");
+        self.manifest.keys().any(|p| p.starts_with(&prefix))
+    }
+
+    fn fetch(&self, path: &str) -> FsResult<Arc<Vec<u8>>> {
+        let normalized = normalize(path);
+        {
+            let mut state = self.state.lock();
+            if let Some(data) = state.cache.get(&normalized).cloned() {
+                state.stats.cache_hits += 1;
+                return Ok(data);
+            }
+        }
+        if !self.manifest.contains_key(&normalized) {
+            return Err(Errno::ENOENT);
+        }
+        let data = self
+            .endpoint
+            .fetch(&normalized)
+            .map_err(|e| match e {
+                PlatformError::HttpStatus(404) => Errno::ENOENT,
+                PlatformError::NetworkUnavailable => Errno::ENETUNREACH,
+                _ => Errno::EIO,
+            })?;
+        let data = Arc::new(data);
+        let mut state = self.state.lock();
+        state.stats.fetches += 1;
+        state.stats.bytes_fetched += data.len() as u64;
+        state.cache.insert(normalized, Arc::clone(&data));
+        Ok(data)
+    }
+}
+
+impl FileSystem for HttpFs {
+    fn backend_name(&self) -> &'static str {
+        "httpfs"
+    }
+
+    fn read_only(&self) -> bool {
+        true
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let normalized = normalize(path);
+        if let Some(&size) = self.manifest.get(&normalized) {
+            // Prefer the cached (authoritative) size if the file was fetched.
+            let size = self
+                .state
+                .lock()
+                .cache
+                .get(&normalized)
+                .map(|d| d.len() as u64)
+                .unwrap_or(size);
+            return Ok(Metadata {
+                file_type: FileType::Regular,
+                size,
+                mode: 0o444,
+                mtime_ms: self.mounted_ms,
+                atime_ms: self.mounted_ms,
+            });
+        }
+        if self.is_implied_dir(&normalized) {
+            return Ok(Metadata {
+                file_type: FileType::Directory,
+                size: 0,
+                mode: 0o555,
+                mtime_ms: self.mounted_ms,
+                atime_ms: self.mounted_ms,
+            });
+        }
+        Err(Errno::ENOENT)
+    }
+
+    fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let normalized = normalize(path);
+        if self.manifest.contains_key(&normalized) {
+            return Err(Errno::ENOTDIR);
+        }
+        if !self.is_implied_dir(&normalized) {
+            return Err(Errno::ENOENT);
+        }
+        let depth = components(&normalized).len();
+        let prefix = if normalized == "/" { String::from("/") } else { format!("{normalized}/") };
+        let mut entries: BTreeMap<String, FileType> = BTreeMap::new();
+        for file_path in self.manifest.keys() {
+            if !file_path.starts_with(&prefix) {
+                continue;
+            }
+            let comps = components(file_path);
+            if comps.len() == depth + 1 {
+                entries.insert(comps[depth].clone(), FileType::Regular);
+            } else if comps.len() > depth + 1 {
+                entries.entry(comps[depth].clone()).or_insert(FileType::Directory);
+            }
+        }
+        Ok(entries
+            .into_iter()
+            .map(|(name, file_type)| DirEntry { name, file_type })
+            .collect())
+    }
+
+    fn mkdir(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rmdir(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn create(&self, _path: &str, _mode: u32) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn unlink(&self, _path: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rename(&self, _from: &str, _to: &str) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let normalized = normalize(path);
+        if !self.manifest.contains_key(&normalized) {
+            if self.is_implied_dir(&normalized) {
+                return Err(Errno::EISDIR);
+            }
+            return Err(Errno::ENOENT);
+        }
+        let data = self.fetch(&normalized)?;
+        let start = (offset as usize).min(data.len());
+        let end = start.saturating_add(len).min(data.len());
+        Ok(data[start..end].to_vec())
+    }
+
+    fn write_at(&self, _path: &str, _offset: u64, _data: &[u8]) -> FsResult<usize> {
+        Err(Errno::EROFS)
+    }
+
+    fn truncate(&self, _path: &str, _size: u64) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn set_times(&self, _path: &str, _atime_ms: u64, _mtime_ms: u64) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn chmod(&self, _path: &str, _mode: u32) -> FsResult<()> {
+        Err(Errno::EROFS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browsix_browser::{NetworkProfile, StaticFiles};
+
+    fn texlive_fs() -> HttpFs {
+        let files = StaticFiles::new();
+        files.insert("/texmf/article.cls", b"class file contents".to_vec());
+        files.insert("/texmf/fonts/cmr10.tfm", b"metric".to_vec());
+        files.insert("/texmf/plain.fmt", vec![7u8; 1024]);
+        let endpoint = RemoteEndpoint::with_static_files(files, NetworkProfile::instant());
+        HttpFs::new(
+            endpoint,
+            vec![
+                ("/texmf/article.cls".to_string(), 19),
+                ("/texmf/fonts/cmr10.tfm".to_string(), 6),
+                ("/texmf/plain.fmt".to_string(), 1024),
+            ],
+        )
+    }
+
+    #[test]
+    fn files_are_fetched_lazily_and_cached() {
+        let fs = texlive_fs();
+        assert_eq!(fs.stats(), HttpFsStats::default());
+        assert!(!fs.is_cached("/texmf/article.cls"));
+
+        let data = fs.read_file("/texmf/article.cls").unwrap();
+        assert_eq!(data, b"class file contents");
+        assert!(fs.is_cached("/texmf/article.cls"));
+        let after_first = fs.stats();
+        assert_eq!(after_first.fetches, 1);
+        assert_eq!(after_first.bytes_fetched, 19);
+
+        // Second read hits the cache: no new fetch.
+        let _ = fs.read_file("/texmf/article.cls").unwrap();
+        let after_second = fs.stats();
+        assert_eq!(after_second.fetches, 1);
+        assert!(after_second.cache_hits >= 1);
+    }
+
+    #[test]
+    fn stat_uses_manifest_without_fetching() {
+        let fs = texlive_fs();
+        let meta = fs.stat("/texmf/plain.fmt").unwrap();
+        assert_eq!(meta.size, 1024);
+        assert_eq!(fs.stats().fetches, 0);
+        assert!(fs.stat("/texmf").unwrap().is_dir());
+        assert_eq!(fs.stat("/missing.sty"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn read_dir_reflects_manifest_structure() {
+        let fs = texlive_fs();
+        let names: Vec<String> = fs.read_dir("/texmf").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["article.cls", "fonts", "plain.fmt"]);
+        assert_eq!(fs.manifest_len(), 3);
+        assert_eq!(fs.read_dir("/texmf/article.cls"), Err(Errno::ENOTDIR));
+    }
+
+    #[test]
+    fn prefetch_all_loads_everything() {
+        let fs = texlive_fs();
+        fs.prefetch_all().unwrap();
+        let stats = fs.stats();
+        assert_eq!(stats.fetches, 3);
+        assert_eq!(stats.bytes_fetched, 19 + 6 + 1024);
+        assert!(fs.is_cached("/texmf/plain.fmt"));
+    }
+
+    #[test]
+    fn offline_endpoint_surfaces_enetunreach() {
+        let files = StaticFiles::new();
+        files.insert("/pkg.sty", b"x".to_vec());
+        let endpoint = RemoteEndpoint::with_static_files(files, NetworkProfile::instant());
+        endpoint.set_online(false);
+        let fs = HttpFs::new(endpoint, vec![("/pkg.sty".to_string(), 1)]);
+        assert_eq!(fs.read_file("/pkg.sty"), Err(Errno::ENETUNREACH));
+    }
+
+    #[test]
+    fn manifest_entry_missing_remotely_is_enoent() {
+        let endpoint = RemoteEndpoint::with_static_files(StaticFiles::new(), NetworkProfile::instant());
+        let fs = HttpFs::new(endpoint, vec![("/ghost.sty".to_string(), 10)]);
+        assert_eq!(fs.read_file("/ghost.sty"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn writes_are_rejected() {
+        let fs = texlive_fs();
+        assert!(fs.read_only());
+        assert_eq!(fs.write_at("/texmf/article.cls", 0, b"x"), Err(Errno::EROFS));
+        assert_eq!(fs.create("/new.sty", 0o644), Err(Errno::EROFS));
+        assert_eq!(fs.unlink("/texmf/article.cls"), Err(Errno::EROFS));
+        assert_eq!(fs.mkdir("/newdir"), Err(Errno::EROFS));
+    }
+}

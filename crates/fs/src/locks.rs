@@ -1,0 +1,184 @@
+//! Advisory multi-process path locks.
+//!
+//! BrowserFS was written for a single process; Browsix "adds locking
+//! operations to the overlay filesystem to prevent operations from different
+//! processes from interleaving".  [`PathLocks`] is that mechanism: an
+//! advisory, per-path reader/writer lock table keyed by process id, used by
+//! the kernel around compound file-system operations (and exposed to guests
+//! through `flock`-style helpers).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::errno::Errno;
+use crate::path::normalize;
+
+/// The kind of lock being requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// A shared (reader) lock; any number may coexist.
+    Shared,
+    /// An exclusive (writer) lock; excludes all other locks.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Process ids currently holding a shared lock.
+    shared: Vec<u32>,
+    /// Process id holding the exclusive lock, if any.
+    exclusive: Option<u32>,
+}
+
+/// An advisory lock table keyed by normalised path.
+#[derive(Debug, Default)]
+pub struct PathLocks {
+    locks: Mutex<HashMap<String, LockState>>,
+}
+
+impl PathLocks {
+    /// Creates an empty lock table.
+    pub fn new() -> PathLocks {
+        PathLocks::default()
+    }
+
+    /// Attempts to acquire a lock of `kind` on `path` for process `pid`.
+    ///
+    /// Lock acquisition is non-blocking, matching `flock(LOCK_NB)`: the kernel
+    /// turns a failed acquisition into a retried/pending operation instead of
+    /// blocking its event loop.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EAGAIN`] if the lock is currently held incompatibly.
+    pub fn try_lock(&self, path: &str, pid: u32, kind: LockKind) -> Result<(), Errno> {
+        let path = normalize(path);
+        let mut locks = self.locks.lock();
+        let state = locks.entry(path).or_default();
+        match kind {
+            LockKind::Shared => {
+                if state.exclusive.is_some() && state.exclusive != Some(pid) {
+                    return Err(Errno::EAGAIN);
+                }
+                if !state.shared.contains(&pid) {
+                    state.shared.push(pid);
+                }
+                Ok(())
+            }
+            LockKind::Exclusive => {
+                let other_shared = state.shared.iter().any(|&holder| holder != pid);
+                let other_exclusive = state.exclusive.is_some() && state.exclusive != Some(pid);
+                if other_shared || other_exclusive {
+                    return Err(Errno::EAGAIN);
+                }
+                state.exclusive = Some(pid);
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases any lock process `pid` holds on `path`.  Releasing a lock that
+    /// is not held is a no-op, as with `flock`.
+    pub fn unlock(&self, path: &str, pid: u32) {
+        let path = normalize(path);
+        let mut locks = self.locks.lock();
+        if let Some(state) = locks.get_mut(&path) {
+            state.shared.retain(|&holder| holder != pid);
+            if state.exclusive == Some(pid) {
+                state.exclusive = None;
+            }
+            if state.shared.is_empty() && state.exclusive.is_none() {
+                locks.remove(&path);
+            }
+        }
+    }
+
+    /// Releases every lock held by `pid` (called when a process exits).
+    pub fn release_all(&self, pid: u32) {
+        let mut locks = self.locks.lock();
+        locks.retain(|_, state| {
+            state.shared.retain(|&holder| holder != pid);
+            if state.exclusive == Some(pid) {
+                state.exclusive = None;
+            }
+            !(state.shared.is_empty() && state.exclusive.is_none())
+        });
+    }
+
+    /// Whether any process currently holds a lock on `path`.
+    pub fn is_locked(&self, path: &str) -> bool {
+        let path = normalize(path);
+        self.locks.lock().contains_key(&path)
+    }
+
+    /// Number of paths with at least one lock holder.
+    pub fn locked_paths(&self) -> usize {
+        self.locks.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let locks = PathLocks::new();
+        locks.try_lock("/data", 1, LockKind::Shared).unwrap();
+        locks.try_lock("/data", 2, LockKind::Shared).unwrap();
+        assert!(locks.is_locked("/data"));
+        assert_eq!(locks.locked_paths(), 1);
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_others() {
+        let locks = PathLocks::new();
+        locks.try_lock("/data", 1, LockKind::Exclusive).unwrap();
+        assert_eq!(locks.try_lock("/data", 2, LockKind::Exclusive), Err(Errno::EAGAIN));
+        assert_eq!(locks.try_lock("/data", 2, LockKind::Shared), Err(Errno::EAGAIN));
+        // The holder itself may re-acquire.
+        locks.try_lock("/data", 1, LockKind::Exclusive).unwrap();
+        locks.try_lock("/data", 1, LockKind::Shared).unwrap();
+    }
+
+    #[test]
+    fn shared_holders_block_exclusive_from_others() {
+        let locks = PathLocks::new();
+        locks.try_lock("/data", 1, LockKind::Shared).unwrap();
+        assert_eq!(locks.try_lock("/data", 2, LockKind::Exclusive), Err(Errno::EAGAIN));
+        // Upgrade by the sole shared holder succeeds.
+        locks.try_lock("/data", 1, LockKind::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn unlock_releases_and_cleans_up() {
+        let locks = PathLocks::new();
+        locks.try_lock("/data", 1, LockKind::Exclusive).unwrap();
+        locks.unlock("/data", 1);
+        assert!(!locks.is_locked("/data"));
+        locks.try_lock("/data", 2, LockKind::Exclusive).unwrap();
+        // Unlocking something we do not hold is a no-op.
+        locks.unlock("/data", 3);
+        assert!(locks.is_locked("/data"));
+    }
+
+    #[test]
+    fn release_all_drops_every_lock_of_a_process() {
+        let locks = PathLocks::new();
+        locks.try_lock("/a", 7, LockKind::Shared).unwrap();
+        locks.try_lock("/b", 7, LockKind::Exclusive).unwrap();
+        locks.try_lock("/a", 8, LockKind::Shared).unwrap();
+        locks.release_all(7);
+        assert!(!locks.is_locked("/b"));
+        assert!(locks.is_locked("/a"));
+        locks.try_lock("/b", 8, LockKind::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn paths_are_normalized_before_locking() {
+        let locks = PathLocks::new();
+        locks.try_lock("/a/../b", 1, LockKind::Exclusive).unwrap();
+        assert_eq!(locks.try_lock("/b", 2, LockKind::Exclusive), Err(Errno::EAGAIN));
+    }
+}

@@ -1,0 +1,442 @@
+//! An in-memory file system, the workhorse writable backend.
+//!
+//! This is the analogue of BrowserFS's `InMemory` backend: a tree of nodes
+//! held entirely in the kernel's heap.  It backs `/tmp`, the writable layer of
+//! overlays, and the staged application files in the case studies.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::backend::{FileSystem, FsResult};
+use crate::errno::Errno;
+use crate::path::components;
+use crate::types::{now_millis, DirEntry, FileType, Metadata};
+
+#[derive(Debug, Clone)]
+enum Node {
+    File {
+        data: Vec<u8>,
+        mode: u32,
+        mtime_ms: u64,
+        atime_ms: u64,
+    },
+    Dir {
+        children: BTreeMap<String, Node>,
+        mode: u32,
+        mtime_ms: u64,
+        atime_ms: u64,
+    },
+}
+
+impl Node {
+    fn new_dir() -> Node {
+        let now = now_millis();
+        Node::Dir { children: BTreeMap::new(), mode: 0o755, mtime_ms: now, atime_ms: now }
+    }
+
+    fn new_file(mode: u32) -> Node {
+        let now = now_millis();
+        Node::File { data: Vec::new(), mode, mtime_ms: now, atime_ms: now }
+    }
+
+    fn metadata(&self) -> Metadata {
+        match self {
+            Node::File { data, mode, mtime_ms, atime_ms } => Metadata {
+                file_type: FileType::Regular,
+                size: data.len() as u64,
+                mode: *mode,
+                mtime_ms: *mtime_ms,
+                atime_ms: *atime_ms,
+            },
+            Node::Dir { mode, mtime_ms, atime_ms, .. } => Metadata {
+                file_type: FileType::Directory,
+                size: 0,
+                mode: *mode,
+                mtime_ms: *mtime_ms,
+                atime_ms: *atime_ms,
+            },
+        }
+    }
+}
+
+/// A writable, in-memory file system.
+#[derive(Debug)]
+pub struct MemFs {
+    root: RwLock<Node>,
+}
+
+impl MemFs {
+    /// Creates an empty file system containing only the root directory.
+    pub fn new() -> MemFs {
+        MemFs { root: RwLock::new(Node::new_dir()) }
+    }
+
+    /// Total number of nodes (files + directories, including the root); a
+    /// cheap sanity metric used by tests and the boot-time statistics.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::File { .. } => 1,
+                Node::Dir { children, .. } => 1 + children.values().map(count).sum::<usize>(),
+            }
+        }
+        count(&self.root.read())
+    }
+
+    fn with_node<T>(&self, path: &str, f: impl FnOnce(&Node) -> FsResult<T>) -> FsResult<T> {
+        let root = self.root.read();
+        let node = lookup(&root, path)?;
+        f(node)
+    }
+
+    fn with_parent_mut<T>(
+        &self,
+        path: &str,
+        f: impl FnOnce(&mut BTreeMap<String, Node>, &str) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let comps = components(path);
+        let (name, parents) = match comps.split_last() {
+            Some((name, parents)) => (name.clone(), parents.to_vec()),
+            None => return Err(Errno::EINVAL), // operating on "/"
+        };
+        let mut root = self.root.write();
+        let mut current = &mut *root;
+        for comp in &parents {
+            current = match current {
+                Node::Dir { children, .. } => children.get_mut(comp).ok_or(Errno::ENOENT)?,
+                Node::File { .. } => return Err(Errno::ENOTDIR),
+            };
+        }
+        match current {
+            Node::Dir { children, mtime_ms, .. } => {
+                *mtime_ms = now_millis();
+                f(children, &name)
+            }
+            Node::File { .. } => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn with_file_mut<T>(&self, path: &str, f: impl FnOnce(&mut Vec<u8>, &mut u64) -> T) -> FsResult<T> {
+        self.with_parent_mut(path, |children, name| match children.get_mut(name) {
+            Some(Node::File { data, mtime_ms, .. }) => Ok(f(data, mtime_ms)),
+            Some(Node::Dir { .. }) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        })
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        MemFs::new()
+    }
+}
+
+fn lookup<'a>(root: &'a Node, path: &str) -> FsResult<&'a Node> {
+    let mut current = root;
+    for comp in components(path) {
+        current = match current {
+            Node::Dir { children, .. } => children.get(&comp).ok_or(Errno::ENOENT)?,
+            Node::File { .. } => return Err(Errno::ENOTDIR),
+        };
+    }
+    Ok(current)
+}
+
+impl FileSystem for MemFs {
+    fn backend_name(&self) -> &'static str {
+        "memfs"
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        self.with_node(path, |node| Ok(node.metadata()))
+    }
+
+    fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.with_node(path, |node| match node {
+            Node::Dir { children, .. } => Ok(children
+                .iter()
+                .map(|(name, child)| DirEntry {
+                    name: name.clone(),
+                    file_type: child.metadata().file_type,
+                })
+                .collect()),
+            Node::File { .. } => Err(Errno::ENOTDIR),
+        })
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| {
+            if children.contains_key(name) {
+                return Err(Errno::EEXIST);
+            }
+            children.insert(name.to_owned(), Node::new_dir());
+            Ok(())
+        })
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| match children.get(name) {
+            Some(Node::Dir { children: grandchildren, .. }) => {
+                if grandchildren.is_empty() {
+                    children.remove(name);
+                    Ok(())
+                } else {
+                    Err(Errno::ENOTEMPTY)
+                }
+            }
+            Some(Node::File { .. }) => Err(Errno::ENOTDIR),
+            None => Err(Errno::ENOENT),
+        })
+    }
+
+    fn create(&self, path: &str, mode: u32) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| match children.get(name) {
+            Some(Node::File { .. }) => Ok(()),
+            Some(Node::Dir { .. }) => Err(Errno::EISDIR),
+            None => {
+                children.insert(name.to_owned(), Node::new_file(mode));
+                Ok(())
+            }
+        })
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| match children.get(name) {
+            Some(Node::File { .. }) => {
+                children.remove(name);
+                Ok(())
+            }
+            Some(Node::Dir { .. }) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        })
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        // Detach the source subtree, then reattach it at the destination.
+        let node = self.with_parent_mut(from, |children, name| {
+            children.remove(name).ok_or(Errno::ENOENT)
+        })?;
+        let reattach = self.with_parent_mut(to, |children, name| {
+            match children.get(name) {
+                Some(Node::Dir { .. }) => return Err(Errno::EISDIR),
+                _ => children.insert(name.to_owned(), node.clone()),
+            };
+            Ok(())
+        });
+        if reattach.is_err() {
+            // Roll the detach back so a failed rename is not destructive.
+            let _ = self.with_parent_mut(from, |children, name| {
+                children.insert(name.to_owned(), node.clone());
+                Ok(())
+            });
+        }
+        reattach
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.with_node(path, |node| match node {
+            Node::File { data, .. } => {
+                let start = (offset as usize).min(data.len());
+                let end = start.saturating_add(len).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Node::Dir { .. } => Err(Errno::EISDIR),
+        })
+    }
+
+    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.with_file_mut(path, |contents, mtime| {
+            let offset = offset as usize;
+            if contents.len() < offset {
+                contents.resize(offset, 0);
+            }
+            let end = offset + data.len();
+            if contents.len() < end {
+                contents.resize(end, 0);
+            }
+            contents[offset..end].copy_from_slice(data);
+            *mtime = now_millis();
+            data.len()
+        })
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.with_file_mut(path, |contents, mtime| {
+            contents.resize(size as usize, 0);
+            *mtime = now_millis();
+        })
+    }
+
+    fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| match children.get_mut(name) {
+            Some(Node::File { atime_ms: a, mtime_ms: m, .. })
+            | Some(Node::Dir { atime_ms: a, mtime_ms: m, .. }) => {
+                *a = atime_ms;
+                *m = mtime_ms;
+                Ok(())
+            }
+            None => Err(Errno::ENOENT),
+        })
+    }
+
+    fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
+        self.with_parent_mut(path, |children, name| match children.get_mut(name) {
+            Some(Node::File { mode: m, .. }) | Some(Node::Dir { mode: m, .. }) => {
+                *m = mode & 0o7777;
+                Ok(())
+            }
+            None => Err(Errno::ENOENT),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_exists_and_is_a_directory() {
+        let fs = MemFs::new();
+        assert!(fs.stat("/").unwrap().is_dir());
+        assert!(fs.read_dir("/").unwrap().is_empty());
+        assert_eq!(fs.node_count(), 1);
+    }
+
+    #[test]
+    fn mkdir_create_write_read() {
+        let fs = MemFs::new();
+        fs.mkdir("/docs").unwrap();
+        fs.create("/docs/a.txt", 0o644).unwrap();
+        fs.write_at("/docs/a.txt", 0, b"hello").unwrap();
+        assert_eq!(fs.read_at("/docs/a.txt", 0, 5).unwrap(), b"hello");
+        assert_eq!(fs.stat("/docs/a.txt").unwrap().size, 5);
+        assert_eq!(fs.node_count(), 3);
+    }
+
+    #[test]
+    fn mkdir_missing_parent_is_enoent() {
+        let fs = MemFs::new();
+        assert_eq!(fs.mkdir("/a/b"), Err(Errno::ENOENT));
+        assert_eq!(fs.create("/a/b.txt", 0o644), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn mkdir_existing_is_eexist() {
+        let fs = MemFs::new();
+        fs.mkdir("/a").unwrap();
+        assert_eq!(fs.mkdir("/a"), Err(Errno::EEXIST));
+    }
+
+    #[test]
+    fn unlink_and_rmdir_enforce_types() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/f", b"x").unwrap();
+        assert_eq!(fs.unlink("/d"), Err(Errno::EISDIR));
+        assert_eq!(fs.rmdir("/f"), Err(Errno::ENOTDIR));
+        fs.unlink("/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert!(!fs.exists("/f"));
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn rmdir_non_empty_fails() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/d/f", b"x").unwrap();
+        assert_eq!(fs.rmdir("/d"), Err(Errno::ENOTEMPTY));
+    }
+
+    #[test]
+    fn sparse_writes_zero_fill() {
+        let fs = MemFs::new();
+        fs.create("/sparse", 0o644).unwrap();
+        fs.write_at("/sparse", 4, b"tail").unwrap();
+        let data = fs.read_file("/sparse").unwrap();
+        assert_eq!(data, b"\0\0\0\0tail");
+    }
+
+    #[test]
+    fn read_past_end_is_short() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"abc").unwrap();
+        assert_eq!(fs.read_at("/f", 2, 10).unwrap(), b"c");
+        assert!(fs.read_at("/f", 10, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rename_moves_subtrees() {
+        let fs = MemFs::new();
+        fs.mkdir("/src").unwrap();
+        fs.write_file("/src/a", b"1").unwrap();
+        fs.mkdir("/dst").unwrap();
+        fs.rename("/src", "/dst/moved").unwrap();
+        assert!(!fs.exists("/src"));
+        assert_eq!(fs.read_file("/dst/moved/a").unwrap(), b"1");
+    }
+
+    #[test]
+    fn rename_onto_directory_fails_and_rolls_back() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"1").unwrap();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.rename("/f", "/d"), Err(Errno::EISDIR));
+        assert_eq!(fs.read_file("/f").unwrap(), b"1");
+    }
+
+    #[test]
+    fn rename_missing_source_is_enoent() {
+        let fs = MemFs::new();
+        assert_eq!(fs.rename("/nope", "/other"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"abcdef").unwrap();
+        fs.truncate("/f", 3).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"abc");
+        fs.truncate("/f", 5).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"abc\0\0");
+    }
+
+    #[test]
+    fn chmod_and_times() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"x").unwrap();
+        fs.chmod("/f", 0o755).unwrap();
+        assert_eq!(fs.stat("/f").unwrap().mode, 0o755);
+        fs.set_times("/f", 1000, 2000).unwrap();
+        let meta = fs.stat("/f").unwrap();
+        assert_eq!(meta.atime_ms, 1000);
+        assert_eq!(meta.mtime_ms, 2000);
+        assert_eq!(fs.set_times("/missing", 0, 0), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn path_through_file_is_enotdir() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"x").unwrap();
+        assert_eq!(fs.stat("/f/child"), Err(Errno::ENOTDIR));
+        assert_eq!(fs.read_dir("/f"), Err(Errno::ENOTDIR));
+    }
+
+    #[test]
+    fn readdir_is_sorted_by_name() {
+        let fs = MemFs::new();
+        fs.write_file("/c", b"").unwrap();
+        fs.write_file("/a", b"").unwrap();
+        fs.mkdir("/b").unwrap();
+        let names: Vec<String> = fs.read_dir("/").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn operations_on_root_are_rejected() {
+        let fs = MemFs::new();
+        assert_eq!(fs.mkdir("/"), Err(Errno::EINVAL));
+        assert_eq!(fs.unlink("/"), Err(Errno::EINVAL));
+    }
+}

@@ -1,0 +1,325 @@
+//! The mount table: composing backends into a single hierarchy.
+//!
+//! BrowserFS supports "multiple mounted filesystems in a single hierarchical
+//! directory structure"; the Browsix kernel holds one such composed instance
+//! and routes every path-based system call through it.  [`MountedFs`] plays
+//! that role here: a root backend plus any number of mounts, itself
+//! implementing [`FileSystem`] so the kernel deals with a single object.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::backend::{FileSystem, FsResult};
+use crate::errno::Errno;
+use crate::path::{basename, dirname, normalize, starts_with, strip_prefix};
+use crate::types::{DirEntry, FileType, Metadata};
+
+struct Mount {
+    point: String,
+    fs: Arc<dyn FileSystem>,
+}
+
+/// A composed file system: one root backend plus zero or more mounts.
+pub struct MountedFs {
+    root: Arc<dyn FileSystem>,
+    mounts: RwLock<Vec<Mount>>,
+}
+
+impl std::fmt::Debug for MountedFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mounts: Vec<String> = self
+            .mounts
+            .read()
+            .iter()
+            .map(|m| format!("{} ({})", m.point, m.fs.backend_name()))
+            .collect();
+        f.debug_struct("MountedFs")
+            .field("root", &self.root.backend_name())
+            .field("mounts", &mounts)
+            .finish()
+    }
+}
+
+impl MountedFs {
+    /// Creates a mount table with `root` mounted at `/`.
+    pub fn new(root: Arc<dyn FileSystem>) -> MountedFs {
+        MountedFs { root, mounts: RwLock::new(Vec::new()) }
+    }
+
+    /// Mounts `fs` at `point` (an absolute path).  Longer mount points shadow
+    /// shorter ones, so `/usr/share/texmf` can be mounted inside `/usr`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EINVAL`] if `point` is `/` (replace the root instead), or
+    /// [`Errno::EBUSY`] if something is already mounted there.
+    pub fn mount(&self, point: &str, fs: Arc<dyn FileSystem>) -> FsResult<()> {
+        let point = normalize(point);
+        if point == "/" {
+            return Err(Errno::EINVAL);
+        }
+        let mut mounts = self.mounts.write();
+        if mounts.iter().any(|m| m.point == point) {
+            return Err(Errno::EBUSY);
+        }
+        mounts.push(Mount { point, fs });
+        // Longest mount point first so resolution picks the most specific.
+        mounts.sort_by(|a, b| b.point.len().cmp(&a.point.len()));
+        Ok(())
+    }
+
+    /// Unmounts whatever is mounted at `point`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EINVAL`] if nothing is mounted there.
+    pub fn unmount(&self, point: &str) -> FsResult<()> {
+        let point = normalize(point);
+        let mut mounts = self.mounts.write();
+        let before = mounts.len();
+        mounts.retain(|m| m.point != point);
+        if mounts.len() == before {
+            Err(Errno::EINVAL)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The list of active mount points (excluding the root), most specific
+    /// first.
+    pub fn mount_points(&self) -> Vec<String> {
+        self.mounts.read().iter().map(|m| m.point.clone()).collect()
+    }
+
+    /// Resolves `path` to the responsible backend and the path within it.
+    fn route(&self, path: &str) -> (Arc<dyn FileSystem>, String) {
+        let normalized = normalize(path);
+        let mounts = self.mounts.read();
+        for mount in mounts.iter() {
+            if starts_with(&normalized, &mount.point) {
+                let inner = strip_prefix(&normalized, &mount.point).unwrap_or_else(|| "/".to_owned());
+                return (Arc::clone(&mount.fs), inner);
+            }
+        }
+        (Arc::clone(&self.root), normalized)
+    }
+
+    /// Mount points whose parent directory is `dir` — these must show up in
+    /// directory listings even if the underlying backend has no entry there.
+    fn mounts_directly_under(&self, dir: &str) -> Vec<String> {
+        let dir = normalize(dir);
+        self.mounts
+            .read()
+            .iter()
+            .filter(|m| dirname(&m.point) == dir)
+            .map(|m| basename(&m.point))
+            .collect()
+    }
+}
+
+impl FileSystem for MountedFs {
+    fn backend_name(&self) -> &'static str {
+        "mounted"
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let normalized = normalize(path);
+        // A mount point is always a directory, even if the root backend has
+        // nothing at that path.
+        if self.mounts.read().iter().any(|m| m.point == normalized) {
+            let (fs, inner) = self.route(&normalized);
+            return fs.stat(&inner).or_else(|_| Ok(Metadata::directory()));
+        }
+        let (fs, inner) = self.route(&normalized);
+        fs.stat(&inner)
+    }
+
+    fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let (fs, inner) = self.route(path);
+        let mut entries: BTreeMap<String, DirEntry> = BTreeMap::new();
+        match fs.read_dir(&inner) {
+            Ok(list) => {
+                for entry in list {
+                    entries.insert(entry.name.clone(), entry);
+                }
+            }
+            Err(e) => {
+                // The directory may exist purely as a parent of mount points.
+                if self.mounts_directly_under(path).is_empty() {
+                    return Err(e);
+                }
+            }
+        }
+        for name in self.mounts_directly_under(path) {
+            entries.insert(name.clone(), DirEntry { name, file_type: FileType::Directory });
+        }
+        Ok(entries.into_values().collect())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.mkdir(&inner)
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let normalized = normalize(path);
+        if self.mounts.read().iter().any(|m| m.point == normalized) {
+            return Err(Errno::EBUSY);
+        }
+        let (fs, inner) = self.route(path);
+        fs.rmdir(&inner)
+    }
+
+    fn create(&self, path: &str, mode: u32) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.create(&inner, mode)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.unlink(&inner)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_fs, from_inner) = self.route(from);
+        let (to_fs, to_inner) = self.route(to);
+        if Arc::ptr_eq(&from_fs, &to_fs) {
+            return from_fs.rename(&from_inner, &to_inner);
+        }
+        // Cross-mount rename: copy then delete, as libc does for EXDEV-aware
+        // callers; we do it kernel-side because guests expect mv to work.
+        let meta = from_fs.stat(&from_inner)?;
+        if meta.is_dir() {
+            return Err(Errno::EXDEV);
+        }
+        let data = from_fs.read_file(&from_inner)?;
+        to_fs.write_file(&to_inner, &data)?;
+        from_fs.unlink(&from_inner)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let (fs, inner) = self.route(path);
+        fs.read_at(&inner, offset, len)
+    }
+
+    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let (fs, inner) = self.route(path);
+        fs.write_at(&inner, offset, data)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.truncate(&inner, size)
+    }
+
+    fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.set_times(&inner, atime_ms, mtime_ms)
+    }
+
+    fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
+        let (fs, inner) = self.route(path);
+        fs.chmod(&inner, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{Bundle, BundleFs};
+    use crate::memfs::MemFs;
+
+    fn texmf_bundle() -> Arc<dyn FileSystem> {
+        let mut bundle = Bundle::new();
+        bundle.insert_text("/article.cls", "class");
+        bundle.insert_text("/fonts/cmr10.tfm", "font");
+        Arc::new(BundleFs::new(bundle))
+    }
+
+    #[test]
+    fn root_operations_pass_through() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mkdir("/home").unwrap();
+        fs.write_file("/home/file", b"data").unwrap();
+        assert_eq!(fs.read_file("/home/file").unwrap(), b"data");
+        assert_eq!(fs.backend_name(), "mounted");
+    }
+
+    #[test]
+    fn mounted_backend_receives_inner_paths() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mkdir("/usr").unwrap();
+        fs.mount("/usr/texmf", texmf_bundle()).unwrap();
+        assert_eq!(fs.read_file("/usr/texmf/article.cls").unwrap(), b"class");
+        assert_eq!(fs.read_file("/usr/texmf/fonts/cmr10.tfm").unwrap(), b"font");
+        assert!(fs.stat("/usr/texmf").unwrap().is_dir());
+        assert!(fs.stat("/usr/texmf/fonts").unwrap().is_dir());
+    }
+
+    #[test]
+    fn mount_points_show_in_parent_listings() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mkdir("/usr").unwrap();
+        fs.mount("/usr/texmf", texmf_bundle()).unwrap();
+        let names: Vec<String> = fs.read_dir("/usr").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["texmf"]);
+        // Even when the parent directory does not exist in the root backend.
+        let fs2 = MountedFs::new(Arc::new(MemFs::new()));
+        fs2.mount("/opt/pkg", texmf_bundle()).unwrap();
+        let names: Vec<String> = fs2.read_dir("/opt").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["pkg"]);
+    }
+
+    #[test]
+    fn longest_mount_wins() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        let outer = Arc::new(MemFs::new());
+        outer.write_file("/marker", b"outer").unwrap();
+        let inner = Arc::new(MemFs::new());
+        inner.write_file("/marker", b"inner").unwrap();
+        fs.mount("/mnt", outer).unwrap();
+        fs.mount("/mnt/inner", inner).unwrap();
+        assert_eq!(fs.read_file("/mnt/marker").unwrap(), b"outer");
+        assert_eq!(fs.read_file("/mnt/inner/marker").unwrap(), b"inner");
+        assert_eq!(fs.mount_points(), vec!["/mnt/inner".to_string(), "/mnt".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_and_root_mounts_are_rejected() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mount("/a", Arc::new(MemFs::new())).unwrap();
+        assert_eq!(fs.mount("/a", Arc::new(MemFs::new())), Err(Errno::EBUSY));
+        assert_eq!(fs.mount("/", Arc::new(MemFs::new())), Err(Errno::EINVAL));
+        assert_eq!(fs.rmdir("/a"), Err(Errno::EBUSY));
+    }
+
+    #[test]
+    fn unmount_removes_routing() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mount("/data", texmf_bundle()).unwrap();
+        assert!(fs.exists("/data/article.cls"));
+        fs.unmount("/data").unwrap();
+        assert!(!fs.exists("/data/article.cls"));
+        assert_eq!(fs.unmount("/data"), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn cross_mount_rename_copies_file() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        let scratch = Arc::new(MemFs::new());
+        fs.mount("/tmp", scratch).unwrap();
+        fs.write_file("/source.txt", b"payload").unwrap();
+        fs.rename("/source.txt", "/tmp/dest.txt").unwrap();
+        assert_eq!(fs.read_file("/tmp/dest.txt").unwrap(), b"payload");
+        assert!(!fs.exists("/source.txt"));
+    }
+
+    #[test]
+    fn writes_to_read_only_mounts_fail() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mount("/ro", texmf_bundle()).unwrap();
+        assert_eq!(fs.write_file("/ro/new", b"x"), Err(Errno::EROFS));
+    }
+}

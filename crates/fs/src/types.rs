@@ -1,0 +1,291 @@
+//! File-system data types: metadata, directory entries and open flags.
+
+use crate::errno::Errno;
+
+/// The type of a file-system node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+    /// A symbolic link (only some backends support these).
+    Symlink,
+}
+
+impl FileType {
+    /// The `d_type`-style character used by `ls -l`-like listings.
+    pub fn type_char(self) -> char {
+        match self {
+            FileType::Regular => '-',
+            FileType::Directory => 'd',
+            FileType::Symlink => 'l',
+        }
+    }
+
+    /// The POSIX `st_mode` file-type bits.
+    pub fn mode_bits(self) -> u32 {
+        match self {
+            FileType::Regular => 0o100000,
+            FileType::Directory => 0o040000,
+            FileType::Symlink => 0o120000,
+        }
+    }
+}
+
+/// Metadata returned by `stat`-family system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// File type.
+    pub file_type: FileType,
+    /// Size in bytes (directories report 0).
+    pub size: u64,
+    /// Permission bits (e.g. `0o644`).
+    pub mode: u32,
+    /// Last-modification time, milliseconds since the Unix epoch.
+    pub mtime_ms: u64,
+    /// Last-access time, milliseconds since the Unix epoch.
+    pub atime_ms: u64,
+}
+
+impl Metadata {
+    /// Metadata for a fresh regular file of `size` bytes.
+    pub fn regular(size: u64) -> Metadata {
+        let now = now_millis();
+        Metadata { file_type: FileType::Regular, size, mode: 0o644, mtime_ms: now, atime_ms: now }
+    }
+
+    /// Metadata for a directory.
+    pub fn directory() -> Metadata {
+        let now = now_millis();
+        Metadata { file_type: FileType::Directory, size: 0, mode: 0o755, mtime_ms: now, atime_ms: now }
+    }
+
+    /// Whether this node is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.file_type == FileType::Directory
+    }
+
+    /// Whether this node is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.file_type == FileType::Regular
+    }
+
+    /// The full `st_mode` value (type bits or-ed with permission bits).
+    pub fn st_mode(&self) -> u32 {
+        self.file_type.mode_bits() | (self.mode & 0o7777)
+    }
+}
+
+/// A single entry returned by `readdir`/`getdents`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirEntry {
+    /// The entry's name (no path separators).
+    pub name: String,
+    /// The entry's type.
+    pub file_type: FileType,
+}
+
+impl DirEntry {
+    /// Creates a regular-file entry.
+    pub fn file(name: &str) -> DirEntry {
+        DirEntry { name: name.to_owned(), file_type: FileType::Regular }
+    }
+
+    /// Creates a directory entry.
+    pub fn dir(name: &str) -> DirEntry {
+        DirEntry { name: name.to_owned(), file_type: FileType::Directory }
+    }
+}
+
+impl PartialOrd for FileType {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FileType {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mode_bits().cmp(&other.mode_bits())
+    }
+}
+
+/// Open flags accepted by the `open` system call, mirroring the subset of
+/// `O_*` flags that Browsix's runtimes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate the file to zero length on open.
+    pub truncate: bool,
+    /// All writes append to the end of the file.
+    pub append: bool,
+    /// Fail if `create` is set and the file already exists.
+    pub exclusive: bool,
+}
+
+impl OpenFlags {
+    /// Linux flag bit for write-only access.
+    pub const O_WRONLY: u32 = 0o1;
+    /// Linux flag bit for read-write access.
+    pub const O_RDWR: u32 = 0o2;
+    /// Linux flag bit for create.
+    pub const O_CREAT: u32 = 0o100;
+    /// Linux flag bit for exclusive create.
+    pub const O_EXCL: u32 = 0o200;
+    /// Linux flag bit for truncate.
+    pub const O_TRUNC: u32 = 0o1000;
+    /// Linux flag bit for append.
+    pub const O_APPEND: u32 = 0o2000;
+
+    /// Read-only open.
+    pub fn read_only() -> OpenFlags {
+        OpenFlags { read: true, ..OpenFlags::default() }
+    }
+
+    /// Write-only open that creates and truncates — what `>` redirection and
+    /// `fopen("w")` do.
+    pub fn write_create_truncate() -> OpenFlags {
+        OpenFlags { write: true, create: true, truncate: true, ..OpenFlags::default() }
+    }
+
+    /// Append open that creates — what `>>` redirection does.
+    pub fn append_create() -> OpenFlags {
+        OpenFlags { write: true, create: true, append: true, ..OpenFlags::default() }
+    }
+
+    /// Read-write open.
+    pub fn read_write() -> OpenFlags {
+        OpenFlags { read: true, write: true, ..OpenFlags::default() }
+    }
+
+    /// Parses Linux-style numeric `open(2)` flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EINVAL`] if both `O_WRONLY` and `O_RDWR` are present.
+    pub fn from_bits(bits: u32) -> Result<OpenFlags, Errno> {
+        let access = bits & 0o3;
+        let (read, write) = match access {
+            0 => (true, false),
+            Self::O_WRONLY => (false, true),
+            Self::O_RDWR => (true, true),
+            _ => return Err(Errno::EINVAL),
+        };
+        Ok(OpenFlags {
+            read,
+            write,
+            create: bits & Self::O_CREAT != 0,
+            exclusive: bits & Self::O_EXCL != 0,
+            truncate: bits & Self::O_TRUNC != 0,
+            append: bits & Self::O_APPEND != 0,
+        })
+    }
+
+    /// Encodes these flags back into Linux-style numeric bits.
+    pub fn to_bits(self) -> u32 {
+        let mut bits = match (self.read, self.write) {
+            (_, false) => 0,
+            (false, true) => Self::O_WRONLY,
+            (true, true) => Self::O_RDWR,
+        };
+        if self.create {
+            bits |= Self::O_CREAT;
+        }
+        if self.exclusive {
+            bits |= Self::O_EXCL;
+        }
+        if self.truncate {
+            bits |= Self::O_TRUNC;
+        }
+        if self.append {
+            bits |= Self::O_APPEND;
+        }
+        bits
+    }
+}
+
+/// Milliseconds since the Unix epoch, the timestamp unit used throughout the
+/// file system (JavaScript's `Date.now()` granularity).
+pub fn now_millis() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_constructors() {
+        let file = Metadata::regular(120);
+        assert!(file.is_file());
+        assert!(!file.is_dir());
+        assert_eq!(file.size, 120);
+        assert_eq!(file.st_mode() & 0o170000, 0o100000);
+
+        let dir = Metadata::directory();
+        assert!(dir.is_dir());
+        assert_eq!(dir.st_mode() & 0o170000, 0o040000);
+    }
+
+    #[test]
+    fn file_type_chars() {
+        assert_eq!(FileType::Regular.type_char(), '-');
+        assert_eq!(FileType::Directory.type_char(), 'd');
+        assert_eq!(FileType::Symlink.type_char(), 'l');
+    }
+
+    #[test]
+    fn open_flags_round_trip_through_bits() {
+        let variants = [
+            OpenFlags::read_only(),
+            OpenFlags::write_create_truncate(),
+            OpenFlags::append_create(),
+            OpenFlags::read_write(),
+            OpenFlags { write: true, create: true, exclusive: true, ..OpenFlags::default() },
+        ];
+        for flags in variants {
+            let bits = flags.to_bits();
+            let parsed = OpenFlags::from_bits(bits).unwrap();
+            assert_eq!(parsed, flags, "bits {bits:o}");
+        }
+    }
+
+    #[test]
+    fn open_flags_reject_conflicting_access_mode() {
+        assert_eq!(OpenFlags::from_bits(0o3), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn linux_open_bits_are_understood() {
+        // O_WRONLY|O_CREAT|O_TRUNC = 0o1101, what creat(2) uses.
+        let flags = OpenFlags::from_bits(0o1101).unwrap();
+        assert!(flags.write && flags.create && flags.truncate && !flags.read);
+        // O_RDWR|O_APPEND
+        let flags = OpenFlags::from_bits(0o2002).unwrap();
+        assert!(flags.read && flags.write && flags.append);
+    }
+
+    #[test]
+    fn dir_entries_sort_by_name_then_type() {
+        let mut entries = vec![DirEntry::file("b"), DirEntry::dir("a")];
+        entries.sort();
+        assert_eq!(entries[0].name, "a");
+    }
+
+    #[test]
+    fn now_millis_is_monotonic_enough() {
+        let a = now_millis();
+        let b = now_millis();
+        assert!(b >= a);
+        assert!(a > 1_500_000_000_000); // after 2017
+    }
+}

@@ -1,0 +1,36 @@
+//! # browsix-http — HTTP/1.1 framing and a tiny JSON codec
+//!
+//! Browsix replaces Node's native HTTP parser module with a pure-JavaScript
+//! implementation so HTTP servers can run as Browsix processes, and its
+//! `XMLHttpRequest`-like host API "encapsulates the details of ... serializing
+//! the HTTP request to a byte array, sending the byte array to the BROWSIX
+//! process, processing the (potentially chunked) HTTP response".  This crate
+//! is that replacement layer for the Rust reproduction:
+//!
+//! * [`types`] — [`HttpRequest`], [`HttpResponse`], [`Method`], [`Headers`].
+//! * [`parse`] — incremental request/response parsing from byte streams,
+//!   including chunked transfer encoding.
+//! * [`json`] — a minimal JSON value model, encoder and decoder, used by the
+//!   meme-generator API (the paper's Go server exchanges JSON).
+//!
+//! # Example
+//!
+//! ```
+//! use browsix_http::{HttpRequest, HttpResponse, Method, parse::parse_request};
+//!
+//! let req = HttpRequest::new(Method::Get, "/api/backgrounds");
+//! let bytes = req.serialize();
+//! let parsed = parse_request(&bytes).unwrap().unwrap();
+//! assert_eq!(parsed.path, "/api/backgrounds");
+//!
+//! let resp = HttpResponse::ok().with_body(b"[]".to_vec(), "application/json");
+//! assert_eq!(resp.status, 200);
+//! ```
+
+pub mod json;
+pub mod parse;
+pub mod types;
+
+pub use json::Json;
+pub use parse::{parse_request, parse_response, HttpParseError};
+pub use types::{Headers, HttpRequest, HttpResponse, Method};

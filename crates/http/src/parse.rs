@@ -1,0 +1,277 @@
+//! Incremental HTTP/1.1 parsing.
+//!
+//! Browsix's socket streams deliver bytes in arbitrary fragments, so both the
+//! in-Browsix HTTP servers and the kernel's `XMLHttpRequest`-like shim parse
+//! incrementally: [`parse_request`] and [`parse_response`] return `Ok(None)`
+//! while the message is still incomplete and `Ok(Some(..))` once a full
+//! message (headers plus body, honouring `Content-Length` and chunked
+//! transfer encoding) is available.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{Headers, HttpRequest, HttpResponse, Method};
+
+/// Errors produced while parsing HTTP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// The start line was malformed.
+    BadStartLine(String),
+    /// A header line was malformed.
+    BadHeader(String),
+    /// The request method is not supported.
+    BadMethod(String),
+    /// The status code could not be parsed.
+    BadStatus(String),
+    /// A chunk size field was malformed.
+    BadChunk(String),
+    /// The message is not valid UTF-8 where it must be (start line/headers).
+    NotUtf8,
+}
+
+impl fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpParseError::BadStartLine(line) => write!(f, "malformed start line: {line:?}"),
+            HttpParseError::BadHeader(line) => write!(f, "malformed header: {line:?}"),
+            HttpParseError::BadMethod(method) => write!(f, "unsupported method: {method:?}"),
+            HttpParseError::BadStatus(status) => write!(f, "invalid status code: {status:?}"),
+            HttpParseError::BadChunk(chunk) => write!(f, "invalid chunk size: {chunk:?}"),
+            HttpParseError::NotUtf8 => write!(f, "header section is not valid utf-8"),
+        }
+    }
+}
+
+impl Error for HttpParseError {}
+
+/// Locates the end of the header section (the `\r\n\r\n` separator).
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn parse_headers(text: &str) -> Result<Headers, HttpParseError> {
+    let mut headers = Headers::new();
+    for line in text.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpParseError::BadHeader(line.to_owned()))?;
+        headers.insert(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+/// Result of trying to extract a body: either we need more bytes, or we have
+/// the body plus the total number of bytes consumed from `buf`.
+fn parse_body(
+    buf: &[u8],
+    header_end: usize,
+    headers: &Headers,
+) -> Result<Option<(Vec<u8>, usize)>, HttpParseError> {
+    if headers.is_chunked() {
+        let mut body = Vec::new();
+        let mut pos = header_end;
+        loop {
+            let rest = &buf[pos..];
+            let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(None);
+            };
+            let size_text = std::str::from_utf8(&rest[..line_end])
+                .map_err(|_| HttpParseError::NotUtf8)?
+                .trim()
+                .to_owned();
+            let size_field = size_text.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_field, 16)
+                .map_err(|_| HttpParseError::BadChunk(size_text.clone()))?;
+            let chunk_start = pos + line_end + 2;
+            if size == 0 {
+                // Trailing CRLF after the last chunk.
+                let trailer_end = chunk_start + 2;
+                if buf.len() < trailer_end {
+                    return Ok(None);
+                }
+                return Ok(Some((body, trailer_end)));
+            }
+            let chunk_end = chunk_start + size + 2;
+            if buf.len() < chunk_end {
+                return Ok(None);
+            }
+            body.extend_from_slice(&buf[chunk_start..chunk_start + size]);
+            pos = chunk_end;
+        }
+    }
+    let length = headers.content_length().unwrap_or(0);
+    let total = header_end + length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((buf[header_end..total].to_vec(), total)))
+}
+
+/// Attempts to parse a complete HTTP request from the front of `buf`.
+///
+/// Returns `Ok(None)` if more bytes are needed.  On success the request is
+/// returned; callers that stream multiple requests over one connection can
+/// use [`parse_request_consumed`] to learn how many bytes were used.
+///
+/// # Errors
+///
+/// Returns an [`HttpParseError`] if the bytes present are not a valid HTTP
+/// request.
+pub fn parse_request(buf: &[u8]) -> Result<Option<HttpRequest>, HttpParseError> {
+    parse_request_consumed(buf).map(|opt| opt.map(|(req, _)| req))
+}
+
+/// Like [`parse_request`] but also returns the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns an [`HttpParseError`] if the bytes present are not a valid HTTP
+/// request.
+pub fn parse_request_consumed(buf: &[u8]) -> Result<Option<(HttpRequest, usize)>, HttpParseError> {
+    let Some(header_end) = find_header_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end - 4]).map_err(|_| HttpParseError::NotUtf8)?;
+    let mut lines = head.splitn(2, "\r\n");
+    let start_line = lines.next().unwrap_or("");
+    let rest = lines.next().unwrap_or("");
+    let mut parts = start_line.split_whitespace();
+    let (method, path, _version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(HttpParseError::BadStartLine(start_line.to_owned())),
+    };
+    let method = Method::parse(method).ok_or_else(|| HttpParseError::BadMethod(method.to_owned()))?;
+    let headers = parse_headers(rest)?;
+    let Some((body, consumed)) = parse_body(buf, header_end, &headers)? else {
+        return Ok(None);
+    };
+    Ok(Some((HttpRequest { method, path: path.to_owned(), headers, body }, consumed)))
+}
+
+/// Attempts to parse a complete HTTP response from the front of `buf`.
+///
+/// Returns `Ok(None)` if more bytes are needed.
+///
+/// # Errors
+///
+/// Returns an [`HttpParseError`] if the bytes present are not a valid HTTP
+/// response.
+pub fn parse_response(buf: &[u8]) -> Result<Option<HttpResponse>, HttpParseError> {
+    let Some(header_end) = find_header_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end - 4]).map_err(|_| HttpParseError::NotUtf8)?;
+    let mut lines = head.splitn(2, "\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let rest = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (_version, status, reason) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(v), Some(s), reason) => (v, s, reason.unwrap_or("")),
+        _ => return Err(HttpParseError::BadStartLine(status_line.to_owned())),
+    };
+    let status: u16 = status
+        .parse()
+        .map_err(|_| HttpParseError::BadStatus(status.to_owned()))?;
+    let headers = parse_headers(rest)?;
+    let Some((body, _consumed)) = parse_body(buf, header_end, &headers)? else {
+        return Ok(None);
+    };
+    Ok(Some(HttpResponse { status, reason: reason.to_owned(), headers, body }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let original = HttpRequest::new(Method::Post, "/api/meme")
+            .with_header("X-Trace", "abc")
+            .with_body(b"payload".to_vec(), "application/octet-stream");
+        let bytes = original.serialize();
+        let parsed = parse_request(&bytes).unwrap().unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.path, "/api/meme");
+        assert_eq!(parsed.headers.get("x-trace"), Some("abc"));
+        assert_eq!(parsed.body, b"payload");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let original = HttpResponse::ok().with_body(b"{\"ok\":true}".to_vec(), "application/json");
+        let parsed = parse_response(&original.serialize()).unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.body, b"{\"ok\":true}");
+        assert_eq!(parsed.headers.get("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn incremental_parsing_waits_for_full_message() {
+        let full = HttpRequest::new(Method::Post, "/upload")
+            .with_body(vec![7u8; 100], "application/octet-stream")
+            .serialize();
+        // Feed successively larger prefixes; only the full buffer parses.
+        for cut in [10, 40, full.len() - 1] {
+            assert_eq!(parse_request(&full[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        assert!(parse_request(&full).unwrap().is_some());
+    }
+
+    #[test]
+    fn chunked_response_is_reassembled() {
+        let original = HttpResponse::ok().with_body(b"hello chunked world".to_vec(), "text/plain");
+        let wire = original.serialize_chunked(5);
+        let parsed = parse_response(&wire).unwrap().unwrap();
+        assert_eq!(parsed.body, b"hello chunked world");
+        // Incomplete chunked stream returns None.
+        assert_eq!(parse_response(&wire[..wire.len() - 3]).unwrap(), None);
+    }
+
+    #[test]
+    fn consumed_length_supports_pipelining() {
+        let first = HttpRequest::new(Method::Get, "/a").serialize();
+        let second = HttpRequest::new(Method::Get, "/b").serialize();
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        let (req, consumed) = parse_request_consumed(&stream).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        let (req2, consumed2) = parse_request_consumed(&stream[consumed..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, stream.len());
+    }
+
+    #[test]
+    fn malformed_messages_are_errors() {
+        assert!(matches!(
+            parse_request(b"NOTAMETHOD /x HTTP/1.1\r\n\r\n"),
+            Err(HttpParseError::BadMethod(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GARBAGE\r\n\r\n"),
+            Err(HttpParseError::BadStartLine(_))
+        ));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n"),
+            Err(HttpParseError::BadStatus(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET /x HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n"),
+            Err(HttpParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let parsed = parse_request(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn parse_error_display_is_informative() {
+        let err = HttpParseError::BadChunk("zz".into());
+        assert!(err.to_string().contains("zz"));
+    }
+}

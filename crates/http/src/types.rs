@@ -1,0 +1,385 @@
+//! HTTP request/response types and serialization.
+
+use std::fmt;
+
+/// An HTTP request method (the subset used by the case studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// PUT
+    Put,
+    /// DELETE
+    Delete,
+    /// HEAD
+    Head,
+    /// OPTIONS
+    Options,
+}
+
+impl Method {
+    /// The canonical request-line token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+
+    /// Parses a request-line token (case-sensitive, per RFC 7230).
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            "OPTIONS" => Some(Method::Options),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header, preserving insertion order.
+    pub fn insert(&mut self, name: &str, value: &str) {
+        self.entries.push((name.to_owned(), value.to_owned()));
+    }
+
+    /// Replaces all values of `name` with a single `value`.
+    pub fn set(&mut self, name: &str, value: &str) {
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.insert(name, value);
+    }
+
+    /// The first value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// The number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// The declared `Content-Length`, if present and valid.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("Content-Length").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// Whether the message uses chunked transfer encoding.
+    pub fn is_chunked(&self) -> bool {
+        self.get("Transfer-Encoding")
+            .map(|v| v.to_ascii_lowercase().contains("chunked"))
+            .unwrap_or(false)
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        for (name, value) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path plus optional query string).
+    pub path: String,
+    /// Headers in insertion order.
+    pub headers: Headers,
+    /// Request body (may be empty).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Creates a new request with no headers and an empty body.
+    pub fn new(method: Method, path: &str) -> HttpRequest {
+        HttpRequest { method, path: path.to_owned(), headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// Builder-style: attaches a body and sets `Content-Type`.
+    pub fn with_body(mut self, body: Vec<u8>, content_type: &str) -> HttpRequest {
+        self.headers.set("Content-Type", content_type);
+        self.body = body;
+        self
+    }
+
+    /// Builder-style: adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpRequest {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// The path portion of the request target (without the query string).
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// The query string, if any (without the leading `?`).
+    pub fn query(&self) -> Option<&str> {
+        self.path.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Serializes the request to wire format, adding `Content-Length` and a
+    /// `Host` header if they are missing.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        if !headers.contains("Host") {
+            headers.set("Host", "browsix.localhost");
+        }
+        if !self.body.is_empty() || self.method == Method::Post || self.method == Method::Put {
+            headers.set("Content-Length", &self.body.len().to_string());
+        }
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.path).as_bytes());
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Reason phrase ("OK", "Not Found", ...).
+    pub reason: String,
+    /// Headers in insertion order.
+    pub headers: Headers,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Creates a response with the given status and a standard reason phrase.
+    pub fn new(status: u16) -> HttpResponse {
+        HttpResponse {
+            status,
+            reason: reason_phrase(status).to_owned(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` response.
+    pub fn ok() -> HttpResponse {
+        HttpResponse::new(200)
+    }
+
+    /// A `404 Not Found` response with a small text body.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse::new(404).with_body(b"not found".to_vec(), "text/plain")
+    }
+
+    /// Builder-style: attaches a body and sets `Content-Type`.
+    pub fn with_body(mut self, body: Vec<u8>, content_type: &str) -> HttpResponse {
+        self.headers.set("Content-Type", content_type);
+        self.body = body;
+        self
+    }
+
+    /// Builder-style: adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpResponse {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Whether the status indicates success (2xx).
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Serializes the response to wire format with a `Content-Length` body.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        headers.set("Content-Length", &self.body.len().to_string());
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes the response using chunked transfer encoding, splitting the
+    /// body into chunks of at most `chunk_size` bytes.  Used to exercise the
+    /// "potentially chunked" response handling the paper's XHR shim performs.
+    pub fn serialize_chunked(&self, chunk_size: usize) -> Vec<u8> {
+        let chunk_size = chunk_size.max(1);
+        let mut headers = self.headers.clone();
+        headers.set("Transfer-Encoding", "chunked");
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        for chunk in self.body.chunks(chunk_size) {
+            out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            out.extend_from_slice(chunk);
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"0\r\n\r\n");
+        out
+    }
+}
+
+/// The standard reason phrase for a status code.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_round_trip() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head, Method::Options] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+        assert_eq!(Method::parse("get"), None);
+    }
+
+    #[test]
+    fn headers_are_case_insensitive_ordered() {
+        let mut headers = Headers::new();
+        headers.insert("Content-Type", "text/plain");
+        headers.insert("X-Custom", "1");
+        assert_eq!(headers.get("content-type"), Some("text/plain"));
+        assert!(headers.contains("x-custom"));
+        assert_eq!(headers.len(), 2);
+        headers.set("X-CUSTOM", "2");
+        assert_eq!(headers.get("X-Custom"), Some("2"));
+        assert_eq!(headers.len(), 2);
+        let names: Vec<&str> = headers.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["Content-Type", "X-CUSTOM"]);
+    }
+
+    #[test]
+    fn content_length_and_chunked_detection() {
+        let mut headers = Headers::new();
+        headers.set("Content-Length", "42");
+        assert_eq!(headers.content_length(), Some(42));
+        headers.set("Content-Length", "nonsense");
+        assert_eq!(headers.content_length(), None);
+        assert!(!headers.is_chunked());
+        headers.set("Transfer-Encoding", "Chunked");
+        assert!(headers.is_chunked());
+    }
+
+    #[test]
+    fn request_serialization_includes_host_and_length() {
+        let req = HttpRequest::new(Method::Post, "/api/meme")
+            .with_body(b"{\"text\":\"hi\"}".to_vec(), "application/json");
+        let bytes = req.serialize();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("POST /api/meme HTTP/1.1\r\n"));
+        assert!(text.contains("Host: "));
+        assert!(text.contains("Content-Length: 13"));
+        assert!(text.ends_with("{\"text\":\"hi\"}"));
+    }
+
+    #[test]
+    fn request_path_helpers() {
+        let req = HttpRequest::new(Method::Get, "/api/backgrounds?limit=10");
+        assert_eq!(req.path_only(), "/api/backgrounds");
+        assert_eq!(req.query(), Some("limit=10"));
+        let plain = HttpRequest::new(Method::Get, "/index.html");
+        assert_eq!(plain.query(), None);
+    }
+
+    #[test]
+    fn response_serialization() {
+        let resp = HttpResponse::ok().with_body(b"hello".to_vec(), "text/plain");
+        let text = String::from_utf8(resp.serialize()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5"));
+        assert!(text.ends_with("hello"));
+        assert!(resp.is_success());
+        assert!(!HttpResponse::not_found().is_success());
+    }
+
+    #[test]
+    fn chunked_serialization_splits_body() {
+        let resp = HttpResponse::ok().with_body(b"abcdefghij".to_vec(), "text/plain");
+        let text = String::from_utf8(resp.serialize_chunked(4)).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("4\r\nabcd\r\n"));
+        assert!(text.contains("2\r\nij\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(599), "Unknown");
+        assert_eq!(HttpResponse::new(503).reason, "Service Unavailable");
+    }
+}

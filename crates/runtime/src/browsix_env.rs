@@ -1,0 +1,344 @@
+//! [`RuntimeEnv`] implemented over the Browsix system-call client: what a
+//! guest program sees when it actually runs as a Browsix process inside a
+//! worker.
+
+use browsix_core::{Errno, Signal, SysResult, Syscall};
+use browsix_fs::{DirEntry, Metadata, OpenFlags};
+
+use crate::client::SyscallClient;
+use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::profile::ExecutionProfile;
+
+/// Runs one guest program as a Browsix process: waits for the init message,
+/// builds the environment, runs the program and issues the final `exit`
+/// system call.  Shared by all three launchers.
+pub(crate) fn run_guest_process(
+    ctx: browsix_core::exec::LaunchContext,
+    factory: &crate::program::GuestFactory,
+    profile: ExecutionProfile,
+    prefer_sync: bool,
+) {
+    let (client, start) = SyscallClient::start(ctx, prefer_sync);
+    if client.terminated() {
+        return;
+    }
+    let mut env = BrowsixEnv::new(client, start, profile);
+    let mut program = factory();
+    let code = program.run(&mut env);
+    env.exit_process(code);
+}
+
+/// The process-side view of Browsix.
+pub struct BrowsixEnv {
+    client: SyscallClient,
+    profile: ExecutionProfile,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    cwd: String,
+    fork_image: Option<Vec<u8>>,
+    exited: Option<i32>,
+}
+
+impl std::fmt::Debug for BrowsixEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrowsixEnv")
+            .field("pid", &self.client.pid())
+            .field("mode", &self.client.mode())
+            .field("profile", &self.profile.name)
+            .finish()
+    }
+}
+
+impl BrowsixEnv {
+    /// Builds the environment from a started client, the kernel's init
+    /// payload and the execution profile to charge compute against.
+    pub fn new(
+        client: SyscallClient,
+        start: browsix_core::exec::ProcessStart,
+        profile: ExecutionProfile,
+    ) -> BrowsixEnv {
+        BrowsixEnv {
+            client,
+            profile,
+            args: start.args,
+            env: start.env,
+            cwd: start.cwd,
+            fork_image: start.fork_image.map(|f| f.image),
+            exited: None,
+        }
+    }
+
+    /// Whether the process has issued its final `exit` system call (or been
+    /// terminated by the kernel).
+    pub fn finished(&self) -> bool {
+        self.exited.is_some() || self.client.terminated()
+    }
+
+    /// Issues the final `exit` system call, as Browsix runtimes must do
+    /// explicitly because the worker cannot otherwise signal completion.
+    pub fn exit_process(&mut self, code: i32) {
+        if self.finished() {
+            return;
+        }
+        self.exited = Some(code);
+        self.client.send_only(Syscall::Exit { code });
+    }
+
+    /// The underlying client (used by tests to inspect the convention).
+    pub fn client(&self) -> &SyscallClient {
+        &self.client
+    }
+
+    fn expect_int(&mut self, call: Syscall) -> Result<i64, Errno> {
+        match self.client.call(call) {
+            SysResult::Int(v) => Ok(v),
+            SysResult::Ok => Ok(0),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn expect_ok(&mut self, call: Syscall) -> Result<(), Errno> {
+        match self.client.call(call) {
+            SysResult::Ok | SysResult::Int(_) => Ok(()),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn expect_data(&mut self, call: Syscall) -> Result<Vec<u8>, Errno> {
+        match self.client.call(call) {
+            SysResult::Data(data) => Ok(data),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+}
+
+impl RuntimeEnv for BrowsixEnv {
+    fn args(&self) -> Vec<String> {
+        self.args.clone()
+    }
+
+    fn env_vars(&self) -> Vec<(String, String)> {
+        self.env.clone()
+    }
+
+    fn getpid(&mut self) -> u32 {
+        self.expect_int(Syscall::GetPid).unwrap_or(0) as u32
+    }
+
+    fn getppid(&mut self) -> u32 {
+        self.expect_int(Syscall::GetPPid).unwrap_or(0) as u32
+    }
+
+    fn getcwd(&mut self) -> String {
+        match self.client.call(Syscall::GetCwd) {
+            SysResult::Path(path) => {
+                self.cwd = path.clone();
+                path
+            }
+            _ => self.cwd.clone(),
+        }
+    }
+
+    fn chdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Chdir { path: path.to_owned() })?;
+        self.cwd = browsix_fs::path::resolve(&self.cwd, path);
+        Ok(())
+    }
+
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
+        self.expect_int(Syscall::Open { path: path.to_owned(), flags, mode: 0o644 })
+            .map(|fd| fd as Fd)
+    }
+
+    fn close(&mut self, fd: Fd) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Close { fd })
+    }
+
+    fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno> {
+        self.expect_data(Syscall::Read { fd, len: len as u32 })
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        let mut written = 0;
+        while written < data.len() {
+            let chunk_len = (data.len() - written).min(self.client.max_staged_write());
+            let chunk = &data[written..written + chunk_len];
+            let source = self.client.stage_write(chunk);
+            let count = self.expect_int(Syscall::Write { fd, data: source })? as usize;
+            if count == 0 {
+                break;
+            }
+            written += count;
+        }
+        Ok(written)
+    }
+
+    fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno> {
+        self.expect_data(Syscall::Pread { fd, len: len as u32, offset })
+    }
+
+    fn pwrite(&mut self, fd: Fd, data: &[u8], offset: u64) -> Result<usize, Errno> {
+        let source = self.client.stage_write(data);
+        self.expect_int(Syscall::Pwrite { fd, data: source, offset })
+            .map(|n| n as usize)
+    }
+
+    fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
+        self.expect_int(Syscall::Seek { fd, offset, whence }).map(|n| n as u64)
+    }
+
+    fn dup2(&mut self, from: Fd, to: Fd) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Dup2 { from, to })
+    }
+
+    fn fstat(&mut self, fd: Fd) -> Result<Metadata, Errno> {
+        match self.client.call(Syscall::Fstat { fd }) {
+            SysResult::Stat(meta) => Ok(meta),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {
+        match self.client.call(Syscall::Stat { path: path.to_owned(), lstat: false }) {
+            SysResult::Stat(meta) => Ok(meta),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>, Errno> {
+        match self.client.call(Syscall::Readdir { path: path.to_owned() }) {
+            SysResult::Entries(entries) => Ok(entries),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Mkdir { path: path.to_owned(), mode: 0o755 })
+    }
+
+    fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Rmdir { path: path.to_owned() })
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Unlink { path: path.to_owned() })
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Rename { from: from.to_owned(), to: to.to_owned() })
+    }
+
+    fn truncate(&mut self, path: &str, size: u64) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Truncate { path: path.to_owned(), size })
+    }
+
+    fn access(&mut self, path: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Access { path: path.to_owned(), mode: 0 })
+    }
+
+    fn utimes(&mut self, path: &str, atime_ms: u64, mtime_ms: u64) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Utimes { path: path.to_owned(), atime_ms, mtime_ms })
+    }
+
+    fn spawn(&mut self, path: &str, args: &[String], stdio: SpawnStdio) -> Result<u32, Errno> {
+        self.expect_int(Syscall::Spawn {
+            path: path.to_owned(),
+            args: args.to_vec(),
+            env: self.env.clone(),
+            cwd: None,
+            stdio: [stdio.stdin, stdio.stdout, stdio.stderr],
+        })
+        .map(|pid| pid as u32)
+    }
+
+    fn wait(&mut self, pid: i32) -> Result<WaitedChild, Errno> {
+        match self.client.call(Syscall::Wait4 { pid, options: 0 }) {
+            SysResult::Wait { pid, status } => Ok(WaitedChild {
+                pid,
+                status,
+                exit_code: browsix_core::syscall::wait_status_exit_code(status),
+            }),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn wait_nohang(&mut self, pid: i32) -> Result<Option<WaitedChild>, Errno> {
+        match self.client.call(Syscall::Wait4 { pid, options: 1 }) {
+            SysResult::Wait { pid: 0, .. } => Ok(None),
+            SysResult::Wait { pid, status } => Ok(Some(WaitedChild {
+                pid,
+                status,
+                exit_code: browsix_core::syscall::wait_status_exit_code(status),
+            })),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn pipe(&mut self) -> Result<(Fd, Fd), Errno> {
+        match self.client.call(Syscall::Pipe2) {
+            SysResult::Pair(read_fd, write_fd) => Ok((read_fd as Fd, write_fd as Fd)),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn kill(&mut self, pid: u32, signal: Signal) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Kill { pid, signal })
+    }
+
+    fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno> {
+        self.expect_ok(Syscall::SignalAction { signal, install: true })
+    }
+
+    fn pending_signals(&mut self) -> Vec<Signal> {
+        self.client.pending_signals()
+    }
+
+    fn fork(&mut self, image: Vec<u8>) -> Result<u32, Errno> {
+        self.expect_int(Syscall::Fork { image, resume_point: 0 }).map(|pid| pid as u32)
+    }
+
+    fn fork_image(&self) -> Option<Vec<u8>> {
+        self.fork_image.clone()
+    }
+
+    fn exit(&mut self, code: i32) {
+        self.exit_process(code);
+    }
+
+    fn socket(&mut self) -> Result<Fd, Errno> {
+        self.expect_int(Syscall::Socket).map(|fd| fd as Fd)
+    }
+
+    fn bind(&mut self, fd: Fd, port: u16) -> Result<u16, Errno> {
+        self.expect_int(Syscall::Bind { fd, port }).map(|p| p as u16)
+    }
+
+    fn listen(&mut self, fd: Fd, backlog: u32) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Listen { fd, backlog })
+    }
+
+    fn accept(&mut self, fd: Fd) -> Result<Fd, Errno> {
+        self.expect_int(Syscall::Accept { fd }).map(|fd| fd as Fd)
+    }
+
+    fn connect(&mut self, fd: Fd, port: u16) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Connect { fd, port })
+    }
+
+    fn charge_compute(&mut self, units: u64) {
+        self.profile.charge(units);
+    }
+
+    fn profile(&self) -> &ExecutionProfile {
+        &self.profile
+    }
+}

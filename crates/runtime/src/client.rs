@@ -1,0 +1,383 @@
+//! The worker-side system-call client.
+//!
+//! This is the "common services" syscall layer of §4.2: a typed API over the
+//! browser's message-passing primitives that language runtimes use to talk to
+//! the shared kernel.  It implements both conventions from §3.2:
+//!
+//! * **asynchronous** — the call is structured-clone encoded and posted to the
+//!   kernel; the worker then waits for the matching response message.  Every
+//!   buffer is copied twice.
+//! * **synchronous** — at startup the client allocates a `SharedArrayBuffer`
+//!   heap and registers it (plus a response offset and a wake address) with
+//!   the kernel.  Calls carry only integers; bulk data is copied directly
+//!   between the kernel and the shared heap, and the worker blocks in
+//!   `Atomics.wait` until the kernel stores the result and notifies it.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use browsix_browser::time::precise_delay;
+use browsix_browser::{AtomicsWaitResult, Message, PlatformConfig, SharedArrayBuffer, WorkerScope};
+use browsix_core::exec::{ForkImage, LaunchContext, ProcessStart};
+use browsix_core::{Errno, KernelEvent, Signal, SysResult, Syscall, Transport};
+use crossbeam::channel::Sender;
+
+/// Size of the shared heap allocated for synchronous system calls.
+const SYNC_HEAP_BYTES: usize = 512 * 1024;
+/// Offset of the wake address within the shared heap.
+const WAKE_OFFSET: usize = 0;
+/// Offset of the response area within the shared heap.
+const RESP_OFFSET: usize = 64;
+/// Offset of the outgoing-data area within the shared heap.
+const DATA_OFFSET: usize = 256 * 1024;
+/// Capacity of the outgoing-data area.
+pub const SYNC_DATA_CAPACITY: usize = SYNC_HEAP_BYTES - DATA_OFFSET;
+
+/// Which convention the client ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// Asynchronous message-passing system calls.
+    Async,
+    /// Synchronous shared-memory system calls.
+    Sync,
+}
+
+struct SyncState {
+    sab: SharedArrayBuffer,
+}
+
+/// The per-process system-call client.
+pub struct SyscallClient {
+    pid: u32,
+    config: PlatformConfig,
+    kernel: Sender<KernelEvent>,
+    scope: WorkerScope,
+    mode: ClientMode,
+    next_seq: u64,
+    stashed: HashMap<u64, SysResult>,
+    signals: VecDeque<Signal>,
+    sync: Option<SyncState>,
+    terminated: bool,
+}
+
+impl std::fmt::Debug for SyscallClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyscallClient")
+            .field("pid", &self.pid)
+            .field("mode", &self.mode)
+            .field("terminated", &self.terminated)
+            .finish()
+    }
+}
+
+impl SyscallClient {
+    /// Waits for the kernel's init message and builds the client.
+    ///
+    /// `prefer_sync` asks for the synchronous convention; it is honoured only
+    /// when the simulated browser supports shared memory, mirroring the
+    /// Chrome-only status of SharedArrayBuffer at publication time.
+    pub fn start(ctx: LaunchContext, prefer_sync: bool) -> (SyscallClient, ProcessStart) {
+        let LaunchContext { pid, config, kernel, scope } = ctx;
+        let mut client = SyscallClient {
+            pid,
+            config,
+            kernel,
+            scope,
+            mode: ClientMode::Async,
+            next_seq: 0,
+            stashed: HashMap::new(),
+            signals: VecDeque::new(),
+            sync: None,
+            terminated: false,
+        };
+        let start = client.wait_for_init();
+        if prefer_sync && client.config.shared_memory {
+            let sab = SharedArrayBuffer::new(SYNC_HEAP_BYTES);
+            let _ = client.kernel.send(KernelEvent::RegisterSyncHeap {
+                pid: client.pid,
+                sab: sab.clone(),
+                resp_offset: RESP_OFFSET,
+                wake_offset: WAKE_OFFSET,
+            });
+            client.sync = Some(SyncState { sab });
+            client.mode = ClientMode::Sync;
+        }
+        (client, start)
+    }
+
+    /// The process id assigned by the kernel.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Which convention the client is using.
+    pub fn mode(&self) -> ClientMode {
+        self.mode
+    }
+
+    /// Whether the kernel has terminated this worker (SIGKILL).
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// The platform configuration in effect.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    fn wait_for_init(&mut self) -> ProcessStart {
+        loop {
+            match self.scope.recv() {
+                Ok(msg) => {
+                    if msg.get_str("type") == Some("init") {
+                        return decode_init(&msg);
+                    }
+                    self.handle_out_of_band(&msg);
+                }
+                Err(_) => {
+                    self.terminated = true;
+                    return ProcessStart::default();
+                }
+            }
+        }
+    }
+
+    fn handle_out_of_band(&mut self, msg: &Message) {
+        if msg.get_str("type") == Some("signal") {
+            if let Some(signal) = msg.get_int("signal").and_then(|n| Signal::from_number(n as i32)) {
+                self.signals.push_back(signal);
+            }
+        }
+    }
+
+    /// Drains signals delivered to this process (checking for newly arrived
+    /// messages first).
+    pub fn pending_signals(&mut self) -> Vec<Signal> {
+        while let Ok(Some(msg)) = self.scope.try_recv() {
+            self.handle_out_of_band(&msg);
+        }
+        self.signals.drain(..).collect()
+    }
+
+    /// Issues a system call and waits for its result.
+    pub fn call(&mut self, call: Syscall) -> SysResult {
+        if self.terminated {
+            return SysResult::Err(Errno::EINTR);
+        }
+        match self.mode {
+            ClientMode::Sync => self.call_sync(call),
+            ClientMode::Async => self.call_async(call),
+        }
+    }
+
+    /// Issues a system call without waiting for a result (used for `exit`,
+    /// which never gets a reply).
+    pub fn send_only(&mut self, call: Syscall) {
+        match self.mode {
+            ClientMode::Sync => {
+                let _ = self.kernel.send(KernelEvent::Syscall {
+                    pid: self.pid,
+                    transport: Transport::Sync { call },
+                });
+            }
+            ClientMode::Async => {
+                self.next_seq += 1;
+                let msg = call.to_message();
+                precise_delay(self.config.post_cost(msg.byte_size()));
+                let _ = self.kernel.send(KernelEvent::Syscall {
+                    pid: self.pid,
+                    transport: Transport::Async { seq: self.next_seq, msg },
+                });
+            }
+        }
+    }
+
+    /// Copies `data` into the shared heap's outgoing-data area (synchronous
+    /// convention) and returns the byte-source descriptor for it.  Falls back
+    /// to an inline copy when running asynchronously.
+    pub fn stage_write(&mut self, data: &[u8]) -> browsix_core::ByteSource {
+        match (&self.mode, &self.sync) {
+            (ClientMode::Sync, Some(state)) if data.len() <= SYNC_DATA_CAPACITY => {
+                let _ = state.sab.write_bytes(DATA_OFFSET, data);
+                browsix_core::ByteSource::SharedHeap { offset: DATA_OFFSET as u32, len: data.len() as u32 }
+            }
+            _ => browsix_core::ByteSource::Inline(data.to_vec()),
+        }
+    }
+
+    /// The maximum number of bytes [`SyscallClient::stage_write`] can place in
+    /// the shared heap at once.
+    pub fn max_staged_write(&self) -> usize {
+        match self.mode {
+            ClientMode::Sync => SYNC_DATA_CAPACITY,
+            ClientMode::Async => usize::MAX,
+        }
+    }
+
+    fn call_async(&mut self, call: Syscall) -> SysResult {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let msg = call.to_message();
+        // postMessage to the kernel: pay the message + structured-clone cost.
+        precise_delay(self.config.post_cost(msg.byte_size()));
+        if self
+            .kernel
+            .send(KernelEvent::Syscall { pid: self.pid, transport: Transport::Async { seq, msg } })
+            .is_err()
+        {
+            self.terminated = true;
+            return SysResult::Err(Errno::EINTR);
+        }
+        self.wait_for_response(seq)
+    }
+
+    fn wait_for_response(&mut self, seq: u64) -> SysResult {
+        loop {
+            if let Some(result) = self.stashed.remove(&seq) {
+                return result;
+            }
+            match self.scope.recv() {
+                Ok(msg) => match msg.get_str("type") {
+                    Some("syscall-response") => {
+                        let response_seq = msg.get_int("seq").unwrap_or(-1) as u64;
+                        let result = msg
+                            .get("result")
+                            .and_then(SysResult::from_message)
+                            .unwrap_or(SysResult::Err(Errno::EIO));
+                        if response_seq == seq {
+                            return result;
+                        }
+                        self.stashed.insert(response_seq, result);
+                    }
+                    _ => self.handle_out_of_band(&msg),
+                },
+                Err(_) => {
+                    self.terminated = true;
+                    return SysResult::Err(Errno::EINTR);
+                }
+            }
+        }
+    }
+
+    fn call_sync(&mut self, call: Syscall) -> SysResult {
+        // fork is incompatible with the synchronous convention (§3.2).
+        if matches!(call, Syscall::Fork { .. }) {
+            return SysResult::Err(Errno::ENOSYS);
+        }
+        let Some(state) = &self.sync else {
+            return SysResult::Err(Errno::EFAULT);
+        };
+        // Arm the wake address, send the (integer-only) request, block.
+        if state.sab.store_i32(WAKE_OFFSET, 0).is_err() {
+            return SysResult::Err(Errno::EFAULT);
+        }
+        precise_delay(self.config.post_cost(32));
+        if self
+            .kernel
+            .send(KernelEvent::Syscall { pid: self.pid, transport: Transport::Sync { call } })
+            .is_err()
+        {
+            self.terminated = true;
+            return SysResult::Err(Errno::EINTR);
+        }
+        loop {
+            if self.scope.terminated() {
+                self.terminated = true;
+                return SysResult::Err(Errno::EINTR);
+            }
+            match state.sab.wait(WAKE_OFFSET, 0, Some(Duration::from_millis(100))) {
+                Ok(AtomicsWaitResult::TimedOut) => continue,
+                Ok(_) => break,
+                Err(_) => return SysResult::Err(Errno::EFAULT),
+            }
+        }
+        // Decode [len][payload] from the response area.
+        let len_bytes = match state.sab.read_bytes(RESP_OFFSET, 4) {
+            Ok(bytes) => bytes,
+            Err(_) => return SysResult::Err(Errno::EFAULT),
+        };
+        let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        let payload = match state.sab.read_bytes(RESP_OFFSET + 4, len) {
+            Ok(bytes) => bytes,
+            Err(_) => return SysResult::Err(Errno::EFAULT),
+        };
+        SysResult::decode_bytes(&payload).unwrap_or(SysResult::Err(Errno::EIO))
+    }
+}
+
+fn decode_init(msg: &Message) -> ProcessStart {
+    let args = msg
+        .get("args")
+        .and_then(Message::as_array)
+        .map(|items| items.iter().filter_map(|m| m.as_str().map(|s| s.to_owned())).collect())
+        .unwrap_or_default();
+    let env = msg
+        .get("env")
+        .and_then(Message::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_array()?;
+                    Some((pair.first()?.as_str()?.to_owned(), pair.get(1)?.as_str()?.to_owned()))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let cwd = msg.get_str("cwd").unwrap_or("/").to_owned();
+    let blob_url = msg.get_str("blob_url").map(|s| s.to_owned());
+    let fork_image = msg.get_bytes("fork_image").map(|bytes| ForkImage {
+        image: bytes.to_vec(),
+        resume_point: msg.get_int("fork_resume").unwrap_or(0) as u64,
+    });
+    ProcessStart { args, env, cwd, blob_url, fork_image }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_decoding_extracts_fields() {
+        let msg = Message::map()
+            .with("type", "init")
+            .with("args", Message::from(vec!["ls".to_string(), "-l".to_string()]))
+            .with(
+                "env",
+                Message::Array(vec![Message::Array(vec![
+                    Message::from("PATH"),
+                    Message::from("/usr/bin"),
+                ])]),
+            )
+            .with("cwd", "/home")
+            .with("blob_url", "blob:browsix/1")
+            .with("fork_image", vec![1u8, 2, 3])
+            .with("fork_resume", 7i64);
+        let start = decode_init(&msg);
+        assert_eq!(start.args, vec!["ls", "-l"]);
+        assert_eq!(start.env, vec![("PATH".to_string(), "/usr/bin".to_string())]);
+        assert_eq!(start.cwd, "/home");
+        assert_eq!(start.blob_url.as_deref(), Some("blob:browsix/1"));
+        let image = start.fork_image.unwrap();
+        assert_eq!(image.image, vec![1, 2, 3]);
+        assert_eq!(image.resume_point, 7);
+    }
+
+    #[test]
+    fn init_decoding_tolerates_missing_fields() {
+        let start = decode_init(&Message::map().with("type", "init"));
+        assert!(start.args.is_empty());
+        assert!(start.env.is_empty());
+        assert_eq!(start.cwd, "/");
+        assert!(start.blob_url.is_none());
+        assert!(start.fork_image.is_none());
+    }
+
+    #[test]
+    fn sync_layout_constants_are_consistent() {
+        assert!(RESP_OFFSET > WAKE_OFFSET + 4);
+        assert!(DATA_OFFSET > RESP_OFFSET);
+        assert!(SYNC_DATA_CAPACITY > 64 * 1024);
+        assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= SYNC_HEAP_BYTES);
+    }
+}

@@ -1,0 +1,282 @@
+//! The runtime environment interface guest programs are written against.
+//!
+//! A [`RuntimeEnv`](crate::RuntimeEnv) is what libc plus the language runtime
+//! look like to a program: files, directories, processes, pipes, signals,
+//! sockets and standard I/O.  The same guest program can run under the
+//! in-process [`NativeEnv`](crate::NativeEnv) (the paper's native and
+//! Node.js-on-Linux baselines) or under [`BrowsixEnv`](crate::BrowsixEnv)
+//! (a real Browsix process in a worker issuing system calls), which is
+//! exactly the property the paper relies on when it runs "the same JavaScript
+//! utility under BROWSIX and on Linux under Node.js".
+
+use browsix_core::{Errno, Signal};
+use browsix_fs::{DirEntry, Metadata, OpenFlags};
+
+use crate::profile::ExecutionProfile;
+
+/// File-descriptor type used by guest programs.
+pub type Fd = i32;
+
+/// Which descriptors a spawned child should receive for stdin/stdout/stderr.
+/// `None` inherits the parent's descriptor of the same number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpawnStdio {
+    /// Child's standard input.
+    pub stdin: Option<Fd>,
+    /// Child's standard output.
+    pub stdout: Option<Fd>,
+    /// Child's standard error.
+    pub stderr: Option<Fd>,
+}
+
+impl SpawnStdio {
+    /// Inherit all three standard descriptors from the parent.
+    pub fn inherit() -> SpawnStdio {
+        SpawnStdio::default()
+    }
+}
+
+/// A reaped child process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitedChild {
+    /// The child's pid.
+    pub pid: u32,
+    /// The raw wait status.
+    pub status: i32,
+    /// Exit code if the child exited normally.
+    pub exit_code: Option<i32>,
+}
+
+/// The POSIX-flavoured interface guest programs use.
+///
+/// All paths are interpreted relative to the process's working directory.
+/// Errors are [`Errno`] values, exactly as the corresponding system calls
+/// would return them.
+pub trait RuntimeEnv {
+    // ---- identity and environment -------------------------------------------
+
+    /// The argument vector, `argv[0]` included.
+    fn args(&self) -> Vec<String>;
+
+    /// All environment variables.
+    fn env_vars(&self) -> Vec<(String, String)>;
+
+    /// Looks up one environment variable.
+    fn getenv(&self, name: &str) -> Option<String> {
+        self.env_vars().iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    }
+
+    /// The process id.
+    fn getpid(&mut self) -> u32;
+
+    /// The parent process id.
+    fn getppid(&mut self) -> u32;
+
+    /// The current working directory.
+    fn getcwd(&mut self) -> String;
+
+    /// Changes the working directory.
+    fn chdir(&mut self, path: &str) -> Result<(), Errno>;
+
+    // ---- file IO --------------------------------------------------------------
+
+    /// Opens a file.
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno>;
+
+    /// Closes a descriptor.
+    fn close(&mut self, fd: Fd) -> Result<(), Errno>;
+
+    /// Reads up to `len` bytes from a descriptor (blocking).
+    fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno>;
+
+    /// Writes all of `data` to a descriptor (blocking), returning the count.
+    fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno>;
+
+    /// Positional read.
+    fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno>;
+
+    /// Positional write.
+    fn pwrite(&mut self, fd: Fd, data: &[u8], offset: u64) -> Result<usize, Errno>;
+
+    /// Repositions a descriptor (whence: 0 = SET, 1 = CUR, 2 = END).
+    fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno>;
+
+    /// Duplicates `from` onto `to`.
+    fn dup2(&mut self, from: Fd, to: Fd) -> Result<(), Errno>;
+
+    /// Stats an open descriptor.
+    fn fstat(&mut self, fd: Fd) -> Result<Metadata, Errno>;
+
+    // ---- paths ---------------------------------------------------------------
+
+    /// Stats a path.
+    fn stat(&mut self, path: &str) -> Result<Metadata, Errno>;
+
+    /// Lists a directory.
+    fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>, Errno>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, path: &str) -> Result<(), Errno>;
+
+    /// Removes an empty directory.
+    fn rmdir(&mut self, path: &str) -> Result<(), Errno>;
+
+    /// Removes a file.
+    fn unlink(&mut self, path: &str) -> Result<(), Errno>;
+
+    /// Renames a file or directory.
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno>;
+
+    /// Truncates a file.
+    fn truncate(&mut self, path: &str, size: u64) -> Result<(), Errno>;
+
+    /// Checks a path for existence/accessibility.
+    fn access(&mut self, path: &str) -> Result<(), Errno>;
+
+    /// Sets file times.
+    fn utimes(&mut self, path: &str, atime_ms: u64, mtime_ms: u64) -> Result<(), Errno>;
+
+    // ---- processes -----------------------------------------------------------
+
+    /// Spawns a child process from an executable path.
+    fn spawn(&mut self, path: &str, args: &[String], stdio: SpawnStdio) -> Result<u32, Errno>;
+
+    /// Blocks until a child exits (`pid` = -1 waits for any child).
+    fn wait(&mut self, pid: i32) -> Result<WaitedChild, Errno>;
+
+    /// Non-blocking wait (`WNOHANG`); `Ok(None)` means no child has exited.
+    fn wait_nohang(&mut self, pid: i32) -> Result<Option<WaitedChild>, Errno>;
+
+    /// Creates a pipe, returning `(read_fd, write_fd)`.
+    fn pipe(&mut self) -> Result<(Fd, Fd), Errno>;
+
+    /// Sends a signal to a process.
+    fn kill(&mut self, pid: u32, signal: Signal) -> Result<(), Errno>;
+
+    /// Installs a handler for a signal: delivered signals are then queued and
+    /// visible through [`RuntimeEnv::pending_signals`] rather than applying
+    /// their default disposition.
+    fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno>;
+
+    /// Drains signals delivered since the last call.
+    fn pending_signals(&mut self) -> Vec<Signal>;
+
+    /// Forks the process, shipping `image` (a runtime-defined snapshot of
+    /// guest state) to the child.  Returns the child pid in the parent; the
+    /// child starts as a fresh process whose [`RuntimeEnv::fork_image`]
+    /// returns the snapshot.  Only supported by the Emterpreter-mode C
+    /// runtime, as in the paper.
+    fn fork(&mut self, image: Vec<u8>) -> Result<u32, Errno>;
+
+    /// The fork snapshot this process was started from, if any.
+    fn fork_image(&self) -> Option<Vec<u8>>;
+
+    /// Exits the process immediately with `code` (issues the `exit` system
+    /// call and stops running guest code).  Where possible guest programs
+    /// should simply return from `run` instead.
+    fn exit(&mut self, code: i32);
+
+    // ---- sockets ---------------------------------------------------------------
+
+    /// Creates a TCP socket.
+    fn socket(&mut self) -> Result<Fd, Errno>;
+
+    /// Binds a socket to a port (0 picks an ephemeral port); returns the
+    /// bound port.
+    fn bind(&mut self, fd: Fd, port: u16) -> Result<u16, Errno>;
+
+    /// Starts listening.
+    fn listen(&mut self, fd: Fd, backlog: u32) -> Result<(), Errno>;
+
+    /// Accepts a connection (blocking), returning the new descriptor.
+    fn accept(&mut self, fd: Fd) -> Result<Fd, Errno>;
+
+    /// Connects to a port on the in-Browsix loopback network.
+    fn connect(&mut self, fd: Fd, port: u16) -> Result<(), Errno>;
+
+    // ---- cost model ------------------------------------------------------------
+
+    /// Charges `units` of compute time according to the execution profile
+    /// (the stand-in for actually executing the original program's code in a
+    /// JavaScript engine).
+    fn charge_compute(&mut self, units: u64);
+
+    /// The execution profile in effect.
+    fn profile(&self) -> &ExecutionProfile;
+
+    // ---- convenience (default implementations) ---------------------------------
+
+    /// Reads an entire file.
+    fn read_file(&mut self, path: &str) -> Result<Vec<u8>, Errno> {
+        let fd = self.open(path, OpenFlags::read_only())?;
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.read(fd, 64 * 1024)?;
+            if chunk.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&chunk);
+        }
+        self.close(fd)?;
+        Ok(out)
+    }
+
+    /// Creates/replaces an entire file.
+    fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), Errno> {
+        let fd = self.open(path, OpenFlags::write_create_truncate())?;
+        let mut written = 0;
+        while written < data.len() {
+            written += self.write(fd, &data[written..])?;
+        }
+        self.close(fd)?;
+        Ok(())
+    }
+
+    /// Writes a string to standard output.
+    fn print(&mut self, text: &str) {
+        let _ = self.write(1, text.as_bytes());
+    }
+
+    /// Writes a string to standard error.
+    fn eprint(&mut self, text: &str) {
+        let _ = self.write(2, text.as_bytes());
+    }
+
+    /// Reads standard input until EOF.
+    fn read_stdin_to_end(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        loop {
+            match self.read(0, 64 * 1024) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => out.extend_from_slice(&chunk),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Whether a path exists.
+    fn exists(&mut self, path: &str) -> bool {
+        self.stat(path).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_stdio_default_inherits() {
+        let stdio = SpawnStdio::inherit();
+        assert_eq!(stdio.stdin, None);
+        assert_eq!(stdio.stdout, None);
+        assert_eq!(stdio.stderr, None);
+    }
+
+    #[test]
+    fn waited_child_carries_exit_code() {
+        let child = WaitedChild { pid: 3, status: 2 << 8, exit_code: Some(2) };
+        assert_eq!(child.exit_code, Some(2));
+        assert_eq!(child.pid, 3);
+    }
+}

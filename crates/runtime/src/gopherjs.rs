@@ -1,0 +1,73 @@
+//! The GopherJS (Go) runtime integration.
+//!
+//! GopherJS already supports suspending and resuming goroutines, which meshes
+//! naturally with Browsix's asynchronous system calls: the replacement
+//! `syscall.RawSyscall` issues the call, parks the goroutine on a channel and
+//! resumes it when the kernel's response arrives.  `net.Listen` and
+//! `forkAndExecInChild` are overridden to use Browsix sockets and `spawn`.
+//!
+//! [`GopherJsLauncher`] reproduces that integration: Go-style guest programs
+//! (such as the meme-generator server) run under the asynchronous convention
+//! with the GopherJS execution profile, whose large numeric penalty models the
+//! missing 64-bit integer support the paper identifies as the main source of
+//! meme-generation slowness.
+
+use browsix_core::exec::{LaunchContext, ProgramLauncher};
+
+use crate::browsix_env::run_guest_process;
+use crate::profile::ExecutionProfile;
+use crate::program::GuestFactory;
+
+/// Launches a Go guest program compiled "with GopherJS".
+pub struct GopherJsLauncher {
+    name: &'static str,
+    factory: GuestFactory,
+    profile: ExecutionProfile,
+}
+
+impl std::fmt::Debug for GopherJsLauncher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GopherJsLauncher").field("name", &self.name).finish()
+    }
+}
+
+impl GopherJsLauncher {
+    /// Creates a launcher with the calibrated GopherJS profile.
+    pub fn new(name: &'static str, factory: GuestFactory) -> GopherJsLauncher {
+        GopherJsLauncher { name, factory, profile: ExecutionProfile::gopherjs() }
+    }
+
+    /// Overrides the execution profile.
+    pub fn with_profile(mut self, profile: ExecutionProfile) -> GopherJsLauncher {
+        self.profile = profile;
+        self
+    }
+}
+
+impl ProgramLauncher for GopherJsLauncher {
+    fn launch(&self, ctx: LaunchContext) {
+        // GopherJS programs always use asynchronous system calls.
+        run_guest_process(ctx, &self.factory, self.profile.clone(), false);
+    }
+
+    fn runtime_name(&self) -> &'static str {
+        "gopherjs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{factory, FnProgram};
+
+    #[test]
+    fn launcher_uses_async_gopherjs_profile() {
+        let launcher = GopherJsLauncher::new("meme-server", factory(|| FnProgram::new("meme", |_| 0)));
+        assert_eq!(launcher.runtime_name(), "gopherjs");
+        assert_eq!(launcher.profile.convention, crate::SyscallConvention::Async);
+        assert!(launcher.profile.compute_ns_per_unit > ExecutionProfile::nodejs_linux().compute_ns_per_unit);
+        let quiet = launcher.with_profile(ExecutionProfile::instant(crate::SyscallConvention::Async));
+        assert_eq!(quiet.profile.compute_ns_per_unit, 0);
+        assert!(format!("{quiet:?}").contains("meme-server"));
+    }
+}

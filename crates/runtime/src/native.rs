@@ -1,0 +1,659 @@
+//! The native and Node.js-on-Linux baselines.
+//!
+//! Figure 9 of the paper compares utilities running under Browsix against the
+//! same utilities running directly on Linux (GNU coreutils) and under Node.js
+//! on Linux.  [`NativeWorld`] provides those baselines: guest programs run in
+//! the calling thread, against the same in-process file system, with no
+//! kernel, no workers and no message passing — only the execution profile
+//! differs (native C vs V8-executed JavaScript).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use browsix_core::{Errno, Signal};
+use browsix_fs::{DirEntry, FileSystem, Metadata, MountedFs, OpenFlags};
+
+use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::profile::ExecutionProfile;
+use crate::program::ProgramTable;
+
+/// A shared, unbounded in-memory pipe used by the native baseline.
+#[derive(Debug, Default)]
+struct NativePipe {
+    data: std::collections::VecDeque<u8>,
+    write_closed: bool,
+}
+
+/// What a native descriptor refers to.
+#[derive(Clone)]
+enum NativeFd {
+    File { path: String, flags: OpenFlags, offset: u64 },
+    PipeRead(Arc<Mutex<NativePipe>>),
+    PipeWrite(Arc<Mutex<NativePipe>>),
+    Sink(Arc<Mutex<Vec<u8>>>),
+    Source { data: Arc<Vec<u8>>, pos: usize },
+    Null,
+}
+
+/// The result of running a program to completion in the native world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeRunResult {
+    /// Exit code returned by the program.
+    pub exit_code: i32,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+}
+
+impl NativeRunResult {
+    /// Standard output as (lossy) UTF-8.
+    pub fn stdout_string(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+/// An execution world with no kernel: programs run in the calling thread
+/// against a shared file system.
+#[derive(Clone)]
+pub struct NativeWorld {
+    fs: Arc<MountedFs>,
+    table: ProgramTable,
+    profile: ExecutionProfile,
+    next_pid: Arc<AtomicU32>,
+}
+
+impl std::fmt::Debug for NativeWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeWorld")
+            .field("profile", &self.profile.name)
+            .field("programs", &self.table.len())
+            .finish()
+    }
+}
+
+impl NativeWorld {
+    /// Creates a world over `fs` with the given execution profile
+    /// (typically [`ExecutionProfile::native`] or
+    /// [`ExecutionProfile::nodejs_linux`]).
+    pub fn new(fs: Arc<MountedFs>, profile: ExecutionProfile) -> NativeWorld {
+        NativeWorld { fs, table: ProgramTable::new(), profile, next_pid: Arc::new(AtomicU32::new(1)) }
+    }
+
+    /// The program table; register guest programs here.
+    pub fn table(&self) -> &ProgramTable {
+        &self.table
+    }
+
+    /// The shared file system.
+    pub fn fs(&self) -> Arc<MountedFs> {
+        Arc::clone(&self.fs)
+    }
+
+    /// The world's execution profile.
+    pub fn profile(&self) -> &ExecutionProfile {
+        &self.profile
+    }
+
+    /// Runs a program to completion with empty standard input.
+    pub fn run(&self, path_or_name: &str, args: &[&str]) -> NativeRunResult {
+        self.run_with_stdin(path_or_name, args, &[])
+    }
+
+    /// Runs a program to completion, feeding it `stdin`.
+    pub fn run_with_stdin(&self, path_or_name: &str, args: &[&str], stdin: &[u8]) -> NativeRunResult {
+        let stdout = Arc::new(Mutex::new(Vec::new()));
+        let stderr = Arc::new(Mutex::new(Vec::new()));
+        let exit_code = match self.table.instantiate(path_or_name) {
+            Some(mut program) => {
+                let mut env = NativeEnv::new(self.clone(), args, "/");
+                env.fds.insert(0, NativeFd::Source { data: Arc::new(stdin.to_vec()), pos: 0 });
+                env.fds.insert(1, NativeFd::Sink(Arc::clone(&stdout)));
+                env.fds.insert(2, NativeFd::Sink(Arc::clone(&stderr)));
+                program.run(&mut env)
+            }
+            None => {
+                stderr.lock().extend_from_slice(b"command not found\n");
+                127
+            }
+        };
+        let stdout_bytes = stdout.lock().clone();
+        let stderr_bytes = stderr.lock().clone();
+        NativeRunResult { exit_code, stdout: stdout_bytes, stderr: stderr_bytes }
+    }
+}
+
+/// A [`RuntimeEnv`] with no kernel underneath: every operation is a direct
+/// call into the in-process file system.
+pub struct NativeEnv {
+    world: NativeWorld,
+    pid: u32,
+    ppid: u32,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    cwd: String,
+    fds: HashMap<Fd, NativeFd>,
+    next_fd: Fd,
+    reaped: Vec<WaitedChild>,
+    exit_code: Option<i32>,
+    handled_signals: Vec<Signal>,
+}
+
+impl NativeEnv {
+    /// Creates a process-like environment in `world`.
+    pub fn new(world: NativeWorld, args: &[&str], cwd: &str) -> NativeEnv {
+        let pid = world.next_pid.fetch_add(1, Ordering::Relaxed);
+        let mut fds = HashMap::new();
+        fds.insert(0, NativeFd::Null);
+        fds.insert(1, NativeFd::Null);
+        fds.insert(2, NativeFd::Null);
+        NativeEnv {
+            world,
+            pid,
+            ppid: 0,
+            args: args.iter().map(|s| s.to_string()).collect(),
+            env: vec![
+                ("PATH".to_owned(), "/usr/bin:/bin".to_owned()),
+                ("HOME".to_owned(), "/home".to_owned()),
+            ],
+            cwd: browsix_fs::path::normalize(cwd),
+            fds,
+            next_fd: 3,
+            reaped: Vec::new(),
+            exit_code: None,
+            handled_signals: Vec::new(),
+        }
+    }
+
+    /// The exit code recorded by an explicit [`RuntimeEnv::exit`] call.
+    pub fn recorded_exit(&self) -> Option<i32> {
+        self.exit_code
+    }
+
+    fn resolve(&self, path: &str) -> String {
+        browsix_fs::path::resolve(&self.cwd, path)
+    }
+
+    fn alloc_fd(&mut self, fd: NativeFd) -> Fd {
+        let id = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(id, fd);
+        id
+    }
+
+    fn fd_entry(&mut self, fd: Fd) -> Result<&mut NativeFd, Errno> {
+        self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+}
+
+impl RuntimeEnv for NativeEnv {
+    fn args(&self) -> Vec<String> {
+        self.args.clone()
+    }
+
+    fn env_vars(&self) -> Vec<(String, String)> {
+        self.env.clone()
+    }
+
+    fn getpid(&mut self) -> u32 {
+        self.pid
+    }
+
+    fn getppid(&mut self) -> u32 {
+        self.ppid
+    }
+
+    fn getcwd(&mut self) -> String {
+        self.cwd.clone()
+    }
+
+    fn chdir(&mut self, path: &str) -> Result<(), Errno> {
+        let target = self.resolve(path);
+        let meta = self.world.fs.stat(&target)?;
+        if !meta.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        self.cwd = target;
+        Ok(())
+    }
+
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
+        let path = self.resolve(path);
+        match self.world.fs.stat(&path) {
+            Ok(meta) => {
+                if flags.create && flags.exclusive {
+                    return Err(Errno::EEXIST);
+                }
+                if meta.is_dir() && flags.write {
+                    return Err(Errno::EISDIR);
+                }
+                if flags.truncate && flags.write {
+                    self.world.fs.truncate(&path, 0)?;
+                }
+            }
+            Err(Errno::ENOENT) if flags.create => {
+                self.world.fs.create(&path, 0o644)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let offset = if flags.append {
+            self.world.fs.stat(&path).map(|m| m.size).unwrap_or(0)
+        } else {
+            0
+        };
+        Ok(self.alloc_fd(NativeFd::File { path, flags, offset }))
+    }
+
+    fn close(&mut self, fd: Fd) -> Result<(), Errno> {
+        match self.fds.remove(&fd) {
+            Some(NativeFd::PipeWrite(pipe)) => {
+                // Closing the last writer marks EOF for readers.  The native
+                // baseline shares pipes only between a parent and one child,
+                // so a single close is sufficient.
+                pipe.lock().write_closed = true;
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, flags, offset } => {
+                if !flags.read {
+                    return Err(Errno::EBADF);
+                }
+                let data = fs.read_at(path, *offset, len)?;
+                *offset += data.len() as u64;
+                Ok(data)
+            }
+            NativeFd::PipeRead(pipe) => {
+                let mut pipe = pipe.lock();
+                let take = len.min(pipe.data.len());
+                Ok(pipe.data.drain(..take).collect())
+            }
+            NativeFd::Source { data, pos } => {
+                let start = (*pos).min(data.len());
+                let end = (start + len).min(data.len());
+                *pos = end;
+                Ok(data[start..end].to_vec())
+            }
+            NativeFd::Null => Ok(Vec::new()),
+            NativeFd::Sink(_) | NativeFd::PipeWrite(_) => Err(Errno::EBADF),
+        }
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, flags, offset } => {
+                if !flags.write {
+                    return Err(Errno::EBADF);
+                }
+                let at = if flags.append {
+                    fs.stat(path).map(|m| m.size).unwrap_or(0)
+                } else {
+                    *offset
+                };
+                let written = fs.write_at(path, at, data)?;
+                *offset = at + written as u64;
+                Ok(written)
+            }
+            NativeFd::PipeWrite(pipe) => {
+                pipe.lock().data.extend(data.iter().copied());
+                Ok(data.len())
+            }
+            NativeFd::Sink(sink) => {
+                sink.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            NativeFd::Null => Ok(data.len()),
+            NativeFd::Source { .. } | NativeFd::PipeRead(_) => Err(Errno::EBADF),
+        }
+    }
+
+    fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, .. } => fs.read_at(path, offset, len),
+            _ => Err(Errno::ESPIPE),
+        }
+    }
+
+    fn pwrite(&mut self, fd: Fd, data: &[u8], offset: u64) -> Result<usize, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, .. } => fs.write_at(path, offset, data),
+            _ => Err(Errno::ESPIPE),
+        }
+    }
+
+    fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, offset: current, .. } => {
+                let base = match whence {
+                    0 => 0,
+                    1 => *current as i64,
+                    2 => fs.stat(path)?.size as i64,
+                    _ => return Err(Errno::EINVAL),
+                };
+                let target = base + offset;
+                if target < 0 {
+                    return Err(Errno::EINVAL);
+                }
+                *current = target as u64;
+                Ok(*current)
+            }
+            _ => Err(Errno::ESPIPE),
+        }
+    }
+
+    fn dup2(&mut self, from: Fd, to: Fd) -> Result<(), Errno> {
+        let entry = self.fds.get(&from).ok_or(Errno::EBADF)?.clone();
+        self.fds.insert(to, entry);
+        Ok(())
+    }
+
+    fn fstat(&mut self, fd: Fd) -> Result<Metadata, Errno> {
+        let fs = Arc::clone(&self.world.fs);
+        match self.fd_entry(fd)? {
+            NativeFd::File { path, .. } => fs.stat(path),
+            _ => Ok(Metadata::regular(0)),
+        }
+    }
+
+    fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {
+        let path = self.resolve(path);
+        self.world.fs.stat(&path)
+    }
+
+    fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>, Errno> {
+        let path = self.resolve(path);
+        self.world.fs.read_dir(&path)
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.mkdir(&path)
+    }
+
+    fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.rmdir(&path)
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.unlink(&path)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        let from = self.resolve(from);
+        let to = self.resolve(to);
+        self.world.fs.rename(&from, &to)
+    }
+
+    fn truncate(&mut self, path: &str, size: u64) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.truncate(&path, size)
+    }
+
+    fn access(&mut self, path: &str) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.stat(&path).map(|_| ())
+    }
+
+    fn utimes(&mut self, path: &str, atime_ms: u64, mtime_ms: u64) -> Result<(), Errno> {
+        let path = self.resolve(path);
+        self.world.fs.set_times(&path, atime_ms, mtime_ms)
+    }
+
+    fn spawn(&mut self, path: &str, args: &[String], stdio: SpawnStdio) -> Result<u32, Errno> {
+        let resolved = self.resolve(path);
+        let mut program = self
+            .world
+            .table
+            .instantiate(&resolved)
+            .or_else(|| self.world.table.instantiate(path))
+            .ok_or(Errno::ENOENT)?;
+        let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let mut child = NativeEnv::new(self.world.clone(), &arg_refs, &self.cwd);
+        child.ppid = self.pid;
+        child.env = self.env.clone();
+        // Wire the child's standard descriptors.
+        for (child_fd, selector) in [(0, stdio.stdin), (1, stdio.stdout), (2, stdio.stderr)] {
+            let source = selector.unwrap_or(child_fd);
+            if let Some(entry) = self.fds.get(&source) {
+                child.fds.insert(child_fd, entry.clone());
+            }
+        }
+        // The native baseline runs children synchronously: by the time spawn
+        // returns, the child has finished (sufficient for the paper's
+        // single-program and simple-pipeline workloads).
+        let code = program.run(&mut child);
+        let child_pid = child.pid;
+        self.reaped.push(WaitedChild { pid: child_pid, status: (code & 0xff) << 8, exit_code: Some(code) });
+        Ok(child_pid)
+    }
+
+    fn wait(&mut self, pid: i32) -> Result<WaitedChild, Errno> {
+        let index = self
+            .reaped
+            .iter()
+            .position(|child| pid < 0 || child.pid == pid as u32)
+            .ok_or(Errno::ECHILD)?;
+        Ok(self.reaped.remove(index))
+    }
+
+    fn wait_nohang(&mut self, pid: i32) -> Result<Option<WaitedChild>, Errno> {
+        match self.wait(pid) {
+            Ok(child) => Ok(Some(child)),
+            Err(Errno::ECHILD) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn pipe(&mut self) -> Result<(Fd, Fd), Errno> {
+        let pipe = Arc::new(Mutex::new(NativePipe::default()));
+        let read_fd = self.alloc_fd(NativeFd::PipeRead(Arc::clone(&pipe)));
+        let write_fd = self.alloc_fd(NativeFd::PipeWrite(pipe));
+        Ok((read_fd, write_fd))
+    }
+
+    fn kill(&mut self, _pid: u32, _signal: Signal) -> Result<(), Errno> {
+        // The native baseline has no concurrently-running processes to signal.
+        Err(Errno::ESRCH)
+    }
+
+    fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno> {
+        self.handled_signals.push(signal);
+        Ok(())
+    }
+
+    fn pending_signals(&mut self) -> Vec<Signal> {
+        Vec::new()
+    }
+
+    fn fork(&mut self, _image: Vec<u8>) -> Result<u32, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn fork_image(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn exit(&mut self, code: i32) {
+        self.exit_code = Some(code);
+    }
+
+    fn socket(&mut self) -> Result<Fd, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn bind(&mut self, _fd: Fd, _port: u16) -> Result<u16, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn listen(&mut self, _fd: Fd, _backlog: u32) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn accept(&mut self, _fd: Fd) -> Result<Fd, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn connect(&mut self, _fd: Fd, _port: u16) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    fn charge_compute(&mut self, units: u64) {
+        self.world.profile.charge(units);
+    }
+
+    fn profile(&self) -> &ExecutionProfile {
+        &self.world.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{factory, FnProgram};
+    use browsix_fs::MemFs;
+
+    fn world() -> NativeWorld {
+        let fs = Arc::new(MountedFs::new(Arc::new(MemFs::new())));
+        NativeWorld::new(fs, ExecutionProfile::instant(crate::SyscallConvention::Direct))
+    }
+
+    #[test]
+    fn run_program_captures_output_and_exit_code() {
+        let world = world();
+        world.table().register(
+            "/usr/bin/hello",
+            factory(|| {
+                FnProgram::new("hello", |env: &mut dyn RuntimeEnv| {
+                    env.print("hello world\n");
+                    env.eprint("warning\n");
+                    0
+                })
+            }),
+        );
+        let result = world.run("hello", &["hello"]);
+        assert_eq!(result.exit_code, 0);
+        assert_eq!(result.stdout_string(), "hello world\n");
+        assert_eq!(result.stderr, b"warning\n");
+    }
+
+    #[test]
+    fn missing_program_exits_127() {
+        let result = world().run("nonexistent", &["nonexistent"]);
+        assert_eq!(result.exit_code, 127);
+        assert!(!result.stderr.is_empty());
+    }
+
+    #[test]
+    fn file_io_round_trip_through_env() {
+        let world = world();
+        world.fs().mkdir("/data").unwrap();
+        let mut env = NativeEnv::new(world.clone(), &["test"], "/data");
+        env.write_file("notes.txt", b"line one\n").unwrap();
+        assert_eq!(env.read_file("/data/notes.txt").unwrap(), b"line one\n");
+        assert!(env.exists("notes.txt"));
+        assert_eq!(env.stat("notes.txt").unwrap().size, 9);
+
+        // Append and seek behaviour.
+        let fd = env.open("notes.txt", OpenFlags::append_create()).unwrap();
+        env.write(fd, b"line two\n").unwrap();
+        env.close(fd).unwrap();
+        let fd = env.open("notes.txt", OpenFlags::read_only()).unwrap();
+        env.seek(fd, 5, 0).unwrap();
+        assert_eq!(env.read(fd, 4).unwrap(), b"one\n");
+        env.close(fd).unwrap();
+        assert_eq!(env.close(fd), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn directories_and_metadata() {
+        let world = world();
+        let mut env = NativeEnv::new(world, &["test"], "/");
+        env.mkdir("/proj").unwrap();
+        env.chdir("/proj").unwrap();
+        assert_eq!(env.getcwd(), "/proj");
+        env.write_file("a.txt", b"1").unwrap();
+        env.write_file("b.txt", b"22").unwrap();
+        let names: Vec<String> = env.readdir(".").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a.txt", "b.txt"]);
+        env.rename("a.txt", "c.txt").unwrap();
+        assert!(env.exists("c.txt"));
+        env.unlink("b.txt").unwrap();
+        env.truncate("c.txt", 0).unwrap();
+        assert_eq!(env.stat("c.txt").unwrap().size, 0);
+        assert_eq!(env.chdir("/missing"), Err(Errno::ENOENT));
+        assert_eq!(env.chdir("/proj/c.txt"), Err(Errno::ENOTDIR));
+    }
+
+    #[test]
+    fn spawn_runs_children_and_wait_reaps_them() {
+        let world = world();
+        world.table().register(
+            "/usr/bin/child",
+            factory(|| {
+                FnProgram::new("child", |env: &mut dyn RuntimeEnv| {
+                    env.print("from child\n");
+                    7
+                })
+            }),
+        );
+        let mut env = NativeEnv::new(world, &["parent"], "/");
+        let (read_fd, write_fd) = env.pipe().unwrap();
+        let pid = env
+            .spawn(
+                "/usr/bin/child",
+                &["child".to_string()],
+                SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+            )
+            .unwrap();
+        let child = env.wait(pid as i32).unwrap();
+        assert_eq!(child.exit_code, Some(7));
+        env.close(write_fd).unwrap();
+        assert_eq!(env.read(read_fd, 64).unwrap(), b"from child\n");
+        assert_eq!(env.wait(-1), Err(Errno::ECHILD));
+        assert_eq!(env.wait_nohang(-1).unwrap(), None);
+    }
+
+    #[test]
+    fn unsupported_operations_report_enosys() {
+        let mut env = NativeEnv::new(world(), &["x"], "/");
+        assert_eq!(env.socket(), Err(Errno::ENOSYS));
+        assert_eq!(env.fork(vec![]), Err(Errno::ENOSYS));
+        assert_eq!(env.fork_image(), None);
+        assert_eq!(env.kill(1, Signal::SIGTERM), Err(Errno::ESRCH));
+        env.exit(3);
+        assert_eq!(env.recorded_exit(), Some(3));
+    }
+
+    #[test]
+    fn stdin_source_is_consumed() {
+        let world = world();
+        world.table().register(
+            "/usr/bin/upper",
+            factory(|| {
+                FnProgram::new("upper", |env: &mut dyn RuntimeEnv| {
+                    let input = env.read_stdin_to_end();
+                    let upper = String::from_utf8_lossy(&input).to_uppercase();
+                    env.print(&upper);
+                    0
+                })
+            }),
+        );
+        let result = world.run_with_stdin("upper", &["upper"], b"hello");
+        assert_eq!(result.stdout, b"HELLO");
+    }
+}

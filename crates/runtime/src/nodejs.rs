@@ -1,0 +1,72 @@
+//! The Node.js runtime integration.
+//!
+//! Browsix provides a `browser-node` executable that packages Node's
+//! high-level JavaScript APIs with pure-JavaScript replacements for its C++
+//! bindings, all implemented on Browsix system calls — so servers and command
+//! line tools written for Node run unmodified as Browsix processes.  Node's
+//! callback-oriented APIs map directly onto the asynchronous system-call
+//! convention.
+//!
+//! [`NodeLauncher`] is that executable's stand-in: it runs a guest program
+//! under the asynchronous convention with the JavaScript execution profile.
+//! The Unix utilities in `browsix-utils` are registered through it, mirroring
+//! the paper's Node-implemented coreutils.
+
+use browsix_core::exec::{LaunchContext, ProgramLauncher};
+
+use crate::browsix_env::run_guest_process;
+use crate::profile::ExecutionProfile;
+use crate::program::GuestFactory;
+
+/// Launches a Node.js-style guest program.
+pub struct NodeLauncher {
+    name: &'static str,
+    factory: GuestFactory,
+    profile: ExecutionProfile,
+}
+
+impl std::fmt::Debug for NodeLauncher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeLauncher").field("name", &self.name).finish()
+    }
+}
+
+impl NodeLauncher {
+    /// Creates a launcher with the calibrated Browsix-async JavaScript profile.
+    pub fn new(name: &'static str, factory: GuestFactory) -> NodeLauncher {
+        NodeLauncher { name, factory, profile: ExecutionProfile::browsix_async() }
+    }
+
+    /// Overrides the execution profile (tests disable compute injection).
+    pub fn with_profile(mut self, profile: ExecutionProfile) -> NodeLauncher {
+        self.profile = profile;
+        self
+    }
+}
+
+impl ProgramLauncher for NodeLauncher {
+    fn launch(&self, ctx: LaunchContext) {
+        // Node's callback-based APIs correspond to asynchronous system calls.
+        run_guest_process(ctx, &self.factory, self.profile.clone(), false);
+    }
+
+    fn runtime_name(&self) -> &'static str {
+        "node.js"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{factory, FnProgram};
+
+    #[test]
+    fn launcher_uses_async_js_profile() {
+        let launcher = NodeLauncher::new("cat", factory(|| FnProgram::new("cat", |_| 0)));
+        assert_eq!(launcher.runtime_name(), "node.js");
+        assert_eq!(launcher.profile.convention, crate::SyscallConvention::Async);
+        let quiet = launcher.with_profile(ExecutionProfile::instant(crate::SyscallConvention::Async));
+        assert_eq!(quiet.profile.compute_ns_per_unit, 0);
+        assert!(format!("{quiet:?}").contains("cat"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Guest programs.
+//!
+//! A [`GuestProgram`] stands in for a binary compiled to JavaScript: the same
+//! code runs unmodified whether it is executed "natively", under the
+//! simulated Node.js-on-Linux baseline, or as a Browsix process inside a
+//! worker — the only thing that changes is the [`RuntimeEnv`] it is handed,
+//! which is precisely the paper's "unmodified programs" property.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::env::RuntimeEnv;
+
+/// A program written against the [`RuntimeEnv`] interface.
+pub trait GuestProgram: Send {
+    /// Runs the program to completion, returning its exit code.
+    fn run(&mut self, env: &mut dyn RuntimeEnv) -> i32;
+
+    /// The program's name, for diagnostics.
+    fn name(&self) -> &str {
+        "guest"
+    }
+}
+
+/// A function-backed guest program, convenient for small utilities and tests.
+pub struct FnProgram<F> {
+    name: String,
+    func: F,
+}
+
+impl<F> FnProgram<F>
+where
+    F: FnMut(&mut dyn RuntimeEnv) -> i32 + Send,
+{
+    /// Wraps a closure as a guest program.
+    pub fn new(name: &str, func: F) -> FnProgram<F> {
+        FnProgram { name: name.to_owned(), func }
+    }
+}
+
+impl<F> GuestProgram for FnProgram<F>
+where
+    F: FnMut(&mut dyn RuntimeEnv) -> i32 + Send,
+{
+    fn run(&mut self, env: &mut dyn RuntimeEnv) -> i32 {
+        (self.func)(env)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A factory producing fresh instances of a guest program — the analogue of
+/// an executable image that can be started any number of times.
+pub type GuestFactory = Arc<dyn Fn() -> Box<dyn GuestProgram> + Send + Sync>;
+
+/// Creates a [`GuestFactory`] from a constructor closure.
+pub fn factory<P, F>(make: F) -> GuestFactory
+where
+    P: GuestProgram + 'static,
+    F: Fn() -> P + Send + Sync + 'static,
+{
+    Arc::new(move || Box::new(make()) as Box<dyn GuestProgram>)
+}
+
+/// Creates a [`GuestFactory`] directly from a program body: the closure is
+/// cloned for each process instance, which is how most utilities and tests
+/// define their programs.
+pub fn guest<F>(name: &'static str, body: F) -> GuestFactory
+where
+    F: Fn(&mut dyn RuntimeEnv) -> i32 + Send + Sync + Clone + 'static,
+{
+    Arc::new(move || Box::new(FnProgram::new(name, body.clone())) as Box<dyn GuestProgram>)
+}
+
+/// A table of guest programs keyed by absolute path, used by the native
+/// baseline (which has no kernel registry) and by the shell's `PATH` search.
+#[derive(Clone, Default)]
+pub struct ProgramTable {
+    programs: Arc<RwLock<HashMap<String, GuestFactory>>>,
+}
+
+impl std::fmt::Debug for ProgramTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramTable")
+            .field("programs", &self.programs.read().len())
+            .finish()
+    }
+}
+
+impl ProgramTable {
+    /// Creates an empty table.
+    pub fn new() -> ProgramTable {
+        ProgramTable::default()
+    }
+
+    /// Registers a program at an absolute path.
+    pub fn register(&self, path: &str, factory: GuestFactory) {
+        self.programs
+            .write()
+            .insert(browsix_fs::path::normalize(path), factory);
+    }
+
+    /// Looks up a program by exact path, falling back to a basename match in
+    /// `/usr/bin` (so "ls" finds "/usr/bin/ls").
+    pub fn lookup(&self, path_or_name: &str) -> Option<GuestFactory> {
+        let programs = self.programs.read();
+        if let Some(factory) = programs.get(&browsix_fs::path::normalize(path_or_name)) {
+            return Some(Arc::clone(factory));
+        }
+        if !path_or_name.contains('/') {
+            if let Some(factory) = programs.get(&format!("/usr/bin/{path_or_name}")) {
+                return Some(Arc::clone(factory));
+            }
+            if let Some(factory) = programs.get(&format!("/bin/{path_or_name}")) {
+                return Some(Arc::clone(factory));
+            }
+        }
+        None
+    }
+
+    /// Instantiates a program by path or name.
+    pub fn instantiate(&self, path_or_name: &str) -> Option<Box<dyn GuestProgram>> {
+        self.lookup(path_or_name).map(|factory| factory())
+    }
+
+    /// All registered paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.programs.read().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_program_runs_and_reports_name() {
+        let program = FnProgram::new("true", |_env: &mut dyn RuntimeEnv| 0);
+        assert_eq!(program.name(), "true");
+    }
+
+    #[test]
+    fn table_lookup_by_path_and_name() {
+        let table = ProgramTable::new();
+        assert!(table.is_empty());
+        table.register("/usr/bin/echo", factory(|| FnProgram::new("echo", |_| 0)));
+        table.register("/bin/sh", factory(|| FnProgram::new("sh", |_| 0)));
+        assert!(table.lookup("/usr/bin/echo").is_some());
+        assert!(table.lookup("echo").is_some());
+        assert!(table.lookup("sh").is_some());
+        assert!(table.lookup("/usr/bin/../bin/echo").is_some());
+        assert!(table.lookup("missing").is_none());
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.paths(), vec!["/bin/sh".to_string(), "/usr/bin/echo".to_string()]);
+        assert!(table.instantiate("echo").is_some());
+        assert!(table.instantiate("nope").is_none());
+    }
+}

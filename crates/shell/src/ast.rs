@@ -1,0 +1,84 @@
+//! The shell's abstract syntax tree.
+
+/// A redirection attached to a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Redirect {
+    /// `< file`
+    Input(String),
+    /// `> file`
+    Output(String),
+    /// `>> file`
+    Append(String),
+    /// `2> file`
+    Stderr(String),
+}
+
+/// One simple command: assignments, words and redirections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Command {
+    /// Leading `NAME=value` assignments.
+    pub assignments: Vec<(String, String)>,
+    /// The command name and its arguments (before expansion).
+    pub words: Vec<String>,
+    /// Redirections, applied left to right.
+    pub redirects: Vec<Redirect>,
+}
+
+impl Command {
+    /// Whether the command has neither words nor assignments (an empty line).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty() && self.assignments.is_empty()
+    }
+}
+
+/// A pipeline: one or more commands connected by `|`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pipeline {
+    /// The commands, left to right.
+    pub commands: Vec<Command>,
+    /// Whether the pipeline runs in the background (`&`).
+    pub background: bool,
+}
+
+/// How one pipeline chains to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListOp {
+    /// `;` or newline — run unconditionally.
+    Always,
+    /// `&&` — run only if the previous pipeline succeeded.
+    AndIf,
+    /// `||` — run only if the previous pipeline failed.
+    OrIf,
+}
+
+/// A parsed script: pipelines with their chaining operators.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScriptList {
+    /// `(operator linking to the previous entry, pipeline)` pairs; the first
+    /// entry's operator is [`ListOp::Always`].
+    pub entries: Vec<(ListOp, Pipeline)>,
+}
+
+impl ScriptList {
+    /// Whether the script contains no commands at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|(_, p)| p.commands.iter().all(Command::is_empty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emptiness_checks() {
+        assert!(Command::default().is_empty());
+        let cmd = Command { words: vec!["ls".into()], ..Command::default() };
+        assert!(!cmd.is_empty());
+        assert!(ScriptList::default().is_empty());
+        let script = ScriptList {
+            entries: vec![(ListOp::Always, Pipeline { commands: vec![cmd], background: false })],
+        };
+        assert!(!script.is_empty());
+    }
+}

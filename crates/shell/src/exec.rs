@@ -1,0 +1,531 @@
+//! Executing parsed scripts: expansion, builtins, pipelines, redirection and
+//! background jobs.
+
+use std::collections::HashMap;
+
+use browsix_fs::OpenFlags;
+use browsix_runtime::{RuntimeEnv, SpawnStdio};
+
+use crate::ast::{Command, ListOp, Pipeline, Redirect};
+use crate::parser::parse_script;
+
+/// The shell interpreter state: variables, the last exit status, positional
+/// parameters and background job pids.
+#[derive(Debug, Default)]
+pub struct Shell {
+    vars: HashMap<String, String>,
+    positional: Vec<String>,
+    last_status: i32,
+    background: Vec<u32>,
+    exited: Option<i32>,
+}
+
+impl Shell {
+    /// Creates a fresh shell.
+    pub fn new() -> Shell {
+        Shell::default()
+    }
+
+    /// Sets the positional parameters (`$1`, `$2`, ... in scripts).
+    pub fn set_positional(&mut self, args: &[String]) {
+        self.positional = args.to_vec();
+    }
+
+    /// Sets a shell variable.
+    pub fn set_var(&mut self, name: &str, value: &str) {
+        self.vars.insert(name.to_owned(), value.to_owned());
+    }
+
+    /// Looks up a shell variable (not the environment).
+    pub fn var(&self, name: &str) -> Option<&str> {
+        self.vars.get(name).map(|s| s.as_str())
+    }
+
+    /// Pids of background jobs started with `&`.
+    pub fn background_jobs(&self) -> &[u32] {
+        &self.background
+    }
+
+    /// Parses and runs `source`, returning the exit status of the last
+    /// command (or 2 for a syntax error, like dash).
+    pub fn run_source(&mut self, env: &mut dyn RuntimeEnv, source: &str) -> i32 {
+        let script = match parse_script(source) {
+            Ok(script) => script,
+            Err(e) => {
+                env.eprint(&format!("sh: {e}\n"));
+                return 2;
+            }
+        };
+        for (op, pipeline) in &script.entries {
+            if self.exited.is_some() {
+                break;
+            }
+            let should_run = match op {
+                ListOp::Always => true,
+                ListOp::AndIf => self.last_status == 0,
+                ListOp::OrIf => self.last_status != 0,
+            };
+            if !should_run {
+                continue;
+            }
+            self.last_status = self.run_pipeline(env, pipeline);
+        }
+        self.exited.unwrap_or(self.last_status)
+    }
+
+    // ---- expansion -----------------------------------------------------------
+
+    fn expand_word(&self, env: &dyn RuntimeEnv, word: &str) -> String {
+        let mut out = String::new();
+        let mut chars = word.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == crate::lexer::LITERAL_DOLLAR {
+                out.push('$');
+                continue;
+            }
+            if c != '$' {
+                out.push(c);
+                continue;
+            }
+            match chars.peek() {
+                Some('?') => {
+                    chars.next();
+                    out.push_str(&self.last_status.to_string());
+                }
+                Some('#') => {
+                    chars.next();
+                    out.push_str(&self.positional.len().to_string());
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut name = String::new();
+                    for inner in chars.by_ref() {
+                        if inner == '}' {
+                            break;
+                        }
+                        name.push(inner);
+                    }
+                    out.push_str(&self.lookup(env, &name));
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    let index = chars.next().unwrap().to_digit(10).unwrap() as usize;
+                    if index >= 1 {
+                        out.push_str(self.positional.get(index - 1).map(|s| s.as_str()).unwrap_or(""));
+                    }
+                }
+                Some(c) if c.is_ascii_alphabetic() || *c == '_' => {
+                    let mut name = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            name.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push_str(&self.lookup(env, &name));
+                }
+                _ => out.push('$'),
+            }
+        }
+        out
+    }
+
+    fn lookup(&self, env: &dyn RuntimeEnv, name: &str) -> String {
+        self.vars
+            .get(name)
+            .cloned()
+            .or_else(|| env.getenv(name))
+            .unwrap_or_default()
+    }
+
+    /// Expands variables then performs pathname expansion (globbing) on words
+    /// containing `*` or `?`.
+    fn expand_words(&self, env: &mut dyn RuntimeEnv, words: &[String]) -> Vec<String> {
+        let mut out = Vec::new();
+        for word in words {
+            let expanded = self.expand_word(env, word);
+            if expanded.contains('*') || expanded.contains('?') {
+                let matches = glob(env, &expanded);
+                if matches.is_empty() {
+                    out.push(expanded);
+                } else {
+                    out.extend(matches);
+                }
+            } else {
+                out.push(expanded);
+            }
+        }
+        out
+    }
+
+    // ---- execution -------------------------------------------------------------
+
+    fn run_pipeline(&mut self, env: &mut dyn RuntimeEnv, pipeline: &Pipeline) -> i32 {
+        let commands: Vec<&Command> = pipeline.commands.iter().filter(|c| !c.is_empty()).collect();
+        if commands.is_empty() {
+            return 0;
+        }
+        // A single builtin runs inside the shell process itself.
+        if commands.len() == 1 {
+            let words = self.expand_words(env, &commands[0].words);
+            if words.is_empty() {
+                // Pure assignments: set shell variables.
+                for (name, value) in &commands[0].assignments {
+                    let value = self.expand_word(env, value);
+                    self.vars.insert(name.clone(), value);
+                }
+                return 0;
+            }
+            if let Some(status) = self.try_builtin(env, &words) {
+                return status;
+            }
+        }
+
+        // Build the pipeline: N commands, N-1 pipes.
+        let mut pipes = Vec::new();
+        for _ in 1..commands.len() {
+            match env.pipe() {
+                Ok(pair) => pipes.push(pair),
+                Err(e) => {
+                    env.eprint(&format!("sh: pipe: {e}\n"));
+                    return 1;
+                }
+            }
+        }
+
+        let mut pids = Vec::new();
+        let mut status = 0;
+        let mut opened: Vec<i32> = Vec::new();
+        for (index, command) in commands.iter().enumerate() {
+            let words = self.expand_words(env, &command.words);
+            if words.is_empty() {
+                continue;
+            }
+            let mut stdio = SpawnStdio::inherit();
+            if index > 0 {
+                stdio.stdin = Some(pipes[index - 1].0);
+            }
+            if index + 1 < commands.len() {
+                stdio.stdout = Some(pipes[index].1);
+            }
+            // Redirections override pipeline plumbing.
+            let mut redirect_failed = false;
+            for redirect in &command.redirects {
+                let result = match redirect {
+                    Redirect::Input(path) => {
+                        let path = self.expand_word(env, path);
+                        env.open(&path, OpenFlags::read_only()).map(|fd| {
+                            stdio.stdin = Some(fd);
+                            fd
+                        })
+                    }
+                    Redirect::Output(path) => {
+                        let path = self.expand_word(env, path);
+                        env.open(&path, OpenFlags::write_create_truncate()).map(|fd| {
+                            stdio.stdout = Some(fd);
+                            fd
+                        })
+                    }
+                    Redirect::Append(path) => {
+                        let path = self.expand_word(env, path);
+                        env.open(&path, OpenFlags::append_create()).map(|fd| {
+                            stdio.stdout = Some(fd);
+                            fd
+                        })
+                    }
+                    Redirect::Stderr(path) => {
+                        let path = self.expand_word(env, path);
+                        env.open(&path, OpenFlags::write_create_truncate()).map(|fd| {
+                            stdio.stderr = Some(fd);
+                            fd
+                        })
+                    }
+                };
+                match result {
+                    Ok(fd) => opened.push(fd),
+                    Err(e) => {
+                        env.eprint(&format!("sh: redirect: {e}\n"));
+                        redirect_failed = true;
+                        break;
+                    }
+                }
+            }
+            if redirect_failed {
+                status = 1;
+                continue;
+            }
+            match self.spawn_command(env, &words, stdio) {
+                Ok(pid) => pids.push(pid),
+                Err(code) => status = code,
+            }
+        }
+
+        // The shell closes its copies of the pipe and redirect descriptors so
+        // readers see EOF once the writers exit.
+        for (read_fd, write_fd) in pipes {
+            let _ = env.close(read_fd);
+            let _ = env.close(write_fd);
+        }
+        for fd in opened {
+            let _ = env.close(fd);
+        }
+
+        if pipeline.background {
+            self.background.extend(pids);
+            return 0;
+        }
+        for pid in pids {
+            match env.wait(pid as i32) {
+                Ok(child) => status = child.exit_code.unwrap_or(128 + (child.status & 0x7f)),
+                Err(_) => status = 1,
+            }
+        }
+        status
+    }
+
+    fn spawn_command(
+        &mut self,
+        env: &mut dyn RuntimeEnv,
+        words: &[String],
+        stdio: SpawnStdio,
+    ) -> Result<u32, i32> {
+        let command = &words[0];
+        let candidates: Vec<String> = if command.contains('/') {
+            vec![command.clone()]
+        } else {
+            let path_var = self.lookup(env, "PATH");
+            let path_var = if path_var.is_empty() { "/usr/bin:/bin".to_owned() } else { path_var };
+            path_var
+                .split(':')
+                .filter(|dir| !dir.is_empty())
+                .map(|dir| format!("{dir}/{command}"))
+                .collect()
+        };
+        for candidate in &candidates {
+            match env.spawn(candidate, words, stdio) {
+                Ok(pid) => return Ok(pid),
+                Err(browsix_core::Errno::ENOENT) => continue,
+                Err(e) => {
+                    env.eprint(&format!("sh: {command}: {e}\n"));
+                    return Err(126);
+                }
+            }
+        }
+        env.eprint(&format!("sh: {command}: command not found\n"));
+        Err(127)
+    }
+
+    fn try_builtin(&mut self, env: &mut dyn RuntimeEnv, words: &[String]) -> Option<i32> {
+        match words[0].as_str() {
+            "cd" => {
+                let target = words.get(1).cloned().unwrap_or_else(|| self.lookup(env, "HOME"));
+                let target = if target.is_empty() { "/".to_owned() } else { target };
+                Some(match env.chdir(&target) {
+                    Ok(()) => 0,
+                    Err(e) => {
+                        env.eprint(&format!("cd: {target}: {e}\n"));
+                        1
+                    }
+                })
+            }
+            "pwd" => {
+                let cwd = env.getcwd();
+                env.print(&format!("{cwd}\n"));
+                Some(0)
+            }
+            "exit" => {
+                let code = words.get(1).and_then(|w| w.parse().ok()).unwrap_or(self.last_status);
+                self.exited = Some(code);
+                Some(code)
+            }
+            "export" => {
+                for word in &words[1..] {
+                    if let Some((name, value)) = word.split_once('=') {
+                        self.vars.insert(name.to_owned(), value.to_owned());
+                    }
+                }
+                Some(0)
+            }
+            "unset" => {
+                for word in &words[1..] {
+                    self.vars.remove(word);
+                }
+                Some(0)
+            }
+            "true" | ":" => Some(0),
+            "false" => Some(1),
+            "wait" => {
+                let mut status = 0;
+                for pid in std::mem::take(&mut self.background) {
+                    if let Ok(child) = env.wait(pid as i32) {
+                        status = child.exit_code.unwrap_or(1);
+                    }
+                }
+                Some(status)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pathname expansion: matches the final component of `pattern` against the
+/// entries of its parent directory.
+fn glob(env: &mut dyn RuntimeEnv, pattern: &str) -> Vec<String> {
+    let (dir, file_pattern) = match pattern.rfind('/') {
+        Some(idx) => (&pattern[..idx + 1], &pattern[idx + 1..]),
+        None => ("", pattern),
+    };
+    let list_dir = if dir.is_empty() { "." } else { dir.trim_end_matches('/') };
+    let list_dir = if list_dir.is_empty() { "/" } else { list_dir };
+    let Ok(entries) = env.readdir(list_dir) else { return Vec::new() };
+    let mut matches: Vec<String> = entries
+        .into_iter()
+        .filter(|entry| browsix_fs::path::glob_match(file_pattern, &entry.name))
+        .map(|entry| format!("{dir}{}", entry.name))
+        .collect();
+    matches.sort();
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browsix_fs::{FileSystem, MemFs, MountedFs};
+    use browsix_runtime::{ExecutionProfile, NativeEnv, NativeWorld, SyscallConvention};
+    use std::sync::Arc;
+
+    /// A native world with the coreutils and the shell registered.
+    fn world() -> NativeWorld {
+        let fs = Arc::new(MountedFs::new(Arc::new(MemFs::new())));
+        fs.mkdir("/docs").unwrap();
+        fs.write_file("/docs/file.txt", b"apple\nbanana\napple pie\n").unwrap();
+        fs.write_file("/docs/other.txt", b"cherry\n").unwrap();
+        fs.mkdir("/home").unwrap();
+        let world = NativeWorld::new(fs, ExecutionProfile::instant(SyscallConvention::Direct));
+        browsix_utils::register_native(world.table());
+        crate::register_native(world.table());
+        world
+    }
+
+    fn run(world: &NativeWorld, script: &str) -> (i32, String, String) {
+        let mut env = NativeEnv::new(world.clone(), &["sh"], "/");
+        let mut shell = Shell::new();
+        // Capture output through a tee into in-memory sinks by running via the
+        // world's runner instead.
+        let result = world.run_with_stdin("sh", &["sh"], script.as_bytes());
+        let _ = (&mut env, &mut shell);
+        (result.exit_code, result.stdout_string(), String::from_utf8_lossy(&result.stderr).into_owned())
+    }
+
+    #[test]
+    fn simple_commands_and_exit_status() {
+        let w = world();
+        let (code, stdout, _) = run(&w, "echo hello world\n");
+        assert_eq!(code, 0);
+        assert_eq!(stdout, "hello world\n");
+        let (code, _, stderr) = run(&w, "definitely-not-a-command\n");
+        assert_eq!(code, 127);
+        assert!(stderr.contains("command not found"));
+    }
+
+    #[test]
+    fn pipelines_compose_utilities() {
+        let w = world();
+        let (code, stdout, _) = run(&w, "cat /docs/file.txt | grep apple | wc -l\n");
+        assert_eq!(code, 0);
+        assert_eq!(stdout.trim(), "2");
+    }
+
+    #[test]
+    fn redirection_reads_and_writes_files() {
+        let w = world();
+        let (code, _, _) = run(&w, "grep apple < /docs/file.txt > /docs/apples.txt\n");
+        assert_eq!(code, 0);
+        assert_eq!(w.fs().read_file("/docs/apples.txt").unwrap(), b"apple\napple pie\n");
+        let (_, _, _) = run(&w, "echo more >> /docs/apples.txt\n");
+        assert_eq!(
+            w.fs().read_file("/docs/apples.txt").unwrap(),
+            b"apple\napple pie\nmore\n"
+        );
+        // Stderr redirection captures error messages.
+        let (_, _, _) = run(&w, "cat /missing 2> /docs/errors.txt\n");
+        let errors = w.fs().read_file("/docs/errors.txt").unwrap();
+        assert!(String::from_utf8_lossy(&errors).contains("no such file"));
+    }
+
+    #[test]
+    fn and_or_lists_and_exit_codes() {
+        let w = world();
+        let (code, stdout, _) = run(&w, "true && echo yes || echo no\n");
+        assert_eq!(code, 0);
+        assert_eq!(stdout, "yes\n");
+        let (_, stdout, _) = run(&w, "false && echo yes || echo no\n");
+        assert_eq!(stdout, "no\n");
+        let (code, stdout, _) = run(&w, "false; echo status=$?\n");
+        assert_eq!(stdout, "status=1\n");
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn variables_and_expansion() {
+        let w = world();
+        let (_, stdout, _) = run(&w, "NAME=browsix\necho hello $NAME ${NAME}!\n");
+        assert_eq!(stdout, "hello browsix browsix!\n");
+        let (_, stdout, _) = run(&w, "export GREETING=hi\necho $GREETING there\n");
+        assert_eq!(stdout, "hi there\n");
+        let (_, stdout, _) = run(&w, "X=1\nunset X\necho [$X]\n");
+        assert_eq!(stdout, "[]\n");
+        // Single quotes suppress expansion.
+        let (_, stdout, _) = run(&w, "Y=2\necho '$Y' \"$Y\"\n");
+        assert_eq!(stdout, "$Y 2\n");
+    }
+
+    #[test]
+    fn builtins_cd_pwd_exit() {
+        let w = world();
+        let (_, stdout, _) = run(&w, "cd /docs\npwd\n");
+        assert_eq!(stdout, "/docs\n");
+        let (code, stdout, _) = run(&w, "echo before\nexit 3\necho after\n");
+        assert_eq!(code, 3);
+        assert_eq!(stdout, "before\n");
+        let (code, _, stderr) = run(&w, "cd /nonexistent\n");
+        assert_eq!(code, 1);
+        assert!(stderr.contains("cd:"));
+    }
+
+    #[test]
+    fn globbing_expands_wildcards() {
+        let w = world();
+        let (_, stdout, _) = run(&w, "echo /docs/*.txt\n");
+        assert_eq!(stdout, "/docs/file.txt /docs/other.txt\n");
+        // No matches: the pattern is passed through literally, like dash.
+        let (_, stdout, _) = run(&w, "echo /docs/*.pdf\n");
+        assert_eq!(stdout, "/docs/*.pdf\n");
+    }
+
+    #[test]
+    fn scripts_with_positional_parameters() {
+        let w = world();
+        w.fs()
+            .write_file("/docs/greet.sh", b"echo argc=$#\necho hello $1\n")
+            .unwrap();
+        let result = w.run("sh", &["sh", "/docs/greet.sh", "world"]);
+        assert_eq!(result.exit_code, 0);
+        assert_eq!(result.stdout_string(), "argc=1\nhello world\n");
+        // sh -c form.
+        let result = w.run("sh", &["sh", "-c", "echo from -c"]);
+        assert_eq!(result.stdout_string(), "from -c\n");
+        // Missing script.
+        let result = w.run("sh", &["sh", "/docs/missing.sh"]);
+        assert_eq!(result.exit_code, 127);
+    }
+
+    #[test]
+    fn syntax_errors_report_status_2() {
+        let w = world();
+        let (code, _, stderr) = run(&w, "cat <\n");
+        assert_eq!(code, 2);
+        assert!(stderr.contains("syntax error"));
+    }
+}

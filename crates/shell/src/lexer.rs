@@ -1,0 +1,276 @@
+//! Tokenizing shell input.
+
+use std::error::Error;
+use std::fmt;
+
+/// A shell token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A word (command name, argument, or assignment), with quoting resolved
+    /// but `$` expansions left for the execution phase.
+    Word(String),
+    /// `|`
+    Pipe,
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+    /// `;`
+    Semi,
+    /// `&`
+    Background,
+    /// `<`
+    RedirectIn,
+    /// `>`
+    RedirectOut,
+    /// `>>`
+    RedirectAppend,
+    /// `2>`
+    RedirectErr,
+    /// End of one line of input.
+    Newline,
+}
+
+/// Placeholder character used to mark a `$` that quoting made literal; the
+/// expansion phase turns it back into a plain dollar sign.
+pub const LITERAL_DOLLAR: char = '\u{1}';
+
+/// A tokenizer error (unterminated quoting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error: {}", self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Splits `input` into tokens.  Single quotes suppress all expansion, double
+/// quotes preserve spaces but allow `$` expansion (performed later), and `#`
+/// starts a comment.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated quotes.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut word = String::new();
+    let mut has_word = false;
+
+    macro_rules! flush_word {
+        () => {
+            if has_word {
+                tokens.push(Token::Word(std::mem::take(&mut word)));
+                has_word = false;
+            }
+        };
+    }
+
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => flush_word!(),
+            '\n' => {
+                flush_word!();
+                tokens.push(Token::Newline);
+            }
+            '#' if !has_word => {
+                // Comment until end of line.
+                for next in chars.by_ref() {
+                    if next == '\n' {
+                        tokens.push(Token::Newline);
+                        break;
+                    }
+                }
+            }
+            '\'' => {
+                has_word = true;
+                let mut closed = false;
+                for next in chars.by_ref() {
+                    if next == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    // Mark `$` as literal so the expansion phase leaves it be.
+                    if next == '$' {
+                        word.push(LITERAL_DOLLAR);
+                    } else {
+                        word.push(next);
+                    }
+                }
+                if !closed {
+                    return Err(LexError { message: "unterminated single quote".into() });
+                }
+            }
+            '"' => {
+                has_word = true;
+                let mut closed = false;
+                while let Some(next) = chars.next() {
+                    match next {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            if let Some(escaped) = chars.next() {
+                                match escaped {
+                                    '$' => word.push(LITERAL_DOLLAR),
+                                    '"' | '\\' => word.push(escaped),
+                                    other => {
+                                        word.push('\\');
+                                        word.push(other);
+                                    }
+                                }
+                            }
+                        }
+                        other => word.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LexError { message: "unterminated double quote".into() });
+                }
+            }
+            '\\' => {
+                if let Some(escaped) = chars.next() {
+                    if escaped != '\n' {
+                        has_word = true;
+                        if escaped == '$' {
+                            word.push(LITERAL_DOLLAR);
+                        } else {
+                            word.push(escaped);
+                        }
+                    }
+                }
+            }
+            '|' => {
+                flush_word!();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    tokens.push(Token::OrIf);
+                } else {
+                    tokens.push(Token::Pipe);
+                }
+            }
+            '&' => {
+                flush_word!();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    tokens.push(Token::AndIf);
+                } else {
+                    tokens.push(Token::Background);
+                }
+            }
+            ';' => {
+                flush_word!();
+                tokens.push(Token::Semi);
+            }
+            '<' => {
+                flush_word!();
+                tokens.push(Token::RedirectIn);
+            }
+            '>' => {
+                flush_word!();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::RedirectAppend);
+                } else {
+                    tokens.push(Token::RedirectOut);
+                }
+            }
+            '2' if !has_word && chars.peek() == Some(&'>') => {
+                chars.next();
+                flush_word!();
+                tokens.push(Token::RedirectErr);
+            }
+            other => {
+                has_word = true;
+                word.push(other);
+            }
+        }
+    }
+    if has_word {
+        tokens.push(Token::Word(word));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_pipeline_with_redirect() {
+        let tokens = tokenize("cat file.txt | grep apple > apples.txt").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("cat".into()),
+                Token::Word("file.txt".into()),
+                Token::Pipe,
+                Token::Word("grep".into()),
+                Token::Word("apple".into()),
+                Token::RedirectOut,
+                Token::Word("apples.txt".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_background() {
+        let tokens = tokenize("make && echo ok || echo bad; sleep &").unwrap();
+        assert!(tokens.contains(&Token::AndIf));
+        assert!(tokens.contains(&Token::OrIf));
+        assert!(tokens.contains(&Token::Semi));
+        assert!(tokens.contains(&Token::Background));
+        let tokens = tokenize("wc >> out.txt 2> err.txt").unwrap();
+        assert!(tokens.contains(&Token::RedirectAppend));
+        assert!(tokens.contains(&Token::RedirectErr));
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let tokens = tokenize("echo 'single $VAR' \"double $VAR\" plain\\ space").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("echo".into()),
+                // Single quotes make the `$` literal (marked for the expander).
+                Token::Word(format!("single {LITERAL_DOLLAR}VAR")),
+                Token::Word("double $VAR".into()),
+                Token::Word("plain space".into()),
+            ]
+        );
+        assert!(tokenize("echo 'unterminated").is_err());
+        assert!(tokenize("echo \"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_and_newlines() {
+        let tokens = tokenize("echo hi # comment\necho bye").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("echo".into()),
+                Token::Word("hi".into()),
+                Token::Newline,
+                Token::Word("echo".into()),
+                Token::Word("bye".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn stderr_redirect_only_outside_words() {
+        // "file2>out" is a word "file2", then '>' 'out'; but "2>" at word start
+        // is a stderr redirect.
+        let tokens = tokenize("cmd file2 > out").unwrap();
+        assert_eq!(tokens[1], Token::Word("file2".into()));
+        let tokens = tokenize("cmd 2> err.log").unwrap();
+        assert!(tokens.contains(&Token::RedirectErr));
+    }
+}

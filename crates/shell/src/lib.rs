@@ -1,0 +1,116 @@
+//! # browsix-shell — a dash-like POSIX shell
+//!
+//! The Browsix terminal case study compiles the Debian Almquist shell (dash)
+//! to JavaScript and runs it as a Browsix process, so developers can "pipe
+//! programs together (e.g. `cat file.txt | grep apple > apples.txt`), execute
+//! programs in a subshell in the background with `&`, run shell scripts, and
+//! change environment variables".
+//!
+//! This crate is the equivalent shell for the Rust reproduction: a POSIX
+//! subset covering exactly those features — pipelines, `&&`/`||`/`;` lists,
+//! background jobs, input/output/append redirection, variables and `$VAR`
+//! expansion, globbing, quoting and the usual builtins — written as a guest
+//! program so it runs under the native baselines and as a Browsix process
+//! (where it is registered as the `sh`/`dash` interpreter for shebang
+//! scripts).
+//!
+//! ```
+//! use browsix_shell::lexer::tokenize;
+//! let tokens = tokenize("cat file.txt | grep apple > apples.txt").unwrap();
+//! assert_eq!(tokens.len(), 7);
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+use browsix_runtime::{guest, GuestFactory};
+
+pub use ast::{Command, ListOp, Pipeline, Redirect, ScriptList};
+pub use exec::Shell;
+pub use lexer::{tokenize, Token};
+pub use parser::parse_script;
+
+/// A factory for the shell as a guest program.
+///
+/// Invocation forms, mirroring dash:
+/// * `sh -c "command line"` — run one command line;
+/// * `sh script.sh [args...]` — run a script from the file system;
+/// * `sh` — read commands from standard input (what the terminal does).
+pub fn shell_program() -> GuestFactory {
+    guest("sh", |env| {
+        let args = env.args();
+        let mut shell = Shell::new();
+        // Skip over an interpreter prefix such as "/bin/sh" inserted by
+        // shebang resolution.
+        let rest: Vec<String> = args.iter().skip(1).cloned().collect();
+        if rest.first().map(|a| a == "-c").unwrap_or(false) {
+            let command = rest.get(1).cloned().unwrap_or_default();
+            return shell.run_source(env, &command);
+        }
+        if let Some(script_path) = rest.first() {
+            if !script_path.starts_with('-') {
+                return match env.read_file(script_path) {
+                    Ok(source) => {
+                        shell.set_positional(&rest[1..]);
+                        shell.run_source(env, &String::from_utf8_lossy(&source))
+                    }
+                    Err(e) => {
+                        env.eprint(&format!("sh: {script_path}: {e}\n"));
+                        127
+                    }
+                };
+            }
+        }
+        // Interactive / piped-stdin mode.
+        let input = env.read_stdin_to_end();
+        shell.run_source(env, &String::from_utf8_lossy(&input))
+    })
+}
+
+/// Registers the shell at `/bin/sh` and `/bin/dash` in a kernel registry and
+/// as the `sh`/`dash` interpreters for shebang scripts.  The shell is a C
+/// program in the paper, so it runs under the Emscripten launcher.
+pub fn register_browsix(
+    registry: &browsix_core::ExecutableRegistry,
+    profile: browsix_runtime::ExecutionProfile,
+) {
+    use browsix_runtime::{EmscriptenLauncher, EmscriptenMode};
+    use std::sync::Arc;
+    let launcher = Arc::new(
+        EmscriptenLauncher::new("dash", shell_program(), EmscriptenMode::Emterpreter)
+            .with_profile(profile),
+    );
+    registry.register("/bin/sh", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
+    registry.register("/bin/dash", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
+    registry.register_interpreter("sh", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
+    registry.register_interpreter("dash", launcher as Arc<dyn browsix_core::ProgramLauncher>);
+}
+
+/// Registers the shell in a native-world program table.
+pub fn register_native(table: &browsix_runtime::ProgramTable) {
+    table.register("/bin/sh", shell_program());
+    table.register("/bin/dash", shell_program());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_installs_sh_and_dash() {
+        let registry = browsix_core::ExecutableRegistry::new();
+        register_browsix(
+            &registry,
+            browsix_runtime::ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async),
+        );
+        assert!(registry.lookup("/bin/sh").is_some());
+        assert!(registry.lookup("/bin/dash").is_some());
+        assert!(registry.lookup_interpreter("sh").is_some());
+
+        let table = browsix_runtime::ProgramTable::new();
+        register_native(&table);
+        assert!(table.lookup("sh").is_some());
+    }
+}

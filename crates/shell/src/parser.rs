@@ -1,0 +1,228 @@
+//! Parsing token streams into the shell AST.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Command, ListOp, Pipeline, Redirect, ScriptList};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error: {}", self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(value: LexError) -> Self {
+        ParseError { message: value.message }
+    }
+}
+
+/// Parses a complete script (possibly many lines).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed input such as a missing redirect
+/// target or a pipe with no following command.
+pub fn parse_script(source: &str) -> Result<ScriptList, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_list()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn parse_list(&mut self) -> Result<ScriptList, ParseError> {
+        let mut entries = Vec::new();
+        let mut op = ListOp::Always;
+        loop {
+            // Skip blank separators.
+            while matches!(self.peek(), Some(Token::Newline) | Some(Token::Semi)) {
+                self.next();
+                op = ListOp::Always;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            let pipeline = self.parse_pipeline()?;
+            entries.push((op, pipeline));
+            match self.peek() {
+                Some(Token::AndIf) => {
+                    self.next();
+                    op = ListOp::AndIf;
+                }
+                Some(Token::OrIf) => {
+                    self.next();
+                    op = ListOp::OrIf;
+                }
+                Some(Token::Semi) | Some(Token::Newline) => {
+                    self.next();
+                    op = ListOp::Always;
+                }
+                Some(Token::Background) => {
+                    self.next();
+                    if let Some((_, last)) = entries.last_mut() {
+                        last.background = true;
+                    }
+                    op = ListOp::Always;
+                }
+                None => break,
+                Some(other) => {
+                    return Err(ParseError { message: format!("unexpected token {other:?}") });
+                }
+            }
+        }
+        Ok(ScriptList { entries })
+    }
+
+    fn parse_pipeline(&mut self) -> Result<Pipeline, ParseError> {
+        let mut commands = vec![self.parse_command()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.next();
+            let command = self.parse_command()?;
+            if command.is_empty() {
+                return Err(ParseError { message: "missing command after '|'".into() });
+            }
+            commands.push(command);
+        }
+        if commands[0].is_empty() && commands.len() > 1 {
+            return Err(ParseError { message: "missing command before '|'".into() });
+        }
+        Ok(Pipeline { commands, background: false })
+    }
+
+    fn parse_command(&mut self) -> Result<Command, ParseError> {
+        let mut command = Command::default();
+        loop {
+            match self.peek() {
+                Some(Token::Word(_)) => {
+                    let Some(Token::Word(word)) = self.next() else { unreachable!() };
+                    // Leading NAME=value words are assignments.
+                    if command.words.is_empty() {
+                        if let Some((name, value)) = split_assignment(&word) {
+                            command.assignments.push((name, value));
+                            continue;
+                        }
+                    }
+                    command.words.push(word);
+                }
+                Some(Token::RedirectIn)
+                | Some(Token::RedirectOut)
+                | Some(Token::RedirectAppend)
+                | Some(Token::RedirectErr) => {
+                    let kind = self.next().unwrap();
+                    let Some(Token::Word(target)) = self.next() else {
+                        return Err(ParseError { message: "missing redirect target".into() });
+                    };
+                    command.redirects.push(match kind {
+                        Token::RedirectIn => Redirect::Input(target),
+                        Token::RedirectOut => Redirect::Output(target),
+                        Token::RedirectAppend => Redirect::Append(target),
+                        Token::RedirectErr => Redirect::Stderr(target),
+                        _ => unreachable!(),
+                    });
+                }
+                _ => break,
+            }
+        }
+        Ok(command)
+    }
+}
+
+/// Splits `NAME=value` into its parts if `NAME` is a valid variable name.
+fn split_assignment(word: &str) -> Option<(String, String)> {
+    let (name, value) = word.split_once('=')?;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || name.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
+    {
+        return None;
+    }
+    Some((name.to_owned(), value.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pipelines_and_lists() {
+        let script = parse_script("cat a.txt | grep x | wc -l && echo ok || echo bad\nls").unwrap();
+        assert_eq!(script.entries.len(), 4);
+        assert_eq!(script.entries[0].1.commands.len(), 3);
+        assert_eq!(script.entries[1].0, ListOp::AndIf);
+        assert_eq!(script.entries[2].0, ListOp::OrIf);
+        assert_eq!(script.entries[3].0, ListOp::Always);
+        assert!(!script.is_empty());
+    }
+
+    #[test]
+    fn parses_redirects_and_assignments() {
+        let script = parse_script("FOO=bar BAZ=1 sort < in.txt > out.txt 2> err.txt >> log.txt").unwrap();
+        let command = &script.entries[0].1.commands[0];
+        assert_eq!(command.assignments.len(), 2);
+        assert_eq!(command.words, vec!["sort"]);
+        assert_eq!(command.redirects.len(), 4);
+        assert_eq!(command.redirects[0], Redirect::Input("in.txt".into()));
+        assert_eq!(command.redirects[1], Redirect::Output("out.txt".into()));
+        assert_eq!(command.redirects[2], Redirect::Stderr("err.txt".into()));
+        assert_eq!(command.redirects[3], Redirect::Append("log.txt".into()));
+    }
+
+    #[test]
+    fn parses_background_jobs() {
+        let script = parse_script("server --port 80 & echo started").unwrap();
+        assert!(script.entries[0].1.background);
+        assert!(!script.entries[1].1.background);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_script("cat <").is_err());
+        assert!(parse_script("| grep x").is_err());
+        assert!(parse_script("cat a |").is_err());
+        assert!(parse_script("echo 'unterminated").is_err());
+    }
+
+    #[test]
+    fn assignment_splitting_rules() {
+        assert_eq!(split_assignment("FOO=bar"), Some(("FOO".into(), "bar".into())));
+        assert_eq!(split_assignment("_X=1"), Some(("_X".into(), "1".into())));
+        assert_eq!(split_assignment("1X=1"), None);
+        assert_eq!(split_assignment("not-a-var=1"), None);
+        assert_eq!(split_assignment("noequals"), None);
+    }
+
+    #[test]
+    fn empty_and_comment_only_scripts() {
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script("# just a comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! # browsix-utils — Unix utilities as guest programs
+//!
+//! The Browsix terminal ships "a variety of Unix utilities on the shell's
+//! PATH that we wrote for Node.js: cat, cp, curl, echo, exec, grep, head, ls,
+//! mkdir, rm, rmdir, sh, sha1sum, sort, stat, tail, tee, touch, wc, and
+//! xargs.  These programs run equivalently under Node and BROWSIX without any
+//! modifications."
+//!
+//! This crate provides those utilities as [`GuestProgram`]s written against
+//! the [`RuntimeEnv`] interface, so the *same* implementation runs under the
+//! native baseline, the Node.js-on-Linux baseline, and as a Browsix process —
+//! which is exactly what Figure 9 of the paper measures.
+//!
+//! Use [`register_browsix`] to install them at `/usr/bin` in a kernel's
+//! executable registry, and [`register_native`] to install them into a
+//! [`ProgramTable`] for the no-kernel baselines.
+
+pub mod common;
+pub mod programs;
+pub mod sha1;
+
+use std::sync::Arc;
+
+use browsix_core::ExecutableRegistry;
+use browsix_runtime::{ExecutionProfile, GuestFactory, NodeLauncher, ProgramTable};
+
+pub use programs::all_utilities;
+pub use sha1::{sha1_digest, sha1_hex};
+
+/// The list of utility names this crate provides (sorted).
+pub fn utility_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_utilities().into_iter().map(|(name, _)| name).collect();
+    names.sort_unstable();
+    names
+}
+
+/// Registers every utility at `/usr/bin/<name>` in a Browsix kernel registry,
+/// running under the Node.js runtime with the given execution profile.
+pub fn register_browsix(registry: &ExecutableRegistry, profile: ExecutionProfile) {
+    for (name, factory) in all_utilities() {
+        let launcher = NodeLauncher::new(name, factory).with_profile(profile.clone());
+        registry.register(&format!("/usr/bin/{name}"), Arc::new(launcher));
+    }
+}
+
+/// Registers every utility at `/usr/bin/<name>` in a native-world program
+/// table (the no-kernel baselines of Figure 9).
+pub fn register_native(table: &ProgramTable) {
+    for (name, factory) in all_utilities() {
+        table.register(&format!("/usr/bin/{name}"), factory);
+    }
+}
+
+/// Convenience: a factory for a single named utility.
+pub fn utility(name: &str) -> Option<GuestFactory> {
+    all_utilities()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, factory)| factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_paper_utilities_are_all_present() {
+        let names = utility_names();
+        for expected in [
+            "cat", "cp", "curl", "echo", "grep", "head", "ls", "mkdir", "rm", "rmdir", "sha1sum",
+            "sort", "stat", "tail", "tee", "touch", "wc", "xargs", "true", "false", "pwd",
+        ] {
+            assert!(names.contains(&expected), "missing utility {expected}");
+        }
+        assert!(utility("cat").is_some());
+        assert!(utility("not-a-utility").is_none());
+    }
+
+    #[test]
+    fn registration_installs_all_utilities() {
+        let registry = ExecutableRegistry::new();
+        register_browsix(&registry, ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async));
+        assert!(registry.lookup("/usr/bin/ls").is_some());
+        assert!(registry.lookup("/usr/bin/sha1sum").is_some());
+        assert_eq!(registry.len(), utility_names().len());
+
+        let table = ProgramTable::new();
+        register_native(&table);
+        assert!(table.lookup("ls").is_some());
+        assert_eq!(table.len(), utility_names().len());
+    }
+}

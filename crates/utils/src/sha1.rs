@@ -1,0 +1,99 @@
+//! SHA-1, implemented from scratch for the `sha1sum` utility (the paper's
+//! Figure 9 benchmark hashes `/usr/bin/node` with it).
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1_digest(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: 0x80, zeros, then the 64-bit bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut message = data.to_vec();
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in message.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &word) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(word);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, value) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&value.to_be_bytes());
+    }
+    out
+}
+
+/// Computes the SHA-1 digest of `data` as a lowercase hex string.
+pub fn sha1_hex(data: &[u8]) -> String {
+    sha1_digest(data).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_test_vectors() {
+        // FIPS 180-1 / RFC 3174 test vectors.
+        assert_eq!(sha1_hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(sha1_hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            sha1_hex(&vec![b'a'; 1_000_000]),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths straddling the 55/56/64-byte padding boundaries.
+        assert_eq!(sha1_hex(&vec![0u8; 55]).len(), 40);
+        assert_ne!(sha1_hex(&vec![0u8; 55]), sha1_hex(&vec![0u8; 56]));
+        assert_ne!(sha1_hex(&vec![0u8; 63]), sha1_hex(&vec![0u8; 64]));
+        assert_ne!(sha1_hex(&vec![0u8; 64]), sha1_hex(&vec![0u8; 65]));
+    }
+
+    #[test]
+    fn digest_and_hex_agree() {
+        let digest = sha1_digest(b"browsix");
+        let hex = sha1_hex(b"browsix");
+        assert_eq!(hex.len(), 40);
+        assert!(hex.starts_with(&format!("{:02x}", digest[0])));
+    }
+}

@@ -1,0 +1,39 @@
+//! The meme-generator case study: the same Go-style server runs remotely and
+//! inside Browsix; the client routes requests based on network and device
+//! characteristics, so meme generation keeps working offline.
+//!
+//! Run with: `cargo run -p browsix-apps --example meme_generator`
+
+use browsix_apps::meme::{MemeClient, MemeEnvironment, RouteDecision};
+
+fn main() {
+    // Boot the kernel, start the in-Browsix server (waiting for its socket
+    // notification), and stand up the simulated remote deployment.
+    let client = MemeClient::new(MemeEnvironment::boot_for_tests(), /* desktop */ false);
+
+    // Mobile device with the network up: the policy prefers the remote server.
+    let (route, backgrounds) = client.list_backgrounds().expect("list backgrounds");
+    println!("available backgrounds (served by {route:?}): {backgrounds:?}");
+
+    let (route, meme) = client
+        .generate("grumpy-cat.png", "I DO NOT ALWAYS RUN SERVERS", "BUT WHEN I DO, IT IS IN A BROWSER")
+        .expect("generate meme");
+    println!("generated a {}-byte meme via {route:?}", meme.len());
+
+    // The network disappears: requests transparently fail over to the
+    // in-Browsix server — disconnected operation, no code changes.
+    client.environment().remote.set_online(false);
+    let (route, meme) = client
+        .generate("doge.png", "SUCH OFFLINE", "VERY KERNEL")
+        .expect("generate offline");
+    assert_eq!(route, RouteDecision::InBrowsix);
+    println!("offline: generated a {}-byte meme via {route:?}", meme.len());
+
+    // Inspect what the in-Browsix server did.
+    let stats = client.environment().kernel.stats();
+    println!(
+        "in-browser server: {} syscalls, listening ports: {:?}",
+        stats.total_syscalls,
+        client.environment().kernel.listening_ports()
+    );
+}

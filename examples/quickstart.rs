@@ -1,0 +1,51 @@
+//! Quickstart: boot a Browsix kernel, run Unix programs in it, compose them
+//! with pipes from the shell, and read results back from the shared file
+//! system — the `kernel.system(...)` flow of Figure 4 in the paper.
+//!
+//! Run with: `cargo run -p browsix-apps --example quickstart`
+
+use browsix_apps::{boot_standard_kernel, default_config, Terminal};
+use browsix_fs::FileSystem;
+use browsix_runtime::{ExecutionProfile, SyscallConvention};
+
+fn main() {
+    // Boot the kernel with the coreutils and the dash-like shell registered.
+    // The "instant" profile disables the calibrated JavaScript cost model so
+    // the example is snappy; benchmarks use the calibrated profiles.
+    let kernel = boot_standard_kernel(
+        default_config(),
+        ExecutionProfile::instant(SyscallConvention::Async),
+    );
+
+    // The embedding application shares the kernel's file system directly.
+    kernel.fs().mkdir("/home/demo").unwrap();
+    kernel
+        .fs()
+        .write_file("/home/demo/fruit.txt", b"apple\nbanana\napple pie\ncherry\n")
+        .unwrap();
+
+    // kernel.system(): run a single program, capture its output and exit code.
+    let handle = kernel.system("ls -l /usr/bin").expect("spawn ls");
+    let status = handle.wait();
+    println!("`ls -l /usr/bin` exited with {:?}", status.code);
+    println!("{}", handle.stdout_string());
+
+    // The terminal wraps the shell: pipelines, redirection, expansion.
+    let mut terminal = Terminal::new(kernel);
+    let result = terminal
+        .run_line("cat /home/demo/fruit.txt | grep apple | sort > /home/demo/apples.txt")
+        .expect("run pipeline");
+    println!("pipeline exited with {}", result.exit_code);
+
+    let apples = terminal.kernel().fs().read_file("/home/demo/apples.txt").unwrap();
+    println!("apples.txt:\n{}", String::from_utf8_lossy(&apples));
+
+    // Kernel statistics: how many system calls the pipeline issued.
+    let stats = terminal.kernel().stats();
+    println!(
+        "kernel handled {} syscalls from {} processes ({} bytes structured-cloned)",
+        stats.total_syscalls, stats.processes_spawned, stats.bytes_copied
+    );
+
+    terminal.into_kernel().shutdown();
+}

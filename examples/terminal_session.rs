@@ -1,0 +1,50 @@
+//! The Browsix terminal case study: a scripted interactive session against
+//! the dash-like shell, exercising pipelines, redirection, variables,
+//! background jobs and `ps`-style kernel inspection.
+//!
+//! Run with: `cargo run -p browsix-apps --example terminal_session`
+
+use browsix_apps::{boot_standard_kernel, default_config, Terminal};
+use browsix_runtime::{ExecutionProfile, SyscallConvention};
+
+fn main() {
+    let kernel = boot_standard_kernel(
+        default_config(),
+        ExecutionProfile::instant(SyscallConvention::Async),
+    );
+    let mut terminal = Terminal::new(kernel);
+
+    let session = r#"
+        mkdir -p /home/user/notes
+        cd /
+        echo apple > /home/user/notes/fruit.txt
+        echo banana >> /home/user/notes/fruit.txt
+        echo cherry >> /home/user/notes/fruit.txt
+        cat /home/user/notes/fruit.txt | sort -r | head -n 2
+        wc -l /home/user/notes/fruit.txt
+        sha1sum /home/user/notes/fruit.txt
+        GREETING=hello
+        echo $GREETING from the browsix terminal
+        ls /home/user/notes
+        false || echo "the || operator works"
+    "#;
+
+    for line in session.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let result = terminal.run_line(line).expect("run command");
+        println!("$ {line}");
+        print!("{}", result.stdout);
+        if !result.stderr.is_empty() {
+            eprint!("{}", result.stderr);
+        }
+        if result.exit_code != 0 {
+            println!("[exit {}]", result.exit_code);
+        }
+    }
+
+    println!("\nkernel task table (ps):");
+    for (pid, ppid, name, state) in terminal.ps() {
+        println!("  pid={pid:<4} ppid={ppid:<4} {state:<8} {name}");
+    }
+    println!("\ncommand history: {} lines", terminal.history().len());
+    terminal.into_kernel().shutdown();
+}

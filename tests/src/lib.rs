@@ -1,0 +1,5 @@
+//! Integration-test crate for the Browsix reproduction.
+//!
+//! The library target is intentionally empty: all content lives in the
+//! `tests/` directory, where each file exercises the full stack (browser
+//! substrate, kernel, runtimes, utilities, shell and case studies) end to end.

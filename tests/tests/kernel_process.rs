@@ -1,0 +1,339 @@
+//! End-to-end tests: kernel + runtime + guest programs running as real
+//! Browsix processes in workers, over both system-call conventions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use browsix_core::{BootConfig, Kernel, Signal};
+use browsix_fs::{FileSystem, OpenFlags};
+use browsix_runtime::{
+    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv, SpawnStdio,
+    SyscallConvention,
+};
+
+/// Boots a kernel with a single registered program and no injected delays.
+fn boot_with(name: &'static str, launcher: Arc<dyn browsix_core::ProgramLauncher>) -> Kernel {
+    let config = BootConfig::in_memory();
+    config.registry.register(&format!("/usr/bin/{name}"), launcher);
+    Kernel::boot(config)
+}
+
+fn instant_async() -> ExecutionProfile {
+    ExecutionProfile::instant(SyscallConvention::Async)
+}
+
+#[test]
+fn node_process_writes_files_and_stdout() {
+    let launcher = NodeLauncher::new(
+        "writer",
+        guest("writer", |env: &mut dyn RuntimeEnv| {
+            env.mkdir("/out").unwrap();
+            env.write_file("/out/result.txt", b"computed by a browsix process").unwrap();
+            env.print("done\n");
+            0
+        }),
+    )
+    .with_profile(instant_async());
+    let kernel = boot_with("writer", Arc::new(launcher));
+    let handle = kernel.spawn("/usr/bin/writer", &["writer"], &[]).unwrap();
+    let status = handle.wait();
+    assert!(status.success(), "status: {status:?}");
+    assert_eq!(handle.stdout_string(), "done\n");
+    assert_eq!(
+        kernel.fs().read_file("/out/result.txt").unwrap(),
+        b"computed by a browsix process"
+    );
+    kernel.shutdown();
+}
+
+#[test]
+fn async_and_sync_conventions_produce_identical_results() {
+    for mode in [EmscriptenMode::Emterpreter, EmscriptenMode::AsmJs] {
+        let launcher = EmscriptenLauncher::new(
+            "cprog",
+            guest("cprog", |env: &mut dyn RuntimeEnv| {
+                // Exercise a mix of calls: files, directories, metadata, seeks.
+                env.mkdir("/work").unwrap();
+                env.chdir("/work").unwrap();
+                let fd = env.open("data.bin", OpenFlags::write_create_truncate()).unwrap();
+                env.write(fd, &[7u8; 1000]).unwrap();
+                env.close(fd).unwrap();
+                let meta = env.stat("data.bin").unwrap();
+                assert_eq!(meta.size, 1000);
+                let fd = env.open("data.bin", OpenFlags::read_only()).unwrap();
+                env.seek(fd, 990, 0).unwrap();
+                let tail = env.read(fd, 100).unwrap();
+                assert_eq!(tail.len(), 10);
+                env.close(fd).unwrap();
+                assert_eq!(env.getcwd(), "/work");
+                let entries = env.readdir(".").unwrap();
+                assert_eq!(entries.len(), 1);
+                42
+            }),
+            mode,
+        )
+        .with_profile(ExecutionProfile::instant(match mode {
+            EmscriptenMode::AsmJs => SyscallConvention::Sync,
+            EmscriptenMode::Emterpreter => SyscallConvention::Async,
+        }));
+        let kernel = boot_with("cprog", Arc::new(EmscriptenLauncher::new(
+            "cprog",
+            guest("unused", |_| 0),
+            mode,
+        )));
+        // Replace registration with the real launcher (constructed above).
+        kernel.registry().register("/usr/bin/cprog", Arc::new(launcher));
+        let handle = kernel.spawn("/usr/bin/cprog", &["cprog"], &[]).unwrap();
+        let status = handle.wait();
+        assert_eq!(status.code, Some(42), "mode {mode:?}");
+        kernel.shutdown();
+    }
+}
+
+#[test]
+fn sync_convention_is_used_when_shared_memory_is_available() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/probe",
+        Arc::new(
+            EmscriptenLauncher::new(
+                "probe",
+                guest("probe", |env: &mut dyn RuntimeEnv| {
+                    // Report which convention the runtime selected via the exit code.
+                    match env.profile().convention {
+                        SyscallConvention::Sync => 1,
+                        SyscallConvention::Async => 2,
+                        SyscallConvention::Direct => 3,
+                    }
+                }),
+                EmscriptenMode::AsmJs,
+            )
+            .with_profile(ExecutionProfile {
+                name: "probe",
+                compute_ns_per_unit: 0,
+                convention: SyscallConvention::Sync,
+                inject_compute: false,
+            }),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/probe", &["probe"], &[]).unwrap();
+    assert_eq!(handle.wait().code, Some(1));
+    let stats = kernel.stats();
+    assert!(stats.sync_syscalls > 0, "expected synchronous syscalls, got {stats:?}");
+    kernel.shutdown();
+}
+
+#[test]
+fn pipes_connect_parent_and_child_processes() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/producer",
+        Arc::new(
+            NodeLauncher::new(
+                "producer",
+                guest("producer", |env: &mut dyn RuntimeEnv| {
+                    env.print("line from producer\n");
+                    0
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    kernel.registry().register(
+        "/usr/bin/parent",
+        Arc::new(
+            NodeLauncher::new(
+                "parent",
+                guest("parent", |env: &mut dyn RuntimeEnv| {
+                    let (read_fd, write_fd) = env.pipe().unwrap();
+                    let child = env
+                        .spawn(
+                            "/usr/bin/producer",
+                            &["producer".to_string()],
+                            SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+                        )
+                        .unwrap();
+                    env.close(write_fd).unwrap();
+                    let output = env.read(read_fd, 1024).unwrap();
+                    let waited = env.wait(child as i32).unwrap();
+                    assert_eq!(waited.exit_code, Some(0));
+                    env.print(&format!("got: {}", String::from_utf8_lossy(&output)));
+                    0
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/parent", &["parent"], &[]).unwrap();
+    let status = handle.wait();
+    assert!(status.success());
+    assert_eq!(handle.stdout_string(), "got: line from producer\n");
+    kernel.shutdown();
+}
+
+#[test]
+fn sigkill_terminates_a_looping_process() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/spin",
+        Arc::new(
+            NodeLauncher::new(
+                "spin",
+                guest("spin", |env: &mut dyn RuntimeEnv| {
+                    // Loop "forever", issuing syscalls so termination is observed.
+                    for _ in 0..1_000_000 {
+                        if env.stat("/").is_err() {
+                            break;
+                        }
+                    }
+                    0
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/spin", &["spin"], &[]).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    kernel.kill(handle.pid, Signal::SIGKILL).unwrap();
+    let status = handle.wait();
+    assert_eq!(status.signal, Some(Signal::SIGKILL));
+    assert_eq!(status.code, None);
+    kernel.shutdown();
+}
+
+#[test]
+fn sigterm_with_handler_is_caught_not_fatal() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/trap",
+        Arc::new(
+            NodeLauncher::new(
+                "trap",
+                guest("trap", |env: &mut dyn RuntimeEnv| {
+                    env.register_signal_handler(Signal::SIGTERM).unwrap();
+                    env.print("ready\n");
+                    // Poll for the signal at "syscall boundaries".
+                    for _ in 0..500 {
+                        if env.pending_signals().contains(&Signal::SIGTERM) {
+                            env.print("caught sigterm\n");
+                            return 5;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    1
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/trap", &["trap"], &[]).unwrap();
+    // Wait for the handler to be installed before signalling.
+    for _ in 0..200 {
+        if handle.stdout_string().contains("ready") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    kernel.kill(handle.pid, Signal::SIGTERM).unwrap();
+    let status = handle.wait();
+    assert_eq!(status.code, Some(5));
+    assert!(handle.stdout_string().contains("caught sigterm"));
+    kernel.shutdown();
+}
+
+#[test]
+fn fork_creates_a_child_with_the_parent_image() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/forker",
+        Arc::new(
+            EmscriptenLauncher::new(
+                "forker",
+                guest("forker", |env: &mut dyn RuntimeEnv| {
+                    if let Some(image) = env.fork_image() {
+                        // Child: resume from the snapshot.
+                        env.write_file("/forked.txt", &image).unwrap();
+                        return 0;
+                    }
+                    // Parent: snapshot state and fork.
+                    let child = env.fork(b"state captured before fork".to_vec()).unwrap();
+                    let waited = env.wait(child as i32).unwrap();
+                    assert_eq!(waited.exit_code, Some(0));
+                    7
+                }),
+                EmscriptenMode::Emterpreter,
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/forker", &["forker"], &[]).unwrap();
+    let status = handle.wait();
+    assert_eq!(status.code, Some(7));
+    assert_eq!(
+        kernel.fs().read_file("/forked.txt").unwrap(),
+        b"state captured before fork"
+    );
+    kernel.shutdown();
+}
+
+#[test]
+fn wait_reports_child_exit_codes_and_echild_when_no_children() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/failing",
+        Arc::new(
+            NodeLauncher::new("failing", guest("failing", |_env: &mut dyn RuntimeEnv| 3))
+                .with_profile(instant_async()),
+        ),
+    );
+    kernel.registry().register(
+        "/usr/bin/waiter",
+        Arc::new(
+            NodeLauncher::new(
+                "waiter",
+                guest("waiter", |env: &mut dyn RuntimeEnv| {
+                    assert_eq!(env.wait(-1).unwrap_err(), browsix_core::Errno::ECHILD);
+                    let child = env
+                        .spawn("/usr/bin/failing", &["failing".to_string()], SpawnStdio::inherit())
+                        .unwrap();
+                    let waited = env.wait(child as i32).unwrap();
+                    assert_eq!(waited.exit_code, Some(3));
+                    assert_eq!(waited.pid, child);
+                    0
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/waiter", &["waiter"], &[]).unwrap();
+    assert!(handle.wait().success());
+    kernel.shutdown();
+}
+
+#[test]
+fn kernel_stats_count_processes_and_syscalls() {
+    let kernel = Kernel::boot(BootConfig::in_memory());
+    kernel.registry().register(
+        "/usr/bin/noop",
+        Arc::new(
+            NodeLauncher::new(
+                "noop",
+                guest("noop", |env: &mut dyn RuntimeEnv| {
+                    let _ = env.getpid();
+                    let _ = env.stat("/");
+                    0
+                }),
+            )
+            .with_profile(instant_async()),
+        ),
+    );
+    let handle = kernel.spawn("/usr/bin/noop", &["noop"], &[]).unwrap();
+    handle.wait();
+    let stats = kernel.stats();
+    assert!(stats.processes_spawned >= 1);
+    assert!(stats.processes_exited >= 1);
+    assert!(stats.count("getpid") >= 1);
+    assert!(stats.count("stat") >= 1);
+    assert!(stats.total_syscalls >= 3);
+    kernel.shutdown();
+}

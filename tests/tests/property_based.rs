@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over core data structures and invariants.
+
+use proptest::prelude::*;
+
+use browsix_browser::Message;
+use browsix_core::{ByteSource, SysResult, Syscall};
+use browsix_fs::{path, Errno, FileSystem, MemFs};
+use browsix_http::Json;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Path normalisation is idempotent and always yields an absolute path.
+    #[test]
+    fn normalize_is_idempotent_and_absolute(input in "[a-z./]{0,40}") {
+        let once = path::normalize(&input);
+        prop_assert!(once.starts_with('/'));
+        prop_assert_eq!(path::normalize(&once), once.clone());
+        prop_assert!(!once.contains("//"));
+        prop_assert!(!path::components(&once).iter().any(|c| c == "." || c == ".."));
+    }
+
+    /// resolve() against a cwd always lands under "/" and is normalised.
+    #[test]
+    fn resolve_always_absolute(cwd in "(/[a-z]{1,8}){0,4}", rel in "[a-z./]{0,20}") {
+        let resolved = path::resolve(&format!("/{cwd}"), &rel);
+        prop_assert!(resolved.starts_with('/'));
+        prop_assert_eq!(path::normalize(&resolved), resolved);
+    }
+
+    /// Writing then reading a file through MemFs returns exactly the bytes
+    /// written, regardless of how the writes are split.
+    #[test]
+    fn memfs_write_read_round_trip(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 0..8)) {
+        let fs = MemFs::new();
+        fs.create("/file", 0o644).unwrap();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            fs.write_at("/file", expected.len() as u64, chunk).unwrap();
+            expected.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(fs.read_file("/file").unwrap(), expected.clone());
+        prop_assert_eq!(fs.stat("/file").unwrap().size as usize, expected.len());
+    }
+
+    /// The kernel pipe buffer is a faithful FIFO: bytes come out in order and
+    /// none are lost or invented, under arbitrary interleavings of push/pop.
+    #[test]
+    fn pipe_preserves_fifo_byte_stream(ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..40)) {
+        let mut pipe = browsix_core::pipe::Pipe::new(4096);
+        let mut sent: Vec<u8> = Vec::new();
+        let mut received: Vec<u8> = Vec::new();
+        for (is_write, data) in &ops {
+            if *is_write {
+                let accepted = pipe.push(data);
+                sent.extend_from_slice(&data[..accepted]);
+            } else {
+                received.extend(pipe.pop(data.len().max(1)));
+            }
+        }
+        received.extend(pipe.pop(usize::MAX));
+        prop_assert_eq!(received, sent);
+    }
+
+    /// Every syscall result round-trips through both encodings (the async
+    /// message encoding and the sync shared-heap byte encoding).
+    #[test]
+    fn sysresult_encodings_round_trip(value in any::<i64>(), data in proptest::collection::vec(any::<u8>(), 0..256), text in "[a-zA-Z0-9/._ -]{0,32}") {
+        let results = vec![
+            SysResult::Int(value),
+            SysResult::Data(data.clone()),
+            SysResult::Path(format!("/{text}")),
+            SysResult::Pair(value, value.wrapping_add(1)),
+            SysResult::Err(Errno::ENOENT),
+        ];
+        for result in results {
+            prop_assert_eq!(SysResult::from_message(&result.to_message()).unwrap(), result.clone());
+            prop_assert_eq!(SysResult::decode_bytes(&result.encode_bytes()).unwrap(), result);
+        }
+    }
+
+    /// Write syscalls round-trip through the structured-clone encoding with
+    /// their payload intact.
+    #[test]
+    fn write_syscall_round_trips(fd in 0i32..64, data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let call = Syscall::Write { fd, data: ByteSource::Inline(data) };
+        let decoded = Syscall::from_message(&call.to_message()).unwrap();
+        prop_assert_eq!(decoded, call);
+    }
+
+    /// Structured-clone messages report a byte size at least as large as the
+    /// payload they carry (the clone-cost model never undercounts).
+    #[test]
+    fn message_byte_size_bounds_payload(data in proptest::collection::vec(any::<u8>(), 0..2048), key in "[a-z]{1,8}") {
+        let msg = Message::map().with(&key, data.clone());
+        prop_assert!(msg.byte_size() >= data.len());
+    }
+
+    /// JSON encode/decode round-trips for strings, numbers and nested arrays.
+    #[test]
+    fn json_round_trips(s in "[ -~]{0,32}", n in -1_000_000i64..1_000_000, items in proptest::collection::vec(-1000i64..1000, 0..8)) {
+        let value = Json::object()
+            .with("s", s.as_str())
+            .with("n", n)
+            .with("items", Json::Array(items.iter().map(|&i| Json::from(i)).collect()));
+        let decoded = Json::decode(&value.encode()).unwrap();
+        prop_assert_eq!(decoded, value);
+    }
+
+    /// The shell lexer never loses non-whitespace characters of unquoted
+    /// words, and parsing a pipeline of simple words always succeeds.
+    #[test]
+    fn shell_parses_simple_pipelines(words in proptest::collection::vec("[a-z0-9._-]{1,10}", 1..6)) {
+        let line = words.join(" | ");
+        let script = browsix_shell::parse_script(&line).unwrap();
+        prop_assert_eq!(script.entries.len(), 1);
+        prop_assert_eq!(script.entries[0].1.commands.len(), words.len());
+        for (command, word) in script.entries[0].1.commands.iter().zip(&words) {
+            prop_assert_eq!(&command.words[0], word);
+        }
+    }
+
+    /// Glob matching: a pattern equal to the name always matches, and `*`
+    /// matches every name without separators.
+    #[test]
+    fn glob_matching_laws(name in "[a-z0-9._]{1,12}") {
+        let prefix_pattern = format!("{name}*");
+        prop_assert!(path::glob_match(&name, &name));
+        prop_assert!(path::glob_match("*", &name));
+        prop_assert!(path::glob_match(&prefix_pattern, &name));
+    }
+
+    /// SHA-1 digests are 20 bytes and differ when a byte is flipped.
+    #[test]
+    fn sha1_flip_changes_digest(mut data in proptest::collection::vec(any::<u8>(), 1..512), index in any::<prop::sample::Index>()) {
+        let original = browsix_utils::sha1_digest(&data);
+        prop_assert_eq!(original.len(), 20);
+        let i = index.index(data.len());
+        data[i] ^= 0xff;
+        prop_assert_ne!(browsix_utils::sha1_digest(&data), original);
+    }
+}
