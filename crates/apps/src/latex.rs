@@ -22,8 +22,7 @@ use browsix_browser::{NetworkProfile, RemoteEndpoint, StaticFiles};
 use browsix_core::{BootConfig, Kernel};
 use browsix_fs::{FileSystem, HttpFs, MemFs, MountedFs};
 use browsix_runtime::{
-    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, GuestFactory, NativeWorld,
-    RuntimeEnv, SpawnStdio,
+    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, GuestFactory, NativeWorld, RuntimeEnv, SpawnStdio,
 };
 
 /// Compute units charged by one `pdflatex` pass over the sample document
@@ -103,7 +102,8 @@ main.pdf: main.tex main.bib
 "#;
     fs.write_file(&format!("{dir}/main.tex"), tex).expect("stage main.tex");
     fs.write_file(&format!("{dir}/main.bib"), bib).expect("stage main.bib");
-    fs.write_file(&format!("{dir}/Makefile"), makefile).expect("stage Makefile");
+    fs.write_file(&format!("{dir}/Makefile"), makefile)
+        .expect("stage Makefile");
 }
 
 // ---- the synthetic TeX toolchain ------------------------------------------------
@@ -291,9 +291,9 @@ pub fn make_program() -> GuestFactory {
         let target_mtime = env.stat(&target).map(|m| m.mtime_ms).ok();
         let out_of_date = match target_mtime {
             None => true,
-            Some(target_mtime) => deps.iter().any(|dep| {
-                env.stat(dep).map(|m| m.mtime_ms > target_mtime).unwrap_or(true)
-            }),
+            Some(target_mtime) => deps
+                .iter()
+                .any(|dep| env.stat(dep).map(|m| m.mtime_ms > target_mtime).unwrap_or(true)),
         };
         if !out_of_date {
             env.print(&format!("make: '{target}' is up to date.\n"));
@@ -362,12 +362,15 @@ pub fn make_with_fork_support() -> GuestFactory {
     let inner = make_program();
     std::sync::Arc::new(move || {
         let factory = std::sync::Arc::clone(&inner);
-        Box::new(browsix_runtime::FnProgram::new("make", move |env: &mut dyn RuntimeEnv| {
-            if let Some(image) = env.fork_image() {
-                return run_fork_child(env, image);
-            }
-            factory().run(env)
-        }))
+        Box::new(browsix_runtime::FnProgram::new(
+            "make",
+            move |env: &mut dyn RuntimeEnv| {
+                if let Some(image) = env.fork_image() {
+                    return run_fork_child(env, image);
+                }
+                factory().run(env)
+            },
+        ))
     })
 }
 
@@ -407,7 +410,9 @@ impl LatexEnvironment {
             LatexMode::Sync => browsix_browser::PlatformConfig::chrome(),
             LatexMode::Async => browsix_browser::PlatformConfig::firefox(),
         };
-        let config = BootConfig::in_memory().with_fs(Arc::clone(&root)).with_platform(platform);
+        let config = BootConfig::in_memory()
+            .with_fs(Arc::clone(&root))
+            .with_platform(platform);
 
         // Register the TeX toolchain under the Emscripten runtime in the
         // requested mode, with scaled profiles.
@@ -437,13 +442,17 @@ impl LatexEnvironment {
         let kernel = Kernel::boot(config);
         let _ = kernel.fs().mkdir("/home");
         sample_project(kernel.fs().as_ref(), "/home/paper");
-        LatexEnvironment { kernel, texlive, endpoint, project_dir: "/home/paper".to_owned() }
+        LatexEnvironment {
+            kernel,
+            texlive,
+            endpoint,
+            project_dir: "/home/paper".to_owned(),
+        }
     }
 
     /// A delay-free environment for functional tests.
     pub fn boot_for_tests(mode: LatexMode) -> LatexEnvironment {
-        let env = LatexEnvironment::boot_with_platform_overrides(mode);
-        env
+        LatexEnvironment::boot_with_platform_overrides(mode)
     }
 
     fn boot_with_platform_overrides(mode: LatexMode) -> LatexEnvironment {
@@ -456,7 +465,10 @@ impl LatexEnvironment {
         };
         let fs = env.kernel.fs();
         let registry = env.kernel.registry().clone();
-        let config = BootConfig::in_memory().with_fs(fs).with_platform(platform).with_registry(registry);
+        let config = BootConfig::in_memory()
+            .with_fs(fs)
+            .with_platform(platform)
+            .with_registry(registry);
         env.kernel.shutdown();
         env.kernel = Kernel::boot(config);
         env
@@ -497,8 +509,7 @@ impl LatexEditor {
     /// The editor's current document source (what the text pane shows).
     pub fn document(&self) -> String {
         let path = format!("{}/main.tex", self.environment.project_dir);
-        String::from_utf8_lossy(&self.environment.kernel.fs().read_file(&path).unwrap_or_default())
-            .into_owned()
+        String::from_utf8_lossy(&self.environment.kernel.fs().read_file(&path).unwrap_or_default()).into_owned()
     }
 
     /// Replaces the document source (the user typed in the editor).
@@ -526,7 +537,11 @@ impl LatexEditor {
         let status = handle.wait();
         let elapsed = start.elapsed();
         let pdf_path = format!("{}/main.pdf", self.environment.project_dir);
-        let pdf = if status.success() { kernel.fs().read_file(&pdf_path).ok() } else { None };
+        let pdf = if status.success() {
+            kernel.fs().read_file(&pdf_path).ok()
+        } else {
+            None
+        };
         BuildOutcome {
             success: status.success(),
             elapsed,
@@ -600,7 +615,11 @@ mod tests {
         let editor = LatexEditor::new(LatexEnvironment::boot_for_tests(LatexMode::Sync));
         assert!(editor.document().contains("documentclass"));
         let outcome = editor.build_pdf();
-        assert!(outcome.success, "stdout: {}\nstderr: {}", outcome.stdout, outcome.stderr);
+        assert!(
+            outcome.success,
+            "stdout: {}\nstderr: {}",
+            outcome.stdout, outcome.stderr
+        );
         let pdf = outcome.pdf.expect("pdf produced");
         assert!(pdf.starts_with(b"%PDF"));
         assert!(outcome.stdout.contains("pdflatex"));
@@ -618,7 +637,11 @@ mod tests {
     fn async_mode_build_also_succeeds_via_fork() {
         let editor = LatexEditor::new(LatexEnvironment::boot_for_tests(LatexMode::Async));
         let outcome = editor.build_pdf();
-        assert!(outcome.success, "stdout: {}\nstderr: {}", outcome.stdout, outcome.stderr);
+        assert!(
+            outcome.success,
+            "stdout: {}\nstderr: {}",
+            outcome.stdout, outcome.stderr
+        );
         assert!(outcome.pdf.is_some());
         // The bibliography pass ran.
         assert!(outcome.stdout.contains("BibTeX"));
@@ -627,7 +650,9 @@ mod tests {
     #[test]
     fn editing_the_document_changes_what_gets_built() {
         let editor = LatexEditor::new(LatexEnvironment::boot_for_tests(LatexMode::Sync));
-        editor.set_document("\\documentclass{article}\n\\usepackage{missing-package}\n\\begin{document}x\\end{document}\n");
+        editor.set_document(
+            "\\documentclass{article}\n\\usepackage{missing-package}\n\\begin{document}x\\end{document}\n",
+        );
         let outcome = editor.build_pdf();
         assert!(!outcome.success);
         assert!(outcome.stderr.contains("Error") || outcome.stdout.contains("Error"));

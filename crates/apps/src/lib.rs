@@ -61,10 +61,7 @@ mod tests {
 
     #[test]
     fn standard_kernel_has_utilities_and_shell() {
-        let kernel = boot_standard_kernel(
-            default_config(),
-            ExecutionProfile::instant(SyscallConvention::Async),
-        );
+        let kernel = boot_standard_kernel(default_config(), ExecutionProfile::instant(SyscallConvention::Async));
         assert!(kernel.registry().lookup("/usr/bin/ls").is_some());
         assert!(kernel.registry().lookup("/bin/sh").is_some());
         assert!(kernel.fs().stat("/home").unwrap().is_dir());

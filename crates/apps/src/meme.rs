@@ -139,7 +139,8 @@ pub fn meme_server_program() -> GuestFactory {
             .and_then(|v| v.parse().ok());
 
         let backgrounds = list_backgrounds_from(|dir| {
-            env.readdir(dir).map(|entries| entries.into_iter().map(|e| e.name).collect())
+            env.readdir(dir)
+                .map(|entries| entries.into_iter().map(|e| e.name).collect())
         });
 
         let listener = match env.socket() {
@@ -235,7 +236,11 @@ impl RemoteMemeService {
             templates.push((format!("/usr/share/memes/{name}"), data));
             backgrounds.push(name.to_owned());
         }
-        RemoteMemeService { backgrounds, templates, profile: native_go_profile() }
+        RemoteMemeService {
+            backgrounds,
+            templates,
+            profile: native_go_profile(),
+        }
     }
 
     /// Disables compute injection (functional tests).
@@ -328,9 +333,17 @@ impl MemeEnvironment {
             "meme server did not start listening"
         );
 
-        let service = if remote_compute { RemoteMemeService::new() } else { RemoteMemeService::new().without_compute() };
+        let service = if remote_compute {
+            RemoteMemeService::new()
+        } else {
+            RemoteMemeService::new().without_compute()
+        };
         let remote = RemoteEndpoint::new(Arc::new(service), network);
-        MemeEnvironment { kernel, remote, server_pid: handle.pid }
+        MemeEnvironment {
+            kernel,
+            remote,
+            server_pid: handle.pid,
+        }
     }
 
     /// A delay-free environment for functional tests.
@@ -356,7 +369,10 @@ impl MemeClient {
     /// Wraps a booted environment.  The paper's policy: serve locally when the
     /// network is inaccessible or the device is powerful; otherwise go remote.
     pub fn new(environment: MemeEnvironment, desktop_device: bool) -> MemeClient {
-        MemeClient { environment, desktop_device }
+        MemeClient {
+            environment,
+            desktop_device,
+        }
     }
 
     /// The underlying environment.
@@ -380,13 +396,15 @@ impl MemeClient {
     }
 
     fn remote_request(&self, request: &HttpRequest) -> Result<HttpResponse, Errno> {
-        let body = if request.method == Method::Post { Some(request.body.as_slice()) } else { None };
+        let body = if request.method == Method::Post {
+            Some(request.body.as_slice())
+        } else {
+            None
+        };
         match self.environment.remote.request(&request.path, body) {
             Ok(body) => Ok(HttpResponse::ok().with_body(body, "application/octet-stream")),
             Err(browsix_browser::PlatformError::NetworkUnavailable) => Err(Errno::ENETUNREACH),
-            Err(browsix_browser::PlatformError::HttpStatus(code)) => {
-                Ok(HttpResponse::new(code))
-            }
+            Err(browsix_browser::PlatformError::HttpStatus(code)) => Ok(HttpResponse::new(code)),
             Err(_) => Err(Errno::EIO),
         }
     }
@@ -469,8 +487,7 @@ mod tests {
         );
 
         let body = Json::object().with("template", "doge.png").with("top", "WOW").encode();
-        let request =
-            HttpRequest::new(Method::Post, "/api/meme").with_body(body.into_bytes(), "application/json");
+        let request = HttpRequest::new(Method::Post, "/api/meme").with_body(body.into_bytes(), "application/json");
         let response = handle_api_request(&request, &backgrounds, &mut read_file, &mut charge);
         assert!(response.is_success());
         assert!(response.body.starts_with(b"MEME1"));
@@ -512,7 +529,11 @@ mod tests {
         let (_, meme) = client.generate("doge.png", "SUCH KERNEL", "VERY UNIX").unwrap();
         assert!(meme.starts_with(b"MEME1"));
         assert!(meme.len() > 90_000);
-        client.environment().kernel.kill(client.environment().server_pid, browsix_core::Signal::SIGKILL).ok();
+        client
+            .environment()
+            .kernel
+            .kill(client.environment().server_pid, browsix_core::Signal::SIGKILL)
+            .ok();
     }
 
     #[test]

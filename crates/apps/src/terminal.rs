@@ -25,13 +25,18 @@ pub struct TerminalResult {
 pub struct Terminal {
     kernel: Kernel,
     history: Vec<String>,
+    env: Vec<(String, String)>,
 }
 
 impl Terminal {
     /// Wraps a kernel that already has the shell and utilities registered
     /// (see [`boot_standard_kernel`](crate::boot_standard_kernel)).
     pub fn new(kernel: Kernel) -> Terminal {
-        Terminal { kernel, history: Vec::new() }
+        Terminal {
+            kernel,
+            history: Vec::new(),
+            env: Vec::new(),
+        }
     }
 
     /// The kernel behind the terminal.
@@ -56,10 +61,29 @@ impl Terminal {
     /// Returns an [`Errno`] if the shell itself cannot be started.
     pub fn run_line(&mut self, line: &str) -> Result<TerminalResult, Errno> {
         self.history.push(line.to_owned());
-        let handle = self.kernel.spawn("/bin/sh", &["sh", "-c", line], &[])?;
+        // Each line runs in a fresh `/bin/sh -c` process, so the terminal —
+        // not the shell — is what carries environment variables from one
+        // line to the next, as an interactive shell session would.
+        if let Some(assignments) = parse_assignment_only_line(line) {
+            for (name, value) in assignments {
+                match self.env.iter_mut().find(|(n, _)| *n == name) {
+                    Some(entry) => entry.1 = value,
+                    None => self.env.push((name, value)),
+                }
+            }
+            return Ok(TerminalResult {
+                exit_code: 0,
+                stdout: String::new(),
+                stderr: String::new(),
+            });
+        }
+        let env: Vec<(&str, &str)> = self.env.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let handle = self.kernel.spawn("/bin/sh", &["sh", "-c", line], &env)?;
         let status = handle.wait();
         Ok(TerminalResult {
-            exit_code: status.code.unwrap_or(128 + status.signal.map(|s| s.number()).unwrap_or(1)),
+            exit_code: status
+                .code
+                .unwrap_or(128 + status.signal.map(|s| s.number()).unwrap_or(1)),
             stdout: handle.stdout_string(),
             stderr: handle.stderr_string(),
         })
@@ -73,7 +97,11 @@ impl Terminal {
     /// Returns an [`Errno`] if the shell cannot be started for some line.
     pub fn run_script(&mut self, script: &str, stop_on_error: bool) -> Result<Vec<TerminalResult>, Errno> {
         let mut results = Vec::new();
-        for line in script.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        for line in script
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
             let result = self.run_line(line)?;
             let failed = result.exit_code != 0;
             results.push(result);
@@ -102,6 +130,19 @@ impl Terminal {
     }
 }
 
+/// Parses a line that consists only of `NAME=value` words (no command), the
+/// form a shell treats as variable assignments.  Values are taken literally;
+/// quoted or space-containing values need a real command line.  Assignment
+/// words are recognised by the shell parser's own rule so the two never
+/// disagree.
+fn parse_assignment_only_line(line: &str) -> Option<Vec<(String, String)>> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    if words.is_empty() {
+        return None;
+    }
+    words.into_iter().map(browsix_shell::parser::split_assignment).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,10 +151,7 @@ mod tests {
     use browsix_runtime::{ExecutionProfile, SyscallConvention};
 
     fn terminal() -> Terminal {
-        let kernel = boot_standard_kernel(
-            default_config(),
-            ExecutionProfile::instant(SyscallConvention::Async),
-        );
+        let kernel = boot_standard_kernel(default_config(), ExecutionProfile::instant(SyscallConvention::Async));
         kernel.fs().mkdir("/data").unwrap();
         kernel
             .fs()
@@ -152,19 +190,32 @@ mod tests {
     fn scripts_stop_on_error_when_asked() {
         let mut term = terminal();
         let results = term
-            .run_script(
-                "mkdir /proj\n# a comment\nfalse\necho never reached\n",
-                true,
-            )
+            .run_script("mkdir /proj\n# a comment\nfalse\necho never reached\n", true)
             .unwrap();
         assert_eq!(results.len(), 2);
         assert!(term.kernel().fs().stat("/proj").unwrap().is_dir());
 
-        let results = term
-            .run_script("false\necho still runs\n", false)
-            .unwrap();
+        let results = term.run_script("false\necho still runs\n", false).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[1].stdout, "still runs\n");
+    }
+
+    #[test]
+    fn assignments_persist_across_lines() {
+        let mut term = terminal();
+        let result = term.run_line("GREETING=hello").unwrap();
+        assert_eq!(result.exit_code, 0);
+        let result = term.run_line("echo $GREETING from the terminal").unwrap();
+        assert_eq!(result.stdout, "hello from the terminal\n");
+
+        // Re-assignment overwrites, and multiple assignments on one line work.
+        let _ = term.run_line("GREETING=goodbye  COUNT=3").unwrap();
+        let result = term.run_line("echo $GREETING $COUNT").unwrap();
+        assert_eq!(result.stdout, "goodbye 3\n");
+
+        // A word that is not a pure assignment still runs as a command.
+        let result = term.run_line("echo GREETING=nope").unwrap();
+        assert_eq!(result.stdout, "GREETING=nope\n");
     }
 
     #[test]

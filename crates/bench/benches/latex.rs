@@ -24,7 +24,7 @@ fn bench_latex(c: &mut Criterion) {
 
     group.bench_function("native", |b| {
         b.iter_custom(|iters| {
-            let runs = iters.min(3).max(1);
+            let runs = iters.clamp(1, 3);
             let mut total = Duration::ZERO;
             for _ in 0..runs {
                 total += native_build(SCALE);
@@ -32,10 +32,13 @@ fn bench_latex(c: &mut Criterion) {
             total * (iters as u32) / (runs as u32)
         })
     });
-    for (name, mode) in [("browsix_sync", LatexMode::Sync), ("browsix_async_emterpreter", LatexMode::Async)] {
+    for (name, mode) in [
+        ("browsix_sync", LatexMode::Sync),
+        ("browsix_async_emterpreter", LatexMode::Async),
+    ] {
         group.bench_function(name, |b| {
             b.iter_custom(|iters| {
-                let runs = iters.min(2).max(1);
+                let runs = iters.clamp(1, 2);
                 let mut total = Duration::ZERO;
                 for _ in 0..runs {
                     total += browsix_build(mode);

@@ -42,9 +42,14 @@ fn bench_meme(c: &mut Criterion) {
     let chrome = client(PlatformConfig::chrome());
     group.bench_function("list_browsix_chrome", |b| b.iter(|| chrome.list_backgrounds().unwrap()));
     let firefox = client(PlatformConfig::firefox());
-    group.bench_function("list_browsix_firefox", |b| b.iter(|| firefox.list_backgrounds().unwrap()));
+    group.bench_function("list_browsix_firefox", |b| {
+        b.iter(|| firefox.list_backgrounds().unwrap())
+    });
 
-    let body = browsix_http::Json::object().with("template", "doge.png").with("top", "WOW").encode();
+    let body = browsix_http::Json::object()
+        .with("template", "doge.png")
+        .with("top", "WOW")
+        .encode();
     group.bench_function("generate_server_side", |b| {
         b.iter(|| remote.request("/api/meme", Some(body.as_bytes())).unwrap())
     });

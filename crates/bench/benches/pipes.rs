@@ -42,7 +42,10 @@ fn boot_pipe_kernel() -> Kernel {
                         .spawn(
                             "/usr/bin/producer",
                             &["producer".to_string()],
-                            SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+                            SpawnStdio {
+                                stdout: Some(write_fd),
+                                ..SpawnStdio::default()
+                            },
                         )
                         .unwrap();
                     env.close(write_fd).unwrap();

@@ -10,15 +10,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use browsix_core::{BootConfig, Kernel};
 use browsix_fs::{FileSystem, MemFs, MountedFs, OpenFlags};
 use browsix_runtime::{
-    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv,
-    SyscallConvention,
+    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv, SyscallConvention,
 };
 
 /// Boots a kernel with a guest that performs `calls` getpid system calls and
 /// returns; measures one whole process run.
 fn run_syscall_loop(sync: bool, calls: u64, payload: usize) -> Kernel {
     let config = BootConfig::in_memory();
-    let profile = ExecutionProfile::instant(if sync { SyscallConvention::Sync } else { SyscallConvention::Async });
+    let profile = ExecutionProfile::instant(if sync {
+        SyscallConvention::Sync
+    } else {
+        SyscallConvention::Async
+    });
     let program = guest("loop", move |env: &mut dyn RuntimeEnv| {
         let fd = env.open("/scratch", OpenFlags::write_create_truncate()).unwrap();
         let buffer = vec![7u8; payload];
@@ -62,28 +65,32 @@ fn bench_conventions(c: &mut Criterion) {
                     total += start.elapsed() / calls as u32;
                     kernel.shutdown();
                 }
-                total * (iters.max(1) as u32) / (iters.min(20).max(1) as u32)
+                total * (iters.max(1) as u32) / (iters.clamp(1, 20) as u32)
             })
         });
     }
 
     // Structured-clone cost: asynchronous writes of growing payloads.
     for payload in [1usize << 10, 16 << 10, 64 << 10] {
-        group.bench_with_input(BenchmarkId::new("async_write_payload", payload), &payload, |b, &payload| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters.min(10) {
-                    let calls = 200;
-                    let kernel = run_syscall_loop(false, calls, payload);
-                    let start = std::time::Instant::now();
-                    let handle = kernel.spawn("/usr/bin/loop", &["loop"], &[]).unwrap();
-                    assert!(handle.wait().success());
-                    total += start.elapsed() / calls as u32;
-                    kernel.shutdown();
-                }
-                total * (iters.max(1) as u32) / (iters.min(10).max(1) as u32)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("async_write_payload", payload),
+            &payload,
+            |b, &payload| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters.min(10) {
+                        let calls = 200;
+                        let kernel = run_syscall_loop(false, calls, payload);
+                        let start = std::time::Instant::now();
+                        let handle = kernel.spawn("/usr/bin/loop", &["loop"], &[]).unwrap();
+                        assert!(handle.wait().success());
+                        total += start.elapsed() / calls as u32;
+                        kernel.shutdown();
+                    }
+                    total * (iters.max(1) as u32) / (iters.clamp(1, 10) as u32)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,7 +20,7 @@ fn bench_utilities(c: &mut Criterion) {
             group.bench_with_input(id, &(environment, command), |b, &(environment, command)| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
-                    let runs = iters.min(5).max(1);
+                    let runs = iters.clamp(1, 5);
                     for _ in 0..runs {
                         let m = run_utility_benchmark(environment, command, true);
                         assert_eq!(m.exit_code, 0);

@@ -23,7 +23,8 @@ fn overlay_ablation() {
     let lazy_bytes = endpoint.stats().bytes_transferred;
 
     // Eager (original BrowserFS behaviour): every file is copied up front.
-    let endpoint2 = RemoteEndpoint::with_static_files(browsix_apps::latex::texlive_distribution(60).0, NetworkProfile::cdn());
+    let endpoint2 =
+        RemoteEndpoint::with_static_files(browsix_apps::latex::texlive_distribution(60).0, NetworkProfile::cdn());
     let http_fs2: Arc<dyn FileSystem> = Arc::new(HttpFs::new(endpoint2.clone(), manifest));
     let start = Instant::now();
     let _eager = OverlayFs::new(http_fs2, OverlayMode::Eager);
@@ -35,7 +36,11 @@ fn overlay_ablation() {
         &["Mode", "Mount + first read", "Bytes transferred"],
         &[
             vec!["Lazy (BROWSIX)".into(), fmt_millis(lazy_mount), lazy_bytes.to_string()],
-            vec!["Eager (original BrowserFS)".into(), fmt_millis(eager_mount), eager_bytes.to_string()],
+            vec![
+                "Eager (original BrowserFS)".into(),
+                fmt_millis(eager_mount),
+                eager_bytes.to_string(),
+            ],
         ],
     );
 }
@@ -45,7 +50,12 @@ fn syscall_footprint() {
     let (ls, ls_stats) = browsix_run_with_stats("ls -l /usr/bin");
     print_table(
         "Ablation — kernel syscall footprint of the Figure 9 workloads",
-        &["Command", "Wall time (no cost model)", "Syscalls", "Bytes copied (async clones)"],
+        &[
+            "Command",
+            "Wall time (no cost model)",
+            "Syscalls",
+            "Bytes copied (async clones)",
+        ],
         &[
             vec![
                 sha1.command,

@@ -34,8 +34,16 @@ fn main() {
         &["Configuration", "Build time", "TeX Live bytes fetched"],
         &[
             vec!["Native Linux".into(), fmt_seconds(native), "local disk".into()],
-            vec!["BROWSIX, synchronous syscalls (Chrome)".into(), fmt_seconds(sync_time), sync_bytes.to_string()],
-            vec!["BROWSIX, async syscalls + Emterpreter".into(), fmt_seconds(async_time), async_bytes.to_string()],
+            vec![
+                "BROWSIX, synchronous syscalls (Chrome)".into(),
+                fmt_seconds(sync_time),
+                sync_bytes.to_string(),
+            ],
+            vec![
+                "BROWSIX, async syscalls + Emterpreter".into(),
+                fmt_seconds(async_time),
+                async_bytes.to_string(),
+            ],
         ],
     );
     println!("\nPaper reports: ~0.1 s native, ~3 s synchronous, ~12 s asynchronous/Emterpreter.");

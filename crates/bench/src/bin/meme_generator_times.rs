@@ -81,7 +81,11 @@ fn main() {
             vec!["Native local server".into(), fmt_millis(native_list), "1.7 ms".into()],
             vec!["In-BROWSIX (Chrome)".into(), fmt_millis(chrome_list), "9 ms".into()],
             vec!["In-BROWSIX (Firefox)".into(), fmt_millis(firefox_list), "6 ms".into()],
-            vec!["Remote server (EC2-like RTT)".into(), fmt_millis(remote_list), "~3x slower than in-BROWSIX".into()],
+            vec![
+                "Remote server (EC2-like RTT)".into(),
+                fmt_millis(remote_list),
+                "~3x slower than in-BROWSIX".into(),
+            ],
         ],
     );
     println!(
@@ -100,18 +104,30 @@ fn main() {
         let _ = native_go_profile();
         remote.request("/api/meme", Some(body.as_bytes())).expect("remote meme");
     });
-    let (route, _) = chrome.generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS").expect("warm");
+    let (route, _) = chrome
+        .generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS")
+        .expect("warm");
     assert_eq!(route, RouteDecision::InBrowsix);
     let in_browser = measure(1, gen_runs, || {
-        chrome.generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS").expect("browser meme");
+        chrome
+            .generate("grumpy-cat.png", "I HERD U LIEK", "SYSCALLS")
+            .expect("browser meme");
     });
 
     print_table(
         "Meme generator — POST /api/meme (mean latency)",
         &["Deployment", "Latency", "Paper"],
         &[
-            vec!["Server-side (native Go)".into(), fmt_millis(server_side), "~200 ms".into()],
-            vec!["In-BROWSIX (GopherJS, Chrome)".into(), fmt_millis(in_browser), "~2 s".into()],
+            vec![
+                "Server-side (native Go)".into(),
+                fmt_millis(server_side),
+                "~200 ms".into(),
+            ],
+            vec![
+                "In-BROWSIX (GopherJS, Chrome)".into(),
+                fmt_millis(in_browser),
+                "~2 s".into(),
+            ],
         ],
     );
     println!(

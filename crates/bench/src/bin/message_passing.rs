@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 use browsix_bench::{fmt_millis, print_table};
 use browsix_core::{BootConfig, Kernel};
 use browsix_fs::{FileSystem, MemFs, MountedFs};
-use browsix_runtime::{guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv, SyscallConvention};
+use browsix_runtime::{
+    guest, EmscriptenLauncher, EmscriptenMode, ExecutionProfile, NodeLauncher, RuntimeEnv, SyscallConvention,
+};
 
 const CALLS: u64 = 2_000;
 
@@ -28,7 +30,11 @@ fn direct_call_cost() -> Duration {
 fn browsix_call_cost(sync: bool) -> Duration {
     let platform = browsix_browser::PlatformConfig::chrome();
     let config = BootConfig::in_memory().with_platform(platform);
-    let profile = ExecutionProfile::instant(if sync { SyscallConvention::Sync } else { SyscallConvention::Async });
+    let profile = ExecutionProfile::instant(if sync {
+        SyscallConvention::Sync
+    } else {
+        SyscallConvention::Async
+    });
     let program = guest("syscall-loop", move |env: &mut dyn RuntimeEnv| {
         for _ in 0..CALLS {
             let _ = env.getpid();
@@ -59,7 +65,11 @@ fn main() {
         "Message passing vs traditional system calls (per-call cost)",
         &["Mechanism", "Per call", "Relative to direct"],
         &[
-            vec!["Direct in-process call (native syscall analogue)".into(), fmt_millis(direct), "1x".into()],
+            vec![
+                "Direct in-process call (native syscall analogue)".into(),
+                fmt_millis(direct),
+                "1x".into(),
+            ],
             vec![
                 "BROWSIX synchronous syscall (SharedArrayBuffer + Atomics)".into(),
                 fmt_millis(sync),

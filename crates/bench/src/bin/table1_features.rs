@@ -7,7 +7,15 @@ fn main() {
     let rows: Vec<Vec<String>> = environment_feature_table().iter().map(|row| row.cells()).collect();
     print_table(
         "Table 1 — feature comparison",
-        &["Environment / runtime", "Filesystem", "Socket clients", "Socket servers", "Processes", "Pipes", "Signals"],
+        &[
+            "Environment / runtime",
+            "Filesystem",
+            "Socket clients",
+            "Socket servers",
+            "Processes",
+            "Pipes",
+            "Signals",
+        ],
         &rows,
     );
     let verified = verify_browsix_row();

@@ -32,7 +32,9 @@ fn workspace_root() -> PathBuf {
 fn count_rust_lines(dir: &Path) -> (usize, usize) {
     let mut lines = 0;
     let mut files = 0;
-    let Ok(entries) = std::fs::read_dir(dir) else { return (0, 0) };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
@@ -54,8 +56,14 @@ pub fn component_mapping() -> Vec<(&'static str, &'static str)> {
     vec![
         ("crates/core", "Kernel (2,249 LoC in the paper)"),
         ("crates/fs", "BrowserFS modifications (1,231 LoC)"),
-        ("crates/browser", "Browser platform substrate (provided by the browser in the paper)"),
-        ("crates/runtime", "Shared syscall module + runtime glue (421 LoC + integrations)"),
+        (
+            "crates/browser",
+            "Browser platform substrate (provided by the browser in the paper)",
+        ),
+        (
+            "crates/runtime",
+            "Shared syscall module + runtime glue (421 LoC + integrations)",
+        ),
         ("crates/http", "Node HTTP module replacement"),
         ("crates/utils", "Node.js utilities"),
         ("crates/shell", "dash (compiled, not counted in the paper)"),
@@ -72,7 +80,12 @@ pub fn count_workspace_lines() -> Vec<ComponentLines> {
         .into_iter()
         .map(|(dir, corresponds_to)| {
             let (lines, files) = count_rust_lines(&root.join(dir));
-            ComponentLines { component: dir.to_owned(), corresponds_to, lines, files }
+            ComponentLines {
+                component: dir.to_owned(),
+                corresponds_to,
+                lines,
+                files,
+            }
         })
         .collect()
 }

@@ -10,13 +10,28 @@ pub fn representative_syscalls() -> Vec<Syscall> {
     use browsix_core::Signal;
     use browsix_fs::OpenFlags;
     vec![
-        Syscall::Fork { image: vec![], resume_point: 0 },
-        Syscall::Spawn { path: "/usr/bin/ls".into(), args: vec![], env: vec![], cwd: None, stdio: [None; 3] },
+        Syscall::Fork {
+            image: vec![],
+            resume_point: 0,
+        },
+        Syscall::Spawn {
+            path: "/usr/bin/ls".into(),
+            args: vec![],
+            env: vec![],
+            cwd: None,
+            stdio: [None; 3],
+        },
         Syscall::Pipe2,
         Syscall::Wait4 { pid: -1, options: 0 },
         Syscall::Exit { code: 0 },
-        Syscall::Kill { pid: 1, signal: Signal::SIGTERM },
-        Syscall::SignalAction { signal: Signal::SIGCHLD, install: true },
+        Syscall::Kill {
+            pid: 1,
+            signal: Signal::SIGTERM,
+        },
+        Syscall::SignalAction {
+            signal: Signal::SIGCHLD,
+            install: true,
+        },
         Syscall::Chdir { path: "/".into() },
         Syscall::GetCwd,
         Syscall::GetPid,
@@ -29,25 +44,68 @@ pub fn representative_syscalls() -> Vec<Syscall> {
         Syscall::Connect { fd: 3, port: 80 },
         Syscall::Readdir { path: "/".into() },
         Syscall::Rmdir { path: "/tmp/x".into() },
-        Syscall::Mkdir { path: "/tmp/x".into(), mode: 0o755 },
-        Syscall::Open { path: "/etc/passwd".into(), flags: OpenFlags::read_only(), mode: 0 },
+        Syscall::Mkdir {
+            path: "/tmp/x".into(),
+            mode: 0o755,
+        },
+        Syscall::Open {
+            path: "/etc/passwd".into(),
+            flags: OpenFlags::read_only(),
+            mode: 0,
+        },
         Syscall::Close { fd: 3 },
         Syscall::Unlink { path: "/tmp/x".into() },
-        Syscall::Seek { fd: 3, offset: 0, whence: 0 },
-        Syscall::Pread { fd: 3, len: 16, offset: 0 },
-        Syscall::Pwrite { fd: 3, data: ByteSource::Inline(vec![]), offset: 0 },
+        Syscall::Seek {
+            fd: 3,
+            offset: 0,
+            whence: 0,
+        },
+        Syscall::Pread {
+            fd: 3,
+            len: 16,
+            offset: 0,
+        },
+        Syscall::Pwrite {
+            fd: 3,
+            data: ByteSource::Inline(vec![]),
+            offset: 0,
+        },
         Syscall::Read { fd: 3, len: 16 },
-        Syscall::Write { fd: 3, data: ByteSource::Inline(vec![]) },
+        Syscall::Write {
+            fd: 3,
+            data: ByteSource::Inline(vec![]),
+        },
         Syscall::Dup { fd: 3 },
         Syscall::Dup2 { from: 3, to: 4 },
-        Syscall::Truncate { path: "/tmp/x".into(), size: 0 },
-        Syscall::Rename { from: "/a".into(), to: "/b".into() },
-        Syscall::Access { path: "/bin/sh".into(), mode: 0 },
+        Syscall::Truncate {
+            path: "/tmp/x".into(),
+            size: 0,
+        },
+        Syscall::Rename {
+            from: "/a".into(),
+            to: "/b".into(),
+        },
+        Syscall::Access {
+            path: "/bin/sh".into(),
+            mode: 0,
+        },
         Syscall::Fstat { fd: 3 },
-        Syscall::Stat { path: "/".into(), lstat: true },
-        Syscall::Stat { path: "/".into(), lstat: false },
-        Syscall::Readlink { path: "/proc/self".into() },
-        Syscall::Utimes { path: "/tmp/x".into(), atime_ms: 0, mtime_ms: 0 },
+        Syscall::Stat {
+            path: "/".into(),
+            lstat: true,
+        },
+        Syscall::Stat {
+            path: "/".into(),
+            lstat: false,
+        },
+        Syscall::Readlink {
+            path: "/proc/self".into(),
+        },
+        Syscall::Utimes {
+            path: "/tmp/x".into(),
+            atime_ms: 0,
+            mtime_ms: 0,
+        },
     ]
 }
 
@@ -75,10 +133,35 @@ mod tests {
         assert_eq!(classes.len(), 6);
         let all: Vec<String> = inventory.values().flatten().cloned().collect();
         for expected in [
-            "fork", "spawn", "pipe2", "wait4", "exit", "chdir", "getcwd", "getpid", "socket", "bind",
-            "getsockname", "listen", "accept", "connect", "getdents", "rmdir", "mkdir", "open",
-            "close", "unlink", "llseek", "pread", "pwrite", "access", "fstat", "lstat", "stat",
-            "readlink", "utimes",
+            "fork",
+            "spawn",
+            "pipe2",
+            "wait4",
+            "exit",
+            "chdir",
+            "getcwd",
+            "getpid",
+            "socket",
+            "bind",
+            "getsockname",
+            "listen",
+            "accept",
+            "connect",
+            "getdents",
+            "rmdir",
+            "mkdir",
+            "open",
+            "close",
+            "unlink",
+            "llseek",
+            "pread",
+            "pwrite",
+            "access",
+            "fstat",
+            "lstat",
+            "stat",
+            "readlink",
+            "utimes",
         ] {
             assert!(all.contains(&expected.to_string()), "missing {expected}");
         }

@@ -49,11 +49,7 @@ pub struct UtilityMeasurement {
 ///
 /// `with_compute` selects whether the calibrated JavaScript-execution cost is
 /// injected; benchmarks enable it, functional tests disable it.
-pub fn run_utility_benchmark(
-    environment: UtilityEnvironment,
-    command: &str,
-    with_compute: bool,
-) -> UtilityMeasurement {
+pub fn run_utility_benchmark(environment: UtilityEnvironment, command: &str, with_compute: bool) -> UtilityMeasurement {
     let words: Vec<&str> = command.split_whitespace().collect();
     let fs = figure9_fs();
     match environment {
@@ -170,7 +166,7 @@ mod tests {
         ] {
             let m = run_utility_benchmark(environment, "ls -l /usr/bin", false);
             assert_eq!(m.exit_code, 0, "{environment:?}");
-            assert_eq!(m.environment.label().is_empty(), false);
+            assert!(!m.environment.label().is_empty());
         }
     }
 

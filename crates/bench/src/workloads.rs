@@ -35,11 +35,13 @@ pub fn stage_figure9_files(fs: &dyn FileSystem) {
     let _ = fs.mkdir("/usr/bin");
     let mut node_binary = vec![0u8; SHA1_FILE_BYTES];
     fill_deterministic(0xB40051C5, &mut node_binary);
-    fs.write_file("/usr/bin/node", &node_binary).expect("stage /usr/bin/node");
+    fs.write_file("/usr/bin/node", &node_binary)
+        .expect("stage /usr/bin/node");
     for i in 0..LS_DIR_ENTRIES {
         let mut data = vec![0u8; 512 + (i % 37) * 16];
         fill_deterministic(0x1000 + i as u64, &mut data);
-        fs.write_file(&format!("/usr/bin/tool-{i:03}"), &data).expect("stage tool");
+        fs.write_file(&format!("/usr/bin/tool-{i:03}"), &data)
+            .expect("stage tool");
     }
 }
 

@@ -102,10 +102,7 @@ mod tests {
         let registry = BlobRegistry::new();
         let url = registry.create_url(vec![42]);
         registry.revoke(&url);
-        assert!(matches!(
-            registry.resolve(&url),
-            Err(PlatformError::UnknownBlobUrl(_))
-        ));
+        assert!(matches!(registry.resolve(&url), Err(PlatformError::UnknownBlobUrl(_))));
         assert!(registry.is_empty());
         // Revoking again is a no-op.
         registry.revoke(&url);

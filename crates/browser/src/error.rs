@@ -56,7 +56,11 @@ mod tests {
             PlatformError::NetworkUnavailable,
             PlatformError::HttpStatus(503),
             PlatformError::UnknownBlobUrl("blob:browsix/1".into()),
-            PlatformError::OutOfBounds { offset: 10, len: 4, capacity: 8 },
+            PlatformError::OutOfBounds {
+                offset: 10,
+                len: 4,
+                capacity: 8,
+            },
             PlatformError::SharedMemoryUnsupported,
         ];
         for err in errors {

@@ -59,12 +59,7 @@ impl Message {
             Message::Str(s) => 8 + s.len(),
             Message::Bytes(b) => 8 + b.len(),
             Message::Array(items) => 8 + items.iter().map(Message::byte_size).sum::<usize>(),
-            Message::Map(map) => {
-                8 + map
-                    .iter()
-                    .map(|(k, v)| 8 + k.len() + v.byte_size())
-                    .sum::<usize>()
-            }
+            Message::Map(map) => 8 + map.iter().map(|(k, v)| 8 + k.len() + v.byte_size()).sum::<usize>(),
         }
     }
 

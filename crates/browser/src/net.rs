@@ -338,7 +338,10 @@ mod tests {
         }
         let ep = RemoteEndpoint::new(Arc::new(Upper), NetworkProfile::instant());
         assert_eq!(ep.request("/upper", Some(b"meme")).unwrap(), b"MEME");
-        assert!(matches!(ep.request("/upper", None), Err(PlatformError::HttpStatus(400))));
+        assert!(matches!(
+            ep.request("/upper", None),
+            Err(PlatformError::HttpStatus(400))
+        ));
     }
 
     #[test]

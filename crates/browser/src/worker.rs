@@ -91,9 +91,7 @@ impl WorkerScope {
         }
         let cloned = msg.structured_clone();
         precise_delay(self.config.post_cost(cloned.byte_size()));
-        self.to_parent
-            .send(cloned)
-            .map_err(|_| PlatformError::WorkerTerminated)
+        self.to_parent.send(cloned).map_err(|_| PlatformError::WorkerTerminated)
     }
 
     /// Blocks until the next message from the parent arrives.
@@ -189,9 +187,7 @@ impl Worker {
         }
         let cloned = msg.structured_clone();
         precise_delay(self.config.post_cost(cloned.byte_size()));
-        self.to_worker
-            .send(cloned)
-            .map_err(|_| PlatformError::WorkerTerminated)
+        self.to_worker.send(cloned).map_err(|_| PlatformError::WorkerTerminated)
     }
 
     /// Blocks until the worker posts a message to the parent.
@@ -201,9 +197,7 @@ impl Worker {
     /// Returns [`PlatformError::WorkerTerminated`] if the worker has exited
     /// without posting further messages.
     pub fn recv(&self) -> Result<Message, PlatformError> {
-        self.from_worker
-            .recv()
-            .map_err(|_| PlatformError::WorkerTerminated)
+        self.from_worker.recv().map_err(|_| PlatformError::WorkerTerminated)
     }
 
     /// Receives a message from the worker if one is queued.
@@ -309,12 +303,16 @@ mod tests {
     #[test]
     fn terminate_prevents_further_posts() {
         let cfg = PlatformConfig::fast();
-        let worker = Worker::spawn(&cfg, "idle", Box::new(|scope: WorkerScope| {
-            // Wait until terminated.
-            while !scope.terminated() {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }));
+        let worker = Worker::spawn(
+            &cfg,
+            "idle",
+            Box::new(|scope: WorkerScope| {
+                // Wait until terminated.
+                while !scope.terminated() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+        );
         worker.terminate();
         assert!(worker.is_terminated());
         assert!(matches!(
@@ -326,11 +324,15 @@ mod tests {
     #[test]
     fn try_recv_returns_none_when_empty() {
         let cfg = PlatformConfig::fast();
-        let mut worker = Worker::spawn(&cfg, "quiet", Box::new(|scope: WorkerScope| {
-            while !scope.terminated() {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }));
+        let mut worker = Worker::spawn(
+            &cfg,
+            "quiet",
+            Box::new(|scope: WorkerScope| {
+                while !scope.terminated() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+        );
         assert!(worker.try_recv().unwrap().is_none());
         assert!(worker.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
         worker.terminate_and_join();
@@ -340,10 +342,14 @@ mod tests {
     fn worker_messages_are_deep_copied() {
         let cfg = PlatformConfig::fast();
         let payload = Message::map().with("buf", vec![1u8, 2, 3]);
-        let mut worker = Worker::spawn(&cfg, "copy", Box::new(|scope: WorkerScope| {
-            let msg = scope.recv().unwrap();
-            scope.post_message(msg).unwrap();
-        }));
+        let mut worker = Worker::spawn(
+            &cfg,
+            "copy",
+            Box::new(|scope: WorkerScope| {
+                let msg = scope.recv().unwrap();
+                scope.post_message(msg).unwrap();
+            }),
+        );
         worker.post_message(payload.clone()).unwrap();
         let echoed = worker.recv().unwrap();
         assert_eq!(echoed, payload);
@@ -353,11 +359,15 @@ mod tests {
     #[test]
     fn scope_reports_name_and_config() {
         let cfg = PlatformConfig::fast();
-        let mut worker = Worker::spawn(&cfg, "named", Box::new(|scope: WorkerScope| {
-            assert_eq!(scope.name(), "named");
-            assert!(!scope.config().inject_delays);
-            scope.post_message(Message::from("ok")).unwrap();
-        }));
+        let mut worker = Worker::spawn(
+            &cfg,
+            "named",
+            Box::new(|scope: WorkerScope| {
+                assert_eq!(scope.name(), "named");
+                assert!(!scope.config().inject_delays);
+                scope.post_message(Message::from("ok")).unwrap();
+            }),
+        );
         assert_eq!(worker.name(), "named");
         assert_eq!(worker.recv().unwrap().as_str(), Some("ok"));
         worker.terminate_and_join();

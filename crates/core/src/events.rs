@@ -175,7 +175,10 @@ mod tests {
 
         let event = KernelEvent::Syscall {
             pid: 3,
-            transport: Transport::Async { seq: 1, msg: Message::Null },
+            transport: Transport::Async {
+                seq: 1,
+                msg: Message::Null,
+            },
         };
         assert!(format!("{event:?}").contains("async"));
         assert_eq!(format!("{:?}", KernelEvent::Shutdown), "Shutdown");
@@ -184,10 +187,20 @@ mod tests {
     #[test]
     fn host_request_debug_variants() {
         let (tx, _rx) = unbounded::<Vec<u16>>();
-        assert_eq!(format!("{:?}", HostRequest::ListeningPorts { reply: tx }), "ListeningPorts");
+        assert_eq!(
+            format!("{:?}", HostRequest::ListeningPorts { reply: tx }),
+            "ListeningPorts"
+        );
         let (tx, _rx) = unbounded();
         assert_eq!(
-            format!("{:?}", HostRequest::Kill { pid: 9, signal: Signal::SIGKILL, reply: tx }),
+            format!(
+                "{:?}",
+                HostRequest::Kill {
+                    pid: 9,
+                    signal: Signal::SIGKILL,
+                    reply: tx
+                }
+            ),
             "Kill(9, SIGKILL)"
         );
     }

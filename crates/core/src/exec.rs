@@ -223,7 +223,11 @@ pub fn resolve_executable(
     path: &str,
 ) -> Result<ResolvedExecutable, Errno> {
     if let Some(launcher) = registry.lookup(path) {
-        return Ok(ResolvedExecutable { launcher, prepend_args: Vec::new(), file_bytes: None });
+        return Ok(ResolvedExecutable {
+            launcher,
+            prepend_args: Vec::new(),
+            file_bytes: None,
+        });
     }
     let meta = fs.stat(path)?;
     if meta.is_dir() {
@@ -242,7 +246,11 @@ pub fn resolve_executable(
             prepend.push(arg);
         }
         prepend.push(browsix_fs::path::normalize(path));
-        return Ok(ResolvedExecutable { launcher, prepend_args: prepend, file_bytes: Some(contents) });
+        return Ok(ResolvedExecutable {
+            launcher,
+            prepend_args: prepend,
+            file_bytes: Some(contents),
+        });
     }
     Err(Errno::EACCES)
 }
@@ -316,7 +324,10 @@ mod tests {
             parse_shebang(b"#!/usr/bin/env node\nconsole.log(1)"),
             Some(("node".into(), None))
         );
-        assert_eq!(parse_shebang(b"#!/bin/sh -e\necho hi"), Some(("/bin/sh".into(), Some("-e".into()))));
+        assert_eq!(
+            parse_shebang(b"#!/bin/sh -e\necho hi"),
+            Some(("/bin/sh".into(), Some("-e".into())))
+        );
         assert_eq!(parse_shebang(b"#!/bin/dash\n"), Some(("/bin/dash".into(), None)));
         assert_eq!(parse_shebang(b"echo no shebang"), None);
         assert_eq!(parse_shebang(b""), None);
@@ -350,14 +361,23 @@ mod tests {
     fn resolve_error_cases() {
         let fs = MemFs::new();
         let registry = ExecutableRegistry::new();
-        assert_eq!(resolve_executable(&fs, &registry, "/missing").err(), Some(Errno::ENOENT));
+        assert_eq!(
+            resolve_executable(&fs, &registry, "/missing").err(),
+            Some(Errno::ENOENT)
+        );
         fs.mkdir("/dir").unwrap();
         assert_eq!(resolve_executable(&fs, &registry, "/dir").err(), Some(Errno::EISDIR));
         fs.write_file("/data.bin", &[0u8, 1, 2]).unwrap();
-        assert_eq!(resolve_executable(&fs, &registry, "/data.bin").err(), Some(Errno::EACCES));
+        assert_eq!(
+            resolve_executable(&fs, &registry, "/data.bin").err(),
+            Some(Errno::EACCES)
+        );
         // Shebang pointing at an unknown interpreter.
         fs.write_file("/script.py", b"#!/usr/bin/python\nprint(1)\n").unwrap();
-        assert_eq!(resolve_executable(&fs, &registry, "/script.py").err(), Some(Errno::ENOENT));
+        assert_eq!(
+            resolve_executable(&fs, &registry, "/script.py").err(),
+            Some(Errno::ENOENT)
+        );
     }
 
     #[test]

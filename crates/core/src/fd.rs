@@ -93,7 +93,10 @@ pub struct OpenFile {
 impl OpenFile {
     /// Creates a description with offset zero.
     pub fn new(kind: FileKind) -> Arc<OpenFile> {
-        Arc::new(OpenFile { kind: Mutex::new(kind), offset: Mutex::new(0) })
+        Arc::new(OpenFile {
+            kind: Mutex::new(kind),
+            offset: Mutex::new(0),
+        })
     }
 
     /// What this description refers to.
@@ -196,7 +199,9 @@ impl FdTable {
     /// Clones the table, sharing every description — what `fork`/`spawn`
     /// inheritance does.
     pub fn inherit(&self) -> FdTable {
-        FdTable { entries: self.entries.clone() }
+        FdTable {
+            entries: self.entries.clone(),
+        }
     }
 
     /// Removes every descriptor (process exit).

@@ -109,7 +109,11 @@ pub struct ExitStatus {
 impl ExitStatus {
     /// Builds a decoded status from the raw wait-status word.
     pub fn from_raw(raw: i32) -> ExitStatus {
-        ExitStatus { raw, code: wait_status_exit_code(raw), signal: wait_status_signal(raw) }
+        ExitStatus {
+            raw,
+            code: wait_status_exit_code(raw),
+            signal: wait_status_signal(raw),
+        }
     }
 
     /// Whether the process exited normally with code 0.
@@ -282,7 +286,12 @@ impl Kernel {
         };
         let pid = self.spawn_with_sinks(path, args, env, stdout_sink, stderr_sink)?;
         let exit = self.watch_exit(pid);
-        Ok(ProcessHandle { pid, stdout, stderr, exit })
+        Ok(ProcessHandle {
+            pid,
+            stdout,
+            stderr,
+            exit,
+        })
     }
 
     /// The paper's `kernel.system(cmd, onExit, onStdout, onStderr)`: splits a
@@ -308,13 +317,18 @@ impl Kernel {
     /// the raw wait status exactly once.
     pub fn watch_exit(&self, pid: Pid) -> Receiver<i32> {
         let (tx, rx) = bounded(1);
-        let _ = self.events.send(KernelEvent::Host(HostRequest::WatchExit { pid, reply: tx }));
+        let _ = self
+            .events
+            .send(KernelEvent::Host(HostRequest::WatchExit { pid, reply: tx }));
         rx
     }
 
     /// Blocks until `pid` exits (or `timeout` elapses).
     pub fn wait(&self, pid: Pid, timeout: Duration) -> Option<ExitStatus> {
-        self.watch_exit(pid).recv_timeout(timeout).ok().map(ExitStatus::from_raw)
+        self.watch_exit(pid)
+            .recv_timeout(timeout)
+            .ok()
+            .map(ExitStatus::from_raw)
     }
 
     /// Sends a signal to a process, like the `kill` shell builtin.
@@ -340,7 +354,11 @@ impl Kernel {
     pub fn http_request(&self, port: u16, request: HttpRequest, timeout: Duration) -> Result<HttpResponse, Errno> {
         let (tx, rx) = bounded(1);
         self.events
-            .send(KernelEvent::Host(HostRequest::HttpRequest { port, request, reply: tx }))
+            .send(KernelEvent::Host(HostRequest::HttpRequest {
+                port,
+                request,
+                reply: tx,
+            }))
             .map_err(|_| Errno::EIO)?;
         rx.recv_timeout(timeout).map_err(|_| Errno::ETIMEDOUT)?
     }
@@ -460,7 +478,9 @@ mod tests {
     #[test]
     fn spawning_missing_program_fails_with_enoent() {
         let kernel = Kernel::boot(BootConfig::in_memory());
-        let err = kernel.spawn("/usr/bin/doesnotexist", &["doesnotexist"], &[]).unwrap_err();
+        let err = kernel
+            .spawn("/usr/bin/doesnotexist", &["doesnotexist"], &[])
+            .unwrap_err();
         assert_eq!(err, Errno::ENOENT);
         assert!(kernel.system("").is_err());
         assert_eq!(kernel.system("nosuchcommand").unwrap_err(), Errno::ENOENT);

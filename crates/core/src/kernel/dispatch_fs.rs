@@ -48,7 +48,10 @@ impl KernelState {
                 return Outcome::Complete(SysResult::Err(e));
             }
         }
-        let file = OpenFile::new(FileKind::File { path: path.clone(), flags });
+        let file = OpenFile::new(FileKind::File {
+            path: path.clone(),
+            flags,
+        });
         if flags.append {
             if let Ok(meta) = self.fs().stat(&path) {
                 file.set_offset(meta.size);
@@ -125,7 +128,11 @@ impl KernelState {
         match self.try_read_fd(pid, fd, len) {
             Ok(Some(data)) => Outcome::Complete(SysResult::Data(data)),
             Ok(None) => {
-                self.push_pending(PendingSyscall { pid, reply, kind: PendingKind::Read { fd, len } });
+                self.push_pending(PendingSyscall {
+                    pid,
+                    reply,
+                    kind: PendingKind::Read { fd, len },
+                });
                 Outcome::Blocked
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
@@ -170,12 +177,7 @@ impl KernelState {
     /// Attempts to write `data` to `fd`.  Returns the number of bytes accepted
     /// so far and whether the write is complete; pipe writes may need to wait
     /// for space.
-    pub(crate) fn try_write_fd(
-        &mut self,
-        pid: Pid,
-        fd: Fd,
-        data: &[u8],
-    ) -> Result<(usize, bool), Errno> {
+    pub(crate) fn try_write_fd(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<(usize, bool), Errno> {
         let file = self.task(pid)?.files.get(fd)?;
         match file.kind() {
             FileKind::File { path, flags } => {
@@ -213,12 +215,7 @@ impl KernelState {
         }
     }
 
-    fn try_write_pipe(
-        &mut self,
-        pid: Pid,
-        pipe_id: crate::pipe::PipeId,
-        data: &[u8],
-    ) -> Result<(usize, bool), Errno> {
+    fn try_write_pipe(&mut self, pid: Pid, pipe_id: crate::pipe::PipeId, data: &[u8]) -> Result<(usize, bool), Errno> {
         let read_closed = match self.pipes().get(pipe_id) {
             Some(pipe) => pipe.read_end_closed(),
             None => return Err(Errno::EPIPE),
@@ -245,7 +242,11 @@ impl KernelState {
                 self.push_pending(PendingSyscall {
                     pid,
                     reply,
-                    kind: PendingKind::Write { fd, data: bytes, written },
+                    kind: PendingKind::Write {
+                        fd,
+                        data: bytes,
+                        written,
+                    },
                 });
                 Outcome::Blocked
             }

@@ -48,11 +48,7 @@ impl KernelState {
                 .unwrap_or_else(|| OpenFile::new(FileKind::Null));
             child_stdio.push(file);
         }
-        let stdio_arr: [Arc<OpenFile>; 3] = [
-            child_stdio[0].clone(),
-            child_stdio[1].clone(),
-            child_stdio[2].clone(),
-        ];
+        let stdio_arr: [Arc<OpenFile>; 3] = [child_stdio[0].clone(), child_stdio[1].clone(), child_stdio[2].clone()];
 
         // The child environment: parent's environment unless the caller
         // supplied one explicitly.
@@ -85,16 +81,7 @@ impl KernelState {
             files.get(2).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
         ];
         let fork_image = ForkImage { image, resume_point };
-        match self.spawn_process(
-            pid,
-            &exe_path,
-            args,
-            env,
-            &cwd,
-            stdio,
-            Some(fork_image),
-            Some(launcher),
-        ) {
+        match self.spawn_process(pid, &exe_path, args, env, &cwd, stdio, Some(fork_image), Some(launcher)) {
             Ok(child) => {
                 // Copy the rest of the parent's descriptors (beyond stdio)
                 // into the child, preserving numbers.

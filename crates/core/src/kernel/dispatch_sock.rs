@@ -30,7 +30,11 @@ impl KernelState {
         };
         match file.kind() {
             FileKind::Socket { bound_port: None } => {
-                let port = if port == 0 { self.sockets_mut().allocate_port() } else { port };
+                let port = if port == 0 {
+                    self.sockets_mut().allocate_port()
+                } else {
+                    port
+                };
                 if self.sockets().port_in_use(port) {
                     return Outcome::Complete(SysResult::Err(Errno::EADDRINUSE));
                 }
@@ -94,7 +98,10 @@ impl KernelState {
         let Some(connection) = self.sockets_mut().accept(port) else {
             return Ok(None);
         };
-        let stream = OpenFile::new(FileKind::SocketStream { connection, side: SocketSide::Server });
+        let stream = OpenFile::new(FileKind::SocketStream {
+            connection,
+            side: SocketSide::Server,
+        });
         let new_fd = self.task_mut(pid)?.files.insert(stream, 0);
         self.recompute_endpoints();
         Ok(Some(new_fd))
@@ -104,7 +111,11 @@ impl KernelState {
         match self.try_accept(pid, fd) {
             Ok(Some(new_fd)) => Outcome::Complete(SysResult::Int(new_fd as i64)),
             Ok(None) => {
-                self.push_pending(PendingSyscall { pid, reply, kind: PendingKind::Accept { fd } });
+                self.push_pending(PendingSyscall {
+                    pid,
+                    reply,
+                    kind: PendingKind::Accept { fd },
+                });
                 Outcome::Blocked
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
@@ -128,7 +139,10 @@ impl KernelState {
         let server_to_client = self.pipes_mut().create();
         match self.sockets_mut().connect(port, client_to_server, server_to_client) {
             Ok(connection) => {
-                file.set_kind(FileKind::SocketStream { connection, side: SocketSide::Client });
+                file.set_kind(FileKind::SocketStream {
+                    connection,
+                    side: SocketSide::Client,
+                });
                 self.recompute_endpoints();
                 // A pending accept on the server side may now complete.
                 self.poll_pending();

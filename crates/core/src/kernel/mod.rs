@@ -135,9 +135,18 @@ impl KernelState {
     fn handle_event(&mut self, event: KernelEvent) {
         match event {
             KernelEvent::Syscall { pid, transport } => self.handle_syscall(pid, transport),
-            KernelEvent::RegisterSyncHeap { pid, sab, resp_offset, wake_offset } => {
+            KernelEvent::RegisterSyncHeap {
+                pid,
+                sab,
+                resp_offset,
+                wake_offset,
+            } => {
                 if let Some(task) = self.tasks.get_mut(&pid) {
-                    task.sync_heap = Some(SyncHeap { sab, resp_offset, wake_offset });
+                    task.sync_heap = Some(SyncHeap {
+                        sab,
+                        resp_offset,
+                        wake_offset,
+                    });
                 }
             }
             KernelEvent::Host(request) => self.handle_host_request(request),
@@ -169,9 +178,13 @@ impl KernelState {
     fn dispatch(&mut self, pid: Pid, reply: ReplyTo, call: Syscall) -> Outcome {
         match call {
             // process management
-            Syscall::Spawn { path, args, env, cwd, stdio } => {
-                self.sys_spawn(pid, path, args, env, cwd, stdio)
-            }
+            Syscall::Spawn {
+                path,
+                args,
+                env,
+                cwd,
+                stdio,
+            } => self.sys_spawn(pid, path, args, env, cwd, stdio),
             Syscall::Fork { image, resume_point } => self.sys_fork(pid, image, resume_point),
             Syscall::Pipe2 => self.sys_pipe2(pid),
             Syscall::Wait4 { pid: target, options } => self.sys_wait4(pid, reply, target, options),
@@ -204,7 +217,11 @@ impl KernelState {
             Syscall::Fstat { fd } => self.sys_fstat(pid, fd),
             Syscall::Access { path, mode } => self.sys_access(pid, path, mode),
             Syscall::Readlink { .. } => Outcome::Complete(SysResult::Err(Errno::EINVAL)),
-            Syscall::Utimes { path, atime_ms, mtime_ms } => self.sys_utimes(pid, path, atime_ms, mtime_ms),
+            Syscall::Utimes {
+                path,
+                atime_ms,
+                mtime_ms,
+            } => self.sys_utimes(pid, path, atime_ms, mtime_ms),
             // sockets
             Syscall::Socket => self.sys_socket(pid),
             Syscall::Bind { fd, port } => self.sys_bind(pid, fd, port),
@@ -257,7 +274,15 @@ impl KernelState {
 
     fn handle_host_request(&mut self, request: HostRequest) {
         match request {
-            HostRequest::Spawn { path, args, env, cwd, stdout, stderr, reply } => {
+            HostRequest::Spawn {
+                path,
+                args,
+                env,
+                cwd,
+                stdout,
+                stderr,
+                reply,
+            } => {
                 let result = self.host_spawn(&path, args, env, &cwd, stdout, stderr);
                 let _ = reply.send(result);
             }
@@ -400,7 +425,12 @@ impl KernelState {
             &self.config,
             &format!("pid{pid}-{name}"),
             Box::new(move |scope: WorkerScope| {
-                let ctx = LaunchContext { pid, config, kernel: kernel_tx, scope };
+                let ctx = LaunchContext {
+                    pid,
+                    config,
+                    kernel: kernel_tx,
+                    scope,
+                };
                 launcher_for_worker.launch(ctx);
             }),
         );
@@ -500,7 +530,9 @@ impl KernelState {
     ///
     /// [`Errno::ESRCH`] if the target does not exist or has already exited.
     pub(crate) fn deliver_signal(&mut self, target: Pid, signal: Signal) -> Result<(), Errno> {
-        let Some(task) = self.tasks.get(&target) else { return Err(Errno::ESRCH) };
+        let Some(task) = self.tasks.get(&target) else {
+            return Err(Errno::ESRCH);
+        };
         if !task.is_running() {
             return Err(Errno::ESRCH);
         }
@@ -648,5 +680,4 @@ impl KernelState {
     pub(crate) fn remove_task_impl(&mut self, pid: Pid) {
         self.tasks.remove(&pid);
     }
-
 }

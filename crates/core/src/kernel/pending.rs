@@ -121,26 +121,27 @@ impl KernelState {
                 Ok(None) => Progress::Waiting(PendingKind::Read { fd: *fd, len: *len }),
                 Err(e) => Progress::Done(SysResult::Err(e)),
             },
-            PendingKind::Write { fd, data, written } => {
-                match self.try_write_fd(pid, *fd, &data[*written..]) {
-                    Ok((accepted, _)) => {
-                        let new_written = written + accepted;
-                        if new_written >= data.len() {
-                            Progress::Done(SysResult::Int(data.len() as i64))
-                        } else {
-                            Progress::Waiting(PendingKind::Write {
-                                fd: *fd,
-                                data: data.clone(),
-                                written: new_written,
-                            })
-                        }
+            PendingKind::Write { fd, data, written } => match self.try_write_fd(pid, *fd, &data[*written..]) {
+                Ok((accepted, _)) => {
+                    let new_written = written + accepted;
+                    if new_written >= data.len() {
+                        Progress::Done(SysResult::Int(data.len() as i64))
+                    } else {
+                        Progress::Waiting(PendingKind::Write {
+                            fd: *fd,
+                            data: data.clone(),
+                            written: new_written,
+                        })
                     }
-                    Err(e) => Progress::Done(SysResult::Err(e)),
                 }
-            }
+                Err(e) => Progress::Done(SysResult::Err(e)),
+            },
             PendingKind::Wait4 { target, options } => match self.try_reap_child(pid, *target) {
                 Ok(Some((child, status))) => Progress::Done(SysResult::Wait { pid: child, status }),
-                Ok(None) => Progress::Waiting(PendingKind::Wait4 { target: *target, options: *options }),
+                Ok(None) => Progress::Waiting(PendingKind::Wait4 {
+                    target: *target,
+                    options: *options,
+                }),
                 Err(e) => Progress::Done(SysResult::Err(e)),
             },
             PendingKind::Accept { fd } => match self.try_accept(pid, *fd) {

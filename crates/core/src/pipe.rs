@@ -29,7 +29,12 @@ pub struct Pipe {
 impl Pipe {
     /// Creates an empty pipe with the given capacity.
     pub fn new(capacity: usize) -> Pipe {
-        Pipe { buffer: VecDeque::new(), capacity, readers: 0, writers: 0 }
+        Pipe {
+            buffer: VecDeque::new(),
+            capacity,
+            readers: 0,
+            writers: 0,
+        }
     }
 
     /// Bytes currently buffered.

@@ -75,7 +75,11 @@ impl Signal {
     /// (`"KILL"`, `"SIGKILL"` and `"sigkill"` all work, as with `kill(1)`).
     pub fn from_name(name: &str) -> Option<Signal> {
         let upper = name.to_ascii_uppercase();
-        let full = if upper.starts_with("SIG") { upper } else { format!("SIG{upper}") };
+        let full = if upper.starts_with("SIG") {
+            upper
+        } else {
+            format!("SIG{upper}")
+        };
         ALL_SIGNALS.iter().copied().find(|s| s.name() == full)
     }
 

@@ -50,7 +50,10 @@ pub struct SocketTable {
 impl SocketTable {
     /// Creates an empty namespace.
     pub fn new() -> SocketTable {
-        SocketTable { next_ephemeral_port: 49152, ..SocketTable::default() }
+        SocketTable {
+            next_ephemeral_port: 49152,
+            ..SocketTable::default()
+        }
     }
 
     /// Picks an unused ephemeral port (for `bind` with port 0).
@@ -80,7 +83,11 @@ impl SocketTable {
         }
         self.listeners.insert(
             port,
-            Listener { owner, backlog: backlog.max(1), pending: VecDeque::new() },
+            Listener {
+                owner,
+                backlog: backlog.max(1),
+                pending: VecDeque::new(),
+            },
         );
         Ok(())
     }
@@ -124,7 +131,14 @@ impl SocketTable {
         }
         let id = self.next_connection;
         self.next_connection += 1;
-        self.connections.insert(id, Connection { client_to_server, server_to_client, port });
+        self.connections.insert(
+            id,
+            Connection {
+                client_to_server,
+                server_to_client,
+                port,
+            },
+        );
         listener.pending.push_back(id);
         Ok(id)
     }
@@ -136,7 +150,10 @@ impl SocketTable {
 
     /// Whether `port` has at least one connection waiting to be accepted.
     pub fn has_pending(&self, port: u16) -> bool {
-        self.listeners.get(&port).map(|l| !l.pending.is_empty()).unwrap_or(false)
+        self.listeners
+            .get(&port)
+            .map(|l| !l.pending.is_empty())
+            .unwrap_or(false)
     }
 
     /// Every connection that has been made but not yet accepted, across all

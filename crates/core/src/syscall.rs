@@ -361,9 +361,7 @@ impl Syscall {
             | Syscall::Exit { .. }
             | Syscall::Kill { .. }
             | Syscall::SignalAction { .. } => "Process Management",
-            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } => {
-                "Process Metadata"
-            }
+            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } => "Process Metadata",
             Syscall::Socket
             | Syscall::Bind { .. }
             | Syscall::GetSockName { .. }
@@ -396,7 +394,13 @@ impl Syscall {
     pub fn to_message(&self) -> Message {
         let mut msg = Message::map().with("syscall", self.name());
         match self {
-            Syscall::Spawn { path, args, env, cwd, stdio } => {
+            Syscall::Spawn {
+                path,
+                args,
+                env,
+                cwd,
+                stdio,
+            } => {
                 let env_msgs: Vec<Message> = env
                     .iter()
                     .map(|(k, v)| Message::Array(vec![Message::from(k.as_str()), Message::from(v.as_str())]))
@@ -417,9 +421,7 @@ impl Syscall {
                     );
             }
             Syscall::Fork { image, resume_point } => {
-                msg = msg
-                    .with("image", image.clone())
-                    .with("resume", *resume_point as i64);
+                msg = msg.with("image", image.clone()).with("resume", *resume_point as i64);
             }
             Syscall::Pipe2 | Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Socket => {}
             Syscall::Wait4 { pid, options } => {
@@ -432,7 +434,11 @@ impl Syscall {
             Syscall::SignalAction { signal, install } => {
                 msg = msg.with("signal", signal.number() as i64).with("install", *install);
             }
-            Syscall::Chdir { path } | Syscall::Unlink { path } | Syscall::Rmdir { path } | Syscall::Readdir { path } | Syscall::Readlink { path } => {
+            Syscall::Chdir { path }
+            | Syscall::Unlink { path }
+            | Syscall::Rmdir { path }
+            | Syscall::Readdir { path }
+            | Syscall::Readlink { path } => {
                 msg = msg.with("path", path.as_str());
             }
             Syscall::Open { path, flags, mode } => {
@@ -441,7 +447,11 @@ impl Syscall {
                     .with("flags", flags.to_bits() as i64)
                     .with("mode", *mode as i64);
             }
-            Syscall::Close { fd } | Syscall::Dup { fd } | Syscall::Fstat { fd } | Syscall::GetSockName { fd } | Syscall::Accept { fd } => {
+            Syscall::Close { fd }
+            | Syscall::Dup { fd }
+            | Syscall::Fstat { fd }
+            | Syscall::GetSockName { fd }
+            | Syscall::Accept { fd } => {
                 msg = msg.with("fd", *fd as i64);
             }
             Syscall::Read { fd, len } => {
@@ -486,7 +496,11 @@ impl Syscall {
             Syscall::Access { path, mode } => {
                 msg = msg.with("path", path.as_str()).with("mode", *mode as i64);
             }
-            Syscall::Utimes { path, atime_ms, mtime_ms } => {
+            Syscall::Utimes {
+                path,
+                atime_ms,
+                mtime_ms,
+            } => {
                 msg = msg
                     .with("path", path.as_str())
                     .with("atime", *atime_ms as i64)
@@ -532,7 +546,13 @@ impl Syscall {
                 for (i, slot) in stdio.iter_mut().enumerate() {
                     *slot = stdio_msgs.get(i).and_then(|m| m.as_int()).map(|v| v as i32);
                 }
-                Syscall::Spawn { path: path()?, args, env, cwd, stdio }
+                Syscall::Spawn {
+                    path: path()?,
+                    args,
+                    env,
+                    cwd,
+                    stdio,
+                }
             }
             "fork" => Syscall::Fork {
                 image: msg.get_bytes("image")?.to_vec(),
@@ -543,7 +563,9 @@ impl Syscall {
                 pid: msg.get_int("pid")? as i32,
                 options: msg.get_int("options")? as u32,
             },
-            "exit" => Syscall::Exit { code: msg.get_int("code")? as i32 },
+            "exit" => Syscall::Exit {
+                code: msg.get_int("code")? as i32,
+            },
             "kill" => Syscall::Kill {
                 pid: msg.get_int("pid")? as Pid,
                 signal: Signal::from_number(msg.get_int("signal")? as i32)?,
@@ -562,13 +584,19 @@ impl Syscall {
                 mode: msg.get_int("mode")? as u32,
             },
             "close" => Syscall::Close { fd: fd()? },
-            "read" => Syscall::Read { fd: fd()?, len: msg.get_int("len")? as u32 },
+            "read" => Syscall::Read {
+                fd: fd()?,
+                len: msg.get_int("len")? as u32,
+            },
             "pread" => Syscall::Pread {
                 fd: fd()?,
                 len: msg.get_int("len")? as u32,
                 offset: msg.get_int("offset")? as u64,
             },
-            "write" => Syscall::Write { fd: fd()?, data: byte_source_from_message(msg.get("data")?)? },
+            "write" => Syscall::Write {
+                fd: fd()?,
+                data: byte_source_from_message(msg.get("data")?)?,
+            },
             "pwrite" => Syscall::Pwrite {
                 fd: fd()?,
                 data: byte_source_from_message(msg.get("data")?)?,
@@ -585,17 +613,29 @@ impl Syscall {
                 to: msg.get_int("to")? as i32,
             },
             "unlink" => Syscall::Unlink { path: path()? },
-            "truncate" => Syscall::Truncate { path: path()?, size: msg.get_int("size")? as u64 },
+            "truncate" => Syscall::Truncate {
+                path: path()?,
+                size: msg.get_int("size")? as u64,
+            },
             "rename" => Syscall::Rename {
                 from: msg.get_str("from")?.to_owned(),
                 to: msg.get_str("to")?.to_owned(),
             },
             "getdents" => Syscall::Readdir { path: path()? },
-            "mkdir" => Syscall::Mkdir { path: path()?, mode: msg.get_int("mode")? as u32 },
+            "mkdir" => Syscall::Mkdir {
+                path: path()?,
+                mode: msg.get_int("mode")? as u32,
+            },
             "rmdir" => Syscall::Rmdir { path: path()? },
-            "stat" | "lstat" => Syscall::Stat { path: path()?, lstat: name == "lstat" },
+            "stat" | "lstat" => Syscall::Stat {
+                path: path()?,
+                lstat: name == "lstat",
+            },
             "fstat" => Syscall::Fstat { fd: fd()? },
-            "access" => Syscall::Access { path: path()?, mode: msg.get_int("mode")? as u32 },
+            "access" => Syscall::Access {
+                path: path()?,
+                mode: msg.get_int("mode")? as u32,
+            },
             "readlink" => Syscall::Readlink { path: path()? },
             "utimes" => Syscall::Utimes {
                 path: path()?,
@@ -603,11 +643,20 @@ impl Syscall {
                 mtime_ms: msg.get_int("mtime")? as u64,
             },
             "socket" => Syscall::Socket,
-            "bind" => Syscall::Bind { fd: fd()?, port: msg.get_int("port")? as u16 },
+            "bind" => Syscall::Bind {
+                fd: fd()?,
+                port: msg.get_int("port")? as u16,
+            },
             "getsockname" => Syscall::GetSockName { fd: fd()? },
-            "listen" => Syscall::Listen { fd: fd()?, backlog: msg.get_int("backlog")? as u32 },
+            "listen" => Syscall::Listen {
+                fd: fd()?,
+                backlog: msg.get_int("backlog")? as u32,
+            },
             "accept" => Syscall::Accept { fd: fd()? },
-            "connect" => Syscall::Connect { fd: fd()?, port: msg.get_int("port")? as u16 },
+            "connect" => Syscall::Connect {
+                fd: fd()?,
+                port: msg.get_int("port")? as u16,
+            },
             _ => return None,
         })
     }
@@ -861,7 +910,11 @@ impl SysResult {
                 mode: read_u32(bytes, 9)?,
                 mtime_ms: read_u64(bytes, 13)?,
                 atime_ms: read_u64(bytes, 21)?,
-                file_type: if *bytes.get(29)? != 0 { FileType::Directory } else { FileType::Regular },
+                file_type: if *bytes.get(29)? != 0 {
+                    FileType::Directory
+                } else {
+                    FileType::Regular
+                },
             }),
             6 => {
                 let count = read_u32(bytes, 1)? as usize;
@@ -959,37 +1012,91 @@ mod tests {
                 cwd: Some("/home".into()),
                 stdio: [None, Some(4), Some(5)],
             },
-            Syscall::Fork { image: vec![1, 2, 3], resume_point: 42 },
+            Syscall::Fork {
+                image: vec![1, 2, 3],
+                resume_point: 42,
+            },
             Syscall::Pipe2,
             Syscall::Wait4 { pid: -1, options: 1 },
             Syscall::Exit { code: 3 },
-            Syscall::Kill { pid: 7, signal: Signal::SIGTERM },
-            Syscall::SignalAction { signal: Signal::SIGCHLD, install: true },
+            Syscall::Kill {
+                pid: 7,
+                signal: Signal::SIGTERM,
+            },
+            Syscall::SignalAction {
+                signal: Signal::SIGCHLD,
+                install: true,
+            },
             Syscall::GetPid,
             Syscall::GetPPid,
             Syscall::GetCwd,
             Syscall::Chdir { path: "/tmp".into() },
-            Syscall::Open { path: "/etc/passwd".into(), flags: OpenFlags::read_only(), mode: 0 },
+            Syscall::Open {
+                path: "/etc/passwd".into(),
+                flags: OpenFlags::read_only(),
+                mode: 0,
+            },
             Syscall::Close { fd: 3 },
             Syscall::Read { fd: 3, len: 4096 },
-            Syscall::Pread { fd: 3, len: 16, offset: 100 },
-            Syscall::Write { fd: 1, data: ByteSource::Inline(b"hello".to_vec()) },
-            Syscall::Pwrite { fd: 1, data: ByteSource::SharedHeap { offset: 64, len: 10 }, offset: 0 },
-            Syscall::Seek { fd: 3, offset: -10, whence: 2 },
+            Syscall::Pread {
+                fd: 3,
+                len: 16,
+                offset: 100,
+            },
+            Syscall::Write {
+                fd: 1,
+                data: ByteSource::Inline(b"hello".to_vec()),
+            },
+            Syscall::Pwrite {
+                fd: 1,
+                data: ByteSource::SharedHeap { offset: 64, len: 10 },
+                offset: 0,
+            },
+            Syscall::Seek {
+                fd: 3,
+                offset: -10,
+                whence: 2,
+            },
             Syscall::Dup { fd: 1 },
             Syscall::Dup2 { from: 4, to: 1 },
             Syscall::Unlink { path: "/tmp/x".into() },
-            Syscall::Truncate { path: "/tmp/x".into(), size: 10 },
-            Syscall::Rename { from: "/a".into(), to: "/b".into() },
-            Syscall::Readdir { path: "/usr/bin".into() },
-            Syscall::Mkdir { path: "/tmp/d".into(), mode: 0o755 },
+            Syscall::Truncate {
+                path: "/tmp/x".into(),
+                size: 10,
+            },
+            Syscall::Rename {
+                from: "/a".into(),
+                to: "/b".into(),
+            },
+            Syscall::Readdir {
+                path: "/usr/bin".into(),
+            },
+            Syscall::Mkdir {
+                path: "/tmp/d".into(),
+                mode: 0o755,
+            },
             Syscall::Rmdir { path: "/tmp/d".into() },
-            Syscall::Stat { path: "/etc".into(), lstat: false },
-            Syscall::Stat { path: "/etc".into(), lstat: true },
+            Syscall::Stat {
+                path: "/etc".into(),
+                lstat: false,
+            },
+            Syscall::Stat {
+                path: "/etc".into(),
+                lstat: true,
+            },
             Syscall::Fstat { fd: 0 },
-            Syscall::Access { path: "/bin/sh".into(), mode: 1 },
-            Syscall::Readlink { path: "/proc/self".into() },
-            Syscall::Utimes { path: "/tmp/x".into(), atime_ms: 1, mtime_ms: 2 },
+            Syscall::Access {
+                path: "/bin/sh".into(),
+                mode: 1,
+            },
+            Syscall::Readlink {
+                path: "/proc/self".into(),
+            },
+            Syscall::Utimes {
+                path: "/tmp/x".into(),
+                atime_ms: 1,
+                mtime_ms: 2,
+            },
             Syscall::Socket,
             Syscall::Bind { fd: 3, port: 8080 },
             Syscall::GetSockName { fd: 3 },
@@ -1112,8 +1219,14 @@ mod tests {
     fn async_messages_for_writes_carry_payload_size() {
         // The asynchronous convention pays a copy cost proportional to the
         // payload; the synchronous convention's message stays tiny.
-        let big = Syscall::Write { fd: 1, data: ByteSource::Inline(vec![0u8; 4096]) };
-        let small = Syscall::Write { fd: 1, data: ByteSource::SharedHeap { offset: 0, len: 4096 } };
+        let big = Syscall::Write {
+            fd: 1,
+            data: ByteSource::Inline(vec![0u8; 4096]),
+        };
+        let small = Syscall::Write {
+            fd: 1,
+            data: ByteSource::SharedHeap { offset: 0, len: 4096 },
+        };
         assert!(big.to_message().byte_size() > 4096);
         assert!(small.to_message().byte_size() < 256);
     }

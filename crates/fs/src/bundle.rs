@@ -82,7 +82,10 @@ pub struct BundleFs {
 impl BundleFs {
     /// Wraps a bundle in a read-only file system.
     pub fn new(bundle: Bundle) -> BundleFs {
-        BundleFs { bundle, created_ms: now_millis() }
+        BundleFs {
+            bundle,
+            created_ms: now_millis(),
+        }
     }
 
     /// Access to the underlying bundle.
@@ -142,7 +145,11 @@ impl FileSystem for BundleFs {
         }
         let depth = components(&normalized).len();
         let mut entries: BTreeMap<String, FileType> = BTreeMap::new();
-        let prefix = if normalized == "/" { String::from("/") } else { format!("{normalized}/") };
+        let prefix = if normalized == "/" {
+            String::from("/")
+        } else {
+            format!("{normalized}/")
+        };
         for file_path in self.bundle.files.keys() {
             if !file_path.starts_with(&prefix) {
                 continue;
@@ -252,7 +259,9 @@ mod tests {
         assert_eq!(root, vec!["Makefile", "texmf"]);
         let texmf = fs.read_dir("/texmf").unwrap();
         assert_eq!(texmf.len(), 2);
-        assert!(texmf.iter().any(|e| e.name == "fonts" && e.file_type == FileType::Directory));
+        assert!(texmf
+            .iter()
+            .any(|e| e.name == "fonts" && e.file_type == FileType::Directory));
         assert_eq!(fs.read_dir("/Makefile"), Err(Errno::ENOTDIR));
         assert_eq!(fs.read_dir("/nope"), Err(Errno::ENOENT));
     }

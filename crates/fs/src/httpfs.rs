@@ -129,14 +129,11 @@ impl HttpFs {
         if !self.manifest.contains_key(&normalized) {
             return Err(Errno::ENOENT);
         }
-        let data = self
-            .endpoint
-            .fetch(&normalized)
-            .map_err(|e| match e {
-                PlatformError::HttpStatus(404) => Errno::ENOENT,
-                PlatformError::NetworkUnavailable => Errno::ENETUNREACH,
-                _ => Errno::EIO,
-            })?;
+        let data = self.endpoint.fetch(&normalized).map_err(|e| match e {
+            PlatformError::HttpStatus(404) => Errno::ENOENT,
+            PlatformError::NetworkUnavailable => Errno::ENETUNREACH,
+            _ => Errno::EIO,
+        })?;
         let data = Arc::new(data);
         let mut state = self.state.lock();
         state.stats.fetches += 1;
@@ -195,7 +192,11 @@ impl FileSystem for HttpFs {
             return Err(Errno::ENOENT);
         }
         let depth = components(&normalized).len();
-        let prefix = if normalized == "/" { String::from("/") } else { format!("{normalized}/") };
+        let prefix = if normalized == "/" {
+            String::from("/")
+        } else {
+            format!("{normalized}/")
+        };
         let mut entries: BTreeMap<String, FileType> = BTreeMap::new();
         for file_path in self.manifest.keys() {
             if !file_path.starts_with(&prefix) {

@@ -32,24 +32,44 @@ enum Node {
 impl Node {
     fn new_dir() -> Node {
         let now = now_millis();
-        Node::Dir { children: BTreeMap::new(), mode: 0o755, mtime_ms: now, atime_ms: now }
+        Node::Dir {
+            children: BTreeMap::new(),
+            mode: 0o755,
+            mtime_ms: now,
+            atime_ms: now,
+        }
     }
 
     fn new_file(mode: u32) -> Node {
         let now = now_millis();
-        Node::File { data: Vec::new(), mode, mtime_ms: now, atime_ms: now }
+        Node::File {
+            data: Vec::new(),
+            mode,
+            mtime_ms: now,
+            atime_ms: now,
+        }
     }
 
     fn metadata(&self) -> Metadata {
         match self {
-            Node::File { data, mode, mtime_ms, atime_ms } => Metadata {
+            Node::File {
+                data,
+                mode,
+                mtime_ms,
+                atime_ms,
+            } => Metadata {
                 file_type: FileType::Regular,
                 size: data.len() as u64,
                 mode: *mode,
                 mtime_ms: *mtime_ms,
                 atime_ms: *atime_ms,
             },
-            Node::Dir { mode, mtime_ms, atime_ms, .. } => Metadata {
+            Node::Dir {
+                mode,
+                mtime_ms,
+                atime_ms,
+                ..
+            } => Metadata {
                 file_type: FileType::Directory,
                 size: 0,
                 mode: *mode,
@@ -69,7 +89,9 @@ pub struct MemFs {
 impl MemFs {
     /// Creates an empty file system containing only the root directory.
     pub fn new() -> MemFs {
-        MemFs { root: RwLock::new(Node::new_dir()) }
+        MemFs {
+            root: RwLock::new(Node::new_dir()),
+        }
     }
 
     /// Total number of nodes (files + directories, including the root); a
@@ -177,7 +199,10 @@ impl FileSystem for MemFs {
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get(name) {
-            Some(Node::Dir { children: grandchildren, .. }) => {
+            Some(Node::Dir {
+                children: grandchildren,
+                ..
+            }) => {
                 if grandchildren.is_empty() {
                     children.remove(name);
                     Ok(())
@@ -214,9 +239,7 @@ impl FileSystem for MemFs {
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
         // Detach the source subtree, then reattach it at the destination.
-        let node = self.with_parent_mut(from, |children, name| {
-            children.remove(name).ok_or(Errno::ENOENT)
-        })?;
+        let node = self.with_parent_mut(from, |children, name| children.remove(name).ok_or(Errno::ENOENT))?;
         let reattach = self.with_parent_mut(to, |children, name| {
             match children.get(name) {
                 Some(Node::Dir { .. }) => return Err(Errno::EISDIR),
@@ -270,8 +293,16 @@ impl FileSystem for MemFs {
 
     fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get_mut(name) {
-            Some(Node::File { atime_ms: a, mtime_ms: m, .. })
-            | Some(Node::Dir { atime_ms: a, mtime_ms: m, .. }) => {
+            Some(Node::File {
+                atime_ms: a,
+                mtime_ms: m,
+                ..
+            })
+            | Some(Node::Dir {
+                atime_ms: a,
+                mtime_ms: m,
+                ..
+            }) => {
                 *a = atime_ms;
                 *m = mtime_ms;
                 Ok(())

@@ -45,7 +45,10 @@ impl std::fmt::Debug for MountedFs {
 impl MountedFs {
     /// Creates a mount table with `root` mounted at `/`.
     pub fn new(root: Arc<dyn FileSystem>) -> MountedFs {
-        MountedFs { root, mounts: RwLock::new(Vec::new()) }
+        MountedFs {
+            root,
+            mounts: RwLock::new(Vec::new()),
+        }
     }
 
     /// Mounts `fs` at `point` (an absolute path).  Longer mount points shadow
@@ -66,7 +69,7 @@ impl MountedFs {
         }
         mounts.push(Mount { point, fs });
         // Longest mount point first so resolution picks the most specific.
-        mounts.sort_by(|a, b| b.point.len().cmp(&a.point.len()));
+        mounts.sort_by_key(|m| std::cmp::Reverse(m.point.len()));
         Ok(())
     }
 
@@ -153,7 +156,13 @@ impl FileSystem for MountedFs {
             }
         }
         for name in self.mounts_directly_under(path) {
-            entries.insert(name.clone(), DirEntry { name, file_type: FileType::Directory });
+            entries.insert(
+                name.clone(),
+                DirEntry {
+                    name,
+                    file_type: FileType::Directory,
+                },
+            );
         }
         Ok(entries.into_values().collect())
     }

@@ -174,16 +174,17 @@ impl FileSystem for OverlayFs {
 
     fn read_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
         let upper = self.upper.read_dir(path);
-        let lower = if self.is_whited_out(path) { Err(Errno::ENOENT) } else { self.lower.read_dir(path) };
-        match (&upper, &lower) {
-            (Err(_), Err(e)) => {
-                // Keep directory-vs-file confusion errors from the upper layer.
-                if upper == Err(Errno::ENOTDIR) {
-                    return Err(Errno::ENOTDIR);
-                }
-                return Err(*e);
+        let lower = if self.is_whited_out(path) {
+            Err(Errno::ENOENT)
+        } else {
+            self.lower.read_dir(path)
+        };
+        if let (Err(_), Err(e)) = (&upper, &lower) {
+            // Keep directory-vs-file confusion errors from the upper layer.
+            if upper == Err(Errno::ENOTDIR) {
+                return Err(Errno::ENOTDIR);
             }
-            _ => {}
+            return Err(*e);
         }
         let mut merged: BTreeMap<String, DirEntry> = BTreeMap::new();
         if let Ok(entries) = lower {

@@ -108,8 +108,7 @@ pub fn strip_prefix(path: &str, prefix: &str) -> Option<String> {
     if path == prefix {
         return Some("/".to_owned());
     }
-    path.strip_prefix(&format!("{prefix}/"))
-        .map(|rest| format!("/{rest}"))
+    path.strip_prefix(&format!("{prefix}/")).map(|rest| format!("/{rest}"))
 }
 
 /// The file extension of `path` (without the dot), if any.

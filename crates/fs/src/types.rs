@@ -52,13 +52,25 @@ impl Metadata {
     /// Metadata for a fresh regular file of `size` bytes.
     pub fn regular(size: u64) -> Metadata {
         let now = now_millis();
-        Metadata { file_type: FileType::Regular, size, mode: 0o644, mtime_ms: now, atime_ms: now }
+        Metadata {
+            file_type: FileType::Regular,
+            size,
+            mode: 0o644,
+            mtime_ms: now,
+            atime_ms: now,
+        }
     }
 
     /// Metadata for a directory.
     pub fn directory() -> Metadata {
         let now = now_millis();
-        Metadata { file_type: FileType::Directory, size: 0, mode: 0o755, mtime_ms: now, atime_ms: now }
+        Metadata {
+            file_type: FileType::Directory,
+            size: 0,
+            mode: 0o755,
+            mtime_ms: now,
+            atime_ms: now,
+        }
     }
 
     /// Whether this node is a directory.
@@ -89,12 +101,18 @@ pub struct DirEntry {
 impl DirEntry {
     /// Creates a regular-file entry.
     pub fn file(name: &str) -> DirEntry {
-        DirEntry { name: name.to_owned(), file_type: FileType::Regular }
+        DirEntry {
+            name: name.to_owned(),
+            file_type: FileType::Regular,
+        }
     }
 
     /// Creates a directory entry.
     pub fn dir(name: &str) -> DirEntry {
-        DirEntry { name: name.to_owned(), file_type: FileType::Directory }
+        DirEntry {
+            name: name.to_owned(),
+            file_type: FileType::Directory,
+        }
     }
 }
 
@@ -144,23 +162,40 @@ impl OpenFlags {
 
     /// Read-only open.
     pub fn read_only() -> OpenFlags {
-        OpenFlags { read: true, ..OpenFlags::default() }
+        OpenFlags {
+            read: true,
+            ..OpenFlags::default()
+        }
     }
 
     /// Write-only open that creates and truncates — what `>` redirection and
     /// `fopen("w")` do.
     pub fn write_create_truncate() -> OpenFlags {
-        OpenFlags { write: true, create: true, truncate: true, ..OpenFlags::default() }
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..OpenFlags::default()
+        }
     }
 
     /// Append open that creates — what `>>` redirection does.
     pub fn append_create() -> OpenFlags {
-        OpenFlags { write: true, create: true, append: true, ..OpenFlags::default() }
+        OpenFlags {
+            write: true,
+            create: true,
+            append: true,
+            ..OpenFlags::default()
+        }
     }
 
     /// Read-write open.
     pub fn read_write() -> OpenFlags {
-        OpenFlags { read: true, write: true, ..OpenFlags::default() }
+        OpenFlags {
+            read: true,
+            write: true,
+            ..OpenFlags::default()
+        }
     }
 
     /// Parses Linux-style numeric `open(2)` flags.
@@ -250,7 +285,12 @@ mod tests {
             OpenFlags::write_create_truncate(),
             OpenFlags::append_create(),
             OpenFlags::read_write(),
-            OpenFlags { write: true, create: true, exclusive: true, ..OpenFlags::default() },
+            OpenFlags {
+                write: true,
+                create: true,
+                exclusive: true,
+                ..OpenFlags::default()
+            },
         ];
         for flags in variants {
             let bits = flags.to_bits();
@@ -276,7 +316,7 @@ mod tests {
 
     #[test]
     fn dir_entries_sort_by_name_then_type() {
-        let mut entries = vec![DirEntry::file("b"), DirEntry::dir("a")];
+        let mut entries = [DirEntry::file("b"), DirEntry::dir("a")];
         entries.sort();
         assert_eq!(entries[0].name, "a");
     }

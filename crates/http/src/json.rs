@@ -243,7 +243,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> JsonParseError {
-        JsonParseError { offset: self.pos, message: message.to_owned() }
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -328,8 +331,7 @@ impl<'a> Parser<'a> {
                             }
                             let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
                                 .map_err(|_| self.error("bad unicode escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("bad unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad unicode escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                             self.pos += 4;
                         }
@@ -339,8 +341,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| self.error("invalid utf-8"))?;
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -480,7 +481,10 @@ mod tests {
         assert_eq!(Json::from(3usize), Json::Number(3.0));
         assert_eq!(Json::from("s".to_string()), Json::String("s".into()));
         assert_eq!(
-            Json::from(vec!["a".to_string(), "b".to_string()]).as_array().unwrap().len(),
+            Json::from(vec!["a".to_string(), "b".to_string()])
+                .as_array()
+                .unwrap()
+                .len(),
             2
         );
     }

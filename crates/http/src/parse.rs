@@ -62,11 +62,7 @@ fn parse_headers(text: &str) -> Result<Headers, HttpParseError> {
 
 /// Result of trying to extract a body: either we need more bytes, or we have
 /// the body plus the total number of bytes consumed from `buf`.
-fn parse_body(
-    buf: &[u8],
-    header_end: usize,
-    headers: &Headers,
-) -> Result<Option<(Vec<u8>, usize)>, HttpParseError> {
+fn parse_body(buf: &[u8], header_end: usize, headers: &Headers) -> Result<Option<(Vec<u8>, usize)>, HttpParseError> {
     if headers.is_chunked() {
         let mut body = Vec::new();
         let mut pos = header_end;
@@ -80,8 +76,8 @@ fn parse_body(
                 .trim()
                 .to_owned();
             let size_field = size_text.split(';').next().unwrap_or("").trim();
-            let size = usize::from_str_radix(size_field, 16)
-                .map_err(|_| HttpParseError::BadChunk(size_text.clone()))?;
+            let size =
+                usize::from_str_radix(size_field, 16).map_err(|_| HttpParseError::BadChunk(size_text.clone()))?;
             let chunk_start = pos + line_end + 2;
             if size == 0 {
                 // Trailing CRLF after the last chunk.
@@ -145,7 +141,15 @@ pub fn parse_request_consumed(buf: &[u8]) -> Result<Option<(HttpRequest, usize)>
     let Some((body, consumed)) = parse_body(buf, header_end, &headers)? else {
         return Ok(None);
     };
-    Ok(Some((HttpRequest { method, path: path.to_owned(), headers, body }, consumed)))
+    Ok(Some((
+        HttpRequest {
+            method,
+            path: path.to_owned(),
+            headers,
+            body,
+        },
+        consumed,
+    )))
 }
 
 /// Attempts to parse a complete HTTP response from the front of `buf`.
@@ -176,7 +180,12 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<HttpResponse>, HttpParseError
     let Some((body, _consumed)) = parse_body(buf, header_end, &headers)? else {
         return Ok(None);
     };
-    Ok(Some(HttpResponse { status, reason: reason.to_owned(), headers, body }))
+    Ok(Some(HttpResponse {
+        status,
+        reason: reason.to_owned(),
+        headers,
+        body,
+    }))
 }
 
 #[cfg(test)]

@@ -141,7 +141,12 @@ pub struct HttpRequest {
 impl HttpRequest {
     /// Creates a new request with no headers and an empty body.
     pub fn new(method: Method, path: &str) -> HttpRequest {
-        HttpRequest { method, path: path.to_owned(), headers: Headers::new(), body: Vec::new() }
+        HttpRequest {
+            method,
+            path: path.to_owned(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Builder-style: attaches a body and sets `Content-Type`.
@@ -299,7 +304,14 @@ mod tests {
 
     #[test]
     fn methods_round_trip() {
-        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head, Method::Options] {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+            Method::Options,
+        ] {
             assert_eq!(Method::parse(m.as_str()), Some(m));
         }
         assert_eq!(Method::parse("PATCH"), None);
@@ -335,8 +347,8 @@ mod tests {
 
     #[test]
     fn request_serialization_includes_host_and_length() {
-        let req = HttpRequest::new(Method::Post, "/api/meme")
-            .with_body(b"{\"text\":\"hi\"}".to_vec(), "application/json");
+        let req =
+            HttpRequest::new(Method::Post, "/api/meme").with_body(b"{\"text\":\"hi\"}".to_vec(), "application/json");
         let bytes = req.serialize();
         let text = String::from_utf8_lossy(&bytes);
         assert!(text.starts_with("POST /api/meme HTTP/1.1\r\n"));

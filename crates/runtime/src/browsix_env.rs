@@ -149,8 +149,12 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
-        self.expect_int(Syscall::Open { path: path.to_owned(), flags, mode: 0o644 })
-            .map(|fd| fd as Fd)
+        self.expect_int(Syscall::Open {
+            path: path.to_owned(),
+            flags,
+            mode: 0o644,
+        })
+        .map(|fd| fd as Fd)
     }
 
     fn close(&mut self, fd: Fd) -> Result<(), Errno> {
@@ -177,13 +181,21 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno> {
-        self.expect_data(Syscall::Pread { fd, len: len as u32, offset })
+        self.expect_data(Syscall::Pread {
+            fd,
+            len: len as u32,
+            offset,
+        })
     }
 
     fn pwrite(&mut self, fd: Fd, data: &[u8], offset: u64) -> Result<usize, Errno> {
         let source = self.client.stage_write(data);
-        self.expect_int(Syscall::Pwrite { fd, data: source, offset })
-            .map(|n| n as usize)
+        self.expect_int(Syscall::Pwrite {
+            fd,
+            data: source,
+            offset,
+        })
+        .map(|n| n as usize)
     }
 
     fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
@@ -203,7 +215,10 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {
-        match self.client.call(Syscall::Stat { path: path.to_owned(), lstat: false }) {
+        match self.client.call(Syscall::Stat {
+            path: path.to_owned(),
+            lstat: false,
+        }) {
             SysResult::Stat(meta) => Ok(meta),
             SysResult::Err(e) => Err(e),
             _ => Err(Errno::EIO),
@@ -219,7 +234,10 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Mkdir { path: path.to_owned(), mode: 0o755 })
+        self.expect_ok(Syscall::Mkdir {
+            path: path.to_owned(),
+            mode: 0o755,
+        })
     }
 
     fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
@@ -231,19 +249,32 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Rename { from: from.to_owned(), to: to.to_owned() })
+        self.expect_ok(Syscall::Rename {
+            from: from.to_owned(),
+            to: to.to_owned(),
+        })
     }
 
     fn truncate(&mut self, path: &str, size: u64) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Truncate { path: path.to_owned(), size })
+        self.expect_ok(Syscall::Truncate {
+            path: path.to_owned(),
+            size,
+        })
     }
 
     fn access(&mut self, path: &str) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Access { path: path.to_owned(), mode: 0 })
+        self.expect_ok(Syscall::Access {
+            path: path.to_owned(),
+            mode: 0,
+        })
     }
 
     fn utimes(&mut self, path: &str, atime_ms: u64, mtime_ms: u64) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Utimes { path: path.to_owned(), atime_ms, mtime_ms })
+        self.expect_ok(Syscall::Utimes {
+            path: path.to_owned(),
+            atime_ms,
+            mtime_ms,
+        })
     }
 
     fn spawn(&mut self, path: &str, args: &[String], stdio: SpawnStdio) -> Result<u32, Errno> {
@@ -303,7 +334,8 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn fork(&mut self, image: Vec<u8>) -> Result<u32, Errno> {
-        self.expect_int(Syscall::Fork { image, resume_point: 0 }).map(|pid| pid as u32)
+        self.expect_int(Syscall::Fork { image, resume_point: 0 })
+            .map(|pid| pid as u32)
     }
 
     fn fork_image(&self) -> Option<Vec<u8>> {

@@ -77,7 +77,12 @@ impl SyscallClient {
     /// when the simulated browser supports shared memory, mirroring the
     /// Chrome-only status of SharedArrayBuffer at publication time.
     pub fn start(ctx: LaunchContext, prefer_sync: bool) -> (SyscallClient, ProcessStart) {
-        let LaunchContext { pid, config, kernel, scope } = ctx;
+        let LaunchContext {
+            pid,
+            config,
+            kernel,
+            scope,
+        } = ctx;
         let mut client = SyscallClient {
             pid,
             config,
@@ -186,7 +191,10 @@ impl SyscallClient {
                 precise_delay(self.config.post_cost(msg.byte_size()));
                 let _ = self.kernel.send(KernelEvent::Syscall {
                     pid: self.pid,
-                    transport: Transport::Async { seq: self.next_seq, msg },
+                    transport: Transport::Async {
+                        seq: self.next_seq,
+                        msg,
+                    },
                 });
             }
         }
@@ -199,7 +207,10 @@ impl SyscallClient {
         match (&self.mode, &self.sync) {
             (ClientMode::Sync, Some(state)) if data.len() <= SYNC_DATA_CAPACITY => {
                 let _ = state.sab.write_bytes(DATA_OFFSET, data);
-                browsix_core::ByteSource::SharedHeap { offset: DATA_OFFSET as u32, len: data.len() as u32 }
+                browsix_core::ByteSource::SharedHeap {
+                    offset: DATA_OFFSET as u32,
+                    len: data.len() as u32,
+                }
             }
             _ => browsix_core::ByteSource::Inline(data.to_vec()),
         }
@@ -222,7 +233,10 @@ impl SyscallClient {
         precise_delay(self.config.post_cost(msg.byte_size()));
         if self
             .kernel
-            .send(KernelEvent::Syscall { pid: self.pid, transport: Transport::Async { seq, msg } })
+            .send(KernelEvent::Syscall {
+                pid: self.pid,
+                transport: Transport::Async { seq, msg },
+            })
             .is_err()
         {
             self.terminated = true;
@@ -274,7 +288,10 @@ impl SyscallClient {
         precise_delay(self.config.post_cost(32));
         if self
             .kernel
-            .send(KernelEvent::Syscall { pid: self.pid, transport: Transport::Sync { call } })
+            .send(KernelEvent::Syscall {
+                pid: self.pid,
+                transport: Transport::Sync { call },
+            })
             .is_err()
         {
             self.terminated = true;
@@ -330,7 +347,13 @@ fn decode_init(msg: &Message) -> ProcessStart {
         image: bytes.to_vec(),
         resume_point: msg.get_int("fork_resume").unwrap_or(0) as u64,
     });
-    ProcessStart { args, env, cwd, blob_url, fork_image }
+    ProcessStart {
+        args,
+        env,
+        cwd,
+        blob_url,
+        fork_image,
+    }
 }
 
 #[cfg(test)]
@@ -375,9 +398,9 @@ mod tests {
 
     #[test]
     fn sync_layout_constants_are_consistent() {
-        assert!(RESP_OFFSET > WAKE_OFFSET + 4);
-        assert!(DATA_OFFSET > RESP_OFFSET);
-        assert!(SYNC_DATA_CAPACITY > 64 * 1024);
-        assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= SYNC_HEAP_BYTES);
+        const { assert!(RESP_OFFSET > WAKE_OFFSET + 4) };
+        const { assert!(DATA_OFFSET > RESP_OFFSET) };
+        const { assert!(SYNC_DATA_CAPACITY > 64 * 1024) };
+        const { assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= SYNC_HEAP_BYTES) };
     }
 }

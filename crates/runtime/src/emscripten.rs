@@ -55,7 +55,12 @@ impl EmscriptenLauncher {
             EmscriptenMode::AsmJs => ExecutionProfile::browsix_sync_asmjs(),
             EmscriptenMode::Emterpreter => ExecutionProfile::browsix_emterpreter(),
         };
-        EmscriptenLauncher { name, factory, mode, profile }
+        EmscriptenLauncher {
+            name,
+            factory,
+            mode,
+            profile,
+        }
     }
 
     /// Overrides the execution profile (used by functional tests to disable

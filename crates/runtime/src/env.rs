@@ -275,7 +275,11 @@ mod tests {
 
     #[test]
     fn waited_child_carries_exit_code() {
-        let child = WaitedChild { pid: 3, status: 2 << 8, exit_code: Some(2) };
+        let child = WaitedChild {
+            pid: 3,
+            status: 2 << 8,
+            exit_code: Some(2),
+        };
         assert_eq!(child.exit_code, Some(2));
         assert_eq!(child.pid, 3);
     }

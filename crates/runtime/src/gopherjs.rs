@@ -34,7 +34,11 @@ impl std::fmt::Debug for GopherJsLauncher {
 impl GopherJsLauncher {
     /// Creates a launcher with the calibrated GopherJS profile.
     pub fn new(name: &'static str, factory: GuestFactory) -> GopherJsLauncher {
-        GopherJsLauncher { name, factory, profile: ExecutionProfile::gopherjs() }
+        GopherJsLauncher {
+            name,
+            factory,
+            profile: ExecutionProfile::gopherjs(),
+        }
     }
 
     /// Overrides the execution profile.

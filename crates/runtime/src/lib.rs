@@ -29,8 +29,8 @@
 
 pub mod browsix_env;
 pub mod client;
-pub mod env;
 pub mod emscripten;
+pub mod env;
 pub mod gopherjs;
 pub mod native;
 pub mod nodejs;

@@ -30,11 +30,18 @@ struct NativePipe {
 /// What a native descriptor refers to.
 #[derive(Clone)]
 enum NativeFd {
-    File { path: String, flags: OpenFlags, offset: u64 },
+    File {
+        path: String,
+        flags: OpenFlags,
+        offset: u64,
+    },
     PipeRead(Arc<Mutex<NativePipe>>),
     PipeWrite(Arc<Mutex<NativePipe>>),
     Sink(Arc<Mutex<Vec<u8>>>),
-    Source { data: Arc<Vec<u8>>, pos: usize },
+    Source {
+        data: Arc<Vec<u8>>,
+        pos: usize,
+    },
     Null,
 }
 
@@ -80,7 +87,12 @@ impl NativeWorld {
     /// (typically [`ExecutionProfile::native`] or
     /// [`ExecutionProfile::nodejs_linux`]).
     pub fn new(fs: Arc<MountedFs>, profile: ExecutionProfile) -> NativeWorld {
-        NativeWorld { fs, table: ProgramTable::new(), profile, next_pid: Arc::new(AtomicU32::new(1)) }
+        NativeWorld {
+            fs,
+            table: ProgramTable::new(),
+            profile,
+            next_pid: Arc::new(AtomicU32::new(1)),
+        }
     }
 
     /// The program table; register guest programs here.
@@ -110,7 +122,13 @@ impl NativeWorld {
         let exit_code = match self.table.instantiate(path_or_name) {
             Some(mut program) => {
                 let mut env = NativeEnv::new(self.clone(), args, "/");
-                env.fds.insert(0, NativeFd::Source { data: Arc::new(stdin.to_vec()), pos: 0 });
+                env.fds.insert(
+                    0,
+                    NativeFd::Source {
+                        data: Arc::new(stdin.to_vec()),
+                        pos: 0,
+                    },
+                );
                 env.fds.insert(1, NativeFd::Sink(Arc::clone(&stdout)));
                 env.fds.insert(2, NativeFd::Sink(Arc::clone(&stderr)));
                 program.run(&mut env)
@@ -122,7 +140,11 @@ impl NativeWorld {
         };
         let stdout_bytes = stdout.lock().clone();
         let stderr_bytes = stderr.lock().clone();
-        NativeRunResult { exit_code, stdout: stdout_bytes, stderr: stderr_bytes }
+        NativeRunResult {
+            exit_code,
+            stdout: stdout_bytes,
+            stderr: stderr_bytes,
+        }
     }
 }
 
@@ -336,7 +358,9 @@ impl RuntimeEnv for NativeEnv {
     fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
         let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, offset: current, .. } => {
+            NativeFd::File {
+                path, offset: current, ..
+            } => {
                 let base = match whence {
                     0 => 0,
                     1 => *current as i64,
@@ -438,7 +462,11 @@ impl RuntimeEnv for NativeEnv {
         // single-program and simple-pipeline workloads).
         let code = program.run(&mut child);
         let child_pid = child.pid;
-        self.reaped.push(WaitedChild { pid: child_pid, status: (code & 0xff) << 8, exit_code: Some(code) });
+        self.reaped.push(WaitedChild {
+            pid: child_pid,
+            status: (code & 0xff) << 8,
+            exit_code: Some(code),
+        });
         Ok(child_pid)
     }
 
@@ -617,7 +645,10 @@ mod tests {
             .spawn(
                 "/usr/bin/child",
                 &["child".to_string()],
-                SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+                SpawnStdio {
+                    stdout: Some(write_fd),
+                    ..SpawnStdio::default()
+                },
             )
             .unwrap();
         let child = env.wait(pid as i32).unwrap();

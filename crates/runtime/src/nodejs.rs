@@ -34,7 +34,11 @@ impl std::fmt::Debug for NodeLauncher {
 impl NodeLauncher {
     /// Creates a launcher with the calibrated Browsix-async JavaScript profile.
     pub fn new(name: &'static str, factory: GuestFactory) -> NodeLauncher {
-        NodeLauncher { name, factory, profile: ExecutionProfile::browsix_async() }
+        NodeLauncher {
+            name,
+            factory,
+            profile: ExecutionProfile::browsix_async(),
+        }
     }
 
     /// Overrides the execution profile (tests disable compute injection).

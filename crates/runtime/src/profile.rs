@@ -185,8 +185,14 @@ mod tests {
         assert_eq!(ExecutionProfile::native().convention, SyscallConvention::Direct);
         assert_eq!(ExecutionProfile::nodejs_linux().convention, SyscallConvention::Direct);
         assert_eq!(ExecutionProfile::browsix_async().convention, SyscallConvention::Async);
-        assert_eq!(ExecutionProfile::browsix_sync_asmjs().convention, SyscallConvention::Sync);
-        assert_eq!(ExecutionProfile::browsix_emterpreter().convention, SyscallConvention::Async);
+        assert_eq!(
+            ExecutionProfile::browsix_sync_asmjs().convention,
+            SyscallConvention::Sync
+        );
+        assert_eq!(
+            ExecutionProfile::browsix_emterpreter().convention,
+            SyscallConvention::Async
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ where
 {
     /// Wraps a closure as a guest program.
     pub fn new(name: &str, func: F) -> FnProgram<F> {
-        FnProgram { name: name.to_owned(), func }
+        FnProgram {
+            name: name.to_owned(),
+            func,
+        }
     }
 }
 
@@ -99,9 +102,7 @@ impl ProgramTable {
 
     /// Registers a program at an absolute path.
     pub fn register(&self, path: &str, factory: GuestFactory) {
-        self.programs
-            .write()
-            .insert(browsix_fs::path::normalize(path), factory);
+        self.programs.write().insert(browsix_fs::path::normalize(path), factory);
     }
 
     /// Looks up a program by exact path, falling back to a basename match in

@@ -62,7 +62,9 @@ pub struct ScriptList {
 impl ScriptList {
     /// Whether the script contains no commands at all.
     pub fn is_empty(&self) -> bool {
-        self.entries.iter().all(|(_, p)| p.commands.iter().all(Command::is_empty))
+        self.entries
+            .iter()
+            .all(|(_, p)| p.commands.iter().all(Command::is_empty))
     }
 }
 
@@ -73,11 +75,20 @@ mod tests {
     #[test]
     fn emptiness_checks() {
         assert!(Command::default().is_empty());
-        let cmd = Command { words: vec!["ls".into()], ..Command::default() };
+        let cmd = Command {
+            words: vec!["ls".into()],
+            ..Command::default()
+        };
         assert!(!cmd.is_empty());
         assert!(ScriptList::default().is_empty());
         let script = ScriptList {
-            entries: vec![(ListOp::Always, Pipeline { commands: vec![cmd], background: false })],
+            entries: vec![(
+                ListOp::Always,
+                Pipeline {
+                    commands: vec![cmd],
+                    background: false,
+                },
+            )],
         };
         assert!(!script.is_empty());
     }

@@ -215,30 +215,26 @@ impl Shell {
                 let result = match redirect {
                     Redirect::Input(path) => {
                         let path = self.expand_word(env, path);
-                        env.open(&path, OpenFlags::read_only()).map(|fd| {
+                        env.open(&path, OpenFlags::read_only()).inspect(|&fd| {
                             stdio.stdin = Some(fd);
-                            fd
                         })
                     }
                     Redirect::Output(path) => {
                         let path = self.expand_word(env, path);
-                        env.open(&path, OpenFlags::write_create_truncate()).map(|fd| {
+                        env.open(&path, OpenFlags::write_create_truncate()).inspect(|&fd| {
                             stdio.stdout = Some(fd);
-                            fd
                         })
                     }
                     Redirect::Append(path) => {
                         let path = self.expand_word(env, path);
-                        env.open(&path, OpenFlags::append_create()).map(|fd| {
+                        env.open(&path, OpenFlags::append_create()).inspect(|&fd| {
                             stdio.stdout = Some(fd);
-                            fd
                         })
                     }
                     Redirect::Stderr(path) => {
                         let path = self.expand_word(env, path);
-                        env.open(&path, OpenFlags::write_create_truncate()).map(|fd| {
+                        env.open(&path, OpenFlags::write_create_truncate()).inspect(|&fd| {
                             stdio.stderr = Some(fd);
-                            fd
                         })
                     }
                 };
@@ -284,18 +280,17 @@ impl Shell {
         status
     }
 
-    fn spawn_command(
-        &mut self,
-        env: &mut dyn RuntimeEnv,
-        words: &[String],
-        stdio: SpawnStdio,
-    ) -> Result<u32, i32> {
+    fn spawn_command(&mut self, env: &mut dyn RuntimeEnv, words: &[String], stdio: SpawnStdio) -> Result<u32, i32> {
         let command = &words[0];
         let candidates: Vec<String> = if command.contains('/') {
             vec![command.clone()]
         } else {
             let path_var = self.lookup(env, "PATH");
-            let path_var = if path_var.is_empty() { "/usr/bin:/bin".to_owned() } else { path_var };
+            let path_var = if path_var.is_empty() {
+                "/usr/bin:/bin".to_owned()
+            } else {
+                path_var
+            };
             path_var
                 .split(':')
                 .filter(|dir| !dir.is_empty())
@@ -378,7 +373,9 @@ fn glob(env: &mut dyn RuntimeEnv, pattern: &str) -> Vec<String> {
     };
     let list_dir = if dir.is_empty() { "." } else { dir.trim_end_matches('/') };
     let list_dir = if list_dir.is_empty() { "/" } else { list_dir };
-    let Ok(entries) = env.readdir(list_dir) else { return Vec::new() };
+    let Ok(entries) = env.readdir(list_dir) else {
+        return Vec::new();
+    };
     let mut matches: Vec<String> = entries
         .into_iter()
         .filter(|entry| browsix_fs::path::glob_match(file_pattern, &entry.name))
@@ -415,7 +412,11 @@ mod tests {
         // world's runner instead.
         let result = world.run_with_stdin("sh", &["sh"], script.as_bytes());
         let _ = (&mut env, &mut shell);
-        (result.exit_code, result.stdout_string(), String::from_utf8_lossy(&result.stderr).into_owned())
+        (
+            result.exit_code,
+            result.stdout_string(),
+            String::from_utf8_lossy(&result.stderr).into_owned(),
+        )
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { message: "unterminated single quote".into() });
+                    return Err(LexError {
+                        message: "unterminated single quote".into(),
+                    });
                 }
             }
             '"' => {
@@ -132,7 +134,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { message: "unterminated double quote".into() });
+                    return Err(LexError {
+                        message: "unterminated double quote".into(),
+                    });
                 }
             }
             '\\' => {

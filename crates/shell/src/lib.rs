@@ -72,18 +72,19 @@ pub fn shell_program() -> GuestFactory {
 /// Registers the shell at `/bin/sh` and `/bin/dash` in a kernel registry and
 /// as the `sh`/`dash` interpreters for shebang scripts.  The shell is a C
 /// program in the paper, so it runs under the Emscripten launcher.
-pub fn register_browsix(
-    registry: &browsix_core::ExecutableRegistry,
-    profile: browsix_runtime::ExecutionProfile,
-) {
+pub fn register_browsix(registry: &browsix_core::ExecutableRegistry, profile: browsix_runtime::ExecutionProfile) {
     use browsix_runtime::{EmscriptenLauncher, EmscriptenMode};
     use std::sync::Arc;
-    let launcher = Arc::new(
-        EmscriptenLauncher::new("dash", shell_program(), EmscriptenMode::Emterpreter)
-            .with_profile(profile),
+    let launcher =
+        Arc::new(EmscriptenLauncher::new("dash", shell_program(), EmscriptenMode::Emterpreter).with_profile(profile));
+    registry.register(
+        "/bin/sh",
+        Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>,
     );
-    registry.register("/bin/sh", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
-    registry.register("/bin/dash", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
+    registry.register(
+        "/bin/dash",
+        Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>,
+    );
     registry.register_interpreter("sh", Arc::clone(&launcher) as Arc<dyn browsix_core::ProgramLauncher>);
     registry.register_interpreter("dash", launcher as Arc<dyn browsix_core::ProgramLauncher>);
 }

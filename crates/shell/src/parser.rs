@@ -93,7 +93,9 @@ impl Parser {
                 }
                 None => break,
                 Some(other) => {
-                    return Err(ParseError { message: format!("unexpected token {other:?}") });
+                    return Err(ParseError {
+                        message: format!("unexpected token {other:?}"),
+                    });
                 }
             }
         }
@@ -106,14 +108,21 @@ impl Parser {
             self.next();
             let command = self.parse_command()?;
             if command.is_empty() {
-                return Err(ParseError { message: "missing command after '|'".into() });
+                return Err(ParseError {
+                    message: "missing command after '|'".into(),
+                });
             }
             commands.push(command);
         }
         if commands[0].is_empty() && commands.len() > 1 {
-            return Err(ParseError { message: "missing command before '|'".into() });
+            return Err(ParseError {
+                message: "missing command before '|'".into(),
+            });
         }
-        Ok(Pipeline { commands, background: false })
+        Ok(Pipeline {
+            commands,
+            background: false,
+        })
     }
 
     fn parse_command(&mut self) -> Result<Command, ParseError> {
@@ -121,7 +130,9 @@ impl Parser {
         loop {
             match self.peek() {
                 Some(Token::Word(_)) => {
-                    let Some(Token::Word(word)) = self.next() else { unreachable!() };
+                    let Some(Token::Word(word)) = self.next() else {
+                        unreachable!()
+                    };
                     // Leading NAME=value words are assignments.
                     if command.words.is_empty() {
                         if let Some((name, value)) = split_assignment(&word) {
@@ -137,7 +148,9 @@ impl Parser {
                 | Some(Token::RedirectErr) => {
                     let kind = self.next().unwrap();
                     let Some(Token::Word(target)) = self.next() else {
-                        return Err(ParseError { message: "missing redirect target".into() });
+                        return Err(ParseError {
+                            message: "missing redirect target".into(),
+                        });
                     };
                     command.redirects.push(match kind {
                         Token::RedirectIn => Redirect::Input(target),
@@ -155,12 +168,13 @@ impl Parser {
 }
 
 /// Splits `NAME=value` into its parts if `NAME` is a valid variable name.
-fn split_assignment(word: &str) -> Option<(String, String)> {
+/// This is the single definition of what counts as an assignment word; the
+/// terminal reuses it to keep its cross-line environment in sync with the
+/// shell's own assignment handling.
+pub fn split_assignment(word: &str) -> Option<(String, String)> {
     let (name, value) = word.split_once('=')?;
     if name.is_empty()
-        || !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         || name.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
     {
         return None;

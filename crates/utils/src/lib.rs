@@ -67,8 +67,8 @@ mod tests {
     fn the_paper_utilities_are_all_present() {
         let names = utility_names();
         for expected in [
-            "cat", "cp", "curl", "echo", "grep", "head", "ls", "mkdir", "rm", "rmdir", "sha1sum",
-            "sort", "stat", "tail", "tee", "touch", "wc", "xargs", "true", "false", "pwd",
+            "cat", "cp", "curl", "echo", "grep", "head", "ls", "mkdir", "rm", "rmdir", "sha1sum", "sort", "stat",
+            "tail", "tee", "touch", "wc", "xargs", "true", "false", "pwd",
         ] {
             assert!(names.contains(&expected), "missing utility {expected}");
         }
@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn registration_installs_all_utilities() {
         let registry = ExecutableRegistry::new();
-        register_browsix(&registry, ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async));
+        register_browsix(
+            &registry,
+            ExecutionProfile::instant(browsix_runtime::SyscallConvention::Async),
+        );
         assert!(registry.lookup("/usr/bin/ls").is_some());
         assert!(registry.lookup("/usr/bin/sha1sum").is_some());
         assert_eq!(registry.len(), utility_names().len());

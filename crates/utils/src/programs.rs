@@ -177,7 +177,11 @@ fn run_grep(env: &mut dyn RuntimeEnv) -> i32 {
     let ignore_case = has_flag(&flags, 'i');
     let invert = has_flag(&flags, 'v');
     let count_only = has_flag(&flags, 'c');
-    let needle = if ignore_case { pattern.to_lowercase() } else { pattern.clone() };
+    let needle = if ignore_case {
+        pattern.to_lowercase()
+    } else {
+        pattern.clone()
+    };
     let (data, read_code) = read_inputs(env, "grep", &operands[1..]);
     charge_for_bytes(env, data.len());
     let mut matched = 0usize;
@@ -208,12 +212,12 @@ fn run_grep(env: &mut dyn RuntimeEnv) -> i32 {
 
 fn run_head(env: &mut dyn RuntimeEnv) -> i32 {
     let args = env.args();
-    let count: usize = flag_value(&args, 'n').and_then(|v| v.parse().ok()).unwrap_or(10);
+    let count_arg = flag_value(&args, 'n');
+    let count: usize = count_arg.as_deref().and_then(|v| v.parse().ok()).unwrap_or(10);
     let (_, operands) = split_args(&args);
-    let operands: Vec<String> = operands.into_iter().filter(|o| o.parse::<usize>().is_err() || !o.is_empty()).collect();
     let files: Vec<String> = operands
         .into_iter()
-        .filter(|o| flag_value(&args, 'n').as_deref() != Some(o.as_str()))
+        .filter(|o| count_arg.as_deref() != Some(o.as_str()))
         .collect();
     let (data, code) = read_inputs(env, "head", &files);
     charge_for_bytes(env, data.len());
@@ -268,16 +272,10 @@ fn run_ls(env: &mut dyn RuntimeEnv) -> i32 {
                         if long {
                             let child = format!("{}/{}", target.trim_end_matches('/'), entry.name);
                             let meta = env.stat(&child).ok();
-                            let (size, mode, kind) = meta
-                                .map(|m| (m.size, m.mode, m.file_type))
-                                .unwrap_or((0, 0, FileType::Regular));
-                            output.push_str(&format!(
-                                "{}{:o} {:>8} {}\n",
-                                kind.type_char(),
-                                mode,
-                                size,
-                                entry.name
-                            ));
+                            let (size, mode, kind) =
+                                meta.map(|m| (m.size, m.mode, m.file_type))
+                                    .unwrap_or((0, 0, FileType::Regular));
+                            output.push_str(&format!("{}{:o} {:>8} {}\n", kind.type_char(), mode, size, entry.name));
                         } else {
                             output.push_str(&entry.name);
                             output.push('\n');
@@ -322,7 +320,11 @@ fn run_mkdir(env: &mut dyn RuntimeEnv) -> i32 {
                 } else {
                     current = format!("{current}/{part}");
                 }
-                let target = if absolute { format!("/{current}") } else { current.clone() };
+                let target = if absolute {
+                    format!("/{current}")
+                } else {
+                    current.clone()
+                };
                 match env.mkdir(&target) {
                     Ok(()) => {}
                     Err(browsix_core::Errno::EEXIST) => {}
@@ -361,7 +363,11 @@ fn run_rm(env: &mut dyn RuntimeEnv) -> i32 {
     let force = has_flag(&flags, 'f');
     let mut code = 0;
     for target in &operands {
-        let result = if recursive { remove_recursive(env, target) } else { env.unlink(target) };
+        let result = if recursive {
+            remove_recursive(env, target)
+        } else {
+            env.unlink(target)
+        };
         if let Err(e) = result {
             if !force {
                 env.eprint(&format!("rm: {target}: {e}\n"));
@@ -491,7 +497,11 @@ fn run_tee(env: &mut dyn RuntimeEnv) -> i32 {
     let _ = env.write(1, &data);
     let mut code = 0;
     for path in &operands {
-        let flags = if append { OpenFlags::append_create() } else { OpenFlags::write_create_truncate() };
+        let flags = if append {
+            OpenFlags::append_create()
+        } else {
+            OpenFlags::write_create_truncate()
+        };
         match env.open(path, flags) {
             Ok(fd) => {
                 let _ = env.write(fd, &data);
@@ -568,7 +578,11 @@ fn run_xargs(env: &mut dyn RuntimeEnv) -> i32 {
         .collect();
     let mut argv: Vec<String> = operands.to_vec();
     argv.extend(extra);
-    let path = if command.contains('/') { command.clone() } else { format!("/usr/bin/{command}") };
+    let path = if command.contains('/') {
+        command.clone()
+    } else {
+        format!("/usr/bin/{command}")
+    };
     match env.spawn(&path, &argv, SpawnStdio::inherit()) {
         Ok(pid) => match env.wait(pid as i32) {
             Ok(child) => child.exit_code.unwrap_or(1),
@@ -592,7 +606,8 @@ mod tests {
     fn world() -> NativeWorld {
         let fs = Arc::new(MountedFs::new(Arc::new(MemFs::new())));
         fs.mkdir("/docs").unwrap();
-        fs.write_file("/docs/fruit.txt", b"apple\nbanana\nApple pie\ncherry\n").unwrap();
+        fs.write_file("/docs/fruit.txt", b"apple\nbanana\nApple pie\ncherry\n")
+            .unwrap();
         fs.write_file("/docs/numbers.txt", b"10\n2\n33\n4\n").unwrap();
         fs.mkdir("/usr").unwrap();
         fs.mkdir("/usr/bin").unwrap();
@@ -708,7 +723,9 @@ mod tests {
         let expected = sha1_hex(&vec![7u8; 4096]);
         assert!(out.stdout_string().starts_with(&expected));
         let out = w.run_with_stdin("sha1sum", &["sha1sum"], b"abc");
-        assert!(out.stdout_string().starts_with("a9993e364706816aba3e25717850c26c9cd0d89d"));
+        assert!(out
+            .stdout_string()
+            .starts_with("a9993e364706816aba3e25717850c26c9cd0d89d"));
         assert_eq!(w.run("sha1sum", &["sha1sum", "/nope"]).exit_code, 1);
     }
 

@@ -83,10 +83,10 @@ mod tests {
     #[test]
     fn padding_boundaries() {
         // Lengths straddling the 55/56/64-byte padding boundaries.
-        assert_eq!(sha1_hex(&vec![0u8; 55]).len(), 40);
-        assert_ne!(sha1_hex(&vec![0u8; 55]), sha1_hex(&vec![0u8; 56]));
-        assert_ne!(sha1_hex(&vec![0u8; 63]), sha1_hex(&vec![0u8; 64]));
-        assert_ne!(sha1_hex(&vec![0u8; 64]), sha1_hex(&vec![0u8; 65]));
+        assert_eq!(sha1_hex(&[0u8; 55]).len(), 40);
+        assert_ne!(sha1_hex(&[0u8; 55]), sha1_hex(&[0u8; 56]));
+        assert_ne!(sha1_hex(&[0u8; 63]), sha1_hex(&[0u8; 64]));
+        assert_ne!(sha1_hex(&[0u8; 64]), sha1_hex(&[0u8; 65]));
     }
 
     #[test]

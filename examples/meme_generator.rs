@@ -16,7 +16,11 @@ fn main() {
     println!("available backgrounds (served by {route:?}): {backgrounds:?}");
 
     let (route, meme) = client
-        .generate("grumpy-cat.png", "I DO NOT ALWAYS RUN SERVERS", "BUT WHEN I DO, IT IS IN A BROWSER")
+        .generate(
+            "grumpy-cat.png",
+            "I DO NOT ALWAYS RUN SERVERS",
+            "BUT WHEN I DO, IT IS IN A BROWSER",
+        )
         .expect("generate meme");
     println!("generated a {}-byte meme via {route:?}", meme.len());
 

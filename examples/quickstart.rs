@@ -12,10 +12,7 @@ fn main() {
     // Boot the kernel with the coreutils and the dash-like shell registered.
     // The "instant" profile disables the calibrated JavaScript cost model so
     // the example is snappy; benchmarks use the calibrated profiles.
-    let kernel = boot_standard_kernel(
-        default_config(),
-        ExecutionProfile::instant(SyscallConvention::Async),
-    );
+    let kernel = boot_standard_kernel(default_config(), ExecutionProfile::instant(SyscallConvention::Async));
 
     // The embedding application shares the kernel's file system directly.
     kernel.fs().mkdir("/home/demo").unwrap();

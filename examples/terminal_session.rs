@@ -8,10 +8,7 @@ use browsix_apps::{boot_standard_kernel, default_config, Terminal};
 use browsix_runtime::{ExecutionProfile, SyscallConvention};
 
 fn main() {
-    let kernel = boot_standard_kernel(
-        default_config(),
-        ExecutionProfile::instant(SyscallConvention::Async),
-    );
+    let kernel = boot_standard_kernel(default_config(), ExecutionProfile::instant(SyscallConvention::Async));
     let mut terminal = Terminal::new(kernel);
 
     let session = r#"

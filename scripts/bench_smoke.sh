@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Benchmark smoke baseline: proves the perf targets still compile and records
+# one fast criterion group as JSON for BENCH_*.json trajectory tracking.
+#
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_smoke.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Resolve to an absolute path: cargo runs benches from the bench crate's
+# directory, so a relative BROWSIX_BENCH_JSON would land there instead.
+out="${1:-BENCH_smoke.json}"
+case "$out" in
+/*) ;;
+*) out="$PWD/$out" ;;
+esac
+
+echo "== compiling all bench targets (cargo bench --no-run) =="
+cargo bench --no-run
+
+echo "== running the 'filesystem' criterion group =="
+rm -f "$out"
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench fs -- filesystem
+
+echo "== baseline written to $out =="
+cat "$out"

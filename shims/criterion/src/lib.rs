@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Exposes the API subset the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_custom`,
+//! `BenchmarkId`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros) and measures with a simple mean-of-samples loop rather than
+//! criterion's statistical machinery.  Results print to stdout; setting
+//! `BROWSIX_BENCH_JSON=<path>` additionally appends one JSON object per
+//! benchmark to that file so scripts can track timings over time.
+//!
+//! A substring filter can be passed on the command line exactly as with the
+//! real criterion harness: `cargo bench -- memfs` runs only benchmarks whose
+//! `group/name` id contains `memfs`.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark: a function name plus a
+/// parameter rendering, formatted as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one iteration, filled in by `iter`/`iter_custom`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting the mean over a small number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Hands full timing control to the routine: it receives an iteration
+    /// count and returns the total elapsed time for that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let total = routine(self.samples);
+        self.mean = total / self.samples.max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // The statistical harness needs tens of samples; the shim's plain
+        // mean converges with far fewer, so cap the work.
+        self.sample_size = (samples as u64).clamp(1, 10);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&full_id, bencher.mean);
+        self
+    }
+
+    pub fn bench_with_input<S: fmt::Display, I: ?Sized, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&full_id, bencher.mean);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, mean: Duration) {
+        let mut line = format!("{id:<50} time: {:>12.3} µs", mean.as_secs_f64() * 1e6);
+        if let Some(throughput) = self.throughput {
+            let per_second = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+            match throughput {
+                Throughput::Bytes(bytes) => {
+                    let _ = write!(line, "  thrpt: {:.1} MiB/s", per_second(bytes) / (1 << 20) as f64);
+                }
+                Throughput::Elements(elements) => {
+                    let _ = write!(line, "  thrpt: {:.0} elem/s", per_second(elements));
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.record_json(id, mean, self.throughput);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any trailing user filter; the
+        // first non-flag argument is treated as a substring filter, as the
+        // real harness does.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Self {
+            filter,
+            json_path: std::env::var("BROWSIX_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 3,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let mut bencher = Bencher {
+                samples: 3,
+                mean: Duration::ZERO,
+            };
+            f(&mut bencher);
+            println!("{id:<50} time: {:>12.3} µs", bencher.mean.as_secs_f64() * 1e6);
+            self.record_json(id, bencher.mean, None);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|filter| id.contains(filter))
+    }
+
+    fn record_json(&mut self, id: &str, mean: Duration, throughput: Option<Throughput>) {
+        let Some(path) = &self.json_path else { return };
+        let throughput_field = match throughput {
+            Some(Throughput::Bytes(bytes)) => format!(",\"bytes\":{bytes}"),
+            Some(Throughput::Elements(elements)) => format!(",\"elements\":{elements}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"id\":\"{id}\",\"mean_ns\":{}{throughput_field}}}\n",
+            mean.as_nanos()
+        );
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

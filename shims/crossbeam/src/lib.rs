@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided — a multi-producer multi-consumer
+//! channel with cloneable senders *and* receivers, matching the subset of the
+//! real crate's semantics this workspace relies on (disconnect detection,
+//! `recv_timeout`, bounded back-pressure).
+
+pub mod channel;

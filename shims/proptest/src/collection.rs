@@ -1,0 +1,25 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s whose length is drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.end.saturating_sub(self.size.start);
+        let len = self.size.start + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,28 @@
+//! Sampling helpers: `prop::sample::Index`.
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+
+/// An index into a collection of as-yet-unknown size, resolved with
+/// [`Index::index`] once the length is known.
+#[derive(Clone, Copy, Debug)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Maps this sample onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero, as in real proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Self { raw: rng.next_u64() }
+    }
+}

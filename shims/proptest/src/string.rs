@@ -1,0 +1,251 @@
+//! String generation from a small regex subset.
+//!
+//! Supports the patterns this workspace's tests use:
+//!
+//! * literal characters, including escaped ones (`\.`)
+//! * character classes `[a-z0-9._ -]` with ranges; a `-` adjacent to a
+//!   bracket is literal (`[ -~]` is a range, `[a-z-]` ends with a literal)
+//! * groups `( ... )`
+//! * quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded forms capped at 8
+//!   repetitions)
+//!
+//! Unsupported syntax (alternation, anchors, backreferences) panics so a new
+//! test pattern fails loudly instead of silently generating garbage.
+
+use crate::test_runner::TestRng;
+
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let consumed = generate_sequence(&chars, 0, rng, &mut out, false);
+    assert_eq!(
+        consumed,
+        chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at offset {consumed}"
+    );
+    out
+}
+
+/// Generates from a sequence of atoms starting at `pos`; stops at end of
+/// input or, when `in_group` is set, at the matching `)`.  Returns the index
+/// one past the consumed input (past the `)` for groups).
+fn generate_sequence(chars: &[char], mut pos: usize, rng: &mut TestRng, out: &mut String, in_group: bool) -> usize {
+    while pos < chars.len() {
+        if chars[pos] == ')' {
+            assert!(in_group, "unsupported regex: unmatched ')'");
+            return pos + 1;
+        }
+        pos = generate_atom(chars, pos, rng, out);
+    }
+    assert!(!in_group, "unsupported regex: unterminated group");
+    pos
+}
+
+/// Generates one atom (with its quantifier, if any) starting at `pos`.
+fn generate_atom(chars: &[char], pos: usize, rng: &mut TestRng, out: &mut String) -> usize {
+    let atom_start = pos;
+    // First parse the atom's extent without emitting, by generating into a
+    // scratch buffer per repetition below.
+    let after_atom = skip_atom(chars, pos);
+    let (repeat_min, repeat_max, after_quantifier) = parse_quantifier(chars, after_atom);
+    let span = (repeat_max - repeat_min + 1) as u64;
+    let count = repeat_min + rng.below(span) as u32;
+    for _ in 0..count {
+        emit_atom_once(&chars[atom_start..after_atom], rng, out);
+    }
+    after_quantifier
+}
+
+/// Returns the index one past a single atom starting at `pos`.
+fn skip_atom(chars: &[char], pos: usize) -> usize {
+    match chars[pos] {
+        '\\' => pos + 2,
+        '[' => {
+            let mut i = pos + 1;
+            while i < chars.len() && chars[i] != ']' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            assert!(i < chars.len(), "unsupported regex: unterminated class");
+            i + 1
+        }
+        '(' => {
+            let mut depth = 1;
+            let mut i = pos + 1;
+            while i < chars.len() && depth > 0 {
+                match chars[i] {
+                    '\\' => i += 1,
+                    '(' => depth += 1,
+                    ')' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            assert!(depth == 0, "unsupported regex: unterminated group");
+            i
+        }
+        '|' | '^' | '$' => panic!("unsupported regex syntax at {pos}: {:?}", chars[pos]),
+        _ => pos + 1,
+    }
+}
+
+/// Emits one instance of the atom in `atom` (already stripped of any
+/// quantifier).
+fn emit_atom_once(atom: &[char], rng: &mut TestRng, out: &mut String) {
+    match atom[0] {
+        '\\' => out.push(atom[1]),
+        '[' => out.push(pick_from_class(&atom[1..atom.len() - 1], rng)),
+        '(' => {
+            let inner = &atom[1..];
+            let consumed = generate_sequence(inner, 0, rng, out, true);
+            debug_assert_eq!(consumed, inner.len());
+        }
+        c => out.push(c),
+    }
+}
+
+/// Picks a uniform character from a class body (the text between brackets).
+fn pick_from_class(body: &[char], rng: &mut TestRng) -> char {
+    assert!(!body.is_empty(), "unsupported regex: empty class");
+    assert!(body[0] != '^', "unsupported regex: negated class");
+    let mut choices: Vec<(char, char)> = Vec::new();
+    let mut total: u64 = 0;
+    let mut i = 0;
+    while i < body.len() {
+        let mut low = body[i];
+        if low == '\\' {
+            i += 1;
+            low = body[i];
+        }
+        // A `-` forms a range only when flanked by characters on both sides.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let high = body[i + 2];
+            assert!(low <= high, "unsupported regex: descending class range");
+            choices.push((low, high));
+            total += (high as u64) - (low as u64) + 1;
+            i += 3;
+        } else {
+            choices.push((low, low));
+            total += 1;
+            i += 1;
+        }
+    }
+    let mut pick = rng.below(total);
+    for (low, high) in choices {
+        let size = (high as u64) - (low as u64) + 1;
+        if pick < size {
+            return char::from_u32(low as u32 + pick as u32).expect("class range within Unicode");
+        }
+        pick -= size;
+    }
+    unreachable!("pick bounded by total")
+}
+
+/// Parses a quantifier at `pos`, returning `(min, max, next_pos)`.
+fn parse_quantifier(chars: &[char], pos: usize) -> (u32, u32, usize) {
+    const UNBOUNDED_CAP: u32 = 8;
+    if pos >= chars.len() {
+        return (1, 1, pos);
+    }
+    match chars[pos] {
+        '?' => (0, 1, pos + 1),
+        '*' => (0, UNBOUNDED_CAP, pos + 1),
+        '+' => (1, UNBOUNDED_CAP, pos + 1),
+        '{' => {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|offset| pos + offset)
+                .expect("unsupported regex: unterminated quantifier");
+            let body: String = chars[pos + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((min, "")) => {
+                    let min: u32 = min.parse().expect("quantifier bound");
+                    (min, min.max(UNBOUNDED_CAP))
+                }
+                Some((min, max)) => (
+                    min.parse().expect("quantifier bound"),
+                    max.parse().expect("quantifier bound"),
+                ),
+                None => {
+                    let exact = body.parse().expect("quantifier bound");
+                    (exact, exact)
+                }
+            };
+            assert!(min <= max, "unsupported regex: descending quantifier");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = rng();
+        for case in 0..200 {
+            let mut case_rng = TestRng::for_case("class", case);
+            let s = generate_from_pattern("[a-z]{1,8}", &mut case_rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let empty_ok = generate_from_pattern("[a-z./]{0,40}", &mut rng);
+        assert!(empty_ok.len() <= 40);
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        for case in 0..100 {
+            let mut case_rng = TestRng::for_case("ascii", case);
+            let s = generate_from_pattern("[ -~]{0,32}", &mut case_rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for case in 0..100 {
+            let mut case_rng = TestRng::for_case("dash", case);
+            let s = generate_from_pattern("[a-z0-9._-]{1,10}", &mut case_rng);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantified_group() {
+        for case in 0..100 {
+            let mut case_rng = TestRng::for_case("group", case);
+            let s = generate_from_pattern("(/[a-z]{1,8}){0,4}", &mut case_rng);
+            if !s.is_empty() {
+                assert!(s.starts_with('/'), "{s:?}");
+            }
+            assert!(s.split('/').skip(1).all(|part| (1..=8).contains(&part.len())), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut r = rng();
+        assert_eq!(generate_from_pattern("abc", &mut r), "abc");
+        assert_eq!(generate_from_pattern(r"a\.b", &mut r), "a.b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn alternation_panics() {
+        generate_from_pattern("a|b", &mut rng());
+    }
+}

@@ -28,7 +28,8 @@ fn node_process_writes_files_and_stdout() {
         "writer",
         guest("writer", |env: &mut dyn RuntimeEnv| {
             env.mkdir("/out").unwrap();
-            env.write_file("/out/result.txt", b"computed by a browsix process").unwrap();
+            env.write_file("/out/result.txt", b"computed by a browsix process")
+                .unwrap();
             env.print("done\n");
             0
         }),
@@ -76,11 +77,10 @@ fn async_and_sync_conventions_produce_identical_results() {
             EmscriptenMode::AsmJs => SyscallConvention::Sync,
             EmscriptenMode::Emterpreter => SyscallConvention::Async,
         }));
-        let kernel = boot_with("cprog", Arc::new(EmscriptenLauncher::new(
+        let kernel = boot_with(
             "cprog",
-            guest("unused", |_| 0),
-            mode,
-        )));
+            Arc::new(EmscriptenLauncher::new("cprog", guest("unused", |_| 0), mode)),
+        );
         // Replace registration with the real launcher (constructed above).
         kernel.registry().register("/usr/bin/cprog", Arc::new(launcher));
         let handle = kernel.spawn("/usr/bin/cprog", &["cprog"], &[]).unwrap();
@@ -150,7 +150,10 @@ fn pipes_connect_parent_and_child_processes() {
                         .spawn(
                             "/usr/bin/producer",
                             &["producer".to_string()],
-                            SpawnStdio { stdout: Some(write_fd), ..SpawnStdio::default() },
+                            SpawnStdio {
+                                stdout: Some(write_fd),
+                                ..SpawnStdio::default()
+                            },
                         )
                         .unwrap();
                     env.close(write_fd).unwrap();
@@ -282,8 +285,7 @@ fn wait_reports_child_exit_codes_and_echild_when_no_children() {
     kernel.registry().register(
         "/usr/bin/failing",
         Arc::new(
-            NodeLauncher::new("failing", guest("failing", |_env: &mut dyn RuntimeEnv| 3))
-                .with_profile(instant_async()),
+            NodeLauncher::new("failing", guest("failing", |_env: &mut dyn RuntimeEnv| 3)).with_profile(instant_async()),
         ),
     );
     kernel.registry().register(
