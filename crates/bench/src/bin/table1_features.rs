@@ -1,7 +1,9 @@
 //! Regenerates Table 1: the feature comparison of execution environments and
 //! language runtimes, and verifies the BROWSIX row by exercising each feature.
+//! Also reports what the verification run cost the kernel: system calls by
+//! Figure 3 class and the submission batch-size histogram.
 
-use browsix_bench::{environment_feature_table, features::verify_browsix_row, print_table};
+use browsix_bench::{environment_feature_table, features::verify_browsix_row_with_stats, print_table};
 
 fn main() {
     let rows: Vec<Vec<String>> = environment_feature_table().iter().map(|row| row.cells()).collect();
@@ -18,9 +20,38 @@ fn main() {
         ],
         &rows,
     );
-    let verified = verify_browsix_row();
+    let (verified, stats) = verify_browsix_row_with_stats();
     println!(
         "\nVerified against running code (a Browsix process exercised each feature): {}",
         verified.join(", ")
+    );
+
+    let class_rows: Vec<Vec<String>> = stats
+        .syscalls_by_class
+        .iter()
+        .map(|(class, count)| vec![class.clone(), count.to_string()])
+        .collect();
+    print_table(
+        "Verification run — system calls by class",
+        &["Class", "Calls"],
+        &class_rows,
+    );
+
+    let histogram_rows: Vec<Vec<String>> = stats
+        .batch_size_histogram
+        .iter()
+        .map(|(size, count)| vec![size.to_string(), count.to_string()])
+        .collect();
+    print_table(
+        "Verification run — submission batch sizes",
+        &["Entries/batch", "Batches"],
+        &histogram_rows,
+    );
+    println!(
+        "{} syscalls in {} batches (mean {:.2} entries/batch, max {})",
+        stats.total_syscalls,
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.max_batch_size()
     );
 }

@@ -133,6 +133,13 @@ pub fn environment_feature_table() -> Vec<FeatureRow> {
 /// repository actually provides, by exercising each feature end to end.
 /// Returns the list of verified feature names.
 pub fn verify_browsix_row() -> Vec<&'static str> {
+    verify_browsix_row_with_stats().0
+}
+
+/// Like [`verify_browsix_row`], additionally returning the kernel-statistics
+/// snapshot taken after the probe ran, so drivers can report the per-class
+/// syscall counters and the submission batch-size histogram.
+pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::KernelStats) {
     use browsix_core::{BootConfig, Kernel};
     use browsix_runtime::{guest, ExecutionProfile, NodeLauncher, RuntimeEnv, SyscallConvention};
     use std::sync::Arc;
@@ -182,8 +189,9 @@ pub fn verify_browsix_row() -> Vec<&'static str> {
             "signals",
         ]);
     }
+    let stats = kernel.stats();
     kernel.shutdown();
-    verified
+    (verified, stats)
 }
 
 #[cfg(test)]

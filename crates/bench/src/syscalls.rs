@@ -168,10 +168,17 @@ mod tests {
     }
 
     #[test]
-    fn every_representative_call_encodes_for_the_async_convention() {
-        for call in representative_syscalls() {
-            let msg = call.to_message();
-            assert_eq!(Syscall::from_message(&msg).unwrap().name(), call.name());
+    fn every_representative_call_round_trips_through_the_wire_codec() {
+        use browsix_core::SyscallBatch;
+        // One batch holding the entire inventory: every call must survive the
+        // single codec both conventions share.
+        let batch = SyscallBatch {
+            entries: representative_syscalls(),
+        };
+        let decoded = SyscallBatch::decode(&batch.encode()).unwrap();
+        for (decoded_call, call) in decoded.entries.iter().zip(representative_syscalls()) {
+            assert_eq!(decoded_call.name(), call.name());
         }
+        assert_eq!(decoded, batch);
     }
 }

@@ -112,11 +112,11 @@ impl std::fmt::Debug for HostRequest {
 
 /// An event on the kernel's queue.
 pub enum KernelEvent {
-    /// A system call issued by a process.
+    /// A submission batch of system calls issued by a process.
     Syscall {
         /// The calling process.
         pid: Pid,
-        /// How the call travelled (and how to reply).
+        /// How the batch travelled (and how to reply).
         transport: Transport,
     },
     /// A process registering its shared heap for synchronous system calls
@@ -157,8 +157,7 @@ impl std::fmt::Debug for KernelEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::syscall::Syscall;
-    use browsix_browser::Message;
+    use crate::syscall::{Syscall, SyscallBatch};
     use crossbeam::channel::unbounded;
 
     #[test]
@@ -169,7 +168,9 @@ mod tests {
 
         let event = KernelEvent::Syscall {
             pid: 2,
-            transport: Transport::Sync { call: Syscall::GetPid },
+            transport: Transport::Sync {
+                payload: SyscallBatch::single(Syscall::GetPid).encode(),
+            },
         };
         assert_eq!(format!("{event:?}"), "Syscall(pid=2, sync)");
 
@@ -177,7 +178,7 @@ mod tests {
             pid: 3,
             transport: Transport::Async {
                 seq: 1,
-                msg: Message::Null,
+                payload: Vec::new(),
             },
         };
         assert!(format!("{event:?}").contains("async"));

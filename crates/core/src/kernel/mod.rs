@@ -27,22 +27,19 @@ use crate::pipe::PipeTable;
 use crate::signals::{Signal, SignalDisposition};
 use crate::socket::SocketTable;
 use crate::stats::KernelStats;
-use crate::syscall::{encode_wait_status, SysResult, Syscall, Transport};
-use crate::task::{Pid, SyncHeap, Task, TaskState};
+use crate::syscall::{encode_wait_status, Completion, CompletionBatch, SysResult, Syscall, Transport};
+use crate::task::{InflightBatch, Pid, SyncHeap, Task, TaskState};
 
 pub(crate) use pending::{HttpClientState, PendingKind, PendingSyscall};
 
-/// How to deliver a system call's result back to the calling process.
+/// Where a system call's result belongs: the slot of its entry within the
+/// submission batch it arrived in.  The transport convention (and, for the
+/// asynchronous convention, the reply sequence number) lives on the task's
+/// [`InflightBatch`], so the two conventions share one completion path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReplyTo {
-    /// Asynchronous convention: post a response message carrying `seq`.
-    Async {
-        /// The sequence number the caller is waiting for.
-        seq: u64,
-    },
-    /// Synchronous convention: write into the caller's shared heap and notify
-    /// its wake address.
-    Sync,
+pub struct ReplyTo {
+    /// Index of the entry within its submission batch.
+    pub index: u32,
 }
 
 /// The outcome of dispatching a system call.
@@ -157,22 +154,55 @@ impl KernelState {
     // ---- system-call entry ---------------------------------------------------
 
     fn handle_syscall(&mut self, pid: Pid, transport: Transport) {
-        let (call, reply, copied) = match transport {
-            Transport::Async { seq, msg } => match Syscall::from_message(&msg) {
-                Some(call) => (call, ReplyTo::Async { seq }, msg.byte_size()),
-                None => return,
-            },
-            Transport::Sync { call } => (call, ReplyTo::Sync, 0),
+        let sync = transport.is_sync();
+        let wire_bytes = transport.payload_len();
+        let seq = match &transport {
+            Transport::Async { seq, .. } => *seq,
+            Transport::Sync { .. } => 0,
         };
         if !self.tasks.contains_key(&pid) {
             return;
         }
-        self.stats.record_syscall(call.name(), reply == ReplyTo::Sync, copied);
-        let outcome = self.dispatch(pid, reply, call);
-        match outcome {
-            Outcome::Complete(result) => self.complete(pid, reply, result),
-            Outcome::Blocked | Outcome::NoReply => {}
+        let Some(batch) = transport.decode_batch() else {
+            // An undecodable frame (corruption, codec-version skew) must
+            // still produce a reply: a sync-convention process has already
+            // armed its wake word and would otherwise hang forever.
+            let error = CompletionBatch {
+                completions: vec![Completion {
+                    index: 0,
+                    result: SysResult::Err(Errno::EINVAL),
+                }],
+            };
+            self.deliver_payload(pid, sync, seq, error.encode());
+            return;
+        };
+        if batch.is_empty() {
+            return;
         }
+        self.stats.record_batch(batch.len(), sync, wire_bytes);
+        if let Some(task) = self.tasks.get_mut(&pid) {
+            task.inflight = Some(InflightBatch {
+                seq,
+                sync,
+                total: batch.len() as u32,
+                completions: Vec::with_capacity(batch.len()),
+            });
+        }
+        for (index, call) in batch.entries.into_iter().enumerate() {
+            if !self.tasks.get(&pid).map(Task::is_running).unwrap_or(false) {
+                return;
+            }
+            self.stats.record_syscall(call.name(), call.class(), sync);
+            let reply = ReplyTo { index: index as u32 };
+            match self.dispatch(pid, reply, call) {
+                Outcome::Complete(result) => self.record_completion(pid, reply, result),
+                // Blocked entries peel off into the pending list and complete
+                // individually; `exit` consumes the rest of the batch.
+                Outcome::Blocked => {}
+                Outcome::NoReply => return,
+            }
+        }
+        self.maybe_deliver_batch(pid);
     }
 
     fn dispatch(&mut self, pid: Pid, reply: ReplyTo, call: Syscall) -> Outcome {
@@ -234,27 +264,59 @@ impl KernelState {
 
     // ---- reply paths ---------------------------------------------------------
 
-    /// Delivers a result to a process over whichever convention it used.
+    /// Completes one batch entry (used by the pending list when a blocked
+    /// entry finally finishes) and delivers the batch if it was the last one.
     pub(crate) fn complete(&mut self, pid: Pid, reply: ReplyTo, result: SysResult) {
-        match reply {
-            ReplyTo::Async { seq } => {
-                let msg = Message::map()
-                    .with("type", "syscall-response")
-                    .with("seq", seq as i64)
-                    .with("result", result.to_message());
-                self.post_to_worker(pid, msg);
-            }
-            ReplyTo::Sync => {
-                let Some(task) = self.tasks.get(&pid) else { return };
-                let Some(heap) = task.sync_heap.clone() else { return };
-                let encoded = result.encode_bytes();
-                // [u32 length][payload] at resp_offset, then wake the process.
-                let _ = heap
-                    .sab
-                    .write_bytes(heap.resp_offset, &(encoded.len() as u32).to_le_bytes());
-                let _ = heap.sab.write_bytes(heap.resp_offset + 4, &encoded);
-                let _ = heap.sab.store_and_notify(heap.wake_offset, 1);
-            }
+        self.record_completion(pid, reply, result);
+        self.maybe_deliver_batch(pid);
+    }
+
+    /// Files an entry's result into the task's in-flight batch.
+    fn record_completion(&mut self, pid: Pid, reply: ReplyTo, result: SysResult) {
+        let Some(task) = self.tasks.get_mut(&pid) else { return };
+        let Some(inflight) = task.inflight.as_mut() else { return };
+        inflight.completions.push(Completion {
+            index: reply.index,
+            result,
+        });
+    }
+
+    /// Delivers the task's in-flight batch once every entry has completed:
+    /// one response message (asynchronous convention) or one shared-heap
+    /// write + notify (synchronous convention), either way carrying the same
+    /// encoded [`CompletionBatch`] frame.  The receiving client places each
+    /// completion by its index, so no ordering is imposed here.
+    fn maybe_deliver_batch(&mut self, pid: Pid) {
+        let Some(task) = self.tasks.get_mut(&pid) else { return };
+        if !task.inflight.as_ref().map(InflightBatch::is_complete).unwrap_or(false) {
+            return;
+        }
+        let inflight = task.inflight.take().expect("checked above");
+        let payload = CompletionBatch {
+            completions: inflight.completions,
+        }
+        .encode();
+        self.deliver_payload(pid, inflight.sync, inflight.seq, payload);
+    }
+
+    /// Sends an encoded [`CompletionBatch`] frame over the given convention.
+    fn deliver_payload(&mut self, pid: Pid, sync: bool, seq: u64, payload: Vec<u8>) {
+        if sync {
+            let Some(heap) = self.tasks.get(&pid).and_then(|t| t.sync_heap.clone()) else {
+                return;
+            };
+            // [u32 length][frame] at resp_offset, then wake the process.
+            let _ = heap
+                .sab
+                .write_bytes(heap.resp_offset, &(payload.len() as u32).to_le_bytes());
+            let _ = heap.sab.write_bytes(heap.resp_offset + 4, &payload);
+            let _ = heap.sab.store_and_notify(heap.wake_offset, 1);
+        } else {
+            let msg = Message::map()
+                .with("type", "syscall-response")
+                .with("seq", seq as i64)
+                .with("completions", payload);
+            self.post_to_worker(pid, msg);
         }
     }
 

@@ -51,6 +51,7 @@ pub mod socket;
 pub mod stats;
 pub mod syscall;
 pub mod task;
+pub mod wire;
 
 pub use events::{HostRequest, KernelEvent, OutputSink};
 pub use exec::{ExecutableRegistry, ForkImage, LaunchContext, ProcessStart, ProgramLauncher};
@@ -58,7 +59,7 @@ pub use fd::{Fd, FdTable, OpenFile};
 pub use hostapi::{BootConfig, ExitStatus, Kernel, ProcessHandle};
 pub use signals::{Signal, SignalDisposition};
 pub use stats::KernelStats;
-pub use syscall::{ByteSource, SysResult, Syscall, Transport};
+pub use syscall::{ByteSource, Completion, CompletionBatch, SysResult, Syscall, SyscallBatch, Transport};
 pub use task::{Pid, TaskState};
 
 /// Re-export of the error type shared with the file system layer.

@@ -1,7 +1,8 @@
 //! Kernel statistics.
 //!
 //! The evaluation needs to know what the kernel actually did: how many system
-//! calls were issued over each convention, how many bytes were copied between
+//! calls were issued over each convention and in each Figure 3 class, how
+//! large the submission batches were, how many bytes were copied between
 //! heaps, how many processes ran.  [`KernelStats`] is the snapshot handed to
 //! the host through the statistics host request.
 
@@ -12,12 +13,18 @@ use std::collections::BTreeMap;
 pub struct KernelStats {
     /// System calls by name.
     pub syscalls_by_name: BTreeMap<String, u64>,
+    /// System calls by Figure 3 class ("File IO", "Process Management", ...).
+    pub syscalls_by_class: BTreeMap<String, u64>,
     /// Total system calls.
     pub total_syscalls: u64,
     /// Calls made over the asynchronous (message-passing) convention.
     pub async_syscalls: u64,
     /// Calls made over the synchronous (shared-memory) convention.
     pub sync_syscalls: u64,
+    /// Submission batches received (each carries one or more calls).
+    pub batches: u64,
+    /// Histogram of submission-batch sizes: entries-per-batch → batch count.
+    pub batch_size_histogram: BTreeMap<u32, u64>,
     /// Bytes of system-call arguments and results copied between heaps by the
     /// asynchronous convention's structured clones.
     pub bytes_copied: u64,
@@ -32,15 +39,26 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Records a system call arriving at the kernel.
-    pub fn record_syscall(&mut self, name: &str, synchronous: bool, copied_bytes: usize) {
+    /// Records a submission batch arriving at the kernel.  `wire_bytes` is the
+    /// size of the encoded frame, charged as copy cost only for the
+    /// asynchronous convention (the synchronous frame lives in shared memory).
+    pub fn record_batch(&mut self, entries: usize, synchronous: bool, wire_bytes: usize) {
+        self.batches += 1;
+        *self.batch_size_histogram.entry(entries as u32).or_insert(0) += 1;
+        if !synchronous {
+            self.bytes_copied += wire_bytes as u64;
+        }
+    }
+
+    /// Records one system call dispatched from a batch.
+    pub fn record_syscall(&mut self, name: &str, class: &str, synchronous: bool) {
         *self.syscalls_by_name.entry(name.to_owned()).or_insert(0) += 1;
+        *self.syscalls_by_class.entry(class.to_owned()).or_insert(0) += 1;
         self.total_syscalls += 1;
         if synchronous {
             self.sync_syscalls += 1;
         } else {
             self.async_syscalls += 1;
-            self.bytes_copied += copied_bytes as u64;
         }
     }
 
@@ -56,10 +74,29 @@ impl KernelStats {
         self.syscalls_by_name.get(name).copied().unwrap_or(0)
     }
 
+    /// The count for a Figure 3 class.
+    pub fn class_count(&self, class: &str) -> u64 {
+        self.syscalls_by_class.get(class).copied().unwrap_or(0)
+    }
+
     /// The distinct system calls observed, sorted by name (used to regenerate
     /// Figure 3).
     pub fn observed_syscalls(&self) -> Vec<String> {
         self.syscalls_by_name.keys().cloned().collect()
+    }
+
+    /// Mean entries per submission batch (0.0 before any batch arrives).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_syscalls as f64 / self.batches as f64
+        }
+    }
+
+    /// The largest submission batch seen so far.
+    pub fn max_batch_size(&self) -> u32 {
+        self.batch_size_histogram.keys().max().copied().unwrap_or(0)
     }
 }
 
@@ -68,19 +105,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_split_by_convention() {
+    fn records_split_by_convention_and_class() {
         let mut stats = KernelStats::default();
-        stats.record_syscall("open", false, 120);
-        stats.record_syscall("read", false, 40);
-        stats.record_syscall("read", true, 0);
+        stats.record_batch(2, false, 120);
+        stats.record_syscall("open", "File IO", false);
+        stats.record_syscall("read", "File IO", false);
+        stats.record_batch(1, true, 64);
+        stats.record_syscall("read", "File IO", true);
         assert_eq!(stats.total_syscalls, 3);
         assert_eq!(stats.async_syscalls, 2);
         assert_eq!(stats.sync_syscalls, 1);
-        assert_eq!(stats.bytes_copied, 160);
+        assert_eq!(stats.bytes_copied, 120, "sync frames are not structured-clone copied");
         assert_eq!(stats.count("read"), 2);
         assert_eq!(stats.count("open"), 1);
         assert_eq!(stats.count("write"), 0);
+        assert_eq!(stats.class_count("File IO"), 3);
+        assert_eq!(stats.class_count("Sockets"), 0);
         assert_eq!(stats.observed_syscalls(), vec!["open".to_string(), "read".to_string()]);
+    }
+
+    #[test]
+    fn batch_histogram_tracks_sizes() {
+        let mut stats = KernelStats::default();
+        stats.record_batch(1, false, 10);
+        stats.record_batch(1, false, 10);
+        stats.record_batch(8, false, 200);
+        for _ in 0..10 {
+            stats.record_syscall("write", "File IO", false);
+        }
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.batch_size_histogram.get(&1), Some(&2));
+        assert_eq!(stats.batch_size_histogram.get(&8), Some(&1));
+        assert_eq!(stats.max_batch_size(), 8);
+        let mean = stats.mean_batch_size();
+        assert!((mean - 10.0 / 3.0).abs() < 1e-9, "mean was {mean}");
     }
 
     #[test]
@@ -97,6 +155,9 @@ mod tests {
         let stats = KernelStats::default();
         assert_eq!(stats.total_syscalls, 0);
         assert_eq!(stats.processes_spawned, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.mean_batch_size(), 0.0);
+        assert_eq!(stats.max_batch_size(), 0);
         assert!(stats.observed_syscalls().is_empty());
     }
 }

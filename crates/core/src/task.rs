@@ -15,6 +15,7 @@ use browsix_browser::{SharedArrayBuffer, Worker};
 use crate::exec::ProgramLauncher;
 use crate::fd::FdTable;
 use crate::signals::Signal;
+use crate::syscall::Completion;
 
 /// A process identifier.
 pub type Pid = u32;
@@ -44,6 +45,31 @@ pub struct SyncHeap {
     pub wake_offset: usize,
 }
 
+/// Bookkeeping for the submission batch the task currently has in flight.
+///
+/// A process issues at most one batch at a time (its runtime blocks until the
+/// batch completes), so the kernel tracks completions here and delivers them
+/// all at once — a single reply message or a single shared-heap write —
+/// when the last entry finishes.
+#[derive(Debug)]
+pub struct InflightBatch {
+    /// Sequence number the reply must carry (asynchronous convention only).
+    pub seq: u64,
+    /// Whether the batch arrived over the synchronous convention.
+    pub sync: bool,
+    /// Number of entries the batch was submitted with.
+    pub total: u32,
+    /// Completions collected so far, in completion (not submission) order.
+    pub completions: Vec<Completion>,
+}
+
+impl InflightBatch {
+    /// Whether every entry has completed and the batch can be delivered.
+    pub fn is_complete(&self) -> bool {
+        self.completions.len() as u32 >= self.total
+    }
+}
+
 /// A kernel task.
 pub struct Task {
     /// Process id.
@@ -67,6 +93,8 @@ pub struct Task {
     pub signal_handlers: HashSet<Signal>,
     /// Registered shared heap for synchronous system calls.
     pub sync_heap: Option<SyncHeap>,
+    /// The submission batch currently awaiting delivery of its completions.
+    pub inflight: Option<InflightBatch>,
     /// Child process ids (live or zombie).
     pub children: Vec<Pid>,
     /// Argument vector the task was started with.
@@ -105,6 +133,7 @@ impl Task {
             worker: None,
             signal_handlers: HashSet::new(),
             sync_heap: None,
+            inflight: None,
             children: Vec::new(),
             args: Vec::new(),
             env: Vec::new(),

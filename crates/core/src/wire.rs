@@ -1,0 +1,185 @@
+//! Primitives for the system-call wire codec.
+//!
+//! Every frame that crosses the process↔kernel boundary — submission batches
+//! and completion batches, over either transport convention — is built from
+//! the little-endian primitives here: fixed-width integers, booleans, and
+//! `u32`-length-prefixed byte strings.  Keeping the primitives in one place is
+//! what lets [`syscall`](crate::syscall) have exactly one codec for both the
+//! asynchronous (structured-clone message) and synchronous (shared-heap)
+//! conventions.
+
+/// A cursor over an encoded frame.  Every accessor returns `None` on
+/// truncated or malformed input instead of panicking, so decoding a hostile
+/// or corrupt frame degrades to "not a system call".
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Whether the whole frame has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a boolean encoded as one byte.
+    pub fn bool(&mut self) -> Option<bool> {
+        self.u8().map(|b| b != 0)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Option<i32> {
+        self.u32().map(|v| v as i32)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+}
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+/// Appends a boolean as one byte.
+pub fn put_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(value as u8);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, value: u16) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `i32`.
+pub fn put_i32(out: &mut Vec<u8>, value: i32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, value: i64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u32`-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, value: &[u8]) {
+    put_u32(out, value.len() as u32);
+    out.extend_from_slice(value);
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, value: &str) {
+    put_bytes(out, value.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_bool(&mut out, true);
+        put_u16(&mut out, 65535);
+        put_u32(&mut out, 123_456);
+        put_i32(&mut out, -5);
+        put_u64(&mut out, u64::MAX);
+        put_i64(&mut out, -9_000_000_000);
+        put_bytes(&mut out, b"abc");
+        put_str(&mut out, "/usr/bin");
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.u16(), Some(65535));
+        assert_eq!(r.u32(), Some(123_456));
+        assert_eq!(r.i32(), Some(-5));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.i64(), Some(-9_000_000_000));
+        assert_eq!(r.bytes(), Some(&b"abc"[..]));
+        assert_eq!(r.str(), Some("/usr/bin"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_yields_none() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), None);
+        let mut r = Reader::new(&[255, 255, 255, 255]);
+        assert_eq!(r.bytes(), None, "length prefix larger than the frame");
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.u8(), None);
+        assert!(r.is_empty());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &[0xff, 0xfe]);
+        assert_eq!(Reader::new(&out).str(), None);
+    }
+}

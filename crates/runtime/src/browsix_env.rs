@@ -2,12 +2,17 @@
 //! guest program sees when it actually runs as a Browsix process inside a
 //! worker.
 
-use browsix_core::{Errno, Signal, SysResult, Syscall};
+use browsix_core::{Errno, Signal, SysResult, Syscall, SyscallBatch};
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::client::SyscallClient;
 use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
 use crate::profile::ExecutionProfile;
+
+/// Stdout writes below this size are coalesced into one buffered syscall;
+/// once the buffer reaches it, the buffer is flushed.  Chosen well under the
+/// shared-heap data area so a flush always stages in one piece.
+const STDOUT_BUFFER_LIMIT: usize = 32 * 1024;
 
 /// Runs one guest program as a Browsix process: waits for the init message,
 /// builds the environment, runs the program and issues the final `exit`
@@ -37,6 +42,10 @@ pub struct BrowsixEnv {
     cwd: String,
     fork_image: Option<Vec<u8>>,
     exited: Option<i32>,
+    /// Small stdout writes accumulate here and go to the kernel as one write
+    /// syscall, flushed at the buffer limit, before operations whose ordering
+    /// could observe stdout (reads, spawns, waits, fd-1 plumbing) and at exit.
+    stdout_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for BrowsixEnv {
@@ -65,6 +74,7 @@ impl BrowsixEnv {
             cwd: start.cwd,
             fork_image: start.fork_image.map(|f| f.image),
             exited: None,
+            stdout_buf: Vec::new(),
         }
     }
 
@@ -76,10 +86,12 @@ impl BrowsixEnv {
 
     /// Issues the final `exit` system call, as Browsix runtimes must do
     /// explicitly because the worker cannot otherwise signal completion.
+    /// Buffered stdout is flushed first so no output is lost.
     pub fn exit_process(&mut self, code: i32) {
         if self.finished() {
             return;
         }
+        let _ = self.flush_stdout();
         self.exited = Some(code);
         self.client.send_only(Syscall::Exit { code });
     }
@@ -87,6 +99,22 @@ impl BrowsixEnv {
     /// The underlying client (used by tests to inspect the convention).
     pub fn client(&self) -> &SyscallClient {
         &self.client
+    }
+
+    /// Writes straight through to the kernel, bypassing the stdout buffer.
+    fn write_through(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        let mut written = 0;
+        while written < data.len() {
+            let chunk_len = (data.len() - written).min(self.client.max_staged_write());
+            let chunk = &data[written..written + chunk_len];
+            let source = self.client.stage_write(chunk);
+            let count = self.expect_int(Syscall::Write { fd, data: source })? as usize;
+            if count == 0 {
+                break;
+            }
+            written += count;
+        }
+        Ok(written)
     }
 
     fn expect_int(&mut self, call: Syscall) -> Result<i64, Errno> {
@@ -158,26 +186,87 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn close(&mut self, fd: Fd) -> Result<(), Errno> {
+        if fd == 1 {
+            let _ = self.flush_stdout();
+        }
         self.expect_ok(Syscall::Close { fd })
     }
 
     fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno> {
+        // Anything read may depend on output we have buffered (a pipe fed by
+        // a child of ours, for example), so reads flush first.  A flush
+        // failure (stdout's pipe gone, say) is stdout's problem, not this
+        // read's.
+        let _ = self.flush_stdout();
         self.expect_data(Syscall::Read { fd, len: len as u32 })
     }
 
     fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
-        let mut written = 0;
-        while written < data.len() {
-            let chunk_len = (data.len() - written).min(self.client.max_staged_write());
-            let chunk = &data[written..written + chunk_len];
-            let source = self.client.stage_write(chunk);
-            let count = self.expect_int(Syscall::Write { fd, data: source })? as usize;
-            if count == 0 {
-                break;
+        // Small stdout writes coalesce in the buffer; large ones (and every
+        // other descriptor) go straight through.
+        if fd == 1 {
+            if data.len() >= STDOUT_BUFFER_LIMIT {
+                self.flush_stdout()?;
+                return self.write_through(fd, data);
             }
-            written += count;
+            self.stdout_buf.extend_from_slice(data);
+            if self.stdout_buf.len() >= STDOUT_BUFFER_LIMIT {
+                self.flush_stdout()?;
+            }
+            return Ok(data.len());
         }
-        Ok(written)
+        self.write_through(fd, data)
+    }
+
+    fn write_vectored(&mut self, fd: Fd, bufs: &[&[u8]]) -> Result<usize, Errno> {
+        if bufs.is_empty() {
+            return Ok(0);
+        }
+        if fd == 1 {
+            self.flush_stdout()?;
+        }
+        // One submission per shared-heap-capacity's worth of buffers: every
+        // write in a chunk is staged back to back and the whole chunk crosses
+        // to the kernel in a single round trip.
+        let capacity = self.client.max_staged_write();
+        let mut total = 0usize;
+        let mut start = 0usize;
+        while start < bufs.len() {
+            let mut end = start;
+            let mut staged = 0usize;
+            while end < bufs.len() && (end == start || staged + bufs[end].len() <= capacity) {
+                staged += bufs[end].len();
+                end += 1;
+            }
+            let sources = self.client.stage_writes(&bufs[start..end]);
+            let mut batch = SyscallBatch::new();
+            for source in sources {
+                batch.push(Syscall::Write { fd, data: source });
+            }
+            for result in self.client.submit(batch) {
+                match result {
+                    SysResult::Int(count) => total += count as usize,
+                    SysResult::Ok => {}
+                    SysResult::Err(e) => {
+                        if total == 0 {
+                            return Err(e);
+                        }
+                        return Ok(total);
+                    }
+                    _ => return Err(Errno::EIO),
+                }
+            }
+            start = end;
+        }
+        Ok(total)
+    }
+
+    fn flush_stdout(&mut self) -> Result<(), Errno> {
+        if self.stdout_buf.is_empty() {
+            return Ok(());
+        }
+        let data = std::mem::take(&mut self.stdout_buf);
+        self.write_through(1, &data).map(|_| ())
     }
 
     fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno> {
@@ -199,10 +288,16 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
+        if fd == 1 {
+            let _ = self.flush_stdout();
+        }
         self.expect_int(Syscall::Seek { fd, offset, whence }).map(|n| n as u64)
     }
 
     fn dup2(&mut self, from: Fd, to: Fd) -> Result<(), Errno> {
+        if from == 1 || to == 1 {
+            let _ = self.flush_stdout();
+        }
         self.expect_ok(Syscall::Dup2 { from, to })
     }
 
@@ -278,6 +373,9 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn spawn(&mut self, path: &str, args: &[String], stdio: SpawnStdio) -> Result<u32, Errno> {
+        // Children may share our stdout; anything we printed must precede
+        // anything they print.
+        let _ = self.flush_stdout();
         self.expect_int(Syscall::Spawn {
             path: path.to_owned(),
             args: args.to_vec(),
@@ -289,6 +387,7 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn wait(&mut self, pid: i32) -> Result<WaitedChild, Errno> {
+        let _ = self.flush_stdout();
         match self.client.call(Syscall::Wait4 { pid, options: 0 }) {
             SysResult::Wait { pid, status } => Ok(WaitedChild {
                 pid,
@@ -301,6 +400,7 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn wait_nohang(&mut self, pid: i32) -> Result<Option<WaitedChild>, Errno> {
+        let _ = self.flush_stdout();
         match self.client.call(Syscall::Wait4 { pid, options: 1 }) {
             SysResult::Wait { pid: 0, .. } => Ok(None),
             SysResult::Wait { pid, status } => Ok(Some(WaitedChild {
@@ -321,6 +421,69 @@ impl RuntimeEnv for BrowsixEnv {
         }
     }
 
+    fn close_many(&mut self, fds: &[Fd]) -> Result<(), Errno> {
+        if fds.is_empty() {
+            return Ok(());
+        }
+        if fds.contains(&1) {
+            let _ = self.flush_stdout();
+        }
+        let mut batch = SyscallBatch::new();
+        for &fd in fds {
+            batch.push(Syscall::Close { fd });
+        }
+        let mut first_error = Ok(());
+        for result in self.client.submit(batch) {
+            if let SysResult::Err(e) = result {
+                if first_error.is_ok() {
+                    first_error = Err(e);
+                }
+            }
+        }
+        first_error
+    }
+
+    fn pipe_many(&mut self, count: usize) -> Result<Vec<(Fd, Fd)>, Errno> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let mut batch = SyscallBatch::new();
+        for _ in 0..count {
+            batch.push(Syscall::Pipe2);
+        }
+        let mut pairs = Vec::with_capacity(count);
+        for result in self.client.submit(batch) {
+            match result {
+                SysResult::Pair(read_fd, write_fd) => pairs.push((read_fd as Fd, write_fd as Fd)),
+                SysResult::Err(e) => return Err(e),
+                _ => return Err(Errno::EIO),
+            }
+        }
+        Ok(pairs)
+    }
+
+    fn stat_many(&mut self, paths: &[&str]) -> Vec<Result<Metadata, Errno>> {
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        let mut batch = SyscallBatch::new();
+        for path in paths {
+            batch.push(Syscall::Stat {
+                path: (*path).to_owned(),
+                lstat: false,
+            });
+        }
+        self.client
+            .submit(batch)
+            .into_iter()
+            .map(|result| match result {
+                SysResult::Stat(meta) => Ok(meta),
+                SysResult::Err(e) => Err(e),
+                _ => Err(Errno::EIO),
+            })
+            .collect()
+    }
+
     fn kill(&mut self, pid: u32, signal: Signal) -> Result<(), Errno> {
         self.expect_ok(Syscall::Kill { pid, signal })
     }
@@ -334,6 +497,7 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn fork(&mut self, image: Vec<u8>) -> Result<u32, Errno> {
+        let _ = self.flush_stdout();
         self.expect_int(Syscall::Fork { image, resume_point: 0 })
             .map(|pid| pid as u32)
     }

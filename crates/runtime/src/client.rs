@@ -2,16 +2,21 @@
 //!
 //! This is the "common services" syscall layer of §4.2: a typed API over the
 //! browser's message-passing primitives that language runtimes use to talk to
-//! the shared kernel.  It implements both conventions from §3.2:
+//! the shared kernel.  Calls are issued as [`SyscallBatch`] submissions —
+//! [`SyscallClient::submit`] sends a whole batch in one round trip and
+//! returns one result per entry; [`SyscallClient::call`] is the one-entry
+//! convenience.  Both transport conventions from §3.2 carry the same encoded
+//! frames:
 //!
-//! * **asynchronous** — the call is structured-clone encoded and posted to the
-//!   kernel; the worker then waits for the matching response message.  Every
-//!   buffer is copied twice.
+//! * **asynchronous** — the encoded batch is posted to the kernel inside a
+//!   structured-clone message; the worker then waits for the single response
+//!   message carrying the encoded completion batch.  The clone cost is paid
+//!   once per batch instead of once per call.
 //! * **synchronous** — at startup the client allocates a `SharedArrayBuffer`
 //!   heap and registers it (plus a response offset and a wake address) with
-//!   the kernel.  Calls carry only integers; bulk data is copied directly
-//!   between the kernel and the shared heap, and the worker blocks in
-//!   `Atomics.wait` until the kernel stores the result and notifies it.
+//!   the kernel.  Submissions carry only integers; bulk data is staged in the
+//!   shared heap, and the worker blocks in `Atomics.wait` until the kernel
+//!   writes the encoded completion batch into the heap and notifies it.
 
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
@@ -19,7 +24,7 @@ use std::time::Duration;
 use browsix_browser::time::precise_delay;
 use browsix_browser::{AtomicsWaitResult, Message, PlatformConfig, SharedArrayBuffer, WorkerScope};
 use browsix_core::exec::{ForkImage, LaunchContext, ProcessStart};
-use browsix_core::{Errno, KernelEvent, Signal, SysResult, Syscall, Transport};
+use browsix_core::{CompletionBatch, Errno, KernelEvent, Signal, SysResult, Syscall, SyscallBatch, Transport};
 use crossbeam::channel::Sender;
 
 /// Size of the shared heap allocated for synchronous system calls.
@@ -32,6 +37,9 @@ const RESP_OFFSET: usize = 64;
 const DATA_OFFSET: usize = 256 * 1024;
 /// Capacity of the outgoing-data area.
 pub const SYNC_DATA_CAPACITY: usize = SYNC_HEAP_BYTES - DATA_OFFSET;
+/// Fixed per-message overhead charged on top of the encoded batch (the
+/// envelope fields of the structured-clone message).
+const MESSAGE_ENVELOPE_BYTES: usize = 24;
 
 /// Which convention the client ended up using.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +62,7 @@ pub struct SyscallClient {
     scope: WorkerScope,
     mode: ClientMode,
     next_seq: u64,
-    stashed: HashMap<u64, SysResult>,
+    stashed: HashMap<u64, CompletionBatch>,
     signals: VecDeque<Signal>,
     sync: Option<SyncState>,
     terminated: bool,
@@ -164,55 +172,88 @@ impl SyscallClient {
         self.signals.drain(..).collect()
     }
 
-    /// Issues a system call and waits for its result.
+    /// Issues a single system call and waits for its result (a one-entry
+    /// [`SyscallClient::submit`]).
     pub fn call(&mut self, call: Syscall) -> SysResult {
+        self.submit(SyscallBatch::single(call))
+            .pop()
+            .unwrap_or(SysResult::Err(Errno::EIO))
+    }
+
+    /// Submits a whole batch in one kernel round trip and returns one result
+    /// per entry, in submission order.  Entries are dispatched in order
+    /// against the same task state; entries that block inside the kernel
+    /// complete individually without holding up the rest, and the call
+    /// returns once every entry has completed.
+    pub fn submit(&mut self, batch: SyscallBatch) -> Vec<SysResult> {
+        let n = batch.len();
+        if n == 0 {
+            return Vec::new();
+        }
         if self.terminated {
-            return SysResult::Err(Errno::EINTR);
+            return vec![SysResult::Err(Errno::EINTR); n];
         }
         match self.mode {
-            ClientMode::Sync => self.call_sync(call),
-            ClientMode::Async => self.call_async(call),
+            ClientMode::Sync => self.submit_sync(batch),
+            ClientMode::Async => self.submit_async(batch),
         }
     }
 
     /// Issues a system call without waiting for a result (used for `exit`,
     /// which never gets a reply).
     pub fn send_only(&mut self, call: Syscall) {
-        match self.mode {
-            ClientMode::Sync => {
-                let _ = self.kernel.send(KernelEvent::Syscall {
-                    pid: self.pid,
-                    transport: Transport::Sync { call },
-                });
-            }
+        let payload = SyscallBatch::single(call).encode();
+        let transport = match self.mode {
+            ClientMode::Sync => Transport::Sync { payload },
             ClientMode::Async => {
                 self.next_seq += 1;
-                let msg = call.to_message();
-                precise_delay(self.config.post_cost(msg.byte_size()));
-                let _ = self.kernel.send(KernelEvent::Syscall {
-                    pid: self.pid,
-                    transport: Transport::Async {
-                        seq: self.next_seq,
-                        msg,
-                    },
-                });
+                precise_delay(self.config.post_cost(payload.len() + MESSAGE_ENVELOPE_BYTES));
+                Transport::Async {
+                    seq: self.next_seq,
+                    payload,
+                }
             }
-        }
+        };
+        let _ = self.kernel.send(KernelEvent::Syscall {
+            pid: self.pid,
+            transport,
+        });
     }
 
     /// Copies `data` into the shared heap's outgoing-data area (synchronous
     /// convention) and returns the byte-source descriptor for it.  Falls back
     /// to an inline copy when running asynchronously.
     pub fn stage_write(&mut self, data: &[u8]) -> browsix_core::ByteSource {
+        self.stage_writes(&[data]).pop().expect("one source per buffer")
+    }
+
+    /// Stages several buffers back to back in the shared heap, one
+    /// [`ByteSource`](browsix_core::ByteSource) per buffer, for a batch of
+    /// data-carrying entries submitted together.  Buffers that do not fit in
+    /// the data area fall back to inline copies.
+    pub fn stage_writes(&mut self, bufs: &[&[u8]]) -> Vec<browsix_core::ByteSource> {
         match (&self.mode, &self.sync) {
-            (ClientMode::Sync, Some(state)) if data.len() <= SYNC_DATA_CAPACITY => {
-                let _ = state.sab.write_bytes(DATA_OFFSET, data);
-                browsix_core::ByteSource::SharedHeap {
-                    offset: DATA_OFFSET as u32,
-                    len: data.len() as u32,
-                }
+            (ClientMode::Sync, Some(state)) => {
+                let mut cursor = DATA_OFFSET;
+                bufs.iter()
+                    .map(|data| {
+                        if cursor + data.len() <= SYNC_HEAP_BYTES && state.sab.write_bytes(cursor, data).is_ok() {
+                            let source = browsix_core::ByteSource::SharedHeap {
+                                offset: cursor as u32,
+                                len: data.len() as u32,
+                            };
+                            cursor += data.len();
+                            source
+                        } else {
+                            browsix_core::ByteSource::Inline(data.to_vec())
+                        }
+                    })
+                    .collect()
             }
-            _ => browsix_core::ByteSource::Inline(data.to_vec()),
+            _ => bufs
+                .iter()
+                .map(|data| browsix_core::ByteSource::Inline(data.to_vec()))
+                .collect(),
         }
     }
 
@@ -225,101 +266,121 @@ impl SyscallClient {
         }
     }
 
-    fn call_async(&mut self, call: Syscall) -> SysResult {
+    fn submit_async(&mut self, batch: SyscallBatch) -> Vec<SysResult> {
+        let n = batch.len();
         self.next_seq += 1;
         let seq = self.next_seq;
-        let msg = call.to_message();
-        // postMessage to the kernel: pay the message + structured-clone cost.
-        precise_delay(self.config.post_cost(msg.byte_size()));
+        let payload = batch.encode();
+        // postMessage to the kernel: the whole batch crosses the worker
+        // boundary as one structured clone, so the message + clone cost is
+        // paid once per batch rather than once per call.
+        precise_delay(self.config.post_cost(payload.len() + MESSAGE_ENVELOPE_BYTES));
         if self
             .kernel
             .send(KernelEvent::Syscall {
                 pid: self.pid,
-                transport: Transport::Async { seq, msg },
+                transport: Transport::Async { seq, payload },
             })
             .is_err()
         {
             self.terminated = true;
-            return SysResult::Err(Errno::EINTR);
+            return vec![SysResult::Err(Errno::EINTR); n];
         }
-        self.wait_for_response(seq)
+        self.wait_for_completions(seq, n)
     }
 
-    fn wait_for_response(&mut self, seq: u64) -> SysResult {
+    fn wait_for_completions(&mut self, seq: u64, n: usize) -> Vec<SysResult> {
         loop {
-            if let Some(result) = self.stashed.remove(&seq) {
-                return result;
+            if let Some(batch) = self.stashed.remove(&seq) {
+                return results_from(batch, n);
             }
             match self.scope.recv() {
                 Ok(msg) => match msg.get_str("type") {
                     Some("syscall-response") => {
                         let response_seq = msg.get_int("seq").unwrap_or(-1) as u64;
-                        let result = msg
-                            .get("result")
-                            .and_then(SysResult::from_message)
-                            .unwrap_or(SysResult::Err(Errno::EIO));
+                        let batch = msg
+                            .get_bytes("completions")
+                            .and_then(CompletionBatch::decode)
+                            .unwrap_or_default();
                         if response_seq == seq {
-                            return result;
+                            return results_from(batch, n);
                         }
-                        self.stashed.insert(response_seq, result);
+                        self.stashed.insert(response_seq, batch);
                     }
                     _ => self.handle_out_of_band(&msg),
                 },
                 Err(_) => {
                     self.terminated = true;
-                    return SysResult::Err(Errno::EINTR);
+                    return vec![SysResult::Err(Errno::EINTR); n];
                 }
             }
         }
     }
 
-    fn call_sync(&mut self, call: Syscall) -> SysResult {
+    fn submit_sync(&mut self, batch: SyscallBatch) -> Vec<SysResult> {
+        let n = batch.len();
         // fork is incompatible with the synchronous convention (§3.2).
-        if matches!(call, Syscall::Fork { .. }) {
-            return SysResult::Err(Errno::ENOSYS);
+        if batch.entries.iter().any(|c| matches!(c, Syscall::Fork { .. })) {
+            return vec![SysResult::Err(Errno::ENOSYS); n];
         }
         let Some(state) = &self.sync else {
-            return SysResult::Err(Errno::EFAULT);
+            return vec![SysResult::Err(Errno::EFAULT); n];
         };
         // Arm the wake address, send the (integer-only) request, block.
         if state.sab.store_i32(WAKE_OFFSET, 0).is_err() {
-            return SysResult::Err(Errno::EFAULT);
+            return vec![SysResult::Err(Errno::EFAULT); n];
         }
+        let payload = batch.encode();
         precise_delay(self.config.post_cost(32));
         if self
             .kernel
             .send(KernelEvent::Syscall {
                 pid: self.pid,
-                transport: Transport::Sync { call },
+                transport: Transport::Sync { payload },
             })
             .is_err()
         {
             self.terminated = true;
-            return SysResult::Err(Errno::EINTR);
+            return vec![SysResult::Err(Errno::EINTR); n];
         }
         loop {
             if self.scope.terminated() {
                 self.terminated = true;
-                return SysResult::Err(Errno::EINTR);
+                return vec![SysResult::Err(Errno::EINTR); n];
             }
+            let state = self.sync.as_ref().expect("checked above");
             match state.sab.wait(WAKE_OFFSET, 0, Some(Duration::from_millis(100))) {
                 Ok(AtomicsWaitResult::TimedOut) => continue,
                 Ok(_) => break,
-                Err(_) => return SysResult::Err(Errno::EFAULT),
+                Err(_) => return vec![SysResult::Err(Errno::EFAULT); n],
             }
         }
-        // Decode [len][payload] from the response area.
+        // Decode [len][completion frame] from the response area.
+        let state = self.sync.as_ref().expect("checked above");
         let len_bytes = match state.sab.read_bytes(RESP_OFFSET, 4) {
             Ok(bytes) => bytes,
-            Err(_) => return SysResult::Err(Errno::EFAULT),
+            Err(_) => return vec![SysResult::Err(Errno::EFAULT); n],
         };
         let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
-        let payload = match state.sab.read_bytes(RESP_OFFSET + 4, len) {
+        let frame = match state.sab.read_bytes(RESP_OFFSET + 4, len) {
             Ok(bytes) => bytes,
-            Err(_) => return SysResult::Err(Errno::EFAULT),
+            Err(_) => return vec![SysResult::Err(Errno::EFAULT); n],
         };
-        SysResult::decode_bytes(&payload).unwrap_or(SysResult::Err(Errno::EIO))
+        results_from(CompletionBatch::decode(&frame).unwrap_or_default(), n)
     }
+}
+
+/// Spreads a completion batch back into one result per submission entry.
+/// Entries the kernel never completed (which should not happen) read as I/O
+/// errors rather than hanging or panicking.
+fn results_from(batch: CompletionBatch, n: usize) -> Vec<SysResult> {
+    let mut out = vec![SysResult::Err(Errno::EIO); n];
+    for completion in batch.completions {
+        if let Some(slot) = out.get_mut(completion.index as usize) {
+            *slot = completion.result;
+        }
+    }
+    out
 }
 
 fn decode_init(msg: &Message) -> ProcessStart {
@@ -402,5 +463,26 @@ mod tests {
         const { assert!(DATA_OFFSET > RESP_OFFSET) };
         const { assert!(SYNC_DATA_CAPACITY > 64 * 1024) };
         const { assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= SYNC_HEAP_BYTES) };
+    }
+
+    #[test]
+    fn completion_spreading_fills_gaps_with_eio() {
+        use browsix_core::Completion;
+        let batch = CompletionBatch {
+            completions: vec![
+                Completion {
+                    index: 2,
+                    result: SysResult::Int(7),
+                },
+                Completion {
+                    index: 0,
+                    result: SysResult::Ok,
+                },
+            ],
+        };
+        let results = results_from(batch, 3);
+        assert_eq!(results[0], SysResult::Ok);
+        assert_eq!(results[1], SysResult::Err(Errno::EIO));
+        assert_eq!(results[2], SysResult::Int(7));
     }
 }

@@ -92,6 +92,36 @@ pub trait RuntimeEnv {
     /// Writes all of `data` to a descriptor (blocking), returning the count.
     fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno>;
 
+    /// Writes every buffer, in order, to one descriptor, returning the total
+    /// byte count.  Environments backed by the batched syscall ABI
+    /// ([`BrowsixEnv`](crate::BrowsixEnv)) submit all buffers in a single
+    /// kernel round trip; the default implementation degrades to sequential
+    /// writes.
+    fn write_vectored(&mut self, fd: Fd, bufs: &[&[u8]]) -> Result<usize, Errno> {
+        let mut total = 0;
+        for data in bufs {
+            let mut written = 0;
+            while written < data.len() {
+                let count = self.write(fd, &data[written..])?;
+                if count == 0 {
+                    return Ok(total);
+                }
+                written += count;
+                total += count;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Flushes any buffered standard output.  Environments that buffer stdout
+    /// (to batch many small writes into one syscall) override this; the
+    /// default is an unbuffered no-op.  Buffering environments flush
+    /// automatically on exit, reads, spawns and waits, so guests only need an
+    /// explicit flush when output must be visible mid-computation.
+    fn flush_stdout(&mut self) -> Result<(), Errno> {
+        Ok(())
+    }
+
     /// Positional read.
     fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno>;
 
@@ -109,8 +139,34 @@ pub trait RuntimeEnv {
 
     // ---- paths ---------------------------------------------------------------
 
+    /// Closes several descriptors, reporting the first error after attempting
+    /// all of them.  Batched environments close them in one round trip.
+    fn close_many(&mut self, fds: &[Fd]) -> Result<(), Errno> {
+        let mut first_error = Ok(());
+        for &fd in fds {
+            if let Err(e) = self.close(fd) {
+                if first_error.is_ok() {
+                    first_error = Err(e);
+                }
+            }
+        }
+        first_error
+    }
+
+    /// Creates `count` pipes, returning `(read_fd, write_fd)` pairs.  Batched
+    /// environments create them all in one round trip.
+    fn pipe_many(&mut self, count: usize) -> Result<Vec<(Fd, Fd)>, Errno> {
+        (0..count).map(|_| self.pipe()).collect()
+    }
+
     /// Stats a path.
     fn stat(&mut self, path: &str) -> Result<Metadata, Errno>;
+
+    /// Stats several paths, one result per path.  Batched environments stat
+    /// them all in one round trip (the `ls -l` hot path).
+    fn stat_many(&mut self, paths: &[&str]) -> Vec<Result<Metadata, Errno>> {
+        paths.iter().map(|path| self.stat(path)).collect()
+    }
 
     /// Lists a directory.
     fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>, Errno>;

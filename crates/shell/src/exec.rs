@@ -182,17 +182,15 @@ impl Shell {
             }
         }
 
-        // Build the pipeline: N commands, N-1 pipes.
-        let mut pipes = Vec::new();
-        for _ in 1..commands.len() {
-            match env.pipe() {
-                Ok(pair) => pipes.push(pair),
-                Err(e) => {
-                    env.eprint(&format!("sh: pipe: {e}\n"));
-                    return 1;
-                }
+        // Build the pipeline: N commands, N-1 pipes created in one batched
+        // submission.
+        let pipes = match env.pipe_many(commands.len() - 1) {
+            Ok(pipes) => pipes,
+            Err(e) => {
+                env.eprint(&format!("sh: pipe: {e}\n"));
+                return 1;
             }
-        }
+        };
 
         let mut pids = Vec::new();
         let mut status = 0;
@@ -258,14 +256,14 @@ impl Shell {
         }
 
         // The shell closes its copies of the pipe and redirect descriptors so
-        // readers see EOF once the writers exit.
-        for (read_fd, write_fd) in pipes {
-            let _ = env.close(read_fd);
-            let _ = env.close(write_fd);
-        }
-        for fd in opened {
-            let _ = env.close(fd);
-        }
+        // readers see EOF once the writers exit — all in one batched
+        // submission.
+        let mut to_close: Vec<i32> = pipes
+            .iter()
+            .flat_map(|&(read_fd, write_fd)| [read_fd, write_fd])
+            .collect();
+        to_close.extend(opened);
+        let _ = env.close_many(&to_close);
 
         if pipeline.background {
             self.background.extend(pids);

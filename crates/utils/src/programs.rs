@@ -43,6 +43,7 @@ fn run_cat(env: &mut dyn RuntimeEnv) -> i32 {
     let (data, code) = read_inputs(env, "cat", &operands);
     charge_for_bytes(env, data.len());
     let _ = env.write(1, &data);
+    let _ = env.flush_stdout();
     code
 }
 
@@ -184,23 +185,27 @@ fn run_grep(env: &mut dyn RuntimeEnv) -> i32 {
     };
     let (data, read_code) = read_inputs(env, "grep", &operands[1..]);
     charge_for_bytes(env, data.len());
-    let mut matched = 0usize;
-    let mut output = String::new();
-    for line in lines(&data) {
+    let all_lines = lines(&data);
+    let mut matched_lines: Vec<&str> = Vec::new();
+    for line in &all_lines {
         let haystack = if ignore_case { line.to_lowercase() } else { line.clone() };
-        let hit = haystack.contains(&needle) != invert;
-        if hit {
-            matched += 1;
-            if !count_only {
-                output.push_str(&line);
-                output.push('\n');
-            }
+        if haystack.contains(&needle) != invert {
+            matched_lines.push(line);
         }
     }
+    let matched = matched_lines.len();
     if count_only {
-        output = format!("{matched}\n");
+        env.print(&format!("{matched}\n"));
+    } else {
+        // All matching lines leave the process as one batched submission.
+        let mut bufs: Vec<&[u8]> = Vec::with_capacity(matched * 2);
+        for line in &matched_lines {
+            bufs.push(line.as_bytes());
+            bufs.push(b"\n");
+        }
+        let _ = env.write_vectored(1, &bufs);
     }
-    env.print(&output);
+    let _ = env.flush_stdout();
     if read_code != 0 {
         2
     } else if matched > 0 {
@@ -222,9 +227,13 @@ fn run_head(env: &mut dyn RuntimeEnv) -> i32 {
     let (data, code) = read_inputs(env, "head", &files);
     charge_for_bytes(env, data.len());
     let selected: Vec<String> = lines(&data).into_iter().take(count).collect();
-    for line in selected {
-        env.print(&format!("{line}\n"));
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(selected.len() * 2);
+    for line in &selected {
+        bufs.push(line.as_bytes());
+        bufs.push(b"\n");
     }
+    let _ = env.write_vectored(1, &bufs);
+    let _ = env.flush_stdout();
     code
 }
 
@@ -240,9 +249,13 @@ fn run_tail(env: &mut dyn RuntimeEnv) -> i32 {
     charge_for_bytes(env, data.len());
     let all = lines(&data);
     let start = all.len().saturating_sub(count);
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity((all.len() - start) * 2);
     for line in &all[start..] {
-        env.print(&format!("{line}\n"));
+        bufs.push(line.as_bytes());
+        bufs.push(b"\n");
     }
+    let _ = env.write_vectored(1, &bufs);
+    let _ = env.flush_stdout();
     code
 }
 
@@ -266,17 +279,25 @@ fn run_ls(env: &mut dyn RuntimeEnv) -> i32 {
                         output.push_str(&format!("{target}:\n"));
                     }
                     // `ls -l` stats every entry, which is what makes the
-                    // Figure 9 workload syscall-heavy.
-                    for entry in &entries {
-                        charge_for_bytes(env, 64);
-                        if long {
-                            let child = format!("{}/{}", target.trim_end_matches('/'), entry.name);
-                            let meta = env.stat(&child).ok();
+                    // Figure 9 workload syscall-heavy; all the stats go to
+                    // the kernel as one batched submission.
+                    if long {
+                        let children: Vec<String> = entries
+                            .iter()
+                            .map(|entry| format!("{}/{}", target.trim_end_matches('/'), entry.name))
+                            .collect();
+                        let child_refs: Vec<&str> = children.iter().map(|c| c.as_str()).collect();
+                        let metas = env.stat_many(&child_refs);
+                        for (entry, meta) in entries.iter().zip(metas) {
+                            charge_for_bytes(env, 64);
                             let (size, mode, kind) =
                                 meta.map(|m| (m.size, m.mode, m.file_type))
                                     .unwrap_or((0, 0, FileType::Regular));
                             output.push_str(&format!("{}{:o} {:>8} {}\n", kind.type_char(), mode, size, entry.name));
-                        } else {
+                        }
+                    } else {
+                        for entry in &entries {
+                            charge_for_bytes(env, 64);
                             output.push_str(&entry.name);
                             output.push('\n');
                         }
@@ -458,12 +479,15 @@ fn run_sort(env: &mut dyn RuntimeEnv) -> i32 {
     if reverse {
         all.reverse();
     }
-    let mut output = String::new();
-    for line in all {
-        output.push_str(&line);
-        output.push('\n');
+    // The sorted lines leave the process as one batched submission instead of
+    // being copied into a single giant string first.
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(all.len() * 2);
+    for line in &all {
+        bufs.push(line.as_bytes());
+        bufs.push(b"\n");
     }
-    env.print(&output);
+    let _ = env.write_vectored(1, &bufs);
+    let _ = env.flush_stdout();
     code
 }
 
@@ -495,6 +519,7 @@ fn run_tee(env: &mut dyn RuntimeEnv) -> i32 {
     let data = env.read_stdin_to_end();
     charge_for_bytes(env, data.len());
     let _ = env.write(1, &data);
+    let _ = env.flush_stdout();
     let mut code = 0;
     for path in &operands {
         let flags = if append {
@@ -560,6 +585,7 @@ fn run_wc(env: &mut dyn RuntimeEnv) -> i32 {
         format!("{line_count:>8}{word_count:>8}{byte_count:>8} {name}\n")
     };
     env.print(output.trim_end_matches(' '));
+    let _ = env.flush_stdout();
     code
 }
 

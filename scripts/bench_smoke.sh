@@ -21,5 +21,27 @@ echo "== running the 'filesystem' criterion group =="
 rm -f "$out"
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench fs -- filesystem
 
+echo "== running the 'syscall_batching' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench syscall_batching
+
 echo "== baseline written to $out =="
 cat "$out"
+
+# Guard the headline result of the batched ABI: one batched submission must
+# beat per-call round trips on the pipe/write-heavy workload.
+python3 - "$out" <<'EOF'
+import json, sys
+means = {}
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        row = json.loads(line)
+        means[row["id"]] = row["mean_ns"]
+for convention in ("async", "sync"):
+    batched = means.get(f"syscall_batching/{convention}_batched")
+    per_call = means.get(f"syscall_batching/{convention}_per_call")
+    if batched is None or per_call is None:
+        sys.exit(f"missing syscall_batching results for {convention}")
+    if batched >= per_call:
+        sys.exit(f"{convention}: batched ({batched} ns) did not beat per-call ({per_call} ns)")
+    print(f"{convention}: batched beats per-call by {per_call / batched:.1f}x")
+EOF

@@ -3,9 +3,184 @@
 use proptest::prelude::*;
 
 use browsix_browser::Message;
-use browsix_core::{ByteSource, SysResult, Syscall};
-use browsix_fs::{path, Errno, FileSystem, MemFs};
+use browsix_core::{ByteSource, Completion, CompletionBatch, Signal, SysResult, Syscall, SyscallBatch};
+use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
 use browsix_http::Json;
+
+/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 37
+/// opcodes, with `stat` and `lstat` counted separately).
+const SYSCALL_SHAPES: usize = 38;
+/// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
+const RESULT_SHAPES: usize = 11;
+
+/// Fuzz inputs shared by every generated call/result shape.
+#[derive(Debug, Clone)]
+struct Fuzz {
+    text: String,
+    data: Vec<u8>,
+    num: i64,
+    small: u32,
+    flag: bool,
+}
+
+/// Builds the `shape`-th syscall variant from the fuzz inputs, covering every
+/// variant of the enum as `shape` sweeps `0..SYSCALL_SHAPES`.
+fn make_call(shape: usize, f: &Fuzz) -> Syscall {
+    let fd = f.small as i32 % 128;
+    let path = format!("/{}", f.text);
+    match shape % SYSCALL_SHAPES {
+        0 => Syscall::Spawn {
+            path: path.clone(),
+            args: vec![f.text.clone(), format!("{}", f.num)],
+            env: vec![(f.text.clone(), f.text.clone()), ("K".into(), String::new())],
+            cwd: if f.flag { Some(path) } else { None },
+            stdio: [None, Some(fd), if f.flag { None } else { Some(2) }],
+        },
+        1 => Syscall::Fork {
+            image: f.data.clone(),
+            resume_point: f.num as u64,
+        },
+        2 => Syscall::Pipe2,
+        3 => Syscall::Wait4 {
+            pid: f.num as i32,
+            options: f.small & 1,
+        },
+        4 => Syscall::Exit { code: f.num as i32 },
+        5 => Syscall::Kill {
+            pid: f.small,
+            signal: Signal::SIGTERM,
+        },
+        6 => Syscall::SignalAction {
+            signal: Signal::SIGCHLD,
+            install: f.flag,
+        },
+        7 => Syscall::GetPid,
+        8 => Syscall::GetPPid,
+        9 => Syscall::GetCwd,
+        10 => Syscall::Chdir { path },
+        11 => Syscall::Open {
+            path,
+            flags: if f.flag {
+                OpenFlags::read_only()
+            } else {
+                OpenFlags::write_create_truncate()
+            },
+            mode: f.small & 0o7777,
+        },
+        12 => Syscall::Close { fd },
+        13 => Syscall::Read { fd, len: f.small },
+        14 => Syscall::Pread {
+            fd,
+            len: f.small,
+            offset: f.num as u64,
+        },
+        15 => Syscall::Write {
+            fd,
+            data: ByteSource::Inline(f.data.clone()),
+        },
+        16 => Syscall::Write {
+            fd,
+            data: ByteSource::SharedHeap {
+                offset: f.small,
+                len: f.data.len() as u32,
+            },
+        },
+        17 => Syscall::Pwrite {
+            fd,
+            data: ByteSource::Inline(f.data.clone()),
+            offset: f.num as u64,
+        },
+        18 => Syscall::Seek {
+            fd,
+            offset: f.num,
+            whence: f.small % 3,
+        },
+        19 => Syscall::Dup { fd },
+        20 => Syscall::Dup2 {
+            from: fd,
+            to: (f.small as i32).wrapping_add(1) % 128,
+        },
+        21 => Syscall::Unlink { path },
+        22 => Syscall::Truncate {
+            path,
+            size: f.num as u64,
+        },
+        23 => Syscall::Rename {
+            from: path,
+            to: format!("/{}.bak", f.text),
+        },
+        24 => Syscall::Readdir { path },
+        25 => Syscall::Mkdir {
+            path,
+            mode: f.small & 0o7777,
+        },
+        26 => Syscall::Rmdir { path },
+        27 => Syscall::Stat { path, lstat: false },
+        28 => Syscall::Stat { path, lstat: true },
+        29 => Syscall::Fstat { fd },
+        30 => Syscall::Access {
+            path,
+            mode: f.small & 7,
+        },
+        31 => Syscall::Readlink { path },
+        32 => Syscall::Utimes {
+            path,
+            atime_ms: f.num as u64,
+            mtime_ms: f.small as u64,
+        },
+        33 => Syscall::Socket,
+        34 => Syscall::Bind {
+            fd,
+            port: f.small as u16,
+        },
+        35 => Syscall::GetSockName { fd },
+        36 => Syscall::Listen {
+            fd,
+            backlog: f.small % 1024,
+        },
+        _ => Syscall::Connect {
+            fd,
+            port: f.small as u16,
+        },
+    }
+}
+
+/// Builds the `shape`-th result variant from the fuzz inputs, covering every
+/// variant of the enum as `shape` sweeps `0..RESULT_SHAPES`.
+fn make_result(shape: usize, f: &Fuzz) -> SysResult {
+    match shape % RESULT_SHAPES {
+        0 => SysResult::Ok,
+        1 => SysResult::Int(f.num),
+        2 => SysResult::Pair(f.num, f.num.wrapping_add(1)),
+        3 => SysResult::Data(f.data.clone()),
+        4 => SysResult::Path(format!("/{}", f.text)),
+        5 => SysResult::Stat(Metadata {
+            file_type: if f.flag { FileType::Directory } else { FileType::Regular },
+            size: f.num as u64,
+            mode: f.small & 0o7777,
+            mtime_ms: f.small as u64,
+            atime_ms: f.num as u64,
+        }),
+        6 => SysResult::Entries(
+            (0..(f.small as usize % 5))
+                .map(|i| {
+                    if i % 2 == 0 {
+                        DirEntry::file(&format!("{}{i}", f.text))
+                    } else {
+                        DirEntry::dir(&format!("{}{i}", f.text))
+                    }
+                })
+                .collect(),
+        ),
+        7 => SysResult::Entries(Vec::new()),
+        8 => SysResult::Wait {
+            pid: f.small,
+            status: f.num as i32,
+        },
+        9 => SysResult::Err(Errno::ENOENT),
+        _ => SysResult::Err(Errno::EPIPE),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -62,30 +237,96 @@ proptest! {
         prop_assert_eq!(received, sent);
     }
 
-    /// Every syscall result round-trips through both encodings (the async
-    /// message encoding and the sync shared-heap byte encoding).
+    /// Every `Syscall` variant round-trips through the wire codec
+    /// (`encode → decode == id`), with fuzzed strings, buffers and scalars.
+    /// Both transport conventions carry exactly this encoding, so this is the
+    /// round-trip property for the whole submission path.
     #[test]
-    fn sysresult_encodings_round_trip(value in any::<i64>(), data in proptest::collection::vec(any::<u8>(), 0..256), text in "[a-zA-Z0-9/._ -]{0,32}") {
-        let results = vec![
-            SysResult::Int(value),
-            SysResult::Data(data.clone()),
-            SysResult::Path(format!("/{text}")),
-            SysResult::Pair(value, value.wrapping_add(1)),
-            SysResult::Err(Errno::ENOENT),
-        ];
-        for result in results {
-            prop_assert_eq!(SysResult::from_message(&result.to_message()).unwrap(), result.clone());
-            prop_assert_eq!(SysResult::decode_bytes(&result.encode_bytes()).unwrap(), result);
+    fn every_syscall_variant_round_trips(
+        text in "[a-z0-9._ -]{0,24}",
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        num in any::<i64>(),
+        small in any::<u32>(),
+        flag in any::<bool>(),
+    ) {
+        let fuzz = Fuzz { text, data, num, small, flag };
+        for shape in 0..SYSCALL_SHAPES {
+            let call = make_call(shape, &fuzz);
+            let batch = SyscallBatch::single(call.clone());
+            let decoded = SyscallBatch::decode(&batch.encode());
+            prop_assert_eq!(decoded, Some(batch), "variant {} ({})", shape, call.name());
         }
     }
 
-    /// Write syscalls round-trip through the structured-clone encoding with
-    /// their payload intact.
+    /// Every `SysResult` variant round-trips through the wire codec, both
+    /// alone and inside a completion batch with out-of-order indices.
     #[test]
-    fn write_syscall_round_trips(fd in 0i32..64, data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let call = Syscall::Write { fd, data: ByteSource::Inline(data) };
-        let decoded = Syscall::from_message(&call.to_message()).unwrap();
-        prop_assert_eq!(decoded, call);
+    fn every_sysresult_variant_round_trips(
+        text in "[a-z0-9._ -]{0,24}",
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        num in any::<i64>(),
+        small in any::<u32>(),
+        flag in any::<bool>(),
+    ) {
+        let fuzz = Fuzz { text, data, num, small, flag };
+        let completions: Vec<Completion> = (0..RESULT_SHAPES)
+            .map(|shape| Completion {
+                // Reversed indices: completion order need not match
+                // submission order.
+                index: (RESULT_SHAPES - 1 - shape) as u32,
+                result: make_result(shape, &fuzz),
+            })
+            .collect();
+        let batch = CompletionBatch { completions };
+        let decoded = CompletionBatch::decode(&batch.encode());
+        prop_assert_eq!(decoded, Some(batch));
+    }
+
+    /// Mixed batches of arbitrary size and variant composition round-trip
+    /// entry for entry, in order.
+    #[test]
+    fn mixed_batches_round_trip(
+        shapes in proptest::collection::vec(0usize..SYSCALL_SHAPES, 1..12),
+        text in "[a-z0-9._-]{0,16}",
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        num in any::<i64>(),
+        small in any::<u32>(),
+        flag in any::<bool>(),
+    ) {
+        let fuzz = Fuzz { text, data, num, small, flag };
+        let batch = SyscallBatch {
+            entries: shapes.iter().map(|&shape| make_call(shape, &fuzz)).collect(),
+        };
+        let decoded = SyscallBatch::decode(&batch.encode()).unwrap();
+        prop_assert_eq!(decoded.len(), shapes.len());
+        prop_assert_eq!(decoded, batch);
+    }
+
+    /// Flipping the frame's magic or version byte always makes it invalid;
+    /// the decoder never panics on arbitrary prefixes of a valid frame.
+    #[test]
+    fn corrupted_frames_never_decode_to_garbage(
+        shapes in proptest::collection::vec(0usize..SYSCALL_SHAPES, 1..6),
+        cut in any::<prop::sample::Index>(),
+        num in any::<i64>(),
+    ) {
+        let fuzz = Fuzz { text: "x".into(), data: vec![1, 2, 3], num, small: 7, flag: true };
+        let batch = SyscallBatch {
+            entries: shapes.iter().map(|&shape| make_call(shape, &fuzz)).collect(),
+        };
+        let encoded = batch.encode();
+
+        let mut bad_magic = encoded.clone();
+        bad_magic[0] ^= 0xff;
+        prop_assert_eq!(SyscallBatch::decode(&bad_magic), None);
+
+        let mut bad_version = encoded.clone();
+        bad_version[1] ^= 0xff;
+        prop_assert_eq!(SyscallBatch::decode(&bad_version), None);
+
+        // A strict prefix is truncated and must decode to None (never panic).
+        let len = cut.index(encoded.len().max(1));
+        prop_assert_eq!(SyscallBatch::decode(&encoded[..len]), None);
     }
 
     /// Structured-clone messages report a byte size at least as large as the
