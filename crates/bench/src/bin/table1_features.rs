@@ -54,4 +54,18 @@ fn main() {
         stats.mean_batch_size(),
         stats.max_batch_size()
     );
+
+    // VFS cache effectiveness during the run: the dentry cache in front of
+    // the mount table, httpfs page caches and overlay copy-ups.
+    print_table(
+        "Verification run — VFS caches",
+        &["Counter", "Value"],
+        &[
+            vec!["dentry-cache hits".to_owned(), stats.dentry_cache_hits.to_string()],
+            vec!["dentry-cache misses".to_owned(), stats.dentry_cache_misses.to_string()],
+            vec!["page-cache hits".to_owned(), stats.page_cache_hits.to_string()],
+            vec!["page-cache misses".to_owned(), stats.page_cache_misses.to_string()],
+            vec!["overlay copy-ups".to_owned(), stats.overlay_copy_ups.to_string()],
+        ],
+    );
 }

@@ -153,8 +153,15 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
             NodeLauncher::new(
                 "feature-probe",
                 guest("feature-probe", |env: &mut dyn RuntimeEnv| {
-                    // Shared filesystem.
+                    // Shared filesystem, through the handle-based descriptor
+                    // path: open once, write, fsync, read back.
                     env.write_file("/probe.txt", b"x").unwrap();
+                    let fd = env.open("/probe.txt", browsix_fs::OpenFlags::read_write()).unwrap();
+                    env.write(fd, b"probe").unwrap();
+                    env.fsync(fd).unwrap();
+                    env.seek(fd, 0, 0).unwrap();
+                    assert_eq!(env.read(fd, 5).unwrap(), b"probe");
+                    env.close(fd).unwrap();
                     // Pipes.
                     let (r, w) = env.pipe().unwrap();
                     env.write(w, b"ping").unwrap();

@@ -232,6 +232,41 @@ impl RemoteEndpoint {
         self.request(path, None)
     }
 
+    /// Performs a ranged fetch of `path` — the analogue of an HTTP `Range:
+    /// bytes=offset..` request.  Returns the requested slice (short or empty
+    /// past the end) together with the resource's total size, as a
+    /// `Content-Range` header would report it.  Only the slice is charged
+    /// against the link profile and the transfer statistics, which is what
+    /// makes block-granular lazy loading cheaper than whole-file fetches.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::NetworkUnavailable`] if the endpoint is offline.
+    /// * [`PlatformError::HttpStatus`] if the service rejects the request.
+    pub fn fetch_range(&self, path: &str, offset: u64, len: usize) -> Result<(Vec<u8>, u64), PlatformError> {
+        if !self.is_online() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(PlatformError::NetworkUnavailable);
+        }
+        match self.service.handle(path, None) {
+            Ok(data) => {
+                let total = data.len() as u64;
+                let start = (offset as usize).min(data.len());
+                let end = start.saturating_add(len).min(data.len());
+                let slice = data[start..end].to_vec();
+                precise_delay(self.profile.transfer_cost(slice.len()));
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(slice.len() as u64, Ordering::Relaxed);
+                Ok((slice, total))
+            }
+            Err(status) => {
+                precise_delay(self.profile.transfer_cost(0));
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(PlatformError::HttpStatus(status))
+            }
+        }
+    }
+
     /// Performs a request with an optional body (POST-style).
     ///
     /// # Errors
@@ -285,6 +320,31 @@ mod tests {
         assert_eq!(data, b"\\ProvidesClass{article}");
         assert_eq!(ep.stats().requests, 1);
         assert_eq!(ep.stats().bytes_transferred, data.len() as u64);
+    }
+
+    #[test]
+    fn fetch_range_slices_and_reports_total_size() {
+        let ep = endpoint_with("/blob", b"0123456789");
+        let (slice, total) = ep.fetch_range("/blob", 2, 4).unwrap();
+        assert_eq!(slice, b"2345");
+        assert_eq!(total, 10);
+        // Only the slice counts against the transfer statistics.
+        assert_eq!(ep.stats().bytes_transferred, 4);
+        // Past-the-end ranges come back short or empty, like Content-Range.
+        let (tail, total) = ep.fetch_range("/blob", 8, 100).unwrap();
+        assert_eq!(tail, b"89");
+        assert_eq!(total, 10);
+        let (empty, _) = ep.fetch_range("/blob", 50, 4).unwrap();
+        assert!(empty.is_empty());
+        assert!(matches!(
+            ep.fetch_range("/nope", 0, 1),
+            Err(PlatformError::HttpStatus(404))
+        ));
+        ep.set_online(false);
+        assert!(matches!(
+            ep.fetch_range("/blob", 0, 1),
+            Err(PlatformError::NetworkUnavailable)
+        ));
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! inheritance.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use browsix_fs::{Errno, OpenFlags};
+use browsix_fs::{Errno, FileHandle, OpenFlags};
 
 use crate::pipe::PipeId;
 use crate::socket::ConnectionId;
@@ -30,12 +31,13 @@ pub enum SocketSide {
 }
 
 /// What an open descriptor refers to.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum FileKind {
-    /// A regular file in the shared file system.
+    /// A regular file in the shared file system.  The path was resolved once
+    /// at `open`; all I/O goes through the handle, never a path string.
     File {
-        /// Absolute path of the file.
-        path: String,
+        /// Handle bound to the resolved node.
+        handle: Arc<dyn FileHandle>,
         /// Flags it was opened with.
         flags: OpenFlags,
     },
@@ -79,6 +81,30 @@ pub enum FileKind {
     },
     /// `/dev/null`-style descriptor: reads return EOF, writes are discarded.
     Null,
+}
+
+impl fmt::Debug for FileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileKind::File { handle, flags } => f
+                .debug_struct("File")
+                .field("backend", &handle.backend_name())
+                .field("flags", flags)
+                .finish(),
+            FileKind::Directory { path } => f.debug_struct("Directory").field("path", path).finish(),
+            FileKind::PipeReader { pipe } => f.debug_struct("PipeReader").field("pipe", pipe).finish(),
+            FileKind::PipeWriter { pipe } => f.debug_struct("PipeWriter").field("pipe", pipe).finish(),
+            FileKind::Socket { bound_port } => f.debug_struct("Socket").field("bound_port", bound_port).finish(),
+            FileKind::SocketListener { port } => f.debug_struct("SocketListener").field("port", port).finish(),
+            FileKind::SocketStream { connection, side } => f
+                .debug_struct("SocketStream")
+                .field("connection", connection)
+                .field("side", side)
+                .finish(),
+            FileKind::HostSink { stream } => f.debug_struct("HostSink").field("stream", stream).finish(),
+            FileKind::Null => f.write_str("Null"),
+        }
+    }
 }
 
 /// A shared "open file description": the object a descriptor number points
@@ -218,6 +244,15 @@ mod tests {
         OpenFile::new(FileKind::Null)
     }
 
+    /// An open-file description over a real (memfs) handle.
+    fn file_description(flags: OpenFlags) -> Arc<OpenFile> {
+        use browsix_fs::{FileSystem, MemFs};
+        let fs = MemFs::new();
+        fs.write_file("/data", b"0123456789").unwrap();
+        let handle = fs.open_handle("/data", flags).unwrap();
+        OpenFile::new(FileKind::File { handle, flags })
+    }
+
     #[test]
     fn insert_allocates_lowest_free_descriptor() {
         let mut table = FdTable::new();
@@ -240,10 +275,7 @@ mod tests {
     #[test]
     fn dup_shares_the_offset() {
         let mut table = FdTable::new();
-        let file = OpenFile::new(FileKind::File {
-            path: "/data".into(),
-            flags: OpenFlags::read_only(),
-        });
+        let file = file_description(OpenFlags::read_only());
         let fd = table.insert(file.clone(), 0);
         let dup_fd = table.insert(table.get(fd).unwrap(), 0);
         table.get(fd).unwrap().set_offset(100);
@@ -266,10 +298,7 @@ mod tests {
     #[test]
     fn inherit_shares_descriptions() {
         let mut parent = FdTable::new();
-        let file = OpenFile::new(FileKind::File {
-            path: "/shared".into(),
-            flags: OpenFlags::read_write(),
-        });
+        let file = file_description(OpenFlags::read_write());
         parent.insert_at(0, file.clone());
         let child = parent.inherit();
         child.get(0).unwrap().set_offset(42);

@@ -1,9 +1,13 @@
 //! File and directory system-call handlers.
 //!
-//! These map almost one-to-one onto the shared file system: Browsix
-//! "implements system calls that operate on paths, like `open` and `stat`, as
-//! method calls to the kernel's BrowserFS instance", and descriptor-based
-//! calls look the descriptor up in the task's file map first.
+//! Browsix "implements system calls that operate on paths, like `open` and
+//! `stat`, as method calls to the kernel's BrowserFS instance".  Here the
+//! path-based calls still route through the shared [`MountedFs`]
+//! (`browsix_fs::MountedFs`) — behind its dentry cache — but `sys_open` is
+//! the **only** place a descriptor's path is ever resolved: it obtains a
+//! [`browsix_fs::FileHandle`] bound to the node, and every descriptor-based
+//! call (`read`, `write`, `pread`, `pwrite`, `seek`, `fstat`, `fsync`) goes
+//! through that handle without touching a path string again.
 
 use browsix_fs::{Errno, FileSystem, FileType, Metadata, OpenFlags};
 
@@ -43,20 +47,20 @@ impl KernelState {
             };
             return Outcome::Complete(SysResult::Int(fd as i64));
         }
+        // The single point where a descriptor's path is resolved: from here
+        // on, all I/O goes through the handle.
+        let handle = match self.fs().open_handle(&path, flags) {
+            Ok(handle) => handle,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
         if flags.truncate && flags.write {
-            if let Err(e) = self.fs().truncate(&path, 0) {
+            if let Err(e) = handle.truncate(0) {
                 return Outcome::Complete(SysResult::Err(e));
             }
         }
-        let file = OpenFile::new(FileKind::File {
-            path: path.clone(),
-            flags,
-        });
-        if flags.append {
-            if let Ok(meta) = self.fs().stat(&path) {
-                file.set_offset(meta.size);
-            }
-        }
+        // POSIX: the offset starts at 0 even with O_APPEND; append writes
+        // seek-to-end atomically at the handle layer instead.
+        let file = OpenFile::new(FileKind::File { handle, flags });
         let fd = match self.task_mut(pid) {
             Ok(task) => task.files.insert(file, 0),
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
@@ -85,12 +89,12 @@ impl KernelState {
     pub(crate) fn try_read_fd(&mut self, pid: Pid, fd: Fd, len: usize) -> Result<Option<Vec<u8>>, Errno> {
         let file = self.task(pid)?.files.get(fd)?;
         match file.kind() {
-            FileKind::File { path, flags } => {
+            FileKind::File { handle, flags } => {
                 if !flags.read {
                     return Err(Errno::EBADF);
                 }
                 let offset = file.offset();
-                let data = self.fs().read_at(&path, offset, len)?;
+                let data = handle.read_at(offset, len)?;
                 file.advance_offset(data.len() as u64);
                 Ok(Some(data))
             }
@@ -145,11 +149,11 @@ impl KernelState {
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
         match file.kind() {
-            FileKind::File { path, flags } => {
+            FileKind::File { handle, flags } => {
                 if !flags.read {
                     return Outcome::Complete(SysResult::Err(Errno::EBADF));
                 }
-                match self.fs().read_at(&path, offset, len) {
+                match handle.read_at(offset, len) {
                     Ok(data) => Outcome::Complete(SysResult::Data(data)),
                     Err(e) => Outcome::Complete(SysResult::Err(e)),
                 }
@@ -180,18 +184,24 @@ impl KernelState {
     pub(crate) fn try_write_fd(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<(usize, bool), Errno> {
         let file = self.task(pid)?.files.get(fd)?;
         match file.kind() {
-            FileKind::File { path, flags } => {
+            FileKind::File { handle, flags } => {
                 if !flags.write {
                     return Err(Errno::EBADF);
                 }
-                let offset = if flags.append {
-                    self.fs().stat(&path).map(|m| m.size).unwrap_or(0)
+                if flags.append {
+                    // Atomic seek-to-end + write under the node lock: two
+                    // descriptors (dup'd or independently opened) appending
+                    // interleaved can never clobber each other, and the
+                    // stored offset is never trusted for the write position.
+                    let end = handle.append(data)?;
+                    file.set_offset(end);
+                    Ok((data.len(), true))
                 } else {
-                    file.offset()
-                };
-                let written = self.fs().write_at(&path, offset, data)?;
-                file.set_offset(offset + written as u64);
-                Ok((written, true))
+                    let offset = file.offset();
+                    let written = handle.write_at(offset, data)?;
+                    file.set_offset(offset + written as u64);
+                    Ok((written, true))
+                }
             }
             FileKind::Directory { .. } => Err(Errno::EISDIR),
             FileKind::Null => Ok((data.len(), true)),
@@ -264,11 +274,11 @@ impl KernelState {
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
         match file.kind() {
-            FileKind::File { path, flags } => {
+            FileKind::File { handle, flags } => {
                 if !flags.write {
                     return Outcome::Complete(SysResult::Err(Errno::EBADF));
                 }
-                match self.fs().write_at(&path, offset, &bytes) {
+                match handle.write_at(offset, &bytes) {
                     Ok(written) => Outcome::Complete(SysResult::Int(written as i64)),
                     Err(e) => Outcome::Complete(SysResult::Err(e)),
                 }
@@ -282,17 +292,21 @@ impl KernelState {
             Ok(file) => file,
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
-        let (path, _flags) = match file.kind() {
-            FileKind::File { path, flags } => (path, flags),
-            FileKind::Directory { path } => (path, OpenFlags::read_only()),
-            _ => return Outcome::Complete(SysResult::Err(Errno::ESPIPE)),
-        };
+        let kind = file.kind();
+        if !matches!(kind, FileKind::File { .. } | FileKind::Directory { .. }) {
+            return Outcome::Complete(SysResult::Err(Errno::ESPIPE));
+        }
         let base: i64 = match whence {
             0 => 0,
             1 => file.offset() as i64,
-            2 => match self.fs().stat(&path) {
-                Ok(meta) => meta.size as i64,
-                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            // Only SEEK_END needs the current size: from the handle for
+            // files, zero for open directories.
+            2 => match &kind {
+                FileKind::File { handle, .. } => match handle.metadata() {
+                    Ok(meta) => meta.size as i64,
+                    Err(e) => return Outcome::Complete(SysResult::Err(e)),
+                },
+                _ => 0,
             },
             _ => return Outcome::Complete(SysResult::Err(Errno::EINVAL)),
         };
@@ -402,7 +416,11 @@ impl KernelState {
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
         let meta = match file.kind() {
-            FileKind::File { path, .. } | FileKind::Directory { path } => match self.fs().stat(&path) {
+            FileKind::File { handle, .. } => match handle.metadata() {
+                Ok(meta) => meta,
+                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            },
+            FileKind::Directory { path } => match self.fs().stat(&path) {
                 Ok(meta) => meta,
                 Err(e) => return Outcome::Complete(SysResult::Err(e)),
             },
@@ -416,6 +434,23 @@ impl KernelState {
             },
         };
         Outcome::Complete(SysResult::Stat(meta))
+    }
+
+    pub(crate) fn sys_fsync(&mut self, pid: Pid, fd: Fd) -> Outcome {
+        let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
+            Ok(file) => file,
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        Outcome::Complete(match file.kind() {
+            FileKind::File { handle, .. } => match handle.fsync() {
+                Ok(()) => SysResult::Ok,
+                Err(e) => SysResult::Err(e),
+            },
+            // Directories and host sinks have nothing buffered kernel-side.
+            FileKind::Directory { .. } | FileKind::HostSink { .. } | FileKind::Null => SysResult::Ok,
+            // fsync on pipes and sockets is EINVAL, as on Linux.
+            _ => SysResult::Err(Errno::EINVAL),
+        })
     }
 
     pub(crate) fn sys_access(&mut self, pid: Pid, path: String, _mode: u32) -> Outcome {

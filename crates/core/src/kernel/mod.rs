@@ -18,7 +18,7 @@ use std::time::Duration;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use browsix_browser::{BlobRegistry, Message, PlatformConfig, Worker, WorkerScope};
-use browsix_fs::{Errno, MountedFs};
+use browsix_fs::{Errno, FileSystem as _, MountedFs};
 
 use crate::events::{HostRequest, KernelEvent, OutputSink};
 use crate::exec::{resolve_executable, ExecutableRegistry, ForkImage, LaunchContext, ProgramLauncher};
@@ -238,6 +238,7 @@ impl KernelState {
             Syscall::Unlink { path } => self.sys_unlink(pid, path),
             Syscall::Truncate { path, size } => self.sys_truncate(pid, path, size),
             Syscall::Rename { from, to } => self.sys_rename(pid, from, to),
+            Syscall::Fsync { fd } => self.sys_fsync(pid, fd),
             // directory IO
             Syscall::Readdir { path } => self.sys_readdir(pid, path),
             Syscall::Mkdir { path, mode } => self.sys_mkdir(pid, path, mode),
@@ -376,7 +377,11 @@ impl KernelState {
                 let _ = reply.send(self.sockets.listening_ports());
             }
             HostRequest::ReadStats { reply } => {
-                let _ = reply.send(self.stats.clone());
+                // Attach the VFS cache counters (dentry cache, httpfs page
+                // caches, overlay copy-ups) to the snapshot.
+                let mut stats = self.stats.clone();
+                stats.absorb_fs(self.fs.io_stats());
+                let _ = reply.send(stats);
             }
             HostRequest::ListTasks { reply } => {
                 let mut tasks: Vec<(Pid, Pid, String, String)> = self

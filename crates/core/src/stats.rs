@@ -36,6 +36,16 @@ pub struct KernelStats {
     pub signals_delivered: u64,
     /// Messages posted from the kernel to workers (responses, signals, init).
     pub messages_to_workers: u64,
+    /// Dentry-cache hits in the mount table (paths resolved without a scan).
+    pub dentry_cache_hits: u64,
+    /// Dentry-cache misses in the mount table.
+    pub dentry_cache_misses: u64,
+    /// Pages served from `httpfs` page caches without touching the network.
+    pub page_cache_hits: u64,
+    /// Pages fetched from remote servers (page-cache misses).
+    pub page_cache_misses: u64,
+    /// Files materialised in overlay writable layers by copy-up.
+    pub overlay_copy_ups: u64,
 }
 
 impl KernelStats {
@@ -67,6 +77,16 @@ impl KernelStats {
     pub fn record_message_to_worker(&mut self, copied_bytes: usize) {
         self.messages_to_workers += 1;
         self.bytes_copied += copied_bytes as u64;
+    }
+
+    /// Copies a VFS counter snapshot ([`browsix_fs::IoStats`]) into the
+    /// kernel statistics; called when a snapshot is handed to the host.
+    pub fn absorb_fs(&mut self, io: browsix_fs::IoStats) {
+        self.dentry_cache_hits = io.dentry_hits;
+        self.dentry_cache_misses = io.dentry_misses;
+        self.page_cache_hits = io.page_cache_hits;
+        self.page_cache_misses = io.page_cache_misses;
+        self.overlay_copy_ups = io.copy_ups;
     }
 
     /// The count for a particular system call.
@@ -148,6 +168,23 @@ mod tests {
         stats.record_message_to_worker(16);
         assert_eq!(stats.messages_to_workers, 2);
         assert_eq!(stats.bytes_copied, 80);
+    }
+
+    #[test]
+    fn absorb_fs_copies_vfs_counters() {
+        let mut stats = KernelStats::default();
+        stats.absorb_fs(browsix_fs::IoStats {
+            dentry_hits: 10,
+            dentry_misses: 2,
+            page_cache_hits: 7,
+            page_cache_misses: 3,
+            copy_ups: 1,
+        });
+        assert_eq!(stats.dentry_cache_hits, 10);
+        assert_eq!(stats.dentry_cache_misses, 2);
+        assert_eq!(stats.page_cache_hits, 7);
+        assert_eq!(stats.page_cache_misses, 3);
+        assert_eq!(stats.overlay_copy_ups, 1);
     }
 
     #[test]

@@ -262,6 +262,11 @@ pub enum Syscall {
         /// Destination path.
         to: String,
     },
+    /// Flush a descriptor's data to its backing store.
+    Fsync {
+        /// Descriptor.
+        fd: i32,
+    },
 
     // ---- directory IO ----------------------------------------------------------
     /// Read the entries of a directory (`readdir`/`getdents`).
@@ -395,6 +400,7 @@ const OP_GETSOCKNAME: u8 = 34;
 const OP_LISTEN: u8 = 35;
 const OP_ACCEPT: u8 = 36;
 const OP_CONNECT: u8 = 37;
+const OP_FSYNC: u8 = 38;
 
 impl Syscall {
     /// The syscall's name, used for statistics and tracing (and by the
@@ -424,6 +430,7 @@ impl Syscall {
             Syscall::Unlink { .. } => "unlink",
             Syscall::Truncate { .. } => "truncate",
             Syscall::Rename { .. } => "rename",
+            Syscall::Fsync { .. } => "fsync",
             Syscall::Readdir { .. } => "getdents",
             Syscall::Mkdir { .. } => "mkdir",
             Syscall::Rmdir { .. } => "rmdir",
@@ -476,7 +483,8 @@ impl Syscall {
             | Syscall::Dup2 { .. }
             | Syscall::Unlink { .. }
             | Syscall::Truncate { .. }
-            | Syscall::Rename { .. } => "File IO",
+            | Syscall::Rename { .. }
+            | Syscall::Fsync { .. } => "File IO",
             Syscall::Stat { .. }
             | Syscall::Fstat { .. }
             | Syscall::Access { .. }
@@ -615,6 +623,10 @@ impl Syscall {
                 wire::put_u8(out, OP_RENAME);
                 wire::put_str(out, from);
                 wire::put_str(out, to);
+            }
+            Syscall::Fsync { fd } => {
+                wire::put_u8(out, OP_FSYNC);
+                wire::put_i32(out, *fd);
             }
             Syscall::Readdir { path } => {
                 wire::put_u8(out, OP_READDIR);
@@ -787,6 +799,7 @@ impl Syscall {
                 from: r.str()?.to_owned(),
                 to: r.str()?.to_owned(),
             },
+            OP_FSYNC => Syscall::Fsync { fd: r.i32()? },
             OP_READDIR => Syscall::Readdir {
                 path: r.str()?.to_owned(),
             },
@@ -1293,6 +1306,7 @@ mod tests {
                 from: "/a".into(),
                 to: "/b".into(),
             },
+            Syscall::Fsync { fd: 3 },
             Syscall::Readdir {
                 path: "/usr/bin".into(),
             },

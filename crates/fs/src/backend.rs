@@ -7,11 +7,45 @@
 //! mutability so a backend can sit behind an `Arc` and be shared by the
 //! kernel and every process.
 
+use std::sync::Arc;
+
 use crate::errno::Errno;
-use crate::types::{DirEntry, Metadata};
+use crate::handle::FileHandle;
+use crate::types::{DirEntry, Metadata, OpenFlags};
 
 /// Result alias used by all file-system operations.
 pub type FsResult<T> = Result<T, Errno>;
+
+/// Cache and copy-up counters exposed by every layer of the VFS stack.
+///
+/// Each backend reports its own contribution; composing layers
+/// ([`MountedFs`](crate::MountedFs), [`OverlayFs`](crate::OverlayFs)) merge
+/// the counters of the backends beneath them, so the kernel can hand the host
+/// one aggregate snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Dentry-cache hits in the mount table (path resolved without a walk).
+    pub dentry_hits: u64,
+    /// Dentry-cache misses (path resolution had to scan the mount table).
+    pub dentry_misses: u64,
+    /// Pages served from an `httpfs` page cache without touching the network.
+    pub page_cache_hits: u64,
+    /// Pages fetched from the remote server (page-cache misses).
+    pub page_cache_misses: u64,
+    /// Files materialised in an overlay's writable layer by copy-up.
+    pub copy_ups: u64,
+}
+
+impl IoStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: IoStats) {
+        self.dentry_hits += other.dentry_hits;
+        self.dentry_misses += other.dentry_misses;
+        self.page_cache_hits += other.page_cache_hits;
+        self.page_cache_misses += other.page_cache_misses;
+        self.copy_ups += other.copy_ups;
+    }
+}
 
 /// A file-system backend.
 ///
@@ -86,31 +120,66 @@ pub trait FileSystem: Send + Sync {
     /// backends.
     fn rename(&self, from: &str, to: &str) -> FsResult<()>;
 
+    /// Resolves `path` **once** and returns a [`FileHandle`] bound to the
+    /// node, through which all subsequent data-plane I/O flows.  `flags`
+    /// drive backend policy: read-only backends reject write-mode opens, the
+    /// overlay arms copy-up-on-first-write for them.  Creation and
+    /// truncate-on-open are the caller's job ([`FileSystem::create`] and
+    /// [`FileHandle::truncate`]); `open_handle` only opens what exists.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ENOENT`] if missing, [`Errno::EISDIR`] if `path` is a
+    /// directory, [`Errno::EROFS`] for write-mode opens of read-only backends.
+    fn open_handle(&self, path: &str, flags: OpenFlags) -> FsResult<Arc<dyn FileHandle>>;
+
     /// Reads up to `len` bytes from the regular file at `path`, starting at
     /// byte `offset`.  Reads past the end of the file return a short (possibly
     /// empty) buffer.
     ///
+    /// Legacy path-per-operation shim: opens a throwaway handle for every
+    /// call.  Kernel descriptor I/O holds a [`FileHandle`] instead; this
+    /// remains for one-shot callers (`read_file`, staging, tests).
+    ///
     /// # Errors
     ///
     /// [`Errno::ENOENT`] if missing, [`Errno::EISDIR`] if a directory.
-    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>>;
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.open_handle(path, OpenFlags::read_only())?.read_at(offset, len)
+    }
 
     /// Writes `data` into the regular file at `path` at byte `offset`,
     /// extending the file (zero-filled) if the offset lies past the end.
     /// Returns the number of bytes written.
     ///
+    /// Legacy path-per-operation shim over [`FileSystem::open_handle`].
+    ///
     /// # Errors
     ///
     /// [`Errno::ENOENT`] if missing, [`Errno::EISDIR`] if a directory,
     /// [`Errno::EROFS`] on read-only backends.
-    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize>;
+    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let flags = OpenFlags {
+            write: true,
+            ..OpenFlags::default()
+        };
+        self.open_handle(path, flags)?.write_at(offset, data)
+    }
 
     /// Truncates (or zero-extends) the regular file at `path` to `size` bytes.
+    ///
+    /// Legacy path-per-operation shim over [`FileSystem::open_handle`].
     ///
     /// # Errors
     ///
     /// Same conditions as [`FileSystem::write_at`].
-    fn truncate(&self, path: &str, size: u64) -> FsResult<()>;
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let flags = OpenFlags {
+            write: true,
+            ..OpenFlags::default()
+        };
+        self.open_handle(path, flags)?.truncate(size)
+    }
 
     /// Updates access/modification times (the `utimes` system call).
     ///
@@ -129,6 +198,13 @@ pub trait FileSystem: Send + Sync {
     /// Whether a node exists at `path`.
     fn exists(&self, path: &str) -> bool {
         self.stat(path).is_ok()
+    }
+
+    /// Cache/copy-up counters for this backend, including any backends it
+    /// composes (overlay underlays, mounted file systems).  Backends with no
+    /// caches report zeros.
+    fn io_stats(&self) -> IoStats {
+        IoStats::default()
     }
 
     /// Reads an entire regular file.

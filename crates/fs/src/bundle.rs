@@ -11,8 +11,9 @@ use std::sync::Arc;
 
 use crate::backend::{FileSystem, FsResult};
 use crate::errno::Errno;
+use crate::handle::{deny_write_open, FileHandle, StaticHandle};
 use crate::path::{components, normalize};
-use crate::types::{now_millis, DirEntry, FileType, Metadata};
+use crate::types::{now_millis, DirEntry, FileType, Metadata, OpenFlags};
 
 /// A static set of files, assembled with [`Bundle::insert`] and then mounted
 /// through [`BundleFs`].
@@ -187,25 +188,21 @@ impl FileSystem for BundleFs {
         Err(Errno::EROFS)
     }
 
-    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+    /// The bundle's "inode" is the `Arc`'d byte buffer itself: the handle
+    /// holds it directly, so reads never consult the path map again.
+    fn open_handle(&self, path: &str, flags: OpenFlags) -> FsResult<Arc<dyn FileHandle>> {
+        deny_write_open(flags)?;
         let normalized = normalize(path);
         match self.bundle.files.get(&normalized) {
-            Some(data) => {
-                let start = (offset as usize).min(data.len());
-                let end = start.saturating_add(len).min(data.len());
-                Ok(data[start..end].to_vec())
-            }
+            Some(data) => Ok(Arc::new(StaticHandle {
+                backend: "bundlefs",
+                data: Arc::clone(data),
+                mode: 0o444,
+                timestamp_ms: self.created_ms,
+            })),
             None if self.is_implied_dir(&normalized) => Err(Errno::EISDIR),
             None => Err(Errno::ENOENT),
         }
-    }
-
-    fn write_at(&self, _path: &str, _offset: u64, _data: &[u8]) -> FsResult<usize> {
-        Err(Errno::EROFS)
-    }
-
-    fn truncate(&self, _path: &str, _size: u64) -> FsResult<()> {
-        Err(Errno::EROFS)
     }
 
     fn set_times(&self, _path: &str, _atime_ms: u64, _mtime_ms: u64) -> FsResult<()> {

@@ -8,6 +8,8 @@
 //! * [`path`] — purely lexical path manipulation (normalisation, joining).
 //! * [`types`] — metadata, directory entries, open flags.
 //! * [`backend`] — the [`FileSystem`] trait every backend implements.
+//! * [`handle`] — the [`FileHandle`] trait: open-file handles bound to a
+//!   node resolved once at `open`, the data plane of the VFS.
 //! * [`memfs`] — a writable in-memory file system.
 //! * [`httpfs`] — a read-only file system backed by a simulated remote HTTP
 //!   server; files are fetched lazily on first access and cached, exactly like
@@ -39,6 +41,7 @@
 pub mod backend;
 pub mod bundle;
 pub mod errno;
+pub mod handle;
 pub mod httpfs;
 pub mod locks;
 pub mod memfs;
@@ -47,9 +50,10 @@ pub mod overlay;
 pub mod path;
 pub mod types;
 
-pub use backend::{FileSystem, FsResult};
+pub use backend::{FileSystem, FsResult, IoStats};
 pub use bundle::{Bundle, BundleFs};
 pub use errno::Errno;
+pub use handle::{read_full, FileHandle};
 pub use httpfs::{HttpFs, HttpFsStats};
 pub use locks::{LockKind, PathLocks};
 pub use memfs::MemFs;

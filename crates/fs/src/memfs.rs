@@ -1,26 +1,51 @@
 //! An in-memory file system, the workhorse writable backend.
 //!
-//! This is the analogue of BrowserFS's `InMemory` backend: a tree of nodes
-//! held entirely in the kernel's heap.  It backs `/tmp`, the writable layer of
-//! overlays, and the staged application files in the case studies.
+//! This is the analogue of BrowserFS's `InMemory` backend, restructured
+//! around *inodes*: the directory tree maps names to nodes, and every regular
+//! file's contents live in their own `Arc<RwLock<..>>` so an open
+//! [`FileHandle`](crate::FileHandle) can keep reading and writing the file
+//! without ever re-walking the path — including after the file is renamed or
+//! unlinked, exactly like a Unix inode held open.  It backs `/tmp`, the
+//! writable layer of overlays, and the staged application files in the case
+//! studies.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use crate::backend::{FileSystem, FsResult};
 use crate::errno::Errno;
+use crate::handle::FileHandle;
 use crate::path::components;
-use crate::types::{now_millis, DirEntry, FileType, Metadata};
+use crate::types::{now_millis, DirEntry, FileType, Metadata, OpenFlags};
+
+/// The contents and attributes of one regular file — the inode.  Shared by
+/// the directory tree and every open handle.
+#[derive(Debug)]
+struct FileNode {
+    data: Vec<u8>,
+    mode: u32,
+    mtime_ms: u64,
+    atime_ms: u64,
+}
+
+impl FileNode {
+    fn metadata(&self) -> Metadata {
+        Metadata {
+            file_type: FileType::Regular,
+            size: self.data.len() as u64,
+            mode: self.mode,
+            mtime_ms: self.mtime_ms,
+            atime_ms: self.atime_ms,
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Node {
-    File {
-        data: Vec<u8>,
-        mode: u32,
-        mtime_ms: u64,
-        atime_ms: u64,
-    },
+    /// A regular file; cloning shares the inode.
+    File(Arc<RwLock<FileNode>>),
     Dir {
         children: BTreeMap<String, Node>,
         mode: u32,
@@ -42,28 +67,17 @@ impl Node {
 
     fn new_file(mode: u32) -> Node {
         let now = now_millis();
-        Node::File {
+        Node::File(Arc::new(RwLock::new(FileNode {
             data: Vec::new(),
             mode,
             mtime_ms: now,
             atime_ms: now,
-        }
+        })))
     }
 
     fn metadata(&self) -> Metadata {
         match self {
-            Node::File {
-                data,
-                mode,
-                mtime_ms,
-                atime_ms,
-            } => Metadata {
-                file_type: FileType::Regular,
-                size: data.len() as u64,
-                mode: *mode,
-                mtime_ms: *mtime_ms,
-                atime_ms: *atime_ms,
-            },
+            Node::File(inode) => inode.read().metadata(),
             Node::Dir {
                 mode,
                 mtime_ms,
@@ -86,6 +100,76 @@ pub struct MemFs {
     root: RwLock<Node>,
 }
 
+/// A handle to an open `MemFs` file: an `Arc` straight to the inode, so I/O
+/// never touches the directory tree (and survives rename/unlink).
+struct MemHandle {
+    inode: Arc<RwLock<FileNode>>,
+}
+
+impl FileHandle for MemHandle {
+    fn backend_name(&self) -> &'static str {
+        "memfs"
+    }
+
+    fn metadata(&self) -> FsResult<Metadata> {
+        Ok(self.inode.read().metadata())
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let inode = self.inode.read();
+        let start = (offset as usize).min(inode.data.len());
+        let end = start.saturating_add(len).min(inode.data.len());
+        Ok(inode.data[start..end].to_vec())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let mut inode = self.inode.write();
+        let offset = offset as usize;
+        if inode.data.len() < offset {
+            inode.data.resize(offset, 0);
+        }
+        let end = offset + data.len();
+        if inode.data.len() < end {
+            inode.data.resize(end, 0);
+        }
+        inode.data[offset..end].copy_from_slice(data);
+        inode.mtime_ms = now_millis();
+        Ok(data.len())
+    }
+
+    fn append(&self, data: &[u8]) -> FsResult<u64> {
+        // Seek-to-end and write under one lock acquisition: concurrent
+        // appenders can interleave but never overwrite (O_APPEND semantics).
+        let mut inode = self.inode.write();
+        inode.data.extend_from_slice(data);
+        inode.mtime_ms = now_millis();
+        Ok(inode.data.len() as u64)
+    }
+
+    fn truncate(&self, size: u64) -> FsResult<()> {
+        let mut inode = self.inode.write();
+        inode.data.resize(size as usize, 0);
+        inode.mtime_ms = now_millis();
+        Ok(())
+    }
+}
+
+/// A handle over a fresh, anonymous inode not linked into any directory
+/// tree.  The overlay promotes to one of these when a pending write's name
+/// has been unlinked or renamed away (POSIX write-after-unlink semantics) —
+/// the data lives exactly as long as the handle.
+pub(crate) fn detached_handle(data: Vec<u8>) -> Arc<dyn FileHandle> {
+    let now = now_millis();
+    Arc::new(MemHandle {
+        inode: Arc::new(RwLock::new(FileNode {
+            data,
+            mode: 0o600,
+            mtime_ms: now,
+            atime_ms: now,
+        })),
+    })
+}
+
 impl MemFs {
     /// Creates an empty file system containing only the root directory.
     pub fn new() -> MemFs {
@@ -99,7 +183,7 @@ impl MemFs {
     pub fn node_count(&self) -> usize {
         fn count(node: &Node) -> usize {
             match node {
-                Node::File { .. } => 1,
+                Node::File(_) => 1,
                 Node::Dir { children, .. } => 1 + children.values().map(count).sum::<usize>(),
             }
         }
@@ -127,7 +211,7 @@ impl MemFs {
         for comp in &parents {
             current = match current {
                 Node::Dir { children, .. } => children.get_mut(comp).ok_or(Errno::ENOENT)?,
-                Node::File { .. } => return Err(Errno::ENOTDIR),
+                Node::File(_) => return Err(Errno::ENOTDIR),
             };
         }
         match current {
@@ -135,15 +219,15 @@ impl MemFs {
                 *mtime_ms = now_millis();
                 f(children, &name)
             }
-            Node::File { .. } => Err(Errno::ENOTDIR),
+            Node::File(_) => Err(Errno::ENOTDIR),
         }
     }
 
-    fn with_file_mut<T>(&self, path: &str, f: impl FnOnce(&mut Vec<u8>, &mut u64) -> T) -> FsResult<T> {
-        self.with_parent_mut(path, |children, name| match children.get_mut(name) {
-            Some(Node::File { data, mtime_ms, .. }) => Ok(f(data, mtime_ms)),
-            Some(Node::Dir { .. }) => Err(Errno::EISDIR),
-            None => Err(Errno::ENOENT),
+    /// Resolves `path` to its inode (the open-time name resolution).
+    fn file_inode(&self, path: &str) -> FsResult<Arc<RwLock<FileNode>>> {
+        self.with_node(path, |node| match node {
+            Node::File(inode) => Ok(Arc::clone(inode)),
+            Node::Dir { .. } => Err(Errno::EISDIR),
         })
     }
 }
@@ -159,7 +243,7 @@ fn lookup<'a>(root: &'a Node, path: &str) -> FsResult<&'a Node> {
     for comp in components(path) {
         current = match current {
             Node::Dir { children, .. } => children.get(&comp).ok_or(Errno::ENOENT)?,
-            Node::File { .. } => return Err(Errno::ENOTDIR),
+            Node::File(_) => return Err(Errno::ENOTDIR),
         };
     }
     Ok(current)
@@ -183,7 +267,7 @@ impl FileSystem for MemFs {
                     file_type: child.metadata().file_type,
                 })
                 .collect()),
-            Node::File { .. } => Err(Errno::ENOTDIR),
+            Node::File(_) => Err(Errno::ENOTDIR),
         })
     }
 
@@ -210,14 +294,14 @@ impl FileSystem for MemFs {
                     Err(Errno::ENOTEMPTY)
                 }
             }
-            Some(Node::File { .. }) => Err(Errno::ENOTDIR),
+            Some(Node::File(_)) => Err(Errno::ENOTDIR),
             None => Err(Errno::ENOENT),
         })
     }
 
     fn create(&self, path: &str, mode: u32) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get(name) {
-            Some(Node::File { .. }) => Ok(()),
+            Some(Node::File(_)) => Ok(()),
             Some(Node::Dir { .. }) => Err(Errno::EISDIR),
             None => {
                 children.insert(name.to_owned(), Node::new_file(mode));
@@ -228,7 +312,9 @@ impl FileSystem for MemFs {
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get(name) {
-            Some(Node::File { .. }) => {
+            Some(Node::File(_)) => {
+                // Open handles keep the inode alive through their Arc; only
+                // the name goes away, as with a real unlink.
                 children.remove(name);
                 Ok(())
             }
@@ -239,6 +325,7 @@ impl FileSystem for MemFs {
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
         // Detach the source subtree, then reattach it at the destination.
+        // File nodes are Arc-shared inodes, so open handles follow the move.
         let node = self.with_parent_mut(from, |children, name| children.remove(name).ok_or(Errno::ENOENT))?;
         let reattach = self.with_parent_mut(to, |children, name| {
             match children.get(name) {
@@ -257,48 +344,20 @@ impl FileSystem for MemFs {
         reattach
     }
 
-    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
-        self.with_node(path, |node| match node {
-            Node::File { data, .. } => {
-                let start = (offset as usize).min(data.len());
-                let end = start.saturating_add(len).min(data.len());
-                Ok(data[start..end].to_vec())
-            }
-            Node::Dir { .. } => Err(Errno::EISDIR),
-        })
-    }
-
-    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
-        self.with_file_mut(path, |contents, mtime| {
-            let offset = offset as usize;
-            if contents.len() < offset {
-                contents.resize(offset, 0);
-            }
-            let end = offset + data.len();
-            if contents.len() < end {
-                contents.resize(end, 0);
-            }
-            contents[offset..end].copy_from_slice(data);
-            *mtime = now_millis();
-            data.len()
-        })
-    }
-
-    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        self.with_file_mut(path, |contents, mtime| {
-            contents.resize(size as usize, 0);
-            *mtime = now_millis();
-        })
+    fn open_handle(&self, path: &str, _flags: OpenFlags) -> FsResult<Arc<dyn FileHandle>> {
+        let inode = self.file_inode(path)?;
+        Ok(Arc::new(MemHandle { inode }))
     }
 
     fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get_mut(name) {
-            Some(Node::File {
-                atime_ms: a,
-                mtime_ms: m,
-                ..
-            })
-            | Some(Node::Dir {
+            Some(Node::File(inode)) => {
+                let mut inode = inode.write();
+                inode.atime_ms = atime_ms;
+                inode.mtime_ms = mtime_ms;
+                Ok(())
+            }
+            Some(Node::Dir {
                 atime_ms: a,
                 mtime_ms: m,
                 ..
@@ -313,7 +372,11 @@ impl FileSystem for MemFs {
 
     fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
         self.with_parent_mut(path, |children, name| match children.get_mut(name) {
-            Some(Node::File { mode: m, .. }) | Some(Node::Dir { mode: m, .. }) => {
+            Some(Node::File(inode)) => {
+                inode.write().mode = mode & 0o7777;
+                Ok(())
+            }
+            Some(Node::Dir { mode: m, .. }) => {
                 *m = mode & 0o7777;
                 Ok(())
             }
@@ -469,5 +532,65 @@ mod tests {
         let fs = MemFs::new();
         assert_eq!(fs.mkdir("/"), Err(Errno::EINVAL));
         assert_eq!(fs.unlink("/"), Err(Errno::EINVAL));
+    }
+
+    // ---- handle-layer (inode) behaviour -------------------------------------
+
+    #[test]
+    fn handle_io_round_trips_without_paths() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"hello world").unwrap();
+        let h = fs.open_handle("/f", OpenFlags::read_write()).unwrap();
+        assert_eq!(h.read_at(6, 5).unwrap(), b"world");
+        assert_eq!(h.write_at(0, b"HELLO").unwrap(), 5);
+        assert_eq!(fs.read_file("/f").unwrap(), b"HELLO world");
+        h.truncate(5).unwrap();
+        assert_eq!(h.metadata().unwrap().size, 5);
+        assert_eq!(h.backend_name(), "memfs");
+        h.fsync().unwrap();
+    }
+
+    #[test]
+    fn open_handle_of_dir_is_eisdir_and_missing_is_enoent() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        assert!(matches!(
+            fs.open_handle("/d", OpenFlags::read_only()),
+            Err(Errno::EISDIR)
+        ));
+        assert!(matches!(
+            fs.open_handle("/nope", OpenFlags::read_only()),
+            Err(Errno::ENOENT)
+        ));
+    }
+
+    #[test]
+    fn handle_survives_rename_and_unlink() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"inode").unwrap();
+        let h = fs.open_handle("/f", OpenFlags::read_write()).unwrap();
+        fs.rename("/f", "/g").unwrap();
+        assert_eq!(h.read_at(0, 5).unwrap(), b"inode");
+        h.write_at(0, b"INODE").unwrap();
+        assert_eq!(fs.read_file("/g").unwrap(), b"INODE");
+        // After unlink the name is gone but the open handle still works.
+        fs.unlink("/g").unwrap();
+        assert_eq!(h.read_at(0, 5).unwrap(), b"INODE");
+        assert_eq!(h.append(b"!").unwrap(), 6);
+    }
+
+    #[test]
+    fn append_is_atomic_across_two_handles() {
+        let fs = MemFs::new();
+        fs.write_file("/log", b"").unwrap();
+        let a = fs.open_handle("/log", OpenFlags::append_create()).unwrap();
+        let b = fs.open_handle("/log", OpenFlags::append_create()).unwrap();
+        // Interleaved appends from two independent opens: every write lands
+        // at the then-current end of file, nothing is overwritten.
+        assert_eq!(a.append(b"a1 ").unwrap(), 3);
+        assert_eq!(b.append(b"b1 ").unwrap(), 6);
+        assert_eq!(a.append(b"a2 ").unwrap(), 9);
+        assert_eq!(b.append(b"b2 ").unwrap(), 12);
+        assert_eq!(fs.read_file("/log").unwrap(), b"a1 b1 a2 b2 ");
     }
 }

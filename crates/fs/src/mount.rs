@@ -1,30 +1,102 @@
-//! The mount table: composing backends into a single hierarchy.
+//! The mount table: composing backends into a single hierarchy, with a
+//! dentry cache in front.
 //!
 //! BrowserFS supports "multiple mounted filesystems in a single hierarchical
 //! directory structure"; the Browsix kernel holds one such composed instance
 //! and routes every path-based system call through it.  [`MountedFs`] plays
 //! that role here: a root backend plus any number of mounts, itself
 //! implementing [`FileSystem`] so the kernel deals with a single object.
+//!
+//! Two things make the composed view fast:
+//!
+//! * a **dentry cache** mapping already-seen paths to their resolved
+//!   `(backend, inner path)` pair, so `stat`-heavy workloads (`ls`, a
+//!   recursive `grep`) stop re-normalising strings and re-scanning the mount
+//!   table on every call.  Entries are invalidated on `rename`/`unlink`/
+//!   `rmdir` (the whole subtree) and the cache is flushed on mount-table
+//!   changes.  Hit/miss counters surface through
+//!   [`FileSystem::io_stats`].
+//! * **open-file handles**: [`FileSystem::open_handle`] resolves the mount
+//!   point once and returns the backend's handle directly, so descriptor I/O
+//!   never routes through the mount table again.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::backend::{FileSystem, FsResult};
+use crate::backend::{FileSystem, FsResult, IoStats};
 use crate::errno::Errno;
+use crate::handle::FileHandle;
 use crate::path::{basename, dirname, normalize, starts_with, strip_prefix};
-use crate::types::{DirEntry, FileType, Metadata};
+use crate::types::{DirEntry, FileType, Metadata, OpenFlags};
+
+/// Upper bound on cached dentries; the cache is flushed wholesale when it
+/// fills (simple, and a 4096-entry working set covers the case studies).
+const DENTRY_CACHE_CAPACITY: usize = 4096;
 
 struct Mount {
     point: String,
     fs: Arc<dyn FileSystem>,
 }
 
+/// A resolved path: the backend responsible for it and the path within that
+/// backend.  Routing depends only on the mount table, so cached entries stay
+/// valid until the table changes (invalidation on namespace ops is belt and
+/// braces, and keeps the door open for caching negative lookups later).
+#[derive(Clone)]
+struct Dentry {
+    fs: Arc<dyn FileSystem>,
+    inner: String,
+}
+
+#[derive(Default)]
+struct DentryCache {
+    entries: Mutex<HashMap<String, Dentry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DentryCache {
+    fn get(&self, path: &str) -> Option<Dentry> {
+        let cached = self.entries.lock().get(path).cloned();
+        if cached.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
+    fn insert(&self, path: String, dentry: Dentry) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= DENTRY_CACHE_CAPACITY {
+            entries.clear();
+        }
+        entries.insert(path, dentry);
+    }
+
+    /// Drops `path` and everything beneath it.
+    fn invalidate_subtree(&self, path: &str) {
+        let normalized = normalize(path);
+        self.entries.lock().retain(|p, _| !starts_with(p, &normalized));
+    }
+
+    fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
 /// A composed file system: one root backend plus zero or more mounts.
 pub struct MountedFs {
     root: Arc<dyn FileSystem>,
     mounts: RwLock<Vec<Mount>>,
+    dcache: DentryCache,
 }
 
 impl std::fmt::Debug for MountedFs {
@@ -48,6 +120,7 @@ impl MountedFs {
         MountedFs {
             root,
             mounts: RwLock::new(Vec::new()),
+            dcache: DentryCache::default(),
         }
     }
 
@@ -70,6 +143,8 @@ impl MountedFs {
         mounts.push(Mount { point, fs });
         // Longest mount point first so resolution picks the most specific.
         mounts.sort_by_key(|m| std::cmp::Reverse(m.point.len()));
+        // Routing changed: every cached dentry is suspect.
+        self.dcache.clear();
         Ok(())
     }
 
@@ -86,6 +161,7 @@ impl MountedFs {
         if mounts.len() == before {
             Err(Errno::EINVAL)
         } else {
+            self.dcache.clear();
             Ok(())
         }
     }
@@ -96,17 +172,40 @@ impl MountedFs {
         self.mounts.read().iter().map(|m| m.point.clone()).collect()
     }
 
-    /// Resolves `path` to the responsible backend and the path within it.
+    /// Dentry-cache hit and miss counts since creation.
+    pub fn dentry_cache_counters(&self) -> (u64, u64) {
+        self.dcache.counters()
+    }
+
+    /// Resolves `path` to the responsible backend and the path within it,
+    /// consulting the dentry cache first.
     fn route(&self, path: &str) -> (Arc<dyn FileSystem>, String) {
         let normalized = normalize(path);
-        let mounts = self.mounts.read();
-        for mount in mounts.iter() {
-            if starts_with(&normalized, &mount.point) {
-                let inner = strip_prefix(&normalized, &mount.point).unwrap_or_else(|| "/".to_owned());
-                return (Arc::clone(&mount.fs), inner);
-            }
+        if let Some(dentry) = self.dcache.get(&normalized) {
+            return (dentry.fs, dentry.inner);
         }
-        (Arc::clone(&self.root), normalized)
+        // Resolve AND insert under the mount-table read lock: a concurrent
+        // mount/unmount takes the write lock (and flushes the cache) either
+        // strictly before or strictly after this block, so a stale dentry can
+        // never be inserted after the flush.  Lock order is always
+        // mounts → dcache, so this cannot deadlock with the flush paths.
+        let mounts = self.mounts.read();
+        let resolved = mounts
+            .iter()
+            .find(|mount| starts_with(&normalized, &mount.point))
+            .map(|mount| {
+                let inner = strip_prefix(&normalized, &mount.point).unwrap_or_else(|| "/".to_owned());
+                (Arc::clone(&mount.fs), inner)
+            })
+            .unwrap_or_else(|| (Arc::clone(&self.root), normalized.clone()));
+        self.dcache.insert(
+            normalized,
+            Dentry {
+                fs: Arc::clone(&resolved.0),
+                inner: resolved.1.clone(),
+            },
+        );
+        resolved
     }
 
     /// Mount points whose parent directory is `dir` — these must show up in
@@ -125,6 +224,20 @@ impl MountedFs {
 impl FileSystem for MountedFs {
     fn backend_name(&self) -> &'static str {
         "mounted"
+    }
+
+    fn io_stats(&self) -> IoStats {
+        let (dentry_hits, dentry_misses) = self.dcache.counters();
+        let mut stats = IoStats {
+            dentry_hits,
+            dentry_misses,
+            ..IoStats::default()
+        };
+        stats.merge(self.root.io_stats());
+        for mount in self.mounts.read().iter() {
+            stats.merge(mount.fs.io_stats());
+        }
+        stats
     }
 
     fn stat(&self, path: &str) -> FsResult<Metadata> {
@@ -178,7 +291,11 @@ impl FileSystem for MountedFs {
             return Err(Errno::EBUSY);
         }
         let (fs, inner) = self.route(path);
-        fs.rmdir(&inner)
+        let result = fs.rmdir(&inner);
+        if result.is_ok() {
+            self.dcache.invalidate_subtree(&normalized);
+        }
+        result
     }
 
     fn create(&self, path: &str, mode: u32) -> FsResult<()> {
@@ -188,39 +305,36 @@ impl FileSystem for MountedFs {
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         let (fs, inner) = self.route(path);
-        fs.unlink(&inner)
+        let result = fs.unlink(&inner);
+        if result.is_ok() {
+            self.dcache.invalidate_subtree(path);
+        }
+        result
     }
 
+    /// Renames within one backend.  A rename whose source and destination
+    /// resolve to *different* mounts fails with [`Errno::EXDEV`], exactly as
+    /// `rename(2)` does across device boundaries — callers that want the
+    /// copy-then-unlink behaviour (like `mv`) must do it themselves.
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
         let (from_fs, from_inner) = self.route(from);
         let (to_fs, to_inner) = self.route(to);
-        if Arc::ptr_eq(&from_fs, &to_fs) {
-            return from_fs.rename(&from_inner, &to_inner);
-        }
-        // Cross-mount rename: copy then delete, as libc does for EXDEV-aware
-        // callers; we do it kernel-side because guests expect mv to work.
-        let meta = from_fs.stat(&from_inner)?;
-        if meta.is_dir() {
+        if !Arc::ptr_eq(&from_fs, &to_fs) {
             return Err(Errno::EXDEV);
         }
-        let data = from_fs.read_file(&from_inner)?;
-        to_fs.write_file(&to_inner, &data)?;
-        from_fs.unlink(&from_inner)
+        let result = from_fs.rename(&from_inner, &to_inner);
+        if result.is_ok() {
+            self.dcache.invalidate_subtree(from);
+            self.dcache.invalidate_subtree(to);
+        }
+        result
     }
 
-    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+    /// Resolves the mount point once; the returned handle goes straight to
+    /// the owning backend for every subsequent operation.
+    fn open_handle(&self, path: &str, flags: OpenFlags) -> FsResult<Arc<dyn FileHandle>> {
         let (fs, inner) = self.route(path);
-        fs.read_at(&inner, offset, len)
-    }
-
-    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
-        let (fs, inner) = self.route(path);
-        fs.write_at(&inner, offset, data)
-    }
-
-    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        let (fs, inner) = self.route(path);
-        fs.truncate(&inner, size)
+        fs.open_handle(&inner, flags)
     }
 
     fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
@@ -315,14 +429,23 @@ mod tests {
     }
 
     #[test]
-    fn cross_mount_rename_copies_file() {
+    fn cross_mount_rename_is_exdev() {
         let fs = MountedFs::new(Arc::new(MemFs::new()));
         let scratch = Arc::new(MemFs::new());
         fs.mount("/tmp", scratch).unwrap();
         fs.write_file("/source.txt", b"payload").unwrap();
-        fs.rename("/source.txt", "/tmp/dest.txt").unwrap();
-        assert_eq!(fs.read_file("/tmp/dest.txt").unwrap(), b"payload");
-        assert!(!fs.exists("/source.txt"));
+        // rename(2) semantics: crossing a mount boundary is the caller's
+        // problem (mv falls back to copy + unlink on EXDEV).
+        assert_eq!(fs.rename("/source.txt", "/tmp/dest.txt"), Err(Errno::EXDEV));
+        assert_eq!(fs.rename("/tmp/nope", "/elsewhere"), Err(Errno::EXDEV));
+        // The source is untouched by the failed rename.
+        assert_eq!(fs.read_file("/source.txt").unwrap(), b"payload");
+        // Same-backend renames still work, on both sides of the mount.
+        fs.rename("/source.txt", "/renamed.txt").unwrap();
+        assert_eq!(fs.read_file("/renamed.txt").unwrap(), b"payload");
+        fs.write_file("/tmp/a", b"1").unwrap();
+        fs.rename("/tmp/a", "/tmp/b").unwrap();
+        assert_eq!(fs.read_file("/tmp/b").unwrap(), b"1");
     }
 
     #[test]
@@ -330,5 +453,85 @@ mod tests {
         let fs = MountedFs::new(Arc::new(MemFs::new()));
         fs.mount("/ro", texmf_bundle()).unwrap();
         assert_eq!(fs.write_file("/ro/new", b"x"), Err(Errno::EROFS));
+    }
+
+    // ---- dentry cache ---------------------------------------------------------
+
+    #[test]
+    fn repeated_stats_hit_the_dentry_cache() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mkdir("/home").unwrap();
+        fs.write_file("/home/file", b"data").unwrap();
+        let (_, misses_before) = fs.dentry_cache_counters();
+        for _ in 0..5 {
+            fs.stat("/home/file").unwrap();
+        }
+        let (hits, misses) = fs.dentry_cache_counters();
+        assert!(hits >= 4, "expected cache hits, got {hits}");
+        // write_file may already have warmed the entry; at most one new miss.
+        assert!(misses <= misses_before + 1, "repeated stats must not keep missing");
+        let io = fs.io_stats();
+        assert_eq!(io.dentry_hits, hits);
+        assert_eq!(io.dentry_misses, misses);
+    }
+
+    #[test]
+    fn dentry_cache_is_invalidated_by_namespace_ops() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/d/f", b"1").unwrap();
+        fs.stat("/d/f").unwrap();
+        fs.rename("/d/f", "/d/g").unwrap();
+        assert_eq!(fs.stat("/d/f"), Err(Errno::ENOENT));
+        assert_eq!(fs.read_file("/d/g").unwrap(), b"1");
+        fs.unlink("/d/g").unwrap();
+        assert_eq!(fs.stat("/d/g"), Err(Errno::ENOENT));
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.stat("/d"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn dentry_cache_is_flushed_on_mount_changes() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.write_file("/data", b"root-file").unwrap();
+        fs.unlink("/data").unwrap();
+        fs.mkdir("/data").unwrap();
+        fs.stat("/data").unwrap();
+        // Mounting over /data must re-route cached descendants.
+        fs.mount("/data", texmf_bundle()).unwrap();
+        assert_eq!(fs.read_file("/data/article.cls").unwrap(), b"class");
+        fs.unmount("/data").unwrap();
+        assert_eq!(fs.stat("/data/article.cls"), Err(Errno::ENOENT));
+    }
+
+    // ---- handles through the mount table ---------------------------------------
+
+    #[test]
+    fn open_handle_resolves_the_mount_once() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mount("/ro", texmf_bundle()).unwrap();
+        let h = fs.open_handle("/ro/article.cls", OpenFlags::read_only()).unwrap();
+        assert_eq!(
+            h.backend_name(),
+            "bundlefs",
+            "handle must come from the mounted backend"
+        );
+        assert_eq!(h.read_at(0, 5).unwrap(), b"class");
+
+        fs.write_file("/local", b"root").unwrap();
+        let h = fs.open_handle("/local", OpenFlags::read_write()).unwrap();
+        assert_eq!(h.backend_name(), "memfs");
+        h.write_at(0, b"ROOT").unwrap();
+        assert_eq!(fs.read_file("/local").unwrap(), b"ROOT");
+    }
+
+    #[test]
+    fn handle_io_is_unaffected_by_unmount_of_other_trees() {
+        let fs = MountedFs::new(Arc::new(MemFs::new()));
+        fs.mount("/ro", texmf_bundle()).unwrap();
+        fs.write_file("/f", b"stable").unwrap();
+        let h = fs.open_handle("/f", OpenFlags::read_only()).unwrap();
+        fs.unmount("/ro").unwrap();
+        assert_eq!(h.read_at(0, 6).unwrap(), b"stable");
     }
 }

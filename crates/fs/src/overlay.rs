@@ -15,16 +15,18 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::{make_parent_dirs, FileSystem, FsResult};
+use crate::backend::{make_parent_dirs, FileSystem, FsResult, IoStats};
 use crate::errno::Errno;
+use crate::handle::FileHandle;
 use crate::locks::PathLocks;
 use crate::memfs::MemFs;
 use crate::path::normalize;
-use crate::types::{DirEntry, Metadata};
+use crate::types::{DirEntry, Metadata, OpenFlags};
 
 /// How the overlay treats its read-only underlay at initialisation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,13 +40,76 @@ pub enum OverlayMode {
     Eager,
 }
 
+/// Log of namespace changes (`unlink`, both sides of `rename`, `rmdir`):
+/// a monotonically increasing sequence plus the affected path per event.
+/// A lazy write-armed handle records the sequence at `open`; before binding
+/// its copy-up to the path it checks whether any later event hit the path
+/// *or an ancestor* (a renamed parent directory invalidates every name
+/// beneath it).  If so, the handle promotes to a detached orphan inode
+/// instead of resurrecting the old name or clobbering its new occupant.
+#[derive(Debug, Default)]
+struct NsLog {
+    seq: u64,
+    events: Vec<(u64, String)>,
+    /// opened-sequence → number of live write-armed handles opened there.
+    /// Events at or before the smallest watched sequence can never matter
+    /// again and are pruned, so the log is bounded by the churn during the
+    /// lifetime of outstanding handles, not the filesystem's lifetime.
+    watchers: BTreeMap<u64, usize>,
+}
+
+impl NsLog {
+    fn record(&mut self, path: String) {
+        self.seq += 1;
+        if self.watchers.is_empty() {
+            // No handle can ever observe this event.
+            self.events.clear();
+            return;
+        }
+        let seq = self.seq;
+        self.events.push((seq, path));
+    }
+
+    /// Registers a write-armed handle; returns the sequence it opened at.
+    fn watch(&mut self) -> u64 {
+        let seq = self.seq;
+        *self.watchers.entry(seq).or_insert(0) += 1;
+        seq
+    }
+
+    /// Drops a handle's registration and prunes unobservable events.
+    fn unwatch(&mut self, opened_seq: u64) {
+        if let Some(count) = self.watchers.get_mut(&opened_seq) {
+            *count -= 1;
+            if *count == 0 {
+                self.watchers.remove(&opened_seq);
+            }
+        }
+        match self.watchers.keys().next().copied() {
+            None => self.events.clear(),
+            Some(min) => self.events.retain(|(seq, _)| *seq > min),
+        }
+    }
+
+    /// Whether `path` (or an ancestor of it) changed after `since`.
+    fn invalidated_since(&self, path: &str, since: u64) -> bool {
+        self.events
+            .iter()
+            .rev()
+            .take_while(|(seq, _)| *seq > since)
+            .any(|(_, changed)| crate::path::starts_with(path, changed))
+    }
+}
+
 /// A writable overlay on top of a read-only underlay.
 pub struct OverlayFs {
-    upper: MemFs,
+    upper: Arc<MemFs>,
     lower: Arc<dyn FileSystem>,
     whiteouts: Mutex<HashSet<String>>,
     locks: PathLocks,
     mode: OverlayMode,
+    copy_ups: Arc<AtomicU64>,
+    ns_log: Arc<Mutex<NsLog>>,
 }
 
 impl std::fmt::Debug for OverlayFs {
@@ -65,11 +130,13 @@ impl OverlayFs {
     /// replaced.
     pub fn new(lower: Arc<dyn FileSystem>, mode: OverlayMode) -> OverlayFs {
         let overlay = OverlayFs {
-            upper: MemFs::new(),
+            upper: Arc::new(MemFs::new()),
             lower,
             whiteouts: Mutex::new(HashSet::new()),
             locks: PathLocks::new(),
             mode,
+            copy_ups: Arc::new(AtomicU64::new(0)),
+            ns_log: Arc::new(Mutex::new(NsLog::default())),
         };
         if mode == OverlayMode::Eager {
             overlay.copy_up_tree("/");
@@ -80,6 +147,12 @@ impl OverlayFs {
     /// The overlay's initialisation mode.
     pub fn mode(&self) -> OverlayMode {
         self.mode
+    }
+
+    /// Number of files materialised in the writable layer by copy-up (both
+    /// eager initialisation and copy-up-on-first-write).
+    pub fn copy_up_count(&self) -> u64 {
+        self.copy_ups.load(Ordering::Relaxed)
     }
 
     /// The per-path advisory lock table shared by all processes using this
@@ -98,8 +171,28 @@ impl OverlayFs {
         self.upper.node_count()
     }
 
+    /// Whether `path` — or any ancestor of it — has been whited out.  The
+    /// ancestor walk matters after a lower *directory* is renamed or removed:
+    /// only the directory itself gets a whiteout entry, but everything
+    /// beneath it must disappear from the merged view too.
     fn is_whited_out(&self, path: &str) -> bool {
-        self.whiteouts.lock().contains(&normalize(path))
+        let whiteouts = self.whiteouts.lock();
+        if whiteouts.is_empty() {
+            return false;
+        }
+        // O(depth) hash lookups: check the path and each of its ancestors,
+        // trimming one component at a time off the normalised string.
+        let normalized = normalize(path);
+        let mut candidate = normalized.as_str();
+        loop {
+            if whiteouts.contains(candidate) {
+                return true;
+            }
+            match candidate.rfind('/') {
+                Some(0) | None => return false,
+                Some(idx) => candidate = &candidate[..idx],
+            }
+        }
     }
 
     fn add_whiteout(&self, path: &str) {
@@ -124,8 +217,10 @@ impl OverlayFs {
                 }
             }
         } else if let Ok(data) = self.lower.read_file(path) {
-            let _ = make_parent_dirs(&self.upper, path);
-            let _ = self.upper.write_file(path, &data);
+            let _ = make_parent_dirs(self.upper.as_ref(), path);
+            if self.upper.write_file(path, &data).is_ok() {
+                self.copy_ups.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -140,7 +235,7 @@ impl OverlayFs {
             return Err(Errno::ENOENT);
         }
         let meta = self.lower.stat(path)?;
-        make_parent_dirs(&self.upper, path)?;
+        make_parent_dirs(self.upper.as_ref(), path)?;
         if meta.is_dir() {
             match self.upper.mkdir(path) {
                 Ok(()) | Err(Errno::EEXIST) => Ok(()),
@@ -148,12 +243,20 @@ impl OverlayFs {
             }
         } else {
             let data = self.lower.read_file(path)?;
-            self.upper.write_file(path, &data)
+            self.upper.write_file(path, &data)?;
+            self.copy_ups.fetch_add(1, Ordering::Relaxed);
+            Ok(())
         }
     }
 
     fn visible_in_lower(&self, path: &str) -> bool {
         !self.is_whited_out(path) && self.lower.exists(path)
+    }
+
+    /// Marks that `path` (and, implicitly, everything beneath it) no longer
+    /// names what it used to name.
+    fn log_namespace_change(&self, path: &str) {
+        self.ns_log.lock().record(normalize(path));
     }
 }
 
@@ -212,7 +315,7 @@ impl FileSystem for OverlayFs {
         if self.visible_in_lower(path) || self.upper.exists(path) {
             return Err(Errno::EEXIST);
         }
-        make_parent_dirs(&self.upper, path)?;
+        make_parent_dirs(self.upper.as_ref(), path)?;
         self.upper.mkdir(path)?;
         self.clear_whiteout(path);
         Ok(())
@@ -229,6 +332,7 @@ impl FileSystem for OverlayFs {
         if self.lower.exists(path) {
             self.add_whiteout(path);
         }
+        self.log_namespace_change(path);
         Ok(())
     }
 
@@ -248,7 +352,7 @@ impl FileSystem for OverlayFs {
         if !self.exists(&parent) {
             return Err(Errno::ENOENT);
         }
-        make_parent_dirs(&self.upper, path)?;
+        make_parent_dirs(self.upper.as_ref(), path)?;
         self.upper.create(path, mode)?;
         self.clear_whiteout(path);
         Ok(())
@@ -265,6 +369,7 @@ impl FileSystem for OverlayFs {
         if self.lower.exists(path) {
             self.add_whiteout(path);
         }
+        self.log_namespace_change(path);
         Ok(())
     }
 
@@ -280,11 +385,11 @@ impl FileSystem for OverlayFs {
                     let _ = self.copy_up(&child);
                 }
             }
-            make_parent_dirs(&self.upper, to)?;
+            make_parent_dirs(self.upper.as_ref(), to)?;
             self.upper.rename(from, to)?;
         } else {
             let data = self.read_file(from)?;
-            make_parent_dirs(&self.upper, to)?;
+            make_parent_dirs(self.upper.as_ref(), to)?;
             self.upper.write_file(to, &data)?;
             self.unlink(from)?;
         }
@@ -292,27 +397,41 @@ impl FileSystem for OverlayFs {
             self.add_whiteout(from);
         }
         self.clear_whiteout(to);
+        // Both names changed meaning: `from` is gone, `to` was replaced.
+        self.log_namespace_change(from);
+        self.log_namespace_change(to);
         Ok(())
     }
 
-    fn read_at(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+    /// Opens a handle with **copy-up on first write**: files already in the
+    /// upper layer open there directly; files only in the underlay open a
+    /// lower handle, and the first mutation through the handle materialises
+    /// the file in the upper layer and transparently switches over.  A purely
+    /// read-only open of an underlay file therefore never copies anything —
+    /// the lazy behaviour the paper calls out as a key optimisation, now at
+    /// handle granularity.
+    fn open_handle(&self, path: &str, flags: OpenFlags) -> FsResult<Arc<dyn FileHandle>> {
+        let meta = self.stat(path)?;
+        if meta.is_dir() {
+            return Err(Errno::EISDIR);
+        }
         if self.upper.exists(path) {
-            return self.upper.read_at(path, offset, len);
+            return self.upper.open_handle(path, flags);
         }
-        if self.is_whited_out(path) {
-            return Err(Errno::ENOENT);
+        // Underlay file (stat above already rejected whiteouts as ENOENT).
+        let lower_handle = self.lower.open_handle(path, OpenFlags::read_only())?;
+        if !flags.write && !flags.append && !flags.truncate {
+            return Ok(lower_handle);
         }
-        self.lower.read_at(path, offset, len)
-    }
-
-    fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
-        self.copy_up(path)?;
-        self.upper.write_at(path, offset, data)
-    }
-
-    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        self.copy_up(path)?;
-        self.upper.truncate(path, size)
+        Ok(Arc::new(OverlayHandle {
+            path: normalize(path),
+            upper: Arc::clone(&self.upper),
+            lower: lower_handle,
+            promoted: Mutex::new(None),
+            copy_ups: Arc::clone(&self.copy_ups),
+            ns_log: Arc::clone(&self.ns_log),
+            opened_seq: self.ns_log.lock().watch(),
+        }))
     }
 
     fn set_times(&self, path: &str, atime_ms: u64, mtime_ms: u64) -> FsResult<()> {
@@ -323,6 +442,119 @@ impl FileSystem for OverlayFs {
     fn chmod(&self, path: &str, mode: u32) -> FsResult<()> {
         self.copy_up(path)?;
         self.upper.chmod(path, mode)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        let mut stats = self.lower.io_stats();
+        stats.copy_ups += self.copy_up_count();
+        stats
+    }
+}
+
+/// A write-armed handle to a file that (so far) lives only in the underlay.
+///
+/// Reads pass through to the lower handle until the first mutation; the
+/// mutation copies the file up, swaps in an upper handle, and everything
+/// after that — reads included — goes to the writable layer.
+struct OverlayHandle {
+    path: String,
+    upper: Arc<MemFs>,
+    lower: Arc<dyn FileHandle>,
+    /// The upper-layer handle, once copy-up has happened.
+    promoted: Mutex<Option<Arc<dyn FileHandle>>>,
+    copy_ups: Arc<AtomicU64>,
+    ns_log: Arc<Mutex<NsLog>>,
+    /// The namespace-log sequence when this handle was opened.
+    opened_seq: u64,
+}
+
+impl OverlayHandle {
+    /// Copies the file into the upper layer (unless another actor already
+    /// did) and returns a handle there.  With `preserve` false the upper copy
+    /// starts empty — the `O_TRUNC` fast path, which skips reading the
+    /// underlay (and, for `httpfs` underlays, skips the network entirely).
+    ///
+    /// If the name — or an ancestor directory — changed since this handle
+    /// was opened (unlinked, renamed away, or renamed over), binding the
+    /// copy-up to the path would resurrect the deleted name or clobber its
+    /// new occupant; the handle instead promotes to a detached anonymous
+    /// inode visible only through this handle, which is POSIX's behaviour
+    /// for writes through an fd whose file is gone.
+    fn promote(&self, preserve: bool) -> FsResult<Arc<dyn FileHandle>> {
+        let mut promoted = self.promoted.lock();
+        if let Some(handle) = promoted.as_ref() {
+            return Ok(Arc::clone(handle));
+        }
+        let preserved = || -> FsResult<Vec<u8>> {
+            if preserve {
+                // read_full re-checks the size after reading, so an underlay
+                // with an advisory size (httpfs manifest) never truncates
+                // the copy-up.
+                crate::handle::read_full(self.lower.as_ref())
+            } else {
+                Ok(Vec::new())
+            }
+        };
+        let invalidated = self.ns_log.lock().invalidated_since(&self.path, self.opened_seq);
+        let handle: Arc<dyn FileHandle> = if invalidated {
+            crate::memfs::detached_handle(preserved()?)
+        } else {
+            if !self.upper.exists(&self.path) {
+                make_parent_dirs(self.upper.as_ref(), &self.path)?;
+                let data = preserved()?;
+                self.upper.write_file(&self.path, &data)?;
+                self.copy_ups.fetch_add(1, Ordering::Relaxed);
+            }
+            self.upper.open_handle(&self.path, OpenFlags::read_write())?
+        };
+        *promoted = Some(Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    fn current(&self) -> Arc<dyn FileHandle> {
+        self.promoted
+            .lock()
+            .as_ref()
+            .map(Arc::clone)
+            .unwrap_or_else(|| Arc::clone(&self.lower))
+    }
+}
+
+impl FileHandle for OverlayHandle {
+    fn backend_name(&self) -> &'static str {
+        "overlayfs"
+    }
+
+    fn metadata(&self) -> FsResult<Metadata> {
+        self.current().metadata()
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.current().read_at(offset, len)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.promote(true)?.write_at(offset, data)
+    }
+
+    fn append(&self, data: &[u8]) -> FsResult<u64> {
+        self.promote(true)?.append(data)
+    }
+
+    fn truncate(&self, size: u64) -> FsResult<()> {
+        self.promote(size > 0)?.truncate(size)
+    }
+
+    fn fsync(&self) -> FsResult<()> {
+        self.current().fsync()
+    }
+}
+
+impl Drop for OverlayHandle {
+    fn drop(&mut self) {
+        // Deregister from the namespace log so events this handle could have
+        // observed become prunable (keeps the log bounded).
+        self.ns_log.lock().unwatch(self.opened_seq);
     }
 }
 
@@ -441,5 +673,140 @@ mod tests {
         assert_eq!(fs.read_file("/usr/share/doc/readme").unwrap(), b"read");
         fs.chmod("/usr/share/doc/readme", 0o600).unwrap();
         assert_eq!(fs.stat("/usr/share/doc/readme").unwrap().mode, 0o600);
+    }
+
+    // ---- handle-layer copy-up-on-first-write ---------------------------------
+
+    #[test]
+    fn read_only_handles_never_copy_up() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        let h = fs.open_handle("/etc/passwd", OpenFlags::read_only()).unwrap();
+        assert_eq!(h.read_at(0, 4).unwrap(), b"root");
+        assert_eq!(h.metadata().unwrap().size, 10);
+        assert_eq!(fs.copy_up_count(), 0);
+        assert_eq!(fs.upper_node_count(), 1, "reads must not materialise the upper layer");
+    }
+
+    #[test]
+    fn write_handle_copies_up_on_first_write_only() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        let h = fs.open_handle("/etc/passwd", OpenFlags::read_write()).unwrap();
+        // Reads before the first write come from the underlay, copy-free.
+        assert_eq!(h.read_at(0, 4).unwrap(), b"root");
+        assert_eq!(fs.copy_up_count(), 0);
+        // The first write atomically materialises the file in the upper
+        // layer, preserving the underlay contents.
+        assert_eq!(h.write_at(0, b"user").unwrap(), 4);
+        assert_eq!(fs.copy_up_count(), 1);
+        assert_eq!(h.read_at(0, 10).unwrap(), b"user:x:0:0");
+        assert_eq!(fs.read_file("/etc/passwd").unwrap(), b"user:x:0:0");
+        // Further writes reuse the promoted handle: still one copy-up.
+        h.append(b"!").unwrap();
+        assert_eq!(fs.copy_up_count(), 1);
+        // The underlay itself is untouched.
+        assert_eq!(lower().read_file("/etc/passwd").unwrap(), b"root:x:0:0");
+    }
+
+    #[test]
+    fn truncate_to_zero_promotes_without_reading_the_underlay() {
+        use browsix_browser::{NetworkProfile, RemoteEndpoint, StaticFiles};
+        let files = StaticFiles::new();
+        files.insert("/blob.bin", vec![9u8; 4096]);
+        let endpoint = RemoteEndpoint::with_static_files(files, NetworkProfile::instant());
+        let http = Arc::new(crate::HttpFs::new(endpoint, vec![("/blob.bin".to_string(), 4096)]));
+        let fs = OverlayFs::new(Arc::clone(&http) as Arc<dyn FileSystem>, OverlayMode::Lazy);
+
+        let h = fs.open_handle("/blob.bin", OpenFlags::write_create_truncate()).unwrap();
+        h.truncate(0).unwrap();
+        h.write_at(0, b"fresh").unwrap();
+        assert_eq!(fs.read_file("/blob.bin").unwrap(), b"fresh");
+        assert_eq!(fs.copy_up_count(), 1);
+        // The O_TRUNC fast path never touched the network.
+        assert_eq!(http.stats().fetches, 0);
+    }
+
+    #[test]
+    fn unlinked_file_is_not_resurrected_by_a_pending_write_handle() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        let h = fs.open_handle("/etc/passwd", OpenFlags::read_write()).unwrap();
+        fs.unlink("/etc/passwd").unwrap();
+        // The first write promotes to an orphaned inode: it succeeds, but the
+        // deleted name must not reappear in the namespace.
+        h.write_at(0, b"ghost").unwrap();
+        assert_eq!(h.read_at(0, 5).unwrap(), b"ghost");
+        assert_eq!(fs.stat("/etc/passwd"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn stale_write_handle_does_not_clobber_a_recreated_file() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        let h = fs.open_handle("/etc/passwd", OpenFlags::read_write()).unwrap();
+        fs.unlink("/etc/passwd").unwrap();
+        fs.write_file("/etc/passwd", b"replacement").unwrap();
+        // The stale handle writes to its own orphaned inode, never to the
+        // file that now occupies the old name.
+        h.write_at(0, b"stale data").unwrap();
+        assert_eq!(fs.read_file("/etc/passwd").unwrap(), b"replacement");
+        assert_eq!(h.read_at(0, 10).unwrap(), b"stale data");
+        // Rename-over is the same hazard: a handle opened before the rename
+        // must not clobber the renamed-in file.
+        let h2 = fs
+            .open_handle("/usr/share/doc/readme", OpenFlags::read_write())
+            .unwrap();
+        fs.rename("/usr/share/doc/license", "/usr/share/doc/readme").unwrap();
+        h2.write_at(0, b"old!").unwrap();
+        assert_eq!(fs.read_file("/usr/share/doc/readme").unwrap(), b"MIT");
+    }
+
+    #[test]
+    fn renaming_a_lower_directory_hides_its_old_contents() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        fs.rename("/usr/share/doc", "/usr/share/docs2").unwrap();
+        // The whiteout on the directory must hide everything beneath it.
+        assert_eq!(fs.stat("/usr/share/doc/readme"), Err(Errno::ENOENT));
+        assert_eq!(fs.read_file("/usr/share/doc/readme"), Err(Errno::ENOENT));
+        assert_eq!(fs.read_file("/usr/share/docs2/readme").unwrap(), b"read me");
+    }
+
+    #[test]
+    fn stale_handle_under_a_renamed_directory_promotes_detached() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Lazy);
+        let h = fs
+            .open_handle("/usr/share/doc/readme", OpenFlags::read_write())
+            .unwrap();
+        fs.rename("/usr/share/doc", "/usr/share/docs2").unwrap();
+        // The parent directory was renamed away: the pending write must not
+        // materialise the old path.
+        h.write_at(0, b"ghost").unwrap();
+        assert_eq!(fs.stat("/usr/share/doc/readme"), Err(Errno::ENOENT));
+        assert_eq!(fs.read_file("/usr/share/docs2/readme").unwrap(), b"read me");
+        assert_eq!(h.read_at(0, 5).unwrap(), b"ghost");
+    }
+
+    #[test]
+    fn copy_up_through_handle_honours_corrected_underlay_size() {
+        use browsix_browser::{NetworkProfile, RemoteEndpoint, StaticFiles};
+        // The httpfs manifest understates the file: 100 advertised, 1000 real.
+        let body: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let files = StaticFiles::new();
+        files.insert("/grown.bin", body.clone());
+        let endpoint = RemoteEndpoint::with_static_files(files, NetworkProfile::instant());
+        let http = crate::HttpFs::new(endpoint, vec![("/grown.bin".to_string(), 100)]);
+        let fs = OverlayFs::new(Arc::new(http), OverlayMode::Lazy);
+
+        let h = fs.open_handle("/grown.bin", OpenFlags::read_write()).unwrap();
+        h.write_at(0, b"X").unwrap();
+        // Copy-up must have captured all 1000 authoritative bytes.
+        let mut expected = body;
+        expected[0] = b'X';
+        assert_eq!(fs.read_file("/grown.bin").unwrap(), expected);
+        assert_eq!(fs.stat("/grown.bin").unwrap().size, 1000);
+    }
+
+    #[test]
+    fn eager_mode_counts_copy_ups_and_io_stats_aggregate() {
+        let fs = OverlayFs::new(lower(), OverlayMode::Eager);
+        assert_eq!(fs.copy_up_count(), 3);
+        assert_eq!(fs.io_stats().copy_ups, 3);
     }
 }

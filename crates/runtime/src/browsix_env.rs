@@ -309,6 +309,14 @@ impl RuntimeEnv for BrowsixEnv {
         }
     }
 
+    fn fsync(&mut self, fd: Fd) -> Result<(), Errno> {
+        if fd == 1 {
+            // Buffered stdout must reach the kernel before it can be synced.
+            let _ = self.flush_stdout();
+        }
+        self.expect_ok(Syscall::Fsync { fd })
+    }
+
     fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {
         match self.client.call(Syscall::Stat {
             path: path.to_owned(),

@@ -137,6 +137,13 @@ pub trait RuntimeEnv {
     /// Stats an open descriptor.
     fn fstat(&mut self, fd: Fd) -> Result<Metadata, Errno>;
 
+    /// Flushes a descriptor's data to its backing store (`fsync`).  The
+    /// in-memory backends have nothing to flush, so the default succeeds;
+    /// kernel-backed environments issue the real system call.
+    fn fsync(&mut self, _fd: Fd) -> Result<(), Errno> {
+        Ok(())
+    }
+
     // ---- paths ---------------------------------------------------------------
 
     /// Closes several descriptors, reporting the first error after attempting

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use browsix_core::{Errno, Signal};
-use browsix_fs::{DirEntry, FileSystem, Metadata, MountedFs, OpenFlags};
+use browsix_fs::{DirEntry, FileHandle, FileSystem, Metadata, MountedFs, OpenFlags};
 
 use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
 use crate::profile::ExecutionProfile;
@@ -30,10 +30,16 @@ struct NativePipe {
 /// What a native descriptor refers to.
 #[derive(Clone)]
 enum NativeFd {
+    /// An open regular file: the path was resolved to a handle at `open`,
+    /// mirroring the kernel's descriptor table.
     File {
-        path: String,
+        handle: Arc<dyn FileHandle>,
         flags: OpenFlags,
         offset: u64,
+    },
+    /// A directory opened read-only (stat-able, not readable).
+    Dir {
+        path: String,
     },
     PipeRead(Arc<Mutex<NativePipe>>),
     PipeWrite(Arc<Mutex<NativePipe>>),
@@ -249,11 +255,11 @@ impl RuntimeEnv for NativeEnv {
                 if flags.create && flags.exclusive {
                     return Err(Errno::EEXIST);
                 }
-                if meta.is_dir() && flags.write {
-                    return Err(Errno::EISDIR);
-                }
-                if flags.truncate && flags.write {
-                    self.world.fs.truncate(&path, 0)?;
+                if meta.is_dir() {
+                    if flags.write {
+                        return Err(Errno::EISDIR);
+                    }
+                    return Ok(self.alloc_fd(NativeFd::Dir { path }));
                 }
             }
             Err(Errno::ENOENT) if flags.create => {
@@ -261,12 +267,16 @@ impl RuntimeEnv for NativeEnv {
             }
             Err(e) => return Err(e),
         }
-        let offset = if flags.append {
-            self.world.fs.stat(&path).map(|m| m.size).unwrap_or(0)
-        } else {
-            0
-        };
-        Ok(self.alloc_fd(NativeFd::File { path, flags, offset }))
+        // Resolve the path exactly once; all I/O goes through the handle.
+        let handle = self.world.fs.open_handle(&path, flags)?;
+        if flags.truncate && flags.write {
+            handle.truncate(0)?;
+        }
+        Ok(self.alloc_fd(NativeFd::File {
+            handle,
+            flags,
+            offset: 0,
+        }))
     }
 
     fn close(&mut self, fd: Fd) -> Result<(), Errno> {
@@ -284,16 +294,16 @@ impl RuntimeEnv for NativeEnv {
     }
 
     fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno> {
-        let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, flags, offset } => {
+            NativeFd::File { handle, flags, offset } => {
                 if !flags.read {
                     return Err(Errno::EBADF);
                 }
-                let data = fs.read_at(path, *offset, len)?;
+                let data = handle.read_at(*offset, len)?;
                 *offset += data.len() as u64;
                 Ok(data)
             }
+            NativeFd::Dir { .. } => Err(Errno::EISDIR),
             NativeFd::PipeRead(pipe) => {
                 let mut pipe = pipe.lock();
                 let take = len.min(pipe.data.len());
@@ -311,21 +321,22 @@ impl RuntimeEnv for NativeEnv {
     }
 
     fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
-        let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, flags, offset } => {
+            NativeFd::File { handle, flags, offset } => {
                 if !flags.write {
                     return Err(Errno::EBADF);
                 }
-                let at = if flags.append {
-                    fs.stat(path).map(|m| m.size).unwrap_or(0)
+                if flags.append {
+                    // Atomic seek-to-end at the handle layer (O_APPEND).
+                    *offset = handle.append(data)?;
+                    Ok(data.len())
                 } else {
-                    *offset
-                };
-                let written = fs.write_at(path, at, data)?;
-                *offset = at + written as u64;
-                Ok(written)
+                    let written = handle.write_at(*offset, data)?;
+                    *offset += written as u64;
+                    Ok(written)
+                }
             }
+            NativeFd::Dir { .. } => Err(Errno::EISDIR),
             NativeFd::PipeWrite(pipe) => {
                 pipe.lock().data.extend(data.iter().copied());
                 Ok(data.len())
@@ -340,31 +351,30 @@ impl RuntimeEnv for NativeEnv {
     }
 
     fn pread(&mut self, fd: Fd, len: usize, offset: u64) -> Result<Vec<u8>, Errno> {
-        let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, .. } => fs.read_at(path, offset, len),
+            NativeFd::File { handle, .. } => handle.read_at(offset, len),
             _ => Err(Errno::ESPIPE),
         }
     }
 
     fn pwrite(&mut self, fd: Fd, data: &[u8], offset: u64) -> Result<usize, Errno> {
-        let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, .. } => fs.write_at(path, offset, data),
+            NativeFd::File { handle, .. } => handle.write_at(offset, data),
             _ => Err(Errno::ESPIPE),
         }
     }
 
     fn seek(&mut self, fd: Fd, offset: i64, whence: u32) -> Result<u64, Errno> {
-        let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
             NativeFd::File {
-                path, offset: current, ..
+                handle,
+                offset: current,
+                ..
             } => {
                 let base = match whence {
                     0 => 0,
                     1 => *current as i64,
-                    2 => fs.stat(path)?.size as i64,
+                    2 => handle.metadata()?.size as i64,
                     _ => return Err(Errno::EINVAL),
                 };
                 let target = base + offset;
@@ -387,8 +397,16 @@ impl RuntimeEnv for NativeEnv {
     fn fstat(&mut self, fd: Fd) -> Result<Metadata, Errno> {
         let fs = Arc::clone(&self.world.fs);
         match self.fd_entry(fd)? {
-            NativeFd::File { path, .. } => fs.stat(path),
+            NativeFd::File { handle, .. } => handle.metadata(),
+            NativeFd::Dir { path } => fs.stat(path),
             _ => Ok(Metadata::regular(0)),
+        }
+    }
+
+    fn fsync(&mut self, fd: Fd) -> Result<(), Errno> {
+        match self.fd_entry(fd)? {
+            NativeFd::File { handle, .. } => handle.fsync(),
+            _ => Ok(()),
         }
     }
 

@@ -21,6 +21,9 @@ echo "== running the 'filesystem' criterion group =="
 rm -f "$out"
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench fs -- filesystem
 
+echo "== running the 'fs_handles' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench fs -- fs_handles
+
 echo "== running the 'syscall_batching' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench syscall_batching
 
@@ -44,4 +47,14 @@ for convention in ("async", "sync"):
     if batched >= per_call:
         sys.exit(f"{convention}: batched ({batched} ns) did not beat per-call ({per_call} ns)")
     print(f"{convention}: batched beats per-call by {per_call / batched:.1f}x")
+
+# Guard the handle-based VFS: descriptor I/O through an open-file handle must
+# beat legacy path-per-operation dispatch on the 1 MiB sequential read.
+handle = means.get("fs_handles/handle_seq_read_1m")
+per_op = means.get("fs_handles/path_per_op_seq_read_1m")
+if handle is None or per_op is None:
+    sys.exit("missing fs_handles results")
+if handle >= per_op:
+    sys.exit(f"fs_handles: handle I/O ({handle} ns) did not beat path-per-op ({per_op} ns)")
+print(f"fs_handles: handle I/O beats path-per-op by {per_op / handle:.1f}x")
 EOF

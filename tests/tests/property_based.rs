@@ -7,9 +7,10 @@ use browsix_core::{ByteSource, Completion, CompletionBatch, Signal, SysResult, S
 use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
 use browsix_http::Json;
 
-/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 37
-/// opcodes, with `stat` and `lstat` counted separately).
-const SYSCALL_SHAPES: usize = 38;
+/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 38
+/// opcodes, with `stat` and `lstat` counted separately and `write` generated
+/// with both byte sources).
+const SYSCALL_SHAPES: usize = 40;
 /// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
 const RESULT_SHAPES: usize = 11;
 
@@ -138,6 +139,8 @@ fn make_call(shape: usize, f: &Fuzz) -> Syscall {
             fd,
             backlog: f.small % 1024,
         },
+        37 => Syscall::Accept { fd },
+        38 => Syscall::Fsync { fd },
         _ => Syscall::Connect {
             fd,
             port: f.small as u16,
@@ -379,5 +382,181 @@ proptest! {
         let i = index.index(data.len());
         data[i] ^= 0xff;
         prop_assert_ne!(browsix_utils::sha1_digest(&data), original);
+    }
+}
+
+// ---- path helpers vs a model implementation ---------------------------------
+
+/// Model semantics of path normalisation: the canonical component stack,
+/// written against `Vec` operations only (no string surgery), so the real
+/// implementation's string handling is checked against independent logic.
+fn model_components(path: &str) -> Vec<String> {
+    let mut stack: Vec<String> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                stack.pop();
+            }
+            other => stack.push(other.to_owned()),
+        }
+    }
+    stack
+}
+
+fn model_normalize(path: &str) -> String {
+    let stack = model_components(path);
+    if stack.is_empty() {
+        "/".to_owned()
+    } else {
+        let mut out = String::new();
+        for comp in &stack {
+            out.push('/');
+            out.push_str(comp);
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `normalize` agrees with the component-stack model on arbitrary messy
+    /// inputs (dots, double slashes, leading-relative paths).
+    #[test]
+    fn normalize_agrees_with_model(input in "[a-z./]{0,48}") {
+        prop_assert_eq!(path::normalize(&input), model_normalize(&input));
+        prop_assert_eq!(path::components(&input), model_components(&input));
+    }
+
+    /// `starts_with`/`strip_prefix` agree with each other and with the
+    /// component-prefix model: `q` is a prefix of `p` exactly when `q`'s
+    /// component list is a prefix of `p`'s, and stripping then rejoining
+    /// reconstructs the original path.
+    #[test]
+    fn prefix_helpers_agree_with_component_model(
+        p in "(/[a-z]{1,6}){0,5}/?",
+        q in "(/[a-z]{1,6}){0,5}/?",
+    ) {
+        let p_comps = model_components(&p);
+        let q_comps = model_components(&q);
+        let model_is_prefix = p_comps.len() >= q_comps.len() && p_comps[..q_comps.len()] == q_comps[..];
+
+        prop_assert_eq!(path::starts_with(&p, &q), model_is_prefix);
+        // starts_with and strip_prefix are two views of the same relation.
+        let stripped = path::strip_prefix(&p, &q);
+        prop_assert_eq!(stripped.is_some(), model_is_prefix);
+        if let Some(rest) = stripped {
+            prop_assert!(rest.starts_with('/'));
+            // Rejoining the prefix and the remainder reconstructs the path.
+            let rejoined = path::normalize(&format!("{}/{}", path::normalize(&q), rest));
+            prop_assert_eq!(rejoined, path::normalize(&p));
+        }
+        // Reflexivity and the universal "/" prefix.
+        prop_assert!(path::starts_with(&p, &p));
+        prop_assert!(path::starts_with(&p, "/"));
+    }
+
+    /// `dirname`/`basename` recompose to the normalised path.
+    #[test]
+    fn dirname_basename_recompose(p in "(/[a-z]{1,6}){1,5}") {
+        let normalized = path::normalize(&p);
+        let dir = path::dirname(&normalized);
+        let base = path::basename(&normalized);
+        prop_assert_eq!(path::normalize(&format!("{dir}/{base}")), normalized);
+    }
+}
+
+// ---- handle-layer I/O vs an in-memory model file -----------------------------
+
+/// One fuzzed file operation: (opcode, offset, length, fill byte).
+type HandleOp = (u8, u16, u8, u8);
+
+/// Applies `op` to the model file and the real handle, asserting identical
+/// observable behaviour (read contents, reported sizes, append offsets).
+fn check_handle_op(model: &mut Vec<u8>, handle: &std::sync::Arc<dyn browsix_fs::FileHandle>, op: &HandleOp) {
+    let (code, offset, len, byte) = *op;
+    let offset = offset as usize % 4096;
+    let len = len as usize;
+    match code % 4 {
+        // write_at: zero-fills any gap, extends past the end.
+        0 => {
+            let data = vec![byte; len];
+            let written = handle.write_at(offset as u64, &data).unwrap();
+            assert_eq!(written, len);
+            if model.len() < offset {
+                model.resize(offset, 0);
+            }
+            if model.len() < offset + len {
+                model.resize(offset + len, 0);
+            }
+            model[offset..offset + len].copy_from_slice(&data);
+        }
+        // read_at: clamped to EOF, never errors.
+        1 => {
+            let got = handle.read_at(offset as u64, len).unwrap();
+            let start = offset.min(model.len());
+            let end = (offset + len).min(model.len()).max(start);
+            assert_eq!(got, &model[start..end]);
+        }
+        // truncate: shrinks or zero-extends.
+        2 => {
+            let size = (offset / 2) as u64;
+            handle.truncate(size).unwrap();
+            model.resize(size as usize, 0);
+        }
+        // append: always lands at the current end of file.
+        _ => {
+            let data = vec![byte.wrapping_add(1); len];
+            let end = handle.append(&data).unwrap();
+            model.extend_from_slice(&data);
+            assert_eq!(end, model.len() as u64, "append must return the new end offset");
+        }
+    }
+    assert_eq!(handle.metadata().unwrap().size, model.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary read/write/truncate/append sequences through a MemFs handle
+    /// behave exactly like the same operations on a plain byte vector.
+    #[test]
+    fn memfs_handle_matches_model_file(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>()), 0..32),
+    ) {
+        let fs = MemFs::new();
+        fs.create("/f", 0o644).unwrap();
+        let handle = fs.open_handle("/f", OpenFlags::read_write()).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            check_handle_op(&mut model, &handle, op);
+        }
+        assert_eq!(fs.read_file("/f").unwrap(), model);
+    }
+
+    /// The same property through the full VFS stack: a mount table (dentry
+    /// cache) routing into an overlay whose underlay seeded the file, so
+    /// copy-up-on-first-write sits in the I/O path.
+    #[test]
+    fn mounted_overlay_handle_matches_model_file(
+        seed in proptest::collection::vec(any::<u8>(), 0..512),
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>()), 0..24),
+    ) {
+        use browsix_fs::{Bundle, BundleFs, MountedFs, OverlayFs, OverlayMode};
+        use std::sync::Arc;
+
+        let mut bundle = Bundle::new();
+        bundle.insert("/data/file.bin", seed.clone());
+        let overlay = OverlayFs::new(Arc::new(BundleFs::new(bundle)), OverlayMode::Lazy);
+        let root = MountedFs::new(Arc::new(MemFs::new()));
+        root.mount("/ov", Arc::new(overlay)).unwrap();
+
+        let handle = root.open_handle("/ov/data/file.bin", OpenFlags::read_write()).unwrap();
+        let mut model: Vec<u8> = seed;
+        for op in &ops {
+            check_handle_op(&mut model, &handle, op);
+        }
+        assert_eq!(root.read_file("/ov/data/file.bin").unwrap(), model);
     }
 }
