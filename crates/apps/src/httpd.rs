@@ -1,0 +1,247 @@
+//! `httpd` — a concurrent static-file web server guest, built entirely on
+//! the readiness API.
+//!
+//! Where the meme server (`crate::meme`) handles one connection at a time —
+//! blocking in `accept`, then in `read`, then in `write` — `httpd` is the
+//! `poll`-driven shape of a production server: the listener and every live
+//! connection are `O_NONBLOCK`, and a single loop multiplexes all of them
+//! through one [`RuntimeEnv::poll`] call.  Each connection is a small state
+//! machine (reading the request, then draining the response), so the server
+//! comfortably carries dozens of simultaneous clients without a thread or a
+//! blocked system call anywhere.  This exercises the kernel path the paper
+//! cares about for servers: a process is woken only when a connection is
+//! actually ready, "so [it] never need[s] to poll" busily.
+//!
+//! Files are served from the shared VFS under a configurable document root.
+//!
+//! ```text
+//! httpd [--port N] [--root DIR] [--max-requests N]
+//! ```
+//!
+//! `--max-requests` makes the process exit after serving that many requests
+//! (tests and benchmarks use it to finish deterministically).
+
+use browsix_core::Errno;
+use browsix_http::parse::parse_request_consumed;
+use browsix_http::{HttpRequest, HttpResponse};
+use browsix_runtime::{guest, GuestFactory, PollFd, RuntimeEnv};
+
+/// The port `httpd` listens on unless `--port` says otherwise.
+pub const HTTPD_PORT: u16 = 8000;
+
+/// Default document root.
+pub const HTTPD_ROOT: &str = "/srv";
+
+/// How a connection's lifecycle progresses.
+enum ConnState {
+    /// Accumulating request bytes until a full request parses.
+    Reading(Vec<u8>),
+    /// Draining the serialized response.
+    Writing { buf: Vec<u8>, written: usize },
+}
+
+/// One accepted connection.
+struct Conn {
+    fd: i32,
+    state: ConnState,
+}
+
+/// Maps a request path to a file under `root` and builds the response.
+fn respond(env: &mut dyn RuntimeEnv, root: &str, request: &HttpRequest) -> HttpResponse {
+    let path = request.path_only();
+    let rel = if path == "/" { "/index.html" } else { path };
+    if rel.contains("..") {
+        return HttpResponse::new(403).with_body(b"forbidden".to_vec(), "text/plain");
+    }
+    let full = format!("{}{}", root.trim_end_matches('/'), rel);
+    match env.read_file(&full) {
+        Ok(data) => {
+            let content_type = match rel.rsplit('.').next() {
+                Some("html") => "text/html",
+                Some("json") => "application/json",
+                Some("txt") => "text/plain",
+                _ => "application/octet-stream",
+            };
+            HttpResponse::ok().with_body(data, content_type)
+        }
+        Err(_) => HttpResponse::not_found(),
+    }
+}
+
+/// Handles readiness on one connection.  Returns `Ok(true)` when the
+/// connection finished a request (and was closed), `Ok(false)` to keep it,
+/// `Err(())` when it died.
+fn advance(env: &mut dyn RuntimeEnv, root: &str, conn: &mut Conn) -> Result<bool, ()> {
+    loop {
+        match &mut conn.state {
+            ConnState::Reading(buf) => match env.read(conn.fd, 64 * 1024) {
+                Ok(chunk) if chunk.is_empty() => return Err(()), // EOF before a full request
+                Ok(chunk) => {
+                    buf.extend_from_slice(&chunk);
+                    match parse_request_consumed(buf) {
+                        Ok(Some((request, _))) => {
+                            let response = respond(env, root, &request);
+                            conn.state = ConnState::Writing {
+                                buf: response.serialize(),
+                                written: 0,
+                            };
+                        }
+                        Ok(None) => continue,
+                        Err(_) => return Err(()),
+                    }
+                }
+                Err(Errno::EAGAIN) => return Ok(false),
+                Err(_) => return Err(()),
+            },
+            ConnState::Writing { buf, written } => match env.write(conn.fd, &buf[*written..]) {
+                Ok(count) => {
+                    *written += count;
+                    if *written >= buf.len() {
+                        let _ = env.close(conn.fd);
+                        return Ok(true);
+                    }
+                }
+                Err(Errno::EAGAIN) => return Ok(false),
+                Err(_) => return Err(()),
+            },
+        }
+    }
+}
+
+fn run_httpd(env: &mut dyn RuntimeEnv) -> i32 {
+    let args = env.args();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let port: u16 = flag("--port").and_then(|v| v.parse().ok()).unwrap_or(HTTPD_PORT);
+    let root = flag("--root").unwrap_or_else(|| HTTPD_ROOT.to_owned());
+    let max_requests: Option<usize> = flag("--max-requests").and_then(|v| v.parse().ok());
+
+    let listener = match env.socket() {
+        Ok(fd) => fd,
+        Err(e) => {
+            env.eprint(&format!("httpd: socket: {e}\n"));
+            return 1;
+        }
+    };
+    if let Err(e) = env
+        .bind(listener, port)
+        .and_then(|_| env.listen(listener, 128))
+        .and_then(|_| env.set_nonblocking(listener, true))
+    {
+        env.eprint(&format!("httpd: listen on {port}: {e}\n"));
+        return 1;
+    }
+    env.print(&format!("httpd listening on port {port}\n"));
+    let _ = env.flush_stdout();
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut served = 0usize;
+    loop {
+        if let Some(limit) = max_requests {
+            if served >= limit && conns.is_empty() {
+                return 0;
+            }
+        }
+        // One poll over the listener plus every connection, each asking only
+        // for the direction its state machine needs next.
+        let mut pfds = vec![PollFd::readable(listener)];
+        for conn in &conns {
+            pfds.push(match conn.state {
+                ConnState::Reading(_) => PollFd::readable(conn.fd),
+                ConnState::Writing { .. } => PollFd::writable(conn.fd),
+            });
+        }
+        // A finite timeout keeps the max-requests exit condition responsive
+        // even if no traffic ever arrives again.
+        match env.poll(&mut pfds, 500) {
+            Ok(0) => continue,
+            Ok(_) => {}
+            Err(e) => {
+                env.eprint(&format!("httpd: poll: {e}\n"));
+                return 1;
+            }
+        }
+        // Drain the accept queue.
+        if pfds[0].is_readable() {
+            loop {
+                match env.accept(listener) {
+                    Ok(fd) => {
+                        if env.set_nonblocking(fd, true).is_err() {
+                            let _ = env.close(fd);
+                            continue;
+                        }
+                        conns.push(Conn {
+                            fd,
+                            state: ConnState::Reading(Vec::new()),
+                        });
+                    }
+                    Err(Errno::EAGAIN) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        // Advance every ready connection.  Iterate in reverse so a
+        // swap_remove only disturbs indices we have already visited —
+        // `conns[index]` stays paired with `pfds[index + 1]` throughout.
+        for index in (0..conns.len()).rev() {
+            let ready = pfds
+                .get(index + 1)
+                .map(|p| p.is_readable() || p.is_writable())
+                .unwrap_or(false);
+            if !ready {
+                continue;
+            }
+            match advance(env, &root, &mut conns[index]) {
+                Ok(true) => {
+                    served += 1;
+                    conns.swap_remove(index);
+                }
+                Ok(false) => {}
+                Err(()) => {
+                    let _ = env.close(conns[index].fd);
+                    conns.swap_remove(index);
+                }
+            }
+        }
+    }
+}
+
+/// The `httpd` server as a registrable guest program.
+pub fn httpd_program() -> GuestFactory {
+    guest("httpd", run_httpd)
+}
+
+/// Stages a small document tree under [`HTTPD_ROOT`] on `fs` (an index page
+/// plus a few payload files), used by tests and benchmarks.
+pub fn stage_httpd_root(fs: &dyn browsix_fs::FileSystem) {
+    let _ = fs.mkdir(HTTPD_ROOT);
+    fs.write_file(
+        &format!("{HTTPD_ROOT}/index.html"),
+        b"<html><body>browsix httpd</body></html>",
+    )
+    .expect("stage index.html");
+    fs.write_file(&format!("{HTTPD_ROOT}/hello.txt"), b"hello from the vfs\n")
+        .expect("stage hello.txt");
+    let payload: Vec<u8> = (0..32 * 1024).map(|i| (i % 251) as u8).collect();
+    fs.write_file(&format!("{HTTPD_ROOT}/payload.bin"), &payload)
+        .expect("stage payload.bin");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browsix_fs::{FileSystem, MemFs};
+
+    #[test]
+    fn staged_root_has_the_expected_files() {
+        let fs = MemFs::new();
+        stage_httpd_root(&fs);
+        assert!(fs.read_file("/srv/index.html").is_ok());
+        assert!(fs.read_file("/srv/hello.txt").is_ok());
+        assert_eq!(fs.read_file("/srv/payload.bin").unwrap().len(), 32 * 1024);
+    }
+}

@@ -12,13 +12,20 @@
 //! * [`terminal`] — a Unix terminal exposing the dash-like shell, used to run
 //!   pipelines of the bundled coreutils and inspect kernel state (§5.1.2).
 //!
+//! Beyond the paper's three case studies, [`httpd`] is a `poll`-driven
+//! concurrent static-file server that exercises the readiness API
+//! (`poll`/`O_NONBLOCK`) end to end: one loop multiplexing a listener and
+//! many non-blocking connections.
+//!
 //! The module-level documentation of each case study describes exactly which
 //! experiment of EXPERIMENTS.md it backs.
 
+pub mod httpd;
 pub mod latex;
 pub mod meme;
 pub mod terminal;
 
+pub use httpd::{httpd_program, stage_httpd_root, HTTPD_PORT, HTTPD_ROOT};
 pub use latex::{LatexEditor, LatexEnvironment, LatexMode};
 pub use meme::{MemeClient, MemeEnvironment, RouteDecision};
 pub use terminal::Terminal;

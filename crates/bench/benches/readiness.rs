@@ -1,0 +1,134 @@
+//! Criterion bench for the wait-queue subsystem: what one wakeup costs.
+//!
+//! The old kernel kept every blocked system call in one flat pending list
+//! and re-tried the whole list on every kernel event — O(all blocked calls)
+//! per wakeup.  The wait-queue design parks each blocked call on the queue
+//! of exactly the resource it waits for, so delivering a wakeup costs
+//! O(waiters on that one queue), independent of how many other calls are
+//! blocked.
+//!
+//! * `wake_one_{1,256}` — deliver one wakeup through a [`WaitTable`] holding
+//!   1 or 256 parked waiters (each on its own stream queue).  The two must
+//!   cost the same: wakeup cost is independent of the blocked-waiter count.
+//! * `rescan_{1,256}` — the same wakeup delivered the old way: scan every
+//!   pending entry, probing its stream for readiness, to find the single
+//!   ready one.  At 256 waiters this pays 256 stream probes per wakeup.
+//! * `httpd_request` — end-to-end readiness: one HTTP request against the
+//!   poll-driven `httpd` guest (accept, read, respond and drain, all via
+//!   wait-queue wakeups and `O_NONBLOCK`).
+//!
+//! `scripts/bench_smoke.sh` asserts `wake_one_256` beats `rescan_256` by at
+//! least 5x.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use browsix_core::kernel::{WaitChannel, WaitTable};
+use browsix_core::{StreamId, StreamTable};
+use browsix_http::{HttpRequest, Method};
+use browsix_runtime::{ExecutionProfile, NodeLauncher, SyscallConvention};
+
+const WAITER_COUNTS: [usize; 2] = [1, 256];
+
+fn bench_wakeup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readiness");
+    group.sample_size(10);
+
+    for &n in &WAITER_COUNTS {
+        // New design: the woken queue is found by key; everyone else stays
+        // asleep untouched.
+        group.bench_function(format!("wake_one_{n}"), |b| {
+            let mut table: WaitTable<usize> = WaitTable::new();
+            for i in 0..n {
+                table.park(vec![WaitChannel::StreamReadable(i as u64)], i);
+            }
+            let target = WaitChannel::StreamReadable((n - 1) as u64);
+            b.iter(|| {
+                // Deliver many wakeups per sample so per-iteration cost
+                // dominates the measurement noise.
+                for _ in 0..1024 {
+                    let woken = table.take_channel(target);
+                    // The retried waiter re-parks (the still-blocked path),
+                    // restoring the table for the next round.
+                    for payload in woken {
+                        table.park(vec![target], payload);
+                    }
+                }
+            });
+        });
+
+        // Old design: one flat pending list, fully re-tried per event.  Each
+        // entry's retry is a stream-table probe (exactly what the old
+        // `poll_pending` did via `try_read_fd`).
+        group.bench_function(format!("rescan_{n}"), |b| {
+            let mut streams = StreamTable::new();
+            let pending: Vec<StreamId> = (0..n).map(|_| streams.create()).collect();
+            for &id in &pending {
+                let stream = streams.get_mut(id).unwrap();
+                stream.readers = 1;
+                stream.writers = 1;
+            }
+            // Exactly one entry is ready, like one wakeup arriving.
+            let ready = *pending.last().unwrap();
+            streams.get_mut(ready).unwrap().push(b"x");
+            b.iter(|| {
+                for _ in 0..1024 {
+                    let mut completed = 0usize;
+                    for &id in &pending {
+                        if streams.get(id).is_some_and(|s| s.read_ready()) {
+                            // "Complete" the entry: consume and restore.
+                            let data = streams.get_mut(id).unwrap().pop(1);
+                            streams.get_mut(id).unwrap().push(&data);
+                            completed += 1;
+                        }
+                    }
+                    black_box(completed);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_httpd(c: &mut Criterion) {
+    let config = browsix_apps::default_config();
+    config.registry.register(
+        "/usr/bin/httpd",
+        Arc::new(
+            NodeLauncher::new("httpd", browsix_apps::httpd_program())
+                .with_profile(ExecutionProfile::instant(SyscallConvention::Async)),
+        ),
+    );
+    let kernel = browsix_apps::boot_standard_kernel(config, ExecutionProfile::instant(SyscallConvention::Async));
+    browsix_apps::stage_httpd_root(kernel.fs().as_ref());
+    let server = kernel.spawn("/usr/bin/httpd", &["httpd"], &[]).expect("start httpd");
+    assert!(
+        kernel.wait_for_port(browsix_apps::HTTPD_PORT, Duration::from_secs(10)),
+        "httpd did not start listening"
+    );
+
+    let mut group = c.benchmark_group("readiness");
+    group.sample_size(10);
+    group.bench_function("httpd_request", |b| {
+        b.iter(|| {
+            let response = kernel
+                .http_request(
+                    browsix_apps::HTTPD_PORT,
+                    HttpRequest::new(Method::Get, "/hello.txt"),
+                    Duration::from_secs(30),
+                )
+                .expect("httpd request");
+            assert!(response.is_success());
+            black_box(response.body.len());
+        });
+    });
+    group.finish();
+
+    let _ = kernel.kill(server.pid, browsix_core::Signal::SIGKILL);
+    kernel.shutdown();
+}
+
+criterion_group!(benches, bench_wakeup, bench_httpd);
+criterion_main!(benches);

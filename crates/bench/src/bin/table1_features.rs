@@ -68,4 +68,20 @@ fn main() {
             vec!["overlay copy-ups".to_owned(), stats.overlay_copy_ups.to_string()],
         ],
     );
+
+    // Wait-queue behaviour during the run: blocked calls parked, targeted
+    // wakeups that completed them, wakeups that found nothing to do, EAGAIN
+    // short-circuits taken by O_NONBLOCK descriptors, and polls that ended
+    // on their timer.
+    print_table(
+        "Verification run — wait queues & readiness",
+        &["Counter", "Value"],
+        &[
+            vec!["waiters parked".to_owned(), stats.waiters_parked.to_string()],
+            vec!["wakeups (completed)".to_owned(), stats.wakeups.to_string()],
+            vec!["spurious wakeups".to_owned(), stats.spurious_wakeups.to_string()],
+            vec!["EAGAIN returns".to_owned(), stats.eagain_returns.to_string()],
+            vec!["poll timeouts".to_owned(), stats.poll_timeouts.to_string()],
+        ],
+    );
 }

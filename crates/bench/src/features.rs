@@ -177,6 +177,16 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
                     assert_eq!(env.read(server_side, 5).unwrap(), b"hello");
                     // Signals: register a handler (delivery tested elsewhere).
                     env.register_signal_handler(browsix_core::Signal::SIGUSR1).unwrap();
+                    // Readiness: O_NONBLOCK turns a would-block read into
+                    // EAGAIN, a poll with nothing ready completes on its
+                    // timeout, and data flips the same poll to ready.
+                    let (nb_r, nb_w) = env.pipe().unwrap();
+                    env.set_nonblocking(nb_r, true).unwrap();
+                    assert_eq!(env.read(nb_r, 1).unwrap_err(), browsix_core::Errno::EAGAIN);
+                    let mut pfds = [browsix_runtime::PollFd::readable(nb_r)];
+                    assert_eq!(env.poll(&mut pfds, 1).unwrap(), 0);
+                    env.write(nb_w, b"!").unwrap();
+                    assert_eq!(env.poll(&mut pfds, -1).unwrap(), 1);
                     0
                 }),
             )

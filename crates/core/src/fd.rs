@@ -9,14 +9,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use browsix_fs::{Errno, FileHandle, OpenFlags};
 
-use crate::pipe::PipeId;
 use crate::socket::ConnectionId;
+use crate::streams::StreamId;
 
 /// A file-descriptor number.
 pub type Fd = i32;
@@ -48,13 +49,13 @@ pub enum FileKind {
     },
     /// The read end of a pipe.
     PipeReader {
-        /// Kernel pipe id.
-        pipe: PipeId,
+        /// Kernel stream carrying the pipe's bytes.
+        stream: StreamId,
     },
     /// The write end of a pipe.
     PipeWriter {
-        /// Kernel pipe id.
-        pipe: PipeId,
+        /// Kernel stream carrying the pipe's bytes.
+        stream: StreamId,
     },
     /// An unbound/unconnected TCP socket.
     Socket {
@@ -92,8 +93,8 @@ impl fmt::Debug for FileKind {
                 .field("flags", flags)
                 .finish(),
             FileKind::Directory { path } => f.debug_struct("Directory").field("path", path).finish(),
-            FileKind::PipeReader { pipe } => f.debug_struct("PipeReader").field("pipe", pipe).finish(),
-            FileKind::PipeWriter { pipe } => f.debug_struct("PipeWriter").field("pipe", pipe).finish(),
+            FileKind::PipeReader { stream } => f.debug_struct("PipeReader").field("stream", stream).finish(),
+            FileKind::PipeWriter { stream } => f.debug_struct("PipeWriter").field("stream", stream).finish(),
             FileKind::Socket { bound_port } => f.debug_struct("Socket").field("bound_port", bound_port).finish(),
             FileKind::SocketListener { port } => f.debug_struct("SocketListener").field("port", port).finish(),
             FileKind::SocketStream { connection, side } => f
@@ -109,20 +110,34 @@ impl fmt::Debug for FileKind {
 
 /// A shared "open file description": the object a descriptor number points
 /// at.  `dup`, `dup2` and child inheritance all share the same description,
-/// which is how they share a file offset.
+/// which is how they share a file offset — and the `O_NONBLOCK` status flag,
+/// which on Unix likewise lives on the description, not the descriptor.
 #[derive(Debug)]
 pub struct OpenFile {
     kind: Mutex<FileKind>,
     offset: Mutex<u64>,
+    nonblocking: AtomicBool,
 }
 
 impl OpenFile {
-    /// Creates a description with offset zero.
+    /// Creates a description with offset zero, in blocking mode.
     pub fn new(kind: FileKind) -> Arc<OpenFile> {
         Arc::new(OpenFile {
             kind: Mutex::new(kind),
             offset: Mutex::new(0),
+            nonblocking: AtomicBool::new(false),
         })
+    }
+
+    /// Whether `O_NONBLOCK` is set: reads, writes and accepts that would
+    /// otherwise park on a wait queue return `EAGAIN` instead.
+    pub fn nonblocking(&self) -> bool {
+        self.nonblocking.load(Ordering::Relaxed)
+    }
+
+    /// Sets or clears `O_NONBLOCK` (the `SetFlags` system call).
+    pub fn set_nonblocking(&self, nonblocking: bool) {
+        self.nonblocking.store(nonblocking, Ordering::Relaxed);
     }
 
     /// What this description refers to.
@@ -288,10 +303,13 @@ mod tests {
     fn insert_at_replaces_existing_entry() {
         let mut table = FdTable::new();
         let first = null_file();
-        let second = OpenFile::new(FileKind::PipeReader { pipe: 3 });
+        let second = OpenFile::new(FileKind::PipeReader { stream: 3 });
         table.insert_at(1, first);
         table.insert_at(1, second);
-        assert!(matches!(table.get(1).unwrap().kind(), FileKind::PipeReader { pipe: 3 }));
+        assert!(matches!(
+            table.get(1).unwrap().kind(),
+            FileKind::PipeReader { stream: 3 }
+        ));
         assert_eq!(table.len(), 1);
     }
 

@@ -12,8 +12,10 @@
 use browsix_fs::{Errno, FileSystem, FileType, Metadata, OpenFlags};
 
 use crate::fd::{Fd, FileKind, OpenFile};
-use crate::kernel::{KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::kernel::waitq::WaitChannel;
+use crate::kernel::{KernelState, Outcome, ReplyTo, WaitKind, Waiter};
 use crate::signals::Signal;
+use crate::streams::StreamId;
 use crate::syscall::{ByteSource, SysResult};
 use crate::task::Pid;
 
@@ -77,6 +79,7 @@ impl KernelState {
             Ok(file) => {
                 if let FileKind::SocketListener { port } = file.kind() {
                     self.sockets_mut().close_listener(port);
+                    self.wake(WaitChannel::Listener(port));
                 }
                 self.recompute_endpoints();
                 Outcome::Complete(SysResult::Ok)
@@ -88,7 +91,8 @@ impl KernelState {
     /// Attempts a read; `Ok(None)` means "would block".
     pub(crate) fn try_read_fd(&mut self, pid: Pid, fd: Fd, len: usize) -> Result<Option<Vec<u8>>, Errno> {
         let file = self.task(pid)?.files.get(fd)?;
-        match file.kind() {
+        let kind = file.kind();
+        match &kind {
             FileKind::File { handle, flags } => {
                 if !flags.read {
                     return Err(Errno::EBADF);
@@ -102,27 +106,27 @@ impl KernelState {
             FileKind::Null => Ok(Some(Vec::new())),
             FileKind::HostSink { .. } | FileKind::PipeWriter { .. } => Err(Errno::EBADF),
             FileKind::Socket { .. } | FileKind::SocketListener { .. } => Err(Errno::ENOTCONN),
-            FileKind::PipeReader { pipe } => self.try_read_pipe(pipe, len),
-            FileKind::SocketStream { connection, side } => {
-                let conn = self.sockets().connection(connection).ok_or(Errno::ENOTCONN)?;
-                let pipe = match side {
-                    crate::fd::SocketSide::Client => conn.server_to_client,
-                    crate::fd::SocketSide::Server => conn.client_to_server,
-                };
-                self.try_read_pipe(pipe, len)
+            FileKind::PipeReader { .. } | FileKind::SocketStream { .. } => {
+                // The one place socket and pipe reads converge: resolve the
+                // stream flowing towards this endpoint and read it.
+                let stream = self.read_stream_of(&kind).ok_or(Errno::ENOTCONN)?;
+                self.try_read_stream(stream, len)
             }
         }
     }
 
-    fn try_read_pipe(&mut self, pipe_id: crate::pipe::PipeId, len: usize) -> Result<Option<Vec<u8>>, Errno> {
-        let Some(pipe) = self.pipes_mut().get_mut(pipe_id) else {
+    fn try_read_stream(&mut self, id: StreamId, len: usize) -> Result<Option<Vec<u8>>, Errno> {
+        let Some(stream) = self.streams_mut().get_mut(id) else {
             // All endpoints (including the buffer) are gone: read EOF.
             return Ok(Some(Vec::new()));
         };
-        if !pipe.is_empty() {
-            return Ok(Some(pipe.pop(len)));
+        if !stream.is_empty() {
+            let data = stream.pop(len);
+            // Space was freed: writers blocked on this stream can continue.
+            self.wake(WaitChannel::StreamWritable(id));
+            return Ok(Some(data));
         }
-        if pipe.write_end_closed() {
+        if stream.write_end_closed() {
             return Ok(Some(Vec::new()));
         }
         Ok(None)
@@ -132,11 +136,22 @@ impl KernelState {
         match self.try_read_fd(pid, fd, len) {
             Ok(Some(data)) => Outcome::Complete(SysResult::Data(data)),
             Ok(None) => {
-                self.push_pending(PendingSyscall {
-                    pid,
-                    reply,
-                    kind: PendingKind::Read { fd, len },
-                });
+                if self.fd_nonblocking(pid, fd) {
+                    self.stats.eagain_returns += 1;
+                    return Outcome::Complete(SysResult::Err(Errno::EAGAIN));
+                }
+                let Some(channel) = self.read_wait_channel(pid, fd) else {
+                    return Outcome::Complete(SysResult::Err(Errno::EIO));
+                };
+                self.stats.waiters_parked += 1;
+                self.park_waiter(
+                    vec![channel],
+                    Waiter {
+                        pid,
+                        reply: Some(reply),
+                        kind: WaitKind::Read { fd, len },
+                    },
+                );
                 Outcome::Blocked
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
@@ -183,7 +198,8 @@ impl KernelState {
     /// for space.
     pub(crate) fn try_write_fd(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<(usize, bool), Errno> {
         let file = self.task(pid)?.files.get(fd)?;
-        match file.kind() {
+        let kind = file.kind();
+        match &kind {
             FileKind::File { handle, flags } => {
                 if !flags.write {
                     return Err(Errno::EBADF);
@@ -206,37 +222,38 @@ impl KernelState {
             FileKind::Directory { .. } => Err(Errno::EISDIR),
             FileKind::Null => Ok((data.len(), true)),
             FileKind::HostSink { stream } => {
-                if let Some(sink) = self.host_sink(stream) {
+                if let Some(sink) = self.host_sink(*stream) {
                     sink(data);
                 }
                 Ok((data.len(), true))
             }
             FileKind::PipeReader { .. } => Err(Errno::EBADF),
             FileKind::Socket { .. } | FileKind::SocketListener { .. } => Err(Errno::ENOTCONN),
-            FileKind::PipeWriter { pipe } => self.try_write_pipe(pid, pipe, data),
-            FileKind::SocketStream { connection, side } => {
-                let conn = self.sockets().connection(connection).ok_or(Errno::ENOTCONN)?;
-                let pipe = match side {
-                    crate::fd::SocketSide::Client => conn.client_to_server,
-                    crate::fd::SocketSide::Server => conn.server_to_client,
-                };
-                self.try_write_pipe(pid, pipe, data)
+            FileKind::PipeWriter { .. } | FileKind::SocketStream { .. } => {
+                // The one place socket and pipe writes converge.
+                let stream = self.write_stream_of(&kind).ok_or(Errno::ENOTCONN)?;
+                self.try_write_stream(pid, stream, data)
             }
         }
     }
 
-    fn try_write_pipe(&mut self, pid: Pid, pipe_id: crate::pipe::PipeId, data: &[u8]) -> Result<(usize, bool), Errno> {
-        let read_closed = match self.pipes().get(pipe_id) {
-            Some(pipe) => pipe.read_end_closed(),
+    fn try_write_stream(&mut self, pid: Pid, id: StreamId, data: &[u8]) -> Result<(usize, bool), Errno> {
+        let read_closed = match self.streams().get(id) {
+            Some(stream) => stream.read_end_closed(),
             None => return Err(Errno::EPIPE),
         };
         if read_closed {
-            // Writing to a pipe nobody will read delivers SIGPIPE, as on Unix.
+            // Writing to a stream nobody will read delivers SIGPIPE, as on
+            // Unix.
             let _ = self.deliver_signal(pid, Signal::SIGPIPE);
             return Err(Errno::EPIPE);
         }
-        let pipe = self.pipes_mut().get_mut(pipe_id).ok_or(Errno::EPIPE)?;
-        let written = pipe.push(data);
+        let stream = self.streams_mut().get_mut(id).ok_or(Errno::EPIPE)?;
+        let written = stream.push(data);
+        if written > 0 {
+            // Data arrived: readers blocked on this stream can continue.
+            self.wake(WaitChannel::StreamReadable(id));
+        }
         Ok((written, written == data.len()))
     }
 
@@ -249,15 +266,31 @@ impl KernelState {
         match self.try_write_fd(pid, fd, &bytes) {
             Ok((_, true)) => Outcome::Complete(SysResult::Int(total as i64)),
             Ok((written, false)) => {
-                self.push_pending(PendingSyscall {
-                    pid,
-                    reply,
-                    kind: PendingKind::Write {
-                        fd,
-                        data: bytes,
-                        written,
+                if self.fd_nonblocking(pid, fd) {
+                    // A non-blocking write reports whatever it managed to
+                    // push; EAGAIN only when not a single byte fit.
+                    if written > 0 {
+                        return Outcome::Complete(SysResult::Int(written as i64));
+                    }
+                    self.stats.eagain_returns += 1;
+                    return Outcome::Complete(SysResult::Err(Errno::EAGAIN));
+                }
+                let Some(channel) = self.write_wait_channel(pid, fd) else {
+                    return Outcome::Complete(SysResult::Err(Errno::EIO));
+                };
+                self.stats.waiters_parked += 1;
+                self.park_waiter(
+                    vec![channel],
+                    Waiter {
+                        pid,
+                        reply: Some(reply),
+                        kind: WaitKind::Write {
+                            fd,
+                            data: bytes,
+                            written,
+                        },
                     },
-                });
+                );
                 Outcome::Blocked
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),

@@ -7,7 +7,8 @@ use browsix_fs::{Errno, FileSystem};
 
 use crate::exec::ForkImage;
 use crate::fd::{FileKind, OpenFile};
-use crate::kernel::{KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::kernel::waitq::WaitChannel;
+use crate::kernel::{KernelState, Outcome, ReplyTo, WaitKind, Waiter};
 use crate::signals::Signal;
 use crate::syscall::{encode_wait_status, SysResult};
 use crate::task::Pid;
@@ -103,9 +104,9 @@ impl KernelState {
     }
 
     pub(crate) fn sys_pipe2(&mut self, pid: Pid) -> Outcome {
-        let pipe_id = self.pipes_mut().create();
-        let reader = OpenFile::new(FileKind::PipeReader { pipe: pipe_id });
-        let writer = OpenFile::new(FileKind::PipeWriter { pipe: pipe_id });
+        let stream_id = self.streams_mut().create();
+        let reader = OpenFile::new(FileKind::PipeReader { stream: stream_id });
+        let writer = OpenFile::new(FileKind::PipeWriter { stream: stream_id });
         let (read_fd, write_fd) = match self.task_mut(pid) {
             Ok(task) => {
                 let read_fd = task.files.insert(reader, 0);
@@ -155,11 +156,17 @@ impl KernelState {
                 if options & WNOHANG != 0 {
                     Outcome::Complete(SysResult::Wait { pid: 0, status: 0 })
                 } else {
-                    self.push_pending(PendingSyscall {
-                        pid,
-                        reply,
-                        kind: PendingKind::Wait4 { target, options },
-                    });
+                    // Park on this process's own child-exit queue; only an
+                    // exiting child of ours wakes it.
+                    self.stats.waiters_parked += 1;
+                    self.park_waiter(
+                        vec![WaitChannel::ChildOf(pid)],
+                        Waiter {
+                            pid,
+                            reply: Some(reply),
+                            kind: WaitKind::Wait4 { target },
+                        },
+                    );
                     Outcome::Blocked
                 }
             }

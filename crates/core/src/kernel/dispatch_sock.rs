@@ -7,7 +7,8 @@ use browsix_fs::Errno;
 use browsix_http::{HttpRequest, HttpResponse};
 
 use crate::fd::{Fd, FileKind, OpenFile, SocketSide};
-use crate::kernel::{HttpClientState, KernelState, Outcome, PendingKind, PendingSyscall, ReplyTo};
+use crate::kernel::waitq::{HttpPump, WaitChannel};
+use crate::kernel::{HttpClientState, KernelState, Outcome, ReplyTo, WaitKind, Waiter};
 use crate::syscall::SysResult;
 use crate::task::Pid;
 
@@ -95,6 +96,12 @@ impl KernelState {
             FileKind::Socket { .. } => return Err(Errno::EINVAL),
             _ => return Err(Errno::ENOTSOCK),
         };
+        if !self.sockets().port_in_use(port) {
+            // The listener was closed (another holder of this description,
+            // or the owner exiting).  Error out rather than waiting on a
+            // port that can never queue a connection again.
+            return Err(Errno::EINVAL);
+        }
         let Some(connection) = self.sockets_mut().accept(port) else {
             return Ok(None);
         };
@@ -111,11 +118,22 @@ impl KernelState {
         match self.try_accept(pid, fd) {
             Ok(Some(new_fd)) => Outcome::Complete(SysResult::Int(new_fd as i64)),
             Ok(None) => {
-                self.push_pending(PendingSyscall {
-                    pid,
-                    reply,
-                    kind: PendingKind::Accept { fd },
-                });
+                if self.fd_nonblocking(pid, fd) {
+                    self.stats.eagain_returns += 1;
+                    return Outcome::Complete(SysResult::Err(Errno::EAGAIN));
+                }
+                let Some(channel) = self.accept_wait_channel(pid, fd) else {
+                    return Outcome::Complete(SysResult::Err(Errno::EBADF));
+                };
+                self.stats.waiters_parked += 1;
+                self.park_waiter(
+                    vec![channel],
+                    Waiter {
+                        pid,
+                        reply: Some(reply),
+                        kind: WaitKind::Accept { fd },
+                    },
+                );
                 Outcome::Blocked
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
@@ -135,8 +153,8 @@ impl KernelState {
         if !self.sockets().port_in_use(port) {
             return Outcome::Complete(SysResult::Err(Errno::ECONNREFUSED));
         }
-        let client_to_server = self.pipes_mut().create();
-        let server_to_client = self.pipes_mut().create();
+        let client_to_server = self.streams_mut().create();
+        let server_to_client = self.streams_mut().create();
         match self.sockets_mut().connect(port, client_to_server, server_to_client) {
             Ok(connection) => {
                 file.set_kind(FileKind::SocketStream {
@@ -144,13 +162,14 @@ impl KernelState {
                     side: SocketSide::Client,
                 });
                 self.recompute_endpoints();
-                // A pending accept on the server side may now complete.
-                self.poll_pending();
+                // Wake exactly the listener's queue: a blocked accept (or a
+                // poll on the listener) can now complete.
+                self.wake(WaitChannel::Listener(port));
                 Outcome::Complete(SysResult::Ok)
             }
             Err(e) => {
-                self.pipes_mut().remove(client_to_server);
-                self.pipes_mut().remove(server_to_client);
+                self.streams_mut().remove(client_to_server);
+                self.streams_mut().remove(server_to_client);
                 Outcome::Complete(SysResult::Err(e))
             }
         }
@@ -170,8 +189,8 @@ impl KernelState {
             let _ = reply.send(Err(Errno::ECONNREFUSED));
             return;
         }
-        let client_to_server = self.pipes_mut().create();
-        let server_to_client = self.pipes_mut().create();
+        let client_to_server = self.streams_mut().create();
+        let server_to_client = self.streams_mut().create();
         match self.sockets_mut().connect(port, client_to_server, server_to_client) {
             Ok(connection) => {
                 let client = HttpClientState {
@@ -183,12 +202,30 @@ impl KernelState {
                 };
                 self.http_clients.push(client);
                 self.recompute_endpoints();
-                self.poll_pending();
-                self.poll_http_clients();
+                // The server's blocked accept (or poll) can take the
+                // connection now.
+                self.wake(WaitChannel::Listener(port));
+                // Pump once; if the exchange is still in flight the client
+                // parks on its connection's stream queues like any other
+                // blocked operation.
+                match self.pump_http_client(connection) {
+                    HttpPump::Done => {}
+                    HttpPump::Blocked(channels) => {
+                        self.stats.waiters_parked += 1;
+                        self.park_waiter(
+                            channels,
+                            Waiter {
+                                pid: 0,
+                                reply: None,
+                                kind: WaitKind::HttpClient { connection },
+                            },
+                        );
+                    }
+                }
             }
             Err(e) => {
-                self.pipes_mut().remove(client_to_server);
-                self.pipes_mut().remove(server_to_client);
+                self.streams_mut().remove(client_to_server);
+                self.streams_mut().remove(server_to_client);
                 let _ = reply.send(Err(e));
             }
         }

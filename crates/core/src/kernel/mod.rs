@@ -3,17 +3,19 @@
 //!
 //! The kernel runs on its own thread (the analogue of the main browser
 //! thread) and owns every piece of shared state: the task table, the mounted
-//! file system, pipes, sockets and the pending-system-call list.  Everything
-//! else in the crate funnels into [`KernelState::run`].
+//! file system, streams (pipes and socket connections), sockets and the
+//! wait queues of blocked system calls.  Everything else in the crate
+//! funnels into [`KernelState::run`].
 
 mod dispatch_fs;
 mod dispatch_proc;
 mod dispatch_sock;
-mod pending;
+mod poll;
+pub mod waitq;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
@@ -23,14 +25,15 @@ use browsix_fs::{Errno, FileSystem as _, MountedFs};
 use crate::events::{HostRequest, KernelEvent, OutputSink};
 use crate::exec::{resolve_executable, ExecutableRegistry, ForkImage, LaunchContext, ProgramLauncher};
 use crate::fd::{Fd, FileKind, OpenFile};
-use crate::pipe::PipeTable;
 use crate::signals::{Signal, SignalDisposition};
 use crate::socket::SocketTable;
 use crate::stats::KernelStats;
+use crate::streams::StreamTable;
 use crate::syscall::{encode_wait_status, Completion, CompletionBatch, SysResult, Syscall, Transport};
 use crate::task::{InflightBatch, Pid, SyncHeap, Task, TaskState};
 
-pub(crate) use pending::{HttpClientState, PendingKind, PendingSyscall};
+pub(crate) use waitq::{HttpClientState, WaitKind, Waiter};
+pub use waitq::{WaitChannel, WaitTable, WaiterId};
 
 /// Where a system call's result belongs: the slot of its entry within the
 /// submission batch it arrived in.  The transport convention (and, for the
@@ -46,7 +49,7 @@ pub struct ReplyTo {
 pub(crate) enum Outcome {
     /// The call finished; send this result.
     Complete(SysResult),
-    /// The call blocked; a [`PendingSyscall`] has been queued.
+    /// The call blocked; a [`Waiter`] has been parked on its wait queue(s).
     Blocked,
     /// The call finished but no reply should be sent (`exit`).
     NoReply,
@@ -71,9 +74,17 @@ pub(crate) struct KernelState {
     events_tx: Sender<KernelEvent>,
     tasks: HashMap<Pid, Task>,
     next_pid: Pid,
-    pipes: PipeTable,
+    streams: StreamTable,
     sockets: SocketTable,
-    pending: Vec<PendingSyscall>,
+    /// Blocked system calls (and kernel HTTP clients), parked on the wait
+    /// queues of exactly the resources they wait for.
+    waiters: WaitTable<Waiter>,
+    /// Channels whose wakeup is queued while another wake is draining.
+    wake_queue: VecDeque<WaitChannel>,
+    /// Re-entrancy guard for [`KernelState::wake`].
+    waking: bool,
+    /// `(deadline, waiter)` pairs for parked `poll`s with timeouts.
+    poll_deadlines: Vec<(Instant, WaiterId)>,
     http_clients: Vec<HttpClientState>,
 
     host_sinks: HashMap<u64, OutputSink>,
@@ -96,9 +107,12 @@ impl KernelState {
             events_tx,
             tasks: HashMap::new(),
             next_pid: 1,
-            pipes: PipeTable::new(),
+            streams: StreamTable::new(),
             sockets: SocketTable::new(),
-            pending: Vec::new(),
+            waiters: WaitTable::new(),
+            wake_queue: VecDeque::new(),
+            waking: false,
+            poll_deadlines: Vec::new(),
             http_clients: Vec::new(),
             host_sinks: HashMap::new(),
             next_sink: 1,
@@ -110,16 +124,29 @@ impl KernelState {
     }
 
     /// The kernel's main loop: process events until shutdown.
+    ///
+    /// Every state change wakes exactly the wait queues it affects as part
+    /// of handling the event, so the loop itself does no retry work; the
+    /// only timer-driven duty left is expiring `poll` deadlines, which bound
+    /// the sleep.
     pub(crate) fn run(mut self, events: Receiver<KernelEvent>) {
         loop {
-            match events.recv_timeout(Duration::from_millis(20)) {
+            let timeout = self
+                .next_poll_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(20))
+                .min(Duration::from_millis(20));
+            match events.recv_timeout(timeout) {
                 Ok(KernelEvent::Shutdown) => break,
                 Ok(event) => self.handle_event(event),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
-            self.poll_http_clients();
-            self.poll_pending();
+            self.expire_poll_deadlines();
+            // With the `scavenger` feature, prove the wait queues lost no
+            // wakeup: retrying every parked waiter must complete none.
+            #[cfg(feature = "scavenger")]
+            self.scavenge();
         }
         // Terminate every remaining worker so their threads exit.
         for task in self.tasks.values_mut() {
@@ -239,6 +266,8 @@ impl KernelState {
             Syscall::Truncate { path, size } => self.sys_truncate(pid, path, size),
             Syscall::Rename { from, to } => self.sys_rename(pid, from, to),
             Syscall::Fsync { fd } => self.sys_fsync(pid, fd),
+            Syscall::Poll { fds, timeout_ms } => self.sys_poll(pid, reply, fds, timeout_ms),
+            Syscall::SetFlags { fd, flags } => self.sys_setflags(pid, fd, flags),
             // directory IO
             Syscall::Readdir { path } => self.sys_readdir(pid, path),
             Syscall::Mkdir { path, mode } => self.sys_mkdir(pid, path, mode),
@@ -549,7 +578,12 @@ impl KernelState {
         self.stats.processes_exited += 1;
         self.exit_records.insert(pid, status);
 
-        // Close any listeners the process owned.
+        // The dead process's own blocked system calls have nobody left to
+        // receive their completions: drop them before any wakeups run.
+        self.drop_waiters_of(pid);
+
+        // Close any listeners the process owned, waking their accept queues
+        // so foreign waiters (dup'd listeners) retry against the closed port.
         let owned_ports: Vec<u16> = self
             .sockets
             .listening_ports()
@@ -558,6 +592,7 @@ impl KernelState {
             .collect();
         for port in owned_ports {
             self.sockets.close_listener(port);
+            self.wake(WaitChannel::Listener(port));
         }
 
         // Reparent children to the kernel (pid 0) and reap any that are
@@ -586,8 +621,14 @@ impl KernelState {
             self.tasks.remove(&pid);
         }
 
+        // Dropping the descriptor table may have closed stream endpoints;
+        // the recount wakes exactly the streams whose EOF/EPIPE state
+        // changed.  A parent blocked in wait4 parks on its own ChildOf
+        // queue, so only that queue is woken for the exit itself.
         self.recompute_endpoints();
-        self.poll_pending();
+        if ppid != 0 {
+            self.wake(WaitChannel::ChildOf(ppid));
+        }
     }
 
     /// Delivers `signal` to `target`, honouring handlers and default
@@ -639,12 +680,12 @@ impl KernelState {
         self.fs.as_ref()
     }
 
-    pub(crate) fn pipes_mut(&mut self) -> &mut PipeTable {
-        &mut self.pipes
+    pub(crate) fn streams_mut(&mut self) -> &mut StreamTable {
+        &mut self.streams
     }
 
-    pub(crate) fn pipes(&self) -> &PipeTable {
-        &self.pipes
+    pub(crate) fn streams(&self) -> &StreamTable {
+        &self.streams
     }
 
     pub(crate) fn sockets_mut(&mut self) -> &mut SocketTable {
@@ -665,13 +706,17 @@ impl KernelState {
         browsix_fs::path::resolve(cwd, path)
     }
 
-    /// Recomputes every pipe's reader/writer endpoint counts by scanning all
-    /// live descriptor tables (plus the kernel's internal HTTP clients).  This
-    /// is the reference counting that decides EOF and EPIPE.
+    /// Recomputes every stream's reader/writer endpoint counts by scanning
+    /// all live descriptor tables (plus the kernel's internal HTTP clients).
+    /// This is the reference counting that decides EOF and EPIPE — and the
+    /// EOF/EPIPE *transitions* it discovers wake exactly the wait queues of
+    /// the streams that changed (readers of a stream whose last writer
+    /// closed, writers of a stream whose last reader closed).
     pub(crate) fn recompute_endpoints(&mut self) {
-        self.pipes.reset_endpoint_counts();
+        let before = self.streams.endpoint_snapshot();
+        self.streams.reset_endpoint_counts();
         let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        let mut adjustments: Vec<(crate::pipe::PipeId, bool)> = Vec::new(); // (pipe, is_reader)
+        let mut adjustments: Vec<(crate::streams::StreamId, bool)> = Vec::new(); // (stream, is_reader)
         for task in self.tasks.values() {
             if !task.is_running() {
                 continue;
@@ -682,8 +727,8 @@ impl KernelState {
                     continue;
                 }
                 match file.kind() {
-                    FileKind::PipeReader { pipe } => adjustments.push((pipe, true)),
-                    FileKind::PipeWriter { pipe } => adjustments.push((pipe, false)),
+                    FileKind::PipeReader { stream } => adjustments.push((stream, true)),
+                    FileKind::PipeWriter { stream } => adjustments.push((stream, false)),
                     FileKind::SocketStream { connection, side } => {
                         if let Some(conn) = self.sockets.connection(connection) {
                             match side {
@@ -719,28 +764,38 @@ impl KernelState {
                 adjustments.push((conn.server_to_client, false));
             }
         }
-        for (pipe_id, is_reader) in adjustments {
-            if let Some(pipe) = self.pipes.get_mut(pipe_id) {
+        for (stream_id, is_reader) in adjustments {
+            if let Some(stream) = self.streams.get_mut(stream_id) {
                 if is_reader {
-                    pipe.readers += 1;
+                    stream.readers += 1;
                 } else {
-                    pipe.writers += 1;
+                    stream.writers += 1;
                 }
             }
         }
-        self.pipes.collect_garbage();
-    }
-
-    pub(crate) fn push_pending(&mut self, pending: PendingSyscall) {
-        self.pending.push(pending);
-    }
-
-    pub(crate) fn pending_list(&mut self) -> &mut Vec<PendingSyscall> {
-        &mut self.pending
-    }
-
-    pub(crate) fn http_clients_list(&mut self) -> &mut Vec<HttpClientState> {
-        &mut self.http_clients
+        for removed in self.streams.collect_garbage() {
+            self.wake(WaitChannel::StreamReadable(removed));
+            self.wake(WaitChannel::StreamWritable(removed));
+        }
+        // Wake exactly the queues whose EOF/EPIPE state flipped.
+        for (id, (readers_before, writers_before)) in before {
+            let (wake_readable, wake_writable) = match self.streams.get(id) {
+                // Removed by the GC above (already woken) or explicitly.
+                None => (true, true),
+                Some(stream) => (
+                    // EOF: blocked readers (and polls) must see it.
+                    writers_before > 0 && stream.write_end_closed(),
+                    // EPIPE: blocked writers must fail (and get SIGPIPE).
+                    readers_before > 0 && stream.read_end_closed(),
+                ),
+            };
+            if wake_readable {
+                self.wake(WaitChannel::StreamReadable(id));
+            }
+            if wake_writable {
+                self.wake(WaitChannel::StreamWritable(id));
+            }
+        }
     }
 
     /// Removes a task from the table entirely (used when a zombie is reaped).

@@ -1,0 +1,633 @@
+//! Per-resource wait queues: how blocked system calls sleep and wake.
+//!
+//! The kernel never blocks its event loop.  A system call that cannot finish
+//! immediately — a read on an empty stream, a write to a full one, `wait4`
+//! with no zombie children, `accept` with no pending connections, a `poll`
+//! with nothing ready — is parked as a [`Waiter`] on the wait queue of
+//! exactly the resource(s) it is waiting for (a [`WaitChannel`]).  When that
+//! resource changes state (bytes pushed or popped, an endpoint closed, a
+//! connection queued, a child exiting), the kernel wakes *that queue only*
+//! and retries just its waiters.
+//!
+//! This is the "read-side wait queue" design the paper describes for pipes,
+//! applied uniformly: waking up costs O(waiters on the affected queue), not
+//! O(all blocked system calls in the kernel).  The previous implementation
+//! kept one flat pending list and re-tried every entry on every kernel event;
+//! that full rescan is gone from the hot path.  A debug "scavenger" pass that
+//! proves no wakeup is ever lost survives behind the `scavenger` cargo
+//! feature (see [`KernelState::scavenge`]).
+//!
+//! The kernel's internal HTTP clients (the `XMLHttpRequest`-like host API)
+//! are ordinary waiters too: each parks on the wait queues of its
+//! connection's two streams and is pumped only when one of them changes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+
+use browsix_fs::Errno;
+use browsix_http::{parse_response, HttpResponse};
+
+use crate::fd::Fd;
+use crate::kernel::{KernelState, ReplyTo};
+use crate::socket::ConnectionId;
+use crate::streams::StreamId;
+use crate::syscall::{PollRequest, SysResult};
+use crate::task::Pid;
+
+/// A wakeup source: the single kernel resource (and direction) a blocked
+/// operation is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitChannel {
+    /// The stream gained data, hit EOF, or was destroyed: blocked reads (and
+    /// `poll`s for readability) should retry.
+    StreamReadable(StreamId),
+    /// The stream gained space, lost its readers, or was destroyed: blocked
+    /// writes (and `poll`s for writability) should retry.
+    StreamWritable(StreamId),
+    /// The listener on this port queued a connection (or went away):
+    /// blocked accepts should retry.
+    Listener(u16),
+    /// A child of this process changed state: blocked `wait4`s should retry.
+    ChildOf(Pid),
+}
+
+/// Identifier of a parked waiter within a [`WaitTable`].
+pub type WaiterId = u64;
+
+/// A table of parked waiters indexed by the channels they wait on.
+///
+/// The table is generic over the waiter payload so the kernel can park its
+/// [`Waiter`] records and benchmarks can park plain markers; either way the
+/// data structure is the same: `park` registers a payload on one or more
+/// channels, and `take_channel` removes and returns every payload parked on
+/// one channel in O(waiters on that channel) — independent of how many
+/// waiters exist in total, which is the whole point of the design.
+#[derive(Debug)]
+pub struct WaitTable<T> {
+    next_id: WaiterId,
+    waiters: HashMap<WaiterId, (T, Vec<WaitChannel>)>,
+    channels: HashMap<WaitChannel, Vec<WaiterId>>,
+}
+
+impl<T> Default for WaitTable<T> {
+    fn default() -> WaitTable<T> {
+        WaitTable {
+            next_id: 0,
+            waiters: HashMap::new(),
+            channels: HashMap::new(),
+        }
+    }
+}
+
+impl<T> WaitTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> WaitTable<T> {
+        WaitTable::default()
+    }
+
+    /// Number of parked waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Whether no waiter is parked.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// Number of waiters parked on `channel`.
+    pub fn waiting_on(&self, channel: WaitChannel) -> usize {
+        self.channels.get(&channel).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Parks `payload` on every channel in `channels` (possibly none, for
+    /// purely timer-driven waiters), returning its id.
+    pub fn park(&mut self, channels: Vec<WaitChannel>, payload: T) -> WaiterId {
+        let id = self.next_id;
+        self.next_id += 1;
+        for channel in &channels {
+            self.channels.entry(*channel).or_default().push(id);
+        }
+        self.waiters.insert(id, (payload, channels));
+        id
+    }
+
+    /// Removes and returns every waiter parked on `channel`, deregistering
+    /// each from any other channels it was parked on.
+    pub fn take_channel(&mut self, channel: WaitChannel) -> Vec<T> {
+        let Some(ids) = self.channels.remove(&channel) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(payload) = self.remove_registered(id, Some(channel)) {
+                out.push(payload);
+            }
+        }
+        out
+    }
+
+    /// Removes one waiter by id (used when a `poll` deadline fires).
+    pub fn remove(&mut self, id: WaiterId) -> Option<T> {
+        self.remove_registered(id, None)
+    }
+
+    /// Removes every waiter, returning the payloads (the scavenger pass).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.channels.clear();
+        self.waiters.drain().map(|(_, (payload, _))| payload).collect()
+    }
+
+    /// Keeps only the waiters whose payload satisfies `keep` (used to drop a
+    /// dead process's waiters).
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut keep: F) {
+        let dead: Vec<WaiterId> = self
+            .waiters
+            .iter()
+            .filter(|(_, (payload, _))| !keep(payload))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            self.remove_registered(id, None);
+        }
+    }
+
+    /// Removes `id` from the waiter map and from every channel list it is
+    /// registered on (skipping `already_removed`, whose list is being
+    /// drained by the caller).
+    fn remove_registered(&mut self, id: WaiterId, already_removed: Option<WaitChannel>) -> Option<T> {
+        let (payload, channels) = self.waiters.remove(&id)?;
+        for channel in channels {
+            if Some(channel) == already_removed {
+                continue;
+            }
+            if let Some(list) = self.channels.get_mut(&channel) {
+                list.retain(|&w| w != id);
+                if list.is_empty() {
+                    self.channels.remove(&channel);
+                }
+            }
+        }
+        Some(payload)
+    }
+}
+
+/// What a parked waiter retries when its channel wakes.
+#[derive(Debug)]
+pub(crate) enum WaitKind {
+    /// A read waiting for data (or EOF).
+    Read {
+        /// Descriptor being read.
+        fd: Fd,
+        /// Requested length.
+        len: usize,
+    },
+    /// A write waiting for stream space.
+    Write {
+        /// Descriptor being written.
+        fd: Fd,
+        /// The full payload.
+        data: Vec<u8>,
+        /// How much has been accepted so far.
+        written: usize,
+    },
+    /// `wait4` waiting for a child to exit.
+    Wait4 {
+        /// Target pid (-1 = any child).
+        target: i32,
+    },
+    /// `accept` waiting for an incoming connection.
+    Accept {
+        /// The listening descriptor.
+        fd: Fd,
+    },
+    /// `poll` waiting for the first ready descriptor or its timeout.
+    Poll {
+        /// The descriptors and event masks being polled.
+        fds: Vec<PollRequest>,
+        /// When the poll times out (None = wait forever).
+        deadline: Option<Instant>,
+    },
+    /// A kernel-internal HTTP client waiting for its connection's streams.
+    HttpClient {
+        /// The loopback connection carrying the exchange.
+        connection: ConnectionId,
+    },
+}
+
+/// A parked blocked operation.
+#[derive(Debug)]
+pub(crate) struct Waiter {
+    /// The calling process (0 for kernel-internal HTTP clients).
+    pub pid: Pid,
+    /// How to reply when the operation completes (None for HTTP clients,
+    /// which reply over their own channel).
+    pub reply: Option<ReplyTo>,
+    /// What to retry on wakeup.
+    pub kind: WaitKind,
+}
+
+/// State of one host-initiated HTTP request to an in-Browsix server.
+pub(crate) struct HttpClientState {
+    /// The loopback connection carrying the exchange.
+    pub connection: ConnectionId,
+    /// The serialized request.
+    pub to_send: Vec<u8>,
+    /// How many request bytes have been pushed into the connection so far.
+    pub sent: usize,
+    /// Response bytes accumulated so far.
+    pub received: Vec<u8>,
+    /// Where the parsed response goes.
+    pub reply: Sender<Result<HttpResponse, Errno>>,
+}
+
+/// Outcome of pumping a kernel HTTP client.
+pub(crate) enum HttpPump {
+    /// The exchange finished (successfully or not); the client is gone.
+    Done,
+    /// Still in progress; park on these channels.
+    Blocked(Vec<WaitChannel>),
+}
+
+impl KernelState {
+    /// Parks a blocked operation on the given channels, tracking any `poll`
+    /// deadline it carries.
+    ///
+    /// Parking re-checks the waiter's condition *after* it is registered:
+    /// attempting the operation can itself cascade nested wakeups (a partial
+    /// write wakes a reader, which drains the stream and frees space) that
+    /// fire before this waiter is on any queue.  Without the re-check such a
+    /// waiter would sleep on a state change that already happened — the
+    /// classic lost-wakeup race, just single-threaded.
+    pub(crate) fn park_waiter(&mut self, channels: Vec<WaitChannel>, waiter: Waiter) {
+        let deadline = match &waiter.kind {
+            WaitKind::Poll { deadline, .. } => *deadline,
+            _ => None,
+        };
+        let actionable = self.waiter_actionable(&waiter);
+        let id = self.waiters.park(channels, waiter);
+        if let Some(deadline) = deadline {
+            self.poll_deadlines.push((deadline, id));
+        }
+        if actionable {
+            if let Some(waiter) = self.waiters.remove(id) {
+                self.retry_waiter(waiter);
+            }
+        }
+    }
+
+    /// Whether retrying `waiter` right now would make progress (complete,
+    /// error out, or move bytes).  Must agree exactly with the would-block
+    /// decisions in the corresponding `try_*` paths: an "actionable" waiter
+    /// that re-parks unchanged would spin forever.
+    fn waiter_actionable(&self, waiter: &Waiter) -> bool {
+        match &waiter.kind {
+            WaitKind::Read { fd, .. } => match self.read_wait_channel(waiter.pid, *fd) {
+                Some(WaitChannel::StreamReadable(id)) => {
+                    // A missing stream reads EOF immediately.
+                    self.streams().get(id).is_none_or(crate::streams::Stream::read_ready)
+                }
+                // No longer stream-backed: the retry will error out.
+                _ => true,
+            },
+            WaitKind::Write { fd, .. } => match self.write_wait_channel(waiter.pid, *fd) {
+                Some(WaitChannel::StreamWritable(id)) => {
+                    // A missing stream raises EPIPE immediately.
+                    self.streams().get(id).is_none_or(crate::streams::Stream::write_ready)
+                }
+                _ => true,
+            },
+            // Nothing that runs between a failed reap and the park can
+            // produce a zombie child; exits always arrive as later events.
+            WaitKind::Wait4 { .. } => false,
+            WaitKind::Accept { fd } => match self.accept_wait_channel(waiter.pid, *fd) {
+                Some(WaitChannel::Listener(port)) => {
+                    // A connection is waiting, or the listener itself is gone
+                    // (the retry then fails with EINVAL instead of parking).
+                    self.sockets().has_pending(port) || !self.sockets().port_in_use(port)
+                }
+                _ => true,
+            },
+            WaitKind::Poll { fds, .. } => self.poll_revents(waiter.pid, fds).iter().any(|&r| r != 0),
+            WaitKind::HttpClient { connection } => self.http_client_actionable(*connection),
+        }
+    }
+
+    /// Whether pumping the given HTTP client would make progress, mirroring
+    /// the would-block decision in [`KernelState::pump_http_client`].
+    fn http_client_actionable(&self, connection: ConnectionId) -> bool {
+        let Some(client) = self.http_clients.iter().find(|c| c.connection == connection) else {
+            return false;
+        };
+        let Some(conn) = self.sockets().connection(connection) else {
+            return true;
+        };
+        let response_ready = self
+            .streams()
+            .get(conn.server_to_client)
+            .is_none_or(crate::streams::Stream::read_ready);
+        let request_sendable = client.sent < client.to_send.len()
+            && self
+                .streams()
+                .get(conn.client_to_server)
+                .is_none_or(crate::streams::Stream::write_ready);
+        response_ready || request_sendable
+    }
+
+    /// Wakes every waiter parked on `channel`: each is removed from the
+    /// table and retried; waiters that still cannot make progress re-park
+    /// themselves (counted as spurious wakeups).
+    ///
+    /// Retrying a waiter can itself change kernel state (a completed write
+    /// fills a stream someone is reading), so nested wakes are queued and
+    /// drained iteratively rather than recursing.
+    pub(crate) fn wake(&mut self, channel: WaitChannel) {
+        self.wake_queue.push_back(channel);
+        if self.waking {
+            return;
+        }
+        self.waking = true;
+        while let Some(next) = self.wake_queue.pop_front() {
+            for waiter in self.waiters.take_channel(next) {
+                self.retry_waiter(waiter);
+            }
+        }
+        self.waking = false;
+    }
+
+    /// Drops every waiter belonging to `pid` (the process exited; nobody is
+    /// left to receive the completions).
+    pub(crate) fn drop_waiters_of(&mut self, pid: Pid) {
+        self.waiters.retain(|w| w.pid != pid);
+    }
+
+    /// Retries one woken waiter: complete it, or re-park it on the channels
+    /// it still needs.
+    pub(crate) fn retry_waiter(&mut self, waiter: Waiter) {
+        let Waiter { pid, reply, kind } = waiter;
+        if !matches!(kind, WaitKind::HttpClient { .. }) && !self.tasks_contains(pid) {
+            return;
+        }
+        match kind {
+            WaitKind::Read { fd, len } => match self.try_read_fd(pid, fd, len) {
+                Ok(Some(data)) => self.finish_waiter(pid, reply, SysResult::Data(data)),
+                Ok(None) => match self.read_wait_channel(pid, fd) {
+                    Some(channel) => self.repark(
+                        vec![channel],
+                        Waiter {
+                            pid,
+                            reply,
+                            kind: WaitKind::Read { fd, len },
+                        },
+                    ),
+                    None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EIO)),
+                },
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Write { fd, data, written } => match self.try_write_fd(pid, fd, &data[written..]) {
+                Ok((accepted, _)) => {
+                    let written = written + accepted;
+                    if written >= data.len() {
+                        self.finish_waiter(pid, reply, SysResult::Int(data.len() as i64));
+                    } else {
+                        match self.write_wait_channel(pid, fd) {
+                            Some(channel) => {
+                                if accepted == 0 {
+                                    self.stats.spurious_wakeups += 1;
+                                }
+                                let kind = WaitKind::Write { fd, data, written };
+                                self.park_waiter(vec![channel], Waiter { pid, reply, kind });
+                            }
+                            None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EIO)),
+                        }
+                    }
+                }
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Wait4 { target } => match self.try_reap_child(pid, target) {
+                Ok(Some((child, status))) => self.finish_waiter(pid, reply, SysResult::Wait { pid: child, status }),
+                Ok(None) => self.repark(
+                    vec![WaitChannel::ChildOf(pid)],
+                    Waiter {
+                        pid,
+                        reply,
+                        kind: WaitKind::Wait4 { target },
+                    },
+                ),
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Accept { fd } => match self.try_accept(pid, fd) {
+                Ok(Some(new_fd)) => self.finish_waiter(pid, reply, SysResult::Int(new_fd as i64)),
+                Ok(None) => match self.accept_wait_channel(pid, fd) {
+                    Some(channel) => self.repark(
+                        vec![channel],
+                        Waiter {
+                            pid,
+                            reply,
+                            kind: WaitKind::Accept { fd },
+                        },
+                    ),
+                    None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EBADF)),
+                },
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Poll { fds, deadline } => {
+                let revents = self.poll_revents(pid, &fds);
+                if revents.iter().any(|&r| r != 0) {
+                    self.finish_waiter(pid, reply, SysResult::Poll(revents));
+                } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Timer-driven, deliberately not counted as a wakeup (the
+                    // scavenger asserts on the wakeup counter).
+                    self.stats.poll_timeouts += 1;
+                    if let Some(reply) = reply {
+                        self.complete(pid, reply, SysResult::Poll(revents));
+                    }
+                } else {
+                    let channels = self.poll_wait_channels(pid, &fds);
+                    self.repark(
+                        channels,
+                        Waiter {
+                            pid,
+                            reply,
+                            kind: WaitKind::Poll { fds, deadline },
+                        },
+                    );
+                }
+            }
+            WaitKind::HttpClient { connection } => match self.pump_http_client(connection) {
+                HttpPump::Done => self.stats.wakeups += 1,
+                HttpPump::Blocked(channels) => self.repark(
+                    channels,
+                    Waiter {
+                        pid,
+                        reply,
+                        kind: WaitKind::HttpClient { connection },
+                    },
+                ),
+            },
+        }
+    }
+
+    /// Completes a woken waiter's system call.
+    fn finish_waiter(&mut self, pid: Pid, reply: Option<ReplyTo>, result: SysResult) {
+        self.stats.wakeups += 1;
+        if let Some(reply) = reply {
+            self.complete(pid, reply, result);
+        }
+    }
+
+    /// Re-parks a waiter that was woken but could not make progress.
+    fn repark(&mut self, channels: Vec<WaitChannel>, waiter: Waiter) {
+        self.stats.spurious_wakeups += 1;
+        self.park_waiter(channels, waiter);
+    }
+
+    /// Retries every parked waiter, asserting that none of them completes —
+    /// if one does, a state change somewhere forgot to wake its channel.
+    ///
+    /// Compiled only under the `scavenger` cargo feature; the assertion is a
+    /// `debug_assert`, so a release build with the feature merely repairs the
+    /// lost wakeup.  Enabling the feature makes every retried waiter count as
+    /// a spurious wakeup, so the statistics are for debugging only.
+    #[cfg(feature = "scavenger")]
+    pub(crate) fn scavenge(&mut self) {
+        let completed_before = self.stats.wakeups;
+        for waiter in self.waiters.drain_all() {
+            self.retry_waiter(waiter);
+        }
+        debug_assert_eq!(
+            self.stats.wakeups, completed_before,
+            "wait-queue scavenger found a lost wakeup: a kernel state change did not wake the channel a waiter was parked on"
+        );
+    }
+
+    // ---- the kernel's internal HTTP clients -----------------------------------
+
+    /// Advances one host HTTP client: push pending request bytes, pull
+    /// whatever the server has produced, and complete the request once a
+    /// full response has been parsed (or the connection dies).
+    pub(crate) fn pump_http_client(&mut self, connection: ConnectionId) -> HttpPump {
+        let Some(index) = self.http_clients.iter().position(|c| c.connection == connection) else {
+            return HttpPump::Done;
+        };
+        let mut client = self.http_clients.swap_remove(index);
+        let Some(conn) = self.sockets().connection(connection) else {
+            let _ = client.reply.send(Err(Errno::ECONNRESET));
+            self.recompute_endpoints();
+            return HttpPump::Done;
+        };
+        // Push request bytes towards the server.  A vanished or reader-less
+        // request stream means the server will never see the rest of the
+        // request, which kills the exchange.
+        let mut request_dead = false;
+        if client.sent < client.to_send.len() {
+            match self.streams.get_mut(conn.client_to_server) {
+                Some(stream) if !stream.read_end_closed() => {
+                    let pushed = stream.push(&client.to_send[client.sent..]);
+                    client.sent += pushed;
+                    if pushed > 0 {
+                        self.wake(WaitChannel::StreamReadable(conn.client_to_server));
+                    }
+                }
+                _ => request_dead = true,
+            }
+        }
+        // Pull response bytes from the server.  A vanished stream counts as
+        // closed: no more bytes can ever arrive.
+        let mut server_closed = true;
+        if let Some(stream) = self.streams.get_mut(conn.server_to_client) {
+            let chunk = stream.pop(usize::MAX);
+            server_closed = stream.write_end_closed() && stream.is_empty();
+            if !chunk.is_empty() {
+                client.received.extend_from_slice(&chunk);
+                self.wake(WaitChannel::StreamWritable(conn.server_to_client));
+            }
+        }
+        match parse_response(&client.received) {
+            Ok(Some(response)) => {
+                let _ = client.reply.send(Ok(response));
+                self.sockets_mut().remove_connection(connection);
+                self.recompute_endpoints();
+                HttpPump::Done
+            }
+            Ok(None) if server_closed || request_dead => {
+                // Connection closed before a full response arrived.
+                let _ = client.reply.send(Err(Errno::ECONNRESET));
+                self.sockets_mut().remove_connection(connection);
+                self.recompute_endpoints();
+                HttpPump::Done
+            }
+            Ok(None) => {
+                let mut channels = vec![WaitChannel::StreamReadable(conn.server_to_client)];
+                if client.sent < client.to_send.len() {
+                    channels.push(WaitChannel::StreamWritable(conn.client_to_server));
+                }
+                self.http_clients.push(client);
+                HttpPump::Blocked(channels)
+            }
+            Err(_) => {
+                let _ = client.reply.send(Err(Errno::EIO));
+                self.sockets_mut().remove_connection(connection);
+                self.recompute_endpoints();
+                HttpPump::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn park_and_take_channel_returns_only_that_channels_waiters() {
+        let mut table: WaitTable<&'static str> = WaitTable::new();
+        table.park(vec![WaitChannel::StreamReadable(1)], "read-1");
+        table.park(vec![WaitChannel::StreamReadable(2)], "read-2");
+        table.park(vec![WaitChannel::StreamWritable(1)], "write-1");
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.waiting_on(WaitChannel::StreamReadable(1)), 1);
+
+        let woken = table.take_channel(WaitChannel::StreamReadable(1));
+        assert_eq!(woken, vec!["read-1"]);
+        assert_eq!(table.len(), 2);
+        assert!(table.take_channel(WaitChannel::StreamReadable(1)).is_empty());
+    }
+
+    #[test]
+    fn multi_channel_waiter_is_deregistered_everywhere_on_first_wake() {
+        let mut table: WaitTable<u32> = WaitTable::new();
+        table.park(vec![WaitChannel::StreamReadable(7), WaitChannel::Listener(80)], 42);
+        assert_eq!(table.take_channel(WaitChannel::Listener(80)), vec![42]);
+        // The other registration must be gone too.
+        assert!(table.take_channel(WaitChannel::StreamReadable(7)).is_empty());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn retain_drops_waiters_and_their_registrations() {
+        let mut table: WaitTable<u32> = WaitTable::new();
+        table.park(vec![WaitChannel::ChildOf(1)], 1);
+        table.park(vec![WaitChannel::ChildOf(1)], 2);
+        table.retain(|&v| v != 1);
+        assert_eq!(table.take_channel(WaitChannel::ChildOf(1)), vec![2]);
+    }
+
+    #[test]
+    fn remove_by_id_and_drain_all() {
+        let mut table: WaitTable<u32> = WaitTable::new();
+        let id = table.park(Vec::new(), 9);
+        assert_eq!(table.remove(id), Some(9));
+        assert_eq!(table.remove(id), None);
+
+        table.park(vec![WaitChannel::StreamReadable(1)], 1);
+        table.park(vec![WaitChannel::StreamWritable(1)], 2);
+        let mut drained = table.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(table.is_empty());
+        assert!(table.take_channel(WaitChannel::StreamReadable(1)).is_empty());
+    }
+}

@@ -45,10 +45,10 @@ pub mod exec;
 pub mod fd;
 pub mod hostapi;
 pub mod kernel;
-pub mod pipe;
 pub mod signals;
 pub mod socket;
 pub mod stats;
+pub mod streams;
 pub mod syscall;
 pub mod task;
 pub mod wire;
@@ -59,7 +59,11 @@ pub use fd::{Fd, FdTable, OpenFile};
 pub use hostapi::{BootConfig, ExitStatus, Kernel, ProcessHandle};
 pub use signals::{Signal, SignalDisposition};
 pub use stats::KernelStats;
-pub use syscall::{ByteSource, Completion, CompletionBatch, SysResult, Syscall, SyscallBatch, Transport};
+pub use streams::{Stream, StreamId, StreamTable};
+pub use syscall::{
+    ByteSource, Completion, CompletionBatch, PollRequest, SysResult, Syscall, SyscallBatch, Transport, NONBLOCK,
+    POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT,
+};
 pub use task::{Pid, TaskState};
 
 /// Re-export of the error type shared with the file system layer.

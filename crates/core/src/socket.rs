@@ -4,13 +4,15 @@
 //! `SOCK_STREAM` (TCP) semantics for communication *between Browsix
 //! processes*: servers `bind`, `listen` and `accept`; clients `connect`; both
 //! sides then read and write a sequenced, reliable, bidirectional stream.
-//! Connections are carried by two kernel pipes, one per direction.
+//! Connections are carried by two kernel streams, one per direction —
+//! exactly the same buffered [`Stream`](crate::streams::Stream) objects that
+//! carry pipes, so readiness and blocking are computed in one place.
 
 use std::collections::{HashMap, VecDeque};
 
 use browsix_fs::Errno;
 
-use crate::pipe::PipeId;
+use crate::streams::StreamId;
 use crate::task::Pid;
 
 /// Identifier of an established connection.
@@ -27,13 +29,13 @@ pub struct Listener {
     pub pending: VecDeque<ConnectionId>,
 }
 
-/// An established connection: a pipe per direction.
+/// An established connection: a kernel stream per direction.
 #[derive(Debug, Clone, Copy)]
 pub struct Connection {
     /// Bytes flowing from the connecting client towards the accepting server.
-    pub client_to_server: PipeId,
+    pub client_to_server: StreamId,
     /// Bytes flowing from the server back to the client.
-    pub server_to_client: PipeId,
+    pub server_to_client: StreamId,
     /// The port the connection was made to.
     pub port: u16,
 }
@@ -118,16 +120,18 @@ impl SocketTable {
     /// # Errors
     ///
     /// * [`Errno::ECONNREFUSED`] if nothing is listening on `port`.
-    /// * [`Errno::EAGAIN`] if the listener's backlog is full.
+    /// * [`Errno::ECONNREFUSED`] if the listener's backlog is full — the
+    ///   kernel refuses the connection outright (a SYN met by RST), rather
+    ///   than parking the client until the server drains its backlog.
     pub fn connect(
         &mut self,
         port: u16,
-        client_to_server: PipeId,
-        server_to_client: PipeId,
+        client_to_server: StreamId,
+        server_to_client: StreamId,
     ) -> Result<ConnectionId, Errno> {
         let listener = self.listeners.get_mut(&port).ok_or(Errno::ECONNREFUSED)?;
         if listener.pending.len() >= listener.backlog {
-            return Err(Errno::EAGAIN);
+            return Err(Errno::ECONNREFUSED);
         }
         let id = self.next_connection;
         self.next_connection += 1;
@@ -221,12 +225,14 @@ mod tests {
     }
 
     #[test]
-    fn backlog_limits_pending_connections() {
+    fn full_backlog_refuses_connections_instead_of_parking() {
         let mut table = SocketTable::new();
         table.listen(80, 1, 2).unwrap();
         table.connect(80, 0, 1).unwrap();
         table.connect(80, 2, 3).unwrap();
-        assert_eq!(table.connect(80, 4, 5), Err(Errno::EAGAIN));
+        // A full backlog must refuse outright: a parked connect would wait
+        // forever if the server never accepts.
+        assert_eq!(table.connect(80, 4, 5), Err(Errno::ECONNREFUSED));
         table.accept(80).unwrap();
         assert!(table.connect(80, 4, 5).is_ok());
     }

@@ -46,6 +46,20 @@ pub struct KernelStats {
     pub page_cache_misses: u64,
     /// Files materialised in overlay writable layers by copy-up.
     pub overlay_copy_ups: u64,
+    /// Blocked system calls parked on a wait queue.
+    pub waiters_parked: u64,
+    /// Parked waiters woken by a targeted wait-queue wakeup that then
+    /// completed.
+    pub wakeups: u64,
+    /// Parked waiters woken whose retry still could not make progress (they
+    /// re-parked).  A healthy wait-queue design keeps this near zero.
+    pub spurious_wakeups: u64,
+    /// Non-blocking operations (`O_NONBLOCK` reads/writes/accepts) that
+    /// returned `EAGAIN` instead of parking.
+    pub eagain_returns: u64,
+    /// `poll` calls completed by their timeout rather than a readiness
+    /// wakeup.
+    pub poll_timeouts: u64,
 }
 
 impl KernelStats {

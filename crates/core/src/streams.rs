@@ -1,0 +1,339 @@
+//! Kernel byte streams: the single buffered-data object behind pipes *and*
+//! socket connections.
+//!
+//! Browsix pipes are "implemented as in-memory buffers with read-side wait
+//! queues": a bounded ring buffer living inside the kernel.  A [`Stream`] is
+//! that buffer plus the reader/writer endpoint counts that decide EOF and
+//! EPIPE, and the readiness predicates (`read_ready`/`write_ready`) that the
+//! wait-queue subsystem and `poll` are built on.  Socket connections are two
+//! streams, one per direction, sharing exactly this code — there is no
+//! separate socket data path.
+//!
+//! Blocking lives elsewhere: a read on an empty stream or a write to a full
+//! one parks the calling system call on the stream's wait queue
+//! (`kernel::waitq`), and the state changes here (`push`, `pop`, endpoint
+//! transitions) are what wake those queues.
+
+use std::collections::HashMap;
+
+/// Identifier of a kernel stream buffer.
+pub type StreamId = u64;
+
+/// Default stream capacity, matching the Linux pipe default of 64 KiB.
+pub const DEFAULT_STREAM_CAPACITY: usize = 64 * 1024;
+
+/// A single in-kernel bounded byte stream (ring buffer + endpoint counts).
+#[derive(Debug)]
+pub struct Stream {
+    /// Ring storage, allocated to `capacity` on first push.
+    ring: Vec<u8>,
+    /// Read position within `ring`.
+    head: usize,
+    /// Bytes currently buffered.
+    buffered: usize,
+    capacity: usize,
+    /// Number of live open-file descriptions referring to the read end.
+    pub readers: usize,
+    /// Number of live open-file descriptions referring to the write end.
+    pub writers: usize,
+}
+
+impl Stream {
+    /// Creates an empty stream with the given capacity.
+    pub fn new(capacity: usize) -> Stream {
+        Stream {
+            ring: Vec::new(),
+            head: 0,
+            buffered: 0,
+            capacity: capacity.max(1),
+            readers: 0,
+            writers: 0,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// Remaining space before writers must block.
+    pub fn space(&self) -> usize {
+        self.capacity - self.buffered
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether all write ends are closed (EOF once drained).
+    pub fn write_end_closed(&self) -> bool {
+        self.writers == 0
+    }
+
+    /// Whether all read ends are closed (writes raise EPIPE).
+    pub fn read_end_closed(&self) -> bool {
+        self.readers == 0
+    }
+
+    /// Whether a read would make progress right now: data is buffered, or the
+    /// stream is at EOF (no writers left).  This is the single definition of
+    /// read readiness used by blocking reads, `O_NONBLOCK` and `poll`.
+    pub fn read_ready(&self) -> bool {
+        !self.is_empty() || self.write_end_closed()
+    }
+
+    /// Whether a write would make progress right now: there is space, or the
+    /// write would fail immediately with EPIPE (no readers left).
+    pub fn write_ready(&self) -> bool {
+        self.space() > 0 || self.read_end_closed()
+    }
+
+    /// Appends as much of `data` as fits, returning the number of bytes
+    /// accepted.
+    pub fn push(&mut self, data: &[u8]) -> usize {
+        if self.ring.is_empty() {
+            self.ring = vec![0; self.capacity];
+        }
+        let accept = data.len().min(self.space());
+        let tail = (self.head + self.buffered) % self.capacity;
+        let first = accept.min(self.capacity - tail);
+        self.ring[tail..tail + first].copy_from_slice(&data[..first]);
+        let rest = accept - first;
+        self.ring[..rest].copy_from_slice(&data[first..accept]);
+        self.buffered += accept;
+        accept
+    }
+
+    /// Removes and returns up to `len` bytes.
+    pub fn pop(&mut self, len: usize) -> Vec<u8> {
+        let take = len.min(self.buffered);
+        let mut out = Vec::with_capacity(take);
+        let first = take.min(self.capacity - self.head);
+        out.extend_from_slice(&self.ring[self.head..self.head + first]);
+        let rest = take - first;
+        out.extend_from_slice(&self.ring[..rest]);
+        self.head = (self.head + take) % self.capacity;
+        self.buffered -= take;
+        out
+    }
+}
+
+/// The kernel's table of streams.
+#[derive(Debug, Default)]
+pub struct StreamTable {
+    next_id: StreamId,
+    streams: HashMap<StreamId, Stream>,
+}
+
+impl StreamTable {
+    /// Creates an empty table.
+    pub fn new() -> StreamTable {
+        StreamTable::default()
+    }
+
+    /// Allocates a new stream with the default capacity and returns its id.
+    pub fn create(&mut self) -> StreamId {
+        self.create_with_capacity(DEFAULT_STREAM_CAPACITY)
+    }
+
+    /// Allocates a new stream with an explicit capacity.
+    pub fn create_with_capacity(&mut self, capacity: usize) -> StreamId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.insert(id, Stream::new(capacity));
+        id
+    }
+
+    /// Looks up a stream.
+    pub fn get(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.get(&id)
+    }
+
+    /// Looks up a stream mutably.
+    pub fn get_mut(&mut self, id: StreamId) -> Option<&mut Stream> {
+        self.streams.get_mut(&id)
+    }
+
+    /// Removes a stream whose endpoints are all gone.
+    pub fn remove(&mut self, id: StreamId) {
+        self.streams.remove(&id);
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether there are no live streams.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Resets every stream's endpoint counts to zero; the kernel recomputes
+    /// them by scanning all descriptor tables after any change (close, exit,
+    /// spawn), which keeps the reference counts trivially correct.
+    pub fn reset_endpoint_counts(&mut self) {
+        for stream in self.streams.values_mut() {
+            stream.readers = 0;
+            stream.writers = 0;
+        }
+    }
+
+    /// Snapshot of every stream's `(readers, writers)` endpoint counts, taken
+    /// before a recount so the kernel can detect EOF/EPIPE transitions and
+    /// wake exactly the affected wait queues.
+    pub fn endpoint_snapshot(&self) -> HashMap<StreamId, (usize, usize)> {
+        self.streams
+            .iter()
+            .map(|(&id, s)| (id, (s.readers, s.writers)))
+            .collect()
+    }
+
+    /// Drops streams with no readers, no writers and no buffered data,
+    /// returning the ids that were removed (their wait queues must be woken).
+    pub fn collect_garbage(&mut self) -> Vec<StreamId> {
+        let dead: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.readers == 0 && s.writers == 0 && s.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.streams.remove(id);
+        }
+        dead
+    }
+
+    /// Ids of all live streams (used by tests and statistics).
+    pub fn ids(&self) -> Vec<StreamId> {
+        self.streams.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_pop_preserve_fifo_order() {
+        let mut stream = Stream::new(16);
+        assert_eq!(stream.push(b"hello "), 6);
+        assert_eq!(stream.push(b"world"), 5);
+        assert_eq!(stream.pop(6), b"hello ");
+        assert_eq!(stream.pop(100), b"world");
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut stream = Stream::new(4);
+        assert_eq!(stream.push(b"abcdef"), 4);
+        assert_eq!(stream.space(), 0);
+        assert_eq!(stream.push(b"x"), 0);
+        stream.pop(2);
+        assert_eq!(stream.space(), 2);
+        assert_eq!(stream.push(b"yz!"), 2);
+        assert_eq!(stream.pop(10), b"cdyz");
+    }
+
+    #[test]
+    fn ring_wraps_across_the_boundary_many_times() {
+        // Push/pop amounts that are coprime with the capacity so the head
+        // sweeps every position in the ring.
+        let mut stream = Stream::new(7);
+        let mut sent = Vec::new();
+        let mut received = Vec::new();
+        let mut next = 0u8;
+        for round in 0..50 {
+            let n = (round % 5) + 1;
+            let chunk: Vec<u8> = (0..n)
+                .map(|_| {
+                    next = next.wrapping_add(1);
+                    next
+                })
+                .collect();
+            let accepted = stream.push(&chunk);
+            sent.extend_from_slice(&chunk[..accepted]);
+            received.extend(stream.pop((round % 3) + 1));
+        }
+        received.extend(stream.pop(usize::MAX));
+        assert_eq!(received, sent);
+    }
+
+    #[test]
+    fn endpoint_flags_and_readiness() {
+        let mut stream = Stream::new(8);
+        assert!(stream.write_end_closed());
+        assert!(stream.read_end_closed());
+        // EOF with no writers: readable (a read returns empty immediately).
+        assert!(stream.read_ready());
+        // No readers: writable (a write raises EPIPE immediately).
+        assert!(stream.write_ready());
+        stream.readers = 1;
+        stream.writers = 2;
+        assert!(!stream.write_end_closed());
+        assert!(!stream.read_end_closed());
+        assert_eq!(stream.capacity(), 8);
+        // Empty + live writer: a read would block.
+        assert!(!stream.read_ready());
+        assert!(stream.write_ready());
+        stream.push(b"12345678");
+        assert!(stream.read_ready());
+        // Full + live reader: a write would block.
+        assert!(!stream.write_ready());
+    }
+
+    #[test]
+    fn table_creates_unique_ids() {
+        let mut table = StreamTable::new();
+        let a = table.create();
+        let b = table.create_with_capacity(128);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(b).unwrap().capacity(), 128);
+        assert!(table.get(999).is_none());
+        assert_eq!(table.ids().len(), 2);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_streams_with_data_or_endpoints() {
+        let mut table = StreamTable::new();
+        let dead = table.create();
+        let buffered = table.create();
+        let referenced = table.create();
+        table.get_mut(buffered).unwrap().push(b"pending data");
+        table.get_mut(referenced).unwrap().readers = 1;
+        let removed = table.collect_garbage();
+        assert_eq!(removed, vec![dead]);
+        assert!(table.get(dead).is_none());
+        assert!(table.get(buffered).is_some());
+        assert!(table.get(referenced).is_some());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn reset_endpoint_counts_zeroes_everything() {
+        let mut table = StreamTable::new();
+        let id = table.create();
+        table.get_mut(id).unwrap().readers = 3;
+        table.get_mut(id).unwrap().writers = 2;
+        assert_eq!(table.endpoint_snapshot().get(&id), Some(&(3, 2)));
+        table.reset_endpoint_counts();
+        assert_eq!(table.get(id).unwrap().readers, 0);
+        assert_eq!(table.get(id).unwrap().writers, 0);
+    }
+
+    #[test]
+    fn remove_deletes_stream() {
+        let mut table = StreamTable::new();
+        let id = table.create();
+        table.remove(id);
+        assert!(table.get(id).is_none());
+    }
+}

@@ -44,6 +44,36 @@ const COMPLETION_MAGIC: u8 = 0x43;
 /// Codec version, bumped on incompatible layout changes.
 const WIRE_VERSION: u8 = 1;
 
+// Poll event bits, matching the Linux `poll(2)` ABI.  `events` is what the
+// caller asks about; `revents` is what the kernel reports.  `POLLERR`,
+// `POLLHUP` and `POLLNVAL` are always reported, whether requested or not.
+
+/// There is data to read (or the stream is at EOF, so a read returns now).
+pub const POLLIN: u16 = 0x001;
+/// Writing now will not block (or will fail immediately with EPIPE).
+pub const POLLOUT: u16 = 0x004;
+/// Error condition (for streams: the read side is gone, writes raise EPIPE).
+pub const POLLERR: u16 = 0x008;
+/// Hang-up: the peer closed its end of the stream.
+pub const POLLHUP: u16 = 0x010;
+/// The descriptor is not open.
+pub const POLLNVAL: u16 = 0x020;
+
+/// Status-flag bit for [`Syscall::SetFlags`]: `O_NONBLOCK`.  Reads, writes
+/// and accepts on a non-blocking description return `EAGAIN` instead of
+/// parking on a wait queue.
+pub const NONBLOCK: u32 = 0x1;
+
+/// One descriptor's entry in a [`Syscall::Poll`] submission: which fd, and
+/// which readiness events the caller is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollRequest {
+    /// Descriptor to query.
+    pub fd: i32,
+    /// Requested event mask (`POLLIN` | `POLLOUT`).
+    pub events: u16,
+}
+
 /// A source of bytes for data-carrying system calls (`write`, `pwrite`).
 ///
 /// The asynchronous convention inlines the bytes into the submission frame
@@ -267,6 +297,24 @@ pub enum Syscall {
         /// Descriptor.
         fd: i32,
     },
+    /// Wait for readiness on a set of descriptors (`poll`).  Completes as
+    /// soon as any descriptor has a non-zero `revents`, or when the timeout
+    /// expires.
+    Poll {
+        /// Descriptors and the events of interest.
+        fds: Vec<PollRequest>,
+        /// Milliseconds to wait: negative waits forever, 0 returns
+        /// immediately with the current readiness.
+        timeout_ms: i32,
+    },
+    /// Replace a description's status flags (`fcntl(F_SETFL)`); the only
+    /// defined bit is [`NONBLOCK`].
+    SetFlags {
+        /// Descriptor.
+        fd: i32,
+        /// New status-flag word.
+        flags: u32,
+    },
 
     // ---- directory IO ----------------------------------------------------------
     /// Read the entries of a directory (`readdir`/`getdents`).
@@ -401,6 +449,8 @@ const OP_LISTEN: u8 = 35;
 const OP_ACCEPT: u8 = 36;
 const OP_CONNECT: u8 = 37;
 const OP_FSYNC: u8 = 38;
+const OP_POLL: u8 = 39;
+const OP_SETFLAGS: u8 = 40;
 
 impl Syscall {
     /// The syscall's name, used for statistics and tracing (and by the
@@ -431,6 +481,8 @@ impl Syscall {
             Syscall::Truncate { .. } => "truncate",
             Syscall::Rename { .. } => "rename",
             Syscall::Fsync { .. } => "fsync",
+            Syscall::Poll { .. } => "poll",
+            Syscall::SetFlags { .. } => "fcntl",
             Syscall::Readdir { .. } => "getdents",
             Syscall::Mkdir { .. } => "mkdir",
             Syscall::Rmdir { .. } => "rmdir",
@@ -484,7 +536,9 @@ impl Syscall {
             | Syscall::Unlink { .. }
             | Syscall::Truncate { .. }
             | Syscall::Rename { .. }
-            | Syscall::Fsync { .. } => "File IO",
+            | Syscall::Fsync { .. }
+            | Syscall::Poll { .. }
+            | Syscall::SetFlags { .. } => "File IO",
             Syscall::Stat { .. }
             | Syscall::Fstat { .. }
             | Syscall::Access { .. }
@@ -627,6 +681,20 @@ impl Syscall {
             Syscall::Fsync { fd } => {
                 wire::put_u8(out, OP_FSYNC);
                 wire::put_i32(out, *fd);
+            }
+            Syscall::Poll { fds, timeout_ms } => {
+                wire::put_u8(out, OP_POLL);
+                wire::put_u32(out, fds.len() as u32);
+                for req in fds {
+                    wire::put_i32(out, req.fd);
+                    wire::put_u16(out, req.events);
+                }
+                wire::put_i32(out, *timeout_ms);
+            }
+            Syscall::SetFlags { fd, flags } => {
+                wire::put_u8(out, OP_SETFLAGS);
+                wire::put_i32(out, *fd);
+                wire::put_u32(out, *flags);
             }
             Syscall::Readdir { path } => {
                 wire::put_u8(out, OP_READDIR);
@@ -800,6 +868,24 @@ impl Syscall {
                 to: r.str()?.to_owned(),
             },
             OP_FSYNC => Syscall::Fsync { fd: r.i32()? },
+            OP_POLL => {
+                let count = r.u32()? as usize;
+                let mut fds = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    fds.push(PollRequest {
+                        fd: r.i32()?,
+                        events: r.u16()?,
+                    });
+                }
+                Syscall::Poll {
+                    fds,
+                    timeout_ms: r.i32()?,
+                }
+            }
+            OP_SETFLAGS => Syscall::SetFlags {
+                fd: r.i32()?,
+                flags: r.u32()?,
+            },
             OP_READDIR => Syscall::Readdir {
                 path: r.str()?.to_owned(),
             },
@@ -1006,6 +1092,9 @@ pub enum SysResult {
         /// The encoded wait status.
         status: i32,
     },
+    /// Readiness report for a `poll`: one `revents` word per submitted
+    /// descriptor, in submission order (all zero on timeout).
+    Poll(Vec<u16>),
     /// Failure.
     Err(Errno),
 }
@@ -1019,6 +1108,7 @@ const RES_PATH: u8 = 4;
 const RES_STAT: u8 = 5;
 const RES_ENTRIES: u8 = 6;
 const RES_WAIT: u8 = 7;
+const RES_POLL: u8 = 8;
 const RES_ERR: u8 = 255;
 
 impl SysResult {
@@ -1051,6 +1141,7 @@ impl SysResult {
             SysResult::Stat(_) => 0,
             SysResult::Entries(entries) => entries.len() as i64,
             SysResult::Wait { pid, .. } => *pid as i64,
+            SysResult::Poll(revents) => revents.iter().filter(|&&r| r != 0).count() as i64,
             SysResult::Err(errno) => errno.as_syscall_return(),
         }
     }
@@ -1096,6 +1187,13 @@ impl SysResult {
                 wire::put_u8(out, RES_WAIT);
                 wire::put_u32(out, *pid);
                 wire::put_i32(out, *status);
+            }
+            SysResult::Poll(revents) => {
+                wire::put_u8(out, RES_POLL);
+                wire::put_u32(out, revents.len() as u32);
+                for r in revents {
+                    wire::put_u16(out, *r);
+                }
             }
             SysResult::Err(errno) => {
                 wire::put_u8(out, RES_ERR);
@@ -1145,6 +1243,14 @@ impl SysResult {
                 pid: r.u32()?,
                 status: r.i32()?,
             },
+            RES_POLL => {
+                let count = r.u32()? as usize;
+                let mut revents = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    revents.push(r.u16()?);
+                }
+                SysResult::Poll(revents)
+            }
             RES_ERR => SysResult::Err(Errno::from_code(r.i32()?)?),
             _ => return None,
         })
@@ -1307,6 +1413,21 @@ mod tests {
                 to: "/b".into(),
             },
             Syscall::Fsync { fd: 3 },
+            Syscall::Poll {
+                fds: vec![
+                    PollRequest { fd: 3, events: POLLIN },
+                    PollRequest {
+                        fd: 5,
+                        events: POLLIN | POLLOUT,
+                    },
+                ],
+                timeout_ms: -1,
+            },
+            Syscall::Poll {
+                fds: Vec::new(),
+                timeout_ms: 250,
+            },
+            Syscall::SetFlags { fd: 4, flags: NONBLOCK },
             Syscall::Readdir {
                 path: "/usr/bin".into(),
             },
@@ -1362,6 +1483,8 @@ mod tests {
             }),
             SysResult::Entries(vec![DirEntry::file("a.txt"), DirEntry::dir("sub")]),
             SysResult::Wait { pid: 9, status: 256 },
+            SysResult::Poll(vec![POLLIN, 0, POLLOUT | POLLHUP]),
+            SysResult::Poll(Vec::new()),
             SysResult::Err(Errno::ENOENT),
         ]
     }
@@ -1429,9 +1552,10 @@ mod tests {
     #[test]
     fn names_are_unique_per_variant_shape() {
         let names: Vec<&str> = sample_calls().iter().map(|c| c.name()).collect();
-        // `stat` and `lstat` intentionally share a variant; all others unique.
+        // `stat`/`lstat` intentionally share a variant, and the sample set
+        // carries two `poll` shapes (fd list and empty); all others unique.
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
-        assert!(unique.len() >= names.len() - 1);
+        assert!(unique.len() >= names.len() - 2);
     }
 
     #[test]

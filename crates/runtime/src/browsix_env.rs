@@ -2,11 +2,11 @@
 //! guest program sees when it actually runs as a Browsix process inside a
 //! worker.
 
-use browsix_core::{Errno, Signal, SysResult, Syscall, SyscallBatch};
+use browsix_core::{Errno, PollRequest, Signal, SysResult, Syscall, SyscallBatch, NONBLOCK};
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::client::SyscallClient;
-use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::env::{Fd, PollFd, RuntimeEnv, SpawnStdio, WaitedChild};
 use crate::profile::ExecutionProfile;
 
 /// Stdout writes below this size are coalesced into one buffered syscall;
@@ -315,6 +315,43 @@ impl RuntimeEnv for BrowsixEnv {
             let _ = self.flush_stdout();
         }
         self.expect_ok(Syscall::Fsync { fd })
+    }
+
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> Result<usize, Errno> {
+        // Readiness downstream of us (a child reading the pipe we feed) can
+        // depend on output still sitting in the stdout buffer.
+        let _ = self.flush_stdout();
+        let requests: Vec<PollRequest> = fds
+            .iter()
+            .map(|p| PollRequest {
+                fd: p.fd,
+                events: p.events,
+            })
+            .collect();
+        match self.client.call(Syscall::Poll {
+            fds: requests,
+            timeout_ms,
+        }) {
+            SysResult::Poll(revents) => {
+                let mut ready = 0;
+                for (slot, revent) in fds.iter_mut().zip(revents) {
+                    slot.revents = revent;
+                    if revent != 0 {
+                        ready += 1;
+                    }
+                }
+                Ok(ready)
+            }
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn set_nonblocking(&mut self, fd: Fd, nonblocking: bool) -> Result<(), Errno> {
+        self.expect_ok(Syscall::SetFlags {
+            fd,
+            flags: if nonblocking { NONBLOCK } else { 0 },
+        })
     }
 
     fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {

@@ -14,8 +14,53 @@ use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::profile::ExecutionProfile;
 
+pub use browsix_core::{POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
 /// File-descriptor type used by guest programs.
 pub type Fd = i32;
+
+/// One descriptor's entry in a [`RuntimeEnv::poll`] call, mirroring
+/// `struct pollfd`: the caller fills `fd` and `events`, the environment
+/// fills `revents`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollFd {
+    /// Descriptor to query.
+    pub fd: Fd,
+    /// Requested events (`POLLIN` | `POLLOUT`).
+    pub events: u16,
+    /// Reported events; `POLLERR`/`POLLHUP`/`POLLNVAL` may appear whether
+    /// requested or not.
+    pub revents: u16,
+}
+
+impl PollFd {
+    /// An entry asking about `events` on `fd`.
+    pub fn new(fd: Fd, events: u16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// An entry waiting for `fd` to become readable.
+    pub fn readable(fd: Fd) -> PollFd {
+        PollFd::new(fd, POLLIN)
+    }
+
+    /// An entry waiting for `fd` to become writable.
+    pub fn writable(fd: Fd) -> PollFd {
+        PollFd::new(fd, POLLOUT)
+    }
+
+    /// Whether the descriptor reported readable (data, EOF or hang-up — all
+    /// states in which a read returns immediately).
+    pub fn is_readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether the descriptor reported writable (or broken, in which case
+    /// the write fails immediately rather than blocking).
+    pub fn is_writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+}
 
 /// Which descriptors a spawned child should receive for stdin/stdout/stderr.
 /// `None` inherits the parent's descriptor of the same number.
@@ -143,6 +188,19 @@ pub trait RuntimeEnv {
     fn fsync(&mut self, _fd: Fd) -> Result<(), Errno> {
         Ok(())
     }
+
+    // ---- readiness -------------------------------------------------------------
+
+    /// Waits until any entry in `fds` is ready (filling its `revents`) or
+    /// `timeout_ms` expires, returning the number of ready descriptors
+    /// (0 on timeout).  Negative `timeout_ms` waits forever; 0 reports the
+    /// current readiness without blocking.  This is how a server multiplexes
+    /// a listener and many non-blocking connections from one loop.
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> Result<usize, Errno>;
+
+    /// Sets or clears `O_NONBLOCK` on a descriptor's open-file description:
+    /// reads, writes and accepts that would block return `EAGAIN` instead.
+    fn set_nonblocking(&mut self, fd: Fd, nonblocking: bool) -> Result<(), Errno>;
 
     // ---- paths ---------------------------------------------------------------
 

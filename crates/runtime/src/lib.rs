@@ -40,7 +40,7 @@ pub mod program;
 pub use browsix_env::BrowsixEnv;
 pub use client::{ClientMode, SyscallClient};
 pub use emscripten::{EmscriptenLauncher, EmscriptenMode};
-pub use env::{RuntimeEnv, SpawnStdio, WaitedChild};
+pub use env::{PollFd, RuntimeEnv, SpawnStdio, WaitedChild, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 pub use gopherjs::GopherJsLauncher;
 pub use native::{NativeEnv, NativeWorld};
 pub use nodejs::NodeLauncher;

@@ -7,16 +7,16 @@
 //! kernel, no workers and no message passing — only the execution profile
 //! differs (native C vs V8-executed JavaScript).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use browsix_core::{Errno, Signal};
+use browsix_core::{Errno, Signal, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use browsix_fs::{DirEntry, FileHandle, FileSystem, Metadata, MountedFs, OpenFlags};
 
-use crate::env::{Fd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::env::{Fd, PollFd, RuntimeEnv, SpawnStdio, WaitedChild};
 use crate::profile::ExecutionProfile;
 use crate::program::ProgramTable;
 
@@ -165,6 +165,8 @@ pub struct NativeEnv {
     cwd: String,
     fds: HashMap<Fd, NativeFd>,
     next_fd: Fd,
+    /// Descriptors with `O_NONBLOCK` set.
+    nonblocking: HashSet<Fd>,
     reaped: Vec<WaitedChild>,
     exit_code: Option<i32>,
     handled_signals: Vec<Signal>,
@@ -190,6 +192,7 @@ impl NativeEnv {
             cwd: browsix_fs::path::normalize(cwd),
             fds,
             next_fd: 3,
+            nonblocking: HashSet::new(),
             reaped: Vec::new(),
             exit_code: None,
             handled_signals: Vec::new(),
@@ -280,6 +283,7 @@ impl RuntimeEnv for NativeEnv {
     }
 
     fn close(&mut self, fd: Fd) -> Result<(), Errno> {
+        self.nonblocking.remove(&fd);
         match self.fds.remove(&fd) {
             Some(NativeFd::PipeWrite(pipe)) => {
                 // Closing the last writer marks EOF for readers.  The native
@@ -294,6 +298,7 @@ impl RuntimeEnv for NativeEnv {
     }
 
     fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, Errno> {
+        let nonblocking = self.nonblocking.contains(&fd);
         match self.fd_entry(fd)? {
             NativeFd::File { handle, flags, offset } => {
                 if !flags.read {
@@ -306,6 +311,12 @@ impl RuntimeEnv for NativeEnv {
             NativeFd::Dir { .. } => Err(Errno::EISDIR),
             NativeFd::PipeRead(pipe) => {
                 let mut pipe = pipe.lock();
+                if pipe.data.is_empty() && !pipe.write_closed && nonblocking {
+                    // The native baseline runs children synchronously, so a
+                    // blocking read on an open empty pipe would return EOF;
+                    // a non-blocking one must report EAGAIN like the kernel.
+                    return Err(Errno::EAGAIN);
+                }
                 let take = len.min(pipe.data.len());
                 Ok(pipe.data.drain(..take).collect())
             }
@@ -408,6 +419,49 @@ impl RuntimeEnv for NativeEnv {
             NativeFd::File { handle, .. } => handle.fsync(),
             _ => Ok(()),
         }
+    }
+
+    fn poll(&mut self, fds: &mut [PollFd], _timeout_ms: i32) -> Result<usize, Errno> {
+        // The native world is synchronous: readiness never changes while we
+        // "wait", so poll reports the current state immediately.
+        let mut ready = 0;
+        for slot in fds.iter_mut() {
+            let revents = match self.fds.get(&slot.fd) {
+                None => POLLNVAL,
+                Some(NativeFd::PipeRead(pipe)) => {
+                    let pipe = pipe.lock();
+                    let mut revents = 0;
+                    if !pipe.data.is_empty() {
+                        revents |= POLLIN;
+                    }
+                    if pipe.write_closed {
+                        revents |= POLLHUP;
+                    }
+                    revents
+                }
+                // Native pipes are unbounded, so the write side (like files,
+                // sinks and sources) is always ready.
+                Some(NativeFd::PipeWrite(_)) => POLLOUT,
+                Some(_) => POLLIN | POLLOUT,
+            };
+            slot.revents = revents & (slot.events | POLLHUP | POLLNVAL);
+            if slot.revents != 0 {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+
+    fn set_nonblocking(&mut self, fd: Fd, nonblocking: bool) -> Result<(), Errno> {
+        if !self.fds.contains_key(&fd) {
+            return Err(Errno::EBADF);
+        }
+        if nonblocking {
+            self.nonblocking.insert(fd);
+        } else {
+            self.nonblocking.remove(&fd);
+        }
+        Ok(())
     }
 
     fn stat(&mut self, path: &str) -> Result<Metadata, Errno> {

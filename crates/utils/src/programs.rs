@@ -35,6 +35,7 @@ pub fn all_utilities() -> Vec<(&'static str, GuestFactory)> {
         ("true", guest("true", |_| 0)),
         ("wc", guest("wc", run_wc)),
         ("xargs", guest("xargs", run_xargs)),
+        ("yes", guest("yes", run_yes)),
     ]
 }
 
@@ -224,7 +225,27 @@ fn run_head(env: &mut dyn RuntimeEnv) -> i32 {
         .into_iter()
         .filter(|o| count_arg.as_deref() != Some(o.as_str()))
         .collect();
-    let (data, code) = read_inputs(env, "head", &files);
+    let (data, code) = if files.is_empty() {
+        // Reading a pipe: stop as soon as enough lines have arrived instead
+        // of draining the writer to EOF.  Exiting then closes the read end,
+        // so an infinite upstream (`yes | head -n 1`) gets EPIPE/SIGPIPE —
+        // exactly the coreutils behaviour.
+        let mut data = Vec::new();
+        let mut newlines = 0usize;
+        while newlines < count {
+            match env.read(0, 64 * 1024) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => {
+                    newlines += chunk.iter().filter(|&&b| b == b'\n').count();
+                    data.extend_from_slice(&chunk);
+                }
+                Err(_) => break,
+            }
+        }
+        (data, 0)
+    } else {
+        read_inputs(env, "head", &files)
+    };
     charge_for_bytes(env, data.len());
     let selected: Vec<String> = lines(&data).into_iter().take(count).collect();
     let mut bufs: Vec<&[u8]> = Vec::with_capacity(selected.len() * 2);
@@ -618,6 +639,26 @@ fn run_xargs(env: &mut dyn RuntimeEnv) -> i32 {
             env.eprint(&format!("xargs: {command}: {e}\n"));
             127
         }
+    }
+}
+
+fn run_yes(env: &mut dyn RuntimeEnv) -> i32 {
+    let (_, operands) = split_args(&env.args());
+    let word = operands.first().map(String::as_str).unwrap_or("y");
+    let line = format!("{word}\n");
+    // Emit in sizeable chunks so the pipe fills quickly; `yes` runs until
+    // its stdout breaks (the reader exited → EPIPE, and with no handler
+    // installed the resulting SIGPIPE terminates the process first).
+    let repeat = (8 * 1024 / line.len()).max(1);
+    let chunk = line.repeat(repeat);
+    loop {
+        if env.write(1, chunk.as_bytes()).is_err() {
+            return 0;
+        }
+        if env.flush_stdout().is_err() {
+            return 0;
+        }
+        charge_for_bytes(env, chunk.len());
     }
 }
 

@@ -27,6 +27,9 @@ BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench fs -- fs_handles
 echo "== running the 'syscall_batching' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench syscall_batching
 
+echo "== running the 'readiness' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench readiness -- readiness
+
 echo "== baseline written to $out =="
 cat "$out"
 
@@ -57,4 +60,28 @@ if handle is None or per_op is None:
 if handle >= per_op:
     sys.exit(f"fs_handles: handle I/O ({handle} ns) did not beat path-per-op ({per_op} ns)")
 print(f"fs_handles: handle I/O beats path-per-op by {per_op / handle:.1f}x")
+
+# Guard the wait-queue design: delivering one wakeup through per-resource
+# wait queues must beat the old retry-everything rescan by at least 5x with
+# 256 blocked waiters, and its cost must not grow with the waiter count.
+wake_1 = means.get("readiness/wake_one_1")
+wake_256 = means.get("readiness/wake_one_256")
+rescan_256 = means.get("readiness/rescan_256")
+if wake_1 is None or wake_256 is None or rescan_256 is None:
+    sys.exit("missing readiness results")
+if rescan_256 < 5 * wake_256:
+    sys.exit(
+        f"readiness: wait-queue wakeup ({wake_256} ns) is not 5x faster than "
+        f"the rescan baseline at 256 waiters ({rescan_256} ns)"
+    )
+print(f"readiness: wait-queue wakeup beats the 256-waiter rescan by {rescan_256 / wake_256:.1f}x")
+# Independence: the cost of one wakeup must not grow with the number of
+# *other* blocked waiters (3x leaves room for measurement noise; the real
+# ratio hovers around 1x, while a rescan-shaped regression lands near 30x).
+if wake_256 > 3 * wake_1:
+    sys.exit(
+        f"readiness: wakeup cost grew with waiter count "
+        f"({wake_1} ns at 1 waiter vs {wake_256} ns at 256)"
+    )
+print(f"readiness: wakeup cost at 256 waiters is {wake_256 / wake_1:.2f}x the 1-waiter cost (independence)")
 EOF

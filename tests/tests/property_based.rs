@@ -3,16 +3,18 @@
 use proptest::prelude::*;
 
 use browsix_browser::Message;
-use browsix_core::{ByteSource, Completion, CompletionBatch, Signal, SysResult, Syscall, SyscallBatch};
+use browsix_core::{
+    ByteSource, Completion, CompletionBatch, PollRequest, Signal, SysResult, Syscall, SyscallBatch, POLLIN, POLLOUT,
+};
 use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
 use browsix_http::Json;
 
-/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 38
-/// opcodes, with `stat` and `lstat` counted separately and `write` generated
-/// with both byte sources).
-const SYSCALL_SHAPES: usize = 40;
+/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 40
+/// opcodes, with `stat` and `lstat` counted separately, `write` generated
+/// with both byte sources and `poll` with and without descriptors).
+const SYSCALL_SHAPES: usize = 43;
 /// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
-const RESULT_SHAPES: usize = 11;
+const RESULT_SHAPES: usize = 12;
 
 /// Fuzz inputs shared by every generated call/result shape.
 #[derive(Debug, Clone)]
@@ -141,10 +143,24 @@ fn make_call(shape: usize, f: &Fuzz) -> Syscall {
         },
         37 => Syscall::Accept { fd },
         38 => Syscall::Fsync { fd },
-        _ => Syscall::Connect {
+        39 => Syscall::Connect {
             fd,
             port: f.small as u16,
         },
+        40 => Syscall::Poll {
+            fds: (0..(f.small as usize % 6))
+                .map(|i| PollRequest {
+                    fd: fd.wrapping_add(i as i32),
+                    events: if f.flag { POLLIN } else { POLLIN | POLLOUT },
+                })
+                .collect(),
+            timeout_ms: f.num as i32,
+        },
+        41 => Syscall::Poll {
+            fds: Vec::new(),
+            timeout_ms: -1,
+        },
+        _ => Syscall::SetFlags { fd, flags: f.small & 1 },
     }
 }
 
@@ -180,7 +196,12 @@ fn make_result(shape: usize, f: &Fuzz) -> SysResult {
             pid: f.small,
             status: f.num as i32,
         },
-        9 => SysResult::Err(Errno::ENOENT),
+        9 => SysResult::Poll(
+            (0..(f.small as usize % 8))
+                .map(|i| if i % 2 == 0 { POLLIN } else { POLLOUT })
+                .collect(),
+        ),
+        10 => SysResult::Err(Errno::ENOENT),
         _ => SysResult::Err(Errno::EPIPE),
     }
 }
@@ -221,22 +242,23 @@ proptest! {
         prop_assert_eq!(fs.stat("/file").unwrap().size as usize, expected.len());
     }
 
-    /// The kernel pipe buffer is a faithful FIFO: bytes come out in order and
-    /// none are lost or invented, under arbitrary interleavings of push/pop.
+    /// The kernel stream ring buffer is a faithful FIFO: bytes come out in
+    /// order and none are lost or invented, under arbitrary interleavings of
+    /// push/pop (the ring wraps many times at this capacity).
     #[test]
-    fn pipe_preserves_fifo_byte_stream(ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..40)) {
-        let mut pipe = browsix_core::pipe::Pipe::new(4096);
+    fn stream_preserves_fifo_byte_stream(ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..40)) {
+        let mut stream = browsix_core::Stream::new(1024);
         let mut sent: Vec<u8> = Vec::new();
         let mut received: Vec<u8> = Vec::new();
         for (is_write, data) in &ops {
             if *is_write {
-                let accepted = pipe.push(data);
+                let accepted = stream.push(data);
                 sent.extend_from_slice(&data[..accepted]);
             } else {
-                received.extend(pipe.pop(data.len().max(1)));
+                received.extend(stream.pop(data.len().max(1)));
             }
         }
-        received.extend(pipe.pop(usize::MAX));
+        received.extend(stream.pop(usize::MAX));
         prop_assert_eq!(received, sent);
     }
 
@@ -382,6 +404,114 @@ proptest! {
         let i = index.index(data.len());
         data[i] ^= 0xff;
         prop_assert_ne!(browsix_utils::sha1_digest(&data), original);
+    }
+}
+
+// ---- non-blocking stream semantics vs a model ring buffer --------------------
+
+/// What a non-blocking operation on a stream may observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StreamIo {
+    /// Bytes read / byte count written.
+    Progress(usize),
+    /// Read at EOF (no writers, nothing buffered).
+    Eof,
+    /// The operation would block.
+    WouldBlock,
+    /// Write with no readers left.
+    BrokenPipe,
+}
+
+/// The kernel's non-blocking read decision, expressed over any
+/// "stream-like" view (used for both the real stream and the model).
+fn nonblocking_read(len: usize, buffered: usize, writers_open: bool) -> StreamIo {
+    if buffered > 0 {
+        StreamIo::Progress(len.min(buffered))
+    } else if !writers_open {
+        StreamIo::Eof
+    } else {
+        StreamIo::WouldBlock
+    }
+}
+
+/// The kernel's non-blocking write decision.
+fn nonblocking_write(len: usize, space: usize, readers_open: bool) -> StreamIo {
+    if !readers_open {
+        StreamIo::BrokenPipe
+    } else if space == 0 && len > 0 {
+        StreamIo::WouldBlock
+    } else {
+        StreamIo::Progress(len.min(space))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random interleavings of non-blocking reads, writes and end-closes
+    /// against a plain `VecDeque` model: EAGAIN / EOF / EPIPE decisions, the
+    /// bytes moved, and the readiness predicates must all agree with the
+    /// model at every step.  These predicates are exactly what `poll`'s
+    /// POLLIN/POLLOUT bits and the wait-queue wakeup conditions are built
+    /// on, so this pins the whole readiness contract.
+    #[test]
+    fn nonblocking_stream_ops_match_model_ring_buffer(
+        capacity in 1usize..48,
+        ops in proptest::collection::vec((0u8..4, any::<u8>()), 1..48),
+    ) {
+        let mut stream = browsix_core::Stream::new(capacity);
+        stream.readers = 1;
+        stream.writers = 1;
+        let mut model: std::collections::VecDeque<u8> = std::collections::VecDeque::new();
+        let mut next_byte = 0u8;
+
+        for &(code, amount) in &ops {
+            let len = amount as usize % (capacity + 4);
+            match code {
+                0 => {
+                    // Non-blocking write of `len` fresh bytes.
+                    let expected = nonblocking_write(len, capacity - model.len(), stream.readers > 0);
+                    let data: Vec<u8> = (0..len).map(|_| { next_byte = next_byte.wrapping_add(1); next_byte }).collect();
+                    let actual = if stream.read_end_closed() {
+                        StreamIo::BrokenPipe
+                    } else {
+                        match stream.push(&data) {
+                            0 if len > 0 => StreamIo::WouldBlock,
+                            accepted => StreamIo::Progress(accepted),
+                        }
+                    };
+                    prop_assert_eq!(&actual, &expected);
+                    if let StreamIo::Progress(accepted) = expected {
+                        model.extend(data[..accepted].iter());
+                    }
+                }
+                1 => {
+                    // Non-blocking read of up to `len` bytes.
+                    let expected = nonblocking_read(len, model.len(), stream.writers > 0);
+                    let actual = if !stream.is_empty() {
+                        StreamIo::Progress(stream.pop(len).len())
+                    } else if stream.write_end_closed() {
+                        StreamIo::Eof
+                    } else {
+                        StreamIo::WouldBlock
+                    };
+                    prop_assert_eq!(&actual, &expected);
+                    if let StreamIo::Progress(taken) = expected {
+                        model.drain(..taken);
+                    }
+                }
+                2 => stream.readers = 0,
+                _ => stream.writers = 0,
+            }
+            // Readiness bits agree with the model after every step.
+            prop_assert_eq!(stream.len(), model.len());
+            prop_assert_eq!(stream.read_ready(), !model.is_empty() || stream.writers == 0);
+            prop_assert_eq!(stream.write_ready(), model.len() < capacity || stream.readers == 0);
+        }
+        // Whatever is left drains in FIFO order.
+        let drained = stream.pop(usize::MAX);
+        let expected: Vec<u8> = model.into_iter().collect();
+        prop_assert_eq!(drained, expected);
     }
 }
 
