@@ -112,6 +112,27 @@ impl Terminal {
         Ok(results)
     }
 
+    /// `Ctrl-C`: interrupts the foreground pipeline (and only it — the
+    /// shell hands the terminal's foreground group to each pipeline it runs,
+    /// so background jobs and the shell itself are untouched).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if nothing is in the foreground.
+    pub fn interrupt(&self) -> Result<(), Errno> {
+        self.kernel.interrupt()
+    }
+
+    /// `Ctrl-Z`: stops the foreground pipeline (SIGTSTP); the shell reports
+    /// it as a stopped job that `fg`/`bg` can resume.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if nothing is in the foreground.
+    pub fn suspend(&self) -> Result<(), Errno> {
+        self.kernel.signal_foreground(browsix_core::Signal::SIGTSTP)
+    }
+
     /// A `ps`-like listing of kernel tasks: `(pid, ppid, name, state)`.
     pub fn ps(&self) -> Vec<(u32, u32, String, String)> {
         self.kernel.tasks()

@@ -84,4 +84,17 @@ fn main() {
             vec!["poll timeouts".to_owned(), stats.poll_timeouts.to_string()],
         ],
     );
+
+    // Signal traffic during the run: signals accepted for live targets,
+    // signals that actually acted (handler or default disposition), and
+    // blocked system calls a handler interrupted with EINTR.
+    print_table(
+        "Verification run — signals",
+        &["Counter", "Value"],
+        &[
+            vec!["signals sent".to_owned(), stats.signals_sent.to_string()],
+            vec!["signals delivered".to_owned(), stats.signals_delivered.to_string()],
+            vec!["EINTR wakeups".to_owned(), stats.eintr_wakeups.to_string()],
+        ],
+    );
 }

@@ -175,8 +175,30 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
                     let server_side = env.accept(listener).unwrap();
                     env.write(client, b"hello").unwrap();
                     assert_eq!(env.read(server_side, 5).unwrap(), b"hello");
-                    // Signals: register a handler (delivery tested elsewhere).
+                    // Signals: install a handler, have a child signal us
+                    // while we are parked in a timer poll, and observe both
+                    // the EINTR interruption and the delivered signal.
                     env.register_signal_handler(browsix_core::Signal::SIGUSR1).unwrap();
+                    let my_pid = env.getpid();
+                    let pinger = env
+                        .spawn(
+                            "/usr/bin/feature-pinger",
+                            &["feature-pinger".to_string(), my_pid.to_string()],
+                            browsix_runtime::SpawnStdio::inherit(),
+                        )
+                        .unwrap();
+                    let interrupted = matches!(env.poll(&mut [], 30_000), Err(browsix_core::Errno::EINTR));
+                    let saw_signal = env.pending_signals().contains(&browsix_core::Signal::SIGUSR1);
+                    assert!(interrupted && saw_signal, "signal delivery must interrupt the poll");
+                    // A straggler signal can interrupt this wait too; retry,
+                    // as POSIX programs do around EINTR.
+                    loop {
+                        match env.wait(pinger as i32) {
+                            Ok(_) => break,
+                            Err(browsix_core::Errno::EINTR) => continue,
+                            Err(e) => panic!("wait: {e}"),
+                        }
+                    }
                     // Readiness: O_NONBLOCK turns a would-block read into
                     // EAGAIN, a poll with nothing ready completes on its
                     // timeout, and data flips the same poll to ready.
@@ -191,6 +213,24 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
                 }),
             )
             .with_profile(profile),
+        ),
+    );
+    config.registry.register(
+        "/usr/bin/feature-pinger",
+        Arc::new(
+            NodeLauncher::new(
+                "feature-pinger",
+                guest("feature-pinger", |env: &mut dyn RuntimeEnv| {
+                    let target: u32 = env.args()[1].parse().unwrap();
+                    // The parent issues its 30 s poll immediately after the
+                    // spawn returns; half a second is far past any plausible
+                    // scheduling delay, so the kill lands on a parked poll.
+                    let _ = env.poll(&mut [], 500);
+                    env.kill(target, browsix_core::Signal::SIGUSR1).unwrap();
+                    0
+                }),
+            )
+            .with_profile(ExecutionProfile::instant(SyscallConvention::Async)),
         ),
     );
     let kernel = Kernel::boot(config);

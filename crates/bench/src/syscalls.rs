@@ -30,8 +30,15 @@ pub fn representative_syscalls() -> Vec<Syscall> {
         },
         Syscall::SignalAction {
             signal: Signal::SIGCHLD,
-            install: true,
+            action: browsix_core::SigAction::Handler { restart: false },
         },
+        Syscall::Sigprocmask {
+            how: browsix_core::SIG_BLOCK,
+            mask: 0,
+        },
+        Syscall::Setpgid { pid: 0, pgid: 0 },
+        Syscall::Getpgid { pid: 0 },
+        Syscall::Tcsetpgrp { pgid: 1 },
         Syscall::Chdir { path: "/".into() },
         Syscall::GetCwd,
         Syscall::GetPid,

@@ -52,6 +52,14 @@ pub enum HostRequest {
         /// Receives whether the signal was delivered.
         reply: Sender<Result<(), Errno>>,
     },
+    /// Deliver a signal to the foreground process group of the controlling
+    /// terminal (what the terminal UI sends for `Ctrl-C`/`Ctrl-Z`).
+    SignalForeground {
+        /// Signal to deliver (typically SIGINT or SIGTSTP).
+        signal: Signal,
+        /// Receives whether a foreground group existed and was signalled.
+        reply: Sender<Result<(), Errno>>,
+    },
     /// Ask to be told when a process exits (used by the host-side `wait`).
     WatchExit {
         /// The process to watch.
@@ -99,6 +107,7 @@ impl std::fmt::Debug for HostRequest {
         let name = match self {
             HostRequest::Spawn { path, .. } => return write!(f, "Spawn({path})"),
             HostRequest::Kill { pid, signal, .. } => return write!(f, "Kill({pid}, {signal})"),
+            HostRequest::SignalForeground { signal, .. } => return write!(f, "SignalForeground({signal})"),
             HostRequest::WatchExit { pid, .. } => return write!(f, "WatchExit({pid})"),
             HostRequest::HttpRequest { port, .. } => return write!(f, "HttpRequest(:{port})"),
             HostRequest::SubscribePortListen { .. } => "SubscribePortListen",

@@ -80,6 +80,11 @@ pub enum FileKind {
         /// Host stream id.
         stream: u64,
     },
+    /// The controlling terminal's input.  Reads return EOF (the terminal UI
+    /// feeds input by other means) — unless the reader is in a background
+    /// process group, in which case the kernel raises `SIGTTIN`, as Unix job
+    /// control does.  Writes are discarded.
+    Tty,
     /// `/dev/null`-style descriptor: reads return EOF, writes are discarded.
     Null,
 }
@@ -103,6 +108,7 @@ impl fmt::Debug for FileKind {
                 .field("side", side)
                 .finish(),
             FileKind::HostSink { stream } => f.debug_struct("HostSink").field("stream", stream).finish(),
+            FileKind::Tty => f.write_str("Tty"),
             FileKind::Null => f.write_str("Null"),
         }
     }

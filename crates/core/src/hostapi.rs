@@ -344,6 +344,30 @@ impl Kernel {
         rx.recv().map_err(|_| Errno::EIO)?
     }
 
+    /// Sends a signal to the foreground process group of the controlling
+    /// terminal — the kernel half of a terminal key binding.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if no foreground group is set (no shell has called
+    /// `tcsetpgrp`) or it has no live members.
+    pub fn signal_foreground(&self, signal: Signal) -> Result<(), Errno> {
+        let (tx, rx) = bounded(1);
+        self.events
+            .send(KernelEvent::Host(HostRequest::SignalForeground { signal, reply: tx }))
+            .map_err(|_| Errno::EIO)?;
+        rx.recv().map_err(|_| Errno::EIO)?
+    }
+
+    /// `Ctrl-C`: SIGINT to the foreground process group.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::signal_foreground`].
+    pub fn interrupt(&self) -> Result<(), Errno> {
+        self.signal_foreground(Signal::SIGINT)
+    }
+
     /// Issues an HTTP request to an in-Browsix server listening on `port`
     /// (the `XMLHttpRequest`-like API of §4.1).
     ///

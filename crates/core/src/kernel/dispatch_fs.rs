@@ -104,6 +104,28 @@ impl KernelState {
             }
             FileKind::Directory { .. } => Err(Errno::EISDIR),
             FileKind::Null => Ok(Some(Vec::new())),
+            FileKind::Tty => {
+                // Job control: a background process group reading from the
+                // controlling terminal gets SIGTTIN (default: stop).  A
+                // reader that blocks or ignores SIGTTIN gets EIO instead, as
+                // POSIX specifies — returning EINTR there would make a
+                // retry-on-EINTR loop raise SIGTTIN forever.  The foreground
+                // group (or a terminal with no foreground set) reads EOF,
+                // since the terminal has no input source.
+                if let Some(fg) = self.foreground_pgid() {
+                    let task = self.task(pid)?;
+                    if task.pgid != fg {
+                        let shrugged = task.signals.blocked().contains(Signal::SIGTTIN)
+                            || matches!(task.signals.action(Signal::SIGTTIN), crate::signals::SigAction::Ignore);
+                        if shrugged {
+                            return Err(Errno::EIO);
+                        }
+                        let _ = self.send_signal(pid, Signal::SIGTTIN);
+                        return Err(Errno::EINTR);
+                    }
+                }
+                Ok(Some(Vec::new()))
+            }
             FileKind::HostSink { .. } | FileKind::PipeWriter { .. } => Err(Errno::EBADF),
             FileKind::Socket { .. } | FileKind::SocketListener { .. } => Err(Errno::ENOTCONN),
             FileKind::PipeReader { .. } | FileKind::SocketStream { .. } => {
@@ -220,7 +242,7 @@ impl KernelState {
                 }
             }
             FileKind::Directory { .. } => Err(Errno::EISDIR),
-            FileKind::Null => Ok((data.len(), true)),
+            FileKind::Null | FileKind::Tty => Ok((data.len(), true)),
             FileKind::HostSink { stream } => {
                 if let Some(sink) = self.host_sink(*stream) {
                     sink(data);
@@ -243,9 +265,10 @@ impl KernelState {
             None => return Err(Errno::EPIPE),
         };
         if read_closed {
-            // Writing to a stream nobody will read delivers SIGPIPE, as on
-            // Unix.
-            let _ = self.deliver_signal(pid, Signal::SIGPIPE);
+            // Writing to a stream nobody will read raises SIGPIPE, as on
+            // Unix — through the same delivery machinery as every other
+            // signal, so handlers, sigprocmask and SA_RESTART all apply.
+            let _ = self.send_signal(pid, Signal::SIGPIPE);
             return Err(Errno::EPIPE);
         }
         let stream = self.streams_mut().get_mut(id).ok_or(Errno::EPIPE)?;
@@ -479,8 +502,9 @@ impl KernelState {
                 Ok(()) => SysResult::Ok,
                 Err(e) => SysResult::Err(e),
             },
-            // Directories and host sinks have nothing buffered kernel-side.
-            FileKind::Directory { .. } | FileKind::HostSink { .. } | FileKind::Null => SysResult::Ok,
+            // Directories, host sinks and the terminal have nothing buffered
+            // kernel-side.
+            FileKind::Directory { .. } | FileKind::HostSink { .. } | FileKind::Null | FileKind::Tty => SysResult::Ok,
             // fsync on pipes and sockets is EINVAL, as on Linux.
             _ => SysResult::Err(Errno::EINVAL),
         })

@@ -9,12 +9,9 @@ use crate::exec::ForkImage;
 use crate::fd::{FileKind, OpenFile};
 use crate::kernel::waitq::WaitChannel;
 use crate::kernel::{KernelState, Outcome, ReplyTo, WaitKind, Waiter};
-use crate::signals::Signal;
-use crate::syscall::{encode_wait_status, SysResult};
+use crate::signals::{SigAction, SigSet, Signal};
+use crate::syscall::{encode_stop_status, encode_wait_status, SysResult, WNOHANG, WUNTRACED};
 use crate::task::Pid;
-
-/// `wait4` option bit: return immediately when no child has exited.
-pub const WNOHANG: u32 = 1;
 
 impl KernelState {
     pub(crate) fn sys_spawn(
@@ -119,10 +116,11 @@ impl KernelState {
         Outcome::Complete(SysResult::Pair(read_fd as i64, write_fd as i64))
     }
 
-    /// Looks for a reapable zombie child of `pid` matching `target`
-    /// (-1 = any child).  Returns `Err(ECHILD)` if `pid` has no children at
-    /// all matching the request.
-    pub(crate) fn try_reap_child(&mut self, pid: Pid, target: i32) -> Result<Option<(Pid, i32)>, Errno> {
+    /// Looks for a reportable child of `pid` matching `target` (-1 = any
+    /// child): a reapable zombie, or — under `WUNTRACED` — a child stopped by
+    /// a job-control signal whose stop has not been reported yet.  Returns
+    /// `Err(ECHILD)` if `pid` has no children at all matching the request.
+    pub(crate) fn try_reap_child(&mut self, pid: Pid, target: i32, options: u32) -> Result<Option<(Pid, i32)>, Errno> {
         let children: Vec<Pid> = match self.task(pid) {
             Ok(task) => task.children.clone(),
             Err(e) => return Err(e),
@@ -135,7 +133,7 @@ impl KernelState {
         if candidates.is_empty() {
             return Err(Errno::ECHILD);
         }
-        for child in candidates {
+        for &child in &candidates {
             let status = self.task(child).ok().and_then(|t| t.wait_status());
             if let Some(status) = status {
                 self.remove_task(child);
@@ -145,26 +143,41 @@ impl KernelState {
                 return Ok(Some((child, status)));
             }
         }
+        if options & WUNTRACED != 0 {
+            for &child in &candidates {
+                if let Ok(task) = self.task_mut(child) {
+                    if let Some(signal) = task.stop_signal() {
+                        if !task.stop_reported {
+                            // Each stop is reported to wait4 at most once;
+                            // the child stays in the task table (it is not a
+                            // zombie and can be continued).
+                            task.stop_reported = true;
+                            return Ok(Some((child, encode_stop_status(signal))));
+                        }
+                    }
+                }
+            }
+        }
         Ok(None)
     }
 
     pub(crate) fn sys_wait4(&mut self, pid: Pid, reply: ReplyTo, target: i32, options: u32) -> Outcome {
-        match self.try_reap_child(pid, target) {
+        match self.try_reap_child(pid, target, options) {
             Err(e) => Outcome::Complete(SysResult::Err(e)),
             Ok(Some((child, status))) => Outcome::Complete(SysResult::Wait { pid: child, status }),
             Ok(None) => {
                 if options & WNOHANG != 0 {
                     Outcome::Complete(SysResult::Wait { pid: 0, status: 0 })
                 } else {
-                    // Park on this process's own child-exit queue; only an
-                    // exiting child of ours wakes it.
+                    // Park on this process's own child-exit queue; only a
+                    // child of ours exiting (or stopping) wakes it.
                     self.stats.waiters_parked += 1;
                     self.park_waiter(
                         vec![WaitChannel::ChildOf(pid)],
                         Waiter {
                             pid,
                             reply: Some(reply),
-                            kind: WaitKind::Wait4 { target },
+                            kind: WaitKind::Wait4 { target, options },
                         },
                     );
                     Outcome::Blocked
@@ -178,28 +191,102 @@ impl KernelState {
         Outcome::NoReply
     }
 
-    pub(crate) fn sys_kill(&mut self, _caller: Pid, target: Pid, signal: Signal) -> Outcome {
-        Outcome::Complete(match self.deliver_signal(target, signal) {
+    /// `kill(2)` addressing: `target > 0` signals that process, `target < 0`
+    /// signals group `-target`, and `target == 0` signals the caller's own
+    /// group.
+    pub(crate) fn sys_kill(&mut self, caller: Pid, target: i32, signal: Signal) -> Outcome {
+        let result = if target > 0 {
+            self.send_signal(target as Pid, signal)
+        } else {
+            let pgid = if target == 0 {
+                match self.task(caller) {
+                    Ok(task) => task.pgid,
+                    Err(e) => return Outcome::Complete(SysResult::Err(e)),
+                }
+            } else {
+                match u32::try_from(-(target as i64)) {
+                    Ok(pgid) => pgid,
+                    Err(_) => return Outcome::Complete(SysResult::Err(Errno::EINVAL)),
+                }
+            };
+            self.signal_pgroup(pgid, signal)
+        };
+        Outcome::Complete(match result {
             Ok(()) => SysResult::Ok,
             Err(e) => SysResult::Err(e),
         })
     }
 
-    pub(crate) fn sys_sigaction(&mut self, pid: Pid, signal: Signal, install: bool) -> Outcome {
+    pub(crate) fn sys_sigaction(&mut self, pid: Pid, signal: Signal, action: SigAction) -> Outcome {
         if !signal.catchable() {
             return Outcome::Complete(SysResult::Err(Errno::EINVAL));
         }
         match self.task_mut(pid) {
             Ok(task) => {
-                if install {
-                    task.signal_handlers.insert(signal);
-                } else {
-                    task.signal_handlers.remove(&signal);
-                }
+                task.signals.set_action(signal, action);
                 Outcome::Complete(SysResult::Ok)
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
         }
+    }
+
+    /// `sigprocmask`: updates the caller's blocked mask and dispatches any
+    /// pending signals that became deliverable — each exactly once.
+    pub(crate) fn sys_sigprocmask(&mut self, pid: Pid, how: u32, mask: u64) -> Outcome {
+        let changed = match self.task_mut(pid) {
+            Ok(task) => task.signals.change_mask(how, SigSet::from_bits(mask)),
+            Err(e) => return Outcome::Complete(SysResult::Err(e)),
+        };
+        let Some((old, deliverable)) = changed else {
+            return Outcome::Complete(SysResult::Err(Errno::EINVAL));
+        };
+        for signal in deliverable {
+            // Delivery may terminate or stop the caller; dispatch re-checks
+            // the task each time.
+            self.dispatch_signal(pid, signal);
+        }
+        Outcome::Complete(SysResult::Int(old.bits() as i64))
+    }
+
+    /// `setpgid`: moves `target` (0 = the caller) into group `pgid` (0 = a
+    /// new group led by the target).  Only the caller itself or its children
+    /// may be moved, as on Unix.
+    pub(crate) fn sys_setpgid(&mut self, caller: Pid, target: Pid, pgid: Pid) -> Outcome {
+        let target = if target == 0 { caller } else { target };
+        let group = if pgid == 0 { target } else { pgid };
+        let allowed = target == caller
+            || self
+                .task(caller)
+                .map(|task| task.children.contains(&target))
+                .unwrap_or(false);
+        if !allowed {
+            return Outcome::Complete(SysResult::Err(Errno::EPERM));
+        }
+        match self.task_mut(target) {
+            Ok(task) if task.is_alive() => {
+                task.pgid = group;
+                Outcome::Complete(SysResult::Ok)
+            }
+            Ok(_) => Outcome::Complete(SysResult::Err(Errno::ESRCH)),
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    pub(crate) fn sys_getpgid(&mut self, caller: Pid, target: Pid) -> Outcome {
+        let target = if target == 0 { caller } else { target };
+        Outcome::Complete(match self.task(target) {
+            Ok(task) => SysResult::Int(task.pgid as i64),
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
+    /// `tcsetpgrp`: makes `pgid` the foreground group of the controlling
+    /// terminal.  The kernel models one terminal, so there is no descriptor
+    /// argument; any process may hand the foreground over (the shell uses
+    /// this around every foreground pipeline).
+    pub(crate) fn sys_tcsetpgrp(&mut self, _caller: Pid, pgid: Pid) -> Outcome {
+        self.set_foreground_pgid(Some(pgid));
+        Outcome::Complete(SysResult::Ok)
     }
 
     pub(crate) fn sys_getppid(&mut self, pid: Pid) -> Outcome {

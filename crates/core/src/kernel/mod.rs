@@ -25,7 +25,7 @@ use browsix_fs::{Errno, FileSystem as _, MountedFs};
 use crate::events::{HostRequest, KernelEvent, OutputSink};
 use crate::exec::{resolve_executable, ExecutableRegistry, ForkImage, LaunchContext, ProgramLauncher};
 use crate::fd::{Fd, FileKind, OpenFile};
-use crate::signals::{Signal, SignalDisposition};
+use crate::signals::{SigAction, Signal, SignalDisposition};
 use crate::socket::SocketTable;
 use crate::stats::KernelStats;
 use crate::streams::StreamTable;
@@ -86,6 +86,10 @@ pub(crate) struct KernelState {
     /// `(deadline, waiter)` pairs for parked `poll`s with timeouts.
     poll_deadlines: Vec<(Instant, WaiterId)>,
     http_clients: Vec<HttpClientState>,
+    /// The foreground process group of the (single) controlling terminal.
+    /// `SIGINT`/`SIGTSTP` from the terminal go to this group, and reads from
+    /// the terminal by any *other* group raise `SIGTTIN`.
+    foreground_pgid: Option<Pid>,
 
     host_sinks: HashMap<u64, OutputSink>,
     next_sink: u64,
@@ -114,6 +118,7 @@ impl KernelState {
             waking: false,
             poll_deadlines: Vec::new(),
             http_clients: Vec::new(),
+            foreground_pgid: None,
             host_sinks: HashMap::new(),
             next_sink: 1,
             exit_watchers: HashMap::new(),
@@ -187,8 +192,17 @@ impl KernelState {
             Transport::Async { seq, .. } => *seq,
             Transport::Sync { .. } => 0,
         };
-        if !self.tasks.contains_key(&pid) {
-            return;
+        match self.tasks.get_mut(&pid) {
+            None => return,
+            Some(task) if task.is_stopped() => {
+                // A stopped process's system calls are not serviced: stash
+                // the batch and replay it (in order) when SIGCONT arrives.
+                // The worker blocks awaiting the reply, which is exactly the
+                // "frozen at a syscall boundary" stop semantics.
+                task.stashed_transports.push(transport);
+                return;
+            }
+            Some(_) => {}
         }
         let Some(batch) = transport.decode_batch() else {
             // An undecodable frame (corruption, codec-version skew) must
@@ -216,7 +230,11 @@ impl KernelState {
             });
         }
         for (index, call) in batch.entries.into_iter().enumerate() {
-            if !self.tasks.get(&pid).map(Task::is_running).unwrap_or(false) {
+            // A mid-batch self-stop keeps dispatching the remaining entries:
+            // abandoning them would leave the batch incomplete and hang the
+            // worker in `Atomics.wait` even after SIGCONT.  Only exit (which
+            // consumes the batch via `NoReply`) ends it early.
+            if !self.tasks.get(&pid).map(Task::is_alive).unwrap_or(false) {
                 return;
             }
             self.stats.record_syscall(call.name(), call.class(), sync);
@@ -247,7 +265,11 @@ impl KernelState {
             Syscall::Wait4 { pid: target, options } => self.sys_wait4(pid, reply, target, options),
             Syscall::Exit { code } => self.sys_exit(pid, code),
             Syscall::Kill { pid: target, signal } => self.sys_kill(pid, target, signal),
-            Syscall::SignalAction { signal, install } => self.sys_sigaction(pid, signal, install),
+            Syscall::SignalAction { signal, action } => self.sys_sigaction(pid, signal, action),
+            Syscall::Sigprocmask { how, mask } => self.sys_sigprocmask(pid, how, mask),
+            Syscall::Setpgid { pid: target, pgid } => self.sys_setpgid(pid, target, pgid),
+            Syscall::Getpgid { pid: target } => self.sys_getpgid(pid, target),
+            Syscall::Tcsetpgrp { pgid } => self.sys_tcsetpgrp(pid, pgid),
             Syscall::GetPid => Outcome::Complete(SysResult::Int(pid as i64)),
             Syscall::GetPPid => self.sys_getppid(pid),
             Syscall::GetCwd => self.sys_getcwd(pid),
@@ -379,7 +401,11 @@ impl KernelState {
                 let _ = reply.send(result);
             }
             HostRequest::Kill { pid, signal, reply } => {
-                let result = self.deliver_signal(pid, signal);
+                let result = self.send_signal(pid, signal);
+                let _ = reply.send(result);
+            }
+            HostRequest::SignalForeground { signal, reply } => {
+                let result = self.signal_foreground(signal);
                 let _ = reply.send(result);
             }
             HostRequest::WatchExit { pid, reply } => {
@@ -419,6 +445,7 @@ impl KernelState {
                     .map(|t| {
                         let state = match t.state {
                             TaskState::Running => "running".to_owned(),
+                            TaskState::Stopped { .. } => "stopped".to_owned(),
                             TaskState::Zombie { .. } => "zombie".to_owned(),
                         };
                         (t.pid, t.ppid, t.name.clone(), state)
@@ -441,7 +468,9 @@ impl KernelState {
     ) -> Result<Pid, Errno> {
         let stdout_fd = self.new_host_sink(stdout);
         let stderr_fd = self.new_host_sink(stderr);
-        let stdin = OpenFile::new(FileKind::Null);
+        // Host-started processes read from the controlling terminal, which
+        // is what routes SIGTTIN to background readers.
+        let stdin = OpenFile::new(FileKind::Tty);
         let mut merged_env = self.default_env.clone();
         for (k, v) in env {
             merged_env.retain(|(existing, _)| existing != &k);
@@ -505,6 +534,11 @@ impl KernelState {
 
         let name = browsix_fs::path::basename(path);
         let mut task = Task::new(pid, ppid, &name, path, cwd);
+        // Children join their parent's process group; host-started processes
+        // lead a fresh group of their own (Task::new defaults pgid to pid).
+        if let Some(parent) = self.tasks.get(&ppid) {
+            task.pgid = parent.pgid;
+        }
         task.args = args.clone();
         task.env = env.clone();
         task.launcher = Some(Arc::clone(&launcher));
@@ -615,7 +649,7 @@ impl KernelState {
 
         // Notify the parent.
         if ppid != 0 && self.tasks.contains_key(&ppid) {
-            let _ = self.deliver_signal(ppid, Signal::SIGCHLD);
+            let _ = self.send_signal(ppid, Signal::SIGCHLD);
         } else {
             // Host-owned process: nobody will call wait4, reap immediately.
             self.tasks.remove(&pid);
@@ -631,39 +665,198 @@ impl KernelState {
         }
     }
 
-    /// Delivers `signal` to `target`, honouring handlers and default
-    /// dispositions.
+    /// Sends `signal` to `target`: the single entry point for every signal
+    /// in the system — `kill(2)` from processes, the host API, kernel-raised
+    /// SIGPIPE/SIGCHLD/SIGTTIN, and terminal job control all arrive here.
+    ///
+    /// A signal blocked by the target's `sigprocmask` parks in its pending
+    /// set and is dispatched (exactly once) when unblocked; everything else
+    /// dispatches immediately.
     ///
     /// # Errors
     ///
     /// [`Errno::ESRCH`] if the target does not exist or has already exited.
-    pub(crate) fn deliver_signal(&mut self, target: Pid, signal: Signal) -> Result<(), Errno> {
-        let Some(task) = self.tasks.get(&target) else {
+    pub(crate) fn send_signal(&mut self, target: Pid, signal: Signal) -> Result<(), Errno> {
+        let Some(task) = self.tasks.get_mut(&target) else {
             return Err(Errno::ESRCH);
         };
-        if !task.is_running() {
+        if task.is_zombie() {
             return Err(Errno::ESRCH);
         }
-        self.stats.signals_delivered += 1;
-        if !signal.catchable() {
-            self.finish_task(target, encode_wait_status(None, Some(signal)));
-            return Ok(());
-        }
-        if task.handles_signal(signal) {
-            let msg = Message::map()
-                .with("type", "signal")
-                .with("signal", signal.number() as i64)
-                .with("name", signal.name());
-            self.post_to_worker(target, msg);
-            return Ok(());
-        }
+        self.stats.signals_sent += 1;
+        // Stop signals and SIGCONT discard each other from the pending set.
+        let mut resumes = false;
         match signal.default_disposition() {
-            SignalDisposition::Terminate => {
-                self.finish_task(target, encode_wait_status(None, Some(signal)));
+            SignalDisposition::Stop => task.signals.discard_pending_continue(),
+            SignalDisposition::Continue => {
+                task.signals.discard_pending_stops();
+                resumes = true;
             }
-            SignalDisposition::Ignore => {}
+            _ => {}
+        }
+        let admitted = task.signals.admit(signal);
+        if resumes {
+            // SIGCONT resumes a stopped process even when blocked, ignored
+            // or caught (POSIX); only its *delivery* to a handler obeys the
+            // mask and disposition.  Without this, a stopped job that had
+            // blocked SIGCONT could never be resumed — not even to unblock.
+            self.continue_task(target);
+        }
+        if !admitted {
+            // Blocked: parked in the pending set, delivered on unblock.
+            return Ok(());
+        }
+        self.dispatch_signal(target, signal);
+        Ok(())
+    }
+
+    /// Sends `signal` to every live member of process group `pgid`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if the group has no live members.
+    pub(crate) fn signal_pgroup(&mut self, pgid: Pid, signal: Signal) -> Result<(), Errno> {
+        let targets: Vec<Pid> = self
+            .tasks
+            .values()
+            .filter(|t| t.is_alive() && t.pgid == pgid)
+            .map(|t| t.pid)
+            .collect();
+        if targets.is_empty() {
+            return Err(Errno::ESRCH);
+        }
+        for pid in targets {
+            let _ = self.send_signal(pid, signal);
         }
         Ok(())
+    }
+
+    /// Sends `signal` to the foreground process group of the controlling
+    /// terminal (what `Ctrl-C`/`Ctrl-Z` do).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::ESRCH`] if no foreground group is set or it has no members.
+    pub(crate) fn signal_foreground(&mut self, signal: Signal) -> Result<(), Errno> {
+        match self.foreground_pgid {
+            Some(pgid) => self.signal_pgroup(pgid, signal),
+            None => Err(Errno::ESRCH),
+        }
+    }
+
+    /// The foreground process group, if one has been set with `tcsetpgrp`.
+    pub(crate) fn foreground_pgid(&self) -> Option<Pid> {
+        self.foreground_pgid
+    }
+
+    pub(crate) fn set_foreground_pgid(&mut self, pgid: Option<Pid>) {
+        self.foreground_pgid = pgid;
+    }
+
+    /// Applies an unblocked (or never-blocked) signal to its target: runs the
+    /// installed handler's delivery, or the default disposition.
+    pub(crate) fn dispatch_signal(&mut self, target: Pid, signal: Signal) {
+        let Some(task) = self.tasks.get_mut(&target) else {
+            return;
+        };
+        if task.is_zombie() {
+            return;
+        }
+        match task.signals.action(signal) {
+            SigAction::Ignore => return,
+            SigAction::Handler { restart } => {
+                self.stats.signals_delivered += 1;
+                // A caught SIGCONT still resumes a stopped process before the
+                // handler observes it, as on Linux.
+                if signal == Signal::SIGCONT {
+                    self.continue_task(target);
+                }
+                let msg = Message::map()
+                    .with("type", "signal")
+                    .with("signal", signal.number() as i64)
+                    .with("name", signal.name());
+                self.post_to_worker(target, msg);
+                if !restart {
+                    // The handler interrupts the process's blocked system
+                    // calls with EINTR; SA_RESTART leaves them parked, which
+                    // is this kernel's restart.
+                    self.interrupt_waiters_of(target);
+                    // A signal that should interrupt a parked waiter must
+                    // never leave one parked.
+                    #[cfg(feature = "scavenger")]
+                    debug_assert_eq!(
+                        self.waiters.count_matching(|w| w.pid == target),
+                        0,
+                        "signal delivery left a waiter of pid {target} parked without SA_RESTART"
+                    );
+                }
+                return;
+            }
+            SigAction::Default => {}
+        }
+        match signal.default_disposition() {
+            SignalDisposition::Ignore => {}
+            SignalDisposition::Terminate => {
+                self.stats.signals_delivered += 1;
+                self.finish_task(target, encode_wait_status(None, Some(signal)));
+            }
+            SignalDisposition::Stop => {
+                self.stats.signals_delivered += 1;
+                self.stop_task(target, signal);
+            }
+            SignalDisposition::Continue => {
+                self.stats.signals_delivered += 1;
+                self.continue_task(target);
+            }
+        }
+    }
+
+    /// Completes every blocked system call of `target` with `EINTR` (the
+    /// wait-queue side of signal delivery).  Kernel-internal HTTP clients
+    /// run as pid 0 and are never signalled, so they cannot match.
+    pub(crate) fn interrupt_waiters_of(&mut self, target: Pid) {
+        debug_assert_ne!(target, 0, "pid 0 is reserved for kernel-internal waiters");
+        for waiter in self.waiters.take_matching(|w| w.pid == target) {
+            self.stats.eintr_wakeups += 1;
+            if let Some(reply) = waiter.reply {
+                self.complete(target, reply, SysResult::Err(Errno::EINTR));
+            }
+        }
+    }
+
+    /// Suspends a running task (default disposition of the stop signals):
+    /// the parent gets SIGCHLD and its `WUNTRACED` waiters wake.
+    fn stop_task(&mut self, target: Pid, signal: Signal) {
+        let Some(task) = self.tasks.get_mut(&target) else {
+            return;
+        };
+        if !task.is_running() {
+            return;
+        }
+        task.state = TaskState::Stopped { signal };
+        task.stop_reported = false;
+        let ppid = task.ppid;
+        if ppid != 0 && self.tasks.contains_key(&ppid) {
+            let _ = self.send_signal(ppid, Signal::SIGCHLD);
+            self.wake(WaitChannel::ChildOf(ppid));
+        }
+    }
+
+    /// Resumes a stopped task (SIGCONT): replays the system-call batches
+    /// stashed while it was suspended, in arrival order.
+    fn continue_task(&mut self, target: Pid) {
+        let Some(task) = self.tasks.get_mut(&target) else {
+            return;
+        };
+        if !task.is_stopped() {
+            return;
+        }
+        task.state = TaskState::Running;
+        task.stop_reported = false;
+        let stashed = std::mem::take(&mut task.stashed_transports);
+        for transport in stashed {
+            self.handle_syscall(target, transport);
+        }
     }
 
     // ---- shared helpers --------------------------------------------------------
@@ -718,7 +911,9 @@ impl KernelState {
         let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
         let mut adjustments: Vec<(crate::streams::StreamId, bool)> = Vec::new(); // (stream, is_reader)
         for task in self.tasks.values() {
-            if !task.is_running() {
+            // Stopped tasks still hold their descriptors: a stopped job's
+            // pipes must not report EOF/EPIPE while it is suspended.
+            if task.is_zombie() {
                 continue;
             }
             for (_, file) in task.files.iter() {

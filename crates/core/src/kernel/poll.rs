@@ -95,10 +95,14 @@ impl KernelState {
         let kind = file.kind();
         let mut revents = 0u16;
         match &kind {
-            // Regular files, directories, /dev/null and host sinks never
-            // block: always readable and writable (access checks happen at
-            // read/write time, as with poll on Linux).
-            FileKind::File { .. } | FileKind::Directory { .. } | FileKind::Null | FileKind::HostSink { .. } => {
+            // Regular files, directories, /dev/null, the terminal and host
+            // sinks never block: always readable and writable (access checks
+            // happen at read/write time, as with poll on Linux).
+            FileKind::File { .. }
+            | FileKind::Directory { .. }
+            | FileKind::Null
+            | FileKind::Tty
+            | FileKind::HostSink { .. } => {
                 revents = POLLIN | POLLOUT;
             }
             // An unconnected socket is never ready for anything.

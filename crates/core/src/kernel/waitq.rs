@@ -154,6 +154,27 @@ impl<T> WaitTable<T> {
         }
     }
 
+    /// Removes and returns every waiter whose payload satisfies `matches`
+    /// (used to interrupt a signalled process's blocked system calls with
+    /// `EINTR`).
+    pub fn take_matching<F: FnMut(&T) -> bool>(&mut self, mut matches: F) -> Vec<T> {
+        let ids: Vec<WaiterId> = self
+            .waiters
+            .iter()
+            .filter(|(_, (payload, _))| matches(payload))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| self.remove_registered(id, None))
+            .collect()
+    }
+
+    /// Counts the waiters whose payload satisfies `matches` (scavenger-mode
+    /// assertions over signal interruption).
+    pub fn count_matching<F: FnMut(&T) -> bool>(&self, mut matches: F) -> usize {
+        self.waiters.values().filter(|(payload, _)| matches(payload)).count()
+    }
+
     /// Removes `id` from the waiter map and from every channel list it is
     /// registered on (skipping `already_removed`, whose list is being
     /// drained by the caller).
@@ -193,10 +214,12 @@ pub(crate) enum WaitKind {
         /// How much has been accepted so far.
         written: usize,
     },
-    /// `wait4` waiting for a child to exit.
+    /// `wait4` waiting for a child to exit (or stop, under `WUNTRACED`).
     Wait4 {
         /// Target pid (-1 = any child).
         target: i32,
+        /// The `wait4` option bits (`WUNTRACED` matters while parked).
+        options: u32,
     },
     /// `accept` waiting for an incoming connection.
     Accept {
@@ -406,14 +429,14 @@ impl KernelState {
                 }
                 Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
             },
-            WaitKind::Wait4 { target } => match self.try_reap_child(pid, target) {
+            WaitKind::Wait4 { target, options } => match self.try_reap_child(pid, target, options) {
                 Ok(Some((child, status))) => self.finish_waiter(pid, reply, SysResult::Wait { pid: child, status }),
                 Ok(None) => self.repark(
                     vec![WaitChannel::ChildOf(pid)],
                     Waiter {
                         pid,
                         reply,
-                        kind: WaitKind::Wait4 { target },
+                        kind: WaitKind::Wait4 { target, options },
                     },
                 ),
                 Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),

@@ -57,12 +57,13 @@ pub use events::{HostRequest, KernelEvent, OutputSink};
 pub use exec::{ExecutableRegistry, ForkImage, LaunchContext, ProcessStart, ProgramLauncher};
 pub use fd::{Fd, FdTable, OpenFile};
 pub use hostapi::{BootConfig, ExitStatus, Kernel, ProcessHandle};
-pub use signals::{Signal, SignalDisposition};
+pub use signals::{SigAction, SigSet, Signal, SignalDisposition, SignalState, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK};
 pub use stats::KernelStats;
 pub use streams::{Stream, StreamId, StreamTable};
 pub use syscall::{
+    encode_stop_status, encode_wait_status, wait_status_exit_code, wait_status_signal, wait_status_stop_signal,
     ByteSource, Completion, CompletionBatch, PollRequest, SysResult, Syscall, SyscallBatch, Transport, NONBLOCK,
-    POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT,
+    POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, WNOHANG, WUNTRACED,
 };
 pub use task::{Pid, TaskState};
 

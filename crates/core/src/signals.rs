@@ -1,11 +1,21 @@
-//! POSIX signals.
+//! POSIX signals: numbers, names, dispositions, and the per-task signal
+//! state (pending set, blocked mask, installed actions).
 //!
 //! Browsix "supports a substantial subset of the POSIX signals API, including
 //! kill and signal handlers, letting processes communicate with each other
 //! asynchronously".  The kernel dispatches signals to processes over the same
 //! message-passing interface as system-call responses; SIGKILL is handled in
-//! the kernel by terminating the target's worker.
+//! the kernel by terminating the target's worker, and the job-control stop
+//! signals (SIGSTOP/SIGTSTP/SIGTTIN/SIGTTOU) are handled in the kernel by
+//! parking the task in the `Stopped` state.
+//!
+//! [`SignalState`] is the pure model of `sigaction`/`sigprocmask` semantics:
+//! a signal sent while blocked sits in the pending *set* (so repeated sends
+//! coalesce, as POSIX specifies for standard signals) and is delivered
+//! exactly once when unblocked.  The kernel embeds one per task; the
+//! model-based property tests exercise it directly.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// The subset of POSIX signals Browsix understands.
@@ -35,6 +45,12 @@ pub enum Signal {
     SIGCONT,
     /// Stop, cannot be caught (19).
     SIGSTOP,
+    /// Interactive stop from the terminal, `Ctrl-Z` (20).
+    SIGTSTP,
+    /// Background read from the controlling terminal (21).
+    SIGTTIN,
+    /// Background write to the controlling terminal (22).
+    SIGTTOU,
 }
 
 /// What the kernel does with a signal when the process has not installed a
@@ -45,6 +61,10 @@ pub enum SignalDisposition {
     Terminate,
     /// Ignore the signal.
     Ignore,
+    /// Stop (suspend) the process until SIGCONT.
+    Stop,
+    /// Resume the process if stopped.
+    Continue,
 }
 
 impl Signal {
@@ -63,6 +83,9 @@ impl Signal {
             Signal::SIGCHLD => 17,
             Signal::SIGCONT => 18,
             Signal::SIGSTOP => 19,
+            Signal::SIGTSTP => 20,
+            Signal::SIGTTIN => 21,
+            Signal::SIGTTOU => 22,
         }
     }
 
@@ -98,19 +121,24 @@ impl Signal {
             Signal::SIGCHLD => "SIGCHLD",
             Signal::SIGCONT => "SIGCONT",
             Signal::SIGSTOP => "SIGSTOP",
+            Signal::SIGTSTP => "SIGTSTP",
+            Signal::SIGTTIN => "SIGTTIN",
+            Signal::SIGTTOU => "SIGTTOU",
         }
     }
 
     /// The action taken when no handler is installed.
     pub fn default_disposition(self) -> SignalDisposition {
         match self {
-            Signal::SIGCHLD | Signal::SIGCONT => SignalDisposition::Ignore,
+            Signal::SIGCHLD => SignalDisposition::Ignore,
+            Signal::SIGCONT => SignalDisposition::Continue,
+            Signal::SIGSTOP | Signal::SIGTSTP | Signal::SIGTTIN | Signal::SIGTTOU => SignalDisposition::Stop,
             _ => SignalDisposition::Terminate,
         }
     }
 
     /// Whether user code is allowed to install a handler (SIGKILL and SIGSTOP
-    /// cannot be caught).
+    /// cannot be caught, blocked or ignored).
     pub fn catchable(self) -> bool {
         !matches!(self, Signal::SIGKILL | Signal::SIGSTOP)
     }
@@ -119,6 +147,11 @@ impl Signal {
     /// (the low 7 bits of the status word, as in Linux).
     pub fn termination_status(self) -> i32 {
         self.number() & 0x7f
+    }
+
+    /// The bit this signal occupies in a [`SigSet`].
+    fn bit(self) -> u64 {
+        1u64 << (self.number() - 1)
     }
 }
 
@@ -136,11 +169,199 @@ pub const ALL_SIGNALS: &[Signal] = &[
     Signal::SIGCHLD,
     Signal::SIGCONT,
     Signal::SIGSTOP,
+    Signal::SIGTSTP,
+    Signal::SIGTTIN,
+    Signal::SIGTTOU,
 ];
 
 impl fmt::Display for Signal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// A set of signals, stored as a Linux-style bitmask (bit `n-1` is signal
+/// `n`).  This is the representation `sigprocmask` exchanges over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigSet(u64);
+
+impl SigSet {
+    /// The empty set.
+    pub fn empty() -> SigSet {
+        SigSet(0)
+    }
+
+    /// Builds a set from its raw bitmask (unknown bits are kept, so a mask
+    /// round-trips through the wire unchanged).
+    pub fn from_bits(bits: u64) -> SigSet {
+        SigSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set contains `signal`.
+    pub fn contains(self, signal: Signal) -> bool {
+        self.0 & signal.bit() != 0
+    }
+
+    /// Adds a signal.
+    pub fn insert(&mut self, signal: Signal) {
+        self.0 |= signal.bit();
+    }
+
+    /// Removes a signal.
+    pub fn remove(&mut self, signal: Signal) {
+        self.0 &= !signal.bit();
+    }
+
+    /// Whether no signal is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: SigSet) -> SigSet {
+        SigSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn difference(self, other: SigSet) -> SigSet {
+        SigSet(self.0 & !other.0)
+    }
+
+    /// The signals in the set, in number order.
+    pub fn iter(self) -> impl Iterator<Item = Signal> {
+        ALL_SIGNALS.iter().copied().filter(move |s| self.contains(*s))
+    }
+}
+
+/// How a process asked a signal to be handled (`sigaction`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SigAction {
+    /// Apply the signal's default disposition.
+    #[default]
+    Default,
+    /// Discard the signal (`SIG_IGN`).
+    Ignore,
+    /// Deliver the signal to the process's handler.  With `restart` set
+    /// (`SA_RESTART`), a system call interrupted by this signal is restarted
+    /// instead of failing with `EINTR`.
+    Handler {
+        /// Whether `SA_RESTART` was requested.
+        restart: bool,
+    },
+}
+
+/// `sigprocmask` operation: add the mask to the blocked set.
+pub const SIG_BLOCK: u32 = 0;
+/// `sigprocmask` operation: remove the mask from the blocked set.
+pub const SIG_UNBLOCK: u32 = 1;
+/// `sigprocmask` operation: replace the blocked set with the mask.
+pub const SIG_SETMASK: u32 = 2;
+
+/// Per-task signal state: installed actions, the blocked mask, and the
+/// pending set.  Pure (no kernel types), so it can be model-checked directly.
+#[derive(Debug, Clone, Default)]
+pub struct SignalState {
+    actions: HashMap<Signal, SigAction>,
+    blocked: SigSet,
+    pending: SigSet,
+}
+
+impl SignalState {
+    /// Fresh state: all defaults, nothing blocked, nothing pending.
+    pub fn new() -> SignalState {
+        SignalState::default()
+    }
+
+    /// The action installed for `signal` (SIGKILL and SIGSTOP always report
+    /// [`SigAction::Default`]; they cannot be caught or ignored).
+    pub fn action(&self, signal: Signal) -> SigAction {
+        if !signal.catchable() {
+            return SigAction::Default;
+        }
+        self.actions.get(&signal).copied().unwrap_or_default()
+    }
+
+    /// Installs an action.  The caller must have rejected uncatchable
+    /// signals already; this silently ignores them as a second line of
+    /// defence.
+    pub fn set_action(&mut self, signal: Signal, action: SigAction) {
+        if !signal.catchable() {
+            return;
+        }
+        match action {
+            SigAction::Default => {
+                self.actions.remove(&signal);
+            }
+            other => {
+                self.actions.insert(signal, other);
+            }
+        }
+    }
+
+    /// Whether a handler is installed for `signal`.
+    pub fn handles(&self, signal: Signal) -> bool {
+        matches!(self.action(signal), SigAction::Handler { .. })
+    }
+
+    /// The currently blocked mask.
+    pub fn blocked(&self) -> SigSet {
+        self.blocked
+    }
+
+    /// The currently pending set.
+    pub fn pending(&self) -> SigSet {
+        self.pending
+    }
+
+    /// Applies a `sigprocmask` operation, returning the *previous* mask and
+    /// the signals that became deliverable (they were pending and are no
+    /// longer blocked) — already removed from the pending set, so each is
+    /// delivered exactly once.  SIGKILL and SIGSTOP can never be blocked.
+    pub fn change_mask(&mut self, how: u32, mask: SigSet) -> Option<(SigSet, Vec<Signal>)> {
+        let old = self.blocked;
+        let unblockable = SigSet::from_bits(Signal::SIGKILL.bit() | Signal::SIGSTOP.bit());
+        let new = match how {
+            SIG_BLOCK => old.union(mask),
+            SIG_UNBLOCK => old.difference(mask),
+            SIG_SETMASK => mask,
+            _ => return None,
+        };
+        self.blocked = new.difference(unblockable);
+        let deliverable: Vec<Signal> = self.pending.difference(self.blocked).iter().collect();
+        for signal in &deliverable {
+            self.pending.remove(*signal);
+        }
+        Some((old, deliverable))
+    }
+
+    /// Records an incoming signal.  Returns `true` if the signal must be
+    /// acted on now, or `false` if it was parked in the pending set (blocked,
+    /// and not one of the unblockable pair).  A signal already pending
+    /// coalesces, as POSIX specifies for standard (non-realtime) signals.
+    pub fn admit(&mut self, signal: Signal) -> bool {
+        if signal.catchable() && self.blocked.contains(signal) {
+            self.pending.insert(signal);
+            return false;
+        }
+        true
+    }
+
+    /// Drops any pending stop signals (delivery of SIGCONT discards pending
+    /// stops, and vice versa, as on Linux).
+    pub fn discard_pending_stops(&mut self) {
+        for signal in [Signal::SIGSTOP, Signal::SIGTSTP, Signal::SIGTTIN, Signal::SIGTTOU] {
+            self.pending.remove(signal);
+        }
+    }
+
+    /// Drops a pending SIGCONT (delivery of a stop signal discards it).
+    pub fn discard_pending_continue(&mut self) {
+        self.pending.remove(Signal::SIGCONT);
     }
 }
 
@@ -163,6 +384,7 @@ mod tests {
         assert_eq!(Signal::from_name("kill"), Some(Signal::SIGKILL));
         assert_eq!(Signal::from_name("TERM"), Some(Signal::SIGTERM));
         assert_eq!(Signal::from_name("sigchld"), Some(Signal::SIGCHLD));
+        assert_eq!(Signal::from_name("tstp"), Some(Signal::SIGTSTP));
         assert_eq!(Signal::from_name("NOTASIG"), None);
     }
 
@@ -172,7 +394,10 @@ mod tests {
         assert_eq!(Signal::SIGKILL.default_disposition(), SignalDisposition::Terminate);
         assert_eq!(Signal::SIGPIPE.default_disposition(), SignalDisposition::Terminate);
         assert_eq!(Signal::SIGCHLD.default_disposition(), SignalDisposition::Ignore);
-        assert_eq!(Signal::SIGCONT.default_disposition(), SignalDisposition::Ignore);
+        assert_eq!(Signal::SIGCONT.default_disposition(), SignalDisposition::Continue);
+        assert_eq!(Signal::SIGSTOP.default_disposition(), SignalDisposition::Stop);
+        assert_eq!(Signal::SIGTSTP.default_disposition(), SignalDisposition::Stop);
+        assert_eq!(Signal::SIGTTIN.default_disposition(), SignalDisposition::Stop);
     }
 
     #[test]
@@ -180,6 +405,7 @@ mod tests {
         assert!(!Signal::SIGKILL.catchable());
         assert!(!Signal::SIGSTOP.catchable());
         assert!(Signal::SIGTERM.catchable());
+        assert!(Signal::SIGTSTP.catchable());
         assert!(Signal::SIGUSR1.catchable());
     }
 
@@ -189,11 +415,108 @@ mod tests {
         assert_eq!(Signal::SIGTERM.number(), 15);
         assert_eq!(Signal::SIGCHLD.number(), 17);
         assert_eq!(Signal::SIGPIPE.number(), 13);
+        assert_eq!(Signal::SIGTSTP.number(), 20);
+        assert_eq!(Signal::SIGTTIN.number(), 21);
+        assert_eq!(Signal::SIGTTOU.number(), 22);
     }
 
     #[test]
     fn display_and_termination_status() {
         assert_eq!(Signal::SIGKILL.to_string(), "SIGKILL");
         assert_eq!(Signal::SIGKILL.termination_status(), 9);
+    }
+
+    #[test]
+    fn sigset_operations() {
+        let mut set = SigSet::empty();
+        assert!(set.is_empty());
+        set.insert(Signal::SIGTERM);
+        set.insert(Signal::SIGUSR1);
+        assert!(set.contains(Signal::SIGTERM));
+        assert!(!set.contains(Signal::SIGINT));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![Signal::SIGUSR1, Signal::SIGTERM]);
+        set.remove(Signal::SIGTERM);
+        assert!(!set.contains(Signal::SIGTERM));
+        assert_eq!(SigSet::from_bits(set.bits()), set);
+
+        let a = SigSet::from_bits(0b0110);
+        let b = SigSet::from_bits(0b0011);
+        assert_eq!(a.union(b).bits(), 0b0111);
+        assert_eq!(a.difference(b).bits(), 0b0100);
+    }
+
+    #[test]
+    fn blocked_signal_is_pending_until_unblocked_then_delivered_once() {
+        let mut state = SignalState::new();
+        let mut mask = SigSet::empty();
+        mask.insert(Signal::SIGUSR1);
+        let (old, deliverable) = state.change_mask(SIG_BLOCK, mask).unwrap();
+        assert!(old.is_empty());
+        assert!(deliverable.is_empty());
+
+        // Three sends coalesce into one pending bit.
+        for _ in 0..3 {
+            assert!(!state.admit(Signal::SIGUSR1));
+        }
+        assert!(state.pending().contains(Signal::SIGUSR1));
+
+        let (_, deliverable) = state.change_mask(SIG_UNBLOCK, mask).unwrap();
+        assert_eq!(deliverable, vec![Signal::SIGUSR1]);
+        // Exactly once: the pending bit is consumed.
+        assert!(state.pending().is_empty());
+        let (_, deliverable) = state.change_mask(SIG_UNBLOCK, mask).unwrap();
+        assert!(deliverable.is_empty());
+    }
+
+    #[test]
+    fn kill_and_stop_cannot_be_blocked() {
+        let mut state = SignalState::new();
+        let mut mask = SigSet::empty();
+        mask.insert(Signal::SIGKILL);
+        mask.insert(Signal::SIGSTOP);
+        mask.insert(Signal::SIGTERM);
+        state.change_mask(SIG_SETMASK, mask).unwrap();
+        assert!(!state.blocked().contains(Signal::SIGKILL));
+        assert!(!state.blocked().contains(Signal::SIGSTOP));
+        assert!(state.blocked().contains(Signal::SIGTERM));
+        assert!(state.admit(Signal::SIGKILL), "SIGKILL is never parked");
+        assert!(!state.admit(Signal::SIGTERM));
+    }
+
+    #[test]
+    fn actions_install_and_reset() {
+        let mut state = SignalState::new();
+        assert_eq!(state.action(Signal::SIGINT), SigAction::Default);
+        state.set_action(Signal::SIGINT, SigAction::Handler { restart: true });
+        assert_eq!(state.action(Signal::SIGINT), SigAction::Handler { restart: true });
+        assert!(state.handles(Signal::SIGINT));
+        state.set_action(Signal::SIGINT, SigAction::Ignore);
+        assert_eq!(state.action(Signal::SIGINT), SigAction::Ignore);
+        state.set_action(Signal::SIGINT, SigAction::Default);
+        assert_eq!(state.action(Signal::SIGINT), SigAction::Default);
+        // Uncatchable signals silently keep their defaults.
+        state.set_action(Signal::SIGKILL, SigAction::Ignore);
+        assert_eq!(state.action(Signal::SIGKILL), SigAction::Default);
+    }
+
+    #[test]
+    fn stops_and_continue_discard_each_other() {
+        let mut state = SignalState::new();
+        let mut mask = SigSet::empty();
+        mask.insert(Signal::SIGTSTP);
+        mask.insert(Signal::SIGCONT);
+        state.change_mask(SIG_BLOCK, mask).unwrap();
+        assert!(!state.admit(Signal::SIGTSTP));
+        state.discard_pending_stops();
+        assert!(state.pending().is_empty());
+        assert!(!state.admit(Signal::SIGCONT));
+        state.discard_pending_continue();
+        assert!(state.pending().is_empty());
+    }
+
+    #[test]
+    fn bad_sigprocmask_how_is_rejected() {
+        let mut state = SignalState::new();
+        assert!(state.change_mask(99, SigSet::empty()).is_none());
     }
 }

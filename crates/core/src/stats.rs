@@ -32,8 +32,15 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Processes that have exited.
     pub processes_exited: u64,
-    /// Signals delivered to processes.
+    /// Signals sent (accepted by the kernel for a live target, whether
+    /// dispatched immediately or parked in a pending set).
+    pub signals_sent: u64,
+    /// Signals delivered (handler ran or a default disposition acted);
+    /// ignored and coalesced-pending signals are not counted.
     pub signals_delivered: u64,
+    /// Blocked system calls completed early with `EINTR` because a signal
+    /// handler interrupted their process.
+    pub eintr_wakeups: u64,
     /// Messages posted from the kernel to workers (responses, signals, init).
     pub messages_to_workers: u64,
     /// Dentry-cache hits in the mount table (paths resolved without a scan).

@@ -33,7 +33,7 @@
 
 use browsix_fs::{DirEntry, Errno, FileType, Metadata, OpenFlags};
 
-use crate::signals::Signal;
+use crate::signals::{SigAction, Signal};
 use crate::task::Pid;
 use crate::wire::{self, Reader};
 
@@ -63,6 +63,12 @@ pub const POLLNVAL: u16 = 0x020;
 /// and accepts on a non-blocking description return `EAGAIN` instead of
 /// parking on a wait queue.
 pub const NONBLOCK: u32 = 0x1;
+
+/// `wait4` option bit: return immediately when no child has changed state.
+pub const WNOHANG: u32 = 1;
+/// `wait4` option bit: also report children stopped by a job-control signal
+/// (each stop is reported once).
+pub const WUNTRACED: u32 = 2;
 
 /// One descriptor's entry in a [`Syscall::Poll`] submission: which fd, and
 /// which readiness events the caller is interested in.
@@ -177,19 +183,50 @@ pub enum Syscall {
         /// Exit code.
         code: i32,
     },
-    /// Send a signal to another process.
+    /// Send a signal to a process or a process group, following the `kill(2)`
+    /// addressing convention.
     Kill {
-        /// Target process.
-        pid: Pid,
+        /// `> 0`: that process; `< 0`: every process in group `-pid`;
+        /// `0`: every process in the caller's own group.
+        pid: i32,
         /// Signal to deliver.
         signal: Signal,
     },
-    /// Register interest in a catchable signal (installs a handler).
+    /// Install, ignore or reset the action for a catchable signal
+    /// (`sigaction`), including the `SA_RESTART` flag.
     SignalAction {
-        /// Signal to handle.
+        /// Signal to configure.
         signal: Signal,
-        /// `true` installs a handler, `false` restores the default.
-        install: bool,
+        /// The requested action.
+        action: SigAction,
+    },
+    /// Change the calling process's blocked-signal mask (`sigprocmask`);
+    /// returns the previous mask.
+    Sigprocmask {
+        /// One of [`crate::signals::SIG_BLOCK`],
+        /// [`crate::signals::SIG_UNBLOCK`], [`crate::signals::SIG_SETMASK`].
+        how: u32,
+        /// The mask operand, as a [`crate::signals::SigSet`] bitmask.
+        mask: u64,
+    },
+    /// Move a process into a process group (`setpgid`).
+    Setpgid {
+        /// Target process (0 = the caller).
+        pid: Pid,
+        /// Destination group (0 = a new group led by `pid`).
+        pgid: Pid,
+    },
+    /// Read a process's group id (`getpgid`; 0 = the caller).
+    Getpgid {
+        /// Target process (0 = the caller).
+        pid: Pid,
+    },
+    /// Make `pgid` the foreground process group of the controlling terminal
+    /// (`tcsetpgrp`; the kernel models a single controlling terminal, so no
+    /// descriptor argument is needed).
+    Tcsetpgrp {
+        /// The new foreground group.
+        pgid: Pid,
     },
 
     // ---- process metadata ----------------------------------------------------
@@ -451,6 +488,10 @@ const OP_CONNECT: u8 = 37;
 const OP_FSYNC: u8 = 38;
 const OP_POLL: u8 = 39;
 const OP_SETFLAGS: u8 = 40;
+const OP_SIGPROCMASK: u8 = 41;
+const OP_SETPGID: u8 = 42;
+const OP_GETPGID: u8 = 43;
+const OP_TCSETPGRP: u8 = 44;
 
 impl Syscall {
     /// The syscall's name, used for statistics and tracing (and by the
@@ -464,6 +505,10 @@ impl Syscall {
             Syscall::Exit { .. } => "exit",
             Syscall::Kill { .. } => "kill",
             Syscall::SignalAction { .. } => "sigaction",
+            Syscall::Sigprocmask { .. } => "sigprocmask",
+            Syscall::Setpgid { .. } => "setpgid",
+            Syscall::Getpgid { .. } => "getpgid",
+            Syscall::Tcsetpgrp { .. } => "tcsetpgrp",
             Syscall::GetPid => "getpid",
             Syscall::GetPPid => "getppid",
             Syscall::GetCwd => "getcwd",
@@ -515,8 +560,13 @@ impl Syscall {
             | Syscall::Wait4 { .. }
             | Syscall::Exit { .. }
             | Syscall::Kill { .. }
-            | Syscall::SignalAction { .. } => "Process Management",
-            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } => "Process Metadata",
+            | Syscall::SignalAction { .. }
+            | Syscall::Sigprocmask { .. }
+            | Syscall::Setpgid { .. }
+            | Syscall::Tcsetpgrp { .. } => "Process Management",
+            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } | Syscall::Getpgid { .. } => {
+                "Process Metadata"
+            }
             Syscall::Socket
             | Syscall::Bind { .. }
             | Syscall::GetSockName { .. }
@@ -602,13 +652,31 @@ impl Syscall {
             }
             Syscall::Kill { pid, signal } => {
                 wire::put_u8(out, OP_KILL);
-                wire::put_u32(out, *pid);
+                wire::put_i32(out, *pid);
                 wire::put_i32(out, signal.number());
             }
-            Syscall::SignalAction { signal, install } => {
+            Syscall::SignalAction { signal, action } => {
                 wire::put_u8(out, OP_SIGACTION);
                 wire::put_i32(out, signal.number());
-                wire::put_bool(out, *install);
+                wire::put_u8(out, encode_sigaction(*action));
+            }
+            Syscall::Sigprocmask { how, mask } => {
+                wire::put_u8(out, OP_SIGPROCMASK);
+                wire::put_u32(out, *how);
+                wire::put_u64(out, *mask);
+            }
+            Syscall::Setpgid { pid, pgid } => {
+                wire::put_u8(out, OP_SETPGID);
+                wire::put_u32(out, *pid);
+                wire::put_u32(out, *pgid);
+            }
+            Syscall::Getpgid { pid } => {
+                wire::put_u8(out, OP_GETPGID);
+                wire::put_u32(out, *pid);
+            }
+            Syscall::Tcsetpgrp { pgid } => {
+                wire::put_u8(out, OP_TCSETPGRP);
+                wire::put_u32(out, *pgid);
             }
             Syscall::GetPid => wire::put_u8(out, OP_GETPID),
             Syscall::GetPPid => wire::put_u8(out, OP_GETPPID),
@@ -809,13 +877,23 @@ impl Syscall {
             },
             OP_EXIT => Syscall::Exit { code: r.i32()? },
             OP_KILL => Syscall::Kill {
-                pid: r.u32()?,
+                pid: r.i32()?,
                 signal: Signal::from_number(r.i32()?)?,
             },
             OP_SIGACTION => Syscall::SignalAction {
                 signal: Signal::from_number(r.i32()?)?,
-                install: r.bool()?,
+                action: decode_sigaction(r.u8()?)?,
             },
+            OP_SIGPROCMASK => Syscall::Sigprocmask {
+                how: r.u32()?,
+                mask: r.u64()?,
+            },
+            OP_SETPGID => Syscall::Setpgid {
+                pid: r.u32()?,
+                pgid: r.u32()?,
+            },
+            OP_GETPGID => Syscall::Getpgid { pid: r.u32()? },
+            OP_TCSETPGRP => Syscall::Tcsetpgrp { pgid: r.u32()? },
             OP_GETPID => Syscall::GetPid,
             OP_GETPPID => Syscall::GetPPid,
             OP_GETCWD => Syscall::GetCwd,
@@ -1312,6 +1390,26 @@ impl Transport {
     }
 }
 
+/// Wire encoding of a [`SigAction`] (one byte).
+fn encode_sigaction(action: SigAction) -> u8 {
+    match action {
+        SigAction::Default => 0,
+        SigAction::Ignore => 1,
+        SigAction::Handler { restart: false } => 2,
+        SigAction::Handler { restart: true } => 3,
+    }
+}
+
+fn decode_sigaction(byte: u8) -> Option<SigAction> {
+    Some(match byte {
+        0 => SigAction::Default,
+        1 => SigAction::Ignore,
+        2 => SigAction::Handler { restart: false },
+        3 => SigAction::Handler { restart: true },
+        _ => return None,
+    })
+}
+
 /// Encodes an exit code / terminating signal into a Linux-style wait status.
 pub fn encode_wait_status(exit_code: Option<i32>, signal: Option<Signal>) -> i32 {
     match (exit_code, signal) {
@@ -1319,6 +1417,12 @@ pub fn encode_wait_status(exit_code: Option<i32>, signal: Option<Signal>) -> i32
         (Some(code), None) => (code & 0xff) << 8,
         (None, None) => 0,
     }
+}
+
+/// Encodes a "stopped by signal" wait status (`WUNTRACED` reporting), using
+/// the Linux layout: low byte `0x7f`, stop signal in the next byte.
+pub fn encode_stop_status(signal: Signal) -> i32 {
+    (signal.number() << 8) | 0x7f
 }
 
 /// Extracts the exit code from a wait status, if the child exited normally.
@@ -1332,9 +1436,22 @@ pub fn wait_status_exit_code(status: i32) -> Option<i32> {
 
 /// Extracts the terminating signal from a wait status, if any.
 pub fn wait_status_signal(status: i32) -> Option<Signal> {
+    if status & 0xff == 0x7f {
+        // Stopped, not terminated.
+        return None;
+    }
     let sig = status & 0x7f;
     if sig != 0 {
         Signal::from_number(sig)
+    } else {
+        None
+    }
+}
+
+/// Extracts the stop signal from a wait status, if the child is stopped.
+pub fn wait_status_stop_signal(status: i32) -> Option<Signal> {
+    if status & 0xff == 0x7f {
+        Signal::from_number((status >> 8) & 0xff)
     } else {
         None
     }
@@ -1367,10 +1484,29 @@ mod tests {
                 pid: 7,
                 signal: Signal::SIGTERM,
             },
+            Syscall::Kill {
+                pid: -5,
+                signal: Signal::SIGINT,
+            },
             Syscall::SignalAction {
                 signal: Signal::SIGCHLD,
-                install: true,
+                action: SigAction::Handler { restart: false },
             },
+            Syscall::SignalAction {
+                signal: Signal::SIGINT,
+                action: SigAction::Handler { restart: true },
+            },
+            Syscall::SignalAction {
+                signal: Signal::SIGTTIN,
+                action: SigAction::Ignore,
+            },
+            Syscall::Sigprocmask {
+                how: crate::signals::SIG_BLOCK,
+                mask: 0x4200,
+            },
+            Syscall::Setpgid { pid: 3, pgid: 3 },
+            Syscall::Getpgid { pid: 0 },
+            Syscall::Tcsetpgrp { pgid: 3 },
             Syscall::GetPid,
             Syscall::GetPPid,
             Syscall::GetCwd,
@@ -1553,9 +1689,10 @@ mod tests {
     fn names_are_unique_per_variant_shape() {
         let names: Vec<&str> = sample_calls().iter().map(|c| c.name()).collect();
         // `stat`/`lstat` intentionally share a variant, and the sample set
-        // carries two `poll` shapes (fd list and empty); all others unique.
+        // carries two `poll` shapes (fd list and empty), two `kill` shapes
+        // (process and group) and three `sigaction` shapes; all others unique.
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
-        assert!(unique.len() >= names.len() - 2);
+        assert!(unique.len() >= names.len() - 5);
     }
 
     #[test]
@@ -1621,10 +1758,30 @@ mod tests {
         let exited = encode_wait_status(Some(3), None);
         assert_eq!(wait_status_exit_code(exited), Some(3));
         assert_eq!(wait_status_signal(exited), None);
+        assert_eq!(wait_status_stop_signal(exited), None);
 
         let killed = encode_wait_status(None, Some(Signal::SIGKILL));
         assert_eq!(wait_status_exit_code(killed), None);
         assert_eq!(wait_status_signal(killed), Some(Signal::SIGKILL));
+        assert_eq!(wait_status_stop_signal(killed), None);
+
+        let stopped = encode_stop_status(Signal::SIGTSTP);
+        assert_eq!(wait_status_exit_code(stopped), None);
+        assert_eq!(wait_status_signal(stopped), None);
+        assert_eq!(wait_status_stop_signal(stopped), Some(Signal::SIGTSTP));
+    }
+
+    #[test]
+    fn sigaction_byte_round_trips() {
+        for action in [
+            SigAction::Default,
+            SigAction::Ignore,
+            SigAction::Handler { restart: false },
+            SigAction::Handler { restart: true },
+        ] {
+            assert_eq!(decode_sigaction(encode_sigaction(action)), Some(action));
+        }
+        assert_eq!(decode_sigaction(9), None);
     }
 
     #[test]

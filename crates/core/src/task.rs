@@ -7,15 +7,14 @@
 //! for signals, `wait4` (the zombie state), synchronous system calls (the
 //! registered shared heap) and `fork` (the launcher used to start it).
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use browsix_browser::{SharedArrayBuffer, Worker};
 
 use crate::exec::ProgramLauncher;
 use crate::fd::FdTable;
-use crate::signals::Signal;
-use crate::syscall::Completion;
+use crate::signals::{Signal, SignalState};
+use crate::syscall::{Completion, Transport};
 
 /// A process identifier.
 pub type Pid = u32;
@@ -25,6 +24,13 @@ pub type Pid = u32;
 pub enum TaskState {
     /// The process is running (its worker is alive).
     Running,
+    /// The process is suspended by a job-control stop signal.  Its worker is
+    /// still alive, but the kernel stashes incoming system-call batches until
+    /// SIGCONT, so the process freezes at its next syscall boundary.
+    Stopped {
+        /// The stop signal that suspended it.
+        signal: Signal,
+    },
     /// The process has exited but has not yet been reaped by `wait4`.
     Zombie {
         /// The encoded wait status (exit code or terminating signal).
@@ -77,6 +83,9 @@ pub struct Task {
     /// Parent process id (0 for processes started by the embedding web
     /// application through the host API).
     pub ppid: Pid,
+    /// Process-group id (initially the parent's group; host-started
+    /// processes lead their own group).
+    pub pgid: Pid,
     /// Executable name, for diagnostics (`ps`-style listings).
     pub name: String,
     /// Path of the executable the task was started from.
@@ -89,8 +98,14 @@ pub struct Task {
     pub files: FdTable,
     /// The Web Worker running the process, if still alive.
     pub worker: Option<Worker>,
-    /// Signals for which the process has installed a handler.
-    pub signal_handlers: HashSet<Signal>,
+    /// Signal state: installed actions, blocked mask, pending set.
+    pub signals: SignalState,
+    /// Whether the current stop has been reported to a `WUNTRACED` waiter
+    /// (each stop is reported at most once, like Linux).
+    pub stop_reported: bool,
+    /// System-call batches that arrived while the task was stopped; replayed
+    /// in arrival order on SIGCONT.
+    pub stashed_transports: Vec<Transport>,
     /// Registered shared heap for synchronous system calls.
     pub sync_heap: Option<SyncHeap>,
     /// The submission batch currently awaiting delivery of its completions.
@@ -125,13 +140,16 @@ impl Task {
         Task {
             pid,
             ppid,
+            pgid: pid,
             name: name.to_owned(),
             exe_path: exe_path.to_owned(),
             cwd: cwd.to_owned(),
             state: TaskState::Running,
             files: FdTable::new(),
             worker: None,
-            signal_handlers: HashSet::new(),
+            signals: SignalState::new(),
+            stop_reported: false,
+            stashed_transports: Vec::new(),
             sync_heap: None,
             inflight: None,
             children: Vec::new(),
@@ -146,6 +164,17 @@ impl Task {
         matches!(self.state, TaskState::Running)
     }
 
+    /// Whether the task is alive (running or stopped) — i.e. a valid signal
+    /// target.
+    pub fn is_alive(&self) -> bool {
+        !self.is_zombie()
+    }
+
+    /// Whether the task is suspended by a stop signal.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self.state, TaskState::Stopped { .. })
+    }
+
     /// Whether the task is a zombie awaiting `wait4`.
     pub fn is_zombie(&self) -> bool {
         matches!(self.state, TaskState::Zombie { .. })
@@ -155,13 +184,21 @@ impl Task {
     pub fn wait_status(&self) -> Option<i32> {
         match self.state {
             TaskState::Zombie { status } => Some(status),
-            TaskState::Running => None,
+            TaskState::Running | TaskState::Stopped { .. } => None,
+        }
+    }
+
+    /// The stop signal currently suspending the task, if any.
+    pub fn stop_signal(&self) -> Option<Signal> {
+        match self.state {
+            TaskState::Stopped { signal } => Some(signal),
+            _ => None,
         }
     }
 
     /// Whether the task has installed a handler for `signal`.
     pub fn handles_signal(&self, signal: Signal) -> bool {
-        self.signal_handlers.contains(&signal)
+        self.signals.handles(signal)
     }
 }
 
@@ -191,12 +228,28 @@ mod tests {
 
     #[test]
     fn signal_handler_registration() {
+        use crate::signals::SigAction;
         let mut task = Task::new(2, 1, "sh", "/bin/sh", "/");
         assert!(!task.handles_signal(Signal::SIGCHLD));
-        task.signal_handlers.insert(Signal::SIGCHLD);
+        task.signals
+            .set_action(Signal::SIGCHLD, SigAction::Handler { restart: false });
         assert!(task.handles_signal(Signal::SIGCHLD));
-        task.signal_handlers.remove(&Signal::SIGCHLD);
+        task.signals.set_action(Signal::SIGCHLD, SigAction::Default);
         assert!(!task.handles_signal(Signal::SIGCHLD));
+    }
+
+    #[test]
+    fn stopped_state_is_alive_but_not_running() {
+        let mut task = Task::new(6, 1, "cat", "/usr/bin/cat", "/");
+        assert_eq!(task.pgid, 6);
+        task.state = TaskState::Stopped {
+            signal: Signal::SIGTSTP,
+        };
+        assert!(!task.is_running());
+        assert!(task.is_stopped());
+        assert!(task.is_alive());
+        assert_eq!(task.stop_signal(), Some(Signal::SIGTSTP));
+        assert_eq!(task.wait_status(), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! guest program sees when it actually runs as a Browsix process inside a
 //! worker.
 
-use browsix_core::{Errno, PollRequest, Signal, SysResult, Syscall, SyscallBatch, NONBLOCK};
+use browsix_core::{Errno, PollRequest, SigAction, SigSet, Signal, SysResult, Syscall, SyscallBatch, NONBLOCK};
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::client::SyscallClient;
@@ -530,11 +530,56 @@ impl RuntimeEnv for BrowsixEnv {
     }
 
     fn kill(&mut self, pid: u32, signal: Signal) -> Result<(), Errno> {
-        self.expect_ok(Syscall::Kill { pid, signal })
+        self.expect_ok(Syscall::Kill {
+            pid: pid as i32,
+            signal,
+        })
+    }
+
+    fn kill_group(&mut self, pgid: u32, signal: Signal) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Kill {
+            pid: -(pgid as i64) as i32,
+            signal,
+        })
     }
 
     fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno> {
-        self.expect_ok(Syscall::SignalAction { signal, install: true })
+        self.sigaction(signal, SigAction::Handler { restart: false })
+    }
+
+    fn sigaction(&mut self, signal: Signal, action: SigAction) -> Result<(), Errno> {
+        self.expect_ok(Syscall::SignalAction { signal, action })
+    }
+
+    fn sigprocmask(&mut self, how: u32, mask: SigSet) -> Result<SigSet, Errno> {
+        self.expect_int(Syscall::Sigprocmask { how, mask: mask.bits() })
+            .map(|old| SigSet::from_bits(old as u64))
+    }
+
+    fn setpgid(&mut self, pid: u32, pgid: u32) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Setpgid { pid, pgid })
+    }
+
+    fn getpgid(&mut self, pid: u32) -> Result<u32, Errno> {
+        self.expect_int(Syscall::Getpgid { pid }).map(|pgid| pgid as u32)
+    }
+
+    fn tcsetpgrp(&mut self, pgid: u32) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Tcsetpgrp { pgid })
+    }
+
+    fn wait_options(&mut self, pid: i32, options: u32) -> Result<Option<WaitedChild>, Errno> {
+        let _ = self.flush_stdout();
+        match self.client.call(Syscall::Wait4 { pid, options }) {
+            SysResult::Wait { pid: 0, .. } => Ok(None),
+            SysResult::Wait { pid, status } => Ok(Some(WaitedChild {
+                pid,
+                status,
+                exit_code: browsix_core::syscall::wait_status_exit_code(status),
+            })),
+            SysResult::Err(e) => Err(e),
+            _ => Err(Errno::EIO),
+        }
     }
 
     fn pending_signals(&mut self) -> Vec<Signal> {

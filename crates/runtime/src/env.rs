@@ -9,12 +9,12 @@
 //! exactly the property the paper relies on when it runs "the same JavaScript
 //! utility under BROWSIX and on Linux under Node.js".
 
-use browsix_core::{Errno, Signal};
+use browsix_core::{Errno, SigAction, SigSet, Signal};
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::profile::ExecutionProfile;
 
-pub use browsix_core::{POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+pub use browsix_core::{POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, WNOHANG, WUNTRACED};
 
 /// File-descriptor type used by guest programs.
 pub type Fd = i32;
@@ -90,6 +90,19 @@ pub struct WaitedChild {
     pub status: i32,
     /// Exit code if the child exited normally.
     pub exit_code: Option<i32>,
+}
+
+impl WaitedChild {
+    /// The signal that terminated the child, if it was killed.
+    pub fn term_signal(&self) -> Option<Signal> {
+        browsix_core::syscall::wait_status_signal(self.status)
+    }
+
+    /// The signal that stopped the child, if `wait` was called with
+    /// [`WUNTRACED`] and the child is suspended rather than dead.
+    pub fn stop_signal(&self) -> Option<Signal> {
+        browsix_core::syscall::wait_status_stop_signal(self.status)
+    }
 }
 
 /// The POSIX-flavoured interface guest programs use.
@@ -268,16 +281,66 @@ pub trait RuntimeEnv {
     /// Non-blocking wait (`WNOHANG`); `Ok(None)` means no child has exited.
     fn wait_nohang(&mut self, pid: i32) -> Result<Option<WaitedChild>, Errno>;
 
+    /// `wait4` with explicit option bits ([`WNOHANG`] | [`WUNTRACED`]):
+    /// `Ok(None)` means `WNOHANG` found nothing.  With `WUNTRACED` the
+    /// returned child may be stopped rather than dead — check
+    /// [`WaitedChild::stop_signal`].  The default degrades to the plain
+    /// wait/wait-nohang pair (stop reporting needs a kernel).
+    fn wait_options(&mut self, pid: i32, options: u32) -> Result<Option<WaitedChild>, Errno> {
+        if options & WNOHANG != 0 {
+            self.wait_nohang(pid)
+        } else {
+            self.wait(pid).map(Some)
+        }
+    }
+
     /// Creates a pipe, returning `(read_fd, write_fd)`.
     fn pipe(&mut self) -> Result<(Fd, Fd), Errno>;
 
     /// Sends a signal to a process.
     fn kill(&mut self, pid: u32, signal: Signal) -> Result<(), Errno>;
 
+    /// Sends a signal to every member of a process group (`kill(-pgid)`).
+    fn kill_group(&mut self, _pgid: u32, _signal: Signal) -> Result<(), Errno> {
+        Err(Errno::ESRCH)
+    }
+
     /// Installs a handler for a signal: delivered signals are then queued and
     /// visible through [`RuntimeEnv::pending_signals`] rather than applying
     /// their default disposition.
     fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno>;
+
+    /// Full `sigaction`: install a handler (optionally with `SA_RESTART`),
+    /// ignore the signal, or restore the default disposition.  The default
+    /// implementation degrades to [`RuntimeEnv::register_signal_handler`]
+    /// for handlers and ignores the rest.
+    fn sigaction(&mut self, signal: Signal, action: SigAction) -> Result<(), Errno> {
+        match action {
+            SigAction::Handler { .. } => self.register_signal_handler(signal),
+            SigAction::Default | SigAction::Ignore => Ok(()),
+        }
+    }
+
+    /// `sigprocmask`: applies `how` ([`browsix_core::SIG_BLOCK`] and
+    /// friends) with `mask`, returning the previous mask.  Kernel-less
+    /// environments have no asynchronous signals, so the default is a no-op.
+    fn sigprocmask(&mut self, _how: u32, _mask: SigSet) -> Result<SigSet, Errno> {
+        Ok(SigSet::empty())
+    }
+
+    /// Moves `pid` (0 = self) into process group `pgid` (0 = its own new
+    /// group).  A no-op outside the kernel.
+    fn setpgid(&mut self, _pid: u32, _pgid: u32) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    /// The process group of `pid` (0 = self).
+    fn getpgid(&mut self, pid: u32) -> Result<u32, Errno>;
+
+    /// Makes `pgid` the foreground group of the controlling terminal.
+    fn tcsetpgrp(&mut self, _pgid: u32) -> Result<(), Errno> {
+        Ok(())
+    }
 
     /// Drains signals delivered since the last call.
     fn pending_signals(&mut self) -> Vec<Signal>;

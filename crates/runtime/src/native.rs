@@ -571,6 +571,16 @@ impl RuntimeEnv for NativeEnv {
         Err(Errno::ESRCH)
     }
 
+    fn getpgid(&mut self, pid: u32) -> Result<u32, Errno> {
+        // Every native process leads its own group (children run
+        // synchronously, so groups never matter here).
+        if pid == 0 || pid == self.pid {
+            Ok(self.pid)
+        } else {
+            Err(Errno::ESRCH)
+        }
+    }
+
     fn register_signal_handler(&mut self, signal: Signal) -> Result<(), Errno> {
         self.handled_signals.push(signal);
         Ok(())

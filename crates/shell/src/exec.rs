@@ -1,22 +1,54 @@
 //! Executing parsed scripts: expansion, builtins, pipelines, redirection and
-//! background jobs.
+//! job control (background jobs, `jobs`/`fg`/`bg`, foreground process
+//! groups).
 
 use std::collections::HashMap;
 
+use browsix_core::{Signal, WNOHANG, WUNTRACED};
 use browsix_fs::OpenFlags;
-use browsix_runtime::{RuntimeEnv, SpawnStdio};
+use browsix_runtime::{RuntimeEnv, SpawnStdio, WaitedChild};
 
 use crate::ast::{Command, ListOp, Pipeline, Redirect};
 use crate::parser::parse_script;
 
+/// How far along a job is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// At least one member is running.
+    Running,
+    /// Suspended by a job-control stop signal.
+    Stopped,
+    /// Every member has exited; the status is the last member's.
+    Done(i32),
+}
+
+/// One pipeline under job control: every member shares a process group, so
+/// `Ctrl-C`, `fg`, `bg` and `kill -PGID` address the whole pipeline at once.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Job number, as printed by `jobs` (`[1]`, `[2]`, ...).
+    pub id: usize,
+    /// The process group every member was moved into (the first member's
+    /// pid, following the usual shell convention).
+    pub pgid: u32,
+    /// Members that have not been reaped yet.
+    pub pids: Vec<u32>,
+    /// The command line, for `jobs` output.
+    pub cmdline: String,
+    /// Current state.
+    pub state: JobState,
+}
+
 /// The shell interpreter state: variables, the last exit status, positional
-/// parameters and background job pids.
+/// parameters and the job table.
 #[derive(Debug, Default)]
 pub struct Shell {
     vars: HashMap<String, String>,
     positional: Vec<String>,
     last_status: i32,
-    background: Vec<u32>,
+    jobs: Vec<Job>,
+    next_job_id: usize,
+    last_background_pid: Option<u32>,
     exited: Option<i32>,
 }
 
@@ -41,9 +73,18 @@ impl Shell {
         self.vars.get(name).map(|s| s.as_str())
     }
 
-    /// Pids of background jobs started with `&`.
-    pub fn background_jobs(&self) -> &[u32] {
-        &self.background
+    /// The job table (background and stopped pipelines).
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Pids of jobs started with `&` that have not been reaped yet.
+    pub fn background_jobs(&self) -> Vec<u32> {
+        self.jobs
+            .iter()
+            .filter(|job| !matches!(job.state, JobState::Done(_)))
+            .flat_map(|job| job.pids.iter().copied())
+            .collect()
     }
 
     /// Parses and runs `source`, returning the exit status of the last
@@ -95,6 +136,12 @@ impl Shell {
                 Some('#') => {
                     chars.next();
                     out.push_str(&self.positional.len().to_string());
+                }
+                Some('!') => {
+                    chars.next();
+                    if let Some(pid) = self.last_background_pid {
+                        out.push_str(&pid.to_string());
+                    }
                 }
                 Some('{') => {
                     chars.next();
@@ -195,11 +242,16 @@ impl Shell {
         let mut pids = Vec::new();
         let mut status = 0;
         let mut opened: Vec<i32> = Vec::new();
+        // The expanded command lines, captured as spawned so the job table
+        // records exactly what ran (re-expanding later could glob
+        // differently once the pipeline has touched the filesystem).
+        let mut described: Vec<String> = Vec::new();
         for (index, command) in commands.iter().enumerate() {
             let words = self.expand_words(env, &command.words);
             if words.is_empty() {
                 continue;
             }
+            described.push(words.join(" "));
             let mut stdio = SpawnStdio::inherit();
             if index > 0 {
                 stdio.stdin = Some(pipes[index - 1].0);
@@ -265,17 +317,89 @@ impl Shell {
         to_close.extend(opened);
         let _ = env.close_many(&to_close);
 
-        if pipeline.background {
-            self.background.extend(pids);
-            return 0;
-        }
-        for pid in pids {
-            match env.wait(pid as i32) {
-                Ok(child) => status = child.exit_code.unwrap_or(128 + (child.status & 0x7f)),
-                Err(_) => status = 1,
+        // Job control: every member of the pipeline moves into a process
+        // group led by its first member, so terminal signals, `fg`, `bg` and
+        // `kill -PGID` address the pipeline as one unit.
+        let pgid = pids.first().copied();
+        if let Some(pgid) = pgid {
+            for &pid in &pids {
+                let _ = env.setpgid(pid, pgid);
             }
         }
+
+        let cmdline = described.join(" | ");
+        if pipeline.background {
+            self.last_background_pid = pids.last().copied();
+            if let Some(pgid) = pgid {
+                self.add_job(pgid, pids, cmdline);
+            }
+            return 0;
+        }
+        match pgid {
+            Some(pgid) => self.foreground_wait(env, pgid, pids, &cmdline),
+            None => status,
+        }
+    }
+
+    /// Records a running background job, returning its job number.
+    fn add_job(&mut self, pgid: u32, pids: Vec<u32>, cmdline: String) -> usize {
+        self.next_job_id += 1;
+        let id = self.next_job_id;
+        self.jobs.push(Job {
+            id,
+            pgid,
+            pids,
+            cmdline,
+            state: JobState::Running,
+        });
+        id
+    }
+
+    /// Runs a process group in the foreground: hands it the terminal, waits
+    /// for every member (reporting stops, not just exits), then takes the
+    /// terminal back.  A stopped pipeline becomes a `Stopped` entry in the
+    /// job table, exactly like `Ctrl-Z` under a real shell.
+    fn foreground_wait(&mut self, env: &mut dyn RuntimeEnv, pgid: u32, pids: Vec<u32>, cmdline: &str) -> i32 {
+        let shell_pgid = env.getpgid(0).unwrap_or(0);
+        let _ = env.tcsetpgrp(pgid);
+        let mut status = 0;
+        let mut remaining = pids.clone();
+        let mut stopped = false;
+        while let Some(&pid) = remaining.first() {
+            match env.wait_options(pid as i32, WUNTRACED) {
+                Ok(Some(child)) if child.stop_signal().is_some() => {
+                    stopped = true;
+                    status = 128 + child.stop_signal().map(|s| s.number()).unwrap_or(0);
+                    break;
+                }
+                Ok(Some(child)) => {
+                    remaining.remove(0);
+                    status = Shell::child_status(&child);
+                }
+                Ok(None) => {
+                    remaining.remove(0);
+                }
+                Err(_) => {
+                    remaining.remove(0);
+                    status = 1;
+                }
+            }
+        }
+        let _ = env.tcsetpgrp(shell_pgid);
+        if stopped {
+            let id = self.add_job(pgid, remaining, cmdline.to_owned());
+            if let Some(job) = self.jobs.last_mut() {
+                job.state = JobState::Stopped;
+            }
+            env.eprint(&format!("[{id}]+  Stopped  {cmdline}\n"));
+        }
         status
+    }
+
+    /// The shell's exit status for one reaped child: its exit code, or
+    /// `128 + signal` when it was killed.
+    fn child_status(child: &WaitedChild) -> i32 {
+        child.exit_code.unwrap_or(128 + (child.status & 0x7f))
     }
 
     fn spawn_command(&mut self, env: &mut dyn RuntimeEnv, words: &[String], stdio: SpawnStdio) -> Result<u32, i32> {
@@ -350,14 +474,103 @@ impl Shell {
             "false" => Some(1),
             "wait" => {
                 let mut status = 0;
-                for pid in std::mem::take(&mut self.background) {
-                    if let Ok(child) = env.wait(pid as i32) {
-                        status = child.exit_code.unwrap_or(1);
+                for job in std::mem::take(&mut self.jobs) {
+                    for pid in job.pids {
+                        if let Ok(child) = env.wait(pid as i32) {
+                            status = Shell::child_status(&child);
+                        }
                     }
                 }
                 Some(status)
             }
+            "jobs" => {
+                self.refresh_jobs(env);
+                let mut out = String::new();
+                for job in &self.jobs {
+                    let state = match job.state {
+                        JobState::Running => "Running",
+                        JobState::Stopped => "Stopped",
+                        JobState::Done(_) => "Done",
+                    };
+                    out.push_str(&format!("[{}]  {}  {}\n", job.id, state, job.cmdline));
+                }
+                env.print(&out);
+                // `jobs` reports Done entries once, then retires them.
+                self.jobs.retain(|job| !matches!(job.state, JobState::Done(_)));
+                Some(0)
+            }
+            "fg" => {
+                self.refresh_jobs(env);
+                let Some(index) = self.pick_job(words.get(1)) else {
+                    env.eprint("fg: no such job\n");
+                    return Some(1);
+                };
+                let job = self.jobs.remove(index);
+                let _ = env.kill_group(job.pgid, Signal::SIGCONT);
+                Some(self.foreground_wait(env, job.pgid, job.pids, &job.cmdline))
+            }
+            "bg" => {
+                self.refresh_jobs(env);
+                let Some(index) = self.pick_job(words.get(1)) else {
+                    env.eprint("bg: no such job\n");
+                    return Some(1);
+                };
+                let job = &mut self.jobs[index];
+                job.state = JobState::Running;
+                let pgid = job.pgid;
+                let line = format!("[{}]  {} &\n", job.id, job.cmdline);
+                let _ = env.kill_group(pgid, Signal::SIGCONT);
+                env.print(&line);
+                Some(0)
+            }
             _ => None,
+        }
+    }
+
+    /// Polls every job's members without blocking and updates job states:
+    /// stopped members mark the job `Stopped`, reaped members leave it, and
+    /// a job whose last member exits becomes `Done`.
+    fn refresh_jobs(&mut self, env: &mut dyn RuntimeEnv) {
+        for job in &mut self.jobs {
+            if matches!(job.state, JobState::Done(_)) {
+                continue;
+            }
+            let mut stopped = false;
+            let mut last_status = 0;
+            job.pids
+                .retain(|&pid| match env.wait_options(pid as i32, WNOHANG | WUNTRACED) {
+                    Ok(Some(child)) if child.stop_signal().is_some() => {
+                        stopped = true;
+                        true
+                    }
+                    Ok(Some(child)) => {
+                        last_status = Shell::child_status(&child);
+                        false
+                    }
+                    Ok(None) => true,
+                    // ECHILD and the like: the member is gone.
+                    Err(_) => false,
+                });
+            if job.pids.is_empty() {
+                job.state = JobState::Done(last_status);
+            } else if stopped {
+                job.state = JobState::Stopped;
+            }
+        }
+    }
+
+    /// Resolves a `%n` / `n` job spec (or, with no spec, the most recent
+    /// live job) to an index into the job table.
+    fn pick_job(&self, spec: Option<&String>) -> Option<usize> {
+        match spec {
+            Some(spec) => {
+                let id: usize = spec.trim_start_matches('%').parse().ok()?;
+                self.jobs.iter().position(|job| job.id == id)
+            }
+            None => self
+                .jobs
+                .iter()
+                .rposition(|job| !matches!(job.state, JobState::Done(_))),
         }
     }
 }

@@ -21,16 +21,19 @@ pub fn all_utilities() -> Vec<(&'static str, GuestFactory)> {
         ("false", guest("false", |_| 1)),
         ("grep", guest("grep", run_grep)),
         ("head", guest("head", run_head)),
+        ("kill", guest("kill", run_kill)),
         ("ls", guest("ls", run_ls)),
         ("mkdir", guest("mkdir", run_mkdir)),
         ("pwd", guest("pwd", run_pwd)),
         ("rm", guest("rm", run_rm)),
         ("rmdir", guest("rmdir", run_rmdir)),
         ("sha1sum", guest("sha1sum", run_sha1sum)),
+        ("sleep", guest("sleep", run_sleep)),
         ("sort", guest("sort", run_sort)),
         ("stat", guest("stat", run_stat)),
         ("tail", guest("tail", run_tail)),
         ("tee", guest("tee", run_tee)),
+        ("timeout", guest("timeout", run_timeout)),
         ("touch", guest("touch", run_touch)),
         ("true", guest("true", |_| 0)),
         ("wc", guest("wc", run_wc)),
@@ -41,6 +44,24 @@ pub fn all_utilities() -> Vec<(&'static str, GuestFactory)> {
 
 fn run_cat(env: &mut dyn RuntimeEnv) -> i32 {
     let (_, operands) = split_args(&env.args());
+    if operands.is_empty() {
+        // Streaming stdin → stdout chunk by chunk, like coreutils cat: an
+        // infinite upstream (`yes | cat`) flows through instead of being
+        // slurped to an EOF that never comes.
+        loop {
+            match env.read(0, 64 * 1024) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => {
+                    charge_for_bytes(env, chunk.len());
+                    if env.write(1, &chunk).is_err() || env.flush_stdout().is_err() {
+                        return 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        return 0;
+    }
     let (data, code) = read_inputs(env, "cat", &operands);
     charge_for_bytes(env, data.len());
     let _ = env.write(1, &data);
@@ -640,6 +661,183 @@ fn run_xargs(env: &mut dyn RuntimeEnv) -> i32 {
             127
         }
     }
+}
+
+/// Parses a `sleep`/`timeout` duration: plain seconds (fractions allowed)
+/// with an optional `s`/`m`/`h` suffix.
+fn parse_duration_ms(text: &str) -> Option<u64> {
+    let (number, multiplier) = match text.strip_suffix(['s', 'm', 'h']) {
+        Some(prefix) => {
+            let unit = text.chars().last().unwrap();
+            let factor = match unit {
+                's' => 1_000.0,
+                'm' => 60_000.0,
+                _ => 3_600_000.0,
+            };
+            (prefix, factor)
+        }
+        None => (text, 1_000.0),
+    };
+    let value: f64 = number.parse().ok()?;
+    if !(0.0..=u64::MAX as f64 / 3_600_000.0).contains(&value) {
+        return None;
+    }
+    Some((value * multiplier) as u64)
+}
+
+fn run_kill(env: &mut dyn RuntimeEnv) -> i32 {
+    // kill [-SIGNAL | -s SIGNAL] PID...  A negative PID addresses a whole
+    // process group, as with kill(1).
+    let args = env.args();
+    let mut signal = browsix_core::Signal::SIGTERM;
+    let mut targets: Vec<i64> = Vec::new();
+    let mut seen_separator = false;
+    let mut iter = args.iter().skip(1).peekable();
+    let mut code = 0;
+    while let Some(arg) = iter.next() {
+        if !seen_separator {
+            if arg == "--" {
+                seen_separator = true;
+                continue;
+            }
+            if arg == "-s" {
+                match iter.next().and_then(|name| browsix_core::Signal::from_name(name)) {
+                    Some(sig) => signal = sig,
+                    None => {
+                        env.eprint("kill: invalid signal for -s\n");
+                        return 1;
+                    }
+                }
+                continue;
+            }
+            // `-TERM` / `-15` are signal specs; `-5 10` means signal 5, so a
+            // leading dash is only a target once a separator (or a non-flag
+            // target) has been seen.
+            if let Some(spec) = arg.strip_prefix('-') {
+                if targets.is_empty() {
+                    let parsed = spec
+                        .parse::<i32>()
+                        .ok()
+                        .and_then(browsix_core::Signal::from_number)
+                        .or_else(|| browsix_core::Signal::from_name(spec));
+                    match parsed {
+                        Some(sig) => {
+                            signal = sig;
+                            continue;
+                        }
+                        None => {
+                            env.eprint(&format!("kill: {spec}: invalid signal\n"));
+                            return 1;
+                        }
+                    }
+                }
+            }
+        }
+        match arg.parse::<i64>() {
+            Ok(pid) => targets.push(pid),
+            Err(_) => {
+                env.eprint(&format!("kill: {arg}: arguments must be pids\n"));
+                code = 1;
+            }
+        }
+    }
+    if targets.is_empty() {
+        env.eprint("kill: usage: kill [-SIGNAL] pid...\n");
+        return 1;
+    }
+    for target in targets {
+        let result = if target < 0 {
+            env.kill_group((-target) as u32, signal)
+        } else {
+            env.kill(target as u32, signal)
+        };
+        if let Err(e) = result {
+            env.eprint(&format!("kill: {target}: {e}\n"));
+            code = 1;
+        }
+    }
+    code
+}
+
+fn run_sleep(env: &mut dyn RuntimeEnv) -> i32 {
+    let (_, operands) = split_args(&env.args());
+    let Some(ms) = operands.first().and_then(|text| parse_duration_ms(text)) else {
+        env.eprint("sleep: usage: sleep SECONDS\n");
+        return 1;
+    };
+    // Sleeping is a `poll` over no descriptors: the kernel parks this
+    // process on a pure timer, and a signal handler interrupts it with
+    // EINTR exactly like any other blocked system call.
+    match env.poll(&mut [], ms.min(i32::MAX as u64) as i32) {
+        Ok(_) => 0,
+        Err(browsix_core::Errno::EINTR) => 1,
+        Err(e) => {
+            env.eprint(&format!("sleep: {e}\n"));
+            1
+        }
+    }
+}
+
+fn run_timeout(env: &mut dyn RuntimeEnv) -> i32 {
+    // timeout [-s SIGNAL] DURATION COMMAND [ARG...]
+    let args = env.args();
+    let mut signal = browsix_core::Signal::SIGTERM;
+    let mut rest: Vec<String> = args.iter().skip(1).cloned().collect();
+    if rest.first().map(String::as_str) == Some("-s") {
+        rest.remove(0);
+        if rest.is_empty() {
+            env.eprint("timeout: -s needs a signal\n");
+            return 125;
+        }
+        match browsix_core::Signal::from_name(&rest.remove(0)) {
+            Some(sig) => signal = sig,
+            None => {
+                env.eprint("timeout: invalid signal\n");
+                return 125;
+            }
+        }
+    }
+    if rest.len() < 2 {
+        env.eprint("timeout: usage: timeout [-s SIGNAL] DURATION COMMAND [ARG...]\n");
+        return 125;
+    }
+    let Some(limit_ms) = parse_duration_ms(&rest.remove(0)) else {
+        env.eprint("timeout: invalid duration\n");
+        return 125;
+    };
+    let command = rest[0].clone();
+    let path = if command.contains('/') {
+        command.clone()
+    } else {
+        format!("/usr/bin/{command}")
+    };
+    let pid = match env.spawn(&path, &rest, SpawnStdio::inherit()) {
+        Ok(pid) => pid,
+        Err(e) => {
+            env.eprint(&format!("timeout: {command}: {e}\n"));
+            return 126;
+        }
+    };
+    // Poll the child in slices; there is no descriptor tied to a child's
+    // lifetime to park on, so the kernel's poll timeout is the clock.
+    let started = std::time::Instant::now();
+    loop {
+        match env.wait_nohang(pid as i32) {
+            Ok(Some(child)) => return child.exit_code.unwrap_or(128 + (child.status & 0x7f)),
+            Ok(None) => {}
+            Err(_) => return 125,
+        }
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        if elapsed_ms >= limit_ms {
+            break;
+        }
+        let slice = (limit_ms - elapsed_ms).clamp(1, 20) as i32;
+        let _ = env.poll(&mut [], slice);
+    }
+    // Out of time: signal the child and report 124, like coreutils timeout.
+    let _ = env.kill(pid, signal);
+    let _ = env.wait(pid as i32);
+    124
 }
 
 fn run_yes(env: &mut dyn RuntimeEnv) -> i32 {

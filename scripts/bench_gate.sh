@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: compares a fresh bench_smoke.sh run against the
+# committed BENCH_smoke.json baseline, prints a per-id delta table, and fails
+# when any benchmark id's mean regressed more than the threshold (30%).
+#
+# Usage: scripts/bench_gate.sh FRESH.json [BASELINE.json]
+#        (BASELINE.json defaults to the committed BENCH_smoke.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="${1:?usage: bench_gate.sh FRESH.json [BASELINE.json]}"
+baseline="${2:-BENCH_smoke.json}"
+
+python3 - "$fresh" "$baseline" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 0.30  # fail on >30% mean regression for any id
+
+
+def load(path):
+    means = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            means[row["id"]] = row["mean_ns"]
+    return means
+
+
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+fresh, base = load(fresh_path), load(base_path)
+
+failures = []
+rows = []
+for bench_id in sorted(base):
+    baseline_ns = base[bench_id]
+    fresh_ns = fresh.get(bench_id)
+    if fresh_ns is None:
+        failures.append(f"{bench_id}: present in the baseline but missing from the fresh run")
+        continue
+    delta = (fresh_ns - baseline_ns) / baseline_ns if baseline_ns else 0.0
+    rows.append((bench_id, baseline_ns, fresh_ns, delta))
+    if delta > THRESHOLD:
+        failures.append(
+            f"{bench_id}: {baseline_ns:.0f} ns -> {fresh_ns:.0f} ns "
+            f"(+{delta * 100:.1f}% > {THRESHOLD * 100:.0f}%)"
+        )
+
+width = max((len(r[0]) for r in rows), default=10)
+print(f"{'id'.ljust(width)}  {'baseline ns':>14}  {'fresh ns':>14}  {'delta':>8}")
+for bench_id, baseline_ns, fresh_ns, delta in rows:
+    print(f"{bench_id.ljust(width)}  {baseline_ns:>14.0f}  {fresh_ns:>14.0f}  {delta * 100:>+7.1f}%")
+for bench_id in sorted(set(fresh) - set(base)):
+    print(f"{bench_id.ljust(width)}  {'(new id)':>14}  {fresh[bench_id]:>14.0f}")
+
+if failures:
+    print(f"\nBENCH GATE FAILED vs {base_path}:")
+    for failure in failures:
+        print("  " + failure)
+    sys.exit(1)
+print(f"\nbench gate OK: no id regressed more than {THRESHOLD * 100:.0f}% vs {base_path}")
+EOF

@@ -4,15 +4,18 @@ use proptest::prelude::*;
 
 use browsix_browser::Message;
 use browsix_core::{
-    ByteSource, Completion, CompletionBatch, PollRequest, Signal, SysResult, Syscall, SyscallBatch, POLLIN, POLLOUT,
+    ByteSource, Completion, CompletionBatch, PollRequest, SigAction, SigSet, Signal, SignalState, SysResult, Syscall,
+    SyscallBatch, POLLIN, POLLOUT, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK,
 };
 use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
 use browsix_http::Json;
 
-/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 40
+/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 44
 /// opcodes, with `stat` and `lstat` counted separately, `write` generated
-/// with both byte sources and `poll` with and without descriptors).
-const SYSCALL_SHAPES: usize = 43;
+/// with both byte sources, `poll` with and without descriptors, `kill`
+/// aimed at a process and at a group, and `sigaction` over all four action
+/// bytes).
+const SYSCALL_SHAPES: usize = 51;
 /// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
 const RESULT_SHAPES: usize = 12;
 
@@ -50,12 +53,16 @@ fn make_call(shape: usize, f: &Fuzz) -> Syscall {
         },
         4 => Syscall::Exit { code: f.num as i32 },
         5 => Syscall::Kill {
-            pid: f.small,
+            pid: (f.small % (i32::MAX as u32)) as i32,
             signal: Signal::SIGTERM,
         },
         6 => Syscall::SignalAction {
             signal: Signal::SIGCHLD,
-            install: f.flag,
+            action: if f.flag {
+                SigAction::Handler { restart: false }
+            } else {
+                SigAction::Default
+            },
         },
         7 => Syscall::GetPid,
         8 => Syscall::GetPPid,
@@ -160,7 +167,36 @@ fn make_call(shape: usize, f: &Fuzz) -> Syscall {
             fds: Vec::new(),
             timeout_ms: -1,
         },
-        _ => Syscall::SetFlags { fd, flags: f.small & 1 },
+        42 => Syscall::SetFlags { fd, flags: f.small & 1 },
+        // Signal & job-control additions: group-addressed kill, every
+        // sigaction byte, sigprocmask with fuzzed how/mask, and the
+        // process-group calls.
+        43 => Syscall::Kill {
+            pid: -((f.small % (i32::MAX as u32)) as i32),
+            signal: if f.flag { Signal::SIGINT } else { Signal::SIGTSTP },
+        },
+        44 => Syscall::SignalAction {
+            signal: Signal::SIGUSR1,
+            action: SigAction::Handler { restart: true },
+        },
+        45 => Syscall::SignalAction {
+            signal: Signal::SIGTTIN,
+            action: SigAction::Ignore,
+        },
+        46 => Syscall::Sigprocmask {
+            how: f.small % 3,
+            mask: (f.num as u64) ^ (f.small as u64),
+        },
+        47 => Syscall::Sigprocmask {
+            how: browsix_core::SIG_SETMASK,
+            mask: 0,
+        },
+        48 => Syscall::Setpgid {
+            pid: f.small,
+            pgid: f.small.wrapping_add(1),
+        },
+        49 => Syscall::Getpgid { pid: f.small },
+        _ => Syscall::Tcsetpgrp { pgid: f.small },
     }
 }
 
@@ -688,5 +724,173 @@ proptest! {
             check_handle_op(&mut model, &handle, op);
         }
         assert_eq!(root.read_file("/ov/data/file.bin").unwrap(), model);
+    }
+}
+
+// ---- sigprocmask / pending-set semantics vs a model --------------------------
+
+/// The model of POSIX standard-signal semantics: `blocked` and `pending` are
+/// plain `HashSet`s, delivery is a growing log.  Standard signals coalesce
+/// while pending and are delivered exactly once when unblocked.
+#[derive(Debug, Default)]
+struct SignalModel {
+    blocked: std::collections::HashSet<Signal>,
+    pending: std::collections::HashSet<Signal>,
+    delivered: Vec<Signal>,
+}
+
+impl SignalModel {
+    fn change_mask(&mut self, how: u32, mask: &[Signal]) {
+        match how {
+            SIG_BLOCK => self.blocked.extend(mask.iter().copied()),
+            SIG_UNBLOCK => {
+                for signal in mask {
+                    self.blocked.remove(signal);
+                }
+            }
+            _ => self.blocked = mask.iter().copied().collect(),
+        }
+        // SIGKILL/SIGSTOP can never be blocked.
+        self.blocked.remove(&Signal::SIGKILL);
+        self.blocked.remove(&Signal::SIGSTOP);
+        // Anything pending and now unblocked is delivered exactly once.
+        let deliverable: Vec<Signal> = browsix_core::signals::ALL_SIGNALS
+            .iter()
+            .copied()
+            .filter(|s| self.pending.contains(s) && !self.blocked.contains(s))
+            .collect();
+        for signal in deliverable {
+            self.pending.remove(&signal);
+            self.delivered.push(signal);
+        }
+    }
+
+    fn kill(&mut self, signal: Signal) {
+        if signal.catchable() && self.blocked.contains(&signal) {
+            // Coalesces: a `HashSet` insert of an already-pending signal.
+            self.pending.insert(signal);
+        } else {
+            self.delivered.push(signal);
+        }
+    }
+}
+
+/// The signals a fuzzed index picks from (catchable handler-friendly ones
+/// plus the unblockable pair, to exercise that corner).
+const MODEL_SIGNALS: &[Signal] = &[
+    Signal::SIGHUP,
+    Signal::SIGINT,
+    Signal::SIGUSR1,
+    Signal::SIGUSR2,
+    Signal::SIGTERM,
+    Signal::SIGKILL,
+    Signal::SIGCHLD,
+];
+
+fn mask_from(indices: &[u8]) -> (SigSet, Vec<Signal>) {
+    let mut set = SigSet::empty();
+    let mut list = Vec::new();
+    for &index in indices {
+        let signal = MODEL_SIGNALS[index as usize % MODEL_SIGNALS.len()];
+        if !list.contains(&signal) {
+            list.push(signal);
+        }
+        set.insert(signal);
+    }
+    (set, list)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `SignalState` (the kernel's per-task sigprocmask/pending machinery)
+    /// agrees with the `HashSet` model on arbitrary interleavings of
+    /// mask changes and kills: the same blocked set, the same pending set,
+    /// and — crucially — the same delivery log.  "Block → kill (repeatedly)
+    /// → unblock" delivers exactly once, in every interleaving.
+    #[test]
+    fn signal_state_matches_model(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u32..4, proptest::collection::vec(any::<u8>(), 0..5), 0u8..8),
+            0..48,
+        ),
+    ) {
+        let mut state = SignalState::new();
+        let mut model = SignalModel::default();
+        let mut delivered: Vec<Signal> = Vec::new();
+
+        for (op, how, mask_indices, signal_index) in &ops {
+            match op {
+                0 => {
+                    let (mask, mask_list) = mask_from(mask_indices);
+                    let how = how % 3;
+                    let (_, deliverable) = state.change_mask(how, mask).unwrap();
+                    delivered.extend(deliverable);
+                    model.change_mask(how, &mask_list);
+                }
+                _ => {
+                    let signal = MODEL_SIGNALS[*signal_index as usize % MODEL_SIGNALS.len()];
+                    if state.admit(signal) {
+                        delivered.push(signal);
+                    }
+                    model.kill(signal);
+                }
+            }
+            // Invariant: blocked and pending sets agree with the model.
+            for &signal in browsix_core::signals::ALL_SIGNALS {
+                prop_assert_eq!(state.blocked().contains(signal), model.blocked.contains(&signal));
+                prop_assert_eq!(state.pending().contains(signal), model.pending.contains(&signal));
+            }
+        }
+        // The delivery logs agree exactly (same signals, same order).
+        prop_assert_eq!(delivered, model.delivered);
+    }
+
+    /// A blocked signal killed N ≥ 1 times is delivered exactly once on
+    /// unblock — the headline exactly-once property, stated directly.
+    #[test]
+    fn block_kill_unblock_delivers_exactly_once(
+        kills in 1usize..6,
+        signal_index in 0u8..5,
+    ) {
+        let signal = MODEL_SIGNALS[signal_index as usize % 5];
+        let mut mask = SigSet::empty();
+        mask.insert(signal);
+
+        let mut state = SignalState::new();
+        let (_, deliverable) = state.change_mask(SIG_BLOCK, mask).unwrap();
+        prop_assert!(deliverable.is_empty());
+        for _ in 0..kills {
+            prop_assert!(!state.admit(signal), "blocked signal must park, not deliver");
+        }
+        let (_, deliverable) = state.change_mask(SIG_UNBLOCK, mask).unwrap();
+        prop_assert_eq!(deliverable, vec![signal]);
+        // And never again.
+        let (_, again) = state.change_mask(SIG_SETMASK, SigSet::empty()).unwrap();
+        prop_assert!(again.is_empty());
+        prop_assert!(state.pending().is_empty());
+    }
+
+    /// Wait-status helpers partition correctly: an encoded exit, kill and
+    /// stop are each recognised by exactly one decoder.
+    #[test]
+    fn wait_status_partition(code in 0i32..256, signal_index in 0u8..8) {
+        use browsix_core::{encode_stop_status, encode_wait_status, wait_status_exit_code, wait_status_signal, wait_status_stop_signal};
+        let signal = MODEL_SIGNALS[signal_index as usize % MODEL_SIGNALS.len()];
+
+        let exited = encode_wait_status(Some(code), None);
+        prop_assert_eq!(wait_status_exit_code(exited), Some(code));
+        prop_assert_eq!(wait_status_signal(exited), None);
+        prop_assert_eq!(wait_status_stop_signal(exited), None);
+
+        let killed = encode_wait_status(None, Some(signal));
+        prop_assert_eq!(wait_status_exit_code(killed), None);
+        prop_assert_eq!(wait_status_signal(killed), Some(signal));
+        prop_assert_eq!(wait_status_stop_signal(killed), None);
+
+        let stopped = encode_stop_status(signal);
+        prop_assert_eq!(wait_status_exit_code(stopped), None);
+        prop_assert_eq!(wait_status_signal(stopped), None);
+        prop_assert_eq!(wait_status_stop_signal(stopped), Some(signal));
     }
 }
