@@ -85,6 +85,20 @@ fn main() {
         ],
     );
 
+    // Virtual-memory activity during the run: pages shared by reference
+    // instead of copied (fork, file-backed mmap), COW faults serviced and
+    // the pages they physically copied, and named shm objects created.
+    print_table(
+        "Verification run — virtual memory",
+        &["Counter", "Value"],
+        &[
+            vec!["COW faults".to_owned(), stats.cow_faults.to_string()],
+            vec!["pages shared".to_owned(), stats.pages_shared.to_string()],
+            vec!["pages copied".to_owned(), stats.pages_copied.to_string()],
+            vec!["shm objects".to_owned(), stats.shm_objects.to_string()],
+        ],
+    );
+
     // Signal traffic during the run: signals accepted for live targets,
     // signals that actually acted (handler or default disposition), and
     // blocked system calls a handler interrupted with EINTR.

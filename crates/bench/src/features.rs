@@ -209,6 +209,46 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
                     assert_eq!(env.poll(&mut pfds, 1).unwrap(), 0);
                     env.write(nb_w, b"!").unwrap();
                     assert_eq!(env.poll(&mut pfds, -1).unwrap(), 1);
+                    // Virtual memory: an anonymous private mapping accessed
+                    // through the VM load/store syscalls, a private file
+                    // mapping whose pages reference the page cache, and a
+                    // POSIX shared-memory object mapped MAP_SHARED — stores
+                    // to it land in shared memory with no data-path syscall.
+                    use browsix_runtime::{MAP_ANONYMOUS, MAP_PRIVATE, MAP_SHARED, PAGE_SIZE, PROT_READ, PROT_WRITE};
+                    let anon = env
+                        .mmap(
+                            0,
+                            PAGE_SIZE as u64,
+                            PROT_READ | PROT_WRITE,
+                            MAP_PRIVATE | MAP_ANONYMOUS,
+                            -1,
+                            0,
+                        )
+                        .unwrap();
+                    env.vm_write(anon.addr, b"vm").unwrap();
+                    assert_eq!(env.vm_read(anon.addr, 2).unwrap(), b"vm");
+                    env.munmap(anon.addr, anon.len).unwrap();
+                    let file_fd = env.open("/probe.txt", browsix_fs::OpenFlags::read_only()).unwrap();
+                    let mapped = env
+                        .mmap(0, PAGE_SIZE as u64, PROT_READ, MAP_PRIVATE, file_fd, 0)
+                        .unwrap();
+                    assert_eq!(env.vm_read(mapped.addr, 5).unwrap(), b"probe");
+                    env.munmap(mapped.addr, mapped.len).unwrap();
+                    env.close(file_fd).unwrap();
+                    let shm_flags = browsix_fs::OpenFlags {
+                        create: true,
+                        ..browsix_fs::OpenFlags::read_write()
+                    };
+                    let shm = env.shm_open("/probe-shm", shm_flags, 0o600).unwrap();
+                    env.ftruncate(shm, PAGE_SIZE as u64).unwrap();
+                    let shared = env
+                        .mmap(0, PAGE_SIZE as u64, PROT_READ | PROT_WRITE, MAP_SHARED, shm, 0)
+                        .unwrap();
+                    shared.shared_write(0, b"shared").unwrap();
+                    assert_eq!(shared.shared_read(0, 6).unwrap(), b"shared");
+                    env.munmap(shared.addr, shared.len).unwrap();
+                    env.close(shm).unwrap();
+                    env.shm_unlink("/probe-shm").unwrap();
                     0
                 }),
             )

@@ -113,6 +113,42 @@ pub fn representative_syscalls() -> Vec<Syscall> {
             atime_ms: 0,
             mtime_ms: 0,
         },
+        Syscall::Ftruncate { fd: 3, size: 4096 },
+        Syscall::Mmap {
+            addr: 0,
+            len: 4096,
+            prot: 3,
+            flags: 0x22,
+            fd: -1,
+            offset: 0,
+        },
+        Syscall::Munmap {
+            addr: 0x1000_0000,
+            len: 4096,
+        },
+        Syscall::Msync {
+            addr: 0x1000_0000,
+            len: 0,
+        },
+        Syscall::Mprotect {
+            addr: 0x1000_0000,
+            len: 4096,
+            prot: 1,
+        },
+        Syscall::ShmOpen {
+            name: "/ring".into(),
+            flags: OpenFlags::read_write().to_bits(),
+            mode: 0o600,
+        },
+        Syscall::ShmUnlink { name: "/ring".into() },
+        Syscall::VmRead {
+            addr: 0x1000_0000,
+            len: 16,
+        },
+        Syscall::VmWrite {
+            addr: 0x1000_0000,
+            data: ByteSource::Inline(vec![]),
+        },
     ]
 }
 
@@ -137,7 +173,7 @@ mod tests {
     fn figure3_calls_are_all_present() {
         let inventory = syscall_inventory();
         let classes: Vec<&String> = inventory.keys().collect();
-        assert_eq!(classes.len(), 6);
+        assert_eq!(classes.len(), 7);
         let all: Vec<String> = inventory.values().flatten().cloned().collect();
         for expected in [
             "fork",
@@ -169,6 +205,15 @@ mod tests {
             "stat",
             "readlink",
             "utimes",
+            "ftruncate",
+            "mmap",
+            "munmap",
+            "msync",
+            "mprotect",
+            "shm_open",
+            "shm_unlink",
+            "vm_read",
+            "vm_write",
         ] {
             assert!(all.contains(&expected.to_string()), "missing {expected}");
         }

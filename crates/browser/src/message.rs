@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::sab::SharedArrayBuffer;
+
 /// A structured-clone-able value, the only kind of data that may cross a
 /// worker boundary.
 ///
@@ -36,6 +38,11 @@ pub enum Message {
     Array(Vec<Message>),
     /// A string-keyed map (the analogue of a plain JavaScript object).
     Map(BTreeMap<String, Message>),
+    /// A `SharedArrayBuffer` handle.  Unlike every other variant it is NOT
+    /// deep-copied by the structured-clone algorithm: the receiving context
+    /// gets another handle to the same memory, which is how the kernel hands
+    /// a `MAP_SHARED` mapping to a process.
+    Shared(SharedArrayBuffer),
 }
 
 impl Message {
@@ -60,6 +67,9 @@ impl Message {
             Message::Bytes(b) => 8 + b.len(),
             Message::Array(items) => 8 + items.iter().map(Message::byte_size).sum::<usize>(),
             Message::Map(map) => 8 + map.iter().map(|(k, v)| 8 + k.len() + v.byte_size()).sum::<usize>(),
+            // Only the handle crosses the boundary; the memory is shared,
+            // never serialized.
+            Message::Shared(_) => 8,
         }
     }
 
@@ -145,6 +155,19 @@ impl Message {
     pub fn get_bytes(&self, key: &str) -> Option<&[u8]> {
         self.get(key).and_then(Message::as_bytes)
     }
+
+    /// The shared-buffer payload, if this value is a `SharedArrayBuffer`.
+    pub fn as_shared(&self) -> Option<&SharedArrayBuffer> {
+        match self {
+            Message::Shared(sab) => Some(sab),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: `self.get(key)` as a shared buffer.
+    pub fn get_shared(&self, key: &str) -> Option<&SharedArrayBuffer> {
+        self.get(key).and_then(Message::as_shared)
+    }
 }
 
 impl From<&str> for Message {
@@ -213,6 +236,12 @@ impl From<Vec<String>> for Message {
     }
 }
 
+impl From<SharedArrayBuffer> for Message {
+    fn from(value: SharedArrayBuffer) -> Self {
+        Message::Shared(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +304,22 @@ mod tests {
         let arr = Message::from(vec![Message::Int(1), Message::Int(2)]);
         assert_eq!(arr.as_array().unwrap().len(), 2);
         assert_eq!(Message::Null.as_array(), None);
+    }
+
+    #[test]
+    fn shared_buffers_cross_by_handle() {
+        let sab = SharedArrayBuffer::new(64);
+        let msg = Message::map().with("sab", sab.clone());
+        // The "clone" the receiving context gets aliases the same memory.
+        let received = msg.structured_clone();
+        let handle = received.get_shared("sab").unwrap();
+        assert!(handle.same_buffer(&sab));
+        sab.store_i32(0, 42).unwrap();
+        assert_eq!(handle.load_i32(0).unwrap(), 42);
+        // Equality is handle identity, and the clone cost is O(1).
+        assert_eq!(msg.get("sab"), received.get("sab"));
+        assert!(Message::Shared(sab).byte_size() < 16);
+        assert_eq!(Message::Null.as_shared(), None);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub struct SharedArrayBuffer {
     inner: Arc<SabInner>,
 }
 
+/// Handle identity, not content: two handles are equal when they name the
+/// same underlying memory, exactly as `===` compares `SharedArrayBuffer`
+/// objects received over `postMessage`.
+impl PartialEq for SharedArrayBuffer {
+    fn eq(&self, other: &SharedArrayBuffer) -> bool {
+        self.same_buffer(other)
+    }
+}
+
 impl SharedArrayBuffer {
     /// Allocates a zero-filled shared buffer of `len` bytes.
     pub fn new(len: usize) -> Self {
@@ -76,6 +85,15 @@ impl SharedArrayBuffer {
     /// Whether two handles refer to the same underlying memory.
     pub fn same_buffer(&self, other: &SharedArrayBuffer) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// `Atomics.load`-style load of a little-endian `u32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the load is out of range.
+    pub fn load_u32(&self, offset: usize) -> Result<u32, PlatformError> {
+        self.load_i32(offset).map(|v| v as u32)
     }
 
     fn check_bounds(&self, offset: usize, len: usize, capacity: usize) -> Result<(), PlatformError> {

@@ -78,6 +78,11 @@ impl KernelState {
             files.get(1).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
             files.get(2).unwrap_or_else(|_| OpenFile::new(FileKind::Null)),
         ];
+        // Clone the parent's address space copy-on-write: O(regions) work,
+        // every materialised page shared by reference.  The first post-fork
+        // write to a shared page (parent or child) COW-faults in
+        // `sys_vm_write`.
+        let (address_space, vm_delta) = parent.address_space.fork_clone();
         let fork_image = ForkImage { image, resume_point };
         match self.spawn_process(pid, &exe_path, args, env, &cwd, stdio, Some(fork_image), Some(launcher)) {
             Ok(child) => {
@@ -92,7 +97,9 @@ impl KernelState {
                     for (fd, file) in extra {
                         child_task.files.insert_at(fd, file);
                     }
+                    child_task.address_space = address_space;
                 }
+                self.stats.record_vm(vm_delta);
                 self.recompute_endpoints();
                 Outcome::Complete(SysResult::Int(child as i64))
             }

@@ -10,6 +10,7 @@
 mod dispatch_fs;
 mod dispatch_proc;
 mod dispatch_sock;
+mod dispatch_vm;
 mod poll;
 pub mod waitq;
 
@@ -91,6 +92,9 @@ pub(crate) struct KernelState {
     /// the terminal by any *other* group raise `SIGTTIN`.
     foreground_pgid: Option<Pid>,
 
+    /// Named POSIX shared-memory objects (`shm_open` registry).
+    shm: HashMap<String, Arc<crate::vm::ShmObject>>,
+
     host_sinks: HashMap<u64, OutputSink>,
     next_sink: u64,
     exit_watchers: HashMap<Pid, Vec<Sender<i32>>>,
@@ -119,6 +123,7 @@ impl KernelState {
             poll_deadlines: Vec::new(),
             http_clients: Vec::new(),
             foreground_pgid: None,
+            shm: HashMap::new(),
             host_sinks: HashMap::new(),
             next_sink: 1,
             exit_watchers: HashMap::new(),
@@ -311,6 +316,23 @@ impl KernelState {
             Syscall::Listen { fd, backlog } => self.sys_listen(pid, fd, backlog),
             Syscall::Accept { fd } => self.sys_accept(pid, reply, fd),
             Syscall::Connect { fd, port } => self.sys_connect(pid, fd, port),
+            // virtual memory
+            Syscall::Ftruncate { fd, size } => self.sys_ftruncate(pid, fd, size),
+            Syscall::Mmap {
+                addr,
+                len,
+                prot,
+                flags,
+                fd,
+                offset,
+            } => self.sys_mmap(pid, addr, len, prot, flags, fd, offset),
+            Syscall::Munmap { addr, len } => self.sys_munmap(pid, addr, len),
+            Syscall::Msync { addr, len } => self.sys_msync(pid, addr, len),
+            Syscall::Mprotect { addr, len, prot } => self.sys_mprotect(pid, addr, len, prot),
+            Syscall::ShmOpen { name, flags, mode } => self.sys_shm_open(pid, name, flags, mode),
+            Syscall::ShmUnlink { name } => self.sys_shm_unlink(pid, name),
+            Syscall::VmRead { addr, len } => self.sys_vm_read(pid, addr, len as usize),
+            Syscall::VmWrite { addr, data } => self.sys_vm_write(pid, addr, data),
         }
     }
 
@@ -607,6 +629,10 @@ impl KernelState {
             worker.terminate();
         }
         task.files.clear();
+        // Tear down the address space: COW pages shared with live siblings
+        // survive (their Arc count stays positive); sole-owner pages are
+        // freed, and the scavenger feature asserts both directions.
+        task.address_space.release();
         let ppid = task.ppid;
         let children: Vec<Pid> = task.children.clone();
         self.stats.processes_exited += 1;

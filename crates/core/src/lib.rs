@@ -51,6 +51,7 @@ pub mod stats;
 pub mod streams;
 pub mod syscall;
 pub mod task;
+pub mod vm;
 pub mod wire;
 
 pub use events::{HostRequest, KernelEvent, OutputSink};
@@ -66,6 +67,9 @@ pub use syscall::{
     POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, WNOHANG, WUNTRACED,
 };
 pub use task::{Pid, TaskState};
+pub use vm::{
+    AddressSpace, ShmObject, VmDelta, MAP_ANONYMOUS, MAP_PRIVATE, MAP_SHARED, PAGE_SIZE, PROT_READ, PROT_WRITE,
+};
 
 /// Re-export of the error type shared with the file system layer.
 pub use browsix_fs::Errno;

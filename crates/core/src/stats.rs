@@ -67,6 +67,16 @@ pub struct KernelStats {
     /// `poll` calls completed by their timeout rather than a readiness
     /// wakeup.
     pub poll_timeouts: u64,
+    /// Copy-on-write faults serviced (a `VmWrite` hit a page shared with a
+    /// forked sibling or a page cache).
+    pub cow_faults: u64,
+    /// Pages shared by reference instead of copied (fork, file-backed
+    /// `mmap`).
+    pub pages_shared: u64,
+    /// Pages physically copied by COW faults.
+    pub pages_copied: u64,
+    /// Named shared-memory objects created by `shm_open`.
+    pub shm_objects: u64,
 }
 
 impl KernelStats {
@@ -108,6 +118,14 @@ impl KernelStats {
         self.page_cache_hits = io.page_cache_hits;
         self.page_cache_misses = io.page_cache_misses;
         self.overlay_copy_ups = io.copy_ups;
+    }
+
+    /// Accumulates page-sharing/copying activity reported by an
+    /// [`AddressSpace`](crate::vm::AddressSpace) operation.
+    pub fn record_vm(&mut self, delta: crate::vm::VmDelta) {
+        self.cow_faults += delta.cow_faults;
+        self.pages_shared += delta.pages_shared;
+        self.pages_copied += delta.pages_copied;
     }
 
     /// The count for a particular system call.

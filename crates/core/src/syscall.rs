@@ -444,6 +444,90 @@ pub enum Syscall {
         /// Destination port on the in-browser loopback network.
         port: u16,
     },
+
+    // ---- virtual memory --------------------------------------------------------
+    /// Truncate (or zero-extend) an open descriptor's file (`ftruncate`) —
+    /// the way `shm_open` objects, which have no path, are sized before
+    /// mapping.
+    Ftruncate {
+        /// Descriptor.
+        fd: i32,
+        /// New size.
+        size: u64,
+    },
+    /// Map memory into the calling task's address space.  Returns the base
+    /// address; for `MAP_SHARED` the kernel also delivers the backing
+    /// `SharedArrayBuffer` to the process out of band, so subsequent access
+    /// needs no system calls at all.
+    Mmap {
+        /// Fixed base address (0 lets the kernel choose).
+        addr: u64,
+        /// Length in bytes (rounded up to whole pages).
+        len: u64,
+        /// `PROT_READ` | `PROT_WRITE` ([`crate::vm`] constants).
+        prot: u32,
+        /// `MAP_PRIVATE`/`MAP_SHARED` | `MAP_ANONYMOUS`.
+        flags: u32,
+        /// Backing descriptor (-1 for anonymous mappings).
+        fd: i32,
+        /// Page-aligned byte offset into the backing object.
+        offset: u64,
+    },
+    /// Remove a mapping (whole regions only).
+    Munmap {
+        /// Region base address.
+        addr: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// Write a shared mapping's bytes back to its backing object.
+    Msync {
+        /// Address within the mapping.
+        addr: u64,
+        /// Bytes to sync (0 = through the end of the region).
+        len: u64,
+    },
+    /// Change a mapping's protection (whole regions only).
+    Mprotect {
+        /// Region base address.
+        addr: u64,
+        /// Region length.
+        len: u64,
+        /// New protection bits.
+        prot: u32,
+    },
+    /// Open (or create) a named POSIX shared-memory object, returning a
+    /// descriptor that supports `ftruncate`/`read`/`write` and `mmap`.
+    ShmOpen {
+        /// Object name (by convention `/name`).
+        name: String,
+        /// Open flags ([`OpenFlags`] bits; `create` creates the object).
+        flags: u32,
+        /// Creation mode.
+        mode: u32,
+    },
+    /// Remove a shared-memory object's name; the object lives on until the
+    /// last mapping and descriptor are gone.
+    ShmUnlink {
+        /// Object name.
+        name: String,
+    },
+    /// Read from the calling task's address space (the simulated load; how
+    /// processes access private mappings).
+    VmRead {
+        /// Virtual address.
+        addr: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// Write to the calling task's address space (the simulated store; a hit
+    /// on a shared page is a copy-on-write fault serviced in the kernel).
+    VmWrite {
+        /// Virtual address.
+        addr: u64,
+        /// Bytes to write.
+        data: ByteSource,
+    },
 }
 
 // Opcodes, grouped by Figure 3 class.  New calls append; existing numbers are
@@ -492,6 +576,15 @@ const OP_SIGPROCMASK: u8 = 41;
 const OP_SETPGID: u8 = 42;
 const OP_GETPGID: u8 = 43;
 const OP_TCSETPGRP: u8 = 44;
+const OP_FTRUNCATE: u8 = 45;
+const OP_MMAP: u8 = 46;
+const OP_MUNMAP: u8 = 47;
+const OP_MSYNC: u8 = 48;
+const OP_MPROTECT: u8 = 49;
+const OP_SHMOPEN: u8 = 50;
+const OP_SHMUNLINK: u8 = 51;
+const OP_VMREAD: u8 = 52;
+const OP_VMWRITE: u8 = 53;
 
 impl Syscall {
     /// The syscall's name, used for statistics and tracing (and by the
@@ -548,6 +641,15 @@ impl Syscall {
             Syscall::Listen { .. } => "listen",
             Syscall::Accept { .. } => "accept",
             Syscall::Connect { .. } => "connect",
+            Syscall::Ftruncate { .. } => "ftruncate",
+            Syscall::Mmap { .. } => "mmap",
+            Syscall::Munmap { .. } => "munmap",
+            Syscall::Msync { .. } => "msync",
+            Syscall::Mprotect { .. } => "mprotect",
+            Syscall::ShmOpen { .. } => "shm_open",
+            Syscall::ShmUnlink { .. } => "shm_unlink",
+            Syscall::VmRead { .. } => "vm_read",
+            Syscall::VmWrite { .. } => "vm_write",
         }
     }
 
@@ -588,7 +690,16 @@ impl Syscall {
             | Syscall::Rename { .. }
             | Syscall::Fsync { .. }
             | Syscall::Poll { .. }
-            | Syscall::SetFlags { .. } => "File IO",
+            | Syscall::SetFlags { .. }
+            | Syscall::Ftruncate { .. } => "File IO",
+            Syscall::Mmap { .. }
+            | Syscall::Munmap { .. }
+            | Syscall::Msync { .. }
+            | Syscall::Mprotect { .. }
+            | Syscall::ShmOpen { .. }
+            | Syscall::ShmUnlink { .. }
+            | Syscall::VmRead { .. }
+            | Syscall::VmWrite { .. } => "Virtual Memory",
             Syscall::Stat { .. }
             | Syscall::Fstat { .. }
             | Syscall::Access { .. }
@@ -829,6 +940,63 @@ impl Syscall {
                 wire::put_i32(out, *fd);
                 wire::put_u16(out, *port);
             }
+            Syscall::Ftruncate { fd, size } => {
+                wire::put_u8(out, OP_FTRUNCATE);
+                wire::put_i32(out, *fd);
+                wire::put_u64(out, *size);
+            }
+            Syscall::Mmap {
+                addr,
+                len,
+                prot,
+                flags,
+                fd,
+                offset,
+            } => {
+                wire::put_u8(out, OP_MMAP);
+                wire::put_u64(out, *addr);
+                wire::put_u64(out, *len);
+                wire::put_u32(out, *prot);
+                wire::put_u32(out, *flags);
+                wire::put_i32(out, *fd);
+                wire::put_u64(out, *offset);
+            }
+            Syscall::Munmap { addr, len } => {
+                wire::put_u8(out, OP_MUNMAP);
+                wire::put_u64(out, *addr);
+                wire::put_u64(out, *len);
+            }
+            Syscall::Msync { addr, len } => {
+                wire::put_u8(out, OP_MSYNC);
+                wire::put_u64(out, *addr);
+                wire::put_u64(out, *len);
+            }
+            Syscall::Mprotect { addr, len, prot } => {
+                wire::put_u8(out, OP_MPROTECT);
+                wire::put_u64(out, *addr);
+                wire::put_u64(out, *len);
+                wire::put_u32(out, *prot);
+            }
+            Syscall::ShmOpen { name, flags, mode } => {
+                wire::put_u8(out, OP_SHMOPEN);
+                wire::put_str(out, name);
+                wire::put_u32(out, *flags);
+                wire::put_u32(out, *mode);
+            }
+            Syscall::ShmUnlink { name } => {
+                wire::put_u8(out, OP_SHMUNLINK);
+                wire::put_str(out, name);
+            }
+            Syscall::VmRead { addr, len } => {
+                wire::put_u8(out, OP_VMREAD);
+                wire::put_u64(out, *addr);
+                wire::put_u32(out, *len);
+            }
+            Syscall::VmWrite { addr, data } => {
+                wire::put_u8(out, OP_VMWRITE);
+                wire::put_u64(out, *addr);
+                data.encode_into(out);
+            }
         }
     }
 
@@ -1005,6 +1173,47 @@ impl Syscall {
             OP_CONNECT => Syscall::Connect {
                 fd: r.i32()?,
                 port: r.u16()?,
+            },
+            OP_FTRUNCATE => Syscall::Ftruncate {
+                fd: r.i32()?,
+                size: r.u64()?,
+            },
+            OP_MMAP => Syscall::Mmap {
+                addr: r.u64()?,
+                len: r.u64()?,
+                prot: r.u32()?,
+                flags: r.u32()?,
+                fd: r.i32()?,
+                offset: r.u64()?,
+            },
+            OP_MUNMAP => Syscall::Munmap {
+                addr: r.u64()?,
+                len: r.u64()?,
+            },
+            OP_MSYNC => Syscall::Msync {
+                addr: r.u64()?,
+                len: r.u64()?,
+            },
+            OP_MPROTECT => Syscall::Mprotect {
+                addr: r.u64()?,
+                len: r.u64()?,
+                prot: r.u32()?,
+            },
+            OP_SHMOPEN => Syscall::ShmOpen {
+                name: r.str()?.to_owned(),
+                flags: r.u32()?,
+                mode: r.u32()?,
+            },
+            OP_SHMUNLINK => Syscall::ShmUnlink {
+                name: r.str()?.to_owned(),
+            },
+            OP_VMREAD => Syscall::VmRead {
+                addr: r.u64()?,
+                len: r.u32()?,
+            },
+            OP_VMWRITE => Syscall::VmWrite {
+                addr: r.u64()?,
+                data: ByteSource::decode_from(r)?,
             },
             _ => return None,
         })
@@ -1599,6 +1808,58 @@ mod tests {
             Syscall::Listen { fd: 3, backlog: 16 },
             Syscall::Accept { fd: 3 },
             Syscall::Connect { fd: 4, port: 8080 },
+            Syscall::Ftruncate { fd: 5, size: 8192 },
+            Syscall::Mmap {
+                addr: 0,
+                len: 1 << 20,
+                prot: 3,
+                flags: 0x22,
+                fd: -1,
+                offset: 0,
+            },
+            Syscall::Mmap {
+                addr: 0x2000_0000,
+                len: 4096,
+                prot: 1,
+                flags: 1,
+                fd: 5,
+                offset: 4096,
+            },
+            Syscall::Munmap {
+                addr: 0x1000_0000,
+                len: 1 << 20,
+            },
+            Syscall::Msync {
+                addr: 0x2000_0000,
+                len: 0,
+            },
+            Syscall::Mprotect {
+                addr: 0x1000_0000,
+                len: 4096,
+                prot: 1,
+            },
+            Syscall::ShmOpen {
+                name: "/ring".into(),
+                flags: OpenFlags {
+                    create: true,
+                    ..OpenFlags::read_write()
+                }
+                .to_bits(),
+                mode: 0o600,
+            },
+            Syscall::ShmUnlink { name: "/ring".into() },
+            Syscall::VmRead {
+                addr: 0x1000_0040,
+                len: 64,
+            },
+            Syscall::VmWrite {
+                addr: 0x1000_0040,
+                data: ByteSource::Inline(b"cow me".to_vec()),
+            },
+            Syscall::VmWrite {
+                addr: 0x1000_0080,
+                data: ByteSource::SharedHeap { offset: 128, len: 32 },
+            },
         ]
     }
 
@@ -1690,9 +1951,11 @@ mod tests {
         let names: Vec<&str> = sample_calls().iter().map(|c| c.name()).collect();
         // `stat`/`lstat` intentionally share a variant, and the sample set
         // carries two `poll` shapes (fd list and empty), two `kill` shapes
-        // (process and group) and three `sigaction` shapes; all others unique.
+        // (process and group), three `sigaction` shapes, two `mmap` shapes
+        // (anonymous and file-backed) and two `vm_write` shapes (inline and
+        // shared-heap); all others unique.
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
-        assert!(unique.len() >= names.len() - 5);
+        assert!(unique.len() >= names.len() - 7);
     }
 
     #[test]

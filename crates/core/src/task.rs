@@ -15,6 +15,7 @@ use crate::exec::ProgramLauncher;
 use crate::fd::FdTable;
 use crate::signals::{Signal, SignalState};
 use crate::syscall::{Completion, Transport};
+use crate::vm::AddressSpace;
 
 /// A process identifier.
 pub type Pid = u32;
@@ -118,6 +119,9 @@ pub struct Task {
     pub env: Vec<(String, String)>,
     /// The launcher that started this task; reused by `fork`.
     pub launcher: Option<Arc<dyn ProgramLauncher>>,
+    /// The task's virtual address space: `mmap` regions, COW pages, shared
+    /// mappings.
+    pub address_space: AddressSpace,
 }
 
 impl std::fmt::Debug for Task {
@@ -156,6 +160,7 @@ impl Task {
             args: Vec::new(),
             env: Vec::new(),
             launcher: None,
+            address_space: AddressSpace::new(),
         }
     }
 

@@ -102,6 +102,26 @@ pub trait FileHandle: Send + Sync {
     fn fsync(&self) -> FsResult<()> {
         Ok(())
     }
+
+    /// Materialises one `page_size`-sized page of the file for a memory
+    /// mapping: page `page_index` covers bytes
+    /// `[page_index * page_size, (page_index + 1) * page_size)`, zero-filled
+    /// past the end of the file (`mmap` fill semantics).
+    ///
+    /// The default faults the page in through [`FileHandle::read_at`] — which
+    /// for `httpfs` already goes through its block/page cache — and copies it
+    /// into a fresh `Arc`.  Backends that keep `Arc`'d cache pages of the
+    /// right geometry override this to return the cache page itself, so a
+    /// mapping shares memory with the page cache instead of copying it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FileHandle::read_at`].
+    fn map_page(&self, page_index: u64, page_size: usize) -> FsResult<Arc<Vec<u8>>> {
+        let mut data = self.read_at(page_index * page_size as u64, page_size)?;
+        data.resize(page_size, 0);
+        Ok(Arc::new(data))
+    }
 }
 
 /// Reads an entire file through a handle, re-checking the size after each

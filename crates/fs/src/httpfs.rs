@@ -280,6 +280,32 @@ impl FileHandle for HttpHandle {
     fn truncate(&self, _size: u64) -> FsResult<()> {
         Err(Errno::EROFS)
     }
+
+    fn map_page(&self, page_index: u64, page_size: usize) -> FsResult<Arc<Vec<u8>>> {
+        // When the mapping's page geometry matches the block cache's, hand
+        // out the cache page itself: the mapping references page-cache memory
+        // with no copy.  Mismatched geometries (or a short tail page, which
+        // mmap must zero-fill to a full page) fall back to the copying
+        // default.
+        if page_size == self.inner.page_size {
+            let offset = page_index * page_size as u64;
+            let size = {
+                let known = self.file.pages.lock().remote_size;
+                known.unwrap_or_else(|| self.file.size())
+            };
+            if offset + page_size as u64 <= size {
+                self.inner.ensure_pages(&self.file, page_index, page_index, size)?;
+                if let Some(page) = self.file.pages.lock().pages.get(&page_index) {
+                    if page.len() == page_size {
+                        return Ok(Arc::clone(page));
+                    }
+                }
+            }
+        }
+        let mut data = self.read_at(page_index * page_size as u64, page_size)?;
+        data.resize(page_size, 0);
+        Ok(Arc::new(data))
+    }
 }
 
 impl std::fmt::Debug for HttpFs {

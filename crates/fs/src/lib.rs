@@ -56,7 +56,7 @@ pub use errno::Errno;
 pub use handle::{read_full, FileHandle};
 pub use httpfs::{HttpFs, HttpFsStats};
 pub use locks::{LockKind, PathLocks};
-pub use memfs::MemFs;
+pub use memfs::{detached_handle, MemFs};
 pub use mount::MountedFs;
 pub use overlay::{OverlayFs, OverlayMode};
 pub use types::{DirEntry, FileType, Metadata, OpenFlags};

@@ -156,9 +156,10 @@ impl FileHandle for MemHandle {
 
 /// A handle over a fresh, anonymous inode not linked into any directory
 /// tree.  The overlay promotes to one of these when a pending write's name
-/// has been unlinked or renamed away (POSIX write-after-unlink semantics) —
-/// the data lives exactly as long as the handle.
-pub(crate) fn detached_handle(data: Vec<u8>) -> Arc<dyn FileHandle> {
+/// has been unlinked or renamed away (POSIX write-after-unlink semantics),
+/// and the kernel's `shm_open` objects are backed by them — the data lives
+/// exactly as long as the handle.
+pub fn detached_handle(data: Vec<u8>) -> Arc<dyn FileHandle> {
     let now = now_millis();
     Arc::new(MemHandle {
         inode: Arc::new(RwLock::new(FileNode {

@@ -6,7 +6,7 @@ use browsix_core::{Errno, PollRequest, SigAction, SigSet, Signal, SysResult, Sys
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::client::SyscallClient;
-use crate::env::{Fd, PollFd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::env::{Fd, MappedRegion, PollFd, RuntimeEnv, SpawnStdio, WaitedChild, MAP_SHARED};
 use crate::profile::ExecutionProfile;
 
 /// Stdout writes below this size are coalesced into one buffered syscall;
@@ -618,6 +618,69 @@ impl RuntimeEnv for BrowsixEnv {
 
     fn connect(&mut self, fd: Fd, port: u16) -> Result<(), Errno> {
         self.expect_ok(Syscall::Connect { fd, port })
+    }
+
+    fn ftruncate(&mut self, fd: Fd, size: u64) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Ftruncate { fd, size })
+    }
+
+    fn mmap(&mut self, addr: u64, len: u64, prot: u32, flags: u32, fd: Fd, offset: u64) -> Result<MappedRegion, Errno> {
+        let base = self.expect_int(Syscall::Mmap {
+            addr,
+            len,
+            prot,
+            flags,
+            fd,
+            offset,
+        })? as u64;
+        // For MAP_SHARED the kernel posted the backing buffer out of band
+        // before completing the call, so it is already waiting for us.
+        let shared = if flags & MAP_SHARED != 0 {
+            let sab = self.client.take_shared_map(base).ok_or(Errno::EIO)?;
+            Some(sab)
+        } else {
+            None
+        };
+        Ok(MappedRegion {
+            addr: base,
+            len: browsix_core::vm::page_align(len),
+            shared,
+            shared_offset: 0,
+        })
+    }
+
+    fn munmap(&mut self, addr: u64, len: u64) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Munmap { addr, len })
+    }
+
+    fn msync(&mut self, addr: u64, len: u64) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Msync { addr, len })
+    }
+
+    fn mprotect(&mut self, addr: u64, len: u64, prot: u32) -> Result<(), Errno> {
+        self.expect_ok(Syscall::Mprotect { addr, len, prot })
+    }
+
+    fn shm_open(&mut self, name: &str, flags: OpenFlags, mode: u32) -> Result<Fd, Errno> {
+        self.expect_int(Syscall::ShmOpen {
+            name: name.to_owned(),
+            flags: flags.to_bits(),
+            mode,
+        })
+        .map(|fd| fd as Fd)
+    }
+
+    fn shm_unlink(&mut self, name: &str) -> Result<(), Errno> {
+        self.expect_ok(Syscall::ShmUnlink { name: name.to_owned() })
+    }
+
+    fn vm_read(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, Errno> {
+        self.expect_data(Syscall::VmRead { addr, len: len as u32 })
+    }
+
+    fn vm_write(&mut self, addr: u64, data: &[u8]) -> Result<(), Errno> {
+        let source = self.client.stage_write(data);
+        self.expect_ok(Syscall::VmWrite { addr, data: source })
     }
 
     fn charge_compute(&mut self, units: u64) {

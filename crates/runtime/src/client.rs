@@ -64,6 +64,7 @@ pub struct SyscallClient {
     next_seq: u64,
     stashed: HashMap<u64, CompletionBatch>,
     signals: VecDeque<Signal>,
+    shared_maps: HashMap<u64, SharedArrayBuffer>,
     sync: Option<SyncState>,
     terminated: bool,
 }
@@ -100,6 +101,7 @@ impl SyscallClient {
             next_seq: 0,
             stashed: HashMap::new(),
             signals: VecDeque::new(),
+            shared_maps: HashMap::new(),
             sync: None,
             terminated: false,
         };
@@ -156,11 +158,34 @@ impl SyscallClient {
     }
 
     fn handle_out_of_band(&mut self, msg: &Message) {
-        if msg.get_str("type") == Some("signal") {
-            if let Some(signal) = msg.get_int("signal").and_then(|n| Signal::from_number(n as i32)) {
-                self.signals.push_back(signal);
+        match msg.get_str("type") {
+            Some("signal") => {
+                if let Some(signal) = msg.get_int("signal").and_then(|n| Signal::from_number(n as i32)) {
+                    self.signals.push_back(signal);
+                }
             }
+            Some("mmap-shared") => {
+                // The kernel delivers a MAP_SHARED mapping's backing buffer
+                // before the mmap call completes; stash it under the base
+                // address for the runtime to pick up with `take_shared_map`.
+                if let (Some(addr), Some(sab)) = (msg.get_int("addr"), msg.get("sab").and_then(Message::as_shared)) {
+                    self.shared_maps.insert(addr as u64, sab.clone());
+                }
+            }
+            _ => {}
         }
+    }
+
+    /// Takes the backing buffer the kernel delivered for the shared mapping
+    /// at `addr` (draining newly arrived messages first).  The kernel posts
+    /// the `mmap-shared` message *before* completing the `mmap` call on
+    /// either transport convention, so once `mmap` has returned the buffer
+    /// is here.
+    pub fn take_shared_map(&mut self, addr: u64) -> Option<SharedArrayBuffer> {
+        while let Ok(Some(msg)) = self.scope.try_recv() {
+            self.handle_out_of_band(&msg);
+        }
+        self.shared_maps.remove(&addr)
     }
 
     /// Drains signals delivered to this process (checking for newly arrived

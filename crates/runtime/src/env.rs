@@ -9,12 +9,16 @@
 //! exactly the property the paper relies on when it runs "the same JavaScript
 //! utility under BROWSIX and on Linux under Node.js".
 
+use browsix_browser::SharedArrayBuffer;
 use browsix_core::{Errno, SigAction, SigSet, Signal};
 use browsix_fs::{DirEntry, Metadata, OpenFlags};
 
 use crate::profile::ExecutionProfile;
 
-pub use browsix_core::{POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, WNOHANG, WUNTRACED};
+pub use browsix_core::{
+    MAP_ANONYMOUS, MAP_PRIVATE, MAP_SHARED, PAGE_SIZE, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, PROT_READ,
+    PROT_WRITE, WNOHANG, WUNTRACED,
+};
 
 /// File-descriptor type used by guest programs.
 pub type Fd = i32;
@@ -59,6 +63,62 @@ impl PollFd {
     /// the write fails immediately rather than blocking).
     pub fn is_writable(&self) -> bool {
         self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+}
+
+/// A mapping created by [`RuntimeEnv::mmap`].
+///
+/// Private mappings carry only the base address — the guest accesses them
+/// through [`RuntimeEnv::vm_read`]/[`RuntimeEnv::vm_write`] (the simulated
+/// load/store pair).  `MAP_SHARED` mappings also carry the backing
+/// [`SharedArrayBuffer`] the kernel delivered, so the guest reads and writes
+/// — and `Atomics.wait`s — the mapping directly, with **no system calls on
+/// the data path**.
+#[derive(Debug, Clone)]
+pub struct MappedRegion {
+    /// Base virtual address of the mapping.
+    pub addr: u64,
+    /// Length in bytes (rounded up to whole pages).
+    pub len: u64,
+    /// For `MAP_SHARED`: the buffer backing the mapping.
+    pub shared: Option<SharedArrayBuffer>,
+    /// Byte offset within `shared` where this mapping's window starts.
+    pub shared_offset: usize,
+}
+
+impl MappedRegion {
+    /// Whether this is a `MAP_SHARED` mapping with a delivered buffer.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The shared buffer, for direct (zero-syscall) access and Atomics.
+    pub fn buffer(&self) -> Option<&SharedArrayBuffer> {
+        self.shared.as_ref()
+    }
+
+    /// Reads `len` bytes at `offset` within the mapping, straight from the
+    /// shared buffer — no system call.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EINVAL`] on a private mapping or out-of-range access.
+    pub fn shared_read(&self, offset: usize, len: usize) -> Result<Vec<u8>, Errno> {
+        let sab = self.shared.as_ref().ok_or(Errno::EINVAL)?;
+        sab.read_bytes(self.shared_offset + offset, len)
+            .map_err(|_| Errno::EINVAL)
+    }
+
+    /// Writes `data` at `offset` within the mapping, straight into the shared
+    /// buffer — no system call.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EINVAL`] on a private mapping or out-of-range access.
+    pub fn shared_write(&self, offset: usize, data: &[u8]) -> Result<(), Errno> {
+        let sab = self.shared.as_ref().ok_or(Errno::EINVAL)?;
+        sab.write_bytes(self.shared_offset + offset, data)
+            .map_err(|_| Errno::EINVAL)
     }
 }
 
@@ -377,6 +437,70 @@ pub trait RuntimeEnv {
 
     /// Connects to a port on the in-Browsix loopback network.
     fn connect(&mut self, fd: Fd, port: u16) -> Result<(), Errno>;
+
+    // ---- virtual memory --------------------------------------------------------
+
+    /// Truncates (or zero-extends) an open descriptor's file — the way
+    /// `shm_open` objects, which have no path, are sized before mapping.
+    /// Environments without a VM subsystem report `ENOSYS`.
+    fn ftruncate(&mut self, _fd: Fd, _size: u64) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Maps memory ([`MAP_PRIVATE`]/[`MAP_SHARED`] | [`MAP_ANONYMOUS`], with
+    /// [`PROT_READ`] | [`PROT_WRITE`]).  `fd` is -1 for anonymous mappings;
+    /// `addr` 0 lets the kernel place the region.
+    fn mmap(
+        &mut self,
+        _addr: u64,
+        _len: u64,
+        _prot: u32,
+        _flags: u32,
+        _fd: Fd,
+        _offset: u64,
+    ) -> Result<MappedRegion, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Unmaps a whole region previously returned by [`RuntimeEnv::mmap`].
+    fn munmap(&mut self, _addr: u64, _len: u64) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Writes a shared mapping's bytes back to its backing object
+    /// (`len` 0 = through the end of the region).
+    fn msync(&mut self, _addr: u64, _len: u64) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Changes a whole region's protection.
+    fn mprotect(&mut self, _addr: u64, _len: u64, _prot: u32) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Opens (or, with `flags.create`, creates) a named POSIX shared-memory
+    /// object, returning a descriptor suitable for [`RuntimeEnv::ftruncate`]
+    /// and [`RuntimeEnv::mmap`].
+    fn shm_open(&mut self, _name: &str, _flags: OpenFlags, _mode: u32) -> Result<Fd, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Removes a shared-memory object's name.
+    fn shm_unlink(&mut self, _name: &str) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Reads from the process's mapped memory (the simulated load; how
+    /// private mappings are accessed).
+    fn vm_read(&mut self, _addr: u64, _len: usize) -> Result<Vec<u8>, Errno> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Writes to the process's mapped memory (the simulated store; a write
+    /// to a COW-shared page faults and is serviced in the kernel).
+    fn vm_write(&mut self, _addr: u64, _data: &[u8]) -> Result<(), Errno> {
+        Err(Errno::ENOSYS)
+    }
 
     // ---- cost model ------------------------------------------------------------
 

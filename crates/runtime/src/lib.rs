@@ -37,10 +37,14 @@ pub mod nodejs;
 pub mod profile;
 pub mod program;
 
+pub use browsix_browser::SharedArrayBuffer;
 pub use browsix_env::BrowsixEnv;
 pub use client::{ClientMode, SyscallClient};
 pub use emscripten::{EmscriptenLauncher, EmscriptenMode};
-pub use env::{PollFd, RuntimeEnv, SpawnStdio, WaitedChild, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+pub use env::{
+    MappedRegion, PollFd, RuntimeEnv, SpawnStdio, WaitedChild, MAP_ANONYMOUS, MAP_PRIVATE, MAP_SHARED, PAGE_SIZE,
+    POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, PROT_READ, PROT_WRITE,
+};
 pub use gopherjs::GopherJsLauncher;
 pub use native::{NativeEnv, NativeWorld};
 pub use nodejs::NodeLauncher;

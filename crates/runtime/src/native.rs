@@ -13,10 +13,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use browsix_core::{Errno, Signal, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use browsix_browser::SharedArrayBuffer;
+use browsix_core::vm::{page_align, AddressSpace, ShmObject};
+use browsix_core::{Errno, Signal, MAP_ANONYMOUS, MAP_SHARED, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use browsix_fs::{DirEntry, FileHandle, FileSystem, Metadata, MountedFs, OpenFlags};
 
-use crate::env::{Fd, PollFd, RuntimeEnv, SpawnStdio, WaitedChild};
+use crate::env::{Fd, MappedRegion, PollFd, RuntimeEnv, SpawnStdio, WaitedChild};
 use crate::profile::ExecutionProfile;
 use crate::program::ProgramTable;
 
@@ -77,6 +79,9 @@ pub struct NativeWorld {
     table: ProgramTable,
     profile: ExecutionProfile,
     next_pid: Arc<AtomicU32>,
+    /// Named POSIX shared-memory objects, shared by every process in the
+    /// world (the native analogue of the kernel's `shm_open` registry).
+    shm: Arc<Mutex<HashMap<String, Arc<ShmObject>>>>,
 }
 
 impl std::fmt::Debug for NativeWorld {
@@ -98,6 +103,7 @@ impl NativeWorld {
             table: ProgramTable::new(),
             profile,
             next_pid: Arc::new(AtomicU32::new(1)),
+            shm: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -170,6 +176,8 @@ pub struct NativeEnv {
     reaped: Vec<WaitedChild>,
     exit_code: Option<i32>,
     handled_signals: Vec<Signal>,
+    /// The process's address space, same model the kernel keeps per task.
+    address_space: AddressSpace,
 }
 
 impl NativeEnv {
@@ -196,6 +204,7 @@ impl NativeEnv {
             reaped: Vec::new(),
             exit_code: None,
             handled_signals: Vec::new(),
+            address_space: AddressSpace::new(),
         }
     }
 
@@ -217,6 +226,26 @@ impl NativeEnv {
 
     fn fd_entry(&mut self, fd: Fd) -> Result<&mut NativeFd, Errno> {
         self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// The file handle behind descriptor `fd`, for mapping.
+    fn file_handle(&self, fd: Fd) -> Result<Arc<dyn FileHandle>, Errno> {
+        match self.fds.get(&fd).ok_or(Errno::EBADF)? {
+            NativeFd::File { handle, .. } => Ok(Arc::clone(handle)),
+            NativeFd::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Finds the registered shm object a handle belongs to (identity, not
+    /// name, so descriptors survive `shm_unlink`).
+    fn shm_object_for(&self, handle: &Arc<dyn FileHandle>) -> Option<Arc<ShmObject>> {
+        self.world
+            .shm
+            .lock()
+            .values()
+            .find(|object| Arc::ptr_eq(&object.handle, handle))
+            .map(Arc::clone)
     }
 }
 
@@ -622,6 +651,123 @@ impl RuntimeEnv for NativeEnv {
         Err(Errno::ENOSYS)
     }
 
+    fn ftruncate(&mut self, fd: Fd, size: u64) -> Result<(), Errno> {
+        match self.fd_entry(fd)? {
+            NativeFd::File { handle, flags, .. } => {
+                if !flags.write {
+                    return Err(Errno::EINVAL);
+                }
+                handle.truncate(size)
+            }
+            NativeFd::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    fn mmap(&mut self, addr: u64, len: u64, prot: u32, flags: u32, fd: Fd, offset: u64) -> Result<MappedRegion, Errno> {
+        // Same placement and backing rules as the kernel's handlers, run
+        // directly against this process's embedded address space.
+        if flags & MAP_SHARED != 0 {
+            let (sab, handle) = if flags & MAP_ANONYMOUS != 0 {
+                if len == 0 {
+                    return Err(Errno::EINVAL);
+                }
+                (SharedArrayBuffer::new(page_align(len) as usize), None)
+            } else {
+                let handle = self.file_handle(fd)?;
+                let sab = match self.shm_object_for(&handle) {
+                    Some(object) => object.sab_for_mapping()?,
+                    None => {
+                        let size = page_align(handle.metadata()?.size.max(offset + len));
+                        if size == 0 {
+                            return Err(Errno::EINVAL);
+                        }
+                        let sab = SharedArrayBuffer::new(size as usize);
+                        let seed = handle.read_at(0, size as usize)?;
+                        sab.write_bytes(0, &seed).map_err(|_| Errno::EIO)?;
+                        sab
+                    }
+                };
+                (sab, Some(handle))
+            };
+            let base = self
+                .address_space
+                .map_shared(sab.clone(), handle, offset, len, addr, prot)?;
+            return Ok(MappedRegion {
+                addr: base,
+                len: page_align(len),
+                shared: Some(sab),
+                shared_offset: 0,
+            });
+        }
+        let base = if flags & MAP_ANONYMOUS != 0 {
+            self.address_space.map_anonymous(addr, len, prot)?
+        } else {
+            let handle = self.file_handle(fd)?;
+            self.address_space.map_file(&handle, offset, len, addr, prot)?.0
+        };
+        Ok(MappedRegion {
+            addr: base,
+            len: page_align(len),
+            shared: None,
+            shared_offset: 0,
+        })
+    }
+
+    fn munmap(&mut self, addr: u64, len: u64) -> Result<(), Errno> {
+        self.address_space.unmap(addr, len).map(|_| ())
+    }
+
+    fn msync(&mut self, addr: u64, len: u64) -> Result<(), Errno> {
+        self.address_space.msync(addr, len)
+    }
+
+    fn mprotect(&mut self, addr: u64, len: u64, prot: u32) -> Result<(), Errno> {
+        self.address_space.protect(addr, len, prot)
+    }
+
+    fn shm_open(&mut self, name: &str, flags: OpenFlags, _mode: u32) -> Result<Fd, Errno> {
+        let object = {
+            let mut shm = self.world.shm.lock();
+            match shm.get(name) {
+                Some(object) => {
+                    if flags.create && flags.exclusive {
+                        return Err(Errno::EEXIST);
+                    }
+                    Arc::clone(object)
+                }
+                None => {
+                    if !flags.create {
+                        return Err(Errno::ENOENT);
+                    }
+                    let object = Arc::new(ShmObject::new());
+                    shm.insert(name.to_owned(), Arc::clone(&object));
+                    object
+                }
+            }
+        };
+        if flags.truncate {
+            object.handle.truncate(0)?;
+        }
+        Ok(self.alloc_fd(NativeFd::File {
+            handle: Arc::clone(&object.handle),
+            flags,
+            offset: 0,
+        }))
+    }
+
+    fn shm_unlink(&mut self, name: &str) -> Result<(), Errno> {
+        self.world.shm.lock().remove(name).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+
+    fn vm_read(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, Errno> {
+        self.address_space.read(addr, len)
+    }
+
+    fn vm_write(&mut self, addr: u64, data: &[u8]) -> Result<(), Errno> {
+        self.address_space.write(addr, data).map(|_| ())
+    }
+
     fn charge_compute(&mut self, units: u64) {
         self.world.profile.charge(units);
     }
@@ -750,6 +896,48 @@ mod tests {
         assert_eq!(env.kill(1, Signal::SIGTERM), Err(Errno::ESRCH));
         env.exit(3);
         assert_eq!(env.recorded_exit(), Some(3));
+    }
+
+    #[test]
+    fn mappings_and_shared_memory_work_natively() {
+        use browsix_core::{MAP_PRIVATE, PROT_READ, PROT_WRITE};
+        let world = world();
+        let mut env = NativeEnv::new(world.clone(), &["a"], "/");
+
+        // Private anonymous mapping reached through vm_read/vm_write.
+        let region = env
+            .mmap(0, 8192, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0)
+            .unwrap();
+        assert!(!region.is_shared());
+        env.vm_write(region.addr + 100, b"native").unwrap();
+        assert_eq!(env.vm_read(region.addr + 100, 6).unwrap(), b"native");
+        env.munmap(region.addr, region.len).unwrap();
+
+        // Named shared memory visible to a second process in the same world.
+        let flags = OpenFlags {
+            create: true,
+            ..OpenFlags::read_write()
+        };
+        let fd = env.shm_open("/ring", flags, 0o600).unwrap();
+        env.ftruncate(fd, 4096).unwrap();
+        let map_a = env.mmap(0, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0).unwrap();
+        map_a.shared_write(0, b"ping").unwrap();
+
+        let mut other = NativeEnv::new(world, &["b"], "/");
+        let fd_b = other.shm_open("/ring", OpenFlags::read_write(), 0).unwrap();
+        let map_b = other
+            .mmap(0, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd_b, 0)
+            .unwrap();
+        assert_eq!(map_b.shared_read(0, 4).unwrap(), b"ping");
+
+        // Writes travel the other way too: the buffer is aliased, not copied.
+        map_b.shared_write(8, b"pong").unwrap();
+        assert_eq!(map_a.shared_read(8, 4).unwrap(), b"pong");
+
+        other.shm_unlink("/ring").unwrap();
+        assert_eq!(env.shm_unlink("/ring"), Err(Errno::ENOENT));
+        // Descriptors keep working after the name is gone.
+        assert_eq!(env.fstat(fd).unwrap().size, 4096);
     }
 
     #[test]

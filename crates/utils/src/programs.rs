@@ -5,8 +5,10 @@
 //! Behaviour follows the POSIX utilities closely enough for the shell, the
 //! case studies and the benchmarks, without aiming for flag-for-flag parity.
 
+use std::time::Duration;
+
 use browsix_fs::{FileType, OpenFlags};
-use browsix_runtime::{guest, GuestFactory, RuntimeEnv, SpawnStdio};
+use browsix_runtime::{guest, GuestFactory, RuntimeEnv, SharedArrayBuffer, SpawnStdio};
 
 use crate::common::{charge_for_bytes, flag_value, has_flag, lines, read_inputs, split_args};
 use crate::sha1::sha1_hex;
@@ -28,6 +30,7 @@ pub fn all_utilities() -> Vec<(&'static str, GuestFactory)> {
         ("rm", guest("rm", run_rm)),
         ("rmdir", guest("rmdir", run_rmdir)),
         ("sha1sum", guest("sha1sum", run_sha1sum)),
+        ("shm-ping", guest("shm-ping", run_shm_ping)),
         ("sleep", guest("sleep", run_sleep)),
         ("sort", guest("sort", run_sort)),
         ("stat", guest("stat", run_stat)),
@@ -494,6 +497,153 @@ fn run_sha1sum(env: &mut dyn RuntimeEnv) -> i32 {
             }
         }
     }
+    code
+}
+
+/// Byte offset of the turn counter within the `shm-ping` ring.
+const SHM_PING_STATE: usize = 0;
+/// Byte offset of the ping side's message slot.
+const SHM_PING_BUF: usize = 64;
+/// Byte offset of the pong side's reply slot.
+const SHM_PONG_BUF: usize = 2048;
+/// Bounded wait (50 ms x 1200 ≈ one minute) so a dead peer cannot hang us.
+const SHM_PING_SPINS: usize = 1200;
+
+/// Blocks until the turn counter reaches `want` (purely in shared memory:
+/// loads plus `Atomics.wait`, no system calls).
+fn wait_for_turn(sab: &SharedArrayBuffer, want: i32) -> bool {
+    for _ in 0..SHM_PING_SPINS {
+        match sab.load_i32(SHM_PING_STATE) {
+            Ok(v) if v == want => return true,
+            Ok(v) => {
+                let _ = sab.wait(SHM_PING_STATE, v, Some(Duration::from_millis(50)));
+            }
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+/// Stores a length-prefixed message into a slot of the shared ring.
+fn put_shm_msg(sab: &SharedArrayBuffer, slot: usize, msg: &[u8]) -> bool {
+    sab.write_bytes(slot + 4, msg).is_ok() && sab.store_i32(slot, msg.len() as i32).is_ok()
+}
+
+/// Reads a length-prefixed message back out of a slot.
+fn get_shm_msg(sab: &SharedArrayBuffer, slot: usize) -> Option<Vec<u8>> {
+    let len = sab.load_i32(slot).ok()?;
+    sab.read_bytes(slot + 4, len.max(0) as usize).ok()
+}
+
+/// `shm-ping [-n ROUNDS] ping|pong [NAME]`: two processes bounce messages
+/// through a `shm_open` mapping.  After setup (open, size, map) the data path
+/// is entirely loads, stores and Atomics on the shared mapping — **zero
+/// read/write system calls** — which is the point of the demo: under Browsix
+/// each role runs in its own worker and the messages cross through the
+/// `SharedArrayBuffer` the kernel handed both sides.
+///
+/// Protocol: a turn counter at offset 0 alternates `2k` (ping may send round
+/// `k`) and `2k+1` (pong may reply); each side writes its slot, bumps the
+/// counter with `Atomics.store`+`notify`, and waits for the other.
+fn run_shm_ping(env: &mut dyn RuntimeEnv) -> i32 {
+    use browsix_runtime::{MAP_SHARED, PAGE_SIZE, PROT_READ, PROT_WRITE};
+    let args = env.args();
+    let mut rounds: i32 = 16;
+    let mut operands = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "-n" {
+            rounds = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(0);
+            i += 2;
+            continue;
+        }
+        if let Some(rest) = args[i].strip_prefix("-n") {
+            rounds = rest.parse().unwrap_or(0);
+        } else {
+            operands.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let role = operands.first().cloned().unwrap_or_default();
+    let name = operands.get(1).cloned().unwrap_or_else(|| "/shm-ping".to_owned());
+    if (role != "ping" && role != "pong") || rounds < 1 {
+        env.eprint("shm-ping: usage: shm-ping [-n ROUNDS] ping|pong [NAME]\n");
+        return 2;
+    }
+
+    // Either side may arrive first, so both create, size and map the object.
+    let flags = OpenFlags {
+        create: true,
+        ..OpenFlags::read_write()
+    };
+    let fd = match env.shm_open(&name, flags, 0o600) {
+        Ok(fd) => fd,
+        Err(e) => {
+            env.eprint(&format!("shm-ping: shm_open {name}: {e}\n"));
+            return 1;
+        }
+    };
+    if let Err(e) = env.ftruncate(fd, PAGE_SIZE as u64) {
+        env.eprint(&format!("shm-ping: ftruncate: {e}\n"));
+        return 1;
+    }
+    let region = match env.mmap(0, PAGE_SIZE as u64, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0) {
+        Ok(region) => region,
+        Err(e) => {
+            env.eprint(&format!("shm-ping: mmap: {e}\n"));
+            return 1;
+        }
+    };
+    let Some(sab) = region.buffer().cloned() else {
+        env.eprint("shm-ping: mapping has no shared buffer\n");
+        return 1;
+    };
+
+    let mut code = 0;
+    if role == "ping" {
+        for k in 0..rounds {
+            if !wait_for_turn(&sab, 2 * k) {
+                env.eprint("shm-ping: timed out waiting for pong\n");
+                code = 1;
+                break;
+            }
+            put_shm_msg(&sab, SHM_PING_BUF, format!("ping {k}").as_bytes());
+            let _ = sab.store_and_notify(SHM_PING_STATE, 2 * k + 1);
+            if !wait_for_turn(&sab, 2 * k + 2) {
+                env.eprint("shm-ping: timed out waiting for reply\n");
+                code = 1;
+                break;
+            }
+            let expected = format!("pong {k}").into_bytes();
+            if get_shm_msg(&sab, SHM_PONG_BUF).as_ref() != Some(&expected) {
+                env.eprint(&format!("shm-ping: bad reply in round {k}\n"));
+                code = 1;
+                break;
+            }
+        }
+        if code == 0 {
+            env.print(&format!("shm-ping: {rounds} round trips via {name}\n"));
+        }
+        let _ = env.shm_unlink(&name);
+    } else {
+        for k in 0..rounds {
+            if !wait_for_turn(&sab, 2 * k + 1) {
+                env.eprint("shm-ping: timed out waiting for ping\n");
+                code = 1;
+                break;
+            }
+            let expected = format!("ping {k}").into_bytes();
+            if get_shm_msg(&sab, SHM_PING_BUF).as_ref() != Some(&expected) {
+                env.eprint(&format!("shm-ping: bad message in round {k}\n"));
+                code = 1;
+                break;
+            }
+            put_shm_msg(&sab, SHM_PONG_BUF, format!("pong {k}").as_bytes());
+            let _ = sab.store_and_notify(SHM_PING_STATE, 2 * k + 2);
+        }
+    }
+    let _ = env.munmap(region.addr, region.len);
+    let _ = env.close(fd);
     code
 }
 

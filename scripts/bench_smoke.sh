@@ -30,6 +30,9 @@ BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench syscall_batching
 echo "== running the 'readiness' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench readiness -- readiness
 
+echo "== running the 'vm' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench vm -- vm
+
 echo "== baseline written to $out =="
 cat "$out"
 
@@ -84,4 +87,21 @@ if wake_256 > 3 * wake_1:
         f"({wake_1} ns at 1 waiter vs {wake_256} ns at 256)"
     )
 print(f"readiness: wakeup cost at 256 waiters is {wake_256 / wake_1:.2f}x the 1-waiter cost (independence)")
+
+# Guard the virtual-memory subsystem: COW fork of a fully-resident 1 MiB
+# address space must beat the old image-copy fork by at least 10x (fork is
+# O(regions), not O(image bytes)), and mapping cached file pages must beat
+# read() copies of the same megabyte.
+cow = means.get("vm/cow_fork_1m")
+image_copy = means.get("vm/image_copy_fork_1m")
+mmap_read = means.get("vm/mmap_file_1m")
+read_copy = means.get("vm/read_copy_1m")
+if None in (cow, image_copy, mmap_read, read_copy):
+    sys.exit("missing vm results")
+if image_copy < 10 * cow:
+    sys.exit(f"vm: COW fork ({cow} ns) is not 10x faster than image copy ({image_copy} ns)")
+print(f"vm: COW fork beats the 1 MiB image-copy fork by {image_copy / cow:.1f}x")
+if mmap_read >= read_copy:
+    sys.exit(f"vm: mmap of cached pages ({mmap_read} ns) did not beat read() copies ({read_copy} ns)")
+print(f"vm: mmap page references beat read() copies by {read_copy / mmap_read:.1f}x")
 EOF
