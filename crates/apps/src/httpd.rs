@@ -13,15 +13,21 @@
 //! actually ready, "so [it] never need[s] to poll" busily.
 //!
 //! Files are served from the shared VFS under a configurable document root.
+//! By default file bodies travel over `sendfile`: the server writes only the
+//! response headers, then asks the kernel to move the file page-cache →
+//! socket directly, so body bytes never enter guest memory.  `--copy` forces
+//! the classic read-the-file-then-write-it path (the baseline the zero-copy
+//! benchmarks compare against).
 //!
 //! ```text
-//! httpd [--port N] [--root DIR] [--max-requests N]
+//! httpd [--port N] [--root DIR] [--max-requests N] [--copy]
 //! ```
 //!
 //! `--max-requests` makes the process exit after serving that many requests
 //! (tests and benchmarks use it to finish deterministically).
 
 use browsix_core::Errno;
+use browsix_fs::OpenFlags;
 use browsix_http::parse::parse_request_consumed;
 use browsix_http::{HttpRequest, HttpResponse};
 use browsix_runtime::{guest, GuestFactory, PollFd, RuntimeEnv};
@@ -36,8 +42,17 @@ pub const HTTPD_ROOT: &str = "/srv";
 enum ConnState {
     /// Accumulating request bytes until a full request parses.
     Reading(Vec<u8>),
-    /// Draining the serialized response.
+    /// Draining a fully-buffered response (`--copy`, errors, 404s).
     Writing { buf: Vec<u8>, written: usize },
+    /// Zero-copy response: drain the header bytes, then `sendfile` the body
+    /// straight from the open file to the socket.
+    Sending {
+        header: Vec<u8>,
+        header_written: usize,
+        file_fd: i32,
+        offset: u64,
+        remaining: u64,
+    },
 }
 
 /// One accepted connection.
@@ -46,7 +61,18 @@ struct Conn {
     state: ConnState,
 }
 
-/// Maps a request path to a file under `root` and builds the response.
+/// The `Content-Type` to declare for a request path.
+fn content_type_for(rel: &str) -> &'static str {
+    match rel.rsplit('.').next() {
+        Some("html") => "text/html",
+        Some("json") => "application/json",
+        Some("txt") => "text/plain",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Maps a request path to a file under `root` and builds a fully-buffered
+/// response (the `--copy` path: the whole body is read into guest memory).
 fn respond(env: &mut dyn RuntimeEnv, root: &str, request: &HttpRequest) -> HttpResponse {
     let path = request.path_only();
     let rel = if path == "/" { "/index.html" } else { path };
@@ -56,22 +82,57 @@ fn respond(env: &mut dyn RuntimeEnv, root: &str, request: &HttpRequest) -> HttpR
     let full = format!("{}{}", root.trim_end_matches('/'), rel);
     match env.read_file(&full) {
         Ok(data) => {
-            let content_type = match rel.rsplit('.').next() {
-                Some("html") => "text/html",
-                Some("json") => "application/json",
-                Some("txt") => "text/plain",
-                _ => "application/octet-stream",
-            };
+            let content_type = content_type_for(rel);
             HttpResponse::ok().with_body(data, content_type)
         }
         Err(_) => HttpResponse::not_found(),
     }
 }
 
+/// Builds the next state for a connection that just parsed `request`.
+///
+/// On the default (zero-copy) path a successful file lookup opens the file
+/// and produces [`ConnState::Sending`] — only the serialized header is in
+/// guest memory; the body will move via [`RuntimeEnv::sendfile`].  Misses
+/// and `--copy` mode fall back to a buffered [`ConnState::Writing`].
+fn response_state(env: &mut dyn RuntimeEnv, root: &str, request: &HttpRequest, copy: bool) -> ConnState {
+    if !copy {
+        let path = request.path_only();
+        let rel = if path == "/" { "/index.html" } else { path };
+        let full = format!("{}{}", root.trim_end_matches('/'), rel);
+        if !rel.contains("..") {
+            if let Ok(file_fd) = env.open(&full, OpenFlags::read_only()) {
+                match env.fstat(file_fd) {
+                    Ok(meta) if !meta.is_dir() => {
+                        let header = HttpResponse::ok()
+                            .with_header("Content-Type", content_type_for(rel))
+                            .serialize_head(meta.size);
+                        return ConnState::Sending {
+                            header,
+                            header_written: 0,
+                            file_fd,
+                            offset: 0,
+                            remaining: meta.size,
+                        };
+                    }
+                    _ => {
+                        let _ = env.close(file_fd);
+                    }
+                }
+            }
+        }
+    }
+    let response = respond(env, root, request);
+    ConnState::Writing {
+        buf: response.serialize(),
+        written: 0,
+    }
+}
+
 /// Handles readiness on one connection.  Returns `Ok(true)` when the
 /// connection finished a request (and was closed), `Ok(false)` to keep it,
 /// `Err(())` when it died.
-fn advance(env: &mut dyn RuntimeEnv, root: &str, conn: &mut Conn) -> Result<bool, ()> {
+fn advance(env: &mut dyn RuntimeEnv, root: &str, conn: &mut Conn, copy: bool) -> Result<bool, ()> {
     loop {
         match &mut conn.state {
             ConnState::Reading(buf) => match env.read(conn.fd, 64 * 1024) {
@@ -80,11 +141,7 @@ fn advance(env: &mut dyn RuntimeEnv, root: &str, conn: &mut Conn) -> Result<bool
                     buf.extend_from_slice(&chunk);
                     match parse_request_consumed(buf) {
                         Ok(Some((request, _))) => {
-                            let response = respond(env, root, &request);
-                            conn.state = ConnState::Writing {
-                                buf: response.serialize(),
-                                written: 0,
-                            };
+                            conn.state = response_state(env, root, &request, copy);
                         }
                         Ok(None) => continue,
                         Err(_) => return Err(()),
@@ -104,6 +161,43 @@ fn advance(env: &mut dyn RuntimeEnv, root: &str, conn: &mut Conn) -> Result<bool
                 Err(Errno::EAGAIN) => return Ok(false),
                 Err(_) => return Err(()),
             },
+            ConnState::Sending {
+                header,
+                header_written,
+                file_fd,
+                offset,
+                remaining,
+            } => {
+                while *header_written < header.len() {
+                    match env.write(conn.fd, &header[*header_written..]) {
+                        Ok(count) => *header_written += count,
+                        Err(Errno::EAGAIN) => return Ok(false),
+                        Err(_) => {
+                            let _ = env.close(*file_fd);
+                            return Err(());
+                        }
+                    }
+                }
+                // The body never touches guest memory: each call moves file
+                // pages kernel-side into the socket's stream.
+                while *remaining > 0 {
+                    match env.sendfile(conn.fd, *file_fd, *offset as i64, *remaining) {
+                        Ok(0) => break, // the file shrank underneath us
+                        Ok(moved) => {
+                            *offset += moved;
+                            *remaining -= moved;
+                        }
+                        Err(Errno::EAGAIN) => return Ok(false),
+                        Err(_) => {
+                            let _ = env.close(*file_fd);
+                            return Err(());
+                        }
+                    }
+                }
+                let _ = env.close(*file_fd);
+                let _ = env.close(conn.fd);
+                return Ok(true);
+            }
         }
     }
 }
@@ -119,6 +213,7 @@ fn run_httpd(env: &mut dyn RuntimeEnv) -> i32 {
     let port: u16 = flag("--port").and_then(|v| v.parse().ok()).unwrap_or(HTTPD_PORT);
     let root = flag("--root").unwrap_or_else(|| HTTPD_ROOT.to_owned());
     let max_requests: Option<usize> = flag("--max-requests").and_then(|v| v.parse().ok());
+    let copy = args.iter().any(|a| a == "--copy");
 
     let listener = match env.socket() {
         Ok(fd) => fd,
@@ -152,7 +247,7 @@ fn run_httpd(env: &mut dyn RuntimeEnv) -> i32 {
         for conn in &conns {
             pfds.push(match conn.state {
                 ConnState::Reading(_) => PollFd::readable(conn.fd),
-                ConnState::Writing { .. } => PollFd::writable(conn.fd),
+                ConnState::Writing { .. } | ConnState::Sending { .. } => PollFd::writable(conn.fd),
             });
         }
         // A finite timeout keeps the max-requests exit condition responsive
@@ -195,7 +290,7 @@ fn run_httpd(env: &mut dyn RuntimeEnv) -> i32 {
             if !ready {
                 continue;
             }
-            match advance(env, &root, &mut conns[index]) {
+            match advance(env, &root, &mut conns[index], copy) {
                 Ok(true) => {
                     served += 1;
                     conns.swap_remove(index);

@@ -130,5 +130,56 @@ fn bench_httpd(c: &mut Criterion) {
     kernel.shutdown();
 }
 
-criterion_group!(benches, bench_wakeup, bench_httpd);
+/// The zero-copy data path end-to-end: one request for the 32 KiB payload
+/// file against `httpd` serving it over `sendfile` (page cache → socket,
+/// bytes never entering the guest) versus the classic read-it-then-write-it
+/// copy path (`--copy`).  Runs on the Chrome cost model so the copy path's
+/// extra read/write round trips and its two structured clones of the body
+/// are charged what they actually cost — on the delay-free test platform
+/// the difference drowns in boot-to-boot noise.  `scripts/bench_smoke.sh`
+/// asserts sendfile wins.
+fn bench_httpd_payload(c: &mut Criterion) {
+    use browsix_browser::PlatformConfig;
+    let mut group = c.benchmark_group("readiness");
+    group.sample_size(10);
+    for (name, args) in [
+        ("httpd_payload_sendfile", &["httpd"][..]),
+        ("httpd_payload_copy", &["httpd", "--copy"][..]),
+    ] {
+        let config = browsix_apps::default_config().with_platform(PlatformConfig::chrome());
+        config.registry.register(
+            "/usr/bin/httpd",
+            Arc::new(
+                NodeLauncher::new("httpd", browsix_apps::httpd_program())
+                    .with_profile(ExecutionProfile::instant(SyscallConvention::Async)),
+            ),
+        );
+        let kernel = browsix_apps::boot_standard_kernel(config, ExecutionProfile::instant(SyscallConvention::Async));
+        browsix_apps::stage_httpd_root(kernel.fs().as_ref());
+        let server = kernel.spawn("/usr/bin/httpd", args, &[]).expect("start httpd");
+        assert!(
+            kernel.wait_for_port(browsix_apps::HTTPD_PORT, Duration::from_secs(10)),
+            "httpd did not start listening"
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let response = kernel
+                    .http_request(
+                        browsix_apps::HTTPD_PORT,
+                        HttpRequest::new(Method::Get, "/payload.bin"),
+                        Duration::from_secs(30),
+                    )
+                    .expect("payload request");
+                assert!(response.is_success());
+                assert_eq!(response.body.len(), 32 * 1024);
+                black_box(response.body.len());
+            });
+        });
+        let _ = kernel.kill(server.pid, browsix_core::Signal::SIGKILL);
+        kernel.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wakeup, bench_httpd, bench_httpd_payload);
 criterion_main!(benches);

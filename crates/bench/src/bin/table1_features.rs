@@ -99,6 +99,22 @@ fn main() {
         ],
     );
 
+    // Syscall-ring and zero-copy activity during the run: submission-queue
+    // entries the kernel drained, doorbell events that triggered a drain,
+    // completions posted back through the ring, and bytes/pages the sendfile
+    // and splice paths moved without guest-memory copies.
+    print_table(
+        "Verification run — syscall rings & zero-copy",
+        &["Counter", "Value"],
+        &[
+            vec!["SQEs drained".to_owned(), stats.sq_polled.to_string()],
+            vec!["doorbells".to_owned(), stats.doorbells.to_string()],
+            vec!["CQEs posted".to_owned(), stats.cq_posted.to_string()],
+            vec!["sendfile/splice bytes".to_owned(), stats.sendfile_bytes.to_string()],
+            vec!["zero-copy pages".to_owned(), stats.zero_copy_pages.to_string()],
+        ],
+    );
+
     // Signal traffic during the run: signals accepted for live targets,
     // signals that actually acted (handler or default disposition), and
     // blocked system calls a handler interrupted with EINTR.

@@ -149,6 +149,26 @@ pub fn representative_syscalls() -> Vec<Syscall> {
             addr: 0x1000_0000,
             data: ByteSource::Inline(vec![]),
         },
+        Syscall::Sendfile {
+            out_fd: 4,
+            in_fd: 3,
+            offset: -1,
+            len: 65536,
+        },
+        Syscall::Splice {
+            fd_in: 3,
+            fd_out: 4,
+            len: 65536,
+        },
+        Syscall::RingSetup {
+            sq_offset: 0,
+            cq_offset: 16400,
+            slots: 64,
+            slot_bytes: 256,
+            buf_offset: 32800,
+            buf_count: 7,
+            buf_bytes: 65536,
+        },
     ]
 }
 
@@ -173,7 +193,7 @@ mod tests {
     fn figure3_calls_are_all_present() {
         let inventory = syscall_inventory();
         let classes: Vec<&String> = inventory.keys().collect();
-        assert_eq!(classes.len(), 7);
+        assert_eq!(classes.len(), 8);
         let all: Vec<String> = inventory.values().flatten().cloned().collect();
         for expected in [
             "fork",
@@ -214,6 +234,9 @@ mod tests {
             "shm_unlink",
             "vm_read",
             "vm_write",
+            "sendfile",
+            "splice",
+            "ring_setup",
         ] {
             assert!(all.contains(&expected.to_string()), "missing {expected}");
         }

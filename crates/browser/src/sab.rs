@@ -149,6 +149,41 @@ impl SharedArrayBuffer {
         Ok(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
     }
 
+    /// `Atomics.or`-style read-modify-write: ORs `value` into the `i32` at
+    /// byte offset `offset` and returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the access is out of range.
+    pub fn fetch_or_i32(&self, offset: usize, value: i32) -> Result<i32, PlatformError> {
+        self.fetch_update_i32(offset, |old| old | value)
+    }
+
+    /// `Atomics.and`-style read-modify-write: ANDs `value` into the `i32` at
+    /// byte offset `offset` and returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::OutOfBounds`] if the access is out of range.
+    pub fn fetch_and_i32(&self, offset: usize, value: i32) -> Result<i32, PlatformError> {
+        self.fetch_update_i32(offset, |old| old & value)
+    }
+
+    fn fetch_update_i32(&self, offset: usize, f: impl FnOnce(i32) -> i32) -> Result<i32, PlatformError> {
+        let mut state = self.inner.state.lock();
+        let capacity = state.data.len();
+        self.check_bounds(offset, 4, capacity)?;
+        let old = i32::from_le_bytes([
+            state.data[offset],
+            state.data[offset + 1],
+            state.data[offset + 2],
+            state.data[offset + 3],
+        ]);
+        let new = f(old).to_le_bytes();
+        state.data[offset..offset + 4].copy_from_slice(&new);
+        Ok(old)
+    }
+
     /// `Atomics.wait`: blocks until the value at byte offset `offset` is
     /// changed *and* notified, the value differs from `expected` on entry, or
     /// the optional timeout expires.
@@ -288,6 +323,17 @@ mod tests {
         sab.store_and_notify(0, 1).unwrap();
         assert_eq!(handle.join().unwrap(), AtomicsWaitResult::Ok);
         assert_eq!(sab.load_i32(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn fetch_or_and_round_trip() {
+        let sab = SharedArrayBuffer::new(16);
+        assert_eq!(sab.fetch_or_i32(0, 0b0101).unwrap(), 0);
+        assert_eq!(sab.fetch_or_i32(0, 0b0010).unwrap(), 0b0101);
+        assert_eq!(sab.load_i32(0).unwrap(), 0b0111);
+        assert_eq!(sab.fetch_and_i32(0, !0b0001).unwrap(), 0b0111);
+        assert_eq!(sab.load_i32(0).unwrap(), 0b0110);
+        assert!(sab.fetch_or_i32(14, 1).is_err());
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub enum KernelEvent {
         /// Offset of the wake address.
         wake_offset: usize,
     },
+    /// A process ringing its submission-ring doorbell: its SQ went from
+    /// empty to non-empty while the kernel had the `NEED_WAKEUP` flag set.
+    /// Carries no payload — the entries themselves sit in shared memory
+    /// (this models `Atomics.notify` on the kernel's wait address).
+    Doorbell {
+        /// The submitting process.
+        pid: Pid,
+    },
     /// A host-API request from the embedding application.
     Host(HostRequest),
     /// Stop the kernel: terminate all workers and end the event loop.
@@ -157,6 +165,7 @@ impl std::fmt::Debug for KernelEvent {
                 write!(f, "Syscall(pid={pid}, {kind})")
             }
             KernelEvent::RegisterSyncHeap { pid, .. } => write!(f, "RegisterSyncHeap(pid={pid})"),
+            KernelEvent::Doorbell { pid } => write!(f, "Doorbell(pid={pid})"),
             KernelEvent::Host(req) => write!(f, "Host({req:?})"),
             KernelEvent::Shutdown => write!(f, "Shutdown"),
         }

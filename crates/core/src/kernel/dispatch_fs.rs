@@ -166,8 +166,8 @@ impl KernelState {
                     return Outcome::Complete(SysResult::Err(Errno::EIO));
                 };
                 self.stats.waiters_parked += 1;
-                self.park_waiter(
-                    vec![channel],
+                self.park_waiter_one(
+                    channel,
                     Waiter {
                         pid,
                         reply: Some(reply),
@@ -302,8 +302,8 @@ impl KernelState {
                     return Outcome::Complete(SysResult::Err(Errno::EIO));
                 };
                 self.stats.waiters_parked += 1;
-                self.park_waiter(
-                    vec![channel],
+                self.park_waiter_one(
+                    channel,
                     Waiter {
                         pid,
                         reply: Some(reply),
@@ -312,6 +312,230 @@ impl KernelState {
                             data: bytes,
                             written,
                         },
+                    },
+                );
+                Outcome::Blocked
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    /// Pumps up to `remaining` bytes of `in_fd`'s file into `out_fd`'s stream
+    /// without the bytes ever entering guest memory: each iteration
+    /// materialises one page-cache page by reference
+    /// ([`FileHandle::map_page`](browsix_fs::FileHandle::map_page)) and pushes
+    /// the covered slice straight into the kernel stream.  Advances `offset`
+    /// and `remaining` in place; returns the bytes pushed this pass and
+    /// whether the transfer is finished (`remaining` exhausted or end of
+    /// file).  A partial pass with `done == false` means the stream filled.
+    pub(crate) fn pump_sendfile(
+        &mut self,
+        pid: Pid,
+        out_fd: Fd,
+        in_fd: Fd,
+        offset: &mut u64,
+        remaining: &mut u64,
+        advance_cursor: bool,
+    ) -> Result<(u64, bool), Errno> {
+        use crate::vm::PAGE_SIZE;
+        let in_file = self.task(pid)?.files.get(in_fd)?;
+        let (handle, in_flags) = match in_file.kind() {
+            FileKind::File { handle, flags } => (handle, flags),
+            FileKind::Directory { .. } => return Err(Errno::EISDIR),
+            _ => return Err(Errno::EINVAL),
+        };
+        if !in_flags.read {
+            return Err(Errno::EBADF);
+        }
+        let out_kind = self.task(pid)?.files.get(out_fd)?.kind();
+        let Some(stream_id) = self.write_stream_of(&out_kind) else {
+            return Err(Errno::EINVAL);
+        };
+        let mut pushed_total: u64 = 0;
+        let mut size;
+        loop {
+            size = handle.metadata()?.size;
+            if *remaining == 0 || *offset >= size {
+                break;
+            }
+            let (space, read_closed) = match self.streams().get(stream_id) {
+                Some(s) => (s.space(), s.read_end_closed()),
+                None if pushed_total > 0 => break,
+                None => return Err(Errno::EPIPE),
+            };
+            if read_closed {
+                if pushed_total > 0 {
+                    break;
+                }
+                let _ = self.send_signal(pid, Signal::SIGPIPE);
+                return Err(Errno::EPIPE);
+            }
+            if space == 0 {
+                break;
+            }
+            let page_index = *offset / PAGE_SIZE as u64;
+            let page_off = (*offset % PAGE_SIZE as u64) as usize;
+            let page = handle.map_page(page_index, PAGE_SIZE)?;
+            let chunk = (PAGE_SIZE - page_off)
+                .min(space)
+                .min((*remaining).min(size - *offset) as usize);
+            let pushed = match self.streams_mut().get_mut(stream_id) {
+                Some(s) => s.push(&page[page_off..page_off + chunk]),
+                None => break,
+            };
+            if pushed == 0 {
+                break;
+            }
+            self.stats.sendfile_bytes += pushed as u64;
+            self.stats.zero_copy_pages += 1;
+            *offset += pushed as u64;
+            *remaining -= pushed as u64;
+            pushed_total += pushed as u64;
+            if advance_cursor {
+                in_file.set_offset(*offset);
+            }
+            // Waking readers inside the loop lets a blocked consumer drain
+            // the stream between pages, so one sendfile pass can move more
+            // than a streamful.
+            self.wake(WaitChannel::StreamReadable(stream_id));
+        }
+        Ok((pushed_total, *remaining == 0 || *offset >= size))
+    }
+
+    pub(crate) fn sys_sendfile(
+        &mut self,
+        pid: Pid,
+        reply: ReplyTo,
+        out_fd: Fd,
+        in_fd: Fd,
+        offset: i64,
+        len: u64,
+    ) -> Outcome {
+        // offset -1 means "use (and advance) the descriptor's cursor", like
+        // passing NULL to Linux sendfile(2); an explicit offset leaves it
+        // untouched.
+        if offset < -1 {
+            return Outcome::Complete(SysResult::Err(Errno::EINVAL));
+        }
+        let advance_cursor = offset < 0;
+        let mut pos = if advance_cursor {
+            match self.task(pid).and_then(|t| t.files.get(in_fd)) {
+                Ok(file) => file.offset(),
+                Err(e) => return Outcome::Complete(SysResult::Err(e)),
+            }
+        } else {
+            offset as u64
+        };
+        let mut remaining = len;
+        match self.pump_sendfile(pid, out_fd, in_fd, &mut pos, &mut remaining, advance_cursor) {
+            Ok((sent, true)) => Outcome::Complete(SysResult::Int(sent as i64)),
+            Ok((sent, false)) => {
+                if self.fd_nonblocking(pid, out_fd) {
+                    if sent > 0 {
+                        return Outcome::Complete(SysResult::Int(sent as i64));
+                    }
+                    self.stats.eagain_returns += 1;
+                    return Outcome::Complete(SysResult::Err(Errno::EAGAIN));
+                }
+                let Some(channel) = self.write_wait_channel(pid, out_fd) else {
+                    return Outcome::Complete(SysResult::Err(Errno::EIO));
+                };
+                self.stats.waiters_parked += 1;
+                self.park_waiter_one(
+                    channel,
+                    Waiter {
+                        pid,
+                        reply: Some(reply),
+                        kind: WaitKind::Sendfile {
+                            out_fd,
+                            in_fd,
+                            offset: pos,
+                            remaining,
+                            sent,
+                            advance_cursor,
+                        },
+                    },
+                );
+                Outcome::Blocked
+            }
+            Err(e) => Outcome::Complete(SysResult::Err(e)),
+        }
+    }
+
+    /// Attempts one stream-to-stream move of up to `len` bytes.
+    /// `Ok(Some(n))` moved `n` bytes (`0` = end of input); `Ok(None)` means
+    /// "would block" — input empty with live writers, or output full.
+    pub(crate) fn try_splice(&mut self, pid: Pid, fd_in: Fd, fd_out: Fd, len: u64) -> Result<Option<u64>, Errno> {
+        let in_kind = self.task(pid)?.files.get(fd_in)?.kind();
+        let Some(in_stream) = self.read_stream_of(&in_kind) else {
+            return Err(Errno::EINVAL);
+        };
+        let out_kind = self.task(pid)?.files.get(fd_out)?.kind();
+        let Some(out_stream) = self.write_stream_of(&out_kind) else {
+            return Err(Errno::EINVAL);
+        };
+        if in_stream == out_stream {
+            return Err(Errno::EINVAL);
+        }
+        match self.streams().get(out_stream) {
+            Some(s) if s.read_end_closed() => {
+                let _ = self.send_signal(pid, Signal::SIGPIPE);
+                return Err(Errno::EPIPE);
+            }
+            Some(_) => {}
+            None => return Err(Errno::EPIPE),
+        }
+        let (buffered, eof) = match self.streams().get(in_stream) {
+            Some(s) => (s.len(), s.write_end_closed()),
+            // Input stream gone entirely: end of input.
+            None => return Ok(Some(0)),
+        };
+        if buffered == 0 {
+            return if eof { Ok(Some(0)) } else { Ok(None) };
+        }
+        let space = self
+            .streams()
+            .get(out_stream)
+            .map(crate::streams::Stream::space)
+            .unwrap_or(0);
+        if space == 0 {
+            return Ok(None);
+        }
+        let take = (len.min(buffered as u64) as usize).min(space);
+        let data = match self.streams_mut().get_mut(in_stream) {
+            Some(s) => s.pop(take),
+            None => return Ok(Some(0)),
+        };
+        let moved = match self.streams_mut().get_mut(out_stream) {
+            Some(s) => s.push(&data),
+            None => return Err(Errno::EPIPE),
+        };
+        debug_assert_eq!(moved, data.len(), "splice sized its chunk to the output's free space");
+        self.stats.sendfile_bytes += moved as u64;
+        self.wake(WaitChannel::StreamWritable(in_stream));
+        self.wake(WaitChannel::StreamReadable(out_stream));
+        Ok(Some(moved as u64))
+    }
+
+    pub(crate) fn sys_splice(&mut self, pid: Pid, reply: ReplyTo, fd_in: Fd, fd_out: Fd, len: u64) -> Outcome {
+        match self.try_splice(pid, fd_in, fd_out, len) {
+            Ok(Some(moved)) => Outcome::Complete(SysResult::Int(moved as i64)),
+            Ok(None) => {
+                if self.fd_nonblocking(pid, fd_in) || self.fd_nonblocking(pid, fd_out) {
+                    self.stats.eagain_returns += 1;
+                    return Outcome::Complete(SysResult::Err(Errno::EAGAIN));
+                }
+                let channels = match (self.read_wait_channel(pid, fd_in), self.write_wait_channel(pid, fd_out)) {
+                    (Some(a), Some(b)) => vec![a, b],
+                    _ => return Outcome::Complete(SysResult::Err(Errno::EIO)),
+                };
+                self.stats.waiters_parked += 1;
+                self.park_waiter(
+                    channels,
+                    Waiter {
+                        pid,
+                        reply: Some(reply),
+                        kind: WaitKind::Splice { fd_in, fd_out, len },
                     },
                 );
                 Outcome::Blocked

@@ -179,8 +179,8 @@ impl KernelState {
                     // Park on this process's own child-exit queue; only a
                     // child of ours exiting (or stopping) wakes it.
                     self.stats.waiters_parked += 1;
-                    self.park_waiter(
-                        vec![WaitChannel::ChildOf(pid)],
+                    self.park_waiter_one(
+                        WaitChannel::ChildOf(pid),
                         Waiter {
                             pid,
                             reply: Some(reply),

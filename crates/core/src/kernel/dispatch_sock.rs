@@ -126,8 +126,8 @@ impl KernelState {
                     return Outcome::Complete(SysResult::Err(Errno::EBADF));
                 };
                 self.stats.waiters_parked += 1;
-                self.park_waiter(
-                    vec![channel],
+                self.park_waiter_one(
+                    channel,
                     Waiter {
                         pid,
                         reply: Some(reply),

@@ -56,27 +56,142 @@ pub enum WaitChannel {
 /// Identifier of a parked waiter within a [`WaitTable`].
 pub type WaiterId = u64;
 
+/// A minimal Fx-style hasher for the wait table's maps.
+///
+/// The park/wake round trip is the kernel's hottest non-I/O path, and
+/// profiles of the `readiness/wake_one_1` benchmark showed the standard
+/// library's DoS-resistant SipHash dominating its fixed cost.  Keys here are
+/// kernel-generated integers (waiter ids, stream ids, pids, ports), never
+/// attacker-chosen, so a fast multiply-rotate hash is safe.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// [`std::hash::BuildHasherDefault`] over [`FxHasher`].
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// The waiters parked on one channel.  Almost every channel has exactly one
+/// waiter (a pipe has one reader), so the single-waiter case is stored
+/// inline and allocates nothing.
+#[derive(Debug)]
+enum WaiterList {
+    One(WaiterId),
+    Many(Vec<WaiterId>),
+}
+
+impl WaiterList {
+    fn push(&mut self, id: WaiterId) {
+        match self {
+            WaiterList::One(first) => *self = WaiterList::Many(vec![*first, id]),
+            WaiterList::Many(v) => v.push(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WaiterList::One(_) => 1,
+            WaiterList::Many(v) => v.len(),
+        }
+    }
+
+    /// Removes `id` if present; returns whether the list is now empty (and
+    /// its channel entry should be dropped).
+    fn remove_id(&mut self, id: WaiterId) -> bool {
+        match self {
+            WaiterList::One(only) => *only == id,
+            WaiterList::Many(v) => {
+                v.retain(|&w| w != id);
+                v.is_empty()
+            }
+        }
+    }
+}
+
+/// The channels one waiter is parked on.  The dominant case — a read or
+/// write waiting on its single stream — stores the channel inline; only
+/// `poll` (several descriptors) pays for a vector.
+#[derive(Debug)]
+pub(crate) enum Channels {
+    None,
+    One(WaitChannel),
+    Many(Vec<WaitChannel>),
+}
+
+impl Channels {
+    fn from_vec(mut v: Vec<WaitChannel>) -> Channels {
+        match v.len() {
+            0 => Channels::None,
+            1 => Channels::One(v.pop().expect("len checked")),
+            _ => Channels::Many(v),
+        }
+    }
+
+    fn as_slice(&self) -> &[WaitChannel] {
+        match self {
+            Channels::None => &[],
+            Channels::One(ch) => std::slice::from_ref(ch),
+            Channels::Many(v) => v.as_slice(),
+        }
+    }
+}
+
 /// A table of parked waiters indexed by the channels they wait on.
 ///
 /// The table is generic over the waiter payload so the kernel can park its
 /// [`Waiter`] records and benchmarks can park plain markers; either way the
 /// data structure is the same: `park` registers a payload on one or more
-/// channels, and `take_channel` removes and returns every payload parked on
-/// one channel in O(waiters on that channel) — independent of how many
+/// channels ([`WaitTable::park_one`] is the allocation-free single-channel
+/// fast path), and `take_channel` removes and returns every payload parked
+/// on one channel in O(waiters on that channel) — independent of how many
 /// waiters exist in total, which is the whole point of the design.
 #[derive(Debug)]
 pub struct WaitTable<T> {
     next_id: WaiterId,
-    waiters: HashMap<WaiterId, (T, Vec<WaitChannel>)>,
-    channels: HashMap<WaitChannel, Vec<WaiterId>>,
+    waiters: HashMap<WaiterId, (T, Channels), FxBuildHasher>,
+    channels: HashMap<WaitChannel, WaiterList, FxBuildHasher>,
 }
 
 impl<T> Default for WaitTable<T> {
     fn default() -> WaitTable<T> {
         WaitTable {
             next_id: 0,
-            waiters: HashMap::new(),
-            channels: HashMap::new(),
+            waiters: HashMap::default(),
+            channels: HashMap::default(),
         }
     }
 }
@@ -99,16 +214,29 @@ impl<T> WaitTable<T> {
 
     /// Number of waiters parked on `channel`.
     pub fn waiting_on(&self, channel: WaitChannel) -> usize {
-        self.channels.get(&channel).map(Vec::len).unwrap_or(0)
+        self.channels.get(&channel).map(WaiterList::len).unwrap_or(0)
     }
 
     /// Parks `payload` on every channel in `channels` (possibly none, for
     /// purely timer-driven waiters), returning its id.
     pub fn park(&mut self, channels: Vec<WaitChannel>, payload: T) -> WaiterId {
+        self.park_channels(Channels::from_vec(channels), payload)
+    }
+
+    /// Parks `payload` on exactly one channel — the hot path for blocked
+    /// reads, writes and accepts — without allocating a channel list.
+    pub fn park_one(&mut self, channel: WaitChannel, payload: T) -> WaiterId {
+        self.park_channels(Channels::One(channel), payload)
+    }
+
+    pub(crate) fn park_channels(&mut self, channels: Channels, payload: T) -> WaiterId {
         let id = self.next_id;
         self.next_id += 1;
-        for channel in &channels {
-            self.channels.entry(*channel).or_default().push(id);
+        for channel in channels.as_slice() {
+            self.channels
+                .entry(*channel)
+                .and_modify(|list| list.push(id))
+                .or_insert(WaiterList::One(id));
         }
         self.waiters.insert(id, (payload, channels));
         id
@@ -117,16 +245,21 @@ impl<T> WaitTable<T> {
     /// Removes and returns every waiter parked on `channel`, deregistering
     /// each from any other channels it was parked on.
     pub fn take_channel(&mut self, channel: WaitChannel) -> Vec<T> {
-        let Some(ids) = self.channels.remove(&channel) else {
+        let Some(list) = self.channels.remove(&channel) else {
             return Vec::new();
         };
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            if let Some(payload) = self.remove_registered(id, Some(channel)) {
-                out.push(payload);
+        match list {
+            WaiterList::One(id) => self.remove_registered(id, Some(channel)).into_iter().collect(),
+            WaiterList::Many(ids) => {
+                let mut out = Vec::with_capacity(ids.len());
+                for id in ids {
+                    if let Some(payload) = self.remove_registered(id, Some(channel)) {
+                        out.push(payload);
+                    }
+                }
+                out
             }
         }
-        out
     }
 
     /// Removes one waiter by id (used when a `poll` deadline fires).
@@ -180,13 +313,12 @@ impl<T> WaitTable<T> {
     /// drained by the caller).
     fn remove_registered(&mut self, id: WaiterId, already_removed: Option<WaitChannel>) -> Option<T> {
         let (payload, channels) = self.waiters.remove(&id)?;
-        for channel in channels {
+        for &channel in channels.as_slice() {
             if Some(channel) == already_removed {
                 continue;
             }
             if let Some(list) = self.channels.get_mut(&channel) {
-                list.retain(|&w| w != id);
-                if list.is_empty() {
+                if list.remove_id(id) {
                     self.channels.remove(&channel);
                 }
             }
@@ -225,6 +357,31 @@ pub(crate) enum WaitKind {
     Accept {
         /// The listening descriptor.
         fd: Fd,
+    },
+    /// `sendfile` waiting for space in the output stream.
+    Sendfile {
+        /// Stream-backed destination descriptor.
+        out_fd: Fd,
+        /// Regular-file source descriptor.
+        in_fd: Fd,
+        /// Current read position in the source file.
+        offset: u64,
+        /// Bytes still to transfer.
+        remaining: u64,
+        /// Bytes already pushed into the output stream.
+        sent: u64,
+        /// Whether the source descriptor's cursor tracks the transfer
+        /// (the caller passed offset −1).
+        advance_cursor: bool,
+    },
+    /// `splice` waiting for input bytes or output space.
+    Splice {
+        /// Stream-backed source descriptor.
+        fd_in: Fd,
+        /// Stream-backed destination descriptor.
+        fd_out: Fd,
+        /// Maximum bytes to move.
+        len: u64,
     },
     /// `poll` waiting for the first ready descriptor or its timeout.
     Poll {
@@ -285,12 +442,22 @@ impl KernelState {
     /// waiter would sleep on a state change that already happened — the
     /// classic lost-wakeup race, just single-threaded.
     pub(crate) fn park_waiter(&mut self, channels: Vec<WaitChannel>, waiter: Waiter) {
+        self.park_waiter_channels(Channels::from_vec(channels), waiter);
+    }
+
+    /// Single-channel [`KernelState::park_waiter`]: the hot path for blocked
+    /// reads, writes, accepts and sendfiles, free of channel-list allocation.
+    pub(crate) fn park_waiter_one(&mut self, channel: WaitChannel, waiter: Waiter) {
+        self.park_waiter_channels(Channels::One(channel), waiter);
+    }
+
+    fn park_waiter_channels(&mut self, channels: Channels, waiter: Waiter) {
         let deadline = match &waiter.kind {
             WaitKind::Poll { deadline, .. } => *deadline,
             _ => None,
         };
         let actionable = self.waiter_actionable(&waiter);
-        let id = self.waiters.park(channels, waiter);
+        let id = self.waiters.park_channels(channels, waiter);
         if let Some(deadline) = deadline {
             self.poll_deadlines.push((deadline, id));
         }
@@ -333,6 +500,39 @@ impl KernelState {
                 }
                 _ => true,
             },
+            // Parked only because the output stream filled: mirror the Write
+            // arm, keyed on the destination descriptor.
+            WaitKind::Sendfile { out_fd, .. } => match self.write_wait_channel(waiter.pid, *out_fd) {
+                Some(WaitChannel::StreamWritable(id)) => {
+                    self.streams().get(id).is_none_or(crate::streams::Stream::write_ready)
+                }
+                _ => true,
+            },
+            WaitKind::Splice { fd_in, fd_out, .. } => {
+                match (
+                    self.read_wait_channel(waiter.pid, *fd_in),
+                    self.write_wait_channel(waiter.pid, *fd_out),
+                ) {
+                    (Some(WaitChannel::StreamReadable(i)), Some(WaitChannel::StreamWritable(o))) => {
+                        match (self.streams().get(i), self.streams().get(o)) {
+                            // A missing input reads EOF, a missing output
+                            // raises EPIPE: either completes the retry.
+                            (None, _) | (_, None) => true,
+                            (Some(input), Some(output)) => {
+                                if output.read_end_closed() {
+                                    true
+                                } else if input.is_empty() {
+                                    input.write_end_closed()
+                                } else {
+                                    output.space() > 0
+                                }
+                            }
+                        }
+                    }
+                    // No longer stream-backed: the retry will error out.
+                    _ => true,
+                }
+            }
             WaitKind::Poll { fds, .. } => self.poll_revents(waiter.pid, fds).iter().any(|&r| r != 0),
             WaitKind::HttpClient { connection } => self.http_client_actionable(*connection),
         }
@@ -397,8 +597,8 @@ impl KernelState {
             WaitKind::Read { fd, len } => match self.try_read_fd(pid, fd, len) {
                 Ok(Some(data)) => self.finish_waiter(pid, reply, SysResult::Data(data)),
                 Ok(None) => match self.read_wait_channel(pid, fd) {
-                    Some(channel) => self.repark(
-                        vec![channel],
+                    Some(channel) => self.repark_one(
+                        channel,
                         Waiter {
                             pid,
                             reply,
@@ -421,7 +621,7 @@ impl KernelState {
                                     self.stats.spurious_wakeups += 1;
                                 }
                                 let kind = WaitKind::Write { fd, data, written };
-                                self.park_waiter(vec![channel], Waiter { pid, reply, kind });
+                                self.park_waiter_one(channel, Waiter { pid, reply, kind });
                             }
                             None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EIO)),
                         }
@@ -431,8 +631,8 @@ impl KernelState {
             },
             WaitKind::Wait4 { target, options } => match self.try_reap_child(pid, target, options) {
                 Ok(Some((child, status))) => self.finish_waiter(pid, reply, SysResult::Wait { pid: child, status }),
-                Ok(None) => self.repark(
-                    vec![WaitChannel::ChildOf(pid)],
+                Ok(None) => self.repark_one(
+                    WaitChannel::ChildOf(pid),
                     Waiter {
                         pid,
                         reply,
@@ -444,8 +644,8 @@ impl KernelState {
             WaitKind::Accept { fd } => match self.try_accept(pid, fd) {
                 Ok(Some(new_fd)) => self.finish_waiter(pid, reply, SysResult::Int(new_fd as i64)),
                 Ok(None) => match self.accept_wait_channel(pid, fd) {
-                    Some(channel) => self.repark(
-                        vec![channel],
+                    Some(channel) => self.repark_one(
+                        channel,
                         Waiter {
                             pid,
                             reply,
@@ -453,6 +653,58 @@ impl KernelState {
                         },
                     ),
                     None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EBADF)),
+                },
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Sendfile {
+                out_fd,
+                in_fd,
+                mut offset,
+                mut remaining,
+                sent,
+                advance_cursor,
+            } => match self.pump_sendfile(pid, out_fd, in_fd, &mut offset, &mut remaining, advance_cursor) {
+                Ok((pushed, done)) => {
+                    let sent = sent + pushed;
+                    if done {
+                        self.finish_waiter(pid, reply, SysResult::Int(sent as i64));
+                    } else {
+                        match self.write_wait_channel(pid, out_fd) {
+                            Some(channel) => {
+                                if pushed == 0 {
+                                    self.stats.spurious_wakeups += 1;
+                                }
+                                let kind = WaitKind::Sendfile {
+                                    out_fd,
+                                    in_fd,
+                                    offset,
+                                    remaining,
+                                    sent,
+                                    advance_cursor,
+                                };
+                                self.park_waiter_one(channel, Waiter { pid, reply, kind });
+                            }
+                            None => self.finish_waiter(pid, reply, SysResult::Err(Errno::EIO)),
+                        }
+                    }
+                }
+                // A transfer that already moved bytes reports them; the error
+                // will resurface on the next call.
+                Err(_) if sent > 0 => self.finish_waiter(pid, reply, SysResult::Int(sent as i64)),
+                Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
+            },
+            WaitKind::Splice { fd_in, fd_out, len } => match self.try_splice(pid, fd_in, fd_out, len) {
+                Ok(Some(moved)) => self.finish_waiter(pid, reply, SysResult::Int(moved as i64)),
+                Ok(None) => match (self.read_wait_channel(pid, fd_in), self.write_wait_channel(pid, fd_out)) {
+                    (Some(a), Some(b)) => self.repark(
+                        vec![a, b],
+                        Waiter {
+                            pid,
+                            reply,
+                            kind: WaitKind::Splice { fd_in, fd_out, len },
+                        },
+                    ),
+                    _ => self.finish_waiter(pid, reply, SysResult::Err(Errno::EIO)),
                 },
                 Err(e) => self.finish_waiter(pid, reply, SysResult::Err(e)),
             },
@@ -505,6 +757,12 @@ impl KernelState {
     fn repark(&mut self, channels: Vec<WaitChannel>, waiter: Waiter) {
         self.stats.spurious_wakeups += 1;
         self.park_waiter(channels, waiter);
+    }
+
+    /// Single-channel [`KernelState::repark`].
+    fn repark_one(&mut self, channel: WaitChannel, waiter: Waiter) {
+        self.stats.spurious_wakeups += 1;
+        self.park_waiter_one(channel, waiter);
     }
 
     /// Retries every parked waiter, asserting that none of them completes —

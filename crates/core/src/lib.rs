@@ -45,6 +45,7 @@ pub mod exec;
 pub mod fd;
 pub mod hostapi;
 pub mod kernel;
+pub mod ring;
 pub mod signals;
 pub mod socket;
 pub mod stats;
@@ -58,6 +59,7 @@ pub use events::{HostRequest, KernelEvent, OutputSink};
 pub use exec::{ExecutableRegistry, ForkImage, LaunchContext, ProcessStart, ProgramLauncher};
 pub use fd::{Fd, FdTable, OpenFile};
 pub use hostapi::{BootConfig, ExitStatus, Kernel, ProcessHandle};
+pub use ring::{Ring, RingGeometry};
 pub use signals::{SigAction, SigSet, Signal, SignalDisposition, SignalState, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK};
 pub use stats::KernelStats;
 pub use streams::{Stream, StreamId, StreamTable};

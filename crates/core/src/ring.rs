@@ -1,0 +1,482 @@
+//! Persistent shared-memory syscall rings.
+//!
+//! The synchronous convention originally built one wire frame per batch and
+//! handed it to the kernel by value.  Rings replace that with an io_uring
+//! style pair of fixed-slot queues living *inside* the process's shared heap:
+//!
+//! * the **submission queue** (SQ): the process encodes each call directly
+//!   into the next free slot and publishes it by advancing the tail index;
+//! * the **completion queue** (CQ): the kernel encodes each result into the
+//!   next free slot, advances the tail and notifies the waiting process;
+//! * the **registered-buffer table**: a small pool of fixed-size buffers the
+//!   kernel can fill with bulk read data, so a large `read` completion is a
+//!   12-byte `DataFixed` entry instead of a payload copy through the codec.
+//!
+//! Each queue is single-producer/single-consumer: the process owns the SQ
+//! tail and CQ head, the kernel owns the SQ head and CQ tail.  Indices are
+//! free-running `u32`s (slot = index % slots), mirroring io_uring, so empty
+//! is `head == tail` and full is `tail - head == slots`.
+//!
+//! The doorbell protocol avoids a kernel wake-up per submission: the kernel
+//! sets the `NEED_WAKEUP` flag in the SQ header only once it has drained the
+//! queue dry, and the process rings the doorbell (a kernel event, modelling
+//! `Atomics.notify` on the kernel's wait address) only when it observes the
+//! flag set — i.e. only on empty→non-empty transitions.
+//!
+//! Slot payloads reuse the exact wire encoding of [`crate::Syscall`] and
+//! [`crate::syscall::SysResult`]; the frame codec stays the oracle for what
+//! travels through a slot, and the asynchronous `postMessage` transport keeps
+//! using full frames unchanged.
+
+use browsix_browser::SharedArrayBuffer;
+
+/// Number of slots in each queue (power of two).
+pub const RING_SLOTS: u32 = 64;
+/// Byte size of one slot: an 8-byte entry header (`user_data`, payload
+/// length) plus payload capacity.
+pub const RING_SLOT_BYTES: u32 = 256;
+/// Byte size of a queue header: head, tail, flags, one reserved word.
+pub const RING_HEADER_BYTES: u32 = 16;
+/// Byte size of one full queue (header + slots).
+pub const RING_BYTES: u32 = RING_HEADER_BYTES + RING_SLOTS * RING_SLOT_BYTES;
+/// Number of registered buffers.
+pub const REG_BUF_COUNT: u32 = 7;
+/// Byte size of one registered buffer.
+pub const REG_BUF_BYTES: u32 = 64 * 1024;
+/// Byte size of the registered-buffer table header (allocation bitmap word
+/// plus reserved words).
+pub const REG_BUF_TABLE_HEADER_BYTES: u32 = 16;
+/// Byte size of the whole registered-buffer table.
+pub const REG_BUF_TABLE_BYTES: u32 = REG_BUF_TABLE_HEADER_BYTES + REG_BUF_COUNT * REG_BUF_BYTES;
+/// Byte size of the whole ring region (SQ + CQ + registered buffers).
+pub const RING_REGION_BYTES: u32 = 2 * RING_BYTES + REG_BUF_TABLE_BYTES;
+
+/// SQ header flag: the kernel has drained the queue dry and parked; the next
+/// submission must ring the doorbell.
+pub const NEED_WAKEUP: i32 = 1;
+
+/// Maximum payload bytes one slot can carry.
+pub const SLOT_PAYLOAD_BYTES: u32 = RING_SLOT_BYTES - 8;
+
+/// Where the two queues and the buffer table sit inside the shared heap.
+///
+/// Carried by [`crate::Syscall::RingSetup`]; the kernel validates a geometry
+/// against the registered heap before accepting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingGeometry {
+    /// Byte offset of the SQ header.
+    pub sq_offset: u32,
+    /// Byte offset of the CQ header.
+    pub cq_offset: u32,
+    /// Slots per queue (power of two).
+    pub slots: u32,
+    /// Byte size of one slot.
+    pub slot_bytes: u32,
+    /// Byte offset of the registered-buffer table.
+    pub buf_offset: u32,
+    /// Number of registered buffers.
+    pub buf_count: u32,
+    /// Byte size of one registered buffer.
+    pub buf_bytes: u32,
+}
+
+impl RingGeometry {
+    /// The standard layout: SQ, CQ and buffer table packed back to back
+    /// starting at `region_offset` within the shared heap.
+    pub fn standard(region_offset: u32) -> RingGeometry {
+        RingGeometry {
+            sq_offset: region_offset,
+            cq_offset: region_offset + RING_BYTES,
+            slots: RING_SLOTS,
+            slot_bytes: RING_SLOT_BYTES,
+            buf_offset: region_offset + 2 * RING_BYTES,
+            buf_count: REG_BUF_COUNT,
+            buf_bytes: REG_BUF_BYTES,
+        }
+    }
+
+    /// Whether this geometry is sane and fits a heap of `heap_len` bytes.
+    pub fn validate(&self, heap_len: usize) -> bool {
+        let queue_bytes = match self
+            .slot_bytes
+            .checked_mul(self.slots)
+            .and_then(|b| b.checked_add(RING_HEADER_BYTES))
+        {
+            Some(b) => b as usize,
+            None => return false,
+        };
+        let buf_bytes = match self
+            .buf_bytes
+            .checked_mul(self.buf_count)
+            .and_then(|b| b.checked_add(REG_BUF_TABLE_HEADER_BYTES))
+        {
+            Some(b) => b as usize,
+            None => return false,
+        };
+        let in_bounds = |off: u32, len: usize| (off as usize).checked_add(len).map(|end| end <= heap_len) == Some(true);
+        self.slots.is_power_of_two()
+            && self.slots > 0
+            && self.slot_bytes > 8
+            && in_bounds(self.sq_offset, queue_bytes)
+            && in_bounds(self.cq_offset, queue_bytes)
+            && in_bounds(self.buf_offset, buf_bytes)
+    }
+
+    fn sq_head_off(&self) -> usize {
+        self.sq_offset as usize
+    }
+    fn sq_tail_off(&self) -> usize {
+        self.sq_offset as usize + 4
+    }
+    fn sq_flags_off(&self) -> usize {
+        self.sq_offset as usize + 8
+    }
+    fn cq_head_off(&self) -> usize {
+        self.cq_offset as usize
+    }
+    /// Byte offset of the CQ tail word — the address the process blocks on
+    /// with `Atomics.wait` while expecting completions.
+    pub fn cq_tail_off(&self) -> usize {
+        self.cq_offset as usize + 4
+    }
+    fn sq_slot_off(&self, index: u32) -> usize {
+        self.sq_offset as usize + RING_HEADER_BYTES as usize + (index % self.slots * self.slot_bytes) as usize
+    }
+    fn cq_slot_off(&self, index: u32) -> usize {
+        self.cq_offset as usize + RING_HEADER_BYTES as usize + (index % self.slots * self.slot_bytes) as usize
+    }
+    fn bitmap_off(&self) -> usize {
+        self.buf_offset as usize
+    }
+    fn buf_slot_off(&self, index: u32) -> usize {
+        self.buf_offset as usize + REG_BUF_TABLE_HEADER_BYTES as usize + (index * self.buf_bytes) as usize
+    }
+
+    /// Maximum payload bytes one slot of this geometry can carry.
+    pub fn slot_payload_bytes(&self) -> usize {
+        self.slot_bytes as usize - 8
+    }
+}
+
+/// One side's handle to a ring pair mapped into a shared heap.
+///
+/// Both the kernel and the `SyscallClient` hold one of these over the *same*
+/// `SharedArrayBuffer`; the SPSC ownership discipline (documented on the
+/// module) is what keeps the two sides coherent.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    sab: SharedArrayBuffer,
+    geo: RingGeometry,
+}
+
+impl Ring {
+    /// Wraps a shared heap and a validated geometry.
+    pub fn new(sab: SharedArrayBuffer, geo: RingGeometry) -> Ring {
+        Ring { sab, geo }
+    }
+
+    /// The geometry this ring was mapped with.
+    pub fn geometry(&self) -> &RingGeometry {
+        &self.geo
+    }
+
+    /// The shared heap backing this ring.
+    pub fn sab(&self) -> &SharedArrayBuffer {
+        &self.sab
+    }
+
+    fn load(&self, off: usize) -> u32 {
+        self.sab.load_u32(off).unwrap_or(0)
+    }
+
+    fn store(&self, off: usize, value: u32) {
+        let _ = self.sab.store_i32(off, value as i32);
+    }
+
+    // --- submission queue -------------------------------------------------
+
+    /// Free SQ slots from the producer's point of view.
+    pub fn sq_space(&self) -> u32 {
+        let head = self.load(self.geo.sq_head_off());
+        let tail = self.load(self.geo.sq_tail_off());
+        self.geo.slots - tail.wrapping_sub(head)
+    }
+
+    /// Whether the SQ currently holds no published entries.
+    pub fn sq_is_empty(&self) -> bool {
+        self.load(self.geo.sq_head_off()) == self.load(self.geo.sq_tail_off())
+    }
+
+    /// Producer: writes one entry into the next free slot and publishes it.
+    ///
+    /// Returns `false` (without side effects) if the queue is full or the
+    /// payload exceeds the slot capacity.
+    pub fn push_sqe(&self, user_data: u32, payload: &[u8]) -> bool {
+        if self.sq_space() == 0 || payload.len() > self.geo.slot_payload_bytes() {
+            return false;
+        }
+        let tail = self.load(self.geo.sq_tail_off());
+        let slot = self.geo.sq_slot_off(tail);
+        let mut entry = Vec::with_capacity(8 + payload.len());
+        entry.extend_from_slice(&user_data.to_le_bytes());
+        entry.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        entry.extend_from_slice(payload);
+        if self.sab.write_bytes(slot, &entry).is_err() {
+            return false;
+        }
+        self.store(self.geo.sq_tail_off(), tail.wrapping_add(1));
+        true
+    }
+
+    /// Consumer: pops the oldest entry, if any.
+    pub fn pop_sqe(&self) -> Option<(u32, Vec<u8>)> {
+        let head = self.load(self.geo.sq_head_off());
+        if head == self.load(self.geo.sq_tail_off()) {
+            return None;
+        }
+        let slot = self.geo.sq_slot_off(head);
+        let header = self.sab.read_bytes(slot, 8).ok()?;
+        let user_data = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        let payload = self
+            .sab
+            .read_bytes(slot + 8, len.min(self.geo.slot_payload_bytes()))
+            .ok()?;
+        self.store(self.geo.sq_head_off(), head.wrapping_add(1));
+        Some((user_data, payload))
+    }
+
+    /// Current SQ flags word.
+    pub fn sq_flags(&self) -> i32 {
+        self.sab.load_i32(self.geo.sq_flags_off()).unwrap_or(0)
+    }
+
+    /// Kernel: parks the queue — sets `NEED_WAKEUP` so the next submission
+    /// rings the doorbell.
+    pub fn set_need_wakeup(&self) {
+        let _ = self.sab.fetch_or_i32(self.geo.sq_flags_off(), NEED_WAKEUP);
+    }
+
+    /// Kernel: clears `NEED_WAKEUP` before re-draining.
+    pub fn clear_need_wakeup(&self) {
+        let _ = self.sab.fetch_and_i32(self.geo.sq_flags_off(), !NEED_WAKEUP);
+    }
+
+    /// Process: atomically consumes the `NEED_WAKEUP` flag.  Returns whether
+    /// it was set, i.e. whether the doorbell must ring for this submission.
+    pub fn take_doorbell(&self) -> bool {
+        matches!(
+            self.sab.fetch_and_i32(self.geo.sq_flags_off(), !NEED_WAKEUP),
+            Ok(old) if old & NEED_WAKEUP != 0
+        )
+    }
+
+    // --- completion queue -------------------------------------------------
+
+    /// Free CQ slots from the producer's (kernel's) point of view.
+    pub fn cq_space(&self) -> u32 {
+        let head = self.load(self.geo.cq_head_off());
+        let tail = self.load(self.geo.cq_tail_off());
+        self.geo.slots - tail.wrapping_sub(head)
+    }
+
+    /// The CQ tail index, which the process also uses as the `Atomics.wait`
+    /// expected value while blocking for completions.
+    pub fn cq_tail(&self) -> u32 {
+        self.load(self.geo.cq_tail_off())
+    }
+
+    /// Kernel: writes one completion into the next free slot, publishes it
+    /// and notifies the process blocked on the CQ tail word.
+    ///
+    /// Returns `false` (without side effects) if the queue is full or the
+    /// payload exceeds the slot capacity; the caller is expected to hold the
+    /// completion in an overflow queue and retry later.
+    pub fn push_cqe(&self, user_data: u32, payload: &[u8]) -> bool {
+        if self.cq_space() == 0 || payload.len() > self.geo.slot_payload_bytes() {
+            return false;
+        }
+        let tail = self.load(self.geo.cq_tail_off());
+        let slot = self.geo.cq_slot_off(tail);
+        let mut entry = Vec::with_capacity(8 + payload.len());
+        entry.extend_from_slice(&user_data.to_le_bytes());
+        entry.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        entry.extend_from_slice(payload);
+        if self.sab.write_bytes(slot, &entry).is_err() {
+            return false;
+        }
+        let _ = self
+            .sab
+            .store_and_notify(self.geo.cq_tail_off(), tail.wrapping_add(1) as i32);
+        true
+    }
+
+    /// Process: pops the oldest completion, if any.
+    pub fn pop_cqe(&self) -> Option<(u32, Vec<u8>)> {
+        let head = self.load(self.geo.cq_head_off());
+        if head == self.load(self.geo.cq_tail_off()) {
+            return None;
+        }
+        let slot = self.geo.cq_slot_off(head);
+        let header = self.sab.read_bytes(slot, 8).ok()?;
+        let user_data = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        let payload = self
+            .sab
+            .read_bytes(slot + 8, len.min(self.geo.slot_payload_bytes()))
+            .ok()?;
+        self.store(self.geo.cq_head_off(), head.wrapping_add(1));
+        Some((user_data, payload))
+    }
+
+    // --- registered buffers -----------------------------------------------
+
+    /// Kernel: claims a free registered buffer, marking it in the shared
+    /// allocation bitmap.  Returns its index, or `None` if all are in use.
+    pub fn alloc_buf(&self) -> Option<u32> {
+        let bitmap = self.sab.load_i32(self.geo.bitmap_off()).ok()? as u32;
+        for index in 0..self.geo.buf_count {
+            if bitmap & (1 << index) == 0 {
+                let _ = self.sab.fetch_or_i32(self.geo.bitmap_off(), 1 << index);
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// Process: releases a registered buffer after copying its bytes out.
+    pub fn free_buf(&self, index: u32) {
+        if index < self.geo.buf_count {
+            let _ = self.sab.fetch_and_i32(self.geo.bitmap_off(), !(1 << index));
+        }
+    }
+
+    /// Kernel: fills a registered buffer with result bytes.
+    ///
+    /// Returns `false` if the index or length is out of range.
+    pub fn write_buf(&self, index: u32, data: &[u8]) -> bool {
+        if index >= self.geo.buf_count || data.len() > self.geo.buf_bytes as usize {
+            return false;
+        }
+        self.sab.write_bytes(self.geo.buf_slot_off(index), data).is_ok()
+    }
+
+    /// Process: copies result bytes out of a registered buffer.
+    pub fn read_buf(&self, index: u32, len: usize) -> Option<Vec<u8>> {
+        if index >= self.geo.buf_count || len > self.geo.buf_bytes as usize {
+            return None;
+        }
+        self.sab.read_bytes(self.geo.buf_slot_off(index), len).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Ring {
+        let geo = RingGeometry::standard(0);
+        let sab = SharedArrayBuffer::new(RING_REGION_BYTES as usize);
+        Ring::new(sab, geo)
+    }
+
+    #[test]
+    fn standard_geometry_is_valid_and_packed() {
+        let geo = RingGeometry::standard(512 * 1024);
+        assert!(geo.validate(1024 * 1024));
+        assert_eq!(geo.cq_offset - geo.sq_offset, RING_BYTES);
+        assert_eq!(geo.buf_offset - geo.cq_offset, RING_BYTES);
+        assert!(geo.buf_offset + REG_BUF_TABLE_BYTES <= 1024 * 1024);
+        // Too small a heap is rejected.
+        assert!(!geo.validate(512 * 1024));
+        // Non-power-of-two slot counts are rejected.
+        let mut bad = geo;
+        bad.slots = 48;
+        assert!(!bad.validate(1024 * 1024));
+    }
+
+    #[test]
+    fn sq_round_trips_in_fifo_order() {
+        let ring = ring();
+        assert!(ring.sq_is_empty());
+        assert!(ring.push_sqe(7, b"first"));
+        assert!(ring.push_sqe(8, b"second"));
+        assert!(!ring.sq_is_empty());
+        assert_eq!(ring.pop_sqe(), Some((7, b"first".to_vec())));
+        assert_eq!(ring.pop_sqe(), Some((8, b"second".to_vec())));
+        assert_eq!(ring.pop_sqe(), None);
+    }
+
+    #[test]
+    fn sq_rejects_overfill_and_oversize() {
+        let ring = ring();
+        for i in 0..RING_SLOTS {
+            assert!(ring.push_sqe(i, b"x"));
+        }
+        assert_eq!(ring.sq_space(), 0);
+        assert!(!ring.push_sqe(99, b"full"));
+        assert!(ring.pop_sqe().is_some());
+        assert!(ring.push_sqe(99, b"now fits"));
+        let oversized = vec![0u8; SLOT_PAYLOAD_BYTES as usize + 1];
+        assert!(!ring.push_sqe(100, &oversized));
+        let exactly = vec![0u8; SLOT_PAYLOAD_BYTES as usize];
+        assert!(ring.pop_sqe().is_some());
+        assert!(ring.push_sqe(100, &exactly));
+    }
+
+    #[test]
+    fn indices_wrap_around() {
+        let ring = ring();
+        // Push/pop enough entries to wrap the u8-sized slot window many times.
+        for i in 0..(RING_SLOTS * 3 + 5) {
+            assert!(ring.push_sqe(i, &i.to_le_bytes()));
+            let (user_data, payload) = ring.pop_sqe().unwrap();
+            assert_eq!(user_data, i);
+            assert_eq!(payload, i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn cq_round_trips_and_notifies() {
+        let ring = ring();
+        let before = ring.cq_tail();
+        assert!(ring.push_cqe(3, b"done"));
+        assert_eq!(ring.cq_tail(), before.wrapping_add(1));
+        assert_eq!(ring.pop_cqe(), Some((3, b"done".to_vec())));
+        assert_eq!(ring.pop_cqe(), None);
+    }
+
+    #[test]
+    fn doorbell_flag_protocol() {
+        let ring = ring();
+        // No flag: no doorbell needed.
+        assert!(!ring.take_doorbell());
+        ring.set_need_wakeup();
+        assert_eq!(ring.sq_flags() & NEED_WAKEUP, NEED_WAKEUP);
+        // First submitter consumes the flag; the second does not ring again.
+        assert!(ring.take_doorbell());
+        assert!(!ring.take_doorbell());
+        ring.set_need_wakeup();
+        ring.clear_need_wakeup();
+        assert!(!ring.take_doorbell());
+    }
+
+    #[test]
+    fn registered_buffers_allocate_fill_and_free() {
+        let ring = ring();
+        let mut claimed = Vec::new();
+        for _ in 0..REG_BUF_COUNT {
+            claimed.push(ring.alloc_buf().unwrap());
+        }
+        assert_eq!(ring.alloc_buf(), None, "pool exhausted");
+        let buf = claimed[2];
+        assert!(ring.write_buf(buf, b"bulk read payload"));
+        assert_eq!(ring.read_buf(buf, 17).unwrap(), b"bulk read payload");
+        ring.free_buf(buf);
+        assert_eq!(ring.alloc_buf(), Some(buf), "freed buffer is reused");
+        // Out-of-range indices and lengths are rejected.
+        assert!(!ring.write_buf(REG_BUF_COUNT, b"x"));
+        assert!(ring.read_buf(0, REG_BUF_BYTES as usize + 1).is_none());
+        assert!(!ring.write_buf(0, &vec![0u8; REG_BUF_BYTES as usize + 1]));
+    }
+}

@@ -77,6 +77,18 @@ pub struct KernelStats {
     pub pages_copied: u64,
     /// Named shared-memory objects created by `shm_open`.
     pub shm_objects: u64,
+    /// Submission-queue entries the kernel consumed from syscall rings.
+    pub sq_polled: u64,
+    /// Doorbell events received (empty→non-empty SQ transitions; every other
+    /// submission was picked up by an already-awake kernel).
+    pub doorbells: u64,
+    /// Completion-queue entries the kernel posted to syscall rings.
+    pub cq_posted: u64,
+    /// Bytes moved by `sendfile`/`splice` without entering guest memory.
+    pub sendfile_bytes: u64,
+    /// Page-cache pages streamed to a socket or pipe by reference (`sendfile`
+    /// from a mapped page) rather than copied through the guest.
+    pub zero_copy_pages: u64,
 }
 
 impl KernelStats {

@@ -528,6 +528,50 @@ pub enum Syscall {
         /// Bytes to write.
         data: ByteSource,
     },
+    /// Copy up to `len` bytes from a file descriptor to a stream descriptor
+    /// entirely inside the kernel: page-cache pages feed the destination
+    /// stream without the bytes ever entering guest memory.
+    Sendfile {
+        /// Destination descriptor (must name a stream: pipe or socket).
+        out_fd: i32,
+        /// Source descriptor (must name a regular file opened for reading).
+        in_fd: i32,
+        /// Byte offset to read from, or `-1` to use (and advance) the file
+        /// cursor.
+        offset: i64,
+        /// Maximum number of bytes to move.
+        len: u64,
+    },
+    /// Move up to `len` bytes from one stream descriptor to another entirely
+    /// inside the kernel.
+    Splice {
+        /// Source descriptor (a stream).
+        fd_in: i32,
+        /// Destination descriptor (a stream).
+        fd_out: i32,
+        /// Maximum number of bytes to move.
+        len: u64,
+    },
+    /// Register a persistent submission/completion ring living inside the
+    /// process's shared heap.  Sent once over the classic framed transport
+    /// right after the heap itself is registered; afterwards the synchronous
+    /// convention submits through the ring instead of building frames.
+    RingSetup {
+        /// Byte offset of the submission-queue header within the shared heap.
+        sq_offset: u32,
+        /// Byte offset of the completion-queue header within the shared heap.
+        cq_offset: u32,
+        /// Number of slots in each queue (power of two).
+        slots: u32,
+        /// Byte size of one ring slot (header + payload capacity).
+        slot_bytes: u32,
+        /// Byte offset of the registered-buffer table within the shared heap.
+        buf_offset: u32,
+        /// Number of registered buffers.
+        buf_count: u32,
+        /// Byte size of one registered buffer.
+        buf_bytes: u32,
+    },
 }
 
 // Opcodes, grouped by Figure 3 class.  New calls append; existing numbers are
@@ -585,6 +629,9 @@ const OP_SHMOPEN: u8 = 50;
 const OP_SHMUNLINK: u8 = 51;
 const OP_VMREAD: u8 = 52;
 const OP_VMWRITE: u8 = 53;
+const OP_SENDFILE: u8 = 54;
+const OP_SPLICE: u8 = 55;
+const OP_RINGSETUP: u8 = 56;
 
 impl Syscall {
     /// The syscall's name, used for statistics and tracing (and by the
@@ -650,6 +697,9 @@ impl Syscall {
             Syscall::ShmUnlink { .. } => "shm_unlink",
             Syscall::VmRead { .. } => "vm_read",
             Syscall::VmWrite { .. } => "vm_write",
+            Syscall::Sendfile { .. } => "sendfile",
+            Syscall::Splice { .. } => "splice",
+            Syscall::RingSetup { .. } => "ring_setup",
         }
     }
 
@@ -691,7 +741,10 @@ impl Syscall {
             | Syscall::Fsync { .. }
             | Syscall::Poll { .. }
             | Syscall::SetFlags { .. }
-            | Syscall::Ftruncate { .. } => "File IO",
+            | Syscall::Ftruncate { .. }
+            | Syscall::Sendfile { .. }
+            | Syscall::Splice { .. } => "File IO",
+            Syscall::RingSetup { .. } => "Syscall Rings",
             Syscall::Mmap { .. }
             | Syscall::Munmap { .. }
             | Syscall::Msync { .. }
@@ -997,6 +1050,42 @@ impl Syscall {
                 wire::put_u64(out, *addr);
                 data.encode_into(out);
             }
+            Syscall::Sendfile {
+                out_fd,
+                in_fd,
+                offset,
+                len,
+            } => {
+                wire::put_u8(out, OP_SENDFILE);
+                wire::put_i32(out, *out_fd);
+                wire::put_i32(out, *in_fd);
+                wire::put_i64(out, *offset);
+                wire::put_u64(out, *len);
+            }
+            Syscall::Splice { fd_in, fd_out, len } => {
+                wire::put_u8(out, OP_SPLICE);
+                wire::put_i32(out, *fd_in);
+                wire::put_i32(out, *fd_out);
+                wire::put_u64(out, *len);
+            }
+            Syscall::RingSetup {
+                sq_offset,
+                cq_offset,
+                slots,
+                slot_bytes,
+                buf_offset,
+                buf_count,
+                buf_bytes,
+            } => {
+                wire::put_u8(out, OP_RINGSETUP);
+                wire::put_u32(out, *sq_offset);
+                wire::put_u32(out, *cq_offset);
+                wire::put_u32(out, *slots);
+                wire::put_u32(out, *slot_bytes);
+                wire::put_u32(out, *buf_offset);
+                wire::put_u32(out, *buf_count);
+                wire::put_u32(out, *buf_bytes);
+            }
         }
     }
 
@@ -1215,6 +1304,26 @@ impl Syscall {
                 addr: r.u64()?,
                 data: ByteSource::decode_from(r)?,
             },
+            OP_SENDFILE => Syscall::Sendfile {
+                out_fd: r.i32()?,
+                in_fd: r.i32()?,
+                offset: r.i64()?,
+                len: r.u64()?,
+            },
+            OP_SPLICE => Syscall::Splice {
+                fd_in: r.i32()?,
+                fd_out: r.i32()?,
+                len: r.u64()?,
+            },
+            OP_RINGSETUP => Syscall::RingSetup {
+                sq_offset: r.u32()?,
+                cq_offset: r.u32()?,
+                slots: r.u32()?,
+                slot_bytes: r.u32()?,
+                buf_offset: r.u32()?,
+                buf_count: r.u32()?,
+                buf_bytes: r.u32()?,
+            },
             _ => return None,
         })
     }
@@ -1382,6 +1491,16 @@ pub enum SysResult {
     /// Readiness report for a `poll`: one `revents` word per submitted
     /// descriptor, in submission order (all zero on timeout).
     Poll(Vec<u16>),
+    /// Bytes read, parked in registered buffer `buf` of the submitter's ring
+    /// rather than copied into the completion entry.  The client reads the
+    /// bytes out, releases the buffer, and surfaces a plain [`SysResult::Data`]
+    /// to callers; it never appears outside the ring transport.
+    DataFixed {
+        /// Index of the registered buffer holding the bytes.
+        buf: u32,
+        /// Number of valid bytes in the buffer.
+        len: u32,
+    },
     /// Failure.
     Err(Errno),
 }
@@ -1396,6 +1515,7 @@ const RES_STAT: u8 = 5;
 const RES_ENTRIES: u8 = 6;
 const RES_WAIT: u8 = 7;
 const RES_POLL: u8 = 8;
+const RES_DATA_FIXED: u8 = 9;
 const RES_ERR: u8 = 255;
 
 impl SysResult {
@@ -1429,6 +1549,7 @@ impl SysResult {
             SysResult::Entries(entries) => entries.len() as i64,
             SysResult::Wait { pid, .. } => *pid as i64,
             SysResult::Poll(revents) => revents.iter().filter(|&&r| r != 0).count() as i64,
+            SysResult::DataFixed { len, .. } => *len as i64,
             SysResult::Err(errno) => errno.as_syscall_return(),
         }
     }
@@ -1481,6 +1602,11 @@ impl SysResult {
                 for r in revents {
                     wire::put_u16(out, *r);
                 }
+            }
+            SysResult::DataFixed { buf, len } => {
+                wire::put_u8(out, RES_DATA_FIXED);
+                wire::put_u32(out, *buf);
+                wire::put_u32(out, *len);
             }
             SysResult::Err(errno) => {
                 wire::put_u8(out, RES_ERR);
@@ -1538,6 +1664,10 @@ impl SysResult {
                 }
                 SysResult::Poll(revents)
             }
+            RES_DATA_FIXED => SysResult::DataFixed {
+                buf: r.u32()?,
+                len: r.u32()?,
+            },
             RES_ERR => SysResult::Err(Errno::from_code(r.i32()?)?),
             _ => return None,
         })
@@ -1860,6 +1990,32 @@ mod tests {
                 addr: 0x1000_0080,
                 data: ByteSource::SharedHeap { offset: 128, len: 32 },
             },
+            Syscall::Sendfile {
+                out_fd: 4,
+                in_fd: 3,
+                offset: -1,
+                len: 1 << 20,
+            },
+            Syscall::Sendfile {
+                out_fd: 5,
+                in_fd: 3,
+                offset: 8192,
+                len: 4096,
+            },
+            Syscall::Splice {
+                fd_in: 3,
+                fd_out: 4,
+                len: 65536,
+            },
+            Syscall::RingSetup {
+                sq_offset: 512 * 1024,
+                cq_offset: 512 * 1024 + 16 + 64 * 256,
+                slots: 64,
+                slot_bytes: 256,
+                buf_offset: 512 * 1024 + 2 * (16 + 64 * 256),
+                buf_count: 7,
+                buf_bytes: 64 * 1024,
+            },
         ]
     }
 
@@ -1882,6 +2038,7 @@ mod tests {
             SysResult::Wait { pid: 9, status: 256 },
             SysResult::Poll(vec![POLLIN, 0, POLLOUT | POLLHUP]),
             SysResult::Poll(Vec::new()),
+            SysResult::DataFixed { buf: 3, len: 4096 },
             SysResult::Err(Errno::ENOENT),
         ]
     }
@@ -1952,10 +2109,11 @@ mod tests {
         // `stat`/`lstat` intentionally share a variant, and the sample set
         // carries two `poll` shapes (fd list and empty), two `kill` shapes
         // (process and group), three `sigaction` shapes, two `mmap` shapes
-        // (anonymous and file-backed) and two `vm_write` shapes (inline and
-        // shared-heap); all others unique.
+        // (anonymous and file-backed), two `vm_write` shapes (inline and
+        // shared-heap) and two `sendfile` shapes (cursor and explicit
+        // offset); all others unique.
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
-        assert!(unique.len() >= names.len() - 7);
+        assert!(unique.len() >= names.len() - 8);
     }
 
     #[test]

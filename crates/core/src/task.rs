@@ -13,8 +13,9 @@ use browsix_browser::{SharedArrayBuffer, Worker};
 
 use crate::exec::ProgramLauncher;
 use crate::fd::FdTable;
+use crate::ring::Ring;
 use crate::signals::{Signal, SignalState};
-use crate::syscall::{Completion, Transport};
+use crate::syscall::{Completion, SysResult, Transport};
 use crate::vm::AddressSpace;
 
 /// A process identifier.
@@ -109,6 +110,12 @@ pub struct Task {
     pub stashed_transports: Vec<Transport>,
     /// Registered shared heap for synchronous system calls.
     pub sync_heap: Option<SyncHeap>,
+    /// Persistent submission/completion ring mapped into the shared heap
+    /// (set up once by `RingSetup` after heap registration).
+    pub ring: Option<Ring>,
+    /// Ring completions that could not be posted yet (completion queue full
+    /// or no registered buffer free); flushed on every ring drain pass.
+    pub pending_cqes: std::collections::VecDeque<(u32, SysResult)>,
     /// The submission batch currently awaiting delivery of its completions.
     pub inflight: Option<InflightBatch>,
     /// Child process ids (live or zombie).
@@ -155,6 +162,8 @@ impl Task {
             stop_reported: false,
             stashed_transports: Vec::new(),
             sync_heap: None,
+            ring: None,
+            pending_cqes: std::collections::VecDeque::new(),
             inflight: None,
             children: Vec::new(),
             args: Vec::new(),

@@ -255,6 +255,20 @@ impl HttpResponse {
         out
     }
 
+    /// Serializes only the status line and headers, declaring
+    /// `content_length` for a body that will be transmitted separately.
+    /// This is the `sendfile` shape: the headers leave through an ordinary
+    /// write while the body moves kernel-side, never entering the guest.
+    pub fn serialize_head(&self, content_length: u64) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        headers.set("Content-Length", &content_length.to_string());
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out
+    }
+
     /// Serializes the response using chunked transfer encoding, splitting the
     /// body into chunks of at most `chunk_size` bytes.  Used to exercise the
     /// "potentially chunked" response handling the paper's XHR shim performs.

@@ -317,6 +317,28 @@ impl RuntimeEnv for BrowsixEnv {
         self.expect_ok(Syscall::Fsync { fd })
     }
 
+    fn sendfile(&mut self, out_fd: Fd, in_fd: Fd, offset: i64, len: u64) -> Result<u64, Errno> {
+        if out_fd == 1 {
+            // Anything already buffered must reach the descriptor first.
+            let _ = self.flush_stdout();
+        }
+        self.expect_int(Syscall::Sendfile {
+            out_fd,
+            in_fd,
+            offset,
+            len,
+        })
+        .map(|n| n as u64)
+    }
+
+    fn splice(&mut self, fd_in: Fd, fd_out: Fd, len: u64) -> Result<u64, Errno> {
+        if fd_out == 1 {
+            let _ = self.flush_stdout();
+        }
+        self.expect_int(Syscall::Splice { fd_in, fd_out, len })
+            .map(|n| n as u64)
+    }
+
     fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> Result<usize, Errno> {
         // Readiness downstream of us (a child reading the pipe we feed) can
         // depend on output still sitting in the stdout buffer.

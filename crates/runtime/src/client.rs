@@ -24,22 +24,30 @@ use std::time::Duration;
 use browsix_browser::time::precise_delay;
 use browsix_browser::{AtomicsWaitResult, Message, PlatformConfig, SharedArrayBuffer, WorkerScope};
 use browsix_core::exec::{ForkImage, LaunchContext, ProcessStart};
+use browsix_core::ring::{Ring, RingGeometry};
+use browsix_core::wire::Reader;
 use browsix_core::{CompletionBatch, Errno, KernelEvent, Signal, SysResult, Syscall, SyscallBatch, Transport};
 use crossbeam::channel::Sender;
 
 /// Size of the shared heap allocated for synchronous system calls.
-const SYNC_HEAP_BYTES: usize = 512 * 1024;
+const SYNC_HEAP_BYTES: usize = 1024 * 1024;
 /// Offset of the wake address within the shared heap.
 const WAKE_OFFSET: usize = 0;
 /// Offset of the response area within the shared heap.
 const RESP_OFFSET: usize = 64;
 /// Offset of the outgoing-data area within the shared heap.
 const DATA_OFFSET: usize = 256 * 1024;
+/// Offset of the persistent syscall-ring region (submission and completion
+/// queues plus the registered-buffer table) within the shared heap.
+const RING_REGION_OFFSET: usize = 512 * 1024;
 /// Capacity of the outgoing-data area.
-pub const SYNC_DATA_CAPACITY: usize = SYNC_HEAP_BYTES - DATA_OFFSET;
+pub const SYNC_DATA_CAPACITY: usize = RING_REGION_OFFSET - DATA_OFFSET;
 /// Fixed per-message overhead charged on top of the encoded batch (the
 /// envelope fields of the structured-clone message).
 const MESSAGE_ENVELOPE_BYTES: usize = 24;
+/// Process-environment variable that disables the ring transport (set to
+/// `"0"`); the benchmarks use it to compare ring and framed submission.
+pub const RINGS_ENV_VAR: &str = "BROWSIX_SYSCALL_RINGS";
 
 /// Which convention the client ended up using.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +60,9 @@ pub enum ClientMode {
 
 struct SyncState {
     sab: SharedArrayBuffer,
+    /// The persistent submission/completion ring, once the kernel has
+    /// accepted its geometry.
+    ring: Option<Ring>,
 }
 
 /// The per-process system-call client.
@@ -114,10 +125,50 @@ impl SyscallClient {
                 resp_offset: RESP_OFFSET,
                 wake_offset: WAKE_OFFSET,
             });
-            client.sync = Some(SyncState { sab });
+            client.sync = Some(SyncState {
+                sab: sab.clone(),
+                ring: None,
+            });
             client.mode = ClientMode::Sync;
+            // The persistent rings ride the same heap; `BROWSIX_SYSCALL_RINGS=0`
+            // in the process environment keeps the framed transport (how the
+            // benchmarks compare the two submission paths).
+            let rings_disabled = start.env.iter().any(|(k, v)| k == RINGS_ENV_VAR && v == "0");
+            if !rings_disabled {
+                client.setup_ring(sab);
+            }
         }
         (client, start)
+    }
+
+    /// Asks the kernel to map a submission/completion ring over the
+    /// registered heap.  The request itself travels over the framed
+    /// transport — the ring does not exist until the kernel accepts the
+    /// geometry.
+    fn setup_ring(&mut self, sab: SharedArrayBuffer) {
+        let geo = RingGeometry::standard(RING_REGION_OFFSET as u32);
+        if !geo.validate(sab.len()) {
+            return;
+        }
+        let accepted = self.call(Syscall::RingSetup {
+            sq_offset: geo.sq_offset,
+            cq_offset: geo.cq_offset,
+            slots: geo.slots,
+            slot_bytes: geo.slot_bytes,
+            buf_offset: geo.buf_offset,
+            buf_count: geo.buf_count,
+            buf_bytes: geo.buf_bytes,
+        }) == SysResult::Ok;
+        if accepted {
+            if let Some(state) = self.sync.as_mut() {
+                state.ring = Some(Ring::new(sab, geo));
+            }
+        }
+    }
+
+    /// Whether system calls are travelling over a persistent ring.
+    pub fn ring_enabled(&self) -> bool {
+        self.sync.as_ref().is_some_and(|s| s.ring.is_some())
     }
 
     /// The process id assigned by the kernel.
@@ -219,7 +270,12 @@ impl SyscallClient {
             return vec![SysResult::Err(Errno::EINTR); n];
         }
         match self.mode {
-            ClientMode::Sync => self.submit_sync(batch),
+            ClientMode::Sync => {
+                if let Some(results) = self.try_submit_ring(&batch) {
+                    return results;
+                }
+                self.submit_sync(batch)
+            }
             ClientMode::Async => self.submit_async(batch),
         }
     }
@@ -342,6 +398,88 @@ impl SyscallClient {
         }
     }
 
+    /// Submits the batch over the persistent ring, if one is mapped and every
+    /// entry is ring-safe.  Returns `None` to fall back to the framed
+    /// transport.
+    fn try_submit_ring(&mut self, batch: &SyscallBatch) -> Option<Vec<SysResult>> {
+        let ring = self.sync.as_ref()?.ring.clone()?;
+        let payload_cap = ring.geometry().slot_payload_bytes();
+        let buf_cap = ring.geometry().buf_bytes;
+        let mut encoded = Vec::with_capacity(batch.len());
+        for call in &batch.entries {
+            if !ring_safe(call, buf_cap) {
+                return None;
+            }
+            let mut frame = Vec::with_capacity(32);
+            call.encode_into(&mut frame);
+            if frame.len() > payload_cap {
+                return None;
+            }
+            encoded.push(frame);
+        }
+        Some(self.pump_ring(&ring, &encoded))
+    }
+
+    /// Drives one batch through the ring: write submission entries in place
+    /// (chunked through the queue in waves when the batch is larger than it),
+    /// ring the doorbell only on an observed kernel park, and drain the
+    /// completion queue — blocking in `Atomics.wait` on its tail — until
+    /// every entry has completed.  No per-batch message or structured clone
+    /// is paid anywhere on this path.
+    fn pump_ring(&mut self, ring: &Ring, encoded: &[Vec<u8>]) -> Vec<SysResult> {
+        let n = encoded.len();
+        let mut results = vec![SysResult::Err(Errno::EIO); n];
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        while completed < n {
+            while submitted < n && ring.push_sqe(submitted as u32, &encoded[submitted]) {
+                submitted += 1;
+            }
+            // Doorbell protocol: entries are published first, then the
+            // kernel's NEED_WAKEUP flag is consumed.  Flag set → the kernel
+            // parked after draining the queue dry and needs the (free,
+            // Atomics.notify-style) wake event; flag clear → it is already
+            // draining and will observe the new tail itself.
+            if ring.take_doorbell() && self.kernel.send(KernelEvent::Doorbell { pid: self.pid }).is_err() {
+                self.terminated = true;
+                return vec![SysResult::Err(Errno::EINTR); n];
+            }
+            let seen_tail = ring.cq_tail();
+            let mut progressed = false;
+            while let Some((user_data, frame)) = ring.pop_cqe() {
+                let result = resolve_cqe(ring, &frame);
+                if let Some(slot) = results.get_mut(user_data as usize) {
+                    *slot = result;
+                }
+                completed += 1;
+                progressed = true;
+            }
+            if completed >= n {
+                break;
+            }
+            if progressed {
+                // Popping freed queue slots and registered buffers: submit
+                // the next wave before sleeping.
+                continue;
+            }
+            if self.scope.terminated() {
+                self.terminated = true;
+                return vec![SysResult::Err(Errno::EINTR); n];
+            }
+            match ring.sab().wait(
+                ring.geometry().cq_tail_off(),
+                seen_tail as i32,
+                Some(Duration::from_millis(100)),
+            ) {
+                // Timed out or woken: re-check the queue either way (the
+                // kernel's periodic backstop drain bounds a missed edge).
+                Ok(_) => {}
+                Err(_) => return vec![SysResult::Err(Errno::EFAULT); n],
+            }
+        }
+        results
+    }
+
     fn submit_sync(&mut self, batch: SyscallBatch) -> Vec<SysResult> {
         let n = batch.len();
         // fork is incompatible with the synchronous convention (§3.2).
@@ -392,6 +530,39 @@ impl SyscallClient {
             Err(_) => return vec![SysResult::Err(Errno::EFAULT); n],
         };
         results_from(CompletionBatch::decode(&frame).unwrap_or_default(), n)
+    }
+}
+
+/// Whether a call may ride the ring: its submission entry must fit a slot,
+/// and its result must be bounded — by a completion slot, or by one
+/// registered buffer for bulk reads.  Everything else (fork, unbounded-result
+/// directory/link calls, oversized reads) takes the framed transport.
+fn ring_safe(call: &Syscall, buf_bytes: u32) -> bool {
+    match call {
+        Syscall::Fork { .. } | Syscall::Readdir { .. } | Syscall::Readlink { .. } | Syscall::RingSetup { .. } => false,
+        Syscall::Read { len, .. } | Syscall::Pread { len, .. } | Syscall::VmRead { len, .. } => *len <= buf_bytes,
+        // A poll result carries one word per descriptor; keep it within a
+        // completion slot.
+        Syscall::Poll { fds, .. } => fds.len() <= 32,
+        _ => true,
+    }
+}
+
+/// Decodes one completion entry, dereferencing (and freeing) a
+/// registered-buffer result.
+fn resolve_cqe(ring: &Ring, frame: &[u8]) -> SysResult {
+    let mut r = Reader::new(frame);
+    match SysResult::decode_from(&mut r) {
+        Some(SysResult::DataFixed { buf, len }) => {
+            let data = ring.read_buf(buf, len as usize);
+            ring.free_buf(buf);
+            match data {
+                Some(bytes) => SysResult::Data(bytes),
+                None => SysResult::Err(Errno::EFAULT),
+            }
+        }
+        Some(result) => result,
+        None => SysResult::Err(Errno::EIO),
     }
 }
 
@@ -487,7 +658,8 @@ mod tests {
         const { assert!(RESP_OFFSET > WAKE_OFFSET + 4) };
         const { assert!(DATA_OFFSET > RESP_OFFSET) };
         const { assert!(SYNC_DATA_CAPACITY > 64 * 1024) };
-        const { assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= SYNC_HEAP_BYTES) };
+        const { assert!(DATA_OFFSET + SYNC_DATA_CAPACITY <= RING_REGION_OFFSET) };
+        const { assert!(RING_REGION_OFFSET + browsix_core::ring::RING_REGION_BYTES as usize <= SYNC_HEAP_BYTES) };
     }
 
     #[test]

@@ -262,6 +262,70 @@ pub trait RuntimeEnv {
         Ok(())
     }
 
+    /// Moves up to `len` bytes from the regular file `in_fd` into the stream
+    /// (pipe or socket) `out_fd` without the data entering guest memory.
+    /// `offset` is the file position to read from; `-1` uses — and advances —
+    /// the descriptor's cursor, like passing NULL to `sendfile(2)`.  Returns
+    /// the number of bytes moved (0 at end of file).
+    ///
+    /// Kernel-backed environments issue the real zero-copy system call; the
+    /// default degrades to a pread/read + write copy loop so guests written
+    /// against `sendfile` still run everywhere.
+    fn sendfile(&mut self, out_fd: Fd, in_fd: Fd, offset: i64, len: u64) -> Result<u64, Errno> {
+        let mut pos = offset;
+        let mut sent: u64 = 0;
+        while sent < len {
+            let chunk_len = (len - sent).min(64 * 1024) as usize;
+            let data = match if pos >= 0 {
+                self.pread(in_fd, chunk_len, pos as u64)
+            } else {
+                self.read(in_fd, chunk_len)
+            } {
+                Ok(data) => data,
+                Err(_) if sent > 0 => break,
+                Err(e) => return Err(e),
+            };
+            if data.is_empty() {
+                break;
+            }
+            let mut written = 0;
+            while written < data.len() {
+                match self.write(out_fd, &data[written..]) {
+                    Ok(0) => return Ok(sent + written as u64),
+                    Ok(count) => written += count,
+                    Err(_) if sent + written as u64 > 0 => return Ok(sent + written as u64),
+                    Err(e) => return Err(e),
+                }
+            }
+            if pos >= 0 {
+                pos += data.len() as i64;
+            }
+            sent += data.len() as u64;
+        }
+        Ok(sent)
+    }
+
+    /// Moves up to `len` buffered bytes from stream `fd_in` to stream
+    /// `fd_out` without copying through guest memory, returning the count
+    /// (0 means `fd_in` reached end of stream).  The default degrades to one
+    /// read + write round trip.
+    fn splice(&mut self, fd_in: Fd, fd_out: Fd, len: u64) -> Result<u64, Errno> {
+        let data = self.read(fd_in, len.min(64 * 1024) as usize)?;
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut written = 0;
+        while written < data.len() {
+            match self.write(fd_out, &data[written..]) {
+                Ok(0) => break,
+                Ok(count) => written += count,
+                Err(_) if written > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written as u64)
+    }
+
     // ---- readiness -------------------------------------------------------------
 
     /// Waits until any entry in `fds` is ready (filling its `revents`) or

@@ -50,7 +50,22 @@ fn run_cat(env: &mut dyn RuntimeEnv) -> i32 {
     if operands.is_empty() {
         // Streaming stdin → stdout chunk by chunk, like coreutils cat: an
         // infinite upstream (`yes | cat`) flows through instead of being
-        // slurped to an EOF that never comes.
+        // slurped to an EOF that never comes.  When both ends are streams
+        // (the common pipeline shape) `splice` moves the bytes kernel-side;
+        // the first zero-progress error drops to the classic copy loop.
+        let _ = env.flush_stdout();
+        let mut spliced = 0u64;
+        loop {
+            match env.splice(0, 1, 64 * 1024) {
+                Ok(0) => return 0,
+                Ok(moved) => {
+                    charge_for_bytes(env, moved as usize);
+                    spliced += moved;
+                }
+                Err(_) if spliced == 0 => break, // not stream-to-stream
+                Err(_) => return 1,
+            }
+        }
         loop {
             match env.read(0, 64 * 1024) {
                 Ok(chunk) if chunk.is_empty() => break,
@@ -64,6 +79,41 @@ fn run_cat(env: &mut dyn RuntimeEnv) -> i32 {
             }
         }
         return 0;
+    }
+    // A single regular-file operand can flow to stdout over `sendfile`
+    // without its bytes entering this process.  Anything else — stdin
+    // mixed in, several operands, a non-stream stdout — and the attempt
+    // fails before any output, falling back to the buffered path below.
+    if operands.len() == 1 && operands[0] != "-" {
+        if let Ok(fd) = env.open(&operands[0], OpenFlags::read_only()) {
+            if let Some(meta) = env.fstat(fd).ok().filter(|m| !m.is_dir()) {
+                let _ = env.flush_stdout();
+                let mut sent = 0u64;
+                let mut zero_copy = true;
+                while sent < meta.size {
+                    match env.sendfile(1, fd, sent as i64, meta.size - sent) {
+                        Ok(0) => break,
+                        Ok(moved) => {
+                            charge_for_bytes(env, moved as usize);
+                            sent += moved;
+                        }
+                        Err(_) if sent == 0 => {
+                            zero_copy = false; // nothing written yet: safe to retry buffered
+                            break;
+                        }
+                        Err(_) => {
+                            let _ = env.close(fd);
+                            return 1;
+                        }
+                    }
+                }
+                if zero_copy {
+                    let _ = env.close(fd);
+                    return 0;
+                }
+            }
+            let _ = env.close(fd);
+        }
     }
     let (data, code) = read_inputs(env, "cat", &operands);
     charge_for_bytes(env, data.len());

@@ -30,6 +30,9 @@ BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench syscall_batching
 echo "== running the 'readiness' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench readiness -- readiness
 
+echo "== running the 'rings' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench rings -- rings
+
 echo "== running the 'vm' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench vm -- vm
 
@@ -87,6 +90,32 @@ if wake_256 > 3 * wake_1:
         f"({wake_1} ns at 1 waiter vs {wake_256} ns at 256)"
     )
 print(f"readiness: wakeup cost at 256 waiters is {wake_256 / wake_1:.2f}x the 1-waiter cost (independence)")
+
+# Guard the ring transport: submitting 256 individual pipe writes over the
+# persistent shared-memory rings must beat the framed sync transport by at
+# least 5x (the framed path pays the postMessage-priced doorbell per call;
+# the ring path pays it only on empty->nonempty edges).
+ring = means.get("rings/ring_submit_256")
+framed = means.get("rings/framed_submit_256")
+if ring is None or framed is None:
+    sys.exit("missing rings results")
+if framed < 5 * ring:
+    sys.exit(
+        f"rings: ring submission ({ring} ns) is not 5x faster than "
+        f"framed submission ({framed} ns)"
+    )
+print(f"rings: ring submission beats framed by {framed / ring:.1f}x")
+
+# Guard the zero-copy data path: httpd serving the 32 KiB payload over
+# sendfile (page cache -> socket inside the kernel) must beat the classic
+# read-then-write copy loop.
+sendfile = means.get("readiness/httpd_payload_sendfile")
+copy = means.get("readiness/httpd_payload_copy")
+if sendfile is None or copy is None:
+    sys.exit("missing httpd payload results")
+if sendfile >= copy:
+    sys.exit(f"sendfile: zero-copy serving ({sendfile} ns) did not beat the copy path ({copy} ns)")
+print(f"sendfile: zero-copy serving beats the copy path by {copy / sendfile:.2f}x")
 
 # Guard the virtual-memory subsystem: COW fork of a fully-resident 1 MiB
 # address space must beat the old image-copy fork by at least 10x (fork is

@@ -10,14 +10,14 @@ use browsix_core::{
 use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
 use browsix_http::Json;
 
-/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 53
+/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 56
 /// opcodes, with `stat` and `lstat` counted separately, `write` generated
 /// with both byte sources, `poll` with and without descriptors, `kill`
-/// aimed at a process and at a group, and `sigaction` over all four action
-/// bytes).
-const SYSCALL_SHAPES: usize = 60;
+/// aimed at a process and at a group, `sendfile` with both cursor and
+/// explicit offsets, and `sigaction` over all four action bytes).
+const SYSCALL_SHAPES: usize = 64;
 /// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
-const RESULT_SHAPES: usize = 12;
+const RESULT_SHAPES: usize = 13;
 
 /// Fuzz inputs shared by every generated call/result shape.
 #[derive(Debug, Clone)]
@@ -246,6 +246,35 @@ fn make_call(shape: usize, f: &Fuzz) -> Syscall {
                 }
             },
         },
+        // Zero-copy & ring additions: sendfile with both the explicit-offset
+        // and cursor (-1) forms, splice, and the ring-registration call with
+        // fully fuzzed geometry fields.
+        59 => Syscall::Sendfile {
+            out_fd: fd,
+            in_fd: fd.wrapping_add(1) % 128,
+            offset: f.num,
+            len: f.small as u64,
+        },
+        60 => Syscall::Sendfile {
+            out_fd: fd,
+            in_fd: fd.wrapping_add(2) % 128,
+            offset: -1,
+            len: f.num as u64,
+        },
+        61 => Syscall::Splice {
+            fd_in: fd,
+            fd_out: fd.wrapping_add(1) % 128,
+            len: f.small as u64,
+        },
+        62 => Syscall::RingSetup {
+            sq_offset: f.small,
+            cq_offset: f.small.wrapping_add(1),
+            slots: (f.small % 512).max(1),
+            slot_bytes: (f.small % 4096).max(16),
+            buf_offset: f.num as u32,
+            buf_count: f.small % 32,
+            buf_bytes: f.small % (1 << 20),
+        },
         _ => Syscall::Tcsetpgrp { pgid: f.small },
     }
 }
@@ -287,7 +316,11 @@ fn make_result(shape: usize, f: &Fuzz) -> SysResult {
                 .map(|i| if i % 2 == 0 { POLLIN } else { POLLOUT })
                 .collect(),
         ),
-        10 => SysResult::Err(Errno::ENOENT),
+        10 => SysResult::DataFixed {
+            buf: f.small % 8,
+            len: f.small,
+        },
+        11 => SysResult::Err(Errno::ENOENT),
         _ => SysResult::Err(Errno::EPIPE),
     }
 }
@@ -840,6 +873,160 @@ proptest! {
         for mut space in spaces {
             space.release();
         }
+    }
+}
+
+// ---- syscall rings vs a FIFO model -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The shared-memory submission/completion ring against a plain
+    /// `VecDeque` model, under arbitrary single-threaded interleavings of
+    /// client submits, kernel drains and client completion reaps:
+    ///
+    /// * acceptance agrees with the model (a push succeeds exactly when the
+    ///   model queue is below capacity),
+    /// * entries come out in submission order with their payloads intact
+    ///   (no lost, duplicated, reordered or corrupted entries),
+    /// * the doorbell fires exactly on empty→nonempty transitions, and
+    /// * after every kernel drain the strict protocol invariant holds: the
+    ///   submission queue is empty and NEED_WAKEUP is set.  (This is the
+    ///   deterministic statement of the invariant; kernel-side it can only
+    ///   be enforced structurally, because a concurrent client may be
+    ///   mid-publish at any instant.)
+    #[test]
+    fn ring_matches_fifo_model(
+        ops in proptest::collection::vec((0u8..3, any::<u8>()), 1..160),
+    ) {
+        use browsix_core::ring::{Ring, RingGeometry, NEED_WAKEUP, RING_REGION_BYTES, RING_SLOTS};
+        use std::collections::VecDeque;
+
+        let sab = browsix_browser::SharedArrayBuffer::new(RING_REGION_BYTES as usize);
+        let geo = RingGeometry::standard(0);
+        prop_assert!(geo.validate(sab.len()));
+        // Two views of the same shared memory, exactly as in the real system:
+        // the client's and the kernel's.
+        let client = Ring::new(sab.clone(), geo);
+        let kernel = Ring::new(sab, geo);
+        kernel.set_need_wakeup();
+
+        let mut next_user: u32 = 0;
+        // Submitted but not yet drained by the kernel.
+        let mut model_sq: VecDeque<(u32, Vec<u8>)> = VecDeque::new();
+        // Completed by the kernel but not yet reaped by the client.
+        let mut model_cq: VecDeque<(u32, Vec<u8>)> = VecDeque::new();
+        // The payload each completion must echo (completion order follows
+        // submission order in this model, as it does for ring dispatch).
+        let mut doorbells = 0u32;
+
+        for &(op, size) in &ops {
+            match op {
+                0 => {
+                    // Client submit: payload of fuzzed length ≤ slot capacity.
+                    let payload: Vec<u8> = (0..size as usize % (geo.slot_payload_bytes() + 1))
+                        .map(|i| (i as u8).wrapping_add(size))
+                        .collect();
+                    let was_empty = client.sq_is_empty();
+                    let accepted = client.push_sqe(next_user, &payload);
+                    prop_assert_eq!(accepted, model_sq.len() < RING_SLOTS as usize, "SQ acceptance diverged");
+                    if accepted {
+                        model_sq.push_back((next_user, payload));
+                        next_user = next_user.wrapping_add(1);
+                        // Doorbell: exactly the empty→nonempty edge (the flag
+                        // is armed because the kernel drained to empty).
+                        if client.take_doorbell() {
+                            prop_assert!(was_empty, "doorbell fired on a non-edge");
+                            doorbells += 1;
+                        }
+                    }
+                }
+                1 => {
+                    // Kernel drain, exactly the event-loop shape: pop until
+                    // empty, post a completion per entry (if there is CQ
+                    // space — otherwise the real kernel queues it; the model
+                    // defers the echo the same way), then arm NEED_WAKEUP.
+                    while let Some((user, data)) = kernel.pop_sqe() {
+                        let (expected_user, expected_data) = model_sq
+                            .pop_front()
+                            .expect("kernel drained an entry the model never saw");
+                        prop_assert_eq!(user, expected_user, "drain order diverged");
+                        prop_assert_eq!(&data, &expected_data, "payload corrupted in the SQ");
+                        if kernel.cq_space() > 0 {
+                            prop_assert!(kernel.push_cqe(user, &data));
+                            model_cq.push_back((user, data));
+                        }
+                    }
+                    kernel.set_need_wakeup();
+                    // Strict invariant, assertable only here (single thread):
+                    // after a drain the SQ is empty and the flag is set.
+                    prop_assert!(kernel.sq_is_empty(), "drain left the SQ non-empty");
+                    prop_assert_eq!(kernel.sq_flags() & NEED_WAKEUP, NEED_WAKEUP, "drain left NEED_WAKEUP clear");
+                }
+                _ => {
+                    // Client reap: completions arrive in order, none lost,
+                    // none duplicated, payloads intact.
+                    while let Some((user, data)) = client.pop_cqe() {
+                        let (expected_user, expected_data) = model_cq
+                            .pop_front()
+                            .expect("client reaped a completion the model never posted");
+                        prop_assert_eq!(user, expected_user, "completion order diverged");
+                        prop_assert_eq!(&data, &expected_data, "payload corrupted in the CQ");
+                    }
+                    prop_assert!(model_cq.is_empty(), "client lost completions");
+                }
+            }
+        }
+
+        // Final settle: drain and reap everything; nothing may be left
+        // behind in either direction.
+        while let Some((user, data)) = kernel.pop_sqe() {
+            let (expected_user, expected_data) = model_sq.pop_front().expect("lost SQE");
+            prop_assert_eq!(user, expected_user);
+            prop_assert_eq!(&data, &expected_data);
+            prop_assert!(kernel.push_cqe(user, &data));
+            model_cq.push_back((user, data));
+        }
+        prop_assert!(model_sq.is_empty(), "entries stuck in the model SQ");
+        while let Some((user, data)) = client.pop_cqe() {
+            let (expected_user, expected_data) = model_cq.pop_front().expect("lost CQE");
+            prop_assert_eq!(user, expected_user);
+            prop_assert_eq!(&data, &expected_data);
+        }
+        prop_assert!(model_cq.is_empty(), "completions never reached the client");
+        prop_assert!(doorbells <= ops.len() as u32);
+    }
+
+    /// The registered-buffer table is a correct allocator: distinct live
+    /// indices, contents round-trip, and a freed buffer is reusable.
+    #[test]
+    fn ring_registered_buffers_round_trip(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..8),
+    ) {
+        use browsix_core::ring::{Ring, RingGeometry, RING_REGION_BYTES};
+
+        let sab = browsix_browser::SharedArrayBuffer::new(RING_REGION_BYTES as usize);
+        let ring = Ring::new(sab, RingGeometry::standard(0));
+        let mut live: Vec<(u32, Vec<u8>)> = Vec::new();
+        for payload in &payloads {
+            let Some(index) = ring.alloc_buf() else {
+                // Table exhausted: every live index must still be distinct.
+                break;
+            };
+            prop_assert!(live.iter().all(|(i, _)| *i != index), "allocator handed out a live index");
+            prop_assert!(ring.write_buf(index, payload));
+            live.push((index, payload.clone()));
+        }
+        for (index, expected) in &live {
+            prop_assert_eq!(ring.read_buf(*index, expected.len()).as_ref(), Some(expected));
+            ring.free_buf(*index);
+        }
+        // Everything freed: the table serves the full complement again.
+        let mut again = Vec::new();
+        while let Some(index) = ring.alloc_buf() {
+            again.push(index);
+        }
+        prop_assert_eq!(again.len(), browsix_core::ring::REG_BUF_COUNT as usize);
     }
 }
 
