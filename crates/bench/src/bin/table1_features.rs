@@ -3,7 +3,7 @@
 //! Also reports what the verification run cost the kernel: system calls by
 //! Figure 3 class and the submission batch-size histogram.
 
-use browsix_bench::{environment_feature_table, features::verify_browsix_row_with_stats, print_table};
+use browsix_bench::{environment_feature_table, features::verify_browsix_row_with_shard_stats, print_table};
 
 fn main() {
     let rows: Vec<Vec<String>> = environment_feature_table().iter().map(|row| row.cells()).collect();
@@ -20,7 +20,7 @@ fn main() {
         ],
         &rows,
     );
-    let (verified, stats) = verify_browsix_row_with_stats();
+    let (verified, stats, per_shard) = verify_browsix_row_with_shard_stats();
     println!(
         "\nVerified against running code (a Browsix process exercised each feature): {}",
         verified.join(", ")
@@ -126,5 +126,38 @@ fn main() {
             vec!["signals delivered".to_owned(), stats.signals_delivered.to_string()],
             vec!["EINTR wakeups".to_owned(), stats.eintr_wakeups.to_string()],
         ],
+    );
+
+    // Sharded-kernel traffic during the run, fleet-wide (every counter above
+    // is already the merge of the per-shard snapshots) and broken down by
+    // shard.  With BROWSIX_SHARDS unset the run uses one shard and every
+    // cross-shard counter is zero.
+    print_table(
+        "Verification run — sharding (fleet-wide)",
+        &["Counter", "Value"],
+        &[
+            vec!["shards".to_owned(), per_shard.len().to_string()],
+            vec!["shard messages sent".to_owned(), stats.shard_msgs_sent.to_string()],
+            vec!["remote I/O steals".to_owned(), stats.steals.to_string()],
+            vec!["cross-shard wakeups".to_owned(), stats.cross_shard_wakeups.to_string()],
+        ],
+    );
+    let shard_rows: Vec<Vec<String>> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(shard, s)| {
+            vec![
+                shard.to_string(),
+                s.total_syscalls.to_string(),
+                s.shard_msgs_sent.to_string(),
+                s.steals.to_string(),
+                s.cross_shard_wakeups.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Verification run — per-shard breakdown",
+        &["Shard", "Syscalls", "Msgs sent", "Steals", "X-shard wakeups"],
+        &shard_rows,
     );
 }

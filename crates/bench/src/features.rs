@@ -140,6 +140,20 @@ pub fn verify_browsix_row() -> Vec<&'static str> {
 /// snapshot taken after the probe ran, so drivers can report the per-class
 /// syscall counters and the submission batch-size histogram.
 pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::KernelStats) {
+    let (verified, stats, _) = verify_browsix_row_with_shard_stats();
+    (verified, stats)
+}
+
+/// Like [`verify_browsix_row_with_stats`], additionally returning the raw
+/// per-shard statistics snapshots, so drivers can report how the run's work
+/// (and the cross-shard message traffic) spread over the kernel's event
+/// loops.  The shard count honours `BROWSIX_SHARDS`; the fleet-wide snapshot
+/// is the merge of the per-shard ones.
+pub fn verify_browsix_row_with_shard_stats() -> (
+    Vec<&'static str>,
+    browsix_core::KernelStats,
+    Vec<browsix_core::KernelStats>,
+) {
     use browsix_core::{BootConfig, Kernel};
     use browsix_runtime::{guest, ExecutionProfile, NodeLauncher, RuntimeEnv, SyscallConvention};
     use std::sync::Arc;
@@ -341,8 +355,9 @@ pub fn verify_browsix_row_with_stats() -> (Vec<&'static str>, browsix_core::Kern
     let ring_handle = kernel.spawn("/usr/bin/ring-probe", &["ring-probe"], &[]).unwrap();
     assert!(ring_handle.wait().success(), "ring probe failed");
     let stats = kernel.stats();
+    let per_shard = kernel.stats_per_shard();
     kernel.shutdown();
-    (verified, stats)
+    (verified, stats, per_shard)
 }
 
 #[cfg(test)]

@@ -150,6 +150,9 @@ pub enum KernelEvent {
     },
     /// A host-API request from the embedding application.
     Host(HostRequest),
+    /// A message from a peer kernel shard (cross-shard pipe traffic, remote
+    /// spawns, group signals...); see [`ShardMsg`](crate::kernel::shard::ShardMsg).
+    Shard(crate::kernel::shard::ShardMsg),
     /// Stop the kernel: terminate all workers and end the event loop.
     Shutdown,
 }
@@ -167,6 +170,7 @@ impl std::fmt::Debug for KernelEvent {
             KernelEvent::RegisterSyncHeap { pid, .. } => write!(f, "RegisterSyncHeap(pid={pid})"),
             KernelEvent::Doorbell { pid } => write!(f, "Doorbell(pid={pid})"),
             KernelEvent::Host(req) => write!(f, "Host({req:?})"),
+            KernelEvent::Shard(msg) => write!(f, "Shard({msg:?})"),
             KernelEvent::Shutdown => write!(f, "Shutdown"),
         }
     }

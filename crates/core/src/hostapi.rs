@@ -19,6 +19,7 @@ use browsix_http::{HttpRequest, HttpResponse};
 
 use crate::events::{HostRequest, KernelEvent, OutputSink};
 use crate::exec::ExecutableRegistry;
+use crate::kernel::shard::{resolve_shards, shard_of, RouterState};
 use crate::kernel::{KernelConfig, KernelState};
 use crate::signals::Signal;
 use crate::stats::KernelStats;
@@ -36,6 +37,10 @@ pub struct BootConfig {
     pub registry: ExecutableRegistry,
     /// Environment variables handed to processes started through the host API.
     pub env: Vec<(String, String)>,
+    /// Number of kernel shards (event-loop threads).  `0` reads the
+    /// `BROWSIX_SHARDS` environment variable, defaulting to one shard — the
+    /// classic single-event-loop Browsix kernel.
+    pub shards: usize,
 }
 
 impl std::fmt::Debug for BootConfig {
@@ -43,6 +48,7 @@ impl std::fmt::Debug for BootConfig {
         f.debug_struct("BootConfig")
             .field("browser", &self.platform.browser)
             .field("registry", &self.registry)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -60,6 +66,7 @@ impl BootConfig {
                 ("PATH".to_owned(), "/usr/bin:/bin".to_owned()),
                 ("HOME".to_owned(), "/home".to_owned()),
             ],
+            shards: 0,
         }
     }
 
@@ -85,6 +92,12 @@ impl BootConfig {
     pub fn with_env(mut self, key: &str, value: &str) -> BootConfig {
         self.env.retain(|(k, _)| k != key);
         self.env.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Sets the number of kernel shards (0 = `BROWSIX_SHARDS` env, default 1).
+    pub fn with_shards(mut self, shards: usize) -> BootConfig {
+        self.shards = shards;
         self
     }
 }
@@ -171,14 +184,18 @@ impl ProcessHandle {
 
 /// The Browsix kernel, as seen by the embedding application.
 ///
-/// Booting starts the kernel's event-loop thread; dropping the handle (or
-/// calling [`Kernel::shutdown`]) terminates every process and stops the loop.
+/// Booting starts one event-loop thread per shard; dropping the handle (or
+/// calling [`Kernel::shutdown`]) terminates every process and stops the
+/// loops.  Tasks are owned by the shard `pid % shards` (see
+/// [`crate::kernel::shard`]); host requests are routed to the shard that
+/// owns the resource they name, so the host never takes a cross-shard lock.
 pub struct Kernel {
-    events: Sender<KernelEvent>,
+    shards: Vec<Sender<KernelEvent>>,
+    router: Arc<RouterState>,
     fs: Arc<MountedFs>,
     registry: ExecutableRegistry,
     platform: PlatformConfig,
-    thread: Option<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -186,35 +203,62 @@ impl std::fmt::Debug for Kernel {
         f.debug_struct("Kernel")
             .field("browser", &self.platform.browser)
             .field("registry", &self.registry)
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
 
 impl Kernel {
-    /// Boots a kernel: starts the event-loop thread, ready to run processes.
-    /// This is the analogue of calling `Boot(...)` from the page's script tag.
+    /// Boots a kernel: starts one event-loop thread per shard, ready to run
+    /// processes.  This is the analogue of calling `Boot(...)` from the
+    /// page's script tag.
     pub fn boot(config: BootConfig) -> Kernel {
-        let (events_tx, events_rx) = unbounded();
-        let state = KernelState::new(
-            KernelConfig {
-                platform: config.platform.clone(),
-                fs: Arc::clone(&config.fs),
-                registry: config.registry.clone(),
-                default_env: config.env.clone(),
-            },
-            events_tx.clone(),
-        );
-        let thread = std::thread::Builder::new()
-            .name("browsix-kernel".to_owned())
-            .spawn(move || state.run(events_rx))
-            .expect("failed to start kernel thread");
+        let nshards = resolve_shards(config.shards);
+        let router = Arc::new(RouterState::new(nshards));
+        let mut senders: Vec<Sender<KernelEvent>> = Vec::with_capacity(nshards);
+        let mut receivers = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut threads = Vec::with_capacity(nshards);
+        for (shard_id, events_rx) in receivers.into_iter().enumerate() {
+            let state = KernelState::new(
+                KernelConfig {
+                    platform: config.platform.clone(),
+                    fs: Arc::clone(&config.fs),
+                    registry: config.registry.clone(),
+                    default_env: config.env.clone(),
+                },
+                shard_id,
+                Arc::clone(&router),
+                senders.clone(),
+            );
+            let thread = std::thread::Builder::new()
+                .name(format!("browsix-kernel-{shard_id}"))
+                .spawn(move || state.run(events_rx))
+                .expect("failed to start kernel shard thread");
+            threads.push(thread);
+        }
         Kernel {
-            events: events_tx,
+            shards: senders,
+            router,
             fs: config.fs,
             registry: config.registry,
             platform: config.platform,
-            thread: Some(thread),
+            threads,
         }
+    }
+
+    /// The number of shards this kernel runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The event queue of the shard that owns `pid`.
+    fn shard_for_pid(&self, pid: Pid) -> &Sender<KernelEvent> {
+        &self.shards[shard_of(pid, self.shards.len())]
     }
 
     /// The shared file system, directly accessible to the embedding
@@ -234,10 +278,12 @@ impl Kernel {
         &self.platform
     }
 
-    /// The raw event channel; used by the runtime crates to wire syscall
-    /// clients to the kernel.
+    /// The raw event channel of shard 0.  Worker syscall clients are wired to
+    /// their owning shard's queue by the kernel at launch (via
+    /// `LaunchContext`); this accessor exists for embedders that inject
+    /// events by hand and is correct only for shard-0-owned state.
     pub fn event_sender(&self) -> Sender<KernelEvent> {
-        self.events.clone()
+        self.shards[0].clone()
     }
 
     /// Starts a program with explicit output callbacks, returning its pid.
@@ -264,7 +310,11 @@ impl Kernel {
             stderr,
             reply: reply_tx,
         };
-        self.events.send(KernelEvent::Host(request)).map_err(|_| Errno::EIO)?;
+        // Spawns enter at shard 0; the kernel's round-robin placement may
+        // install the task on any shard (the reply carries the pid either way).
+        self.shards[0]
+            .send(KernelEvent::Host(request))
+            .map_err(|_| Errno::EIO)?;
         reply_rx.recv().map_err(|_| Errno::EIO)?
     }
 
@@ -317,8 +367,9 @@ impl Kernel {
     /// the raw wait status exactly once.
     pub fn watch_exit(&self, pid: Pid) -> Receiver<i32> {
         let (tx, rx) = bounded(1);
+        // Exit records live on the shard that owned the task.
         let _ = self
-            .events
+            .shard_for_pid(pid)
             .send(KernelEvent::Host(HostRequest::WatchExit { pid, reply: tx }));
         rx
     }
@@ -338,7 +389,7 @@ impl Kernel {
     /// [`Errno::ESRCH`] if the process does not exist.
     pub fn kill(&self, pid: Pid, signal: Signal) -> Result<(), Errno> {
         let (tx, rx) = bounded(1);
-        self.events
+        self.shard_for_pid(pid)
             .send(KernelEvent::Host(HostRequest::Kill { pid, signal, reply: tx }))
             .map_err(|_| Errno::EIO)?;
         rx.recv().map_err(|_| Errno::EIO)?
@@ -353,7 +404,9 @@ impl Kernel {
     /// `tcsetpgrp`) or it has no live members.
     pub fn signal_foreground(&self, signal: Signal) -> Result<(), Errno> {
         let (tx, rx) = bounded(1);
-        self.events
+        // Any shard can resolve the foreground group (membership lives on
+        // the router); shard 0 keeps host-initiated signals ordered.
+        self.shards[0]
             .send(KernelEvent::Host(HostRequest::SignalForeground { signal, reply: tx }))
             .map_err(|_| Errno::EIO)?;
         rx.recv().map_err(|_| Errno::EIO)?
@@ -377,7 +430,11 @@ impl Kernel {
     /// transport error encountered mid-exchange.
     pub fn http_request(&self, port: u16, request: HttpRequest, timeout: Duration) -> Result<HttpResponse, Errno> {
         let (tx, rx) = bounded(1);
-        self.events
+        // Route to the shard that owns the listening socket, so the whole
+        // exchange is shard-local; an unclaimed port goes to shard 0, which
+        // refuses it.
+        let shard = self.router.port_owner(port).unwrap_or(0);
+        self.shards[shard]
             .send(KernelEvent::Host(HostRequest::HttpRequest {
                 port,
                 request,
@@ -391,9 +448,9 @@ impl Kernel {
     /// port number every time a process starts listening.
     pub fn port_notifications(&self) -> Receiver<u16> {
         let (tx, rx) = unbounded();
-        let _ = self
-            .events
-            .send(KernelEvent::Host(HostRequest::SubscribePortListen { listener: tx }));
+        // Subscriptions register on the router, so any shard's `listen`
+        // notifies them; shard 0 performs the registration.
+        let _ = self.shards[0].send(KernelEvent::Host(HostRequest::SubscribePortListen { listener: tx }));
         rx
     }
 
@@ -421,8 +478,7 @@ impl Kernel {
     /// Ports that currently have listening sockets.
     pub fn listening_ports(&self) -> Vec<u16> {
         let (tx, rx) = bounded(1);
-        if self
-            .events
+        if self.shards[0]
             .send(KernelEvent::Host(HostRequest::ListeningPorts { reply: tx }))
             .is_err()
         {
@@ -431,42 +487,65 @@ impl Kernel {
         rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
     }
 
-    /// A snapshot of kernel statistics.
+    /// A fleet-wide snapshot of kernel statistics: every shard's counters
+    /// summed, plus the (shared) file-system cache counters absorbed once.
     pub fn stats(&self) -> KernelStats {
-        let (tx, rx) = bounded(1);
-        if self
-            .events
-            .send(KernelEvent::Host(HostRequest::ReadStats { reply: tx }))
-            .is_err()
-        {
-            return KernelStats::default();
+        let mut total = KernelStats::default();
+        for shard in self.stats_per_shard() {
+            total.merge(&shard);
         }
-        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+        total.absorb_fs(browsix_fs::FileSystem::io_stats(self.fs.as_ref()));
+        total
+    }
+
+    /// One raw statistics snapshot per shard, in shard order.  Per-shard
+    /// counters show how work spread across the fleet; the file-system
+    /// counters are global and deliberately left out (see [`Kernel::stats`]).
+    pub fn stats_per_shard(&self) -> Vec<KernelStats> {
+        let mut snapshots = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = bounded(1);
+            if shard
+                .send(KernelEvent::Host(HostRequest::ReadStats { reply: tx }))
+                .is_err()
+            {
+                snapshots.push(KernelStats::default());
+                continue;
+            }
+            snapshots.push(rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default());
+        }
+        snapshots
     }
 
     /// Lists live tasks as `(pid, ppid, name, state)`, for terminal-style
-    /// inspection of kernel state.
+    /// inspection of kernel state.  Tasks from every shard, sorted by pid.
     pub fn tasks(&self) -> Vec<(Pid, Pid, String, String)> {
-        let (tx, rx) = bounded(1);
-        if self
-            .events
-            .send(KernelEvent::Host(HostRequest::ListTasks { reply: tx }))
-            .is_err()
-        {
-            return Vec::new();
+        let mut all: Vec<(Pid, Pid, String, String)> = Vec::new();
+        for shard in &self.shards {
+            let (tx, rx) = bounded(1);
+            if shard
+                .send(KernelEvent::Host(HostRequest::ListTasks { reply: tx }))
+                .is_err()
+            {
+                continue;
+            }
+            all.extend(rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default());
         }
-        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+        all.sort_by_key(|(pid, ..)| *pid);
+        all
     }
 
-    /// Stops the kernel: terminates every process and joins the event-loop
-    /// thread.
+    /// Stops the kernel: terminates every process and joins every shard's
+    /// event-loop thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        let _ = self.events.send(KernelEvent::Shutdown);
-        if let Some(thread) = self.thread.take() {
+        for shard in &self.shards {
+            let _ = shard.send(KernelEvent::Shutdown);
+        }
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -488,6 +567,16 @@ mod tests {
         let kernel = Kernel::boot(BootConfig::in_memory());
         assert!(kernel.listening_ports().is_empty());
         assert_eq!(kernel.stats().total_syscalls, 0);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn boot_multi_shard_and_shutdown() {
+        let kernel = Kernel::boot(BootConfig::in_memory().with_shards(3));
+        assert_eq!(kernel.shard_count(), 3);
+        assert_eq!(kernel.stats().total_syscalls, 0);
+        assert_eq!(kernel.stats_per_shard().len(), 3);
+        assert_eq!(kernel.kill(42, Signal::SIGTERM), Err(Errno::ESRCH));
         kernel.shutdown();
     }
 

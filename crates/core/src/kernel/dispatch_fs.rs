@@ -79,6 +79,7 @@ impl KernelState {
             Ok(file) => {
                 if let FileKind::SocketListener { port } = file.kind() {
                     self.sockets_mut().close_listener(port);
+                    self.router.release_port(port, self.shard_id);
                     self.wake(WaitChannel::Listener(port));
                 }
                 self.recompute_endpoints();
@@ -86,6 +87,26 @@ impl KernelState {
             }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
         }
+    }
+
+    /// The foreign stream a read/write on `fd` would touch, if its backing
+    /// stream is owned by another shard (`None` for every local case —
+    /// including errors, which the normal path reports properly).
+    fn remote_stream_target(&self, pid: Pid, fd: Fd, write: bool) -> Option<StreamId> {
+        let file = self.task(pid).ok()?.files.get(fd).ok()?;
+        let kind = file.kind();
+        if !matches!(
+            kind,
+            FileKind::PipeReader { .. } | FileKind::PipeWriter { .. } | FileKind::SocketStream { .. }
+        ) {
+            return None;
+        }
+        let stream = if write {
+            self.write_stream_of(&kind)?
+        } else {
+            self.read_stream_of(&kind)?
+        };
+        self.stream_is_remote(stream).then_some(stream)
     }
 
     /// Attempts a read; `Ok(None)` means "would block".
@@ -155,6 +176,12 @@ impl KernelState {
     }
 
     pub(crate) fn sys_read(&mut self, pid: Pid, reply: ReplyTo, fd: Fd, len: usize) -> Outcome {
+        // A descriptor backed by another shard's stream: ship the read to the
+        // owner (the local table knows nothing about that buffer).
+        if let Some(stream) = self.remote_stream_target(pid, fd, false) {
+            let nonblocking = self.fd_nonblocking(pid, fd);
+            return self.remote_read(pid, reply, stream, len, nonblocking);
+        }
         match self.try_read_fd(pid, fd, len) {
             Ok(Some(data)) => Outcome::Complete(SysResult::Data(data)),
             Ok(None) => {
@@ -285,6 +312,13 @@ impl KernelState {
             Ok(bytes) => bytes,
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
+        // Writes to a foreign stream go to its owner; EPIPE comes back with
+        // a flag telling this shard to raise SIGPIPE first, preserving the
+        // local signal-then-error ordering.
+        if let Some(stream) = self.remote_stream_target(pid, fd, true) {
+            let nonblocking = self.fd_nonblocking(pid, fd);
+            return self.remote_write(pid, reply, stream, bytes, nonblocking);
+        }
         let total = bytes.len();
         match self.try_write_fd(pid, fd, &bytes) {
             Ok((_, true)) => Outcome::Complete(SysResult::Int(total as i64)),
@@ -351,6 +385,12 @@ impl KernelState {
         let Some(stream_id) = self.write_stream_of(&out_kind) else {
             return Err(Errno::EINVAL);
         };
+        if self.stream_is_remote(stream_id) {
+            // Zero-copy page pushes need the destination buffer in this
+            // address space; callers fall back to a buffered read/write
+            // loop, which the remote data path handles.
+            return Err(Errno::EINVAL);
+        }
         let mut pushed_total: u64 = 0;
         let mut size;
         loop {
@@ -475,6 +515,11 @@ impl KernelState {
             return Err(Errno::EINVAL);
         };
         if in_stream == out_stream {
+            return Err(Errno::EINVAL);
+        }
+        if self.stream_is_remote(in_stream) || self.stream_is_remote(out_stream) {
+            // Splice moves bytes between two local buffers; with a foreign
+            // endpoint callers fall back to the buffered loop.
             return Err(Errno::EINVAL);
         }
         match self.streams().get(out_stream) {

@@ -8,7 +8,7 @@ use browsix_fs::{Errno, FileSystem};
 use crate::exec::ForkImage;
 use crate::fd::{FileKind, OpenFile};
 use crate::kernel::waitq::WaitChannel;
-use crate::kernel::{KernelState, Outcome, ReplyTo, WaitKind, Waiter};
+use crate::kernel::{KernelState, Outcome, ReplyTo, ShardMsg, WaitKind, Waiter};
 use crate::signals::{SigAction, SigSet, Signal};
 use crate::syscall::{encode_stop_status, encode_wait_status, SysResult, WNOHANG, WUNTRACED};
 use crate::task::Pid;
@@ -127,6 +127,12 @@ impl KernelState {
     /// child): a reapable zombie, or — under `WUNTRACED` — a child stopped by
     /// a job-control signal whose stop has not been reported yet.  Returns
     /// `Err(ECHILD)` if `pid` has no children at all matching the request.
+    ///
+    /// Membership is the parent's `children` list, which may name tasks that
+    /// live on other shards.  A remote child's exit or stop arrives here as a
+    /// shipped record (`remote_zombies` / `remote_stops`, see
+    /// `ShardMsg::ChildExited`); reaping consumes the record, so every exit
+    /// and stop is reported exactly once regardless of placement.
     pub(crate) fn try_reap_child(&mut self, pid: Pid, target: i32, options: u32) -> Result<Option<(Pid, i32)>, Errno> {
         let children: Vec<Pid> = match self.task(pid) {
             Ok(task) => task.children.clone(),
@@ -135,15 +141,23 @@ impl KernelState {
         let candidates: Vec<Pid> = children
             .into_iter()
             .filter(|&child| target < 0 || child == target as Pid)
-            .filter(|child| self.tasks_contains(*child))
             .collect();
         if candidates.is_empty() {
             return Err(Errno::ECHILD);
         }
         for &child in &candidates {
+            // Local zombie?
             let status = self.task(child).ok().and_then(|t| t.wait_status());
             if let Some(status) = status {
                 self.remove_task(child);
+                if let Ok(parent) = self.task_mut(pid) {
+                    parent.children.retain(|&c| c != child);
+                }
+                return Ok(Some((child, status)));
+            }
+            // Zombie shipped from the child's shard?
+            if let Some(status) = self.remote_zombies.remove(&child) {
+                self.remote_stops.remove(&child);
                 if let Ok(parent) = self.task_mut(pid) {
                     parent.children.retain(|&c| c != child);
                 }
@@ -162,6 +176,13 @@ impl KernelState {
                             return Ok(Some((child, encode_stop_status(signal))));
                         }
                     }
+                }
+            }
+            for &child in &candidates {
+                // Stops shipped from remote shards are one-shot by
+                // construction: consuming the record is the report.
+                if let Some(signal) = self.remote_stops.remove(&child) {
+                    return Ok(Some((child, encode_stop_status(signal))));
                 }
             }
         }
@@ -203,7 +224,22 @@ impl KernelState {
     /// group.
     pub(crate) fn sys_kill(&mut self, caller: Pid, target: i32, signal: Signal) -> Outcome {
         let result = if target > 0 {
-            self.send_signal(target as Pid, signal)
+            let target = target as Pid;
+            if crate::kernel::shard::shard_of(target, self.nshards()) == self.shard_id() {
+                self.send_signal(target, signal)
+            } else {
+                // Owned by another shard: the router registry (live processes
+                // only) answers existence; delivery goes by message.  A target
+                // that dies in flight just drops the signal, exactly as a
+                // local target that exits between lookup and delivery would.
+                match self.router.process_shard(target) {
+                    Some(shard) => {
+                        self.send_shard(shard, ShardMsg::SignalPid { pid: target, signal });
+                        Ok(())
+                    }
+                    None => Err(Errno::ESRCH),
+                }
+            }
         } else {
             let pgid = if target == 0 {
                 match self.task(caller) {
@@ -269,12 +305,35 @@ impl KernelState {
         if !allowed {
             return Outcome::Complete(SysResult::Err(Errno::EPERM));
         }
+        let sharded = self.nshards() > 1;
         match self.task_mut(target) {
             Ok(task) if task.is_alive() => {
                 task.pgid = group;
+                // Keep the fleet-wide membership registry in step: group
+                // signals resolve members through the router.
+                self.router.set_pgid(target, group);
                 Outcome::Complete(SysResult::Ok)
             }
             Ok(_) => Outcome::Complete(SysResult::Err(Errno::ESRCH)),
+            Err(_) if sharded => {
+                // A remote child (membership came from our `children` list).
+                // Update the authoritative registry first, then tell the
+                // owning shard so the task's own view follows.
+                match self.router.process_shard(target) {
+                    Some(shard) => {
+                        self.router.set_pgid(target, group);
+                        self.send_shard(
+                            shard,
+                            ShardMsg::SetPgid {
+                                pid: target,
+                                pgid: group,
+                            },
+                        );
+                        Outcome::Complete(SysResult::Ok)
+                    }
+                    None => Outcome::Complete(SysResult::Err(Errno::ESRCH)),
+                }
+            }
             Err(e) => Outcome::Complete(SysResult::Err(e)),
         }
     }
@@ -283,7 +342,11 @@ impl KernelState {
         let target = if target == 0 { caller } else { target };
         Outcome::Complete(match self.task(target) {
             Ok(task) => SysResult::Int(task.pgid as i64),
-            Err(e) => SysResult::Err(e),
+            // Not local: the router registry knows every live process.
+            Err(e) => match self.router.process_pgid(target) {
+                Some(pgid) => SysResult::Int(pgid as i64),
+                None => SysResult::Err(e),
+            },
         })
     }
 

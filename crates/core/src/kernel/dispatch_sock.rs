@@ -31,12 +31,15 @@ impl KernelState {
         };
         match file.kind() {
             FileKind::Socket { bound_port: None } => {
+                // The port namespace is kernel-global: ephemeral allocation
+                // and the in-use check go through the router, not the
+                // shard-local listener table.
                 let port = if port == 0 {
-                    self.sockets_mut().allocate_port()
+                    self.router.allocate_ephemeral_port()
                 } else {
                     port
                 };
-                if self.sockets().port_in_use(port) {
+                if self.router.port_claimed(port) {
                     return Outcome::Complete(SysResult::Err(Errno::EADDRINUSE));
                 }
                 file.set_kind(FileKind::Socket { bound_port: Some(port) });
@@ -57,7 +60,7 @@ impl KernelState {
                 Outcome::Complete(SysResult::Int(port as i64))
             }
             FileKind::SocketStream { connection, .. } => {
-                let port = self.sockets().connection(connection).map(|c| c.port).unwrap_or(0);
+                let port = self.connection_info(connection).map(|c| c.port).unwrap_or(0);
                 Outcome::Complete(SysResult::Int(port as i64))
             }
             FileKind::Socket { bound_port: None } => Outcome::Complete(SysResult::Int(0)),
@@ -72,7 +75,14 @@ impl KernelState {
         };
         match file.kind() {
             FileKind::Socket { bound_port: Some(port) } => {
+                // Claim the port fleet-wide first: the router is the one
+                // arbiter of the namespace, so two shards racing to listen on
+                // the same port see exactly one winner.
+                if let Err(e) = self.router.claim_port(port, self.shard_id) {
+                    return Outcome::Complete(SysResult::Err(e));
+                }
                 if let Err(e) = self.sockets_mut().listen(port, pid, backlog as usize) {
+                    self.router.release_port(port, self.shard_id);
                     return Outcome::Complete(SysResult::Err(e));
                 }
                 file.set_kind(FileKind::SocketListener { port });
@@ -140,7 +150,7 @@ impl KernelState {
         }
     }
 
-    pub(crate) fn sys_connect(&mut self, pid: Pid, fd: Fd, port: u16) -> Outcome {
+    pub(crate) fn sys_connect(&mut self, pid: Pid, reply: ReplyTo, fd: Fd, port: u16) -> Outcome {
         let file = match self.task(pid).and_then(|t| t.files.get(fd)) {
             Ok(file) => file,
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
@@ -151,7 +161,16 @@ impl KernelState {
             _ => return Outcome::Complete(SysResult::Err(Errno::ENOTSOCK)),
         }
         if !self.sockets().port_in_use(port) {
-            return Outcome::Complete(SysResult::Err(Errno::ECONNREFUSED));
+            // Not listening here; maybe on another shard.  The owner creates
+            // both streams and the connection (so the server side is always
+            // shard-local to the listener) and this shard installs the
+            // client descriptor when the ConnectReply arrives.
+            match self.router.port_owner(port) {
+                Some(owner) if owner != self.shard_id => {
+                    return self.remote_connect(pid, reply, fd, owner, port);
+                }
+                _ => return Outcome::Complete(SysResult::Err(Errno::ECONNREFUSED)),
+            }
         }
         let client_to_server = self.streams_mut().create();
         let server_to_client = self.streams_mut().create();

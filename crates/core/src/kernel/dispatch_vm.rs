@@ -195,19 +195,21 @@ impl KernelState {
             Err(e) => return Outcome::Complete(SysResult::Err(e)),
         };
         let _ = mode; // no users in Browsix; the browser sandbox is the permission model
-        let object = match self.shm.get(&name) {
+                      // The shm namespace is kernel-global (processes on different shards
+                      // must rendezvous by name), so the registry lives on the router.
+        let object = match self.router.shm_get(&name) {
             Some(object) => {
                 if flags.create && flags.exclusive {
                     return Outcome::Complete(SysResult::Err(Errno::EEXIST));
                 }
-                Arc::clone(object)
+                object
             }
             None => {
                 if !flags.create {
                     return Outcome::Complete(SysResult::Err(Errno::ENOENT));
                 }
                 let object = Arc::new(ShmObject::new());
-                self.shm.insert(name, Arc::clone(&object));
+                self.router.shm_insert(&name, Arc::clone(&object));
                 self.stats.shm_objects += 1;
                 object
             }
@@ -231,9 +233,10 @@ impl KernelState {
     /// the last descriptor and mapping drop their references.
     pub(crate) fn sys_shm_unlink(&mut self, pid: Pid, name: String) -> Outcome {
         let _ = pid;
-        Outcome::Complete(match self.shm.remove(&name) {
-            Some(_) => SysResult::Ok,
-            None => SysResult::Err(Errno::ENOENT),
+        Outcome::Complete(if self.router.shm_remove(&name) {
+            SysResult::Ok
+        } else {
+            SysResult::Err(Errno::ENOENT)
         })
     }
 
@@ -276,9 +279,6 @@ impl KernelState {
     /// identity, not name: descriptors keep mapping to their object across
     /// `shm_unlink`.
     fn shm_object_for(&self, handle: &Arc<dyn FileHandle>) -> Option<Arc<ShmObject>> {
-        self.shm
-            .values()
-            .find(|object| Arc::ptr_eq(&object.handle, handle))
-            .map(Arc::clone)
+        self.router.shm_find(|object| Arc::ptr_eq(&object.handle, handle))
     }
 }

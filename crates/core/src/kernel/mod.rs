@@ -12,29 +12,31 @@ mod dispatch_proc;
 mod dispatch_sock;
 mod dispatch_vm;
 mod poll;
+pub mod shard;
 pub mod waitq;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use browsix_browser::{BlobRegistry, Message, PlatformConfig, Worker, WorkerScope};
-use browsix_fs::{Errno, FileSystem as _, MountedFs};
+use browsix_fs::{Errno, MountedFs};
 
 use crate::events::{HostRequest, KernelEvent, OutputSink};
 use crate::exec::{resolve_executable, ExecutableRegistry, ForkImage, LaunchContext, ProgramLauncher};
-use crate::fd::{Fd, FileKind, OpenFile};
+use crate::fd::{Fd, FileKind, OpenFile, SocketSide};
 use crate::ring::{Ring, RingGeometry};
 use crate::signals::{SigAction, Signal, SignalDisposition};
-use crate::socket::SocketTable;
+use crate::socket::{Connection, ConnectionId, SocketTable};
 use crate::stats::KernelStats;
-use crate::streams::StreamTable;
+use crate::streams::{StreamId, StreamTable};
 use crate::syscall::{encode_wait_status, Completion, CompletionBatch, SysResult, Syscall, Transport};
 use crate::task::{InflightBatch, Pid, SyncHeap, Task, TaskState};
 use crate::wire::Reader;
 
+pub(crate) use shard::{RemoteRevents, RouterState, ShardMsg};
 pub(crate) use waitq::{HttpClientState, WaitKind, Waiter};
 pub use waitq::{WaitChannel, WaitTable, WaiterId};
 
@@ -69,6 +71,31 @@ pub(crate) enum Outcome {
     NoReply,
 }
 
+/// What a pending remote operation was, so its reply installs the right
+/// state on the submitting shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RemoteKind {
+    /// A read from a foreign stream.
+    Read,
+    /// A write to a foreign stream.
+    Write,
+    /// A connect to a listener on a foreign shard; the reply turns `fd`
+    /// into the client side of the connection.
+    Connect { fd: Fd },
+}
+
+/// A syscall parked on this shard while a foreign shard executes it; keyed
+/// by the token the reply will carry.  Removing the entry on completion or
+/// cancellation is what makes delivery exactly-once: a late or duplicate
+/// reply finds no entry and is dropped.
+pub(crate) struct PendingRemote {
+    pub pid: Pid,
+    pub reply: ReplyTo,
+    pub kind: RemoteKind,
+    /// The shard executing the op (receives `CancelOp` on EINTR/death).
+    pub owner: usize,
+}
+
 /// Configuration captured at boot time and owned by the kernel thread.
 pub(crate) struct KernelConfig {
     pub platform: PlatformConfig,
@@ -77,7 +104,8 @@ pub(crate) struct KernelConfig {
     pub default_env: Vec<(String, String)>,
 }
 
-/// All kernel state.  Owned exclusively by the kernel thread.
+/// All kernel state of one shard.  Owned exclusively by that shard's
+/// thread; the only state shared between shards is the [`RouterState`].
 pub(crate) struct KernelState {
     config: PlatformConfig,
     fs: Arc<MountedFs>,
@@ -85,9 +113,18 @@ pub(crate) struct KernelState {
     blobs: BlobRegistry,
     default_env: Vec<(String, String)>,
 
+    /// This shard's index (`pid % nshards` names the owner of a task).
+    shard_id: usize,
+    nshards: usize,
+    /// Every shard's event queue, `peers[shard_id]` being this shard's own
+    /// (cross-shard messages and local re-submissions share one ordering).
+    peers: Vec<Sender<KernelEvent>>,
+    /// The global registries shared by all shards (never touched while
+    /// bytes move on the data path).
+    router: Arc<RouterState>,
+
     events_tx: Sender<KernelEvent>,
     tasks: HashMap<Pid, Task>,
-    next_pid: Pid,
     streams: StreamTable,
     sockets: SocketTable,
     /// Blocked system calls (and kernel HTTP clients), parked on the wait
@@ -100,48 +137,82 @@ pub(crate) struct KernelState {
     /// `(deadline, waiter)` pairs for parked `poll`s with timeouts.
     poll_deadlines: Vec<(Instant, WaiterId)>,
     http_clients: Vec<HttpClientState>,
-    /// The foreground process group of the (single) controlling terminal.
-    /// `SIGINT`/`SIGTSTP` from the terminal go to this group, and reads from
-    /// the terminal by any *other* group raise `SIGTTIN`.
-    foreground_pgid: Option<Pid>,
 
-    /// Named POSIX shared-memory objects (`shm_open` registry).
-    shm: HashMap<String, Arc<crate::vm::ShmObject>>,
+    /// Monotonic token counter for cross-shard operations this shard
+    /// submits (tokens are only ever interpreted by the shard that minted
+    /// them, so plain per-shard counters cannot collide).
+    next_remote_token: u64,
+    /// Syscalls executing on a foreign shard, keyed by token.
+    remote_ops: HashMap<u64, PendingRemote>,
+    /// Wait statuses of exited children that lived on foreign shards (the
+    /// cross-shard form of a zombie, shipped here for this shard's wait4).
+    remote_zombies: HashMap<Pid, i32>,
+    /// Stop signals of remotely-stopped children not yet reported by a
+    /// `WUNTRACED` wait.
+    remote_stops: HashMap<Pid, Signal>,
+    /// Endpoint contributions received from each peer shard: references
+    /// their descriptor tables hold to streams this shard owns.
+    remote_contribs: HashMap<usize, HashMap<StreamId, (u32, u32)>>,
+    /// The last endpoint snapshot sent to each peer (dedup so recomputes
+    /// only message peers whose view actually changed).
+    sent_contribs: HashMap<usize, Vec<(StreamId, u32, u32)>>,
+    /// Connections owned by other shards that local descriptors reference
+    /// (purged when the last local reference disappears).
+    remote_connections: HashMap<ConnectionId, Connection>,
+    /// Latest readiness snapshots of foreign streams local `poll`s watch.
+    remote_revents_cache: HashMap<StreamId, RemoteRevents>,
+    /// Connections created by a remote `connect` whose client endpoints are
+    /// pinned here until the connecting shard acks its endpoint snapshot.
+    remote_client_pins: HashSet<ConnectionId>,
+    /// stdio of in-flight cross-shard spawns, pinned (and counted as
+    /// endpoints) until the owning shard acks the task exists.
+    pinned_files: HashMap<u64, Vec<Arc<OpenFile>>>,
 
-    host_sinks: HashMap<u64, OutputSink>,
-    next_sink: u64,
     exit_watchers: HashMap<Pid, Vec<Sender<i32>>>,
     exit_records: HashMap<Pid, i32>,
-    port_subscribers: Vec<Sender<u16>>,
 
     stats: KernelStats,
 }
 
 impl KernelState {
-    pub(crate) fn new(config: KernelConfig, events_tx: Sender<KernelEvent>) -> KernelState {
+    pub(crate) fn new(
+        config: KernelConfig,
+        shard_id: usize,
+        router: Arc<RouterState>,
+        peers: Vec<Sender<KernelEvent>>,
+    ) -> KernelState {
+        let events_tx = peers[shard_id].clone();
         KernelState {
             config: config.platform,
             fs: config.fs,
             registry: config.registry,
             blobs: BlobRegistry::new(),
             default_env: config.default_env,
+            shard_id,
+            nshards: router.nshards(),
+            peers,
+            router,
             events_tx,
             tasks: HashMap::new(),
-            next_pid: 1,
-            streams: StreamTable::new(),
-            sockets: SocketTable::new(),
+            streams: StreamTable::new_for_shard(shard_id),
+            sockets: SocketTable::new_for_shard(shard_id),
             waiters: WaitTable::new(),
             wake_queue: VecDeque::new(),
             waking: false,
             poll_deadlines: Vec::new(),
             http_clients: Vec::new(),
-            foreground_pgid: None,
-            shm: HashMap::new(),
-            host_sinks: HashMap::new(),
-            next_sink: 1,
+            next_remote_token: 1,
+            remote_ops: HashMap::new(),
+            remote_zombies: HashMap::new(),
+            remote_stops: HashMap::new(),
+            remote_contribs: HashMap::new(),
+            sent_contribs: HashMap::new(),
+            remote_connections: HashMap::new(),
+            remote_revents_cache: HashMap::new(),
+            remote_client_pins: HashSet::new(),
+            pinned_files: HashMap::new(),
             exit_watchers: HashMap::new(),
             exit_records: HashMap::new(),
-            port_subscribers: Vec::new(),
             stats: KernelStats::default(),
         }
     }
@@ -208,7 +279,531 @@ impl KernelState {
                 self.drain_ring(pid);
             }
             KernelEvent::Host(request) => self.handle_host_request(request),
+            KernelEvent::Shard(msg) => self.handle_shard_msg(msg),
             KernelEvent::Shutdown => {}
+        }
+    }
+
+    // ---- cross-shard messaging -----------------------------------------------
+
+    /// Sends a message to a peer shard (its event queue preserves the order
+    /// of everything this shard sent it).
+    pub(crate) fn send_shard(&mut self, shard: usize, msg: ShardMsg) {
+        self.stats.shard_msgs_sent += 1;
+        let _ = self.peers[shard].send(KernelEvent::Shard(msg));
+    }
+
+    /// Mints a token for a cross-shard operation.
+    pub(crate) fn next_remote_token(&mut self) -> u64 {
+        let token = self.next_remote_token;
+        self.next_remote_token += 1;
+        token
+    }
+
+    /// This shard's index.
+    pub(crate) fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// The number of shards in the fleet.
+    pub(crate) fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Whether a stream id belongs to another shard.
+    pub(crate) fn stream_is_remote(&self, stream: StreamId) -> bool {
+        shard::stream_shard(stream) != self.shard_id
+    }
+
+    /// Resolves a connection: this shard's socket table, else the cache of
+    /// remotely-owned connections local descriptors reference.
+    pub(crate) fn connection_info(&self, id: ConnectionId) -> Option<Connection> {
+        self.sockets
+            .connection(id)
+            .or_else(|| self.remote_connections.get(&id).copied())
+    }
+
+    /// A cached readiness snapshot of a foreign stream (for `poll`).
+    pub(crate) fn remote_revents(&self, stream: StreamId) -> Option<RemoteRevents> {
+        self.remote_revents_cache.get(&stream).copied()
+    }
+
+    /// Submits a read of a foreign stream to its owner; the syscall parks in
+    /// `remote_ops` until [`ShardMsg::RemoteOpDone`] comes back.
+    pub(crate) fn remote_read(
+        &mut self,
+        pid: Pid,
+        reply: ReplyTo,
+        stream: StreamId,
+        len: usize,
+        nonblocking: bool,
+    ) -> Outcome {
+        let owner = shard::stream_shard(stream);
+        let token = self.next_remote_token();
+        self.remote_ops.insert(
+            token,
+            PendingRemote {
+                pid,
+                reply,
+                kind: RemoteKind::Read,
+                owner,
+            },
+        );
+        self.send_shard(
+            owner,
+            ShardMsg::RemoteRead {
+                token,
+                from_shard: self.shard_id,
+                pid,
+                stream,
+                len,
+                nonblocking,
+            },
+        );
+        Outcome::Blocked
+    }
+
+    /// Submits a write to a foreign stream to its owner.
+    pub(crate) fn remote_write(
+        &mut self,
+        pid: Pid,
+        reply: ReplyTo,
+        stream: StreamId,
+        data: Vec<u8>,
+        nonblocking: bool,
+    ) -> Outcome {
+        let owner = shard::stream_shard(stream);
+        let token = self.next_remote_token();
+        self.remote_ops.insert(
+            token,
+            PendingRemote {
+                pid,
+                reply,
+                kind: RemoteKind::Write,
+                owner,
+            },
+        );
+        self.send_shard(
+            owner,
+            ShardMsg::RemoteWrite {
+                token,
+                from_shard: self.shard_id,
+                pid,
+                stream,
+                data,
+                nonblocking,
+            },
+        );
+        Outcome::Blocked
+    }
+
+    /// Owner-side immediate read attempt against an owned stream.  `None`
+    /// means the stream exists with a live writer and no data (park).
+    pub(crate) fn try_remote_read(&mut self, stream: StreamId, len: usize) -> Option<SysResult> {
+        let Some(s) = self.streams.get_mut(stream) else {
+            // The stream is gone: its endpoints all closed, which reads as EOF.
+            return Some(SysResult::Data(Vec::new()));
+        };
+        if !s.is_empty() {
+            let data = s.pop(len);
+            self.wake(WaitChannel::StreamWritable(stream));
+            return Some(SysResult::Data(data));
+        }
+        if s.write_end_closed() {
+            return Some(SysResult::Data(Vec::new()));
+        }
+        None
+    }
+
+    /// Owner-side immediate write attempt: bytes accepted, or `EPIPE`.
+    /// Raw — the *submitting* shard raises SIGPIPE, preserving the local
+    /// signal-then-error ordering for the writer.
+    pub(crate) fn try_remote_write(&mut self, stream: StreamId, data: &[u8]) -> Result<usize, Errno> {
+        let Some(s) = self.streams.get_mut(stream) else {
+            return Err(Errno::EPIPE);
+        };
+        if s.read_end_closed() {
+            return Err(Errno::EPIPE);
+        }
+        let written = s.push(data);
+        if written > 0 {
+            self.wake(WaitChannel::StreamReadable(stream));
+        }
+        Ok(written)
+    }
+
+    /// Submits a `connect` to the shard owning the target port's listener;
+    /// the caller's descriptor is upgraded when the reply arrives.  Connect
+    /// ops are exempt from `EINTR` cancellation (the reply installs the
+    /// connection; abandoning it would leak the server-side streams), so
+    /// they only ever resolve via [`ShardMsg::ConnectReply`] or task death.
+    pub(crate) fn remote_connect(&mut self, pid: Pid, reply: ReplyTo, fd: Fd, owner: usize, port: u16) -> Outcome {
+        let token = self.next_remote_token();
+        self.remote_ops.insert(
+            token,
+            PendingRemote {
+                pid,
+                reply,
+                kind: RemoteKind::Connect { fd },
+                owner,
+            },
+        );
+        self.send_shard(
+            owner,
+            ShardMsg::Connect {
+                token,
+                from_shard: self.shard_id,
+                port,
+            },
+        );
+        Outcome::Blocked
+    }
+
+    fn handle_shard_msg(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::SpawnTask {
+                token,
+                origin,
+                pid,
+                ppid,
+                pgid,
+                name,
+                path,
+                cwd,
+                args,
+                env,
+                launcher,
+                file_bytes,
+                stdio,
+            } => {
+                let blob_url = file_bytes.map(|bytes| self.blobs.create_url(bytes));
+                let stdio: [Arc<OpenFile>; 3] = stdio;
+                self.install_task(
+                    pid, ppid, pgid, &name, &path, &cwd, args, env, stdio, blob_url, None, launcher,
+                );
+                self.recompute_endpoints();
+                self.send_shard(origin, ShardMsg::SpawnAck { token });
+            }
+            ShardMsg::SpawnAck { token } => {
+                self.pinned_files.remove(&token);
+                self.recompute_endpoints();
+            }
+            ShardMsg::ChildExited { pid, ppid, status } => {
+                if self.tasks.get(&ppid).map(|t| !t.is_zombie()).unwrap_or(false) {
+                    self.remote_zombies.insert(pid, status);
+                    let _ = self.send_signal(ppid, Signal::SIGCHLD);
+                    self.wake(WaitChannel::ChildOf(ppid));
+                }
+                // Parent died concurrently: the child's shard already
+                // dropped the task and recorded the exit status for host
+                // watchers; nothing to reap here.
+            }
+            ShardMsg::ChildStopped { pid, ppid, signal } => {
+                if self.tasks.get(&ppid).map(|t| !t.is_zombie()).unwrap_or(false) {
+                    self.remote_stops.insert(pid, signal);
+                    let _ = self.send_signal(ppid, Signal::SIGCHLD);
+                    self.wake(WaitChannel::ChildOf(ppid));
+                }
+            }
+            ShardMsg::ChildContinued { pid, .. } => {
+                self.remote_stops.remove(&pid);
+            }
+            ShardMsg::Reparent { child } => {
+                if let Some(task) = self.tasks.get_mut(&child) {
+                    task.ppid = 0;
+                    if task.is_zombie() {
+                        self.tasks.remove(&child);
+                    }
+                }
+            }
+            ShardMsg::SignalPid { pid, signal } => {
+                let _ = self.send_signal(pid, signal);
+            }
+            ShardMsg::SetPgid { pid, pgid } => {
+                if let Some(task) = self.tasks.get_mut(&pid) {
+                    task.pgid = pgid;
+                }
+            }
+            ShardMsg::RemoteRead {
+                token,
+                from_shard,
+                pid,
+                stream,
+                len,
+                nonblocking,
+            } => {
+                self.stats.steals += 1;
+                match self.try_remote_read(stream, len) {
+                    Some(result) => self.send_shard(
+                        from_shard,
+                        ShardMsg::RemoteOpDone {
+                            token,
+                            result,
+                            raise_sigpipe: false,
+                        },
+                    ),
+                    None if nonblocking => {
+                        self.stats.eagain_returns += 1;
+                        self.send_shard(
+                            from_shard,
+                            ShardMsg::RemoteOpDone {
+                                token,
+                                result: SysResult::Err(Errno::EAGAIN),
+                                raise_sigpipe: false,
+                            },
+                        );
+                    }
+                    None => self.park_waiter_one(
+                        WaitChannel::StreamReadable(stream),
+                        Waiter {
+                            pid,
+                            reply: None,
+                            kind: WaitKind::RemoteRead {
+                                stream,
+                                len,
+                                token,
+                                from_shard,
+                            },
+                        },
+                    ),
+                }
+            }
+            ShardMsg::RemoteWrite {
+                token,
+                from_shard,
+                pid,
+                stream,
+                data,
+                nonblocking,
+            } => {
+                self.stats.steals += 1;
+                match self.try_remote_write(stream, &data) {
+                    Err(errno) => self.send_shard(
+                        from_shard,
+                        ShardMsg::RemoteOpDone {
+                            token,
+                            result: SysResult::Err(errno),
+                            raise_sigpipe: errno == Errno::EPIPE,
+                        },
+                    ),
+                    Ok(written) if written == data.len() => self.send_shard(
+                        from_shard,
+                        ShardMsg::RemoteOpDone {
+                            token,
+                            result: SysResult::Int(written as i64),
+                            raise_sigpipe: false,
+                        },
+                    ),
+                    Ok(written) if nonblocking => {
+                        let result = if written > 0 {
+                            SysResult::Int(written as i64)
+                        } else {
+                            self.stats.eagain_returns += 1;
+                            SysResult::Err(Errno::EAGAIN)
+                        };
+                        self.send_shard(
+                            from_shard,
+                            ShardMsg::RemoteOpDone {
+                                token,
+                                result,
+                                raise_sigpipe: false,
+                            },
+                        );
+                    }
+                    Ok(written) => self.park_waiter_one(
+                        WaitChannel::StreamWritable(stream),
+                        Waiter {
+                            pid,
+                            reply: None,
+                            kind: WaitKind::RemoteWrite {
+                                stream,
+                                data,
+                                written,
+                                token,
+                                from_shard,
+                            },
+                        },
+                    ),
+                }
+            }
+            ShardMsg::RemoteOpDone {
+                token,
+                result,
+                raise_sigpipe,
+            } => {
+                // Exactly-once: a token cancelled by EINTR or death has
+                // left the table, and this late reply is dropped.
+                let Some(op) = self.remote_ops.remove(&token) else {
+                    return;
+                };
+                if raise_sigpipe {
+                    let _ = self.send_signal(op.pid, Signal::SIGPIPE);
+                }
+                self.complete(op.pid, op.reply, result);
+            }
+            ShardMsg::CancelOp { token } => {
+                drop(self.waiters.take_matching(|w| {
+                    matches!(
+                        &w.kind,
+                        WaitKind::RemoteRead { token: t, .. } | WaitKind::RemoteWrite { token: t, .. }
+                        if *t == token
+                    )
+                }));
+            }
+            ShardMsg::Connect {
+                token,
+                from_shard,
+                port,
+            } => {
+                self.stats.steals += 1;
+                if !self.sockets.port_in_use(port) {
+                    self.send_shard(
+                        from_shard,
+                        ShardMsg::ConnectReply {
+                            token,
+                            result: Err(Errno::ECONNREFUSED),
+                        },
+                    );
+                    return;
+                }
+                let client_to_server = self.streams.create();
+                let server_to_client = self.streams.create();
+                match self.sockets.connect(port, client_to_server, server_to_client) {
+                    Ok(id) => {
+                        // Pin the client endpoints until the connecting
+                        // shard records its descriptor and acks; otherwise
+                        // the server could observe a half-closed stream in
+                        // the gap between the two shards' recounts.
+                        self.remote_client_pins.insert(id);
+                        let conn = self.sockets.connection(id).expect("connection just created");
+                        self.wake(WaitChannel::Listener(port));
+                        self.recompute_endpoints();
+                        self.send_shard(
+                            from_shard,
+                            ShardMsg::ConnectReply {
+                                token,
+                                result: Ok((id, conn)),
+                            },
+                        );
+                    }
+                    Err(errno) => {
+                        self.streams.remove(client_to_server);
+                        self.streams.remove(server_to_client);
+                        self.send_shard(
+                            from_shard,
+                            ShardMsg::ConnectReply {
+                                token,
+                                result: Err(errno),
+                            },
+                        );
+                    }
+                }
+            }
+            ShardMsg::ConnectReply { token, result } => {
+                let op = self.remote_ops.remove(&token);
+                match result {
+                    Ok((id, conn)) => {
+                        let mut installed = false;
+                        if let Some(op) = &op {
+                            if let RemoteKind::Connect { fd } = op.kind {
+                                if let Ok(file) = self
+                                    .tasks
+                                    .get(&op.pid)
+                                    .map(|t| t.files.get(fd))
+                                    .unwrap_or(Err(Errno::EBADF))
+                                {
+                                    file.set_kind(FileKind::SocketStream {
+                                        connection: id,
+                                        side: SocketSide::Client,
+                                    });
+                                    installed = true;
+                                }
+                            }
+                        }
+                        self.remote_connections.insert(id, conn);
+                        if let Some(op) = op {
+                            let result = if installed {
+                                SysResult::Ok
+                            } else {
+                                SysResult::Err(Errno::EBADF)
+                            };
+                            self.complete(op.pid, op.reply, result);
+                        }
+                        // The recount records the client endpoints and ships
+                        // the snapshot to the owner; FIFO ordering makes it
+                        // land before the ack that drops the owner's pin.
+                        self.recompute_endpoints();
+                        self.send_shard(shard::connection_shard(id), ShardMsg::ConnectAck { connection: id });
+                    }
+                    Err(errno) => {
+                        if let Some(op) = op {
+                            self.complete(op.pid, op.reply, SysResult::Err(errno));
+                        }
+                    }
+                }
+            }
+            ShardMsg::ConnectAck { connection } => {
+                self.remote_client_pins.remove(&connection);
+                self.recompute_endpoints();
+            }
+            ShardMsg::PollQuery { stream, from_shard } => {
+                let answer = match self.streams.get(stream) {
+                    None => ShardMsg::PollAnswer {
+                        stream,
+                        readable: false,
+                        eof: false,
+                        writable: false,
+                        epipe: false,
+                        gone: true,
+                    },
+                    Some(s) => ShardMsg::PollAnswer {
+                        stream,
+                        readable: !s.is_empty(),
+                        eof: s.write_end_closed(),
+                        writable: s.space() > 0,
+                        epipe: s.read_end_closed(),
+                        gone: false,
+                    },
+                };
+                self.send_shard(from_shard, answer);
+            }
+            ShardMsg::PollAnswer {
+                stream,
+                readable,
+                eof,
+                writable,
+                epipe,
+                gone,
+            } => {
+                let revents = RemoteRevents {
+                    readable,
+                    eof,
+                    writable,
+                    epipe,
+                    gone,
+                };
+                // Wake local pollers of this stream only when the snapshot
+                // *changed*: an unconditional wake would re-query on repark
+                // and ping-pong with the owner forever, while a silent cache
+                // update would be a lost wakeup (the scavenger would find a
+                // completable poll nobody woke).  A retry triggered by a
+                // change either completes or reparks; the repark's re-query
+                // returns the same snapshot, so the exchange terminates.
+                let changed = self.remote_revents_cache.insert(stream, revents).map(|old| {
+                    (old.readable, old.eof, old.writable, old.epipe, old.gone) != (readable, eof, writable, epipe, gone)
+                });
+                if changed.unwrap_or(true) {
+                    self.stats.cross_shard_wakeups += 1;
+                    self.wake(WaitChannel::StreamReadable(stream));
+                    self.wake(WaitChannel::StreamWritable(stream));
+                }
+            }
+            ShardMsg::RemoteEndpoints { from_shard, snapshot } => {
+                let contrib: HashMap<StreamId, (u32, u32)> =
+                    snapshot.into_iter().map(|(id, r, w)| (id, (r, w))).collect();
+                self.remote_contribs.insert(from_shard, contrib);
+                self.recompute_endpoints();
+            }
         }
     }
 
@@ -547,7 +1142,7 @@ impl KernelState {
             Syscall::GetSockName { fd } => self.sys_getsockname(pid, fd),
             Syscall::Listen { fd, backlog } => self.sys_listen(pid, fd, backlog),
             Syscall::Accept { fd } => self.sys_accept(pid, reply, fd),
-            Syscall::Connect { fd, port } => self.sys_connect(pid, fd, port),
+            Syscall::Connect { fd, port } => self.sys_connect(pid, reply, fd, port),
             // virtual memory
             Syscall::Ftruncate { fd, size } => self.sys_ftruncate(pid, fd, size),
             Syscall::Mmap {
@@ -713,17 +1308,15 @@ impl KernelState {
                 self.host_http_request(port, request, reply);
             }
             HostRequest::SubscribePortListen { listener } => {
-                self.port_subscribers.push(listener);
+                self.router.subscribe_port_listen(listener);
             }
             HostRequest::ListeningPorts { reply } => {
-                let _ = reply.send(self.sockets.listening_ports());
+                let _ = reply.send(self.router.claimed_ports());
             }
             HostRequest::ReadStats { reply } => {
-                // Attach the VFS cache counters (dentry cache, httpfs page
-                // caches, overlay copy-ups) to the snapshot.
-                let mut stats = self.stats.clone();
-                stats.absorb_fs(self.fs.io_stats());
-                let _ = reply.send(stats);
+                // Raw per-shard snapshot: the host merges all shards and then
+                // attaches the (shared) VFS cache counters exactly once.
+                let _ = reply.send(self.stats.clone());
             }
             HostRequest::ListTasks { reply } => {
                 let mut tasks: Vec<(Pid, Pid, String, String)> = self
@@ -776,20 +1369,28 @@ impl KernelState {
     }
 
     /// Creates a host-sink open file: writes are forwarded to the callback.
+    /// Sinks live in the router so a descriptor inherited by a process on
+    /// another shard still resolves.
     pub(crate) fn new_host_sink(&mut self, sink: OutputSink) -> Arc<OpenFile> {
-        let id = self.next_sink;
-        self.next_sink += 1;
-        self.host_sinks.insert(id, sink);
+        let id = self.router.new_sink(sink);
         OpenFile::new(FileKind::HostSink { stream: id })
     }
 
     pub(crate) fn host_sink(&self, id: u64) -> Option<OutputSink> {
-        self.host_sinks.get(&id).cloned()
+        self.router.sink(id)
     }
 
     // ---- process lifecycle -----------------------------------------------------
 
     /// Creates a task and its worker, returning the new pid.
+    ///
+    /// Placement: forks stay on the parent's shard (the copied descriptor
+    /// table and COW image stay local); everything else round-robins across
+    /// shards via the router, deterministically in spawn order.  A
+    /// cross-shard spawn resolves the executable here (the mount table is
+    /// shared), pre-allocates the pid, pins the stdio descriptors until the
+    /// owner acks, and returns the pid immediately — exactly like a local
+    /// spawn, whose worker also has not run yet when `spawn` returns.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn_process(
         &mut self,
@@ -802,7 +1403,8 @@ impl KernelState {
         fork_image: Option<ForkImage>,
         forced_launcher: Option<Arc<dyn ProgramLauncher>>,
     ) -> Result<Pid, Errno> {
-        let (launcher, blob_url) = match forced_launcher {
+        let keep_local = fork_image.is_some() || forced_launcher.is_some();
+        let (launcher, file_bytes) = match forced_launcher {
             Some(launcher) => (launcher, None),
             None => {
                 let resolved = resolve_executable(self.fs.as_ref(), &self.registry, path)?;
@@ -811,21 +1413,84 @@ impl KernelState {
                     new_args.extend(args.into_iter().skip(1));
                     args = new_args;
                 }
-                let blob_url = resolved.file_bytes.map(|bytes| self.blobs.create_url(bytes));
-                (resolved.launcher, blob_url)
+                (resolved.launcher, resolved.file_bytes)
             }
         };
 
-        let pid = self.next_pid;
-        self.next_pid += 1;
-
-        let name = browsix_fs::path::basename(path);
-        let mut task = Task::new(pid, ppid, &name, path, cwd);
+        let target = if keep_local || self.nshards == 1 {
+            self.shard_id
+        } else {
+            self.router.place_spawn()
+        };
+        let pid = self.router.allocate_pid(target);
         // Children join their parent's process group; host-started processes
-        // lead a fresh group of their own (Task::new defaults pgid to pid).
-        if let Some(parent) = self.tasks.get(&ppid) {
-            task.pgid = parent.pgid;
+        // lead a fresh group of their own.
+        let pgid = self.tasks.get(&ppid).map(|p| p.pgid).unwrap_or(pid);
+        self.router.register_process(pid, target, pgid);
+        let name = browsix_fs::path::basename(path);
+
+        if target == self.shard_id {
+            let blob_url = file_bytes.map(|bytes| self.blobs.create_url(bytes));
+            self.install_task(
+                pid, ppid, pgid, &name, path, cwd, args, env, stdio, blob_url, fork_image, launcher,
+            );
+            if let Some(parent) = self.tasks.get_mut(&ppid) {
+                parent.children.push(pid);
+            }
+            self.recompute_endpoints();
+        } else {
+            let token = self.next_remote_token();
+            // Pin the stdio descriptions: the endpoint recount treats them
+            // as live references until the owner has installed the child.
+            self.pinned_files.insert(token, stdio.to_vec());
+            self.send_shard(
+                target,
+                ShardMsg::SpawnTask {
+                    token,
+                    origin: self.shard_id,
+                    pid,
+                    ppid,
+                    pgid,
+                    name,
+                    path: path.to_owned(),
+                    cwd: cwd.to_owned(),
+                    args,
+                    env,
+                    launcher,
+                    file_bytes,
+                    stdio,
+                },
+            );
+            if let Some(parent) = self.tasks.get_mut(&ppid) {
+                parent.children.push(pid);
+            }
+            self.recompute_endpoints();
         }
+        Ok(pid)
+    }
+
+    /// Installs a fully-resolved task on this shard: task-table entry,
+    /// worker thread and init message.  The caller pushes the child onto
+    /// its parent's `children` (the parent may live on another shard) and
+    /// recomputes endpoints.
+    #[allow(clippy::too_many_arguments)]
+    fn install_task(
+        &mut self,
+        pid: Pid,
+        ppid: Pid,
+        pgid: Pid,
+        name: &str,
+        path: &str,
+        cwd: &str,
+        args: Vec<String>,
+        env: Vec<(String, String)>,
+        stdio: [Arc<OpenFile>; 3],
+        blob_url: Option<String>,
+        fork_image: Option<ForkImage>,
+        launcher: Arc<dyn ProgramLauncher>,
+    ) {
+        let mut task = Task::new(pid, ppid, name, path, cwd);
+        task.pgid = pgid;
         task.args = args.clone();
         task.env = env.clone();
         task.launcher = Some(Arc::clone(&launcher));
@@ -834,7 +1499,9 @@ impl KernelState {
         }
 
         // The worker script: hand the scope and kernel channel to the
-        // launcher, which will wait for the init message before running main.
+        // launcher, which will wait for the init message before running
+        // main.  The channel is *this shard's* queue, so every syscall and
+        // doorbell of the process lands on its owning shard directly.
         let kernel_tx = self.events_tx.clone();
         let config = self.config.clone();
         let launcher_for_worker = Arc::clone(&launcher);
@@ -853,9 +1520,6 @@ impl KernelState {
         );
         task.worker = Some(worker);
         self.tasks.insert(pid, task);
-        if let Some(parent) = self.tasks.get_mut(&ppid) {
-            parent.children.push(pid);
-        }
         self.stats.processes_spawned += 1;
 
         // Init message: argument vector, environment, cwd, blob URL and (for
@@ -878,8 +1542,6 @@ impl KernelState {
                 .with("fork_resume", image.resume_point as i64);
         }
         self.post_to_worker(pid, init);
-        self.recompute_endpoints();
-        Ok(pid)
     }
 
     /// Marks a task as exited: zombie state, worker termination, descriptor
@@ -906,6 +1568,10 @@ impl KernelState {
         let children: Vec<Pid> = task.children.clone();
         self.stats.processes_exited += 1;
         self.exit_records.insert(pid, status);
+        // A finished pid disappears from the router registry: signals and
+        // getpgid from any shard now report ESRCH, matching the local
+        // zombie rules.
+        self.router.remove_process(pid);
 
         // The dead process's own blocked system calls have nobody left to
         // receive their completions: drop them before any wakeups run.
@@ -921,18 +1587,27 @@ impl KernelState {
             .collect();
         for port in owned_ports {
             self.sockets.close_listener(port);
+            self.router.release_port(port, self.shard_id);
             self.wake(WaitChannel::Listener(port));
         }
 
         // Reparent children to the kernel (pid 0) and reap any that are
-        // already zombies — there is no init process to do it.
+        // already zombies — there is no init process to do it.  Children on
+        // other shards get an explicit reparent message; their shipped
+        // zombie/stop records die with this parent.
         for child in children {
-            if let Some(child_task) = self.tasks.get_mut(&child) {
-                child_task.ppid = 0;
-                if child_task.is_zombie() {
-                    self.tasks.remove(&child);
+            if shard::shard_of(child, self.nshards) == self.shard_id {
+                if let Some(child_task) = self.tasks.get_mut(&child) {
+                    child_task.ppid = 0;
+                    if child_task.is_zombie() {
+                        self.tasks.remove(&child);
+                    }
                 }
+            } else if self.router.process_shard(child).is_some() {
+                self.send_shard(shard::shard_of(child, self.nshards), ShardMsg::Reparent { child });
             }
+            self.remote_zombies.remove(&child);
+            self.remote_stops.remove(&child);
         }
 
         // Wake host watchers.
@@ -943,11 +1618,29 @@ impl KernelState {
         }
 
         // Notify the parent.
-        if ppid != 0 && self.tasks.contains_key(&ppid) {
-            let _ = self.send_signal(ppid, Signal::SIGCHLD);
+        let parent_shard = if ppid == 0 {
+            None
         } else {
-            // Host-owned process: nobody will call wait4, reap immediately.
-            self.tasks.remove(&pid);
+            Some(shard::shard_of(ppid, self.nshards))
+        };
+        match parent_shard {
+            Some(s) if s != self.shard_id => {
+                // Remote parent: ship the zombie.  The wait status travels
+                // in the message and the parent's shard reaps from its
+                // `remote_zombies` table; this shard is done with the task
+                // either way (a dead remote parent just drops the record —
+                // the exit status survives in `exit_records`).
+                self.tasks.remove(&pid);
+                self.send_shard(s, ShardMsg::ChildExited { pid, ppid, status });
+            }
+            Some(_) if self.tasks.contains_key(&ppid) => {
+                let _ = self.send_signal(ppid, Signal::SIGCHLD);
+            }
+            _ => {
+                // Host-owned process (or local parent already gone): nobody
+                // will call wait4, reap immediately.
+                self.tasks.remove(&pid);
+            }
         }
 
         // Dropping the descriptor table may have closed stream endpoints;
@@ -955,7 +1648,7 @@ impl KernelState {
         // changed.  A parent blocked in wait4 parks on its own ChildOf
         // queue, so only that queue is woken for the exit itself.
         self.recompute_endpoints();
-        if ppid != 0 {
+        if parent_shard == Some(self.shard_id) {
             self.wake(WaitChannel::ChildOf(ppid));
         }
     }
@@ -1011,17 +1704,34 @@ impl KernelState {
     ///
     /// [`Errno::ESRCH`] if the group has no live members.
     pub(crate) fn signal_pgroup(&mut self, pgid: Pid, signal: Signal) -> Result<(), Errno> {
-        let targets: Vec<Pid> = self
-            .tasks
-            .values()
-            .filter(|t| t.is_alive() && t.pgid == pgid)
-            .map(|t| t.pid)
-            .collect();
-        if targets.is_empty() {
+        if self.nshards == 1 {
+            let targets: Vec<Pid> = self
+                .tasks
+                .values()
+                .filter(|t| t.is_alive() && t.pgid == pgid)
+                .map(|t| t.pid)
+                .collect();
+            if targets.is_empty() {
+                return Err(Errno::ESRCH);
+            }
+            for pid in targets {
+                let _ = self.send_signal(pid, signal);
+            }
+            return Ok(());
+        }
+        // The group may span shards: the router registry (live processes
+        // only) is the membership authority; remote members get the signal
+        // by message, in deterministic pid order.
+        let members = self.router.group_members(pgid);
+        if members.is_empty() {
             return Err(Errno::ESRCH);
         }
-        for pid in targets {
-            let _ = self.send_signal(pid, signal);
+        for (pid, shard) in members {
+            if shard == self.shard_id {
+                let _ = self.send_signal(pid, signal);
+            } else {
+                self.send_shard(shard, ShardMsg::SignalPid { pid, signal });
+            }
         }
         Ok(())
     }
@@ -1033,19 +1743,21 @@ impl KernelState {
     ///
     /// [`Errno::ESRCH`] if no foreground group is set or it has no members.
     pub(crate) fn signal_foreground(&mut self, signal: Signal) -> Result<(), Errno> {
-        match self.foreground_pgid {
+        match self.router.foreground_pgid() {
             Some(pgid) => self.signal_pgroup(pgid, signal),
             None => Err(Errno::ESRCH),
         }
     }
 
     /// The foreground process group, if one has been set with `tcsetpgrp`.
+    /// There is a single controlling terminal for the whole fleet, so the
+    /// group lives in the router.
     pub(crate) fn foreground_pgid(&self) -> Option<Pid> {
-        self.foreground_pgid
+        self.router.foreground_pgid()
     }
 
     pub(crate) fn set_foreground_pgid(&mut self, pgid: Option<Pid>) {
-        self.foreground_pgid = pgid;
+        self.router.set_foreground_pgid(pgid);
     }
 
     /// Applies an unblocked (or never-blocked) signal to its target: runs the
@@ -1117,6 +1829,25 @@ impl KernelState {
                 self.complete(target, reply, SysResult::Err(Errno::EINTR));
             }
         }
+        // Reads/writes executing on foreign shards take EINTR too: cancel
+        // at the owner (a racing completion finds no token and is dropped)
+        // and complete here.  Connects are exempt — their reply installs
+        // the connection, and abandoning it would leak the server-side
+        // streams the owner already created.
+        let tokens: Vec<u64> = self
+            .remote_ops
+            .iter()
+            .filter(|(_, op)| op.pid == target && !matches!(op.kind, RemoteKind::Connect { .. }))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in tokens {
+            let Some(op) = self.remote_ops.remove(&token) else {
+                continue;
+            };
+            self.stats.eintr_wakeups += 1;
+            self.send_shard(op.owner, ShardMsg::CancelOp { token });
+            self.complete(op.pid, op.reply, SysResult::Err(Errno::EINTR));
+        }
     }
 
     /// Suspends a running task (default disposition of the stop signals):
@@ -1131,7 +1862,18 @@ impl KernelState {
         task.state = TaskState::Stopped { signal };
         task.stop_reported = false;
         let ppid = task.ppid;
-        if ppid != 0 && self.tasks.contains_key(&ppid) {
+        if ppid != 0 && shard::shard_of(ppid, self.nshards) != self.shard_id {
+            if self.router.process_shard(ppid).is_some() {
+                self.send_shard(
+                    shard::shard_of(ppid, self.nshards),
+                    ShardMsg::ChildStopped {
+                        pid: target,
+                        ppid,
+                        signal,
+                    },
+                );
+            }
+        } else if ppid != 0 && self.tasks.contains_key(&ppid) {
             let _ = self.send_signal(ppid, Signal::SIGCHLD);
             self.wake(WaitChannel::ChildOf(ppid));
         }
@@ -1148,7 +1890,19 @@ impl KernelState {
         }
         task.state = TaskState::Running;
         task.stop_reported = false;
+        let ppid = task.ppid;
         let stashed = std::mem::take(&mut task.stashed_transports);
+        // A remote parent's not-yet-reported stop record is withdrawn (the
+        // local equivalent is the running state clearing `stop_signal`).
+        if ppid != 0
+            && shard::shard_of(ppid, self.nshards) != self.shard_id
+            && self.router.process_shard(ppid).is_some()
+        {
+            self.send_shard(
+                shard::shard_of(ppid, self.nshards),
+                ShardMsg::ChildContinued { pid: target, ppid },
+            );
+        }
         for transport in stashed {
             self.handle_syscall(target, transport);
         }
@@ -1185,7 +1939,7 @@ impl KernelState {
     }
 
     pub(crate) fn notify_port_listen(&mut self, port: u16) {
-        self.port_subscribers.retain(|sub| sub.send(port).is_ok());
+        self.router.notify_port_listen(port);
     }
 
     /// Resolves a path relative to a task's working directory.
@@ -1200,11 +1954,19 @@ impl KernelState {
     /// EOF/EPIPE *transitions* it discovers wake exactly the wait queues of
     /// the streams that changed (readers of a stream whose last writer
     /// closed, writers of a stream whose last reader closed).
+    ///
+    /// With multiple shards the scan is local but the count is global: local
+    /// descriptors that refer to a *foreign* stream are accumulated per owner
+    /// shard and published as a [`ShardMsg::RemoteEndpoints`] snapshot (only
+    /// when it changed), while contributions previously received from peers
+    /// about *our* streams are folded into the local totals.  Every shard
+    /// therefore converges on the true global endpoint counts without any
+    /// shared lock on the data path.
     pub(crate) fn recompute_endpoints(&mut self) {
         let before = self.streams.endpoint_snapshot();
         self.streams.reset_endpoint_counts();
         let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        let mut adjustments: Vec<(crate::streams::StreamId, bool)> = Vec::new(); // (stream, is_reader)
+        let mut kinds: Vec<FileKind> = Vec::new();
         for task in self.tasks.values() {
             // Stopped tasks still hold their descriptors: a stopped job's
             // pipes must not report EOF/EPIPE while it is suspended.
@@ -1213,33 +1975,56 @@ impl KernelState {
             }
             for (_, file) in task.files.iter() {
                 let key = Arc::as_ptr(file) as usize;
-                if !seen.insert(key) {
-                    continue;
-                }
-                match file.kind() {
-                    FileKind::PipeReader { stream } => adjustments.push((stream, true)),
-                    FileKind::PipeWriter { stream } => adjustments.push((stream, false)),
-                    FileKind::SocketStream { connection, side } => {
-                        if let Some(conn) = self.sockets.connection(connection) {
-                            match side {
-                                crate::fd::SocketSide::Client => {
-                                    adjustments.push((conn.client_to_server, false));
-                                    adjustments.push((conn.server_to_client, true));
-                                }
-                                crate::fd::SocketSide::Server => {
-                                    adjustments.push((conn.client_to_server, true));
-                                    adjustments.push((conn.server_to_client, false));
-                                }
-                            }
-                        }
-                    }
-                    _ => {}
+                if seen.insert(key) {
+                    kinds.push(file.kind());
                 }
             }
         }
+        // Stdio descriptors shipped with a not-yet-acked cross-shard spawn:
+        // the child will hold them, so they must keep their streams alive in
+        // the gap.  Same dedup set — a descriptor the parent also holds
+        // counts once, exactly as a shared open-file description should.
+        for files in self.pinned_files.values() {
+            for file in files {
+                let key = Arc::as_ptr(file) as usize;
+                if seen.insert(key) {
+                    kinds.push(file.kind());
+                }
+            }
+        }
+        let mut adjustments: Vec<(crate::streams::StreamId, bool)> = Vec::new(); // (stream, is_reader)
+        let mut referenced: HashSet<ConnectionId> = HashSet::new();
+        for kind in kinds {
+            match kind {
+                FileKind::PipeReader { stream } => adjustments.push((stream, true)),
+                FileKind::PipeWriter { stream } => adjustments.push((stream, false)),
+                FileKind::SocketStream { connection, side } => {
+                    referenced.insert(connection);
+                    let conn = self
+                        .sockets
+                        .connection(connection)
+                        .or_else(|| self.remote_connections.get(&connection).copied());
+                    if let Some(conn) = conn {
+                        match side {
+                            crate::fd::SocketSide::Client => {
+                                adjustments.push((conn.client_to_server, false));
+                                adjustments.push((conn.server_to_client, true));
+                            }
+                            crate::fd::SocketSide::Server => {
+                                adjustments.push((conn.client_to_server, true));
+                                adjustments.push((conn.server_to_client, false));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
         // The kernel's own XHR-like clients hold the client side of their
-        // connection until the response has been parsed.
+        // connection until the response has been parsed.  (HTTP requests are
+        // routed to the port owner's shard, so these are always local.)
         for client in &self.http_clients {
+            referenced.insert(client.connection);
             if let Some(conn) = self.sockets.connection(client.connection) {
                 adjustments.push((conn.client_to_server, false));
                 adjustments.push((conn.server_to_client, true));
@@ -1254,15 +2039,50 @@ impl KernelState {
                 adjustments.push((conn.server_to_client, false));
             }
         }
+        // Remotely-initiated connections whose client descriptor has not been
+        // installed on the peer yet (pinned until its ConnectAck): count the
+        // client endpoints so the server does not observe EOF in the gap.
+        for &id in &self.remote_client_pins {
+            if let Some(conn) = self.sockets.connection(id) {
+                adjustments.push((conn.client_to_server, false));
+                adjustments.push((conn.server_to_client, true));
+            }
+        }
+        let mut outgoing: HashMap<usize, HashMap<StreamId, (u32, u32)>> = HashMap::new();
         for (stream_id, is_reader) in adjustments {
-            if let Some(stream) = self.streams.get_mut(stream_id) {
+            if shard::stream_shard(stream_id) == self.shard_id {
+                if let Some(stream) = self.streams.get_mut(stream_id) {
+                    if is_reader {
+                        stream.readers += 1;
+                    } else {
+                        stream.writers += 1;
+                    }
+                }
+            } else {
+                let entry = outgoing
+                    .entry(shard::stream_shard(stream_id))
+                    .or_default()
+                    .entry(stream_id)
+                    .or_insert((0u32, 0u32));
                 if is_reader {
-                    stream.readers += 1;
+                    entry.0 += 1;
                 } else {
-                    stream.writers += 1;
+                    entry.1 += 1;
                 }
             }
         }
+        // Endpoint contributions peers have reported for our streams.
+        for contrib in self.remote_contribs.values() {
+            for (&stream_id, &(readers, writers)) in contrib {
+                if let Some(stream) = self.streams.get_mut(stream_id) {
+                    stream.readers += readers as usize;
+                    stream.writers += writers as usize;
+                }
+            }
+        }
+        // Forget cached info about foreign connections no local descriptor
+        // refers to any more.
+        self.remote_connections.retain(|id, _| referenced.contains(id));
         for removed in self.streams.collect_garbage() {
             self.wake(WaitChannel::StreamReadable(removed));
             self.wake(WaitChannel::StreamWritable(removed));
@@ -1284,6 +2104,33 @@ impl KernelState {
             }
             if wake_writable {
                 self.wake(WaitChannel::StreamWritable(id));
+            }
+        }
+        // Publish our endpoint contributions to each owner shard, but only
+        // when they changed since the last publish (including shrinking back
+        // to empty — that is how a peer learns our last descriptor closed).
+        for peer in 0..self.nshards {
+            if peer == self.shard_id {
+                continue;
+            }
+            let mut snapshot: Vec<(StreamId, u32, u32)> = outgoing
+                .remove(&peer)
+                .map(|m| m.into_iter().map(|(id, (r, w))| (id, r, w)).collect())
+                .unwrap_or_default();
+            snapshot.sort_unstable();
+            let changed = match self.sent_contribs.get(&peer) {
+                Some(prev) => prev != &snapshot,
+                None => !snapshot.is_empty(),
+            };
+            if changed {
+                self.sent_contribs.insert(peer, snapshot.clone());
+                self.send_shard(
+                    peer,
+                    ShardMsg::RemoteEndpoints {
+                        from_shard: self.shard_id,
+                        snapshot,
+                    },
+                );
             }
         }
     }

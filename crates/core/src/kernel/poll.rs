@@ -30,7 +30,7 @@ impl KernelState {
         match kind {
             FileKind::PipeReader { stream } => Some(*stream),
             FileKind::SocketStream { connection, side } => {
-                let conn = self.sockets().connection(*connection)?;
+                let conn = self.connection_info(*connection)?;
                 Some(match side {
                     SocketSide::Client => conn.server_to_client,
                     SocketSide::Server => conn.client_to_server,
@@ -46,7 +46,7 @@ impl KernelState {
         match kind {
             FileKind::PipeWriter { stream } => Some(*stream),
             FileKind::SocketStream { connection, side } => {
-                let conn = self.sockets().connection(*connection)?;
+                let conn = self.connection_info(*connection)?;
                 Some(match side {
                     SocketSide::Client => conn.client_to_server,
                     SocketSide::Server => conn.server_to_client,
@@ -114,34 +114,57 @@ impl KernelState {
             }
             FileKind::PipeReader { .. } | FileKind::PipeWriter { .. } | FileKind::SocketStream { .. } => {
                 if matches!(kind, FileKind::SocketStream { connection, .. }
-                    if self.sockets().connection(connection).is_none())
+                    if self.connection_info(connection).is_none())
                 {
                     // The connection is gone entirely.
                     revents |= POLLERR | POLLHUP;
                 } else {
                     if let Some(id) = self.read_stream_of(&kind) {
-                        match self.streams.get(id) {
-                            Some(stream) => {
-                                if !stream.is_empty() {
-                                    revents |= POLLIN;
-                                }
-                                if stream.write_end_closed() {
+                        if self.stream_is_remote(id) {
+                            // Foreign stream: judge readiness from the owner's
+                            // latest snapshot (no snapshot yet = not ready).
+                            if let Some(r) = self.remote_revents(id) {
+                                if r.gone || r.eof {
                                     revents |= POLLHUP;
                                 }
+                                if r.readable {
+                                    revents |= POLLIN;
+                                }
                             }
-                            None => revents |= POLLHUP,
+                        } else {
+                            match self.streams.get(id) {
+                                Some(stream) => {
+                                    if !stream.is_empty() {
+                                        revents |= POLLIN;
+                                    }
+                                    if stream.write_end_closed() {
+                                        revents |= POLLHUP;
+                                    }
+                                }
+                                None => revents |= POLLHUP,
+                            }
                         }
                     }
                     if let Some(id) = self.write_stream_of(&kind) {
-                        match self.streams.get(id) {
-                            Some(stream) => {
-                                if stream.read_end_closed() {
+                        if self.stream_is_remote(id) {
+                            if let Some(r) = self.remote_revents(id) {
+                                if r.gone || r.epipe {
                                     revents |= POLLERR;
-                                } else if stream.space() > 0 {
+                                } else if r.writable {
                                     revents |= POLLOUT;
                                 }
                             }
-                            None => revents |= POLLERR,
+                        } else {
+                            match self.streams.get(id) {
+                                Some(stream) => {
+                                    if stream.read_end_closed() {
+                                        revents |= POLLERR;
+                                    } else if stream.space() > 0 {
+                                        revents |= POLLOUT;
+                                    }
+                                }
+                                None => revents |= POLLERR,
+                            }
                         }
                     }
                 }
@@ -181,6 +204,27 @@ impl KernelState {
             }
         }
         channels
+    }
+
+    /// The foreign streams a `poll` over `fds` watches, deduplicated — each
+    /// needs a readiness snapshot from its owner shard when the poll parks.
+    pub(crate) fn remote_poll_streams(&self, pid: Pid, fds: &[PollRequest]) -> Vec<StreamId> {
+        let mut remote: Vec<StreamId> = Vec::new();
+        for req in fds {
+            let Ok(file) = self.task(pid).and_then(|t| t.files.get(req.fd)) else {
+                continue;
+            };
+            let kind = file.kind();
+            for id in [self.read_stream_of(&kind), self.write_stream_of(&kind)]
+                .into_iter()
+                .flatten()
+            {
+                if self.stream_is_remote(id) && !remote.contains(&id) {
+                    remote.push(id);
+                }
+            }
+        }
+        remote
     }
 
     pub(crate) fn sys_poll(&mut self, pid: Pid, reply: ReplyTo, fds: Vec<PollRequest>, timeout_ms: i32) -> Outcome {

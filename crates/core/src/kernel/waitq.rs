@@ -30,7 +30,7 @@ use browsix_fs::Errno;
 use browsix_http::{parse_response, HttpResponse};
 
 use crate::fd::Fd;
-use crate::kernel::{KernelState, ReplyTo};
+use crate::kernel::{KernelState, ReplyTo, ShardMsg};
 use crate::socket::ConnectionId;
 use crate::streams::StreamId;
 use crate::syscall::{PollRequest, SysResult};
@@ -395,6 +395,33 @@ pub(crate) enum WaitKind {
         /// The loopback connection carrying the exchange.
         connection: ConnectionId,
     },
+    /// A read submitted by a process on another shard
+    /// ([`ShardMsg::RemoteRead`]), parked here on the stream's owner; its
+    /// completion travels back as a [`ShardMsg::RemoteOpDone`].
+    RemoteRead {
+        /// The locally-owned stream being read.
+        stream: StreamId,
+        /// Requested length.
+        len: usize,
+        /// The submitter's completion token.
+        token: u64,
+        /// The shard the submitting process lives on.
+        from_shard: usize,
+    },
+    /// A write submitted by a process on another shard
+    /// ([`ShardMsg::RemoteWrite`]), parked here on the stream's owner.
+    RemoteWrite {
+        /// The locally-owned stream being written.
+        stream: StreamId,
+        /// The full payload.
+        data: Vec<u8>,
+        /// How much has been accepted so far.
+        written: usize,
+        /// The submitter's completion token.
+        token: u64,
+        /// The shard the submitting process lives on.
+        from_shard: usize,
+    },
 }
 
 /// A parked blocked operation.
@@ -452,10 +479,31 @@ impl KernelState {
     }
 
     fn park_waiter_channels(&mut self, channels: Channels, waiter: Waiter) {
-        let deadline = match &waiter.kind {
+        let mut deadline = match &waiter.kind {
             WaitKind::Poll { deadline, .. } => *deadline,
             _ => None,
         };
+        // A polled descriptor owned by another shard never produces a local
+        // wake by itself: ask the owner for a readiness snapshot now (the
+        // answer lands in the revents cache and wakes us if it changed) and
+        // arm a short tick as the fallback retry.  The tick fires the retry
+        // early; the poll's own deadline still decides the actual timeout.
+        if let WaitKind::Poll { fds, .. } = &waiter.kind {
+            let remote = self.remote_poll_streams(waiter.pid, fds);
+            if !remote.is_empty() {
+                for &stream in &remote {
+                    self.send_shard(
+                        crate::kernel::shard::stream_shard(stream),
+                        ShardMsg::PollQuery {
+                            stream,
+                            from_shard: self.shard_id(),
+                        },
+                    );
+                }
+                let tick = Instant::now() + std::time::Duration::from_millis(2);
+                deadline = Some(deadline.map_or(tick, |d| d.min(tick)));
+            }
+        }
         let actionable = self.waiter_actionable(&waiter);
         let id = self.waiters.park_channels(channels, waiter);
         if let Some(deadline) = deadline {
@@ -535,6 +583,15 @@ impl KernelState {
             }
             WaitKind::Poll { fds, .. } => self.poll_revents(waiter.pid, fds).iter().any(|&r| r != 0),
             WaitKind::HttpClient { connection } => self.http_client_actionable(*connection),
+            // A missing stream completes immediately (EOF / EPIPE).
+            WaitKind::RemoteRead { stream, .. } => self
+                .streams()
+                .get(*stream)
+                .is_none_or(crate::streams::Stream::read_ready),
+            WaitKind::RemoteWrite { stream, .. } => self
+                .streams()
+                .get(*stream)
+                .is_none_or(crate::streams::Stream::write_ready),
         }
     }
 
@@ -584,13 +641,34 @@ impl KernelState {
     /// left to receive the completions).
     pub(crate) fn drop_waiters_of(&mut self, pid: Pid) {
         self.waiters.retain(|w| w.pid != pid);
+        // Operations executing on foreign shards on this process's behalf:
+        // tell the owner to drop its parked side too.  A completion already
+        // in flight finds no token here and is discarded — exactly once
+        // either way.
+        let tokens: Vec<u64> = self
+            .remote_ops
+            .iter()
+            .filter(|(_, op)| op.pid == pid)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in tokens {
+            if let Some(op) = self.remote_ops.remove(&token) {
+                self.send_shard(op.owner, ShardMsg::CancelOp { token });
+            }
+        }
     }
 
     /// Retries one woken waiter: complete it, or re-park it on the channels
     /// it still needs.
     pub(crate) fn retry_waiter(&mut self, waiter: Waiter) {
         let Waiter { pid, reply, kind } = waiter;
-        if !matches!(kind, WaitKind::HttpClient { .. }) && !self.tasks_contains(pid) {
+        // Remote operations carry a pid that lives on another shard; their
+        // liveness is the submitter's problem (it cancels via CancelOp).
+        if !matches!(
+            kind,
+            WaitKind::HttpClient { .. } | WaitKind::RemoteRead { .. } | WaitKind::RemoteWrite { .. }
+        ) && !self.tasks_contains(pid)
+        {
             return;
         }
         match kind {
@@ -741,6 +819,87 @@ impl KernelState {
                         kind: WaitKind::HttpClient { connection },
                     },
                 ),
+            },
+            WaitKind::RemoteRead {
+                stream,
+                len,
+                token,
+                from_shard,
+            } => match self.try_remote_read(stream, len) {
+                Some(result) => {
+                    self.stats.wakeups += 1;
+                    self.stats.cross_shard_wakeups += 1;
+                    self.send_shard(
+                        from_shard,
+                        ShardMsg::RemoteOpDone {
+                            token,
+                            result,
+                            raise_sigpipe: false,
+                        },
+                    );
+                }
+                None => self.repark_one(
+                    WaitChannel::StreamReadable(stream),
+                    Waiter {
+                        pid,
+                        reply,
+                        kind: WaitKind::RemoteRead {
+                            stream,
+                            len,
+                            token,
+                            from_shard,
+                        },
+                    },
+                ),
+            },
+            WaitKind::RemoteWrite {
+                stream,
+                data,
+                written,
+                token,
+                from_shard,
+            } => match self.try_remote_write(stream, &data[written..]) {
+                // Mid-wait EPIPE mirrors the local Write arm: the error (and
+                // the submitter-side SIGPIPE) wins over the partial count.
+                Err(errno) => {
+                    self.stats.wakeups += 1;
+                    self.stats.cross_shard_wakeups += 1;
+                    self.send_shard(
+                        from_shard,
+                        ShardMsg::RemoteOpDone {
+                            token,
+                            result: SysResult::Err(errno),
+                            raise_sigpipe: errno == Errno::EPIPE,
+                        },
+                    );
+                }
+                Ok(accepted) => {
+                    let written = written + accepted;
+                    if written >= data.len() {
+                        self.stats.wakeups += 1;
+                        self.stats.cross_shard_wakeups += 1;
+                        self.send_shard(
+                            from_shard,
+                            ShardMsg::RemoteOpDone {
+                                token,
+                                result: SysResult::Int(written as i64),
+                                raise_sigpipe: false,
+                            },
+                        );
+                    } else {
+                        if accepted == 0 {
+                            self.stats.spurious_wakeups += 1;
+                        }
+                        let kind = WaitKind::RemoteWrite {
+                            stream,
+                            data,
+                            written,
+                            token,
+                            from_shard,
+                        };
+                        self.park_waiter_one(WaitChannel::StreamWritable(stream), Waiter { pid, reply, kind });
+                    }
+                }
             },
         }
     }

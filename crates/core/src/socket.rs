@@ -50,9 +50,19 @@ pub struct SocketTable {
 }
 
 impl SocketTable {
-    /// Creates an empty namespace.
+    /// Creates an empty namespace (owned by shard 0).
     pub fn new() -> SocketTable {
         SocketTable {
+            next_ephemeral_port: 49152,
+            ..SocketTable::default()
+        }
+    }
+
+    /// Creates an empty namespace whose connection ids encode `shard` (same
+    /// low-bit scheme as [`StreamTable`](crate::streams::StreamTable) ids).
+    pub fn new_for_shard(shard: usize) -> SocketTable {
+        SocketTable {
+            next_connection: shard as ConnectionId,
             next_ephemeral_port: 49152,
             ..SocketTable::default()
         }
@@ -134,7 +144,7 @@ impl SocketTable {
             return Err(Errno::ECONNREFUSED);
         }
         let id = self.next_connection;
-        self.next_connection += 1;
+        self.next_connection += crate::kernel::shard::SHARD_ID_STRIDE;
         self.connections.insert(
             id,
             Connection {

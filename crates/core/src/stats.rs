@@ -89,6 +89,16 @@ pub struct KernelStats {
     /// Page-cache pages streamed to a socket or pipe by reference (`sendfile`
     /// from a mapped page) rather than copied through the guest.
     pub zero_copy_pages: u64,
+    /// Cross-shard [`ShardMsg`](crate::kernel::shard::ShardMsg)s this shard
+    /// sent to peers (remote reads/writes, spawns, signals, endpoint
+    /// snapshots...).  Zero with one shard.
+    pub shard_msgs_sent: u64,
+    /// Remote stream operations this shard executed on behalf of a peer (a
+    /// peer's process read from or wrote to a stream this shard owns).
+    pub steals: u64,
+    /// Wakeups whose completion was delivered to a waiter living on another
+    /// shard (the cross-shard subset of `wakeups`).
+    pub cross_shard_wakeups: u64,
 }
 
 impl KernelStats {
@@ -138,6 +148,56 @@ impl KernelStats {
         self.cow_faults += delta.cow_faults;
         self.pages_shared += delta.pages_shared;
         self.pages_copied += delta.pages_copied;
+    }
+
+    /// Folds another shard's snapshot into this one: every counter and
+    /// histogram is summed, so merging all per-shard snapshots yields the
+    /// fleet-wide totals the paper figures report.  The VFS cache fields are
+    /// summed too — per-shard snapshots carry them as zero (the shared
+    /// mount table's counters are absorbed exactly once, after the merge).
+    pub fn merge(&mut self, other: &KernelStats) {
+        for (name, count) in &other.syscalls_by_name {
+            *self.syscalls_by_name.entry(name.clone()).or_insert(0) += count;
+        }
+        for (class, count) in &other.syscalls_by_class {
+            *self.syscalls_by_class.entry(class.clone()).or_insert(0) += count;
+        }
+        for (size, count) in &other.batch_size_histogram {
+            *self.batch_size_histogram.entry(*size).or_insert(0) += count;
+        }
+        self.total_syscalls += other.total_syscalls;
+        self.async_syscalls += other.async_syscalls;
+        self.sync_syscalls += other.sync_syscalls;
+        self.batches += other.batches;
+        self.bytes_copied += other.bytes_copied;
+        self.processes_spawned += other.processes_spawned;
+        self.processes_exited += other.processes_exited;
+        self.signals_sent += other.signals_sent;
+        self.signals_delivered += other.signals_delivered;
+        self.eintr_wakeups += other.eintr_wakeups;
+        self.messages_to_workers += other.messages_to_workers;
+        self.dentry_cache_hits += other.dentry_cache_hits;
+        self.dentry_cache_misses += other.dentry_cache_misses;
+        self.page_cache_hits += other.page_cache_hits;
+        self.page_cache_misses += other.page_cache_misses;
+        self.overlay_copy_ups += other.overlay_copy_ups;
+        self.waiters_parked += other.waiters_parked;
+        self.wakeups += other.wakeups;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.eagain_returns += other.eagain_returns;
+        self.poll_timeouts += other.poll_timeouts;
+        self.cow_faults += other.cow_faults;
+        self.pages_shared += other.pages_shared;
+        self.pages_copied += other.pages_copied;
+        self.shm_objects += other.shm_objects;
+        self.sq_polled += other.sq_polled;
+        self.doorbells += other.doorbells;
+        self.cq_posted += other.cq_posted;
+        self.sendfile_bytes += other.sendfile_bytes;
+        self.zero_copy_pages += other.zero_copy_pages;
+        self.shard_msgs_sent += other.shard_msgs_sent;
+        self.steals += other.steals;
+        self.cross_shard_wakeups += other.cross_shard_wakeups;
     }
 
     /// The count for a particular system call.
@@ -236,6 +296,31 @@ mod tests {
         assert_eq!(stats.page_cache_hits, 7);
         assert_eq!(stats.page_cache_misses, 3);
         assert_eq!(stats.overlay_copy_ups, 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maps() {
+        let mut a = KernelStats::default();
+        a.record_batch(2, false, 100);
+        a.record_syscall("read", "File IO", false);
+        a.record_syscall("open", "File IO", false);
+        a.shard_msgs_sent = 3;
+        let mut b = KernelStats::default();
+        b.record_batch(1, true, 50);
+        b.record_syscall("read", "File IO", true);
+        b.steals = 2;
+        b.cross_shard_wakeups = 1;
+        a.merge(&b);
+        assert_eq!(a.total_syscalls, 3);
+        assert_eq!(a.count("read"), 2);
+        assert_eq!(a.class_count("File IO"), 3);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.batch_size_histogram.get(&1), Some(&1));
+        assert_eq!(a.batch_size_histogram.get(&2), Some(&1));
+        assert_eq!(a.sync_syscalls, 1);
+        assert_eq!(a.shard_msgs_sent, 3);
+        assert_eq!(a.steals, 2);
+        assert_eq!(a.cross_shard_wakeups, 1);
     }
 
     #[test]

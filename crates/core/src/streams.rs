@@ -125,6 +125,12 @@ impl Stream {
 }
 
 /// The kernel's table of streams.
+///
+/// Ids encode the owning shard in their low
+/// [`SHARD_ID_BITS`](crate::kernel::shard::SHARD_ID_BITS) bits (see
+/// [`kernel::shard`](crate::kernel::shard)): a table created with
+/// [`StreamTable::new_for_shard`] hands out ids congruent to its shard, so
+/// any shard can route an operation on a foreign stream from the id alone.
 #[derive(Debug, Default)]
 pub struct StreamTable {
     next_id: StreamId,
@@ -132,9 +138,17 @@ pub struct StreamTable {
 }
 
 impl StreamTable {
-    /// Creates an empty table.
+    /// Creates an empty table owned by shard 0.
     pub fn new() -> StreamTable {
         StreamTable::default()
+    }
+
+    /// Creates an empty table whose ids encode `shard`.
+    pub fn new_for_shard(shard: usize) -> StreamTable {
+        StreamTable {
+            next_id: shard as StreamId,
+            streams: HashMap::new(),
+        }
     }
 
     /// Allocates a new stream with the default capacity and returns its id.
@@ -145,7 +159,7 @@ impl StreamTable {
     /// Allocates a new stream with an explicit capacity.
     pub fn create_with_capacity(&mut self, capacity: usize) -> StreamId {
         let id = self.next_id;
-        self.next_id += 1;
+        self.next_id += crate::kernel::shard::SHARD_ID_STRIDE;
         self.streams.insert(id, Stream::new(capacity));
         id
     }

@@ -36,6 +36,9 @@ BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench rings -- rings
 echo "== running the 'vm' criterion group =="
 BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench vm -- vm
 
+echo "== running the 'sharding' criterion group =="
+BROWSIX_BENCH_JSON="$out" cargo bench -p browsix-bench --bench sharding -- sharding
+
 echo "== baseline written to $out =="
 cat "$out"
 
@@ -133,4 +136,19 @@ print(f"vm: COW fork beats the 1 MiB image-copy fork by {image_copy / cow:.1f}x"
 if mmap_read >= read_copy:
     sys.exit(f"vm: mmap of cached pages ({mmap_read} ns) did not beat read() copies ({read_copy} ns)")
 print(f"vm: mmap page references beat read() copies by {read_copy / mmap_read:.1f}x")
+
+# Guard the sharded kernel: the fixed 16-request httpd workload must run at
+# least 2.5x faster (i.e. >= 2.5x the requests/second) on a 4-shard kernel
+# than on the classic single event loop.  Near-linear is ~4x; 2.5x leaves
+# room for cross-shard protocol overhead and scheduler noise.
+one_shard = means.get("sharding/httpd_rps_1shard")
+four_shard = means.get("sharding/httpd_rps_4shard")
+if one_shard is None or four_shard is None:
+    sys.exit("missing sharding results")
+if one_shard < 2.5 * four_shard:
+    sys.exit(
+        f"sharding: 4-shard httpd throughput is only {one_shard / four_shard:.2f}x "
+        f"the 1-shard kernel ({four_shard} ns vs {one_shard} ns per iteration); need >= 2.5x"
+    )
+print(f"sharding: 4 shards serve the httpd workload {one_shard / four_shard:.2f}x faster than 1 shard")
 EOF
