@@ -1,0 +1,63 @@
+//! `browsix-abigen` CLI — the ABI freshness tooling used by
+//! `scripts/abigen_check.sh` and contributors.
+//!
+//! ```text
+//! browsix-abigen docs <idl> <out.md>   render the ABI reference manual
+//! browsix-abigen check <idl> <docs>    exit 1 if the manual is stale
+//! browsix-abigen manifest <idl>        print the one-line generation manifest
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["docs", idl, out] => cmd_docs(idl, out),
+        ["check", idl, docs] => cmd_check(idl, docs),
+        ["manifest", idl] => cmd_manifest(idl),
+        _ => {
+            eprintln!(
+                "usage: browsix-abigen docs <idl> <out.md>\n\
+                 \x20      browsix-abigen check <idl> <docs.md>\n\
+                 \x20      browsix-abigen manifest <idl>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("browsix-abigen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_docs(idl: &str, out: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let abi = browsix_abigen::load(Path::new(idl))?;
+    std::fs::write(out, browsix_abigen::docs::render(&abi)).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out} ({})", browsix_abigen::manifest_line(&abi));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(idl: &str, docs: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let abi = browsix_abigen::load(Path::new(idl))?;
+    let want = browsix_abigen::docs::render(&abi);
+    let have = std::fs::read_to_string(docs).map_err(|e| format!("read {docs}: {e}"))?;
+    if want == have {
+        println!("{docs} is fresh ({})", browsix_abigen::manifest_line(&abi));
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "{docs} is STALE: regenerate with `cargo run -p browsix-abigen -- docs {idl} {docs}` and commit the result"
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_manifest(idl: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let abi = browsix_abigen::load(Path::new(idl))?;
+    println!("{}", browsix_abigen::manifest_line(&abi));
+    Ok(ExitCode::SUCCESS)
+}

@@ -10,7 +10,7 @@
 //! comfortably carries dozens of simultaneous clients without a thread or a
 //! blocked system call anywhere.  This exercises the kernel path the paper
 //! cares about for servers: a process is woken only when a connection is
-//! actually ready, "so [it] never need[s] to poll" busily.
+//! actually ready, "so \[it\] never need\[s\] to poll" busily.
 //!
 //! Files are served from the shared VFS under a configurable document root.
 //! By default file bodies travel over `sendfile`: the server writes only the

@@ -6,6 +6,15 @@
 use browsix_bench::{environment_feature_table, features::verify_browsix_row_with_shard_stats, print_table};
 
 fn main() {
+    // The ABI generation manifest: the same counts browsix-abigen derives
+    // from abi/syscalls.abi at build time, so the syscall surface's growth
+    // is visible run over run.
+    let m = browsix_core::abi::MANIFEST;
+    println!(
+        "ABI manifest (generated from abi/syscalls.abi): wire v{} · {} syscalls (max opcode {}) · {} result tags · {} ring-eligible · {} framed-only\n",
+        m.wire_version, m.syscall_count, m.max_opcode, m.result_count, m.ring_eligible, m.framed_only
+    );
+
     let rows: Vec<Vec<String>> = environment_feature_table().iter().map(|row| row.cells()).collect();
     print_table(
         "Table 1 — feature comparison",

@@ -263,6 +263,16 @@ pub fn verify_browsix_row_with_shard_stats() -> (
                     env.munmap(shared.addr, shared.len).unwrap();
                     env.close(shm).unwrap();
                     env.shm_unlink("/probe-shm").unwrap();
+                    // Process metadata: getrusage reports the kernel's
+                    // per-task accounting — by this point the probe has
+                    // issued far more than a handful of system calls.
+                    let usage = env.getrusage().unwrap();
+                    let syscalls = usage
+                        .iter()
+                        .find(|(k, _)| k == "syscalls")
+                        .map(|(_, v)| *v)
+                        .expect("getrusage must report a `syscalls` counter");
+                    assert!(syscalls >= 10, "implausible syscall count: {syscalls}");
                     0
                 }),
             )

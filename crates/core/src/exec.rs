@@ -57,7 +57,7 @@ impl std::fmt::Debug for LaunchContext {
 /// The init-message payload the kernel sends right after starting a worker.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProcessStart {
-    /// Argument vector (argv[0] is the program name).
+    /// Argument vector (`argv[0]` is the program name).
     pub args: Vec<String>,
     /// Environment variables.
     pub env: Vec<(String, String)>,

@@ -338,6 +338,35 @@ impl KernelState {
         }
     }
 
+    /// `getrusage`: resource-usage counters for the caller, pair-encoded as
+    /// a `u32` count followed by (`str` key, `u64` value) pairs so the
+    /// counter set can grow without a wire-format change.  Only
+    /// `who == 0` (`RUSAGE_SELF`) is supported.
+    pub(crate) fn sys_getrusage(&mut self, pid: Pid, who: i32) -> Outcome {
+        if who != 0 {
+            return Outcome::Complete(SysResult::Err(Errno::EINVAL));
+        }
+        Outcome::Complete(match self.task(pid) {
+            Ok(task) => {
+                let counters: &[(&str, u64)] = &[
+                    ("syscalls", task.syscall_count),
+                    (
+                        "maxrss",
+                        (task.address_space.resident_page_count() * crate::vm::PAGE_SIZE) as u64,
+                    ),
+                ];
+                let mut out = Vec::new();
+                crate::wire::put_u32(&mut out, counters.len() as u32);
+                for (key, value) in counters {
+                    crate::wire::put_str(&mut out, key);
+                    crate::wire::put_u64(&mut out, *value);
+                }
+                SysResult::Data(out)
+            }
+            Err(e) => SysResult::Err(e),
+        })
+    }
+
     pub(crate) fn sys_getpgid(&mut self, caller: Pid, target: Pid) -> Outcome {
         let target = if target == 0 { caller } else { target };
         Outcome::Complete(match self.task(target) {

@@ -5,7 +5,7 @@
 //! thread) and owns every piece of shared state: the task table, the mounted
 //! file system, streams (pipes and socket connections), sockets and the
 //! wait queues of blocked system calls.  Everything else in the crate
-//! funnels into [`KernelState::run`].
+//! funnels into `KernelState::run`.
 
 mod dispatch_fs;
 mod dispatch_proc;
@@ -863,6 +863,9 @@ impl KernelState {
                     continue;
                 };
                 self.stats.record_syscall(call.name(), call.class(), true);
+                if let Some(task) = self.tasks.get_mut(&pid) {
+                    task.syscall_count += 1;
+                }
                 let reply = ReplyTo::Ring { user_data };
                 match self.dispatch(pid, reply, call) {
                     Outcome::Complete(result) => self.post_ring_completion(pid, user_data, result),
@@ -1070,6 +1073,9 @@ impl KernelState {
                 return;
             }
             self.stats.record_syscall(call.name(), call.class(), sync);
+            if let Some(task) = self.tasks.get_mut(&pid) {
+                task.syscall_count += 1;
+            }
             let reply = ReplyTo::Batch { index: index as u32 };
             match self.dispatch(pid, reply, call) {
                 Outcome::Complete(result) => self.record_completion(pid, reply, result),
@@ -1080,115 +1086,6 @@ impl KernelState {
             }
         }
         self.maybe_deliver_batch(pid);
-    }
-
-    fn dispatch(&mut self, pid: Pid, reply: ReplyTo, call: Syscall) -> Outcome {
-        match call {
-            // process management
-            Syscall::Spawn {
-                path,
-                args,
-                env,
-                cwd,
-                stdio,
-            } => self.sys_spawn(pid, path, args, env, cwd, stdio),
-            Syscall::Fork { image, resume_point } => self.sys_fork(pid, image, resume_point),
-            Syscall::Pipe2 => self.sys_pipe2(pid),
-            Syscall::Wait4 { pid: target, options } => self.sys_wait4(pid, reply, target, options),
-            Syscall::Exit { code } => self.sys_exit(pid, code),
-            Syscall::Kill { pid: target, signal } => self.sys_kill(pid, target, signal),
-            Syscall::SignalAction { signal, action } => self.sys_sigaction(pid, signal, action),
-            Syscall::Sigprocmask { how, mask } => self.sys_sigprocmask(pid, how, mask),
-            Syscall::Setpgid { pid: target, pgid } => self.sys_setpgid(pid, target, pgid),
-            Syscall::Getpgid { pid: target } => self.sys_getpgid(pid, target),
-            Syscall::Tcsetpgrp { pgid } => self.sys_tcsetpgrp(pid, pgid),
-            Syscall::GetPid => Outcome::Complete(SysResult::Int(pid as i64)),
-            Syscall::GetPPid => self.sys_getppid(pid),
-            Syscall::GetCwd => self.sys_getcwd(pid),
-            Syscall::Chdir { path } => self.sys_chdir(pid, path),
-            // file IO
-            Syscall::Open { path, flags, mode } => self.sys_open(pid, path, flags, mode),
-            Syscall::Close { fd } => self.sys_close(pid, fd),
-            Syscall::Read { fd, len } => self.sys_read(pid, reply, fd, len as usize),
-            Syscall::Pread { fd, len, offset } => self.sys_pread(pid, fd, len as usize, offset),
-            Syscall::Write { fd, data } => self.sys_write(pid, reply, fd, data),
-            Syscall::Pwrite { fd, data, offset } => self.sys_pwrite(pid, fd, data, offset),
-            Syscall::Seek { fd, offset, whence } => self.sys_seek(pid, fd, offset, whence),
-            Syscall::Dup { fd } => self.sys_dup(pid, fd),
-            Syscall::Dup2 { from, to } => self.sys_dup2(pid, from, to),
-            Syscall::Unlink { path } => self.sys_unlink(pid, path),
-            Syscall::Truncate { path, size } => self.sys_truncate(pid, path, size),
-            Syscall::Rename { from, to } => self.sys_rename(pid, from, to),
-            Syscall::Fsync { fd } => self.sys_fsync(pid, fd),
-            Syscall::Poll { fds, timeout_ms } => self.sys_poll(pid, reply, fds, timeout_ms),
-            Syscall::SetFlags { fd, flags } => self.sys_setflags(pid, fd, flags),
-            // directory IO
-            Syscall::Readdir { path } => self.sys_readdir(pid, path),
-            Syscall::Mkdir { path, mode } => self.sys_mkdir(pid, path, mode),
-            Syscall::Rmdir { path } => self.sys_rmdir(pid, path),
-            // metadata
-            Syscall::Stat { path, .. } => self.sys_stat(pid, path),
-            Syscall::Fstat { fd } => self.sys_fstat(pid, fd),
-            Syscall::Access { path, mode } => self.sys_access(pid, path, mode),
-            Syscall::Readlink { .. } => Outcome::Complete(SysResult::Err(Errno::EINVAL)),
-            Syscall::Utimes {
-                path,
-                atime_ms,
-                mtime_ms,
-            } => self.sys_utimes(pid, path, atime_ms, mtime_ms),
-            // sockets
-            Syscall::Socket => self.sys_socket(pid),
-            Syscall::Bind { fd, port } => self.sys_bind(pid, fd, port),
-            Syscall::GetSockName { fd } => self.sys_getsockname(pid, fd),
-            Syscall::Listen { fd, backlog } => self.sys_listen(pid, fd, backlog),
-            Syscall::Accept { fd } => self.sys_accept(pid, reply, fd),
-            Syscall::Connect { fd, port } => self.sys_connect(pid, reply, fd, port),
-            // virtual memory
-            Syscall::Ftruncate { fd, size } => self.sys_ftruncate(pid, fd, size),
-            Syscall::Mmap {
-                addr,
-                len,
-                prot,
-                flags,
-                fd,
-                offset,
-            } => self.sys_mmap(pid, addr, len, prot, flags, fd, offset),
-            Syscall::Munmap { addr, len } => self.sys_munmap(pid, addr, len),
-            Syscall::Msync { addr, len } => self.sys_msync(pid, addr, len),
-            Syscall::Mprotect { addr, len, prot } => self.sys_mprotect(pid, addr, len, prot),
-            Syscall::ShmOpen { name, flags, mode } => self.sys_shm_open(pid, name, flags, mode),
-            Syscall::ShmUnlink { name } => self.sys_shm_unlink(pid, name),
-            Syscall::VmRead { addr, len } => self.sys_vm_read(pid, addr, len as usize),
-            Syscall::VmWrite { addr, data } => self.sys_vm_write(pid, addr, data),
-            // zero-copy data path & rings
-            Syscall::Sendfile {
-                out_fd,
-                in_fd,
-                offset,
-                len,
-            } => self.sys_sendfile(pid, reply, out_fd, in_fd, offset, len),
-            Syscall::Splice { fd_in, fd_out, len } => self.sys_splice(pid, reply, fd_in, fd_out, len),
-            Syscall::RingSetup {
-                sq_offset,
-                cq_offset,
-                slots,
-                slot_bytes,
-                buf_offset,
-                buf_count,
-                buf_bytes,
-            } => self.sys_ring_setup(
-                pid,
-                RingGeometry {
-                    sq_offset,
-                    cq_offset,
-                    slots,
-                    slot_bytes,
-                    buf_offset,
-                    buf_count,
-                    buf_bytes,
-                },
-            ),
-        }
     }
 
     // ---- reply paths ---------------------------------------------------------
@@ -2140,3 +2037,5 @@ impl KernelState {
         self.tasks.remove(&pid);
     }
 }
+
+include!(concat!(env!("OUT_DIR"), "/dispatch_gen.rs"));

@@ -1,8 +1,8 @@
 //! Kernel sharding: ownership hashing, the cross-shard message protocol and
 //! the router's global state.
 //!
-//! With `BROWSIX_SHARDS=N` (or [`BootConfig::with_shards`]) the kernel boots
-//! N full event loops — each a [`KernelState`](super::KernelState) on its own
+//! With `BROWSIX_SHARDS=N` (or `BootConfig::with_shards`) the kernel boots
+//! N full event loops — each a `KernelState` on its own
 //! thread with its own task table, streams, sockets, wait queues and
 //! statistics — instead of one.  Guests keep speaking the exact same wire
 //! format: a process's syscall batches and ring doorbells go straight to the
@@ -24,7 +24,7 @@
 //!
 //! # The router
 //!
-//! [`RouterState`] is the only state shared between shards, and it is never
+//! `RouterState` is the only state shared between shards, and it is never
 //! touched on the byte-moving data path: pid allocation and process-group
 //! membership, the port table (which shard owns a listener), the `shm_open`
 //! registry, host output sinks, the foreground process group and port-listen

@@ -3,7 +3,7 @@
 //! The kernel never blocks its event loop.  A system call that cannot finish
 //! immediately — a read on an empty stream, a write to a full one, `wait4`
 //! with no zombie children, `accept` with no pending connections, a `poll`
-//! with nothing ready — is parked as a [`Waiter`] on the wait queue of
+//! with nothing ready — is parked as a `Waiter` on the wait queue of
 //! exactly the resource(s) it is waiting for (a [`WaitChannel`]).  When that
 //! resource changes state (bytes pushed or popped, an endpoint closed, a
 //! connection queued, a child exiting), the kernel wakes *that queue only*
@@ -15,7 +15,7 @@
 //! kept one flat pending list and re-tried every entry on every kernel event;
 //! that full rescan is gone from the hot path.  A debug "scavenger" pass that
 //! proves no wakeup is ever lost survives behind the `scavenger` cargo
-//! feature (see [`KernelState::scavenge`]).
+//! feature (see `KernelState::scavenge`).
 //!
 //! The kernel's internal HTTP clients (the `XMLHttpRequest`-like host API)
 //! are ordinary waiters too: each parks on the wait queues of its
@@ -173,7 +173,7 @@ impl Channels {
 /// A table of parked waiters indexed by the channels they wait on.
 ///
 /// The table is generic over the waiter payload so the kernel can park its
-/// [`Waiter`] records and benchmarks can park plain markers; either way the
+/// `Waiter` records and benchmarks can park plain markers; either way the
 /// data structure is the same: `park` registers a payload on one or more
 /// channels ([`WaitTable::park_one`] is the allocation-free single-channel
 /// fast path), and `take_channel` removes and returns every payload parked

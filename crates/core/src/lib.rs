@@ -40,6 +40,9 @@
 //! kernel.shutdown();
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod abi;
 pub mod events;
 pub mod exec;
 pub mod fd;

@@ -27,6 +27,32 @@
 //! [`crate::syscall::SysResult`]; the frame codec stays the oracle for what
 //! travels through a slot, and the asynchronous `postMessage` transport keeps
 //! using full frames unchanged.
+//!
+//! Which calls may ride a ring slot is decided by the generated classifier
+//! [`crate::abi::ring_safe`], straight from each call's `ring:` class in
+//! `abi/syscalls.abi`.
+//!
+//! # Example
+//!
+//! A call crosses a ring slot in its ordinary wire encoding and comes back
+//! out identical:
+//!
+//! ```
+//! use browsix_core::ring::{Ring, RingGeometry, RING_REGION_BYTES};
+//! use browsix_core::{wire::Reader, Syscall};
+//!
+//! let sab = browsix_browser::SharedArrayBuffer::new(RING_REGION_BYTES as usize);
+//! let ring = Ring::new(sab, RingGeometry::standard(0));
+//!
+//! let call = Syscall::Read { fd: 3, len: 512 };
+//! let mut payload = Vec::new();
+//! call.encode_into(&mut payload);
+//! assert!(ring.push_sqe(1, &payload));
+//!
+//! let (user_data, bytes) = ring.pop_sqe().unwrap();
+//! assert_eq!(user_data, 1);
+//! assert_eq!(Syscall::decode_from(&mut Reader::new(&bytes)), Some(call));
+//! ```
 
 use browsix_browser::SharedArrayBuffer;
 

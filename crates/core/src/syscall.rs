@@ -30,6 +30,30 @@
 //! list individually; the kernel delivers the completion batch once — a
 //! single reply message or a single shared-heap write + notify — when every
 //! entry has completed.
+//!
+//! The [`Syscall`] and [`SysResult`] enums and their codec are generated
+//! from `abi/syscalls.abi` by `browsix-abigen` (see `docs/ABI.md`); the
+//! golden corpus in `abi/golden_corpus.txt` pins every layout byte for byte.
+//!
+//! # Example
+//!
+//! The codec round-trips every call and result shape exactly:
+//!
+//! ```
+//! use browsix_core::{Syscall, SysResult, SyscallBatch};
+//!
+//! let batch = SyscallBatch {
+//!     entries: vec![
+//!         Syscall::GetPid,
+//!         Syscall::Read { fd: 3, len: 4096 },
+//!     ],
+//! };
+//! let decoded = SyscallBatch::decode(&batch.encode()).unwrap();
+//! assert_eq!(decoded, batch);
+//!
+//! // Truncated or corrupt frames decode to `None`, never panic.
+//! assert_eq!(SyscallBatch::decode(&batch.encode()[..5]), None);
+//! ```
 
 use browsix_fs::{DirEntry, Errno, FileType, Metadata, OpenFlags};
 
@@ -139,1195 +163,7 @@ impl ByteSource {
     }
 }
 
-/// A system call, with arguments already in structured form.
-///
-/// Figure 3 of the paper lists the call classes: process management, process
-/// metadata, sockets, directory I/O, file I/O and file metadata.  Every one of
-/// those calls appears here.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Syscall {
-    // ---- process management -------------------------------------------------
-    /// Create a process from an executable on the file system.
-    Spawn {
-        /// Path of the executable (or shebang script).
-        path: String,
-        /// Argument vector (argv, including argv[0]).
-        args: Vec<String>,
-        /// Environment variables.
-        env: Vec<(String, String)>,
-        /// Working directory for the child (defaults to the parent's).
-        cwd: Option<String>,
-        /// Parent file descriptors to install as the child's stdin/stdout/stderr;
-        /// `None` inherits the parent's descriptor of the same number.
-        stdio: [Option<i32>; 3],
-    },
-    /// Duplicate the calling process (C/C++ Emterpreter mode only): the
-    /// runtime ships a snapshot of its heap and resume point.
-    Fork {
-        /// Serialized guest memory image.
-        image: Vec<u8>,
-        /// Interpreter resume point within the image.
-        resume_point: u64,
-    },
-    /// Create a pipe; returns the read and write descriptors.
-    Pipe2,
-    /// Wait for a child to change state.
-    Wait4 {
-        /// Specific child pid, or -1 for any child.
-        pid: i32,
-        /// `WNOHANG` is bit 0.
-        options: u32,
-    },
-    /// Terminate the calling process.
-    Exit {
-        /// Exit code.
-        code: i32,
-    },
-    /// Send a signal to a process or a process group, following the `kill(2)`
-    /// addressing convention.
-    Kill {
-        /// `> 0`: that process; `< 0`: every process in group `-pid`;
-        /// `0`: every process in the caller's own group.
-        pid: i32,
-        /// Signal to deliver.
-        signal: Signal,
-    },
-    /// Install, ignore or reset the action for a catchable signal
-    /// (`sigaction`), including the `SA_RESTART` flag.
-    SignalAction {
-        /// Signal to configure.
-        signal: Signal,
-        /// The requested action.
-        action: SigAction,
-    },
-    /// Change the calling process's blocked-signal mask (`sigprocmask`);
-    /// returns the previous mask.
-    Sigprocmask {
-        /// One of [`crate::signals::SIG_BLOCK`],
-        /// [`crate::signals::SIG_UNBLOCK`], [`crate::signals::SIG_SETMASK`].
-        how: u32,
-        /// The mask operand, as a [`crate::signals::SigSet`] bitmask.
-        mask: u64,
-    },
-    /// Move a process into a process group (`setpgid`).
-    Setpgid {
-        /// Target process (0 = the caller).
-        pid: Pid,
-        /// Destination group (0 = a new group led by `pid`).
-        pgid: Pid,
-    },
-    /// Read a process's group id (`getpgid`; 0 = the caller).
-    Getpgid {
-        /// Target process (0 = the caller).
-        pid: Pid,
-    },
-    /// Make `pgid` the foreground process group of the controlling terminal
-    /// (`tcsetpgrp`; the kernel models a single controlling terminal, so no
-    /// descriptor argument is needed).
-    Tcsetpgrp {
-        /// The new foreground group.
-        pgid: Pid,
-    },
-
-    // ---- process metadata ----------------------------------------------------
-    /// Current process id.
-    GetPid,
-    /// Parent process id.
-    GetPPid,
-    /// Current working directory.
-    GetCwd,
-    /// Change the working directory.
-    Chdir {
-        /// New working directory.
-        path: String,
-    },
-
-    // ---- file IO -------------------------------------------------------------
-    /// Open a file, returning a descriptor.
-    Open {
-        /// Path to open (resolved against the caller's cwd by the runtime).
-        path: String,
-        /// Open flags.
-        flags: OpenFlags,
-        /// Creation mode.
-        mode: u32,
-    },
-    /// Close a descriptor.
-    Close {
-        /// Descriptor to close.
-        fd: i32,
-    },
-    /// Read from a descriptor at its current offset.
-    Read {
-        /// Descriptor.
-        fd: i32,
-        /// Maximum bytes to read.
-        len: u32,
-    },
-    /// Positional read (does not move the offset).
-    Pread {
-        /// Descriptor.
-        fd: i32,
-        /// Maximum bytes to read.
-        len: u32,
-        /// Absolute file offset.
-        offset: u64,
-    },
-    /// Write to a descriptor at its current offset.
-    Write {
-        /// Descriptor.
-        fd: i32,
-        /// Data to write.
-        data: ByteSource,
-    },
-    /// Positional write (does not move the offset).
-    Pwrite {
-        /// Descriptor.
-        fd: i32,
-        /// Data to write.
-        data: ByteSource,
-        /// Absolute file offset.
-        offset: u64,
-    },
-    /// Reposition a descriptor's offset (`llseek`).
-    Seek {
-        /// Descriptor.
-        fd: i32,
-        /// Signed offset.
-        offset: i64,
-        /// 0 = SET, 1 = CUR, 2 = END.
-        whence: u32,
-    },
-    /// Duplicate a descriptor to the lowest free number.
-    Dup {
-        /// Descriptor to duplicate.
-        fd: i32,
-    },
-    /// Duplicate a descriptor onto a specific number.
-    Dup2 {
-        /// Source descriptor.
-        from: i32,
-        /// Destination descriptor.
-        to: i32,
-    },
-    /// Remove a file.
-    Unlink {
-        /// Path to remove.
-        path: String,
-    },
-    /// Truncate a file to a length.
-    Truncate {
-        /// Path to truncate.
-        path: String,
-        /// New size.
-        size: u64,
-    },
-    /// Rename a file or directory.
-    Rename {
-        /// Source path.
-        from: String,
-        /// Destination path.
-        to: String,
-    },
-    /// Flush a descriptor's data to its backing store.
-    Fsync {
-        /// Descriptor.
-        fd: i32,
-    },
-    /// Wait for readiness on a set of descriptors (`poll`).  Completes as
-    /// soon as any descriptor has a non-zero `revents`, or when the timeout
-    /// expires.
-    Poll {
-        /// Descriptors and the events of interest.
-        fds: Vec<PollRequest>,
-        /// Milliseconds to wait: negative waits forever, 0 returns
-        /// immediately with the current readiness.
-        timeout_ms: i32,
-    },
-    /// Replace a description's status flags (`fcntl(F_SETFL)`); the only
-    /// defined bit is [`NONBLOCK`].
-    SetFlags {
-        /// Descriptor.
-        fd: i32,
-        /// New status-flag word.
-        flags: u32,
-    },
-
-    // ---- directory IO ----------------------------------------------------------
-    /// Read the entries of a directory (`readdir`/`getdents`).
-    Readdir {
-        /// Directory path.
-        path: String,
-    },
-    /// Create a directory.
-    Mkdir {
-        /// Path to create.
-        path: String,
-        /// Mode bits.
-        mode: u32,
-    },
-    /// Remove an empty directory.
-    Rmdir {
-        /// Path to remove.
-        path: String,
-    },
-
-    // ---- file metadata -------------------------------------------------------
-    /// Stat by path (follows symlinks; Browsix has none, so `lstat` is the
-    /// same operation).
-    Stat {
-        /// Path to stat.
-        path: String,
-        /// Whether this was an `lstat` call (kept for ABI completeness).
-        lstat: bool,
-    },
-    /// Stat an open descriptor.
-    Fstat {
-        /// Descriptor.
-        fd: i32,
-    },
-    /// Check accessibility of a path.
-    Access {
-        /// Path to check.
-        path: String,
-        /// Mode mask (F_OK/R_OK/W_OK/X_OK) — Browsix relies on the browser
-        /// sandbox, so only existence is checked.
-        mode: u32,
-    },
-    /// Read the target of a symbolic link (always `EINVAL` here: the shared
-    /// file system has no symlinks, matching BrowserFS).
-    Readlink {
-        /// Path to inspect.
-        path: String,
-    },
-    /// Update access/modification times.
-    Utimes {
-        /// Path to touch.
-        path: String,
-        /// Access time (ms since epoch).
-        atime_ms: u64,
-        /// Modification time (ms since epoch).
-        mtime_ms: u64,
-    },
-
-    // ---- sockets ---------------------------------------------------------------
-    /// Create a TCP (`SOCK_STREAM`) socket.
-    Socket,
-    /// Bind a socket to a local port.
-    Bind {
-        /// Socket descriptor.
-        fd: i32,
-        /// Port number (0 asks the kernel to pick one).
-        port: u16,
-    },
-    /// Return the local address of a socket.
-    GetSockName {
-        /// Socket descriptor.
-        fd: i32,
-    },
-    /// Mark a socket as accepting connections.
-    Listen {
-        /// Socket descriptor.
-        fd: i32,
-        /// Backlog size.
-        backlog: u32,
-    },
-    /// Accept a pending connection.
-    Accept {
-        /// Listening socket descriptor.
-        fd: i32,
-    },
-    /// Connect to a listening socket.
-    Connect {
-        /// Socket descriptor.
-        fd: i32,
-        /// Destination port on the in-browser loopback network.
-        port: u16,
-    },
-
-    // ---- virtual memory --------------------------------------------------------
-    /// Truncate (or zero-extend) an open descriptor's file (`ftruncate`) —
-    /// the way `shm_open` objects, which have no path, are sized before
-    /// mapping.
-    Ftruncate {
-        /// Descriptor.
-        fd: i32,
-        /// New size.
-        size: u64,
-    },
-    /// Map memory into the calling task's address space.  Returns the base
-    /// address; for `MAP_SHARED` the kernel also delivers the backing
-    /// `SharedArrayBuffer` to the process out of band, so subsequent access
-    /// needs no system calls at all.
-    Mmap {
-        /// Fixed base address (0 lets the kernel choose).
-        addr: u64,
-        /// Length in bytes (rounded up to whole pages).
-        len: u64,
-        /// `PROT_READ` | `PROT_WRITE` ([`crate::vm`] constants).
-        prot: u32,
-        /// `MAP_PRIVATE`/`MAP_SHARED` | `MAP_ANONYMOUS`.
-        flags: u32,
-        /// Backing descriptor (-1 for anonymous mappings).
-        fd: i32,
-        /// Page-aligned byte offset into the backing object.
-        offset: u64,
-    },
-    /// Remove a mapping (whole regions only).
-    Munmap {
-        /// Region base address.
-        addr: u64,
-        /// Region length.
-        len: u64,
-    },
-    /// Write a shared mapping's bytes back to its backing object.
-    Msync {
-        /// Address within the mapping.
-        addr: u64,
-        /// Bytes to sync (0 = through the end of the region).
-        len: u64,
-    },
-    /// Change a mapping's protection (whole regions only).
-    Mprotect {
-        /// Region base address.
-        addr: u64,
-        /// Region length.
-        len: u64,
-        /// New protection bits.
-        prot: u32,
-    },
-    /// Open (or create) a named POSIX shared-memory object, returning a
-    /// descriptor that supports `ftruncate`/`read`/`write` and `mmap`.
-    ShmOpen {
-        /// Object name (by convention `/name`).
-        name: String,
-        /// Open flags ([`OpenFlags`] bits; `create` creates the object).
-        flags: u32,
-        /// Creation mode.
-        mode: u32,
-    },
-    /// Remove a shared-memory object's name; the object lives on until the
-    /// last mapping and descriptor are gone.
-    ShmUnlink {
-        /// Object name.
-        name: String,
-    },
-    /// Read from the calling task's address space (the simulated load; how
-    /// processes access private mappings).
-    VmRead {
-        /// Virtual address.
-        addr: u64,
-        /// Bytes to read.
-        len: u32,
-    },
-    /// Write to the calling task's address space (the simulated store; a hit
-    /// on a shared page is a copy-on-write fault serviced in the kernel).
-    VmWrite {
-        /// Virtual address.
-        addr: u64,
-        /// Bytes to write.
-        data: ByteSource,
-    },
-    /// Copy up to `len` bytes from a file descriptor to a stream descriptor
-    /// entirely inside the kernel: page-cache pages feed the destination
-    /// stream without the bytes ever entering guest memory.
-    Sendfile {
-        /// Destination descriptor (must name a stream: pipe or socket).
-        out_fd: i32,
-        /// Source descriptor (must name a regular file opened for reading).
-        in_fd: i32,
-        /// Byte offset to read from, or `-1` to use (and advance) the file
-        /// cursor.
-        offset: i64,
-        /// Maximum number of bytes to move.
-        len: u64,
-    },
-    /// Move up to `len` bytes from one stream descriptor to another entirely
-    /// inside the kernel.
-    Splice {
-        /// Source descriptor (a stream).
-        fd_in: i32,
-        /// Destination descriptor (a stream).
-        fd_out: i32,
-        /// Maximum number of bytes to move.
-        len: u64,
-    },
-    /// Register a persistent submission/completion ring living inside the
-    /// process's shared heap.  Sent once over the classic framed transport
-    /// right after the heap itself is registered; afterwards the synchronous
-    /// convention submits through the ring instead of building frames.
-    RingSetup {
-        /// Byte offset of the submission-queue header within the shared heap.
-        sq_offset: u32,
-        /// Byte offset of the completion-queue header within the shared heap.
-        cq_offset: u32,
-        /// Number of slots in each queue (power of two).
-        slots: u32,
-        /// Byte size of one ring slot (header + payload capacity).
-        slot_bytes: u32,
-        /// Byte offset of the registered-buffer table within the shared heap.
-        buf_offset: u32,
-        /// Number of registered buffers.
-        buf_count: u32,
-        /// Byte size of one registered buffer.
-        buf_bytes: u32,
-    },
-}
-
-// Opcodes, grouped by Figure 3 class.  New calls append; existing numbers are
-// part of the ABI and never change.
-const OP_SPAWN: u8 = 1;
-const OP_FORK: u8 = 2;
-const OP_PIPE2: u8 = 3;
-const OP_WAIT4: u8 = 4;
-const OP_EXIT: u8 = 5;
-const OP_KILL: u8 = 6;
-const OP_SIGACTION: u8 = 7;
-const OP_GETPID: u8 = 8;
-const OP_GETPPID: u8 = 9;
-const OP_GETCWD: u8 = 10;
-const OP_CHDIR: u8 = 11;
-const OP_OPEN: u8 = 12;
-const OP_CLOSE: u8 = 13;
-const OP_READ: u8 = 14;
-const OP_PREAD: u8 = 15;
-const OP_WRITE: u8 = 16;
-const OP_PWRITE: u8 = 17;
-const OP_SEEK: u8 = 18;
-const OP_DUP: u8 = 19;
-const OP_DUP2: u8 = 20;
-const OP_UNLINK: u8 = 21;
-const OP_TRUNCATE: u8 = 22;
-const OP_RENAME: u8 = 23;
-const OP_READDIR: u8 = 24;
-const OP_MKDIR: u8 = 25;
-const OP_RMDIR: u8 = 26;
-const OP_STAT: u8 = 27;
-const OP_FSTAT: u8 = 28;
-const OP_ACCESS: u8 = 29;
-const OP_READLINK: u8 = 30;
-const OP_UTIMES: u8 = 31;
-const OP_SOCKET: u8 = 32;
-const OP_BIND: u8 = 33;
-const OP_GETSOCKNAME: u8 = 34;
-const OP_LISTEN: u8 = 35;
-const OP_ACCEPT: u8 = 36;
-const OP_CONNECT: u8 = 37;
-const OP_FSYNC: u8 = 38;
-const OP_POLL: u8 = 39;
-const OP_SETFLAGS: u8 = 40;
-const OP_SIGPROCMASK: u8 = 41;
-const OP_SETPGID: u8 = 42;
-const OP_GETPGID: u8 = 43;
-const OP_TCSETPGRP: u8 = 44;
-const OP_FTRUNCATE: u8 = 45;
-const OP_MMAP: u8 = 46;
-const OP_MUNMAP: u8 = 47;
-const OP_MSYNC: u8 = 48;
-const OP_MPROTECT: u8 = 49;
-const OP_SHMOPEN: u8 = 50;
-const OP_SHMUNLINK: u8 = 51;
-const OP_VMREAD: u8 = 52;
-const OP_VMWRITE: u8 = 53;
-const OP_SENDFILE: u8 = 54;
-const OP_SPLICE: u8 = 55;
-const OP_RINGSETUP: u8 = 56;
-
-impl Syscall {
-    /// The syscall's name, used for statistics and tracing (and by the
-    /// Figure 3 reproduction).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Syscall::Spawn { .. } => "spawn",
-            Syscall::Fork { .. } => "fork",
-            Syscall::Pipe2 => "pipe2",
-            Syscall::Wait4 { .. } => "wait4",
-            Syscall::Exit { .. } => "exit",
-            Syscall::Kill { .. } => "kill",
-            Syscall::SignalAction { .. } => "sigaction",
-            Syscall::Sigprocmask { .. } => "sigprocmask",
-            Syscall::Setpgid { .. } => "setpgid",
-            Syscall::Getpgid { .. } => "getpgid",
-            Syscall::Tcsetpgrp { .. } => "tcsetpgrp",
-            Syscall::GetPid => "getpid",
-            Syscall::GetPPid => "getppid",
-            Syscall::GetCwd => "getcwd",
-            Syscall::Chdir { .. } => "chdir",
-            Syscall::Open { .. } => "open",
-            Syscall::Close { .. } => "close",
-            Syscall::Read { .. } => "read",
-            Syscall::Pread { .. } => "pread",
-            Syscall::Write { .. } => "write",
-            Syscall::Pwrite { .. } => "pwrite",
-            Syscall::Seek { .. } => "llseek",
-            Syscall::Dup { .. } => "dup",
-            Syscall::Dup2 { .. } => "dup2",
-            Syscall::Unlink { .. } => "unlink",
-            Syscall::Truncate { .. } => "truncate",
-            Syscall::Rename { .. } => "rename",
-            Syscall::Fsync { .. } => "fsync",
-            Syscall::Poll { .. } => "poll",
-            Syscall::SetFlags { .. } => "fcntl",
-            Syscall::Readdir { .. } => "getdents",
-            Syscall::Mkdir { .. } => "mkdir",
-            Syscall::Rmdir { .. } => "rmdir",
-            Syscall::Stat { lstat, .. } => {
-                if *lstat {
-                    "lstat"
-                } else {
-                    "stat"
-                }
-            }
-            Syscall::Fstat { .. } => "fstat",
-            Syscall::Access { .. } => "access",
-            Syscall::Readlink { .. } => "readlink",
-            Syscall::Utimes { .. } => "utimes",
-            Syscall::Socket => "socket",
-            Syscall::Bind { .. } => "bind",
-            Syscall::GetSockName { .. } => "getsockname",
-            Syscall::Listen { .. } => "listen",
-            Syscall::Accept { .. } => "accept",
-            Syscall::Connect { .. } => "connect",
-            Syscall::Ftruncate { .. } => "ftruncate",
-            Syscall::Mmap { .. } => "mmap",
-            Syscall::Munmap { .. } => "munmap",
-            Syscall::Msync { .. } => "msync",
-            Syscall::Mprotect { .. } => "mprotect",
-            Syscall::ShmOpen { .. } => "shm_open",
-            Syscall::ShmUnlink { .. } => "shm_unlink",
-            Syscall::VmRead { .. } => "vm_read",
-            Syscall::VmWrite { .. } => "vm_write",
-            Syscall::Sendfile { .. } => "sendfile",
-            Syscall::Splice { .. } => "splice",
-            Syscall::RingSetup { .. } => "ring_setup",
-        }
-    }
-
-    /// The Figure 3 class this call belongs to.
-    pub fn class(&self) -> &'static str {
-        match self {
-            Syscall::Spawn { .. }
-            | Syscall::Fork { .. }
-            | Syscall::Pipe2
-            | Syscall::Wait4 { .. }
-            | Syscall::Exit { .. }
-            | Syscall::Kill { .. }
-            | Syscall::SignalAction { .. }
-            | Syscall::Sigprocmask { .. }
-            | Syscall::Setpgid { .. }
-            | Syscall::Tcsetpgrp { .. } => "Process Management",
-            Syscall::GetPid | Syscall::GetPPid | Syscall::GetCwd | Syscall::Chdir { .. } | Syscall::Getpgid { .. } => {
-                "Process Metadata"
-            }
-            Syscall::Socket
-            | Syscall::Bind { .. }
-            | Syscall::GetSockName { .. }
-            | Syscall::Listen { .. }
-            | Syscall::Accept { .. }
-            | Syscall::Connect { .. } => "Sockets",
-            Syscall::Readdir { .. } | Syscall::Mkdir { .. } | Syscall::Rmdir { .. } => "Directory IO",
-            Syscall::Open { .. }
-            | Syscall::Close { .. }
-            | Syscall::Read { .. }
-            | Syscall::Pread { .. }
-            | Syscall::Write { .. }
-            | Syscall::Pwrite { .. }
-            | Syscall::Seek { .. }
-            | Syscall::Dup { .. }
-            | Syscall::Dup2 { .. }
-            | Syscall::Unlink { .. }
-            | Syscall::Truncate { .. }
-            | Syscall::Rename { .. }
-            | Syscall::Fsync { .. }
-            | Syscall::Poll { .. }
-            | Syscall::SetFlags { .. }
-            | Syscall::Ftruncate { .. }
-            | Syscall::Sendfile { .. }
-            | Syscall::Splice { .. } => "File IO",
-            Syscall::RingSetup { .. } => "Syscall Rings",
-            Syscall::Mmap { .. }
-            | Syscall::Munmap { .. }
-            | Syscall::Msync { .. }
-            | Syscall::Mprotect { .. }
-            | Syscall::ShmOpen { .. }
-            | Syscall::ShmUnlink { .. }
-            | Syscall::VmRead { .. }
-            | Syscall::VmWrite { .. } => "Virtual Memory",
-            Syscall::Stat { .. }
-            | Syscall::Fstat { .. }
-            | Syscall::Access { .. }
-            | Syscall::Readlink { .. }
-            | Syscall::Utimes { .. } => "File Metadata",
-        }
-    }
-
-    /// Appends the call's wire encoding (opcode + fields) to `out`.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
-        match self {
-            Syscall::Spawn {
-                path,
-                args,
-                env,
-                cwd,
-                stdio,
-            } => {
-                wire::put_u8(out, OP_SPAWN);
-                wire::put_str(out, path);
-                wire::put_u32(out, args.len() as u32);
-                for arg in args {
-                    wire::put_str(out, arg);
-                }
-                wire::put_u32(out, env.len() as u32);
-                for (key, value) in env {
-                    wire::put_str(out, key);
-                    wire::put_str(out, value);
-                }
-                match cwd {
-                    Some(cwd) => {
-                        wire::put_bool(out, true);
-                        wire::put_str(out, cwd);
-                    }
-                    None => wire::put_bool(out, false),
-                }
-                for slot in stdio {
-                    match slot {
-                        Some(fd) => {
-                            wire::put_bool(out, true);
-                            wire::put_i32(out, *fd);
-                        }
-                        None => wire::put_bool(out, false),
-                    }
-                }
-            }
-            Syscall::Fork { image, resume_point } => {
-                wire::put_u8(out, OP_FORK);
-                wire::put_bytes(out, image);
-                wire::put_u64(out, *resume_point);
-            }
-            Syscall::Pipe2 => wire::put_u8(out, OP_PIPE2),
-            Syscall::Wait4 { pid, options } => {
-                wire::put_u8(out, OP_WAIT4);
-                wire::put_i32(out, *pid);
-                wire::put_u32(out, *options);
-            }
-            Syscall::Exit { code } => {
-                wire::put_u8(out, OP_EXIT);
-                wire::put_i32(out, *code);
-            }
-            Syscall::Kill { pid, signal } => {
-                wire::put_u8(out, OP_KILL);
-                wire::put_i32(out, *pid);
-                wire::put_i32(out, signal.number());
-            }
-            Syscall::SignalAction { signal, action } => {
-                wire::put_u8(out, OP_SIGACTION);
-                wire::put_i32(out, signal.number());
-                wire::put_u8(out, encode_sigaction(*action));
-            }
-            Syscall::Sigprocmask { how, mask } => {
-                wire::put_u8(out, OP_SIGPROCMASK);
-                wire::put_u32(out, *how);
-                wire::put_u64(out, *mask);
-            }
-            Syscall::Setpgid { pid, pgid } => {
-                wire::put_u8(out, OP_SETPGID);
-                wire::put_u32(out, *pid);
-                wire::put_u32(out, *pgid);
-            }
-            Syscall::Getpgid { pid } => {
-                wire::put_u8(out, OP_GETPGID);
-                wire::put_u32(out, *pid);
-            }
-            Syscall::Tcsetpgrp { pgid } => {
-                wire::put_u8(out, OP_TCSETPGRP);
-                wire::put_u32(out, *pgid);
-            }
-            Syscall::GetPid => wire::put_u8(out, OP_GETPID),
-            Syscall::GetPPid => wire::put_u8(out, OP_GETPPID),
-            Syscall::GetCwd => wire::put_u8(out, OP_GETCWD),
-            Syscall::Chdir { path } => {
-                wire::put_u8(out, OP_CHDIR);
-                wire::put_str(out, path);
-            }
-            Syscall::Open { path, flags, mode } => {
-                wire::put_u8(out, OP_OPEN);
-                wire::put_str(out, path);
-                wire::put_u32(out, flags.to_bits());
-                wire::put_u32(out, *mode);
-            }
-            Syscall::Close { fd } => {
-                wire::put_u8(out, OP_CLOSE);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Read { fd, len } => {
-                wire::put_u8(out, OP_READ);
-                wire::put_i32(out, *fd);
-                wire::put_u32(out, *len);
-            }
-            Syscall::Pread { fd, len, offset } => {
-                wire::put_u8(out, OP_PREAD);
-                wire::put_i32(out, *fd);
-                wire::put_u32(out, *len);
-                wire::put_u64(out, *offset);
-            }
-            Syscall::Write { fd, data } => {
-                wire::put_u8(out, OP_WRITE);
-                wire::put_i32(out, *fd);
-                data.encode_into(out);
-            }
-            Syscall::Pwrite { fd, data, offset } => {
-                wire::put_u8(out, OP_PWRITE);
-                wire::put_i32(out, *fd);
-                data.encode_into(out);
-                wire::put_u64(out, *offset);
-            }
-            Syscall::Seek { fd, offset, whence } => {
-                wire::put_u8(out, OP_SEEK);
-                wire::put_i32(out, *fd);
-                wire::put_i64(out, *offset);
-                wire::put_u32(out, *whence);
-            }
-            Syscall::Dup { fd } => {
-                wire::put_u8(out, OP_DUP);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Dup2 { from, to } => {
-                wire::put_u8(out, OP_DUP2);
-                wire::put_i32(out, *from);
-                wire::put_i32(out, *to);
-            }
-            Syscall::Unlink { path } => {
-                wire::put_u8(out, OP_UNLINK);
-                wire::put_str(out, path);
-            }
-            Syscall::Truncate { path, size } => {
-                wire::put_u8(out, OP_TRUNCATE);
-                wire::put_str(out, path);
-                wire::put_u64(out, *size);
-            }
-            Syscall::Rename { from, to } => {
-                wire::put_u8(out, OP_RENAME);
-                wire::put_str(out, from);
-                wire::put_str(out, to);
-            }
-            Syscall::Fsync { fd } => {
-                wire::put_u8(out, OP_FSYNC);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Poll { fds, timeout_ms } => {
-                wire::put_u8(out, OP_POLL);
-                wire::put_u32(out, fds.len() as u32);
-                for req in fds {
-                    wire::put_i32(out, req.fd);
-                    wire::put_u16(out, req.events);
-                }
-                wire::put_i32(out, *timeout_ms);
-            }
-            Syscall::SetFlags { fd, flags } => {
-                wire::put_u8(out, OP_SETFLAGS);
-                wire::put_i32(out, *fd);
-                wire::put_u32(out, *flags);
-            }
-            Syscall::Readdir { path } => {
-                wire::put_u8(out, OP_READDIR);
-                wire::put_str(out, path);
-            }
-            Syscall::Mkdir { path, mode } => {
-                wire::put_u8(out, OP_MKDIR);
-                wire::put_str(out, path);
-                wire::put_u32(out, *mode);
-            }
-            Syscall::Rmdir { path } => {
-                wire::put_u8(out, OP_RMDIR);
-                wire::put_str(out, path);
-            }
-            Syscall::Stat { path, lstat } => {
-                wire::put_u8(out, OP_STAT);
-                wire::put_str(out, path);
-                wire::put_bool(out, *lstat);
-            }
-            Syscall::Fstat { fd } => {
-                wire::put_u8(out, OP_FSTAT);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Access { path, mode } => {
-                wire::put_u8(out, OP_ACCESS);
-                wire::put_str(out, path);
-                wire::put_u32(out, *mode);
-            }
-            Syscall::Readlink { path } => {
-                wire::put_u8(out, OP_READLINK);
-                wire::put_str(out, path);
-            }
-            Syscall::Utimes {
-                path,
-                atime_ms,
-                mtime_ms,
-            } => {
-                wire::put_u8(out, OP_UTIMES);
-                wire::put_str(out, path);
-                wire::put_u64(out, *atime_ms);
-                wire::put_u64(out, *mtime_ms);
-            }
-            Syscall::Socket => wire::put_u8(out, OP_SOCKET),
-            Syscall::Bind { fd, port } => {
-                wire::put_u8(out, OP_BIND);
-                wire::put_i32(out, *fd);
-                wire::put_u16(out, *port);
-            }
-            Syscall::GetSockName { fd } => {
-                wire::put_u8(out, OP_GETSOCKNAME);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Listen { fd, backlog } => {
-                wire::put_u8(out, OP_LISTEN);
-                wire::put_i32(out, *fd);
-                wire::put_u32(out, *backlog);
-            }
-            Syscall::Accept { fd } => {
-                wire::put_u8(out, OP_ACCEPT);
-                wire::put_i32(out, *fd);
-            }
-            Syscall::Connect { fd, port } => {
-                wire::put_u8(out, OP_CONNECT);
-                wire::put_i32(out, *fd);
-                wire::put_u16(out, *port);
-            }
-            Syscall::Ftruncate { fd, size } => {
-                wire::put_u8(out, OP_FTRUNCATE);
-                wire::put_i32(out, *fd);
-                wire::put_u64(out, *size);
-            }
-            Syscall::Mmap {
-                addr,
-                len,
-                prot,
-                flags,
-                fd,
-                offset,
-            } => {
-                wire::put_u8(out, OP_MMAP);
-                wire::put_u64(out, *addr);
-                wire::put_u64(out, *len);
-                wire::put_u32(out, *prot);
-                wire::put_u32(out, *flags);
-                wire::put_i32(out, *fd);
-                wire::put_u64(out, *offset);
-            }
-            Syscall::Munmap { addr, len } => {
-                wire::put_u8(out, OP_MUNMAP);
-                wire::put_u64(out, *addr);
-                wire::put_u64(out, *len);
-            }
-            Syscall::Msync { addr, len } => {
-                wire::put_u8(out, OP_MSYNC);
-                wire::put_u64(out, *addr);
-                wire::put_u64(out, *len);
-            }
-            Syscall::Mprotect { addr, len, prot } => {
-                wire::put_u8(out, OP_MPROTECT);
-                wire::put_u64(out, *addr);
-                wire::put_u64(out, *len);
-                wire::put_u32(out, *prot);
-            }
-            Syscall::ShmOpen { name, flags, mode } => {
-                wire::put_u8(out, OP_SHMOPEN);
-                wire::put_str(out, name);
-                wire::put_u32(out, *flags);
-                wire::put_u32(out, *mode);
-            }
-            Syscall::ShmUnlink { name } => {
-                wire::put_u8(out, OP_SHMUNLINK);
-                wire::put_str(out, name);
-            }
-            Syscall::VmRead { addr, len } => {
-                wire::put_u8(out, OP_VMREAD);
-                wire::put_u64(out, *addr);
-                wire::put_u32(out, *len);
-            }
-            Syscall::VmWrite { addr, data } => {
-                wire::put_u8(out, OP_VMWRITE);
-                wire::put_u64(out, *addr);
-                data.encode_into(out);
-            }
-            Syscall::Sendfile {
-                out_fd,
-                in_fd,
-                offset,
-                len,
-            } => {
-                wire::put_u8(out, OP_SENDFILE);
-                wire::put_i32(out, *out_fd);
-                wire::put_i32(out, *in_fd);
-                wire::put_i64(out, *offset);
-                wire::put_u64(out, *len);
-            }
-            Syscall::Splice { fd_in, fd_out, len } => {
-                wire::put_u8(out, OP_SPLICE);
-                wire::put_i32(out, *fd_in);
-                wire::put_i32(out, *fd_out);
-                wire::put_u64(out, *len);
-            }
-            Syscall::RingSetup {
-                sq_offset,
-                cq_offset,
-                slots,
-                slot_bytes,
-                buf_offset,
-                buf_count,
-                buf_bytes,
-            } => {
-                wire::put_u8(out, OP_RINGSETUP);
-                wire::put_u32(out, *sq_offset);
-                wire::put_u32(out, *cq_offset);
-                wire::put_u32(out, *slots);
-                wire::put_u32(out, *slot_bytes);
-                wire::put_u32(out, *buf_offset);
-                wire::put_u32(out, *buf_count);
-                wire::put_u32(out, *buf_bytes);
-            }
-        }
-    }
-
-    /// Decodes one call from the reader, consuming exactly its encoding.
-    ///
-    /// Returns `None` if the frame is truncated or the opcode is unknown.
-    pub fn decode_from(r: &mut Reader<'_>) -> Option<Syscall> {
-        Some(match r.u8()? {
-            OP_SPAWN => {
-                let path = r.str()?.to_owned();
-                let arg_count = r.u32()? as usize;
-                let mut args = Vec::with_capacity(arg_count.min(1024));
-                for _ in 0..arg_count {
-                    args.push(r.str()?.to_owned());
-                }
-                let env_count = r.u32()? as usize;
-                let mut env = Vec::with_capacity(env_count.min(1024));
-                for _ in 0..env_count {
-                    let key = r.str()?.to_owned();
-                    let value = r.str()?.to_owned();
-                    env.push((key, value));
-                }
-                let cwd = if r.bool()? { Some(r.str()?.to_owned()) } else { None };
-                let mut stdio = [None; 3];
-                for slot in stdio.iter_mut() {
-                    if r.bool()? {
-                        *slot = Some(r.i32()?);
-                    }
-                }
-                Syscall::Spawn {
-                    path,
-                    args,
-                    env,
-                    cwd,
-                    stdio,
-                }
-            }
-            OP_FORK => Syscall::Fork {
-                image: r.bytes()?.to_vec(),
-                resume_point: r.u64()?,
-            },
-            OP_PIPE2 => Syscall::Pipe2,
-            OP_WAIT4 => Syscall::Wait4 {
-                pid: r.i32()?,
-                options: r.u32()?,
-            },
-            OP_EXIT => Syscall::Exit { code: r.i32()? },
-            OP_KILL => Syscall::Kill {
-                pid: r.i32()?,
-                signal: Signal::from_number(r.i32()?)?,
-            },
-            OP_SIGACTION => Syscall::SignalAction {
-                signal: Signal::from_number(r.i32()?)?,
-                action: decode_sigaction(r.u8()?)?,
-            },
-            OP_SIGPROCMASK => Syscall::Sigprocmask {
-                how: r.u32()?,
-                mask: r.u64()?,
-            },
-            OP_SETPGID => Syscall::Setpgid {
-                pid: r.u32()?,
-                pgid: r.u32()?,
-            },
-            OP_GETPGID => Syscall::Getpgid { pid: r.u32()? },
-            OP_TCSETPGRP => Syscall::Tcsetpgrp { pgid: r.u32()? },
-            OP_GETPID => Syscall::GetPid,
-            OP_GETPPID => Syscall::GetPPid,
-            OP_GETCWD => Syscall::GetCwd,
-            OP_CHDIR => Syscall::Chdir {
-                path: r.str()?.to_owned(),
-            },
-            OP_OPEN => Syscall::Open {
-                path: r.str()?.to_owned(),
-                flags: OpenFlags::from_bits(r.u32()?).ok()?,
-                mode: r.u32()?,
-            },
-            OP_CLOSE => Syscall::Close { fd: r.i32()? },
-            OP_READ => Syscall::Read {
-                fd: r.i32()?,
-                len: r.u32()?,
-            },
-            OP_PREAD => Syscall::Pread {
-                fd: r.i32()?,
-                len: r.u32()?,
-                offset: r.u64()?,
-            },
-            OP_WRITE => Syscall::Write {
-                fd: r.i32()?,
-                data: ByteSource::decode_from(r)?,
-            },
-            OP_PWRITE => Syscall::Pwrite {
-                fd: r.i32()?,
-                data: ByteSource::decode_from(r)?,
-                offset: r.u64()?,
-            },
-            OP_SEEK => Syscall::Seek {
-                fd: r.i32()?,
-                offset: r.i64()?,
-                whence: r.u32()?,
-            },
-            OP_DUP => Syscall::Dup { fd: r.i32()? },
-            OP_DUP2 => Syscall::Dup2 {
-                from: r.i32()?,
-                to: r.i32()?,
-            },
-            OP_UNLINK => Syscall::Unlink {
-                path: r.str()?.to_owned(),
-            },
-            OP_TRUNCATE => Syscall::Truncate {
-                path: r.str()?.to_owned(),
-                size: r.u64()?,
-            },
-            OP_RENAME => Syscall::Rename {
-                from: r.str()?.to_owned(),
-                to: r.str()?.to_owned(),
-            },
-            OP_FSYNC => Syscall::Fsync { fd: r.i32()? },
-            OP_POLL => {
-                let count = r.u32()? as usize;
-                let mut fds = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    fds.push(PollRequest {
-                        fd: r.i32()?,
-                        events: r.u16()?,
-                    });
-                }
-                Syscall::Poll {
-                    fds,
-                    timeout_ms: r.i32()?,
-                }
-            }
-            OP_SETFLAGS => Syscall::SetFlags {
-                fd: r.i32()?,
-                flags: r.u32()?,
-            },
-            OP_READDIR => Syscall::Readdir {
-                path: r.str()?.to_owned(),
-            },
-            OP_MKDIR => Syscall::Mkdir {
-                path: r.str()?.to_owned(),
-                mode: r.u32()?,
-            },
-            OP_RMDIR => Syscall::Rmdir {
-                path: r.str()?.to_owned(),
-            },
-            OP_STAT => Syscall::Stat {
-                path: r.str()?.to_owned(),
-                lstat: r.bool()?,
-            },
-            OP_FSTAT => Syscall::Fstat { fd: r.i32()? },
-            OP_ACCESS => Syscall::Access {
-                path: r.str()?.to_owned(),
-                mode: r.u32()?,
-            },
-            OP_READLINK => Syscall::Readlink {
-                path: r.str()?.to_owned(),
-            },
-            OP_UTIMES => Syscall::Utimes {
-                path: r.str()?.to_owned(),
-                atime_ms: r.u64()?,
-                mtime_ms: r.u64()?,
-            },
-            OP_SOCKET => Syscall::Socket,
-            OP_BIND => Syscall::Bind {
-                fd: r.i32()?,
-                port: r.u16()?,
-            },
-            OP_GETSOCKNAME => Syscall::GetSockName { fd: r.i32()? },
-            OP_LISTEN => Syscall::Listen {
-                fd: r.i32()?,
-                backlog: r.u32()?,
-            },
-            OP_ACCEPT => Syscall::Accept { fd: r.i32()? },
-            OP_CONNECT => Syscall::Connect {
-                fd: r.i32()?,
-                port: r.u16()?,
-            },
-            OP_FTRUNCATE => Syscall::Ftruncate {
-                fd: r.i32()?,
-                size: r.u64()?,
-            },
-            OP_MMAP => Syscall::Mmap {
-                addr: r.u64()?,
-                len: r.u64()?,
-                prot: r.u32()?,
-                flags: r.u32()?,
-                fd: r.i32()?,
-                offset: r.u64()?,
-            },
-            OP_MUNMAP => Syscall::Munmap {
-                addr: r.u64()?,
-                len: r.u64()?,
-            },
-            OP_MSYNC => Syscall::Msync {
-                addr: r.u64()?,
-                len: r.u64()?,
-            },
-            OP_MPROTECT => Syscall::Mprotect {
-                addr: r.u64()?,
-                len: r.u64()?,
-                prot: r.u32()?,
-            },
-            OP_SHMOPEN => Syscall::ShmOpen {
-                name: r.str()?.to_owned(),
-                flags: r.u32()?,
-                mode: r.u32()?,
-            },
-            OP_SHMUNLINK => Syscall::ShmUnlink {
-                name: r.str()?.to_owned(),
-            },
-            OP_VMREAD => Syscall::VmRead {
-                addr: r.u64()?,
-                len: r.u32()?,
-            },
-            OP_VMWRITE => Syscall::VmWrite {
-                addr: r.u64()?,
-                data: ByteSource::decode_from(r)?,
-            },
-            OP_SENDFILE => Syscall::Sendfile {
-                out_fd: r.i32()?,
-                in_fd: r.i32()?,
-                offset: r.i64()?,
-                len: r.u64()?,
-            },
-            OP_SPLICE => Syscall::Splice {
-                fd_in: r.i32()?,
-                fd_out: r.i32()?,
-                len: r.u64()?,
-            },
-            OP_RINGSETUP => Syscall::RingSetup {
-                sq_offset: r.u32()?,
-                cq_offset: r.u32()?,
-                slots: r.u32()?,
-                slot_bytes: r.u32()?,
-                buf_offset: r.u32()?,
-                buf_count: r.u32()?,
-                buf_bytes: r.u32()?,
-            },
-            _ => return None,
-        })
-    }
-}
+include!(concat!(env!("OUT_DIR"), "/syscall_gen.rs"));
 
 /// An ordered set of system calls submitted to the kernel in one round trip.
 ///
@@ -1463,61 +299,6 @@ impl CompletionBatch {
     }
 }
 
-/// The result of a system call.
-#[derive(Debug, Clone, PartialEq)]
-#[must_use = "a SysResult may carry an errno that should not be silently dropped"]
-pub enum SysResult {
-    /// Success with no interesting value.
-    Ok,
-    /// A scalar result (descriptor, byte count, pid, offset...).
-    Int(i64),
-    /// A pair of scalars (`pipe2` returns the read and write descriptors).
-    Pair(i64, i64),
-    /// Bytes read.
-    Data(Vec<u8>),
-    /// A path (`getcwd`, `readlink`).
-    Path(String),
-    /// File metadata (`stat` family).
-    Stat(Metadata),
-    /// Directory entries (`getdents`).
-    Entries(Vec<DirEntry>),
-    /// A reaped child and its wait status (`wait4`).
-    Wait {
-        /// The reaped child's pid (0 when `WNOHANG` found nothing).
-        pid: Pid,
-        /// The encoded wait status.
-        status: i32,
-    },
-    /// Readiness report for a `poll`: one `revents` word per submitted
-    /// descriptor, in submission order (all zero on timeout).
-    Poll(Vec<u16>),
-    /// Bytes read, parked in registered buffer `buf` of the submitter's ring
-    /// rather than copied into the completion entry.  The client reads the
-    /// bytes out, releases the buffer, and surfaces a plain [`SysResult::Data`]
-    /// to callers; it never appears outside the ring transport.
-    DataFixed {
-        /// Index of the registered buffer holding the bytes.
-        buf: u32,
-        /// Number of valid bytes in the buffer.
-        len: u32,
-    },
-    /// Failure.
-    Err(Errno),
-}
-
-// Result tags (the numbering predates batching and is kept stable).
-const RES_OK: u8 = 0;
-const RES_INT: u8 = 1;
-const RES_PAIR: u8 = 2;
-const RES_DATA: u8 = 3;
-const RES_PATH: u8 = 4;
-const RES_STAT: u8 = 5;
-const RES_ENTRIES: u8 = 6;
-const RES_WAIT: u8 = 7;
-const RES_POLL: u8 = 8;
-const RES_DATA_FIXED: u8 = 9;
-const RES_ERR: u8 = 255;
-
 impl SysResult {
     /// Whether this is an error result.
     pub fn is_err(&self) -> bool {
@@ -1552,125 +333,6 @@ impl SysResult {
             SysResult::DataFixed { len, .. } => *len as i64,
             SysResult::Err(errno) => errno.as_syscall_return(),
         }
-    }
-
-    /// Appends the result's wire encoding (tag + payload) to `out`.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
-        match self {
-            SysResult::Ok => wire::put_u8(out, RES_OK),
-            SysResult::Int(v) => {
-                wire::put_u8(out, RES_INT);
-                wire::put_i64(out, *v);
-            }
-            SysResult::Pair(a, b) => {
-                wire::put_u8(out, RES_PAIR);
-                wire::put_i64(out, *a);
-                wire::put_i64(out, *b);
-            }
-            SysResult::Data(data) => {
-                wire::put_u8(out, RES_DATA);
-                wire::put_bytes(out, data);
-            }
-            SysResult::Path(path) => {
-                wire::put_u8(out, RES_PATH);
-                wire::put_str(out, path);
-            }
-            SysResult::Stat(meta) => {
-                wire::put_u8(out, RES_STAT);
-                wire::put_u64(out, meta.size);
-                wire::put_u32(out, meta.mode);
-                wire::put_u64(out, meta.mtime_ms);
-                wire::put_u64(out, meta.atime_ms);
-                wire::put_bool(out, meta.is_dir());
-            }
-            SysResult::Entries(entries) => {
-                wire::put_u8(out, RES_ENTRIES);
-                wire::put_u32(out, entries.len() as u32);
-                for entry in entries {
-                    wire::put_bool(out, entry.file_type == FileType::Directory);
-                    wire::put_str(out, &entry.name);
-                }
-            }
-            SysResult::Wait { pid, status } => {
-                wire::put_u8(out, RES_WAIT);
-                wire::put_u32(out, *pid);
-                wire::put_i32(out, *status);
-            }
-            SysResult::Poll(revents) => {
-                wire::put_u8(out, RES_POLL);
-                wire::put_u32(out, revents.len() as u32);
-                for r in revents {
-                    wire::put_u16(out, *r);
-                }
-            }
-            SysResult::DataFixed { buf, len } => {
-                wire::put_u8(out, RES_DATA_FIXED);
-                wire::put_u32(out, *buf);
-                wire::put_u32(out, *len);
-            }
-            SysResult::Err(errno) => {
-                wire::put_u8(out, RES_ERR);
-                wire::put_i32(out, errno.code());
-            }
-        }
-    }
-
-    /// Decodes one result from the reader, consuming exactly its encoding.
-    ///
-    /// Returns `None` if the frame is truncated or the tag is unknown.
-    pub fn decode_from(r: &mut Reader<'_>) -> Option<SysResult> {
-        Some(match r.u8()? {
-            RES_OK => SysResult::Ok,
-            RES_INT => SysResult::Int(r.i64()?),
-            RES_PAIR => SysResult::Pair(r.i64()?, r.i64()?),
-            RES_DATA => SysResult::Data(r.bytes()?.to_vec()),
-            RES_PATH => SysResult::Path(r.str()?.to_owned()),
-            RES_STAT => {
-                let size = r.u64()?;
-                let mode = r.u32()?;
-                let mtime_ms = r.u64()?;
-                let atime_ms = r.u64()?;
-                let is_dir = r.bool()?;
-                SysResult::Stat(Metadata {
-                    file_type: if is_dir { FileType::Directory } else { FileType::Regular },
-                    size,
-                    mode,
-                    mtime_ms,
-                    atime_ms,
-                })
-            }
-            RES_ENTRIES => {
-                let count = r.u32()? as usize;
-                let mut entries = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    let is_dir = r.bool()?;
-                    let name = r.str()?.to_owned();
-                    entries.push(DirEntry {
-                        name,
-                        file_type: if is_dir { FileType::Directory } else { FileType::Regular },
-                    });
-                }
-                SysResult::Entries(entries)
-            }
-            RES_WAIT => SysResult::Wait {
-                pid: r.u32()?,
-                status: r.i32()?,
-            },
-            RES_POLL => {
-                let count = r.u32()? as usize;
-                let mut revents = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    revents.push(r.u16()?);
-                }
-                SysResult::Poll(revents)
-            }
-            RES_DATA_FIXED => SysResult::DataFixed {
-                buf: r.u32()?,
-                len: r.u32()?,
-            },
-            RES_ERR => SysResult::Err(Errno::from_code(r.i32()?)?),
-            _ => return None,
-        })
     }
 }
 
@@ -2141,7 +803,7 @@ mod tests {
         let mut r = Reader::new(&[99]);
         assert_eq!(SysResult::decode_from(&mut r), None);
         // Truncated data payload.
-        let mut r = Reader::new(&[RES_DATA, 255, 255, 255, 255]);
+        let mut r = Reader::new(&[3, 255, 255, 255, 255]);
         assert_eq!(SysResult::decode_from(&mut r), None);
     }
 

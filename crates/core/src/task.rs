@@ -129,6 +129,9 @@ pub struct Task {
     /// The task's virtual address space: `mmap` regions, COW pages, shared
     /// mappings.
     pub address_space: AddressSpace,
+    /// System calls dispatched for this task, over every transport
+    /// (reported by `getrusage` as the `syscalls` counter).
+    pub syscall_count: u64,
 }
 
 impl std::fmt::Debug for Task {
@@ -170,6 +173,7 @@ impl Task {
             env: Vec::new(),
             launcher: None,
             address_space: AddressSpace::new(),
+            syscall_count: 0,
         }
     }
 

@@ -74,7 +74,7 @@ pub enum PageSlot {
 /// What backs a region's bytes.
 #[derive(Clone)]
 pub enum RegionKind {
-    /// `MAP_PRIVATE`: anonymous or file-backed, pages in [`Region::pages`].
+    /// `MAP_PRIVATE`: anonymous or file-backed, pages held per region.
     Private,
     /// `MAP_SHARED`: bytes live in the shared buffer (also held by every
     /// process that mapped it); `handle` is the `msync` write-back target.

@@ -7,6 +7,25 @@
 //! what lets [`syscall`](crate::syscall) have exactly one codec for both the
 //! asynchronous (structured-clone message) and synchronous (shared-heap)
 //! conventions.
+//!
+//! # Example
+//!
+//! Encoding writes into a growing `Vec<u8>`; decoding walks a [`Reader`]
+//! that yields `None` past the end instead of panicking:
+//!
+//! ```
+//! use browsix_core::wire::{self, Reader};
+//!
+//! let mut frame = Vec::new();
+//! wire::put_u32(&mut frame, 7);
+//! wire::put_str(&mut frame, "/etc/motd");
+//!
+//! let mut r = Reader::new(&frame);
+//! assert_eq!(r.u32(), Some(7));
+//! assert_eq!(r.str(), Some("/etc/motd"));
+//! assert!(r.is_empty());
+//! assert_eq!(r.u32(), None, "reads past the end fail cleanly");
+//! ```
 
 /// A cursor over an encoded frame.  Every accessor returns `None` on
 /// truncated or malformed input instead of panicking, so decoding a hostile

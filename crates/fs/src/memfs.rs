@@ -3,7 +3,7 @@
 //! This is the analogue of BrowserFS's `InMemory` backend, restructured
 //! around *inodes*: the directory tree maps names to nodes, and every regular
 //! file's contents live in their own `Arc<RwLock<..>>` so an open
-//! [`FileHandle`](crate::FileHandle) can keep reading and writing the file
+//! [`FileHandle`] can keep reading and writing the file
 //! without ever re-walking the path — including after the file is renamed or
 //! unlinked, exactly like a Unix inode held open.  It backs `/tmp`, the
 //! writable layer of overlays, and the staged application files in the case

@@ -1,0 +1,18 @@
+//! Generates the typed `SyscallClient` submission stubs from
+//! `abi/syscalls.abi` via `browsix-abigen`; `src/client.rs` includes the
+//! result, so adding a syscall to the IDL grows the client API with no
+//! hand-written code here.
+
+use std::path::Path;
+
+fn main() {
+    let idl = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../abi/syscalls.abi");
+    println!("cargo:rerun-if-changed={}", idl.display());
+    let abi = browsix_abigen::load(&idl).unwrap_or_else(|e| panic!("abi/syscalls.abi: {e}"));
+    let out_dir = std::env::var("OUT_DIR").expect("OUT_DIR");
+    std::fs::write(
+        Path::new(&out_dir).join("client_gen.rs"),
+        browsix_abigen::codegen::gen_client(&abi),
+    )
+    .expect("write client_gen.rs");
+}

@@ -160,6 +160,20 @@ impl RuntimeEnv for BrowsixEnv {
         self.expect_int(Syscall::GetPPid).unwrap_or(0) as u32
     }
 
+    fn getrusage(&mut self) -> Result<Vec<(String, u64)>, Errno> {
+        let data = self.expect_data(Syscall::Getrusage { who: 0 })?;
+        // Pair encoding: u32 count, then (str key, u64 value) pairs.
+        let mut r = browsix_core::wire::Reader::new(&data);
+        let count = r.u32().ok_or(Errno::EIO)?;
+        let mut pairs = Vec::with_capacity(count.min(64) as usize);
+        for _ in 0..count {
+            let key = r.str().ok_or(Errno::EIO)?.to_owned();
+            let value = r.u64().ok_or(Errno::EIO)?;
+            pairs.push((key, value));
+        }
+        Ok(pairs)
+    }
+
     fn getcwd(&mut self) -> String {
         match self.client.call(Syscall::GetCwd) {
             SysResult::Path(path) => {

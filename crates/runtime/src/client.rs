@@ -533,20 +533,15 @@ impl SyscallClient {
     }
 }
 
-/// Whether a call may ride the ring: its submission entry must fit a slot,
-/// and its result must be bounded — by a completion slot, or by one
-/// registered buffer for bulk reads.  Everything else (fork, unbounded-result
-/// directory/link calls, oversized reads) takes the framed transport.
-fn ring_safe(call: &Syscall, buf_bytes: u32) -> bool {
-    match call {
-        Syscall::Fork { .. } | Syscall::Readdir { .. } | Syscall::Readlink { .. } | Syscall::RingSetup { .. } => false,
-        Syscall::Read { len, .. } | Syscall::Pread { len, .. } | Syscall::VmRead { len, .. } => *len <= buf_bytes,
-        // A poll result carries one word per descriptor; keep it within a
-        // completion slot.
-        Syscall::Poll { fds, .. } => fds.len() <= 32,
-        _ => true,
-    }
-}
+// Ring eligibility comes from the IDL's per-syscall `ring:` class, via the
+// classifier generated into `browsix_core::abi`: a call may ride the ring
+// when its submission entry fits a slot and its result is bounded — by a
+// completion slot, or by one registered buffer for bulk reads.  Everything
+// else (fork, unbounded-result directory/link calls, oversized reads) takes
+// the framed transport.
+use browsix_core::abi::ring_safe;
+
+include!(concat!(env!("OUT_DIR"), "/client_gen.rs"));
 
 /// Decodes one completion entry, dereferencing (and freeing) a
 /// registered-buffer result.

@@ -1,6 +1,6 @@
 //! The runtime environment interface guest programs are written against.
 //!
-//! A [`RuntimeEnv`](crate::RuntimeEnv) is what libc plus the language runtime
+//! A [`RuntimeEnv`] is what libc plus the language runtime
 //! look like to a program: files, directories, processes, pipes, signals,
 //! sockets and standard I/O.  The same guest program can run under the
 //! in-process [`NativeEnv`](crate::NativeEnv) (the paper's native and
@@ -189,6 +189,13 @@ pub trait RuntimeEnv {
 
     /// The parent process id.
     fn getppid(&mut self) -> u32;
+
+    /// Resource-usage counters for the process as named `(key, value)`
+    /// pairs (the `getrusage` system call; see `docs/ABI.md`).
+    /// Environments without kernel-side accounting return `ENOSYS`.
+    fn getrusage(&mut self) -> Result<Vec<(String, u64)>, Errno> {
+        Err(Errno::ENOSYS)
+    }
 
     /// The current working directory.
     fn getcwd(&mut self) -> String;

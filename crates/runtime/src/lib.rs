@@ -9,7 +9,7 @@
 //! * [`program`] — the [`GuestProgram`] trait: a program written against the
 //!   POSIX-style [`RuntimeEnv`] interface, standing in for a binary compiled
 //!   to JavaScript.
-//! * [`env`] — [`RuntimeEnv`], the system interface guest programs see
+//! * [`env`](mod@env) — [`RuntimeEnv`], the system interface guest programs see
 //!   (files, directories, processes, pipes, signals, sockets, stdio and the
 //!   compute cost model).
 //! * [`profile`] — [`ExecutionProfile`]: the calibrated cost model for each

@@ -6,8 +6,9 @@
 //! xargs.  These programs run equivalently under Node and BROWSIX without any
 //! modifications."
 //!
-//! This crate provides those utilities as [`GuestProgram`]s written against
-//! the [`RuntimeEnv`] interface, so the *same* implementation runs under the
+//! This crate provides those utilities as guest programs written against
+//! the [`browsix_runtime::RuntimeEnv`] interface, so the *same*
+//! implementation runs under the
 //! native baseline, the Node.js-on-Linux baseline, and as a Browsix process —
 //! which is exactly what Figure 9 of the paper measures.
 //!

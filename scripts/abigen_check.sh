@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# ABI freshness gate: verifies that the committed docs/ABI.md matches what
+# browsix-abigen renders from abi/syscalls.abi, and prints the generation
+# manifest.  CI runs this next to the build so an IDL edit that forgets to
+# regenerate the reference fails fast.
+#
+# Usage: scripts/abigen_check.sh          # check (CI mode, fails on drift)
+#        scripts/abigen_check.sh --fix    # regenerate docs/ABI.md in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+idl=abi/syscalls.abi
+doc=docs/ABI.md
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo run -q -p browsix-abigen -- docs "$idl" "$doc"
+    exit 0
+fi
+
+cargo run -q -p browsix-abigen -- manifest "$idl"
+cargo run -q -p browsix-abigen -- check "$idl" "$doc"

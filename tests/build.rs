@@ -1,0 +1,17 @@
+//! Generates the proptest fuzz-shape builders (`make_call`/`make_result`)
+//! from `abi/syscalls.abi` via `browsix-abigen`, so the round-trip property
+//! tests sweep every opcode automatically as the IDL grows.
+
+use std::path::Path;
+
+fn main() {
+    let idl = Path::new(env!("CARGO_MANIFEST_DIR")).join("../abi/syscalls.abi");
+    println!("cargo:rerun-if-changed={}", idl.display());
+    let abi = browsix_abigen::load(&idl).unwrap_or_else(|e| panic!("abi/syscalls.abi: {e}"));
+    let out_dir = std::env::var("OUT_DIR").expect("OUT_DIR");
+    std::fs::write(
+        Path::new(&out_dir).join("shapes_gen.rs"),
+        browsix_abigen::codegen::gen_shapes(&abi),
+    )
+    .expect("write shapes_gen.rs");
+}

@@ -23,6 +23,42 @@ fn instant_async() -> ExecutionProfile {
 }
 
 #[test]
+fn getrusage_reports_per_task_counters() {
+    let launcher = NodeLauncher::new(
+        "usage",
+        guest("usage", |env: &mut dyn RuntimeEnv| {
+            // A few syscalls so the counter has something to count.
+            env.mkdir("/out").unwrap();
+            env.getpid();
+            let usage = env.getrusage().unwrap();
+            assert!(usage.iter().any(|(k, _)| k == "maxrss"), "usage: {usage:?}");
+            let syscalls = usage
+                .iter()
+                .find(|(k, _)| k == "syscalls")
+                .map(|(_, v)| *v)
+                .expect("a `syscalls` counter");
+            // mkdir + getpid + the getrusage call itself were all dispatched
+            // for this task before the counter was read.
+            assert!(syscalls >= 3, "syscalls counter: {syscalls}");
+            env.write_file("/out/usage.txt", syscalls.to_string().as_bytes())
+                .unwrap();
+            0
+        }),
+    )
+    .with_profile(instant_async());
+    let kernel = boot_with("usage", Arc::new(launcher));
+    let handle = kernel.spawn("/usr/bin/usage", &["usage"], &[]).unwrap();
+    let status = handle.wait();
+    assert!(status.success(), "status: {status:?}");
+    let reported: u64 = String::from_utf8(kernel.fs().read_file("/out/usage.txt").unwrap())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(reported >= 3);
+    kernel.shutdown();
+}
+
+#[test]
 fn node_process_writes_files_and_stdout() {
     let launcher = NodeLauncher::new(
         "writer",

@@ -4,326 +4,21 @@ use proptest::prelude::*;
 
 use browsix_browser::Message;
 use browsix_core::{
-    ByteSource, Completion, CompletionBatch, PollRequest, SigAction, SigSet, Signal, SignalState, SysResult, Syscall,
-    SyscallBatch, POLLIN, POLLOUT, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK,
+    Completion, CompletionBatch, SigSet, Signal, SignalState, SyscallBatch, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK,
 };
-use browsix_fs::{path, DirEntry, Errno, FileSystem, FileType, MemFs, Metadata, OpenFlags};
+use browsix_fs::{path, FileSystem, MemFs, OpenFlags};
 use browsix_http::Json;
 
-/// Number of distinct [`Syscall`] shapes [`make_call`] can produce (the 56
-/// opcodes, with `stat` and `lstat` counted separately, `write` generated
-/// with both byte sources, `poll` with and without descriptors, `kill`
-/// aimed at a process and at a group, `sendfile` with both cursor and
-/// explicit offsets, and `sigaction` over all four action bytes).
-const SYSCALL_SHAPES: usize = 64;
-/// Number of distinct [`SysResult`] shapes [`make_result`] can produce.
-const RESULT_SHAPES: usize = 13;
-
-/// Fuzz inputs shared by every generated call/result shape.
-#[derive(Debug, Clone)]
-struct Fuzz {
-    text: String,
-    data: Vec<u8>,
-    num: i64,
-    small: u32,
-    flag: bool,
+// The call/result shape builders (`make_call`/`make_result`) are generated
+// from `abi/syscalls.abi` by `browsix-abigen` (see `build.rs`): one shape per
+// opcode and one per result tag, with alternate encodings (inline vs
+// shared-heap byte sources, `stat` vs `lstat`, empty vs populated lists)
+// driven by the fuzz inputs.  The round-trip properties below therefore grow
+// automatically whenever a syscall is added to the IDL.
+mod abi_shapes {
+    include!(concat!(env!("OUT_DIR"), "/shapes_gen.rs"));
 }
-
-/// Builds the `shape`-th syscall variant from the fuzz inputs, covering every
-/// variant of the enum as `shape` sweeps `0..SYSCALL_SHAPES`.
-fn make_call(shape: usize, f: &Fuzz) -> Syscall {
-    let fd = f.small as i32 % 128;
-    let path = format!("/{}", f.text);
-    match shape % SYSCALL_SHAPES {
-        0 => Syscall::Spawn {
-            path: path.clone(),
-            args: vec![f.text.clone(), format!("{}", f.num)],
-            env: vec![(f.text.clone(), f.text.clone()), ("K".into(), String::new())],
-            cwd: if f.flag { Some(path) } else { None },
-            stdio: [None, Some(fd), if f.flag { None } else { Some(2) }],
-        },
-        1 => Syscall::Fork {
-            image: f.data.clone(),
-            resume_point: f.num as u64,
-        },
-        2 => Syscall::Pipe2,
-        3 => Syscall::Wait4 {
-            pid: f.num as i32,
-            options: f.small & 1,
-        },
-        4 => Syscall::Exit { code: f.num as i32 },
-        5 => Syscall::Kill {
-            pid: (f.small % (i32::MAX as u32)) as i32,
-            signal: Signal::SIGTERM,
-        },
-        6 => Syscall::SignalAction {
-            signal: Signal::SIGCHLD,
-            action: if f.flag {
-                SigAction::Handler { restart: false }
-            } else {
-                SigAction::Default
-            },
-        },
-        7 => Syscall::GetPid,
-        8 => Syscall::GetPPid,
-        9 => Syscall::GetCwd,
-        10 => Syscall::Chdir { path },
-        11 => Syscall::Open {
-            path,
-            flags: if f.flag {
-                OpenFlags::read_only()
-            } else {
-                OpenFlags::write_create_truncate()
-            },
-            mode: f.small & 0o7777,
-        },
-        12 => Syscall::Close { fd },
-        13 => Syscall::Read { fd, len: f.small },
-        14 => Syscall::Pread {
-            fd,
-            len: f.small,
-            offset: f.num as u64,
-        },
-        15 => Syscall::Write {
-            fd,
-            data: ByteSource::Inline(f.data.clone()),
-        },
-        16 => Syscall::Write {
-            fd,
-            data: ByteSource::SharedHeap {
-                offset: f.small,
-                len: f.data.len() as u32,
-            },
-        },
-        17 => Syscall::Pwrite {
-            fd,
-            data: ByteSource::Inline(f.data.clone()),
-            offset: f.num as u64,
-        },
-        18 => Syscall::Seek {
-            fd,
-            offset: f.num,
-            whence: f.small % 3,
-        },
-        19 => Syscall::Dup { fd },
-        20 => Syscall::Dup2 {
-            from: fd,
-            to: (f.small as i32).wrapping_add(1) % 128,
-        },
-        21 => Syscall::Unlink { path },
-        22 => Syscall::Truncate {
-            path,
-            size: f.num as u64,
-        },
-        23 => Syscall::Rename {
-            from: path,
-            to: format!("/{}.bak", f.text),
-        },
-        24 => Syscall::Readdir { path },
-        25 => Syscall::Mkdir {
-            path,
-            mode: f.small & 0o7777,
-        },
-        26 => Syscall::Rmdir { path },
-        27 => Syscall::Stat { path, lstat: false },
-        28 => Syscall::Stat { path, lstat: true },
-        29 => Syscall::Fstat { fd },
-        30 => Syscall::Access {
-            path,
-            mode: f.small & 7,
-        },
-        31 => Syscall::Readlink { path },
-        32 => Syscall::Utimes {
-            path,
-            atime_ms: f.num as u64,
-            mtime_ms: f.small as u64,
-        },
-        33 => Syscall::Socket,
-        34 => Syscall::Bind {
-            fd,
-            port: f.small as u16,
-        },
-        35 => Syscall::GetSockName { fd },
-        36 => Syscall::Listen {
-            fd,
-            backlog: f.small % 1024,
-        },
-        37 => Syscall::Accept { fd },
-        38 => Syscall::Fsync { fd },
-        39 => Syscall::Connect {
-            fd,
-            port: f.small as u16,
-        },
-        40 => Syscall::Poll {
-            fds: (0..(f.small as usize % 6))
-                .map(|i| PollRequest {
-                    fd: fd.wrapping_add(i as i32),
-                    events: if f.flag { POLLIN } else { POLLIN | POLLOUT },
-                })
-                .collect(),
-            timeout_ms: f.num as i32,
-        },
-        41 => Syscall::Poll {
-            fds: Vec::new(),
-            timeout_ms: -1,
-        },
-        42 => Syscall::SetFlags { fd, flags: f.small & 1 },
-        // Signal & job-control additions: group-addressed kill, every
-        // sigaction byte, sigprocmask with fuzzed how/mask, and the
-        // process-group calls.
-        43 => Syscall::Kill {
-            pid: -((f.small % (i32::MAX as u32)) as i32),
-            signal: if f.flag { Signal::SIGINT } else { Signal::SIGTSTP },
-        },
-        44 => Syscall::SignalAction {
-            signal: Signal::SIGUSR1,
-            action: SigAction::Handler { restart: true },
-        },
-        45 => Syscall::SignalAction {
-            signal: Signal::SIGTTIN,
-            action: SigAction::Ignore,
-        },
-        46 => Syscall::Sigprocmask {
-            how: f.small % 3,
-            mask: (f.num as u64) ^ (f.small as u64),
-        },
-        47 => Syscall::Sigprocmask {
-            how: browsix_core::SIG_SETMASK,
-            mask: 0,
-        },
-        48 => Syscall::Setpgid {
-            pid: f.small,
-            pgid: f.small.wrapping_add(1),
-        },
-        49 => Syscall::Getpgid { pid: f.small },
-        // Virtual-memory additions: mmap fuzzed both anonymous and
-        // file-backed, vm_write with both byte sources — so every VM frame
-        // field crosses the codec with fuzzed values.
-        50 => Syscall::Ftruncate { fd, size: f.num as u64 },
-        51 => Syscall::Mmap {
-            addr: if f.flag { 0 } else { f.num as u64 },
-            len: f.small as u64,
-            prot: f.small & 3,
-            flags: if f.flag {
-                browsix_core::MAP_PRIVATE | browsix_core::MAP_ANONYMOUS
-            } else {
-                browsix_core::MAP_SHARED
-            },
-            fd: if f.flag { -1 } else { fd },
-            offset: f.num as u64,
-        },
-        52 => Syscall::Munmap {
-            addr: f.num as u64,
-            len: f.small as u64,
-        },
-        53 => Syscall::Msync {
-            addr: f.num as u64,
-            len: f.small as u64,
-        },
-        54 => Syscall::Mprotect {
-            addr: f.num as u64,
-            len: f.small as u64,
-            prot: f.small & 3,
-        },
-        55 => Syscall::ShmOpen {
-            name: path,
-            flags: f.small,
-            mode: f.small & 0o7777,
-        },
-        56 => Syscall::ShmUnlink { name: path },
-        57 => Syscall::VmRead {
-            addr: f.num as u64,
-            len: f.small,
-        },
-        58 => Syscall::VmWrite {
-            addr: f.num as u64,
-            data: if f.flag {
-                ByteSource::Inline(f.data.clone())
-            } else {
-                ByteSource::SharedHeap {
-                    offset: f.small,
-                    len: f.data.len() as u32,
-                }
-            },
-        },
-        // Zero-copy & ring additions: sendfile with both the explicit-offset
-        // and cursor (-1) forms, splice, and the ring-registration call with
-        // fully fuzzed geometry fields.
-        59 => Syscall::Sendfile {
-            out_fd: fd,
-            in_fd: fd.wrapping_add(1) % 128,
-            offset: f.num,
-            len: f.small as u64,
-        },
-        60 => Syscall::Sendfile {
-            out_fd: fd,
-            in_fd: fd.wrapping_add(2) % 128,
-            offset: -1,
-            len: f.num as u64,
-        },
-        61 => Syscall::Splice {
-            fd_in: fd,
-            fd_out: fd.wrapping_add(1) % 128,
-            len: f.small as u64,
-        },
-        62 => Syscall::RingSetup {
-            sq_offset: f.small,
-            cq_offset: f.small.wrapping_add(1),
-            slots: (f.small % 512).max(1),
-            slot_bytes: (f.small % 4096).max(16),
-            buf_offset: f.num as u32,
-            buf_count: f.small % 32,
-            buf_bytes: f.small % (1 << 20),
-        },
-        _ => Syscall::Tcsetpgrp { pgid: f.small },
-    }
-}
-
-/// Builds the `shape`-th result variant from the fuzz inputs, covering every
-/// variant of the enum as `shape` sweeps `0..RESULT_SHAPES`.
-fn make_result(shape: usize, f: &Fuzz) -> SysResult {
-    match shape % RESULT_SHAPES {
-        0 => SysResult::Ok,
-        1 => SysResult::Int(f.num),
-        2 => SysResult::Pair(f.num, f.num.wrapping_add(1)),
-        3 => SysResult::Data(f.data.clone()),
-        4 => SysResult::Path(format!("/{}", f.text)),
-        5 => SysResult::Stat(Metadata {
-            file_type: if f.flag { FileType::Directory } else { FileType::Regular },
-            size: f.num as u64,
-            mode: f.small & 0o7777,
-            mtime_ms: f.small as u64,
-            atime_ms: f.num as u64,
-        }),
-        6 => SysResult::Entries(
-            (0..(f.small as usize % 5))
-                .map(|i| {
-                    if i % 2 == 0 {
-                        DirEntry::file(&format!("{}{i}", f.text))
-                    } else {
-                        DirEntry::dir(&format!("{}{i}", f.text))
-                    }
-                })
-                .collect(),
-        ),
-        7 => SysResult::Entries(Vec::new()),
-        8 => SysResult::Wait {
-            pid: f.small,
-            status: f.num as i32,
-        },
-        9 => SysResult::Poll(
-            (0..(f.small as usize % 8))
-                .map(|i| if i % 2 == 0 { POLLIN } else { POLLOUT })
-                .collect(),
-        ),
-        10 => SysResult::DataFixed {
-            buf: f.small % 8,
-            len: f.small,
-        },
-        11 => SysResult::Err(Errno::ENOENT),
-        _ => SysResult::Err(Errno::EPIPE),
-    }
-}
+use abi_shapes::{make_call, make_result, Fuzz, RESULT_SHAPES, SYSCALL_SHAPES};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
